@@ -1,0 +1,88 @@
+// Ablation: ADP's re-evaluation interval (paper Section VI-D fixes it at 50
+// compression operations, claiming <6% overhead and timely method updates).
+// Sweeps the interval and reports compression ratio + throughput on a
+// regime-switching stream, plus the fixed methods as anchors.
+
+#include "bench_common.h"
+#include "mdz_variants.h"
+#include "util/rng.h"
+
+namespace {
+
+// Same regime-switching construction as fig10: smooth first half, vibrating
+// second half.
+std::vector<std::vector<double>> RegimeSwitchField(size_t m, size_t n) {
+  mdz::Rng rng(77);
+  std::vector<int> level(n);
+  for (size_t i = 0; i < n; ++i) level[i] = static_cast<int>(i % 24);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  std::vector<double> vib(n);
+  for (size_t i = 0; i < n; ++i) vib[i] = rng.Gaussian(0.0, 0.05);
+  for (size_t s = 0; s < m; ++s) {
+    const bool smooth = s < m / 2;
+    for (size_t i = 0; i < n; ++i) {
+      if (s > 0) {
+        vib[i] = smooth ? vib[i] + rng.Gaussian(0.0, 0.004)
+                        : rng.Gaussian(0.0, 0.05);
+      }
+      field[s][i] = 1.5 * level[i] + vib[i];
+    }
+  }
+  return field;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: ADP adaptation interval (regime-switching stream, "
+      "BS=10) ===\n\n");
+
+  const size_t m = std::max<size_t>(
+      100, static_cast<size_t>(600 * mdz::bench::SizeScale()));
+  const auto field = RegimeSwitchField(m, 2000);
+  const size_t raw = field.size() * field[0].size() * sizeof(double);
+
+  mdz::bench::TablePrinter table(
+      {"Config", "CR", "Comp_MB/s", "AdaptRuns"}, 14);
+  table.PrintHeader();
+
+  for (auto method : {mdz::core::Method::kVQ, mdz::core::Method::kVQT,
+                      mdz::core::Method::kMT}) {
+    mdz::core::Options options;
+    options.method = method;
+    mdz::WallTimer timer;
+    auto out = mdz::core::CompressField(field, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!out.ok()) return 1;
+    table.PrintRow({std::string(mdz::core::MethodName(method)),
+                    mdz::bench::Fmt(static_cast<double>(raw) / out->size(), 1),
+                    mdz::bench::Fmt(raw / 1e6 / seconds, 1), "-"});
+  }
+
+  for (uint32_t interval : {1u, 2u, 5u, 10u, 25u, 50u, 1000u}) {
+    mdz::core::Options options;
+    options.method = mdz::core::Method::kAdaptive;
+    options.adaptation_interval = interval;
+    auto compressor = mdz::core::FieldCompressor::Create(field[0].size(),
+                                                         options);
+    if (!compressor.ok()) return 1;
+    mdz::WallTimer timer;
+    for (const auto& snapshot : field) {
+      if (!(*compressor)->Append(snapshot).ok()) return 1;
+    }
+    if (!(*compressor)->Finish().ok()) return 1;
+    const double seconds = timer.ElapsedSeconds();
+    const auto& stats = (*compressor)->stats();
+    table.PrintRow({"ADP@" + std::to_string(interval),
+                    mdz::bench::Fmt(stats.compression_ratio(), 1),
+                    mdz::bench::Fmt(raw / 1e6 / seconds, 1),
+                    std::to_string(stats.adaptation_runs)});
+  }
+  std::printf(
+      "\nExpected shape: tiny intervals track regime changes perfectly but\n"
+      "pay ~3x trial-compression cost; interval 50 (the paper's default)\n"
+      "loses little ratio while keeping the overhead under a few percent;\n"
+      "interval 1000 never re-evaluates and misses the switch.\n");
+  return 0;
+}

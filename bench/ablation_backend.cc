@@ -1,0 +1,133 @@
+// Ablation: the entropy/dictionary backend. MDZ (like SZ) runs
+// Huffman -> dictionary coder; this repo's block codec additionally picks
+// per block between bit-packed Huffman (mode 0) and u16-packed codes fed
+// straight to the dictionary coder (mode 1, which preserves byte-aligned
+// runs). This bench isolates the stages on representative code streams.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "codec/range_coder.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+// Synthetic quantization-code streams of the two regimes.
+std::vector<uint32_t> NoisyCodes(size_t count) {
+  mdz::Rng rng(1);
+  std::vector<uint32_t> codes(count);
+  for (auto& c : codes) {
+    c = 512 + static_cast<uint32_t>(std::lround(rng.Gaussian(0.0, 3.0)));
+  }
+  return codes;
+}
+
+std::vector<uint32_t> RunnyCodes(size_t count) {
+  // 95% "unchanged" (code 512) in long per-particle runs + sparse deviations.
+  mdz::Rng rng(2);
+  std::vector<uint32_t> codes(count, 512);
+  size_t i = 0;
+  while (i < count) {
+    if (rng.NextDouble() < 0.05) {
+      const size_t burst = 1 + rng.UniformInt(6);
+      for (size_t k = 0; k < burst && i < count; ++k, ++i) {
+        codes[i] = 512 + 1 + static_cast<uint32_t>(rng.UniformInt(6));
+      }
+    } else {
+      i += 1 + rng.UniformInt(32);
+    }
+  }
+  return codes;
+}
+
+size_t HuffmanThenLz(const std::vector<uint32_t>& codes,
+                     const mdz::codec::LzOptions& lz) {
+  const auto huff = mdz::codec::HuffmanEncode(codes, 1024);
+  return mdz::codec::LzCompress(huff, lz).size();
+}
+
+size_t PackedThenLz(const std::vector<uint32_t>& codes,
+                    const mdz::codec::LzOptions& lz) {
+  std::vector<uint8_t> raw(codes.size() * 2);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    raw[2 * i] = static_cast<uint8_t>(codes[i]);
+    raw[2 * i + 1] = static_cast<uint8_t>(codes[i] >> 8);
+  }
+  return mdz::codec::LzCompress(raw, lz).size();
+}
+
+size_t HuffmanOnly(const std::vector<uint32_t>& codes) {
+  return mdz::codec::HuffmanEncode(codes, 1024).size();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: entropy/dictionary backend on quant-code streams ===\n\n");
+
+  const size_t count =
+      static_cast<size_t>(2000000 * mdz::bench::SizeScale());
+
+  mdz::bench::TablePrinter table(
+      {"Stream", "Backend", "Bits/code", "Enc_Msym/s"}, 24);
+  table.PrintHeader();
+
+  struct NamedCodes {
+    const char* name;
+    std::vector<uint32_t> codes;
+  };
+  std::vector<NamedCodes> streams;
+  streams.push_back({"gaussian (high entropy)", NoisyCodes(count)});
+  streams.push_back({"run-dominated (stable)", RunnyCodes(count)});
+
+  for (const auto& [name, codes] : streams) {
+    const double denom = static_cast<double>(codes.size());
+    auto timed = [&](auto&& fn) {
+      mdz::WallTimer timer;
+      const size_t bytes = fn();
+      const double seconds = timer.ElapsedSeconds();
+      return std::pair<double, double>(8.0 * bytes / denom,
+                                       denom / 1e6 / seconds);
+    };
+
+    auto [huff_bits, huff_speed] = timed([&] { return HuffmanOnly(codes); });
+    table.PrintRow({name, "Huffman only", mdz::bench::Fmt(huff_bits, 3),
+                    mdz::bench::Fmt(huff_speed, 1)});
+    for (const auto& [lz_name, lz] :
+         std::vector<std::pair<std::string, mdz::codec::LzOptions>>{
+             {"Huffman+LZ(zstd-like)", mdz::codec::ZstdLikeOptions()},
+             {"Huffman+LZ(deflate)", mdz::codec::DeflateLikeOptions()}}) {
+      auto [bits, speed] = timed([&] { return HuffmanThenLz(codes, lz); });
+      table.PrintRow({name, lz_name, mdz::bench::Fmt(bits, 3),
+                      mdz::bench::Fmt(speed, 1)});
+    }
+    {
+      auto [bits, speed] = timed(
+          [&] { return PackedThenLz(codes, mdz::codec::ZstdLikeOptions()); });
+      table.PrintRow({name, "u16+LZ(zstd-like)", mdz::bench::Fmt(bits, 3),
+                      mdz::bench::Fmt(speed, 1)});
+    }
+    {
+      auto [bits, speed] = timed([&] {
+        return mdz::codec::RangeEncodeSymbols(codes, 1024).size();
+      });
+      table.PrintRow({name, "adaptive range coder", mdz::bench::Fmt(bits, 3),
+                      mdz::bench::Fmt(speed, 1)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: on high-entropy codes, Huffman dominates and the\n"
+      "dictionary stage adds nothing (packed+LZ is ~2x worse). On\n"
+      "run-dominated codes the dictionary stage does nearly all the work\n"
+      "(8-30x on top of Huffman) and the two candidate encodings come out\n"
+      "close — which one wins depends on the run/deviation mix, so MDZ's\n"
+      "block codec measures both and keeps the smaller (see Table III).\n"
+      "The adaptive range coder shaves a few %% off Huffman (and goes below\n"
+      "the 1-bit floor on near-constant streams) at several times the CPU\n"
+      "cost — the Huffman+LZ default trades that ratio for throughput.\n");
+  return 0;
+}

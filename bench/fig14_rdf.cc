@@ -1,0 +1,85 @@
+// Paper Fig. 14: radial distribution function of the decompressed Copper-B
+// data at a matched compression ratio of 10 (BS = 10). Only MDZ should keep
+// g(r) on top of the original.
+
+#include "analysis/rdf.h"
+#include "bench_common.h"
+
+namespace {
+
+mdz::core::Trajectory FieldsToTrajectory(
+    const std::array<mdz::baselines::Field, 3>& fields,
+    const mdz::core::Trajectory& like) {
+  mdz::core::Trajectory traj;
+  traj.box = like.box;
+  traj.snapshots.resize(fields[0].size());
+  for (size_t s = 0; s < fields[0].size(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      traj.snapshots[s].axes[axis] = fields[axis][s];
+    }
+  }
+  return traj;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Paper Fig. 14: RDF of decompressed Copper-B at CR=10 (BS=10) ===\n\n");
+
+  const mdz::core::Trajectory traj = mdz::bench::LoadDataset("Copper-B", 0.2);
+
+  mdz::analysis::RdfOptions rdf_options;
+  rdf_options.r_max = 6.0;
+  rdf_options.bins = 120;
+  auto original_rdf = mdz::analysis::ComputeRdf(traj, rdf_options);
+  if (!original_rdf.ok()) return 1;
+  double peak_g = 0.0;
+  double peak_r = 0.0;
+  for (size_t b = 0; b < original_rdf->g.size(); ++b) {
+    if (original_rdf->g[b] > peak_g) {
+      peak_g = original_rdf->g[b];
+      peak_r = original_rdf->r[b];
+    }
+  }
+  std::printf("original RDF: first peak g=%.2f at r=%.2f\n\n", peak_g, peak_r);
+
+  mdz::bench::TablePrinter table(
+      {"Compressor", "CR", "MaxRDFDev", "PeakG", "Verdict"}, 12);
+  table.PrintHeader();
+
+  for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
+    if (info.name == "MDB") continue;  // cannot reach CR=10
+    std::array<mdz::baselines::Field, 3> decoded;
+    double achieved = 0.0;
+    bool ok = true;
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto field = mdz::bench::AxisField(traj, axis);
+      auto matched = mdz::bench::MatchCompressionRatio(info, field, 10.0, 10);
+      if (matched.decoded.empty()) {
+        ok = false;
+        break;
+      }
+      achieved += matched.achieved_ratio / 3.0;
+      decoded[axis] = std::move(matched.decoded);
+    }
+    if (!ok) {
+      table.PrintRow({std::string(info.name), "n/a", "n/a", "n/a", "fail"});
+      continue;
+    }
+    const mdz::core::Trajectory decoded_traj = FieldsToTrajectory(decoded, traj);
+    auto rdf = mdz::analysis::ComputeRdf(decoded_traj, rdf_options);
+    if (!rdf.ok()) continue;
+    const double dev = mdz::analysis::RdfMaxDeviation(*original_rdf, *rdf);
+    double dec_peak = 0.0;
+    for (double g : rdf->g) dec_peak = std::max(dec_peak, g);
+    table.PrintRow({std::string(info.name), mdz::bench::Fmt(achieved, 1),
+                    mdz::bench::Fmt(dev, 3), mdz::bench::Fmt(dec_peak, 2),
+                    dev < 0.25 * peak_g ? "preserved" : "distorted"});
+  }
+  std::printf(
+      "\nExpected shape (paper): at CR=10 only MDZ keeps the RDF on top of\n"
+      "the original (smallest deviation, crystalline peaks intact); the\n"
+      "baselines smear the local density.\n");
+  return 0;
+}

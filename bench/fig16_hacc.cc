@@ -1,0 +1,35 @@
+// Paper Fig. 16: generalizability beyond MD — compression ratios on two
+// HACC-style cosmology particle datasets (eps = 1e-3).
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 16: compression ratios on HACC datasets ===\n\n");
+
+  std::vector<std::string> headers = {"Dataset", "BS"};
+  for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
+    headers.emplace_back(info.name);
+  }
+  mdz::bench::TablePrinter table(headers, 10);
+  table.PrintHeader();
+
+  for (const char* name : {"HACC-1", "HACC-2"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.5);
+    for (uint32_t bs : {10u}) {
+      mdz::baselines::CompressorConfig config;
+      config.error_bound = 1e-3;
+      config.buffer_size = bs;
+      std::vector<std::string> row = {std::string(name), std::to_string(bs)};
+      for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
+        row.push_back(mdz::bench::Fmt(
+            mdz::bench::TrajectoryRatio(info, traj, config), 1));
+      }
+      table.PrintRow(row);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): MDZ is the best on both datasets, ~30-55%%\n"
+      "above the second-best compressor — the spatial+temporal design\n"
+      "carries over to non-MD particle data.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Paper Fig. 3: spatial patterns of atom position data. Prints a short
+// window of the x-axis of snapshot 0 for six datasets (the series the paper
+// plots) plus a spatial-roughness summary.
+
+#include "analysis/characterize.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 3: spatial correlations in atom position data ===\n\n");
+
+  for (const char* name :
+       {"Copper-B", "ADK", "Helium-A", "Helium-B", "Pt", "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
+    const auto& x = traj.snapshots[0].axes[0];
+    std::printf("--- %s (N=%zu) ---\n", traj.name.c_str(),
+                traj.num_particles());
+    std::printf("x[0..39]: ");
+    for (size_t i = 0; i < 40 && i < x.size(); ++i) {
+      std::printf("%.2f ", x[i]);
+    }
+    std::printf("\nspatial roughness (mean |dx| / range): %.4f\n\n",
+                mdz::analysis::SpatialRoughness(x));
+  }
+  std::printf(
+      "Expected shape (paper): crystalline sets (Copper-B, Helium-B) show\n"
+      "stable zigzag level patterns; Pt shows stair-wise plateaus; ADK looks\n"
+      "random; LJ is erratic within the box.\n");
+  return 0;
+}

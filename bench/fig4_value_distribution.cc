@@ -1,0 +1,34 @@
+// Paper Fig. 4: value distribution of atom position data. Prints a 24-bin
+// histogram of the x-axis per dataset plus the detected peak count —
+// multi-peak distributions are the signature of level clustering.
+
+#include "analysis/characterize.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 4: frequencies of atom position data ===\n\n");
+
+  for (const char* name :
+       {"Copper-B", "ADK", "Helium-A", "Helium-B", "Pt", "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
+    const auto& x = traj.snapshots[0].axes[0];
+    const auto hist = mdz::analysis::ComputeHistogram(x, 24);
+    size_t tallest = 1;
+    for (size_t c : hist.counts) tallest = std::max(tallest, c);
+
+    std::printf("--- %s ---\n", traj.name.c_str());
+    for (size_t b = 0; b < hist.counts.size(); ++b) {
+      const int bar = static_cast<int>(50.0 * hist.counts[b] / tallest);
+      std::printf("%8.2f |", hist.BinCenter(b));
+      for (int i = 0; i < bar; ++i) std::printf("#");
+      std::printf(" %zu\n", hist.counts[b]);
+    }
+    const auto fine = mdz::analysis::ComputeHistogram(x, 120);
+    std::printf("peaks (120-bin): %d\n\n",
+                mdz::analysis::CountHistogramPeaks(fine));
+  }
+  std::printf(
+      "Expected shape (paper): Copper-B / Helium-A / Helium-B are multi-peak\n"
+      "(level clustering); ADK / Pt / LJ are near-uniform across the box.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Paper Fig. 5: temporal correlations of atom position data. Prints three
+// particles' x(t) series (time normalized to 50 samples) per dataset plus
+// the temporal-roughness summary that separates the two correlation classes.
+
+#include "analysis/characterize.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 5: temporal correlations (time normalized to 0-50) ===\n\n");
+
+  for (const char* name :
+       {"Copper-B", "ADK", "Helium-B", "Helium-A", "Pt", "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
+    const size_t m = traj.num_snapshots();
+    const size_t stride = std::max<size_t>(1, m / 50);
+    std::printf("--- %s (M=%zu) ---\n", traj.name.c_str(), m);
+    for (size_t p : {size_t{0}, traj.num_particles() / 2,
+                     traj.num_particles() - 1}) {
+      std::printf("atom %-6zu: ", p);
+      for (size_t s = 0; s < m; s += stride) {
+        std::printf("%.2f ", traj.snapshots[s].axes[0][p]);
+      }
+      std::printf("\n");
+    }
+    std::printf("temporal roughness (mean |dx/dt| / range): %.5f\n\n",
+                mdz::analysis::TemporalRoughness(traj, 0));
+  }
+  std::printf(
+      "Expected shape (paper): Copper-B / ADK / Helium-B change largely and\n"
+      "frequently; Helium-A / Pt / LJ change only slightly between dumps.\n");
+  return 0;
+}

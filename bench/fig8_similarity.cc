@@ -1,0 +1,40 @@
+// Paper Fig. 8 (and Eq. 2): similarity of each snapshot to snapshot 0 —
+// the fraction of atoms whose relative position change stays below tau.
+// High, flat curves motivate MT's initial-snapshot predictor.
+
+#include "analysis/metrics.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Fig. 8: snapshot similarity with snapshot 0 ===\n\n");
+
+  const double tau = 0.01;
+  std::printf("tau = %.3f; snapshots normalized to 10 sample points\n\n", tau);
+
+  mdz::bench::TablePrinter table({"Dataset", "s=10%", "s=30%", "s=50%",
+                                  "s=70%", "s=100%"},
+                                 11);
+  table.PrintHeader();
+
+  for (const char* name :
+       {"Copper-A", "Copper-B", "Helium-A", "Helium-B", "ADK", "IFABP", "Pt",
+        "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
+    const auto& s0 = traj.snapshots[0].axes[0];
+    std::vector<std::string> row = {traj.name};
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+      const size_t s = std::min(traj.num_snapshots() - 1,
+                                static_cast<size_t>(
+                                    frac * (traj.num_snapshots() - 1)));
+      row.push_back(mdz::bench::Fmt(
+          mdz::analysis::SimilarityToInitial(s0, traj.snapshots[s].axes[0],
+                                             tau),
+          3));
+    }
+    table.PrintRow(row);
+  }
+  std::printf(
+      "\nExpected shape (paper): Copper-A and Pt stay near 1.0 across the\n"
+      "whole run (snapshot-0 prediction pays off); protein sets decay fast.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Paper Fig. 9: compression/decompression speed (and ratio) of VQ, VQT and
+// MT as a function of the quantization scale, on Helium-B with eps = 1e-3 and
+// BS = 10. Motivates the default scale of 1024.
+
+#include "bench_common.h"
+#include "core/mdz.h"
+#include "util/timer.h"
+
+int main() {
+  std::printf(
+      "=== Paper Fig. 9: performance vs quantization scale (Helium-B, "
+      "eps=1e-3, BS=10) ===\n\n");
+
+  const mdz::core::Trajectory traj = mdz::bench::LoadDataset("Helium-B");
+  const auto field = mdz::bench::AxisField(traj, 0);
+  const size_t raw = field.size() * field[0].size() * sizeof(double);
+
+  mdz::bench::TablePrinter table({"Scale", "Method", "Comp_MB/s", "Dec_MB/s",
+                                  "CR"},
+                                 12);
+  table.PrintHeader();
+
+  for (uint32_t scale : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    for (auto method : {mdz::core::Method::kVQ, mdz::core::Method::kVQT,
+                        mdz::core::Method::kMT}) {
+      mdz::core::Options options;
+      options.method = method;
+      options.error_bound = 1e-3;
+      options.buffer_size = 10;
+      options.quantization_scale = scale;
+
+      mdz::WallTimer timer;
+      auto compressed = mdz::core::CompressField(field, options);
+      const double comp_s = timer.ElapsedSeconds();
+      if (!compressed.ok()) continue;
+
+      timer.Reset();
+      auto decoded = mdz::core::DecompressField(*compressed);
+      const double dec_s = timer.ElapsedSeconds();
+      if (!decoded.ok()) continue;
+
+      table.PrintRow({std::to_string(scale),
+                      std::string(mdz::core::MethodName(method)),
+                      mdz::bench::Fmt(raw / 1e6 / comp_s, 1),
+                      mdz::bench::Fmt(raw / 1e6 / dec_s, 1),
+                      mdz::bench::Fmt(static_cast<double>(raw) /
+                                          compressed->size(),
+                                      1)});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): throughput drops several-fold as the scale\n"
+      "grows from 64 to 65536 (bigger Huffman tables); 1024 keeps speed high\n"
+      "with no ratio loss — hence the default.\n");
+  return 0;
+}

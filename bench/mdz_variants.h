@@ -1,0 +1,40 @@
+#ifndef MDZ_BENCH_MDZ_VARIANTS_H_
+#define MDZ_BENCH_MDZ_VARIANTS_H_
+
+// Registry-style adapters for MDZ's individual prediction strategies (VQ /
+// VQT / MT / ADP), used by the benches that compare them (Table VI, Fig.
+// 9/10/11).
+
+#include "baselines/compressor_interface.h"
+#include "core/mdz.h"
+
+namespace mdz::bench {
+
+template <core::Method kMethod>
+Result<std::vector<uint8_t>> MdzVariantCompress(
+    const baselines::Field& field, const baselines::CompressorConfig& config) {
+  core::Options options;
+  options.method = kMethod;
+  options.error_bound = config.error_bound;
+  options.buffer_size = config.buffer_size;
+  return core::CompressField(field, options);
+}
+
+inline Result<baselines::Field> MdzVariantDecompress(
+    std::span<const uint8_t> data) {
+  return core::DecompressField(data);
+}
+
+inline std::vector<baselines::LossyCompressorInfo> MdzVariants() {
+  return {
+      {"VQ", &MdzVariantCompress<core::Method::kVQ>, &MdzVariantDecompress},
+      {"VQT", &MdzVariantCompress<core::Method::kVQT>, &MdzVariantDecompress},
+      {"MT", &MdzVariantCompress<core::Method::kMT>, &MdzVariantDecompress},
+      {"ADP", &MdzVariantCompress<core::Method::kAdaptive>,
+       &MdzVariantDecompress},
+  };
+}
+
+}  // namespace mdz::bench
+
+#endif  // MDZ_BENCH_MDZ_VARIANTS_H_

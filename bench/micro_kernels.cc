@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels underlying MDZ:
+// Huffman coding, the LZ dictionary coder, 1-D k-means level fitting, the
+// linear quantizer and the full block codec.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans1d.h"
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "core/mdz.h"
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<uint32_t> SkewedSymbols(size_t n, uint64_t seed) {
+  mdz::Rng rng(seed);
+  std::vector<uint32_t> symbols(n);
+  for (auto& s : symbols) {
+    uint32_t v = 512;
+    while (v < 520 && rng.NextDouble() < 0.5) ++v;
+    s = v;
+  }
+  return symbols;
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto symbols = SkewedSymbols(1 << 18, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::HuffmanEncode(symbols, 1024));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto symbols = SkewedSymbols(1 << 18, 2);
+  const auto encoded = mdz::codec::HuffmanEncode(symbols, 1024);
+  std::vector<uint32_t> decoded;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::HuffmanDecode(encoded, &decoded));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_LzCompress(benchmark::State& state) {
+  mdz::Rng rng(3);
+  std::vector<uint8_t> input(1 << 20);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>((i % 512 < 400) ? (i % 251)
+                                                    : rng.UniformInt(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::LzCompress(input));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_LzDecompress(benchmark::State& state) {
+  mdz::Rng rng(4);
+  std::vector<uint8_t> input(1 << 20);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>(i % 251);
+  }
+  const auto encoded = mdz::codec::LzCompress(input);
+  std::vector<uint8_t> decoded;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::LzDecompress(encoded, &decoded));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_LzDecompress);
+
+void BM_FitLevels(benchmark::State& state) {
+  mdz::Rng rng(5);
+  std::vector<double> data(100000);
+  for (auto& d : data) {
+    d = 1.5 * static_cast<double>(rng.UniformInt(40)) +
+        rng.Gaussian(0.0, 0.05);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::cluster::FitLevels(data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FitLevels);
+
+void BM_Quantizer(benchmark::State& state) {
+  mdz::Rng rng(6);
+  std::vector<double> values(1 << 16), preds(1 << 16);
+  for (size_t i = 0; i < values.size(); ++i) {
+    preds[i] = rng.Uniform(0.0, 100.0);
+    values[i] = preds[i] + rng.Gaussian(0.0, 0.01);
+  }
+  const mdz::quant::LinearQuantizer q(1e-3, 1024);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    double dec;
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum += q.Encode(values[i], preds[i], &dec);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Quantizer);
+
+void BM_MdzCompressField(benchmark::State& state) {
+  mdz::Rng rng(7);
+  const size_t m = 20, n = 50000;
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) field[0][i] = rng.Uniform(0.0, 50.0);
+  for (size_t s = 1; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = field[s - 1][i] + rng.Gaussian(0.0, 0.005);
+    }
+  }
+  mdz::core::Options options;
+  options.method = static_cast<mdz::core::Method>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::core::CompressField(field, options));
+  }
+  state.SetBytesProcessed(state.iterations() * m * n * sizeof(double));
+}
+BENCHMARK(BM_MdzCompressField)
+    ->Arg(0)   // VQ
+    ->Arg(1)   // VQT
+    ->Arg(2)   // MT
+    ->Arg(3);  // ADP
+
+}  // namespace
+
+BENCHMARK_MAIN();

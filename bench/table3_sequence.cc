@@ -1,0 +1,48 @@
+// Paper Table III: compression ratio of the Seq-1 (snapshot-major) vs Seq-2
+// (particle-major) quantization-code layouts on Helium-B with the MT
+// compressor, BS = 10, per axis, for three error bounds.
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Table III: Seq-1 vs Seq-2 layout, Helium-B, MT, BS=10 ===\n\n");
+
+  const mdz::core::Trajectory traj = mdz::bench::LoadDataset("Helium-B");
+  const double bounds[] = {1e-1, 5e-2, 1e-2};
+
+  mdz::bench::TablePrinter table(
+      {"Axis", "eps", "Seq-1_CR", "Seq-2_CR", "Gain%"}, 12);
+  table.PrintHeader();
+
+  for (int axis = 0; axis < 3; ++axis) {
+    for (double eb : bounds) {
+      double ratios[2];
+      for (int layout = 0; layout < 2; ++layout) {
+        mdz::core::Options options;
+        options.method = mdz::core::Method::kMT;
+        options.buffer_size = 10;
+        options.error_bound = eb;
+        options.layout = (layout == 0)
+                             ? mdz::core::CodeLayout::kSnapshotMajor
+                             : mdz::core::CodeLayout::kParticleMajor;
+        const auto field = mdz::bench::AxisField(traj, axis);
+        auto compressed = mdz::core::CompressField(field, options);
+        if (!compressed.ok()) {
+          std::fprintf(stderr, "compress failed: %s\n",
+                       compressed.status().ToString().c_str());
+          return 1;
+        }
+        const size_t raw = field.size() * field[0].size() * sizeof(double);
+        ratios[layout] = static_cast<double>(raw) / compressed->size();
+      }
+      table.PrintRow({std::string(1, "xyz"[axis]), mdz::bench::Fmt(eb, 3),
+                      mdz::bench::Fmt(ratios[0], 1),
+                      mdz::bench::Fmt(ratios[1], 1),
+                      mdz::bench::Fmt(100.0 * (ratios[1] / ratios[0] - 1.0), 1)});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): Seq-2 improves CR by roughly 35-40%% at\n"
+      "loose bounds on this temporally stable dataset.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Paper Table IV: SZ2 in 1D vs 2D mode (BS=10, eps=1e-3) on Pt, LJ and
+// Helium-A, per axis. The 2D mode exploits time and space smoothness
+// simultaneously and should show up to ~2-3x higher ratios.
+
+#include "baselines/sz2.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Paper Table IV: SZ2 1D vs 2D mode (BS=10, eps=1e-3) ===\n\n");
+
+  mdz::bench::TablePrinter table({"Dataset", "Axis", "1D_CR", "2D_CR"}, 12);
+  table.PrintHeader();
+
+  for (const char* name : {"Pt", "LJ", "Helium-A"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name);
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto field = mdz::bench::AxisField(traj, axis);
+      const size_t raw = field.size() * field[0].size() * sizeof(double);
+      mdz::baselines::CompressorConfig config;
+      config.error_bound = 1e-3;
+      config.buffer_size = 10;
+
+      double ratios[2] = {0.0, 0.0};
+      const mdz::baselines::Sz2Mode modes[2] = {mdz::baselines::Sz2Mode::k1D,
+                                                mdz::baselines::Sz2Mode::k2D};
+      for (int m = 0; m < 2; ++m) {
+        auto compressed = mdz::baselines::Sz2Compress(field, config, modes[m]);
+        if (compressed.ok()) {
+          ratios[m] = static_cast<double>(raw) / compressed->size();
+        }
+      }
+      table.PrintRow({traj.name, std::string(1, "xyz"[axis]),
+                      mdz::bench::Fmt(ratios[0], 2),
+                      mdz::bench::Fmt(ratios[1], 2)});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): 2D mode reaches up to ~2-3x the 1D ratio on\n"
+      "temporally smooth data (Pt), smaller gains elsewhere.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// How MDZ's adaptive selector (ADP) behaves across data regimes: the same
+// Options compress four very different datasets, and the selector picks a
+// different prediction strategy for each (paper Section VI-D).
+
+#include <cstdio>
+
+#include "core/mdz.h"
+#include "datagen/generators.h"
+
+int main() {
+  std::printf("%-10s %-10s %-10s %-12s %-14s\n", "Dataset", "Axis", "CR",
+              "Method", "Escapes");
+
+  for (const char* name : {"Copper-B", "Pt", "ADK", "LJ"}) {
+    mdz::datagen::GeneratorOptions gen;
+    gen.size_scale = 0.1;
+    auto traj = mdz::datagen::MakeByName(name, gen);
+    if (!traj.ok()) return 1;
+
+    for (int axis = 0; axis < 3; ++axis) {
+      mdz::core::Options options;  // method = kAdaptive by default
+      auto compressor = mdz::core::FieldCompressor::Create(
+          traj->num_particles(), options);
+      if (!compressor.ok()) return 1;
+      for (const auto& snap : traj->snapshots) {
+        if (!(*compressor)->Append(snap.axes[axis]).ok()) return 1;
+      }
+      if (!(*compressor)->Finish().ok()) return 1;
+
+      const auto& stats = (*compressor)->stats();
+      std::printf("%-10s %-10c %-10.1f %-12s %-14zu\n", name, "xyz"[axis],
+                  stats.compression_ratio(),
+                  std::string(mdz::core::MethodName(stats.current_method))
+                      .c_str(),
+                  stats.escape_count);
+    }
+  }
+  std::printf(
+      "\nNote how the selector lands on VQ for vibrating crystals, MT for\n"
+      "temporally frozen systems, and time-based methods for liquids —\n"
+      "without any per-dataset configuration.\n");
+  return 0;
+}

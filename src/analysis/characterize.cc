@@ -1,0 +1,91 @@
+#include "analysis/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mdz::analysis {
+
+Histogram ComputeHistogram(std::span<const double> values, int bins) {
+  Histogram h;
+  h.counts.assign(std::max(bins, 1), 0);
+  if (values.empty()) return h;
+  auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  h.lo = *lo_it;
+  h.hi = *hi_it;
+  if (h.hi <= h.lo) {
+    h.counts[0] = values.size();
+    return h;
+  }
+  const double inv_width =
+      static_cast<double>(h.counts.size()) / (h.hi - h.lo);
+  for (double v : values) {
+    size_t bin = static_cast<size_t>((v - h.lo) * inv_width);
+    if (bin >= h.counts.size()) bin = h.counts.size() - 1;
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+int CountHistogramPeaks(const Histogram& histogram, double min_peak_fraction) {
+  const auto& c = histogram.counts;
+  if (c.size() < 3) return c.empty() ? 0 : 1;
+  const size_t tallest = *std::max_element(c.begin(), c.end());
+  if (tallest == 0) return 0;
+  const double threshold =
+      min_peak_fraction * static_cast<double>(tallest);
+  int peaks = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    const double v = static_cast<double>(c[i]);
+    if (v < threshold) continue;
+    const double left = (i > 0) ? static_cast<double>(c[i - 1]) : -1.0;
+    const double right =
+        (i + 1 < c.size()) ? static_cast<double>(c[i + 1]) : -1.0;
+    if (v >= left && v > right) ++peaks;
+  }
+  return peaks;
+}
+
+double SpatialRoughness(std::span<const double> snapshot) {
+  if (snapshot.size() < 2) return 0.0;
+  auto [lo_it, hi_it] =
+      std::minmax_element(snapshot.begin(), snapshot.end());
+  const double range = *hi_it - *lo_it;
+  if (range <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    sum += std::fabs(snapshot[i] - snapshot[i - 1]);
+  }
+  return sum / (static_cast<double>(snapshot.size() - 1) * range);
+}
+
+double TemporalRoughness(const core::Trajectory& trajectory, int axis) {
+  const size_t m = trajectory.num_snapshots();
+  const size_t n = trajectory.num_particles();
+  if (m < 2 || n == 0) return 0.0;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const core::Snapshot& s : trajectory.snapshots) {
+    for (double v : s.axes[axis]) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double range = hi - lo;
+  if (range <= 0.0) return 0.0;
+
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t t = 1; t < m; ++t) {
+    const auto& prev = trajectory.snapshots[t - 1].axes[axis];
+    const auto& cur = trajectory.snapshots[t].axes[axis];
+    for (size_t i = 0; i < n; ++i) {
+      sum += std::fabs(cur[i] - prev[i]);
+      ++count;
+    }
+  }
+  return sum / (static_cast<double>(count) * range);
+}
+
+}  // namespace mdz::analysis

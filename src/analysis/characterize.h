@@ -1,0 +1,44 @@
+#ifndef MDZ_ANALYSIS_CHARACTERIZE_H_
+#define MDZ_ANALYSIS_CHARACTERIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace mdz::analysis {
+
+// Dataset characterization used by the Fig. 3/4/5 benches and the adaptive
+// design discussion (paper Section V).
+
+// Histogram of values over `bins` equal-width buckets spanning [min, max].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> counts;
+
+  double BinCenter(size_t i) const {
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+  }
+};
+
+Histogram ComputeHistogram(std::span<const double> values, int bins);
+
+// Number of local maxima in the histogram whose height exceeds
+// `min_peak_fraction` of the tallest bin. Multi-peak distributions (paper
+// Fig. 4 a/c/d) indicate level clustering.
+int CountHistogramPeaks(const Histogram& histogram,
+                        double min_peak_fraction = 0.05);
+
+// Spatial roughness: mean |d[i] - d[i-1]| within a snapshot, normalized by
+// the value range. High values = non-smooth in space (takeaway 1).
+double SpatialRoughness(std::span<const double> snapshot);
+
+// Temporal smoothness: mean |S_t[i] - S_{t-1}[i]| across consecutive
+// snapshots, normalized by the value range (takeaway 4; low = smooth).
+double TemporalRoughness(const core::Trajectory& trajectory, int axis);
+
+}  // namespace mdz::analysis
+
+#endif  // MDZ_ANALYSIS_CHARACTERIZE_H_

@@ -1,0 +1,102 @@
+#include "analysis/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdz::analysis {
+
+namespace {
+
+inline double Sq(double x) { return x * x; }
+
+}  // namespace
+
+Result<std::vector<double>> MeanSquaredDisplacement(
+    const core::Trajectory& trajectory, size_t max_lag) {
+  const size_t m = trajectory.num_snapshots();
+  const size_t n = trajectory.num_particles();
+  if (m < 2 || n == 0) {
+    return Status::InvalidArgument("trajectory too small for MSD");
+  }
+  max_lag = std::min(max_lag, m - 1);
+  if (max_lag == 0) return Status::InvalidArgument("max_lag must be >= 1");
+
+  std::vector<double> msd(max_lag, 0.0);
+  for (size_t lag = 1; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    size_t count = 0;
+    // Stride origins for long trajectories to keep this O(m * n) per lag.
+    const size_t origin_stride = std::max<size_t>(1, (m - lag) / 32);
+    for (size_t t = 0; t + lag < m; t += origin_stride) {
+      const core::Snapshot& a = trajectory.snapshots[t];
+      const core::Snapshot& b = trajectory.snapshots[t + lag];
+      for (size_t i = 0; i < n; ++i) {
+        sum += Sq(b.axes[0][i] - a.axes[0][i]) +
+               Sq(b.axes[1][i] - a.axes[1][i]) +
+               Sq(b.axes[2][i] - a.axes[2][i]);
+      }
+      count += n;
+    }
+    msd[lag - 1] = sum / static_cast<double>(count);
+  }
+  return msd;
+}
+
+Result<std::vector<double>> DisplacementAutocorrelation(
+    const core::Trajectory& trajectory, size_t max_lag) {
+  const size_t m = trajectory.num_snapshots();
+  const size_t n = trajectory.num_particles();
+  if (m < 3 || n == 0) {
+    return Status::InvalidArgument("trajectory too small for autocorrelation");
+  }
+  const size_t n_disp = m - 1;  // displacement frames
+  max_lag = std::min(max_lag, n_disp - 1);
+
+  std::vector<double> corr(max_lag + 1, 0.0);
+  std::vector<size_t> counts(max_lag + 1, 0);
+  const size_t origin_stride = std::max<size_t>(1, n_disp / 64);
+
+  auto displacement = [&](size_t t, size_t i, int axis) {
+    return trajectory.snapshots[t + 1].axes[axis][i] -
+           trajectory.snapshots[t].axes[axis][i];
+  };
+
+  for (size_t t = 0; t < n_disp; t += origin_stride) {
+    for (size_t lag = 0; lag <= max_lag && t + lag < n_disp; ++lag) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        for (int axis = 0; axis < 3; ++axis) {
+          dot += displacement(t, i, axis) * displacement(t + lag, i, axis);
+        }
+      }
+      corr[lag] += dot;
+      counts[lag] += n;
+    }
+  }
+  if (counts[0] == 0 || corr[0] == 0.0) {
+    return Status::InvalidArgument("degenerate trajectory (no displacement)");
+  }
+  const double norm = corr[0] / static_cast<double>(counts[0]);
+  std::vector<double> out(max_lag + 1);
+  for (size_t lag = 0; lag <= max_lag; ++lag) {
+    out[lag] = counts[lag] == 0
+                   ? 0.0
+                   : (corr[lag] / static_cast<double>(counts[lag])) / norm;
+  }
+  return out;
+}
+
+double CurveMaxRelativeDeviation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i) scale = std::max(scale, std::fabs(a[i]));
+  if (scale == 0.0) return 0.0;
+  double dev = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dev = std::max(dev, std::fabs(a[i] - b[i]));
+  }
+  return dev / scale;
+}
+
+}  // namespace mdz::analysis

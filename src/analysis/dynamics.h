@@ -1,0 +1,38 @@
+#ifndef MDZ_ANALYSIS_DYNAMICS_H_
+#define MDZ_ANALYSIS_DYNAMICS_H_
+
+#include <vector>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::analysis {
+
+// Dynamical observables used to check that lossy compression preserves the
+// physics beyond static structure (RDF): mean squared displacement and the
+// displacement autocorrelation function. Both operate on unwrapped
+// coordinates (the trajectory as dumped).
+
+// MSD(dt) = < |r_i(t + dt) - r_i(t)|^2 >_{i,t} for dt = 1..max_lag.
+// Result[k] corresponds to lag k+1.
+Result<std::vector<double>> MeanSquaredDisplacement(
+    const core::Trajectory& trajectory, size_t max_lag);
+
+// Normalized autocorrelation of per-snapshot displacement vectors
+// d_i(t) = r_i(t+1) - r_i(t):
+//   C(dt) = < d_i(t) . d_i(t+dt) > / < |d_i(t)|^2 >,  dt = 0..max_lag.
+// C(0) = 1 by construction; liquids decay to ~0, solids oscillate negative
+// (vibrational rebound). Serves as a discrete velocity-autocorrelation proxy
+// when only positions are stored.
+Result<std::vector<double>> DisplacementAutocorrelation(
+    const core::Trajectory& trajectory, size_t max_lag);
+
+// Max absolute difference between two MSD/autocorrelation curves, relative
+// to the first curve's max magnitude. Scalar "is the dynamics preserved"
+// score analogous to RdfMaxDeviation.
+double CurveMaxRelativeDeviation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace mdz::analysis
+
+#endif  // MDZ_ANALYSIS_DYNAMICS_H_

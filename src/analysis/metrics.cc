@@ -1,0 +1,60 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mdz::analysis {
+
+ErrorMetrics ComputeErrorMetrics(std::span<const double> original,
+                                 std::span<const double> decoded) {
+  ErrorMetrics m;
+  m.count = std::min(original.size(), decoded.size());
+  if (m.count == 0) return m;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < m.count; ++i) {
+    const double err = std::fabs(original[i] - decoded[i]);
+    m.max_error = std::max(m.max_error, err);
+    sum_sq += err * err;
+    lo = std::min(lo, original[i]);
+    hi = std::max(hi, original[i]);
+  }
+  m.value_range = hi - lo;
+  const double rmse = std::sqrt(sum_sq / static_cast<double>(m.count));
+  if (m.value_range > 0.0) {
+    m.nrmse = rmse / m.value_range;
+    m.psnr = (rmse > 0.0)
+                 ? 20.0 * std::log10(m.value_range / rmse)
+                 : std::numeric_limits<double>::infinity();
+  }
+  return m;
+}
+
+ErrorMetrics ComputeAxisErrorMetrics(const core::Trajectory& original,
+                                     const core::Trajectory& decoded,
+                                     int axis) {
+  std::vector<double> orig = original.FlattenAxis(axis);
+  std::vector<double> dec = decoded.FlattenAxis(axis);
+  return ComputeErrorMetrics(orig, dec);
+}
+
+double SimilarityToInitial(std::span<const double> initial,
+                           std::span<const double> snapshot, double tau) {
+  const size_t n = std::min(initial.size(), snapshot.size());
+  if (n == 0) return 0.0;
+  size_t unchanged = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double denom = snapshot[i];
+    if (denom == 0.0) {
+      if (initial[i] == 0.0) ++unchanged;
+      continue;
+    }
+    if (std::fabs((snapshot[i] - initial[i]) / denom) < tau) ++unchanged;
+  }
+  return static_cast<double>(unchanged) / static_cast<double>(n);
+}
+
+}  // namespace mdz::analysis

@@ -1,0 +1,50 @@
+#ifndef MDZ_ANALYSIS_METRICS_H_
+#define MDZ_ANALYSIS_METRICS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace mdz::analysis {
+
+// Distortion metrics used throughout the paper's evaluation (Section VII-C).
+struct ErrorMetrics {
+  double max_error = 0.0;  // max |orig - decoded|
+  double nrmse = 0.0;      // RMSE / value range
+  double psnr = 0.0;       // 20 log10(range / RMSE), dB
+  double value_range = 0.0;
+  size_t count = 0;
+};
+
+ErrorMetrics ComputeErrorMetrics(std::span<const double> original,
+                                 std::span<const double> decoded);
+
+// Aggregates per-axis field errors over a whole trajectory axis.
+ErrorMetrics ComputeAxisErrorMetrics(const core::Trajectory& original,
+                                     const core::Trajectory& decoded,
+                                     int axis);
+
+// Bits per value of the compressed representation.
+inline double BitRate(size_t compressed_bytes, size_t value_count) {
+  return value_count == 0
+             ? 0.0
+             : 8.0 * static_cast<double>(compressed_bytes) /
+                   static_cast<double>(value_count);
+}
+
+inline double CompressionRatio(size_t raw_bytes, size_t compressed_bytes) {
+  return compressed_bytes == 0 ? 0.0
+                               : static_cast<double>(raw_bytes) /
+                                     static_cast<double>(compressed_bytes);
+}
+
+// Paper Eq. (2): fraction of values whose relative change w.r.t. snapshot 0
+// is below tau.
+double SimilarityToInitial(std::span<const double> initial,
+                           std::span<const double> snapshot, double tau);
+
+}  // namespace mdz::analysis
+
+#endif  // MDZ_ANALYSIS_METRICS_H_

@@ -1,0 +1,124 @@
+#include "analysis/rdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/box.h"
+#include "md/cell_list.h"
+#include "md/vec3.h"
+
+namespace mdz::analysis {
+
+Result<RdfResult> ComputeRdf(const core::Trajectory& trajectory,
+                             const RdfOptions& options) {
+  if (trajectory.num_snapshots() == 0 || trajectory.num_particles() < 2) {
+    return Status::InvalidArgument("trajectory too small for RDF");
+  }
+  if (options.r_max <= 0.0 || options.bins <= 0) {
+    return Status::InvalidArgument("bad RDF options");
+  }
+
+  const size_t n = trajectory.num_particles();
+  const bool periodic = trajectory.box[0] > 0.0 && trajectory.box[1] > 0.0 &&
+                        trajectory.box[2] > 0.0;
+  double r_max = options.r_max;
+  if (periodic) {
+    const double half_min_box =
+        0.5 * std::min({trajectory.box[0], trajectory.box[1],
+                        trajectory.box[2]});
+    r_max = std::min(r_max, half_min_box);
+  }
+  const double dr = r_max / options.bins;
+
+  const size_t stride =
+      (options.max_snapshots == 0 ||
+       trajectory.num_snapshots() <= options.max_snapshots)
+          ? 1
+          : trajectory.num_snapshots() / options.max_snapshots;
+
+  std::vector<double> histogram(options.bins, 0.0);
+  size_t used_snapshots = 0;
+
+  const md::Box box(periodic ? trajectory.box[0] : 1.0,
+                    periodic ? trajectory.box[1] : 1.0,
+                    periodic ? trajectory.box[2] : 1.0);
+
+  std::vector<md::Vec3> pos(n);
+  for (size_t s = 0; s < trajectory.num_snapshots(); s += stride) {
+    const core::Snapshot& snap = trajectory.snapshots[s];
+    for (size_t i = 0; i < n; ++i) {
+      pos[i] = {snap.axes[0][i], snap.axes[1][i], snap.axes[2][i]};
+    }
+    ++used_snapshots;
+    if (periodic) {
+      md::CellList cells(box, r_max);
+      cells.Build(pos);
+      cells.ForEachPair(pos, [&](size_t, size_t, const md::Vec3&, double r2) {
+        const int bin = static_cast<int>(std::sqrt(r2) / dr);
+        if (bin < options.bins) histogram[bin] += 2.0;  // count both (i,j),(j,i)
+      });
+    } else {
+      const double r_max2 = r_max * r_max;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          const md::Vec3 d = pos[i] - pos[j];
+          const double r2 = d.norm2();
+          if (r2 < r_max2) {
+            const int bin = static_cast<int>(std::sqrt(r2) / dr);
+            if (bin < options.bins) histogram[bin] += 2.0;
+          }
+        }
+      }
+    }
+  }
+
+  // Normalize by the ideal-gas expectation. For non-periodic systems use the
+  // bounding-box volume as the density reference.
+  double volume;
+  if (periodic) {
+    volume = trajectory.box[0] * trajectory.box[1] * trajectory.box[2];
+  } else {
+    double lo[3], hi[3];
+    for (int a = 0; a < 3; ++a) {
+      lo[a] = 1e300;
+      hi[a] = -1e300;
+    }
+    const core::Snapshot& snap = trajectory.snapshots[0];
+    for (int a = 0; a < 3; ++a) {
+      for (double v : snap.axes[a]) {
+        lo[a] = std::min(lo[a], v);
+        hi[a] = std::max(hi[a], v);
+      }
+    }
+    volume = std::max(1e-30, (hi[0] - lo[0]) * (hi[1] - lo[1]) *
+                                 (hi[2] - lo[2]));
+  }
+  const double density = static_cast<double>(n) / volume;
+
+  RdfResult result;
+  result.r.resize(options.bins);
+  result.g.resize(options.bins);
+  const double norm =
+      static_cast<double>(used_snapshots) * static_cast<double>(n) * density;
+  for (int b = 0; b < options.bins; ++b) {
+    const double r_lo = b * dr;
+    const double r_hi = r_lo + dr;
+    const double shell =
+        4.0 / 3.0 * 3.14159265358979323846 *
+        (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    result.r[b] = r_lo + 0.5 * dr;
+    result.g[b] = histogram[b] / (norm * shell);
+  }
+  return result;
+}
+
+double RdfMaxDeviation(const RdfResult& a, const RdfResult& b) {
+  const size_t n = std::min(a.g.size(), b.g.size());
+  double dev = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dev = std::max(dev, std::fabs(a.g[i] - b.g[i]));
+  }
+  return dev;
+}
+
+}  // namespace mdz::analysis

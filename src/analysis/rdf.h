@@ -1,0 +1,36 @@
+#ifndef MDZ_ANALYSIS_RDF_H_
+#define MDZ_ANALYSIS_RDF_H_
+
+#include <vector>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::analysis {
+
+// Radial distribution function g(r) (paper Fig. 14): the probability of
+// finding a particle at distance r from a reference particle, normalized by
+// the ideal-gas density. Computed with periodic minimum-image distances when
+// the trajectory has a box, plain distances otherwise.
+struct RdfOptions {
+  double r_max = 8.0;
+  int bins = 160;
+  // Snapshots to average over (stride through the trajectory); 0 = all.
+  size_t max_snapshots = 8;
+};
+
+struct RdfResult {
+  std::vector<double> r;  // bin centers
+  std::vector<double> g;  // g(r) per bin
+};
+
+Result<RdfResult> ComputeRdf(const core::Trajectory& trajectory,
+                             const RdfOptions& options = RdfOptions());
+
+// Max |g1 - g2| over bins: a scalar "is the physics preserved" score used by
+// the Fig. 14 bench and tests.
+double RdfMaxDeviation(const RdfResult& a, const RdfResult& b);
+
+}  // namespace mdz::analysis
+
+#endif  // MDZ_ANALYSIS_RDF_H_

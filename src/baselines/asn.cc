@@ -1,0 +1,119 @@
+#include "baselines/asn.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/common.h"
+#include "quant/quantizer.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+constexpr uint32_t kScale = 1024;
+
+// Prediction given the two previous decompressed snapshots (either may be
+// null at buffer starts).
+inline double Predict(const std::vector<double>* prev1,
+                      const std::vector<double>* prev2,
+                      const std::vector<double>& current_decoded, size_t i) {
+  if (prev1 != nullptr && prev2 != nullptr) {
+    // Linear extrapolation: x(t) ~ 2 x(t-1) - x(t-2) (constant velocity).
+    return 2.0 * (*prev1)[i] - (*prev2)[i];
+  }
+  if (prev1 != nullptr) return (*prev1)[i];
+  return (i > 0) ? current_decoded[i - 1] : 0.0;  // spatial Lorenzo
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> AsnCompress(const Field& field,
+                                         const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+  const quant::LinearQuantizer quantizer(abs_eb, kScale);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    std::vector<uint32_t> codes;
+    codes.reserve(s_count * n);
+    std::vector<double> escapes;
+    std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
+
+    for (size_t s = 0; s < s_count; ++s) {
+      const std::vector<double>* prev1 = (s >= 1) ? &decoded[s - 1] : nullptr;
+      const std::vector<double>* prev2 = (s >= 2) ? &decoded[s - 2] : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        const double pred = Predict(prev1, prev2, decoded[s], i);
+        double dec;
+        const uint32_t code = quantizer.Encode(field[first + s][i], pred, &dec);
+        if (code == 0) escapes.push_back(field[first + s][i]);
+        decoded[s][i] = dec;
+        codes.push_back(code);
+      }
+    }
+    out.PutBlob(internal::PackQuantBlock(codes, escapes, kScale));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> AsnDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+  const quant::LinearQuantizer quantizer(header.abs_eb, kScale);
+
+  Field field;
+  field.reserve(header.m);
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint32_t> codes;
+    std::vector<double> escapes;
+    MDZ_RETURN_IF_ERROR(internal::UnpackQuantBlock(blob, &codes, &escapes));
+    if (codes.size() != s_count * header.n) {
+      return Status::Corruption("ASN code count mismatch");
+    }
+
+    std::vector<std::vector<double>> decoded(s_count,
+                                             std::vector<double>(header.n));
+    size_t escape_pos = 0;
+    size_t pos = 0;
+    for (size_t s = 0; s < s_count; ++s) {
+      const std::vector<double>* prev1 = (s >= 1) ? &decoded[s - 1] : nullptr;
+      const std::vector<double>* prev2 = (s >= 2) ? &decoded[s - 2] : nullptr;
+      for (size_t i = 0; i < header.n; ++i) {
+        const uint32_t code = codes[pos++];
+        if (code == 0) {
+          if (escape_pos >= escapes.size()) {
+            return Status::Corruption("ASN escape channel exhausted");
+          }
+          decoded[s][i] = escapes[escape_pos++];
+          continue;
+        }
+        if (code >= kScale) {
+          return Status::Corruption("ASN quant code out of scale");
+        }
+        const double pred = Predict(prev1, prev2, decoded[s], i);
+        decoded[s][i] = quantizer.Decode(code, pred);
+      }
+    }
+    for (auto& snapshot : decoded) field.push_back(std::move(snapshot));
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,21 @@
+#ifndef MDZ_BASELINES_ASN_H_
+#define MDZ_BASELINES_ASN_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// ASN-like compressor (Li et al., Big Data'18: "Optimizing lossy compression
+// with adjacent snapshots for N-body simulation data"): each value is
+// predicted by linear motion extrapolation from the two preceding snapshots
+// (an implicit velocity estimate), falling back to previous-snapshot and
+// spatial Lorenzo prediction at the stream start, followed by the SZ-style
+// quantization + entropy backend.
+Result<std::vector<uint8_t>> AsnCompress(const Field& field,
+                                         const CompressorConfig& config);
+
+Result<Field> AsnDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_ASN_H_

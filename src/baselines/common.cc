@@ -1,0 +1,96 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "codec/huffman.h"
+#include "codec/lz.h"
+
+namespace mdz::baselines::internal {
+
+double ResolveAbsoluteErrorBound(const Field& field, double relative_bound,
+                                 uint32_t buffer_size) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const size_t first_buffer =
+      std::min<size_t>(buffer_size, field.size());
+  for (size_t s = 0; s < first_buffer; ++s) {
+    for (double v : field[s]) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double range = (hi > lo) ? hi - lo : 0.0;
+  return range > 0.0 ? relative_bound * range : relative_bound;
+}
+
+void WriteFieldHeader(const Field& field, double abs_eb, uint32_t buffer_size,
+                      ByteWriter* w) {
+  w->PutVarint(field.empty() ? 0 : field[0].size());
+  w->PutVarint(field.size());
+  w->Put<double>(abs_eb);
+  w->PutVarint(buffer_size);
+}
+
+Status ReadFieldHeader(ByteReader* r, FieldHeader* header) {
+  uint64_t n = 0, m = 0, bs = 0;
+  MDZ_RETURN_IF_ERROR(r->GetVarint(&n));
+  MDZ_RETURN_IF_ERROR(r->GetVarint(&m));
+  MDZ_RETURN_IF_ERROR(r->Get(&header->abs_eb));
+  MDZ_RETURN_IF_ERROR(r->GetVarint(&bs));
+  if (n == 0 || m == 0 || bs == 0 || n > (1ull << 31) || m > (1ull << 31) ||
+      m * n > (1ull << 31)) {
+    return Status::Corruption("bad baseline field header");
+  }
+  // No baseline format represents a value in less than ~1/1000 byte (the
+  // best paper ratios are ~1400x on doubles = 175 values/byte); this bounds
+  // the decoder's upfront allocation against hostile headers.
+  if (m * n > 1024 * (r->remaining() + 1)) {
+    return Status::Corruption("baseline header dimensions exceed payload");
+  }
+  header->n = n;
+  header->m = m;
+  header->buffer_size = static_cast<uint32_t>(bs);
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackQuantBlock(std::span<const uint32_t> codes,
+                                    std::span<const double> escapes,
+                                    uint32_t scale) {
+  const std::vector<uint8_t> huff = codec::HuffmanEncode(codes, scale);
+  const std::vector<uint8_t> main_lz = codec::LzCompress(huff);
+
+  ByteWriter escapes_raw;
+  for (double v : escapes) escapes_raw.Put<double>(v);
+  const std::vector<uint8_t> escapes_lz = codec::LzCompress(escapes_raw.bytes());
+
+  ByteWriter out;
+  out.PutBlob(main_lz);
+  out.PutBlob(escapes_lz);
+  return out.TakeBytes();
+}
+
+Status UnpackQuantBlock(std::span<const uint8_t> data,
+                        std::vector<uint32_t>* codes,
+                        std::vector<double>* escapes) {
+  ByteReader r(data);
+  std::span<const uint8_t> main_blob, escapes_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&main_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&escapes_blob));
+
+  std::vector<uint8_t> huff;
+  MDZ_RETURN_IF_ERROR(codec::LzDecompress(main_blob, &huff));
+  MDZ_RETURN_IF_ERROR(codec::HuffmanDecode(huff, codes));
+
+  std::vector<uint8_t> escape_bytes;
+  MDZ_RETURN_IF_ERROR(codec::LzDecompress(escapes_blob, &escape_bytes));
+  if (escape_bytes.size() % sizeof(double) != 0) {
+    return Status::Corruption("escape channel not a whole number of doubles");
+  }
+  escapes->resize(escape_bytes.size() / sizeof(double));
+  std::memcpy(escapes->data(), escape_bytes.data(), escape_bytes.size());
+  return Status::OK();
+}
+
+}  // namespace mdz::baselines::internal

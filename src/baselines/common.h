@@ -1,0 +1,50 @@
+#ifndef MDZ_BASELINES_COMMON_H_
+#define MDZ_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/compressor_interface.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace mdz::baselines::internal {
+
+// Helpers shared by the prediction-based baselines (SZ2 / ASN / LFZip):
+// the SZ-style backend of quantization codes + escape channel, packaged as
+// Huffman + LZ, and the common stream header.
+
+// Resolves the value-range-relative bound against the range of the first
+// buffer (the paper's streaming model: only BS snapshots are in memory when
+// compression starts). MDZ's FieldCompressor resolves identically, so all
+// compressors in the evaluation work to the same absolute bound.
+double ResolveAbsoluteErrorBound(const Field& field, double relative_bound,
+                                 uint32_t buffer_size);
+
+// Writes the common header: N, M, abs_eb, buffer_size.
+void WriteFieldHeader(const Field& field, double abs_eb, uint32_t buffer_size,
+                      ByteWriter* w);
+
+struct FieldHeader {
+  size_t n = 0;
+  size_t m = 0;
+  double abs_eb = 0.0;
+  uint32_t buffer_size = 0;
+};
+
+Status ReadFieldHeader(ByteReader* r, FieldHeader* header);
+
+// Packs one buffer's quantization codes + escaped doubles:
+// LZ( Huffman(codes) ) + LZ( escapes ). `scale` is the quantizer scale.
+std::vector<uint8_t> PackQuantBlock(std::span<const uint32_t> codes,
+                                    std::span<const double> escapes,
+                                    uint32_t scale);
+
+Status UnpackQuantBlock(std::span<const uint8_t> data,
+                        std::vector<uint32_t>* codes,
+                        std::vector<double>* escapes);
+
+}  // namespace mdz::baselines::internal
+
+#endif  // MDZ_BASELINES_COMMON_H_

@@ -1,0 +1,82 @@
+#include "baselines/compressor_interface.h"
+
+#include <string>
+
+#include "baselines/asn.h"
+#include "baselines/hrtc.h"
+#include "baselines/lfzip.h"
+#include "baselines/mdb.h"
+#include "baselines/sz2.h"
+#include "baselines/sz3_interp.h"
+#include "baselines/tng.h"
+#include "core/mdz.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+// MDZ (ADP) adapted to the registry interface.
+Result<std::vector<uint8_t>> MdzCompress(const Field& field,
+                                         const CompressorConfig& config) {
+  core::Options options;
+  options.error_bound = config.error_bound;
+  options.buffer_size = config.buffer_size;
+  options.method = core::Method::kAdaptive;
+  return core::CompressField(field, options);
+}
+
+Result<Field> MdzDecompress(std::span<const uint8_t> data) {
+  return core::DecompressField(data);
+}
+
+// Order follows paper Fig. 12; SZ3 is an extension baseline (cited as
+// SZ-Interp in the paper's related work but not evaluated there).
+constexpr LossyCompressorInfo kBaselines[] = {
+    {"SZ2", &Sz2CompressDefault, &Sz2Decompress},
+    {"ASN", &AsnCompress, &AsnDecompress},
+    {"TNG", &TngCompress, &TngDecompress},
+    {"HRTC", &HrtcCompress, &HrtcDecompress},
+    {"MDB", &MdbCompress, &MdbDecompress},
+    {"LFZip", &LfzipCompress, &LfzipDecompress},
+    {"SZ3", &Sz3InterpCompress, &Sz3InterpDecompress},
+};
+
+constexpr LossyCompressorInfo kPaper[] = {
+    {"SZ2", &Sz2CompressDefault, &Sz2Decompress},
+    {"ASN", &AsnCompress, &AsnDecompress},
+    {"TNG", &TngCompress, &TngDecompress},
+    {"HRTC", &HrtcCompress, &HrtcDecompress},
+    {"MDB", &MdbCompress, &MdbDecompress},
+    {"LFZip", &LfzipCompress, &LfzipDecompress},
+    {"MDZ", &MdzCompress, &MdzDecompress},
+};
+
+constexpr LossyCompressorInfo kAll[] = {
+    {"SZ2", &Sz2CompressDefault, &Sz2Decompress},
+    {"ASN", &AsnCompress, &AsnDecompress},
+    {"TNG", &TngCompress, &TngDecompress},
+    {"HRTC", &HrtcCompress, &HrtcDecompress},
+    {"MDB", &MdbCompress, &MdbDecompress},
+    {"LFZip", &LfzipCompress, &LfzipDecompress},
+    {"SZ3", &Sz3InterpCompress, &Sz3InterpDecompress},
+    {"MDZ", &MdzCompress, &MdzDecompress},
+};
+
+}  // namespace
+
+std::span<const LossyCompressorInfo> PaperLossyCompressors() { return kPaper; }
+
+std::span<const LossyCompressorInfo> AllLossyCompressors() { return kAll; }
+
+std::span<const LossyCompressorInfo> BaselineLossyCompressors() {
+  return kBaselines;
+}
+
+Result<LossyCompressorInfo> LossyCompressorByName(std::string_view name) {
+  for (const LossyCompressorInfo& info : kAll) {
+    if (info.name == name) return info;
+  }
+  return Status::InvalidArgument("unknown compressor: " + std::string(name));
+}
+
+}  // namespace mdz::baselines

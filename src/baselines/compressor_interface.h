@@ -1,0 +1,51 @@
+#ifndef MDZ_BASELINES_COMPRESSOR_INTERFACE_H_
+#define MDZ_BASELINES_COMPRESSOR_INTERFACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::baselines {
+
+// Shared configuration for all lossy trajectory compressors in the
+// evaluation harness. The error bound is value-range-relative (the paper's
+// epsilon); each compressor resolves it to an absolute bound against the
+// range of the data it is given.
+struct CompressorConfig {
+  double error_bound = 1e-3;
+  uint32_t buffer_size = 10;  // BS: snapshots processed per batch
+};
+
+// A field is one axis of a trajectory: M snapshots x N values.
+using Field = std::vector<std::vector<double>>;
+
+using CompressFn = Result<std::vector<uint8_t>> (*)(const Field&,
+                                                    const CompressorConfig&);
+using DecompressFn = Result<Field> (*)(std::span<const uint8_t>);
+
+struct LossyCompressorInfo {
+  std::string_view name;
+  CompressFn compress;
+  DecompressFn decompress;
+};
+
+// The compressors of the paper's evaluation, in Fig. 12 order:
+// SZ2, ASN, TNG, HRTC, MDB, LFZip, and MDZ ("OurSol") last. The paper
+// benches (Table VI, Figs. 12-16) sweep exactly this set.
+std::span<const LossyCompressorInfo> PaperLossyCompressors();
+
+// Paper set plus the SZ3-interpolation extension baseline (related-work
+// SZ-Interp; post-paper state of the art — see bench/ext_sz3_comparison).
+std::span<const LossyCompressorInfo> AllLossyCompressors();
+
+// All baselines (everything except MDZ).
+std::span<const LossyCompressorInfo> BaselineLossyCompressors();
+
+Result<LossyCompressorInfo> LossyCompressorByName(std::string_view name);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_COMPRESSOR_INTERFACE_H_

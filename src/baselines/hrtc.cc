@@ -1,0 +1,146 @@
+#include "baselines/hrtc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/common.h"
+#include "codec/lz.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+// Breakpoint values live on an eb/2 grid so a stored endpoint is within eb/2
+// of the true value; interior points are validated against the reconstructed
+// line with the full bound.
+inline int64_t ToGrid(double value, double abs_eb) {
+  return static_cast<int64_t>(std::llround(value / abs_eb));
+}
+
+inline double FromGrid(int64_t q, double abs_eb) {
+  return abs_eb * static_cast<double>(q);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> HrtcCompress(const Field& field,
+                                          const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    ByteWriter segments;
+    int64_t prev_particle_start = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+      // Per-particle time series v[0..s_count).
+      const int64_t start_q = ToGrid(field[first][i], abs_eb);
+      segments.PutSignedVarint(start_q - prev_particle_start);
+      prev_particle_start = start_q;
+
+      size_t t0 = 0;
+      int64_t q0 = start_q;
+      while (t0 + 1 < s_count) {
+        // Greedy: longest te such that every interior point stays within eb
+        // of the line through the reconstructed endpoints.
+        size_t best_te = t0 + 1;
+        int64_t best_qe = ToGrid(field[first + best_te][i], abs_eb);
+        for (size_t te = t0 + 2; te < s_count; ++te) {
+          const int64_t qe = ToGrid(field[first + te][i], abs_eb);
+          const double y0 = FromGrid(q0, abs_eb);
+          const double ye = FromGrid(qe, abs_eb);
+          bool ok = true;
+          for (size_t t = t0 + 1; t < te; ++t) {
+            const double frac = static_cast<double>(t - t0) /
+                                static_cast<double>(te - t0);
+            const double line = y0 + frac * (ye - y0);
+            if (std::fabs(field[first + t][i] - line) > abs_eb) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+          best_te = te;
+          best_qe = qe;
+        }
+        segments.PutVarint(best_te - t0);
+        segments.PutSignedVarint(best_qe - q0);
+        t0 = best_te;
+        q0 = best_qe;
+      }
+    }
+    out.PutBlob(codec::LzCompress(segments.bytes()));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> HrtcDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+
+  Field field;
+  field.reserve(header.m);
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint8_t> seg_bytes;
+    MDZ_RETURN_IF_ERROR(codec::LzDecompress(blob, &seg_bytes));
+    ByteReader segments(seg_bytes);
+
+    std::vector<std::vector<double>> decoded(s_count,
+                                             std::vector<double>(header.n));
+    int64_t prev_particle_start = 0;
+    for (size_t i = 0; i < header.n; ++i) {
+      int64_t delta = 0;
+      MDZ_RETURN_IF_ERROR(segments.GetSignedVarint(&delta));
+      int64_t q0 = prev_particle_start + delta;
+      prev_particle_start = q0;
+      decoded[0][i] = FromGrid(q0, header.abs_eb);
+
+      size_t t0 = 0;
+      while (t0 + 1 < s_count) {
+        uint64_t len = 0;
+        MDZ_RETURN_IF_ERROR(segments.GetVarint(&len));
+        int64_t dq = 0;
+        MDZ_RETURN_IF_ERROR(segments.GetSignedVarint(&dq));
+        const size_t te = t0 + len;
+        if (len == 0 || te >= s_count + 1 || te <= t0) {
+          return Status::Corruption("HRTC segment overruns buffer");
+        }
+        if (te > s_count - 1) {
+          return Status::Corruption("HRTC segment end out of range");
+        }
+        const int64_t qe = q0 + dq;
+        const double y0 = FromGrid(q0, header.abs_eb);
+        const double ye = FromGrid(qe, header.abs_eb);
+        for (size_t t = t0 + 1; t <= te; ++t) {
+          const double frac =
+              static_cast<double>(t - t0) / static_cast<double>(te - t0);
+          decoded[t][i] = y0 + frac * (ye - y0);
+        }
+        t0 = te;
+        q0 = qe;
+      }
+    }
+    for (auto& snapshot : decoded) field.push_back(std::move(snapshot));
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,22 @@
+#ifndef MDZ_BASELINES_HRTC_H_
+#define MDZ_BASELINES_HRTC_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// HRTC-like compressor (Huwald et al., JCC'16: "Compressing molecular
+// dynamics trajectories: breaking the one-bit-per-sample barrier"): each
+// particle's trajectory inside a buffer is approximated by a greedy piecewise
+// linear function whose breakpoint values are quantized to an eb/2 grid;
+// interior points are guaranteed within eb of the reconstructed line.
+// Breakpoints are stored as (run length, value delta) varints + dictionary
+// coding.
+Result<std::vector<uint8_t>> HrtcCompress(const Field& field,
+                                          const CompressorConfig& config);
+
+Result<Field> HrtcDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_HRTC_H_

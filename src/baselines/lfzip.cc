@@ -1,0 +1,136 @@
+#include "baselines/lfzip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/common.h"
+#include "quant/quantizer.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+constexpr uint32_t kScale = 4096;  // LFZip quantizes errors to a wide table
+constexpr int kTaps = 32;
+constexpr double kMu = 0.5;
+constexpr double kEps = 1e-6;
+
+// NLMS filter advanced identically by encoder and decoder (operates on
+// reconstructed values only).
+class Nlms {
+ public:
+  Nlms() : w_(kTaps, 0.0), h_(kTaps, 0.0) {}
+
+  double Predict() const {
+    double p = 0.0;
+    for (int k = 0; k < kTaps; ++k) p += w_[k] * h_[k];
+    return p;
+  }
+
+  void Update(double reconstructed, double prediction) {
+    const double e = reconstructed - prediction;
+    double norm = kEps;
+    for (int k = 0; k < kTaps; ++k) norm += h_[k] * h_[k];
+    const double g = kMu * e / norm;
+    for (int k = 0; k < kTaps; ++k) w_[k] += g * h_[k];
+    // Shift history (most recent first).
+    for (int k = kTaps - 1; k > 0; --k) h_[k] = h_[k - 1];
+    h_[0] = reconstructed;
+  }
+
+ private:
+  std::vector<double> w_;
+  std::vector<double> h_;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> LfzipCompress(const Field& field,
+                                           const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+  const quant::LinearQuantizer quantizer(abs_eb, kScale);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  Nlms filter;
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    std::vector<uint32_t> codes;
+    codes.reserve(s_count * n);
+    std::vector<double> escapes;
+
+    // Particle-major traversal: the filter adapts to per-particle series.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t s = 0; s < s_count; ++s) {
+        const double value = field[first + s][i];
+        const double pred = filter.Predict();
+        double dec;
+        const uint32_t code = quantizer.Encode(value, pred, &dec);
+        if (code == 0) escapes.push_back(value);
+        codes.push_back(code);
+        filter.Update(dec, pred);
+      }
+    }
+    out.PutBlob(internal::PackQuantBlock(codes, escapes, kScale));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> LfzipDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+  const quant::LinearQuantizer quantizer(header.abs_eb, kScale);
+
+  Field field(header.m, std::vector<double>(header.n));
+  Nlms filter;
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint32_t> codes;
+    std::vector<double> escapes;
+    MDZ_RETURN_IF_ERROR(internal::UnpackQuantBlock(blob, &codes, &escapes));
+    if (codes.size() != s_count * header.n) {
+      return Status::Corruption("LFZip code count mismatch");
+    }
+
+    size_t pos = 0;
+    size_t escape_pos = 0;
+    for (size_t i = 0; i < header.n; ++i) {
+      for (size_t s = 0; s < s_count; ++s) {
+        const uint32_t code = codes[pos++];
+        const double pred = filter.Predict();
+        double dec;
+        if (code == 0) {
+          if (escape_pos >= escapes.size()) {
+            return Status::Corruption("LFZip escape channel exhausted");
+          }
+          dec = escapes[escape_pos++];
+        } else {
+          if (code >= kScale) {
+            return Status::Corruption("LFZip quant code out of scale");
+          }
+          dec = quantizer.Decode(code, pred);
+        }
+        field[first + s][i] = dec;
+        filter.Update(dec, pred);
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,21 @@
+#ifndef MDZ_BASELINES_LFZIP_H_
+#define MDZ_BASELINES_LFZIP_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// LFZip-like compressor (Chandak et al., DCC'20): a normalized least-mean-
+// squares (NLMS) adaptive linear predictor over the reconstructed stream,
+// followed by uniform quantization of the prediction error and the entropy +
+// dictionary backend. As in the paper's evaluation we use the NLMS predictor
+// only (the neural predictor is orders of magnitude slower). Each buffer is
+// traversed particle-major so the filter sees per-particle time series.
+Result<std::vector<uint8_t>> LfzipCompress(const Field& field,
+                                           const CompressorConfig& config);
+
+Result<Field> LfzipDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_LFZIP_H_

@@ -1,0 +1,189 @@
+#include "baselines/mdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "baselines/common.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+enum ModelId : uint8_t { kPmcMean = 0, kSwing = 1, kGorilla = 2 };
+
+inline uint64_t ToBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return u;
+}
+
+inline double FromBits(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+// Longest PMC-mean segment starting at t: all values within a 2*eb window.
+size_t PmcLength(const std::vector<double>& v, size_t t, double eb,
+                 double* value) {
+  double lo = v[t], hi = v[t];
+  size_t end = t + 1;
+  while (end < v.size()) {
+    const double nlo = std::min(lo, v[end]);
+    const double nhi = std::max(hi, v[end]);
+    if (nhi - nlo > 2.0 * eb) break;
+    lo = nlo;
+    hi = nhi;
+    ++end;
+  }
+  *value = 0.5 * (lo + hi);
+  return end - t;
+}
+
+// Longest Swing segment starting at t: linear function anchored at v[t]
+// whose slope cone stays non-empty (Elmeleegy et al., VLDB'09).
+size_t SwingLength(const std::vector<double>& v, size_t t, double eb,
+                   double* slope) {
+  if (t + 1 >= v.size()) return 1;
+  double lo_slope = -std::numeric_limits<double>::infinity();
+  double hi_slope = std::numeric_limits<double>::infinity();
+  size_t end = t + 1;
+  while (end < v.size()) {
+    const double dt = static_cast<double>(end - t);
+    const double nlo = std::max(lo_slope, (v[end] - eb - v[t]) / dt);
+    const double nhi = std::min(hi_slope, (v[end] + eb - v[t]) / dt);
+    if (nlo > nhi) break;
+    lo_slope = nlo;
+    hi_slope = nhi;
+    ++end;
+  }
+  *slope = 0.5 * (lo_slope + hi_slope);
+  return end - t;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> MdbCompress(const Field& field,
+                                         const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  std::vector<double> series;
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    for (size_t i = 0; i < n; ++i) {
+      series.resize(s_count);
+      for (size_t s = 0; s < s_count; ++s) series[s] = field[first + s][i];
+
+      uint64_t gorilla_prev = 0;
+      size_t t = 0;
+      while (t < s_count) {
+        double pmc_value, swing_slope;
+        const size_t pmc_len = PmcLength(series, t, abs_eb, &pmc_value);
+        const size_t swing_len = SwingLength(series, t, abs_eb, &swing_slope);
+        if (pmc_len >= 2 && pmc_len + 1 >= swing_len) {
+          out.Put<uint8_t>(kPmcMean);
+          out.PutVarint(pmc_len);
+          out.Put<double>(pmc_value);
+          t += pmc_len;
+        } else if (swing_len >= 3) {
+          out.Put<uint8_t>(kSwing);
+          out.PutVarint(swing_len);
+          out.Put<double>(series[t]);
+          out.Put<double>(swing_slope);
+          t += swing_len;
+        } else {
+          // Gorilla: XOR against the previous Gorilla value, leading-zero-
+          // byte header + remainder bytes.
+          const uint64_t bits = ToBits(series[t]);
+          const uint64_t x = bits ^ gorilla_prev;
+          gorilla_prev = bits;
+          int lzb = (x == 0) ? 8 : (__builtin_clzll(x) >> 3);
+          out.Put<uint8_t>(static_cast<uint8_t>(kGorilla | (lzb << 4)));
+          const int nbytes = 8 - lzb;
+          for (int b = nbytes - 1; b >= 0; --b) {
+            out.Put<uint8_t>(static_cast<uint8_t>(x >> (8 * b)));
+          }
+          ++t;
+        }
+      }
+    }
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> MdbDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+
+  Field field(header.m, std::vector<double>(header.n));
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    for (size_t i = 0; i < header.n; ++i) {
+      uint64_t gorilla_prev = 0;
+      size_t t = 0;
+      while (t < s_count) {
+        uint8_t tag = 0;
+        MDZ_RETURN_IF_ERROR(r.Get(&tag));
+        const uint8_t model = tag & 0x0F;
+        if (model == kPmcMean) {
+          uint64_t len = 0;
+          MDZ_RETURN_IF_ERROR(r.GetVarint(&len));
+          double value = 0.0;
+          MDZ_RETURN_IF_ERROR(r.Get(&value));
+          if (t + len > s_count) {
+            return Status::Corruption("MDB PMC segment overruns buffer");
+          }
+          for (uint64_t k = 0; k < len; ++k) field[first + t + k][i] = value;
+          t += len;
+        } else if (model == kSwing) {
+          uint64_t len = 0;
+          MDZ_RETURN_IF_ERROR(r.GetVarint(&len));
+          double base = 0.0, slope = 0.0;
+          MDZ_RETURN_IF_ERROR(r.Get(&base));
+          MDZ_RETURN_IF_ERROR(r.Get(&slope));
+          if (t + len > s_count) {
+            return Status::Corruption("MDB Swing segment overruns buffer");
+          }
+          for (uint64_t k = 0; k < len; ++k) {
+            field[first + t + k][i] = base + slope * static_cast<double>(k);
+          }
+          t += len;
+        } else if (model == kGorilla) {
+          const int lzb = tag >> 4;
+          if (lzb > 8) return Status::Corruption("MDB bad Gorilla header");
+          uint64_t x = 0;
+          for (int b = 0; b < 8 - lzb; ++b) {
+            uint8_t byte = 0;
+            MDZ_RETURN_IF_ERROR(r.Get(&byte));
+            x = (x << 8) | byte;
+          }
+          gorilla_prev ^= x;
+          field[first + t][i] = FromBits(gorilla_prev);
+          ++t;
+        } else {
+          return Status::Corruption("MDB unknown model id");
+        }
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

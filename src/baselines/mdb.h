@@ -1,0 +1,25 @@
+#ifndef MDZ_BASELINES_MDB_H_
+#define MDZ_BASELINES_MDB_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// MDB: C++ reimplementation of ModelarDB's model-based compression (Jensen
+// et al., VLDB'18), as the paper does for its "MDB" baseline. Each particle's
+// time series is greedily segmented; every segment is represented by the
+// first of three models that fits:
+//  * PMC-mean — constant value within +-eb,
+//  * Swing    — linear function within +-eb (slope cone filter),
+//  * Gorilla  — XOR-based lossless fallback for single values.
+// Model parameters are stored as raw doubles, as in ModelarDB; there is no
+// quantization/entropy stage, which is why MDB shows low ratios on MD data
+// (paper Section VII-C1).
+Result<std::vector<uint8_t>> MdbCompress(const Field& field,
+                                         const CompressorConfig& config);
+
+Result<Field> MdbDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_MDB_H_

@@ -1,0 +1,169 @@
+#include "baselines/sz2.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/common.h"
+#include "quant/quantizer.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+constexpr uint32_t kScale = 1024;
+
+// Encodes one buffer (S x N) with Lorenzo prediction on decompressed values.
+std::vector<uint8_t> EncodeBuffer(const Field& field, size_t first, size_t s_count,
+                                  double abs_eb, Sz2Mode mode) {
+  const size_t n = field[first].size();
+  const quant::LinearQuantizer quantizer(abs_eb, kScale);
+
+  std::vector<uint32_t> codes;
+  codes.reserve(s_count * n);
+  std::vector<double> escapes;
+  std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
+
+  for (size_t s = 0; s < s_count; ++s) {
+    const auto& snapshot = field[first + s];
+    for (size_t i = 0; i < n; ++i) {
+      double pred;
+      if (mode == Sz2Mode::k1D) {
+        // Order-1 Lorenzo along the flattened buffer.
+        if (i > 0) {
+          pred = decoded[s][i - 1];
+        } else if (s > 0) {
+          pred = decoded[s - 1][n - 1];
+        } else {
+          pred = 0.0;
+        }
+      } else {
+        // 2-D Lorenzo over the (time, particle) grid.
+        const double left = (i > 0) ? decoded[s][i - 1] : 0.0;
+        const double up = (s > 0) ? decoded[s - 1][i] : 0.0;
+        const double diag = (i > 0 && s > 0) ? decoded[s - 1][i - 1] : 0.0;
+        if (i > 0 && s > 0) {
+          pred = left + up - diag;
+        } else if (i > 0) {
+          pred = left;
+        } else if (s > 0) {
+          pred = up;
+        } else {
+          pred = 0.0;
+        }
+      }
+      double dec;
+      const uint32_t code = quantizer.Encode(snapshot[i], pred, &dec);
+      if (code == 0) escapes.push_back(snapshot[i]);
+      decoded[s][i] = dec;
+      codes.push_back(code);
+    }
+  }
+  return internal::PackQuantBlock(codes, escapes, kScale);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Sz2Compress(const Field& field,
+                                         const CompressorConfig& config,
+                                         Sz2Mode mode) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+  out.Put<uint8_t>(static_cast<uint8_t>(mode));
+
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    out.PutBlob(EncodeBuffer(field, first, s_count, abs_eb, mode));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> Sz2Decompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+  uint8_t mode_byte = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&mode_byte));
+  if (mode_byte != 1 && mode_byte != 2) {
+    return Status::Corruption("bad SZ2 mode byte");
+  }
+  const Sz2Mode mode = static_cast<Sz2Mode>(mode_byte);
+  const quant::LinearQuantizer quantizer(header.abs_eb, kScale);
+
+  Field field;
+  field.reserve(header.m);
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint32_t> codes;
+    std::vector<double> escapes;
+    MDZ_RETURN_IF_ERROR(internal::UnpackQuantBlock(blob, &codes, &escapes));
+    if (codes.size() != s_count * header.n) {
+      return Status::Corruption("SZ2 code count mismatch");
+    }
+
+    std::vector<std::vector<double>> decoded(s_count,
+                                             std::vector<double>(header.n));
+    size_t escape_pos = 0;
+    size_t pos = 0;
+    for (size_t s = 0; s < s_count; ++s) {
+      for (size_t i = 0; i < header.n; ++i) {
+        const uint32_t code = codes[pos++];
+        if (code == 0) {
+          if (escape_pos >= escapes.size()) {
+            return Status::Corruption("SZ2 escape channel exhausted");
+          }
+          decoded[s][i] = escapes[escape_pos++];
+          continue;
+        }
+        if (code >= kScale) {
+          return Status::Corruption("SZ2 quant code out of scale");
+        }
+        double pred;
+        if (mode == Sz2Mode::k1D) {
+          if (i > 0) {
+            pred = decoded[s][i - 1];
+          } else if (s > 0) {
+            pred = decoded[s - 1][header.n - 1];
+          } else {
+            pred = 0.0;
+          }
+        } else {
+          const double left = (i > 0) ? decoded[s][i - 1] : 0.0;
+          const double up = (s > 0) ? decoded[s - 1][i] : 0.0;
+          const double diag = (i > 0 && s > 0) ? decoded[s - 1][i - 1] : 0.0;
+          if (i > 0 && s > 0) {
+            pred = left + up - diag;
+          } else if (i > 0) {
+            pred = left;
+          } else if (s > 0) {
+            pred = up;
+          } else {
+            pred = 0.0;
+          }
+        }
+        decoded[s][i] = quantizer.Decode(code, pred);
+      }
+    }
+    for (auto& snapshot : decoded) field.push_back(std::move(snapshot));
+  }
+  return field;
+}
+
+Result<std::vector<uint8_t>> Sz2CompressDefault(
+    const Field& field, const CompressorConfig& config) {
+  return Sz2Compress(field, config, Sz2Mode::k2D);
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,29 @@
+#ifndef MDZ_BASELINES_SZ2_H_
+#define MDZ_BASELINES_SZ2_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// SZ2-like prediction-based error-bounded compressor (Tao et al., IPDPS'17 /
+// Liang et al., CLUSTER'18): Lorenzo prediction + linear quantization +
+// Huffman + dictionary coding. Supports the two modes of paper Table IV:
+//  * 1D: order-1 Lorenzo along the flattened buffer (space only).
+//  * 2D: order-1 2-D Lorenzo over the (time x particle) grid of each buffer,
+//    exploiting space and time smoothness simultaneously.
+enum class Sz2Mode : uint8_t { k1D = 1, k2D = 2 };
+
+Result<std::vector<uint8_t>> Sz2Compress(const Field& field,
+                                         const CompressorConfig& config,
+                                         Sz2Mode mode);
+
+Result<Field> Sz2Decompress(std::span<const uint8_t> data);
+
+// Registry adapters (2D mode, the setting used in the paper's main
+// comparisons per Table IV).
+Result<std::vector<uint8_t>> Sz2CompressDefault(const Field& field,
+                                                const CompressorConfig& config);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_SZ2_H_

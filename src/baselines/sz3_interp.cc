@@ -1,0 +1,180 @@
+#include "baselines/sz3_interp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/common.h"
+#include "quant/quantizer.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+constexpr uint32_t kScale = 1024;
+
+// Decode/encode order of one buffer: snapshot 0 first, then interpolation
+// levels with halving stride. Returns the list of (t, stride) pairs in
+// processing order; identical on both sides.
+std::vector<std::pair<size_t, size_t>> InterpolationOrder(size_t s_count) {
+  std::vector<std::pair<size_t, size_t>> order;
+  if (s_count <= 1) return order;
+  size_t top = 1;
+  while (top * 2 < s_count) top *= 2;
+  for (size_t stride = top; stride >= 1; stride /= 2) {
+    for (size_t t = stride; t < s_count; t += 2 * stride) {
+      order.emplace_back(t, stride);
+    }
+    if (stride == 1) break;
+  }
+  return order;
+}
+
+// Spline prediction of snapshot t for particle i from decoded anchors.
+// decoded_at[t] tells whether snapshot t is already reconstructed.
+inline double Predict(const std::vector<std::vector<double>>& dec,
+                      const std::vector<uint8_t>& decoded_at, size_t t,
+                      size_t stride, size_t s_count, size_t i) {
+  const bool has_right = (t + stride < s_count) && decoded_at[t + stride];
+  if (!has_right) {
+    return dec[t - stride][i];  // border: 1-sided (extrapolation)
+  }
+  // Cubic when the 4-point stencil exists, linear otherwise (the "dynamic"
+  // part of dynamic spline interpolation).
+  const bool has_far_left = (t >= 3 * stride) && decoded_at[t - 3 * stride];
+  const bool has_far_right =
+      (t + 3 * stride < s_count) && decoded_at[t + 3 * stride];
+  if (has_far_left && has_far_right) {
+    return (-dec[t - 3 * stride][i] + 9.0 * dec[t - stride][i] +
+            9.0 * dec[t + stride][i] - dec[t + 3 * stride][i]) /
+           16.0;
+  }
+  return 0.5 * (dec[t - stride][i] + dec[t + stride][i]);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Sz3InterpCompress(const Field& field,
+                                               const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+  const quant::LinearQuantizer quantizer(abs_eb, kScale);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  std::vector<double> prev_last;  // decoded last snapshot of previous buffer
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    std::vector<uint32_t> codes;
+    codes.reserve(s_count * n);
+    std::vector<double> escapes;
+    std::vector<std::vector<double>> dec(s_count, std::vector<double>(n));
+    std::vector<uint8_t> decoded_at(s_count, 0);
+
+    auto quantize_snapshot = [&](size_t t, auto&& predictor) {
+      for (size_t i = 0; i < n; ++i) {
+        const double pred = predictor(i);
+        double d;
+        const uint32_t code = quantizer.Encode(field[first + t][i], pred, &d);
+        if (code == 0) escapes.push_back(field[first + t][i]);
+        dec[t][i] = d;
+        codes.push_back(code);
+      }
+      decoded_at[t] = 1;
+    };
+
+    // Snapshot 0: previous buffer's last decoded snapshot, or spatial
+    // Lorenzo at the stream start.
+    if (!prev_last.empty()) {
+      quantize_snapshot(0, [&](size_t i) { return prev_last[i]; });
+    } else {
+      quantize_snapshot(0, [&](size_t i) {
+        return (i > 0) ? dec[0][i - 1] : 0.0;
+      });
+    }
+    for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+      quantize_snapshot(t, [&](size_t i) {
+        return Predict(dec, decoded_at, t, stride, s_count, i);
+      });
+    }
+    prev_last = dec[s_count - 1];
+    out.PutBlob(internal::PackQuantBlock(codes, escapes, kScale));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> Sz3InterpDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+  const quant::LinearQuantizer quantizer(header.abs_eb, kScale);
+
+  Field field;
+  field.reserve(header.m);
+  std::vector<double> prev_last;
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint32_t> codes;
+    std::vector<double> escapes;
+    MDZ_RETURN_IF_ERROR(internal::UnpackQuantBlock(blob, &codes, &escapes));
+    if (codes.size() != s_count * header.n) {
+      return Status::Corruption("SZ3 code count mismatch");
+    }
+
+    std::vector<std::vector<double>> dec(s_count,
+                                         std::vector<double>(header.n));
+    std::vector<uint8_t> decoded_at(s_count, 0);
+    size_t pos = 0;
+    size_t escape_pos = 0;
+
+    auto decode_snapshot = [&](size_t t, auto&& predictor) -> Status {
+      for (size_t i = 0; i < header.n; ++i) {
+        const uint32_t code = codes[pos++];
+        if (code == 0) {
+          if (escape_pos >= escapes.size()) {
+            return Status::Corruption("SZ3 escape channel exhausted");
+          }
+          dec[t][i] = escapes[escape_pos++];
+          continue;
+        }
+        if (code >= kScale) {
+          return Status::Corruption("SZ3 quant code out of scale");
+        }
+        dec[t][i] = quantizer.Decode(code, predictor(i));
+      }
+      decoded_at[t] = 1;
+      return Status::OK();
+    };
+
+    if (!prev_last.empty()) {
+      MDZ_RETURN_IF_ERROR(
+          decode_snapshot(0, [&](size_t i) { return prev_last[i]; }));
+    } else {
+      MDZ_RETURN_IF_ERROR(decode_snapshot(0, [&](size_t i) {
+        return (i > 0) ? dec[0][i - 1] : 0.0;
+      }));
+    }
+    for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+      MDZ_RETURN_IF_ERROR(decode_snapshot(t, [&](size_t i) {
+        return Predict(dec, decoded_at, t, stride, s_count, i);
+      }));
+    }
+    prev_last = dec[s_count - 1];
+    for (auto& snapshot : dec) field.push_back(std::move(snapshot));
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,26 @@
+#ifndef MDZ_BASELINES_SZ3_INTERP_H_
+#define MDZ_BASELINES_SZ3_INTERP_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// SZ3-Interp-like compressor (Zhao et al., ICDE'21: "Optimizing error-bounded
+// lossy compression for scientific data by dynamic spline interpolation" —
+// cited by the MDZ paper as SZ-Interp). Within each buffer, values are
+// predicted along the time axis by multi-level interpolation: anchor
+// snapshots decode first, midpoints are predicted by cubic spline
+// interpolation of decoded anchors (falling back to linear/extrapolation at
+// the borders), with strides halving per level. Residuals go through the
+// shared quantization + entropy backend.
+//
+// This is an EXTENSION baseline: the MDZ paper discusses SZ-Interp in
+// related work but does not include it in the evaluation.
+Result<std::vector<uint8_t>> Sz3InterpCompress(const Field& field,
+                                               const CompressorConfig& config);
+
+Result<Field> Sz3InterpDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_SZ3_INTERP_H_

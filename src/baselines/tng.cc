@@ -1,0 +1,114 @@
+#include "baselines/tng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/common.h"
+#include "codec/lz.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::baselines {
+
+namespace {
+
+using internal::FieldHeader;
+
+// Fixed-point grid: value ~= 2 * eb * q reproduces the value within eb.
+inline int64_t ToGrid(double value, double abs_eb) {
+  return static_cast<int64_t>(std::llround(value / (2.0 * abs_eb)));
+}
+
+inline double FromGrid(int64_t q, double abs_eb) {
+  return 2.0 * abs_eb * static_cast<double>(q);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> TngCompress(const Field& field,
+                                         const CompressorConfig& config) {
+  if (field.empty() || field[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  const size_t n = field[0].size();
+  const double abs_eb =
+      internal::ResolveAbsoluteErrorBound(field, config.error_bound, config.buffer_size);
+
+  ByteWriter out;
+  internal::WriteFieldHeader(field, abs_eb, config.buffer_size, &out);
+
+  std::vector<int64_t> prev_grid(n, 0);
+  for (size_t first = 0; first < field.size(); first += config.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(config.buffer_size, field.size() - first);
+    ByteWriter deltas;
+    for (size_t s = 0; s < s_count; ++s) {
+      const auto& snapshot = field[first + s];
+      if (s == 0) {
+        // Intra-frame delta against the previous particle.
+        int64_t prev = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t q = ToGrid(snapshot[i], abs_eb);
+          deltas.PutSignedVarint(q - prev);
+          prev = q;
+          prev_grid[i] = q;
+        }
+      } else {
+        // Inter-frame delta against the same particle one frame earlier.
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t q = ToGrid(snapshot[i], abs_eb);
+          deltas.PutSignedVarint(q - prev_grid[i]);
+          prev_grid[i] = q;
+        }
+      }
+    }
+    out.PutBlob(codec::LzCompress(deltas.bytes()));
+  }
+  return out.TakeBytes();
+}
+
+Result<Field> TngDecompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  FieldHeader header;
+  MDZ_RETURN_IF_ERROR(internal::ReadFieldHeader(&r, &header));
+
+  Field field;
+  field.reserve(header.m);
+  std::vector<int64_t> prev_grid(header.n, 0);
+  for (size_t first = 0; first < header.m; first += header.buffer_size) {
+    const size_t s_count =
+        std::min<size_t>(header.buffer_size, header.m - first);
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    std::vector<uint8_t> delta_bytes;
+    MDZ_RETURN_IF_ERROR(codec::LzDecompress(blob, &delta_bytes));
+    ByteReader deltas(delta_bytes);
+
+    for (size_t s = 0; s < s_count; ++s) {
+      std::vector<double> snapshot(header.n);
+      if (s == 0) {
+        int64_t prev = 0;
+        for (size_t i = 0; i < header.n; ++i) {
+          int64_t d = 0;
+          MDZ_RETURN_IF_ERROR(deltas.GetSignedVarint(&d));
+          const int64_t q = prev + d;
+          snapshot[i] = FromGrid(q, header.abs_eb);
+          prev = q;
+          prev_grid[i] = q;
+        }
+      } else {
+        for (size_t i = 0; i < header.n; ++i) {
+          int64_t d = 0;
+          MDZ_RETURN_IF_ERROR(deltas.GetSignedVarint(&d));
+          const int64_t q = prev_grid[i] + d;
+          snapshot[i] = FromGrid(q, header.abs_eb);
+          prev_grid[i] = q;
+        }
+      }
+      field.push_back(std::move(snapshot));
+    }
+  }
+  return field;
+}
+
+}  // namespace mdz::baselines

@@ -1,0 +1,21 @@
+#ifndef MDZ_BASELINES_TNG_H_
+#define MDZ_BASELINES_TNG_H_
+
+#include "baselines/compressor_interface.h"
+
+namespace mdz::baselines {
+
+// TNG-like compressor (Lundborg et al., JCC'14 — the GROMACS TNG trajectory
+// format): positions are quantized to a fixed-point integer grid derived from
+// the error bound, the first frame of each buffer is intra-frame delta coded
+// (particle i vs particle i-1) and subsequent frames are inter-frame delta
+// coded (vs the same particle in the previous frame); the deltas go through
+// zigzag varint packing and a dictionary coder.
+Result<std::vector<uint8_t>> TngCompress(const Field& field,
+                                         const CompressorConfig& config);
+
+Result<Field> TngDecompress(std::span<const uint8_t> data);
+
+}  // namespace mdz::baselines
+
+#endif  // MDZ_BASELINES_TNG_H_

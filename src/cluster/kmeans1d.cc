@@ -1,0 +1,304 @@
+#include "cluster/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace mdz::cluster {
+
+namespace {
+
+// Prefix-sum helper: O(1) cost of clustering sorted x[l..r] (inclusive,
+// 0-based) into a single group.
+class CostTable {
+ public:
+  explicit CostTable(std::span<const double> sorted) {
+    const size_t n = sorted.size();
+    prefix_.resize(n + 1, 0.0);
+    prefix_sq_.resize(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      prefix_[i + 1] = prefix_[i] + sorted[i];
+      prefix_sq_[i + 1] = prefix_sq_[i] + sorted[i] * sorted[i];
+    }
+  }
+
+  double Cost(size_t l, size_t r) const {
+    const double s = prefix_[r + 1] - prefix_[l];
+    const double sq = prefix_sq_[r + 1] - prefix_sq_[l];
+    const double len = static_cast<double>(r - l + 1);
+    const double c = sq - s * s / len;
+    return c > 0.0 ? c : 0.0;  // clamp negative rounding noise
+  }
+
+  double Mean(size_t l, size_t r) const {
+    return (prefix_[r + 1] - prefix_[l]) / static_cast<double>(r - l + 1);
+  }
+
+ private:
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+// Divide-and-conquer DP row solver. Computes, for all i in [ilo, ihi],
+//   cur[i]  = min_{j in [jlo(i), jhi(i)]} prev[j-1] + Cost(j-1, i-1)
+//   arg[i]  = argmin j
+// exploiting that the optimal split j is non-decreasing in i.
+// Indices: i = number of points considered (1-based), j = first point of the
+// last cluster (1-based). Valid j range: [k, i].
+void SolveRow(const CostTable& cost, const std::vector<double>& prev,
+              std::vector<double>* cur, std::vector<int32_t>* arg, int k,
+              size_t ilo, size_t ihi, size_t jlo, size_t jhi) {
+  if (ilo > ihi) return;
+  const size_t mid = (ilo + ihi) / 2;
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_j = jlo;
+  const size_t j_max = std::min(jhi, mid);
+  for (size_t j = std::max<size_t>(jlo, k); j <= j_max; ++j) {
+    const double c = prev[j - 1] + cost.Cost(j - 1, mid - 1);
+    if (c < best) {
+      best = c;
+      best_j = j;
+    }
+  }
+  (*cur)[mid] = best;
+  (*arg)[mid] = static_cast<int32_t>(best_j);
+  if (mid > ilo) SolveRow(cost, prev, cur, arg, k, ilo, mid - 1, jlo, best_j);
+  if (mid < ihi) SolveRow(cost, prev, cur, arg, k, mid + 1, ihi, best_j, jhi);
+}
+
+struct DpState {
+  std::vector<double> sorted;
+  CostTable cost;
+  std::vector<double> prev;                   // F(., k-1)
+  std::vector<double> cur;                    // F(., k)
+  std::vector<std::vector<int32_t>> argmins;  // H rows for backtracking
+  int k = 0;                                  // rows computed so far
+
+  // Sorts the data before building the prefix-sum cost table (contiguous
+  // DP ranges must correspond to value-sorted clusters).
+  explicit DpState(std::vector<double> data)
+      : sorted(Sorted(std::move(data))), cost(sorted) {}
+
+  static std::vector<double> Sorted(std::vector<double> data) {
+    std::sort(data.begin(), data.end());
+    return data;
+  }
+
+  // Advances to row k+1; returns F(N, k+1).
+  double NextRow() {
+    const size_t n = sorted.size();
+    if (k == 0) {
+      prev.assign(n + 1, 0.0);
+      for (size_t i = 1; i <= n; ++i) prev[i] = cost.Cost(0, i - 1);
+      argmins.emplace_back(n + 1, 1);  // row 1: single cluster starts at 1
+      k = 1;
+      return prev[n];
+    }
+    cur.assign(n + 1, std::numeric_limits<double>::infinity());
+    std::vector<int32_t> arg(n + 1, 0);
+    SolveRow(cost, prev, &cur, &arg, k + 1, static_cast<size_t>(k + 1), n,
+             static_cast<size_t>(k + 1), n);
+    argmins.push_back(std::move(arg));
+    prev.swap(cur);
+    ++k;
+    return prev[n];
+  }
+
+  // Recovers cluster boundaries for `k_sel` clusters (k_sel <= rows
+  // computed): returns start indices (0-based) of each cluster, ascending.
+  std::vector<size_t> Backtrack(int k_sel) const {
+    std::vector<size_t> starts(k_sel);
+    size_t i = sorted.size();
+    for (int kk = k_sel; kk >= 1; --kk) {
+      const size_t j = (kk == 1) ? 1 : static_cast<size_t>(argmins[kk - 1][i]);
+      starts[kk - 1] = j - 1;
+      i = j - 1;
+    }
+    return starts;
+  }
+};
+
+KMeansResult ExtractResult(const DpState& dp, int k_sel) {
+  KMeansResult result;
+  const std::vector<size_t> starts = dp.Backtrack(k_sel);
+  const size_t n = dp.sorted.size();
+  for (size_t c = 0; c < starts.size(); ++c) {
+    const size_t l = starts[c];
+    const size_t r = (c + 1 < starts.size()) ? starts[c + 1] - 1 : n - 1;
+    if (l > r) continue;  // degenerate empty cluster (shouldn't happen)
+    result.centroids.push_back(dp.cost.Mean(l, r));
+    result.sizes.push_back(r - l + 1);
+    result.cost += dp.cost.Cost(l, r);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> OptimalKMeans1D(std::span<const double> data, int k) {
+  if (data.empty()) {
+    return Status::InvalidArgument("k-means input is empty");
+  }
+  if (k < 1 || static_cast<size_t>(k) > data.size()) {
+    return Status::InvalidArgument("k out of range [1, n]");
+  }
+  DpState dp(std::vector<double>(data.begin(), data.end()));
+  for (int i = 0; i < k; ++i) dp.NextRow();
+  return ExtractResult(dp, k);
+}
+
+Result<LevelFit> FitLevels(std::span<const double> data,
+                           const LevelFitOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("level fit input is empty");
+  }
+
+  // --- Sampling (paper: 10% of the first snapshot, computed once) ---
+  size_t target = static_cast<size_t>(
+      static_cast<double>(data.size()) * options.sample_fraction);
+  target = std::clamp(target, std::min(options.min_sample, data.size()),
+                      options.max_sample);
+  std::vector<double> sample;
+  sample.reserve(target);
+  if (target >= data.size()) {
+    sample.assign(data.begin(), data.end());
+  } else {
+    Rng rng(options.seed);
+    const double stride =
+        static_cast<double>(data.size()) / static_cast<double>(target);
+    for (size_t i = 0; i < target; ++i) {
+      // Jittered stride sampling: deterministic coverage + no aliasing with
+      // lattice-ordered dumps.
+      const double base = static_cast<double>(i) * stride;
+      const size_t idx = std::min(
+          data.size() - 1,
+          static_cast<size_t>(base + rng.NextDouble() * stride));
+      sample.push_back(data[idx]);
+    }
+  }
+
+  DpState dp(std::move(sample));
+  const size_t n = dp.sorted.size();
+  const int max_k =
+      std::min<int>(options.max_levels, static_cast<int>(n));
+
+  // --- Sweep k with the G(k) knee rule ---
+  double f_prev = dp.NextRow();  // F(N, 1)
+  LevelFit fit;
+  if (f_prev <= 0.0 || max_k == 1) {
+    // All samples identical (or forced single level).
+    fit.mu = dp.sorted.front();
+    fit.lambda = 1.0;
+    fit.num_levels = 1;
+    return fit;
+  }
+  int chosen_k = 1;
+  for (int k = 2; k <= max_k; ++k) {
+    const double f = dp.NextRow();
+    const double g = (f_prev > 0.0) ? f / f_prev : 1.0;
+    fit.knee_g = g;
+    if (g > options.knee_threshold) {
+      // Improvement flattened: the previous k captured the level structure.
+      break;
+    }
+    chosen_k = k;
+    f_prev = f;
+    if (f <= 0.0) break;  // perfect clustering reached
+  }
+
+  const KMeansResult clusters = ExtractResult(dp, chosen_k);
+
+  // --- Fit arithmetic progression mu + lambda * j to the centroids ---
+  const auto& c = clusters.centroids;
+  if (c.size() == 1) {
+    fit.mu = c[0];
+    fit.lambda = std::max(1e-30, dp.sorted.back() - dp.sorted.front());
+    fit.num_levels = 1;
+    return fit;
+  }
+
+  // Gaps between adjacent occupied clusters are (possibly zero) integer
+  // multiples of lambda: sparse level occupation gives multi-lambda gaps,
+  // and an overshooting knee can split one level into two clusters with a
+  // near-zero gap. Try every gap as a lambda candidate (largest first) and
+  // keep the largest one under which all gaps are near-integer multiples.
+  std::vector<double> gaps;
+  gaps.reserve(c.size() - 1);
+  for (size_t i = 0; i + 1 < c.size(); ++i) gaps.push_back(c[i + 1] - c[i]);
+  std::vector<double> candidates = gaps;
+  std::sort(candidates.begin(), candidates.end(), std::greater<double>());
+
+  double lambda = 0.0;
+  for (double cand : candidates) {
+    if (cand <= 0.0) break;
+    bool fits = false;   // at least one gap is a >=1 multiple
+    bool all_ok = true;
+    double num = 0.0, den = 0.0;
+    for (double g : gaps) {
+      const double mult = std::round(g / cand);
+      if (std::fabs(g - mult * cand) > 0.25 * cand) {
+        all_ok = false;
+        break;
+      }
+      if (mult >= 1.0) {
+        fits = true;
+        num += g;  // refine lambda over the explained gaps
+        den += mult;
+      }
+      // mult == 0: split-level artifact; ignored.
+    }
+    if (all_ok && fits) {
+      lambda = num / den;
+      break;
+    }
+  }
+  if (lambda <= 0.0) {
+    // No consistent grid (e.g. uniform data): fall back to the median gap.
+    std::vector<double> sorted_gaps = gaps;
+    std::sort(sorted_gaps.begin(), sorted_gaps.end());
+    lambda = std::max(1e-30, sorted_gaps[sorted_gaps.size() / 2]);
+  }
+
+  // Weighted least squares of centroid_j = mu + lambda * n_j over occupied
+  // level indices n_j (weights = cluster populations), refined once after
+  // lambda settles.
+  double mu = c[0];
+  for (int pass = 0; pass < 2; ++pass) {
+    double sw = 0.0, swn = 0.0, swc = 0.0, swnn = 0.0, swnc = 0.0;
+    for (size_t j = 0; j < c.size(); ++j) {
+      const double w = static_cast<double>(clusters.sizes[j]);
+      const double idx = std::round((c[j] - c[0]) / lambda);
+      sw += w;
+      swn += w * idx;
+      swc += w * c[j];
+      swnn += w * idx * idx;
+      swnc += w * idx * c[j];
+    }
+    const double det = sw * swnn - swn * swn;
+    if (std::fabs(det) < 1e-30) break;
+    const double new_mu = (swnn * swc - swn * swnc) / det;
+    const double new_lambda = (sw * swnc - swn * swc) / det;
+    mu = new_mu;
+    if (new_lambda > 0.0) lambda = new_lambda;
+  }
+  fit.mu = mu;
+  fit.lambda = lambda;
+  fit.num_levels = static_cast<int>(c.size());
+
+  // Fit quality: mean squared residual of sample points to the level grid,
+  // normalized by lambda^2.
+  double mse = 0.0;
+  for (double x : dp.sorted) {
+    const double idx = std::round((x - fit.mu) / fit.lambda);
+    const double r = x - (fit.mu + fit.lambda * idx);
+    mse += r * r;
+  }
+  mse /= static_cast<double>(n);
+  fit.fit_error = mse / (fit.lambda * fit.lambda);
+  return fit;
+}
+
+}  // namespace mdz::cluster

@@ -1,0 +1,57 @@
+#ifndef MDZ_CLUSTER_KMEANS1D_H_
+#define MDZ_CLUSTER_KMEANS1D_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::cluster {
+
+// Exact 1-D k-means (paper Section VI-A, Formula 1). Unlike the NP-hard
+// multi-dimensional problem, optimally partitioning sorted 1-D points into k
+// contiguous clusters is polynomial; we implement the dynamic program
+//   F(n,k) = min_i F(i-1,k-1) + Cost(i,n)
+// with divide-and-conquer over the monotone argmin rows, O(k n log n) time.
+struct KMeansResult {
+  std::vector<double> centroids;  // ascending, one per non-empty cluster
+  std::vector<size_t> sizes;      // cluster populations (same order)
+  double cost = 0.0;              // sum of squared deviations
+};
+
+// Clusters `data` (sorted internally) into exactly `k` groups. k must be in
+// [1, data.size()].
+Result<KMeansResult> OptimalKMeans1D(std::span<const double> data, int k);
+
+// Level-structure model fitted from the k-means clustering: the centroids of
+// crystalline MD data fall on an arithmetic progression `mu + lambda * j`
+// (paper takeaway 2). `FitLevels` samples the data, sweeps k with the paper's
+// G(k)=F(N,k)/F(N,k-1) knee rule (capped at max_levels=150), and fits
+// (mu, lambda) to the resulting centroids.
+struct LevelFit {
+  double mu = 0.0;       // value of level 0
+  double lambda = 1.0;   // distance between adjacent levels
+  int num_levels = 1;    // chosen k
+  double knee_g = 0.0;   // G at the stopping point (diagnostic)
+  // Mean squared distance from data to the fitted level grid, relative to
+  // lambda^2; small values indicate strong level structure.
+  double fit_error = 0.0;
+};
+
+struct LevelFitOptions {
+  double sample_fraction = 0.1;  // paper: 10% of the first snapshot
+  size_t min_sample = 256;
+  size_t max_sample = 8192;
+  int max_levels = 150;          // paper: cap K at 150
+  // Stop at k when G(k) exceeds this (improvement has flattened out).
+  double knee_threshold = 0.9;
+  uint64_t seed = 42;
+};
+
+Result<LevelFit> FitLevels(std::span<const double> data,
+                           const LevelFitOptions& options = LevelFitOptions());
+
+}  // namespace mdz::cluster
+
+#endif  // MDZ_CLUSTER_KMEANS1D_H_

@@ -1,0 +1,146 @@
+#include "codec/fpc.h"
+
+#include <cstring>
+
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+inline uint64_t ToBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return u;
+}
+
+inline double FromBits(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+inline int LeadingZeroBytes(uint64_t x) {
+  if (x == 0) return 8;
+  return __builtin_clzll(x) >> 3;
+}
+
+// Shared FCM/DFCM predictor state, advanced identically by the encoder and
+// the decoder.
+class Predictors {
+ public:
+  explicit Predictors(int table_log)
+      : mask_((size_t{1} << table_log) - 1),
+        fcm_(mask_ + 1, 0),
+        dfcm_(mask_ + 1, 0) {}
+
+  uint64_t PredictFcm() const { return fcm_[fcm_hash_]; }
+  uint64_t PredictDfcm() const { return dfcm_[dfcm_hash_] + last_; }
+
+  void Update(uint64_t actual) {
+    fcm_[fcm_hash_] = actual;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (actual >> 48)) & mask_;
+    const uint64_t delta = actual - last_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = actual;
+  }
+
+ private:
+  size_t mask_;
+  std::vector<uint64_t> fcm_;
+  std::vector<uint64_t> dfcm_;
+  size_t fcm_hash_ = 0;
+  size_t dfcm_hash_ = 0;
+  uint64_t last_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> FpcCompress(std::span<const double> values,
+                                 const FpcOptions& options) {
+  Predictors pred(options.table_log);
+
+  // Header nibbles (2 per byte) followed by residual bytes.
+  std::vector<uint8_t> headers((values.size() + 1) / 2, 0);
+  std::vector<uint8_t> residuals;
+  residuals.reserve(values.size() * 4);
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint64_t bits = ToBits(values[i]);
+    const uint64_t xor_fcm = bits ^ pred.PredictFcm();
+    const uint64_t xor_dfcm = bits ^ pred.PredictDfcm();
+    const bool use_dfcm = LeadingZeroBytes(xor_dfcm) > LeadingZeroBytes(xor_fcm);
+    const uint64_t residual = use_dfcm ? xor_dfcm : xor_fcm;
+    pred.Update(bits);
+
+    int lzb = LeadingZeroBytes(residual);
+    // 3 bits encode 0..7 leading-zero bytes; lzb==8 (exact hit) is stored as
+    // 7 with zero remainder bytes being 1 byte — following the original FPC,
+    // codes map {0,1,2,3,4,5,6,8} and lzb==7 is rounded down to 6.
+    if (lzb == 7) lzb = 6;
+    const int code = (lzb == 8) ? 7 : lzb;
+    const uint8_t nibble =
+        static_cast<uint8_t>((use_dfcm ? 8 : 0) | code);
+    if (i % 2 == 0) {
+      headers[i / 2] = nibble;
+    } else {
+      headers[i / 2] |= static_cast<uint8_t>(nibble << 4);
+    }
+
+    const int nbytes = 8 - ((code == 7) ? 8 : code);
+    // Emit the low `nbytes` bytes of the residual, most significant first.
+    for (int b = nbytes - 1; b >= 0; --b) {
+      residuals.push_back(static_cast<uint8_t>(residual >> (8 * b)));
+    }
+  }
+
+  ByteWriter out;
+  out.PutVarint(values.size());
+  out.Put<uint8_t>(static_cast<uint8_t>(options.table_log));
+  out.PutBytes(headers.data(), headers.size());
+  out.PutBytes(residuals.data(), residuals.size());
+  return out.TakeBytes();
+}
+
+Status FpcDecompress(std::span<const uint8_t> data, std::vector<double>* out) {
+  ByteReader r(data);
+  uint64_t count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&count));
+  uint8_t table_log = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&table_log));
+  if (table_log < 4 || table_log > 24) {
+    return Status::Corruption("FPC table_log out of range");
+  }
+  if ((count + 1) / 2 > r.remaining()) {
+    return Status::Corruption("FPC header nibbles exceed payload");
+  }
+
+  std::vector<uint8_t> headers((count + 1) / 2);
+  MDZ_RETURN_IF_ERROR(r.GetBytes(headers.data(), headers.size()));
+
+  Predictors pred(table_log);
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t nibble = (i % 2 == 0) ? (headers[i / 2] & 0x0F)
+                                        : (headers[i / 2] >> 4);
+    const bool use_dfcm = (nibble & 8) != 0;
+    const int code = nibble & 7;
+    const int nbytes = 8 - ((code == 7) ? 8 : code);
+    uint64_t residual = 0;
+    for (int b = 0; b < nbytes; ++b) {
+      uint8_t byte = 0;
+      MDZ_RETURN_IF_ERROR(r.Get(&byte));
+      residual = (residual << 8) | byte;
+    }
+    const uint64_t prediction =
+        use_dfcm ? pred.PredictDfcm() : pred.PredictFcm();
+    const uint64_t bits = prediction ^ residual;
+    pred.Update(bits);
+    out->push_back(FromBits(bits));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

@@ -1,0 +1,30 @@
+#ifndef MDZ_CODEC_FPC_H_
+#define MDZ_CODEC_FPC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// FPC lossless double-precision compressor (Burtscher & Ratanaworabhan,
+// DCC'07): each value is predicted by both an FCM and a DFCM hash-table
+// predictor; the better prediction is XORed with the true value and the
+// residual is stored as a 4-bit header (predictor selector + leading-zero-
+// byte count) plus the nonzero remainder bytes.
+//
+// Used as the from-scratch stand-in for the "FPC" row of paper Table V.
+struct FpcOptions {
+  int table_log = 16;  // 2^table_log entries per predictor table
+};
+
+std::vector<uint8_t> FpcCompress(std::span<const double> values,
+                                 const FpcOptions& options = FpcOptions());
+
+Status FpcDecompress(std::span<const uint8_t> data, std::vector<double>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_FPC_H_

@@ -1,0 +1,113 @@
+#include "codec/fpzip_like.h"
+
+#include <cstring>
+
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+// Maps a double to an unsigned integer whose natural ordering matches the
+// ordering of the doubles (standard total-order trick: flip all bits of
+// negatives, flip only the sign bit of non-negatives).
+inline uint64_t ToOrdered(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+}
+
+inline double FromOrdered(uint64_t u) {
+  u = (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull)
+                                  // non-negative double: clear sign marker
+                                  : ~u;
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline int SignificantBytes(uint64_t x) {
+  if (x == 0) return 0;
+  return 8 - (__builtin_clzll(x) >> 3);
+}
+
+}  // namespace
+
+std::vector<uint8_t> FpzipLikeCompress(std::span<const double> values) {
+  std::vector<uint32_t> classes;  // significant-byte count per residual
+  classes.reserve(values.size());
+  std::vector<uint8_t> payload;   // remainder bytes, MSB first
+  payload.reserve(values.size() * 3);
+
+  uint64_t prev = 0;
+  for (double d : values) {
+    const uint64_t ordered = ToOrdered(d);
+    const uint64_t zz =
+        Zigzag(static_cast<int64_t>(ordered) - static_cast<int64_t>(prev));
+    prev = ordered;
+    const int nbytes = SignificantBytes(zz);
+    classes.push_back(static_cast<uint32_t>(nbytes));
+    for (int b = nbytes - 1; b >= 0; --b) {
+      payload.push_back(static_cast<uint8_t>(zz >> (8 * b)));
+    }
+  }
+
+  const std::vector<uint8_t> class_stream = HuffmanEncode(classes, 9);
+  const std::vector<uint8_t> payload_stream = LzCompress(payload);
+
+  ByteWriter out;
+  out.PutVarint(values.size());
+  out.PutBlob(class_stream);
+  out.PutBlob(payload_stream);
+  return out.TakeBytes();
+}
+
+Status FpzipLikeDecompress(std::span<const uint8_t> data,
+                           std::vector<double>* out) {
+  ByteReader r(data);
+  uint64_t count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&count));
+  std::span<const uint8_t> class_blob, payload_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&class_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&payload_blob));
+
+  std::vector<uint32_t> classes;
+  MDZ_RETURN_IF_ERROR(HuffmanDecode(class_blob, &classes));
+  if (classes.size() != count) {
+    return Status::Corruption("fpzip class stream count mismatch");
+  }
+  std::vector<uint8_t> payload;
+  MDZ_RETURN_IF_ERROR(LzDecompress(payload_blob, &payload));
+
+  out->clear();
+  out->reserve(count);
+  uint64_t prev = 0;
+  size_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t nbytes = classes[i];
+    if (nbytes > 8 || pos + nbytes > payload.size()) {
+      return Status::Corruption("fpzip payload truncated");
+    }
+    uint64_t zz = 0;
+    for (uint32_t b = 0; b < nbytes; ++b) {
+      zz = (zz << 8) | payload[pos++];
+    }
+    const uint64_t ordered =
+        static_cast<uint64_t>(static_cast<int64_t>(prev) + Unzigzag(zz));
+    prev = ordered;
+    out->push_back(FromOrdered(ordered));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

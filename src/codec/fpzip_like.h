@@ -1,0 +1,24 @@
+#ifndef MDZ_CODEC_FPZIP_LIKE_H_
+#define MDZ_CODEC_FPZIP_LIKE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// Fpzip-style lossless double compressor: each value is mapped to a
+// sign-magnitude-ordered 64-bit integer, predicted by the previous value
+// (order-1 Lorenzo along the flattened array), and the zigzagged residual is
+// split into a leading-zero-byte class (Huffman-coded) plus raw remainder
+// bytes (LZ-coded). Stand-in for the "Fpzip" row of paper Table V.
+std::vector<uint8_t> FpzipLikeCompress(std::span<const double> values);
+
+Status FpzipLikeDecompress(std::span<const uint8_t> data,
+                           std::vector<double>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_FPZIP_LIKE_H_

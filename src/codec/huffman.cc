@@ -1,0 +1,376 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <queue>
+
+#include "util/bit_stream.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+// Builds unlimited-depth Huffman code lengths via the classic two-queue
+// method (frequencies are processed in sorted order, so merges pop from the
+// front of either the leaf queue or the internal-node queue). O(n log n)
+// overall, dominated by the initial sort.
+std::vector<uint8_t> BuildLengthsOnce(const std::vector<uint64_t>& freqs) {
+  const size_t n = freqs.size();
+  std::vector<uint32_t> used;
+  used.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) used.push_back(s);
+  }
+  std::vector<uint8_t> lengths(n, 0);
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;  // a single symbol still needs one bit per token
+    return lengths;
+  }
+
+  std::sort(used.begin(), used.end(), [&](uint32_t a, uint32_t b) {
+    return freqs[a] < freqs[b];
+  });
+
+  // Node arena: first used.size() entries are leaves, the rest are merges.
+  struct Node {
+    uint64_t freq;
+    int left;   // -1 for leaf
+    int right;
+    uint32_t symbol;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * used.size());
+  for (uint32_t s : used) nodes.push_back({freqs[s], -1, -1, s});
+
+  size_t leaf_pos = 0;                 // next unconsumed leaf
+  std::vector<int> internal;           // FIFO of internal node indices
+  size_t internal_pos = 0;
+
+  auto pop_min = [&]() -> int {
+    const bool leaf_ok = leaf_pos < used.size();
+    const bool int_ok = internal_pos < internal.size();
+    if (leaf_ok &&
+        (!int_ok || nodes[leaf_pos].freq <= nodes[internal[internal_pos]].freq)) {
+      return static_cast<int>(leaf_pos++);
+    }
+    return internal[internal_pos++];
+  };
+
+  while (used.size() - leaf_pos + internal.size() - internal_pos >= 2) {
+    const int a = pop_min();
+    const int b = pop_min();
+    nodes.push_back({nodes[a].freq + nodes[b].freq, a, b, 0});
+    internal.push_back(static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first traversal to assign lengths (iterative; trees can be deep).
+  std::vector<std::pair<int, uint8_t>> stack;
+  stack.emplace_back(static_cast<int>(nodes.size()) - 1, 0);
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[idx];
+    if (node.left < 0) {
+      lengths[node.symbol] = depth;
+    } else {
+      stack.emplace_back(node.left, static_cast<uint8_t>(depth + 1));
+      stack.emplace_back(node.right, static_cast<uint8_t>(depth + 1));
+    }
+  }
+  return lengths;
+}
+
+struct CanonicalTable {
+  // For encoding: code + length per symbol.
+  std::vector<uint32_t> codes;
+  std::vector<uint8_t> lengths;
+};
+
+// Assigns canonical codes (numerically increasing with (length, symbol)).
+// Codes are stored bit-reversed so the LSB-first BitWriter emits them in the
+// canonical MSB-first order expected by the decoder's arithmetic.
+CanonicalTable BuildCanonical(const std::vector<uint8_t>& lengths) {
+  CanonicalTable table;
+  table.lengths = lengths;
+  table.codes.assign(lengths.size(), 0);
+
+  int max_len = 0;
+  for (uint8_t l : lengths) max_len = std::max<int>(max_len, l);
+  if (max_len == 0) return table;
+
+  std::vector<uint32_t> count(max_len + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<uint32_t> next(max_len + 1, 0);
+  uint32_t code = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next[len] = code;
+  }
+  for (uint32_t s = 0; s < lengths.size(); ++s) {
+    const uint8_t l = lengths[s];
+    if (l == 0) continue;
+    uint32_t c = next[l]++;
+    // Bit-reverse c over l bits for the LSB-first writer.
+    uint32_t r = 0;
+    for (int i = 0; i < l; ++i) {
+      r = (r << 1) | (c & 1);
+      c >>= 1;
+    }
+    table.codes[s] = r;
+  }
+  return table;
+}
+
+// Serializes code lengths with a tiny RLE: (zero-run) pairs are common since
+// quantization-code alphabets are mostly unused.
+void WriteLengths(const std::vector<uint8_t>& lengths, ByteWriter* w) {
+  w->PutVarint(lengths.size());
+  size_t i = 0;
+  while (i < lengths.size()) {
+    if (lengths[i] == 0) {
+      size_t run = 1;
+      while (i + run < lengths.size() && lengths[i + run] == 0) ++run;
+      w->Put<uint8_t>(0);
+      w->PutVarint(run);
+      i += run;
+    } else {
+      w->Put<uint8_t>(lengths[i]);
+      ++i;
+    }
+  }
+}
+
+Status ReadLengths(ByteReader* r, std::vector<uint8_t>* lengths) {
+  uint64_t n = 0;
+  MDZ_RETURN_IF_ERROR(r->GetVarint(&n));
+  if (n > (1ull << 28)) {
+    return Status::Corruption("huffman alphabet unreasonably large");
+  }
+  lengths->assign(n, 0);
+  size_t i = 0;
+  while (i < n) {
+    uint8_t l = 0;
+    MDZ_RETURN_IF_ERROR(r->Get(&l));
+    if (l == 0) {
+      uint64_t run = 0;
+      MDZ_RETURN_IF_ERROR(r->GetVarint(&run));
+      if (run == 0 || i + run > n) {
+        return Status::Corruption("huffman length RLE overflows alphabet");
+      }
+      i += run;
+    } else {
+      if (l > kMaxCodeLength) {
+        return Status::Corruption("huffman code length exceeds limit");
+      }
+      (*lengths)[i++] = l;
+    }
+  }
+  return Status::OK();
+}
+
+// Decoder: canonical decoding by length using first-code/offset arrays, with
+// a direct lookup table for codes of <= kFastBits bits.
+constexpr int kFastBits = 11;
+
+struct Decoder {
+  std::vector<uint32_t> symbols_by_code;          // symbols sorted canonically
+  uint32_t first_code[kMaxCodeLength + 2] = {};   // first canonical code/len
+  uint32_t first_index[kMaxCodeLength + 2] = {};  // index into symbols_by_code
+  int max_len = 0;
+  // fast_table[bits] = (symbol << 6) | length, or 0xFFFFFFFF if too long.
+  std::vector<uint32_t> fast_table;
+
+  Status Init(const std::vector<uint8_t>& lengths) {
+    std::vector<uint32_t> count(kMaxCodeLength + 1, 0);
+    for (uint8_t l : lengths) {
+      if (l > kMaxCodeLength) {
+        return Status::Corruption("huffman code length exceeds limit");
+      }
+      if (l > 0) {
+        ++count[l];
+        max_len = std::max<int>(max_len, l);
+      }
+    }
+    if (max_len == 0) return Status::OK();
+
+    // Kraft check: sum 2^(max-l) must not exceed 2^max (over-subscribed
+    // trees would make decoding ambiguous / out of bounds).
+    uint64_t kraft = 0;
+    for (int l = 1; l <= max_len; ++l) {
+      kraft += static_cast<uint64_t>(count[l]) << (max_len - l);
+    }
+    if (kraft > (1ull << max_len)) {
+      return Status::Corruption("huffman code lengths over-subscribed");
+    }
+
+    uint32_t code = 0;
+    uint32_t index = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      code = (code + count[len - 1]) << 1;
+      first_code[len] = code;
+      first_index[len] = index;
+      index += count[len];
+    }
+    first_code[max_len + 1] = (first_code[max_len] + count[max_len]) << 1;
+
+    symbols_by_code.resize(index);
+    std::vector<uint32_t> next(max_len + 1);
+    for (int len = 1; len <= max_len; ++len) next[len] = first_index[len];
+    for (uint32_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] > 0) symbols_by_code[next[lengths[s]]++] = s;
+    }
+
+    // Fast table over kFastBits LSB-first bits.
+    fast_table.assign(1u << kFastBits, 0xFFFFFFFFu);
+    std::vector<uint32_t> codes_by_len(max_len + 1);
+    for (int len = 1; len <= max_len && len <= kFastBits; ++len) {
+      uint32_t c = first_code[len];
+      for (uint32_t k = 0; k < count[len]; ++k, ++c) {
+        const uint32_t sym = symbols_by_code[first_index[len] + k];
+        // Bit-reverse the canonical code, then fill all suffixes.
+        uint32_t r = 0;
+        uint32_t tmp = c;
+        for (int i = 0; i < len; ++i) {
+          r = (r << 1) | (tmp & 1);
+          tmp >>= 1;
+        }
+        for (uint32_t hi = 0; hi < (1u << (kFastBits - len)); ++hi) {
+          fast_table[(hi << len) | r] = (sym << 6) | static_cast<uint32_t>(len);
+        }
+      }
+    }
+    (void)codes_by_len;
+    return Status::OK();
+  }
+
+  // Decodes one symbol; returns false on malformed code.
+  bool DecodeOne(BitReader* br, uint32_t* out) const {
+    const uint32_t peek = br->Peek(kFastBits);
+    const uint32_t entry = fast_table[peek];
+    if (entry != 0xFFFFFFFFu) {
+      br->Skip(static_cast<int>(entry & 63));
+      *out = entry >> 6;
+      return true;
+    }
+    // Slow path: read bit by bit, tracking the canonical code MSB-first.
+    uint32_t code = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      code = (code << 1) | (br->ReadBit() ? 1u : 0u);
+      const uint32_t fc = first_code[len];
+      const uint32_t cnt = first_index[len + 1 <= max_len ? len + 1 : len] -
+                           first_index[len];
+      // first_index difference is only valid when len < max_len; recompute:
+      (void)cnt;
+      const uint32_t n_at_len =
+          (len < max_len) ? (first_index[len + 1] - first_index[len])
+                          : (static_cast<uint32_t>(symbols_by_code.size()) -
+                             first_index[len]);
+      if (code >= fc && code < fc + n_at_len) {
+        *out = symbols_by_code[first_index[len] + (code - fc)];
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> BuildCodeLengths(std::span<const uint64_t> freqs) {
+  std::vector<uint64_t> damped(freqs.begin(), freqs.end());
+  while (true) {
+    std::vector<uint8_t> lengths = BuildLengthsOnce(damped);
+    const int max_len =
+        lengths.empty() ? 0 : *std::max_element(lengths.begin(), lengths.end());
+    if (max_len <= kMaxCodeLength) return lengths;
+    // Damp the distribution toward uniform and retry; converges quickly.
+    for (auto& f : damped) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+}
+
+double ShannonEntropyBits(std::span<const uint64_t> freqs) {
+  uint64_t total = std::accumulate(freqs.begin(), freqs.end(), uint64_t{0});
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (uint64_t f : freqs) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+std::vector<uint8_t> HuffmanEncode(std::span<const uint32_t> symbols,
+                                   uint32_t alphabet_size) {
+  std::vector<uint64_t> freqs(alphabet_size, 0);
+  for (uint32_t s : symbols) ++freqs[s];
+
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  const CanonicalTable table = BuildCanonical(lengths);
+
+  ByteWriter header;
+  header.PutVarint(symbols.size());
+  WriteLengths(lengths, &header);
+
+  BitWriter bw;
+  for (uint32_t s : symbols) {
+    bw.Write(table.codes[s], table.lengths[s]);
+  }
+  bw.Flush();
+
+  ByteWriter out;
+  out.PutVarint(header.size());
+  out.PutBytes(header.bytes().data(), header.size());
+  out.PutBytes(bw.bytes().data(), bw.bytes().size());
+  return out.TakeBytes();
+}
+
+Status HuffmanDecode(std::span<const uint8_t> data,
+                     std::vector<uint32_t>* out) {
+  ByteReader top(data);
+  std::span<const uint8_t> header_bytes;
+  MDZ_RETURN_IF_ERROR(top.GetBlob(&header_bytes));
+
+  ByteReader header(header_bytes);
+  uint64_t count = 0;
+  MDZ_RETURN_IF_ERROR(header.GetVarint(&count));
+  // Every Huffman symbol costs at least one bit, so a valid stream cannot
+  // declare more symbols than it has payload bits (guards the allocation and
+  // the decode loop against hostile counts).
+  if (count > 8 * data.size()) {
+    return Status::Corruption("huffman symbol count exceeds payload bits");
+  }
+  std::vector<uint8_t> lengths;
+  MDZ_RETURN_IF_ERROR(ReadLengths(&header, &lengths));
+
+  out->clear();
+  out->reserve(count);
+  if (count == 0) return Status::OK();
+
+  Decoder dec;
+  MDZ_RETURN_IF_ERROR(dec.Init(lengths));
+  if (dec.max_len == 0) {
+    return Status::Corruption("huffman stream has symbols but empty code set");
+  }
+
+  BitReader br(std::span<const uint8_t>(data.data() + top.position(),
+                                        data.size() - top.position()));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t sym = 0;
+    if (!dec.DecodeOne(&br, &sym)) {
+      return Status::Corruption("invalid huffman code word");
+    }
+    out->push_back(sym);
+  }
+  return br.CheckNoOverrun();
+}
+
+}  // namespace mdz::codec

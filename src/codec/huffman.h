@@ -1,0 +1,44 @@
+#ifndef MDZ_CODEC_HUFFMAN_H_
+#define MDZ_CODEC_HUFFMAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// Canonical Huffman coder over a dense alphabet of uint32 symbols.
+//
+// This is the entropy stage of the SZ-style pipeline (paper Fig. 2/6): the
+// quantization bins and VQ level-index deltas are Huffman-coded before the
+// dictionary (LZ) stage. The encoded stream is self-describing: it embeds the
+// alphabet size, the canonical code lengths (run-length compressed) and the
+// symbol count, so decoding needs no side channel.
+//
+// Code lengths are limited to kMaxCodeLength bits; if the optimal tree is
+// deeper (extremely skewed distributions), frequencies are damped and the
+// tree rebuilt, which costs a negligible fraction of a bit per symbol.
+inline constexpr int kMaxCodeLength = 32;
+
+// Encodes `symbols`; every symbol must be < alphabet_size.
+// Returns the encoded bytes.
+std::vector<uint8_t> HuffmanEncode(std::span<const uint32_t> symbols,
+                                   uint32_t alphabet_size);
+
+// Decodes a stream produced by HuffmanEncode into *out (overwritten).
+Status HuffmanDecode(std::span<const uint8_t> data,
+                     std::vector<uint32_t>* out);
+
+// Exposed for testing: computes canonical code lengths for the given symbol
+// frequencies (zero-frequency symbols get length 0). The returned lengths
+// satisfy Kraft equality over the used symbols and are <= kMaxCodeLength.
+std::vector<uint8_t> BuildCodeLengths(std::span<const uint64_t> freqs);
+
+// Exposed for benches: entropy (bits/symbol) of a frequency histogram.
+double ShannonEntropyBits(std::span<const uint64_t> freqs);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_HUFFMAN_H_

@@ -1,0 +1,97 @@
+#include "codec/lossless.h"
+
+#include <cstring>
+
+#include "codec/fpc.h"
+#include "codec/fpzip_like.h"
+#include "codec/lz.h"
+#include "codec/zfp_like.h"
+
+namespace mdz::codec {
+
+namespace {
+
+std::vector<uint8_t> DoublesToBytes(std::span<const double> values) {
+  std::vector<uint8_t> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+Status BytesToDoubles(const std::vector<uint8_t>& bytes,
+                      std::vector<double>* out) {
+  if (bytes.size() % sizeof(double) != 0) {
+    return Status::Corruption("byte stream is not a whole number of doubles");
+  }
+  out->resize(bytes.size() / sizeof(double));
+  std::memcpy(out->data(), bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+constexpr LosslessCodec kAll[] = {
+    LosslessCodec::kZstdLike,   LosslessCodec::kZlibLike,
+    LosslessCodec::kBrotliLike, LosslessCodec::kFpzipLike,
+    LosslessCodec::kFpc,        LosslessCodec::kZfpReversible,
+};
+
+}  // namespace
+
+std::span<const LosslessCodec> AllLosslessCodecs() { return kAll; }
+
+std::string_view LosslessCodecName(LosslessCodec codec) {
+  switch (codec) {
+    case LosslessCodec::kZstdLike:
+      return "Zstd-like";
+    case LosslessCodec::kZlibLike:
+      return "Zlib-like";
+    case LosslessCodec::kBrotliLike:
+      return "Brotli-like";
+    case LosslessCodec::kFpzipLike:
+      return "Fpzip-like";
+    case LosslessCodec::kFpc:
+      return "FPC";
+    case LosslessCodec::kZfpReversible:
+      return "ZFP-like";
+  }
+  return "Unknown";
+}
+
+std::vector<uint8_t> LosslessCompress(std::span<const double> values,
+                                      LosslessCodec codec) {
+  switch (codec) {
+    case LosslessCodec::kZstdLike:
+      return LzCompress(DoublesToBytes(values), ZstdLikeOptions());
+    case LosslessCodec::kZlibLike:
+      return LzCompress(DoublesToBytes(values), DeflateLikeOptions());
+    case LosslessCodec::kBrotliLike:
+      return LzCompress(DoublesToBytes(values), BrotliLikeOptions());
+    case LosslessCodec::kFpzipLike:
+      return FpzipLikeCompress(values);
+    case LosslessCodec::kFpc:
+      return FpcCompress(values);
+    case LosslessCodec::kZfpReversible:
+      return ZfpLikeCompressReversible(values);
+  }
+  return {};
+}
+
+Status LosslessDecompress(std::span<const uint8_t> data, LosslessCodec codec,
+                          std::vector<double>* out) {
+  switch (codec) {
+    case LosslessCodec::kZstdLike:
+    case LosslessCodec::kZlibLike:
+    case LosslessCodec::kBrotliLike: {
+      std::vector<uint8_t> bytes;
+      MDZ_RETURN_IF_ERROR(LzDecompress(data, &bytes));
+      return BytesToDoubles(bytes, out);
+    }
+    case LosslessCodec::kFpzipLike:
+      return FpzipLikeDecompress(data, out);
+    case LosslessCodec::kFpc:
+      return FpcDecompress(data, out);
+    case LosslessCodec::kZfpReversible:
+      return ZfpLikeDecompressReversible(data, out);
+  }
+  return Status::InvalidArgument("unknown lossless codec");
+}
+
+}  // namespace mdz::codec

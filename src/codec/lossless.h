@@ -1,0 +1,39 @@
+#ifndef MDZ_CODEC_LOSSLESS_H_
+#define MDZ_CODEC_LOSSLESS_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// Uniform facade over the six lossless compressors evaluated in paper
+// Table V. The general-purpose byte compressors (Zstd/Zlib/Brotli) operate on
+// the raw little-endian bytes of the double array; the float-specialized ones
+// (Fpzip/FPC/ZFP) consume the doubles directly.
+enum class LosslessCodec {
+  kZstdLike,
+  kZlibLike,
+  kBrotliLike,
+  kFpzipLike,
+  kFpc,
+  kZfpReversible,
+};
+
+// All six codecs, in the column order of paper Table V.
+std::span<const LosslessCodec> AllLosslessCodecs();
+
+std::string_view LosslessCodecName(LosslessCodec codec);
+
+std::vector<uint8_t> LosslessCompress(std::span<const double> values,
+                                      LosslessCodec codec);
+
+Status LosslessDecompress(std::span<const uint8_t> data, LosslessCodec codec,
+                          std::vector<double>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_LOSSLESS_H_

@@ -1,0 +1,245 @@
+#include "codec/lz.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/huffman.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+constexpr int kHashLog = 16;
+constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+constexpr size_t kMaxMatch = 1 << 16;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+// Token stream layout (before the optional byte-Huffman squeeze):
+//   varint literal_run_len, <literals>, varint match_len, varint offset
+// repeated; match_len == 0 terminates (final literal run flushes the tail).
+struct Token {
+  size_t literal_start;
+  size_t literal_len;
+  size_t match_len;  // 0 for the terminal token
+  size_t offset;
+};
+
+size_t MatchLength(const uint8_t* a, const uint8_t* b, const uint8_t* end) {
+  const uint8_t* start = a;
+  while (a + 8 <= end) {
+    uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    const uint64_t diff = x ^ y;
+    if (diff != 0) {
+      return static_cast<size_t>(a - start) +
+             static_cast<size_t>(__builtin_ctzll(diff) >> 3);
+    }
+    a += 8;
+    b += 8;
+  }
+  while (a < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<size_t>(a - start);
+}
+
+}  // namespace
+
+LzOptions ZstdLikeOptions() {
+  return LzOptions{.window_log = 20, .max_chain = 32, .min_match = 4,
+                   .lazy = true, .entropy = true};
+}
+
+LzOptions DeflateLikeOptions() {
+  return LzOptions{.window_log = 15, .max_chain = 128, .min_match = 4,
+                   .lazy = true, .entropy = true};
+}
+
+LzOptions BrotliLikeOptions() {
+  return LzOptions{.window_log = 22, .max_chain = 256, .min_match = 4,
+                   .lazy = true, .entropy = true};
+}
+
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
+                                const LzOptions& options) {
+  const size_t n = input.size();
+  const uint8_t* base = input.data();
+  const size_t window = size_t{1} << options.window_log;
+
+  std::vector<uint32_t> head(size_t{1} << kHashLog, kNoPos);
+  std::vector<uint32_t> chain(n, kNoPos);
+
+  ByteWriter tokens;
+  size_t literal_start = 0;
+  size_t pos = 0;
+
+  auto find_match = [&](size_t at, size_t* best_off) -> size_t {
+    if (at + options.min_match > n || at + 4 > n) return 0;
+    size_t best_len = 0;
+    uint32_t cand = head[Hash4(base + at)];
+    int probes = options.max_chain;
+    const size_t min_pos = (at > window) ? at - window : 0;
+    while (cand != kNoPos && cand >= min_pos && probes-- > 0) {
+      if (cand < at) {
+        const size_t len = MatchLength(base + at, base + cand, base + n);
+        if (len > best_len) {
+          best_len = len;
+          *best_off = at - cand;
+          if (len >= kMaxMatch) break;
+        }
+      }
+      cand = chain[cand];
+    }
+    return best_len >= static_cast<size_t>(options.min_match)
+               ? std::min(best_len, kMaxMatch)
+               : 0;
+  };
+
+  auto insert = [&](size_t at) {
+    if (at + 4 > n) return;
+    const uint32_t h = Hash4(base + at);
+    chain[at] = head[h];
+    head[h] = static_cast<uint32_t>(at);
+  };
+
+  auto emit = [&](size_t lit_end, size_t match_len, size_t offset) {
+    tokens.PutVarint(lit_end - literal_start);
+    tokens.PutBytes(base + literal_start, lit_end - literal_start);
+    tokens.PutVarint(match_len);
+    if (match_len > 0) tokens.PutVarint(offset);
+  };
+
+  // LZ4-style acceleration: after many consecutive literal misses the input
+  // is likely incompressible, so advance faster (the skipped positions are
+  // still inserted into the hash chains).
+  size_t miss_streak = 0;
+  while (pos < n) {
+    size_t offset = 0;
+    size_t len = find_match(pos, &offset);
+    if (len == 0) {
+      const size_t step = 1 + (miss_streak >> 6);
+      ++miss_streak;
+      for (size_t i = pos; i < std::min(pos + step, n); ++i) insert(i);
+      pos += step;
+      continue;
+    }
+    miss_streak = 0;
+    insert(pos);
+    if (options.lazy && pos + 1 < n) {
+      // One-step lazy evaluation: prefer a strictly better match at pos+1.
+      size_t next_offset = 0;
+      const size_t next_len = find_match(pos + 1, &next_offset);
+      if (next_len > len + 1) {
+        insert(pos + 1);
+        ++pos;
+        len = next_len;
+        offset = next_offset;
+      }
+    }
+    emit(pos, len, offset);
+    const size_t match_end = pos + len;
+    for (size_t i = pos + 1; i < match_end; ++i) insert(i);
+    pos = match_end;
+    literal_start = pos;
+  }
+  emit(n, 0, 0);  // terminal token flushes remaining literals
+
+  const std::vector<uint8_t> raw = tokens.TakeBytes();
+
+  ByteWriter out;
+  out.PutVarint(n);
+  if (options.entropy) {
+    std::vector<uint32_t> symbols(raw.begin(), raw.end());
+    std::vector<uint8_t> packed = HuffmanEncode(symbols, 256);
+    if (packed.size() < raw.size()) {
+      out.Put<uint8_t>(1);
+      out.PutBytes(packed.data(), packed.size());
+      return out.TakeBytes();
+    }
+  }
+  out.Put<uint8_t>(0);
+  out.PutBytes(raw.data(), raw.size());
+  return out.TakeBytes();
+}
+
+Status LzDecompress(std::span<const uint8_t> data, std::vector<uint8_t>* out) {
+  ByteReader top(data);
+  uint64_t n = 0;
+  MDZ_RETURN_IF_ERROR(top.GetVarint(&n));
+  // Sanity cap on the declared decoded size (2 GiB): orders of magnitude
+  // above any legitimate block in this library, and it keeps hostile
+  // headers from driving giant allocations.
+  if (n > (1ull << 31)) {
+    return Status::Corruption("LZ declared size implausible");
+  }
+  uint8_t entropy_flag = 0;
+  MDZ_RETURN_IF_ERROR(top.Get(&entropy_flag));
+
+  std::vector<uint8_t> raw_storage;
+  std::span<const uint8_t> raw;
+  if (entropy_flag == 1) {
+    std::vector<uint32_t> symbols;
+    MDZ_RETURN_IF_ERROR(HuffmanDecode(
+        std::span<const uint8_t>(data.data() + top.position(),
+                                 data.size() - top.position()),
+        &symbols));
+    raw_storage.assign(symbols.begin(), symbols.end());
+    raw = raw_storage;
+  } else if (entropy_flag == 0) {
+    raw = std::span<const uint8_t>(data.data() + top.position(),
+                                   data.size() - top.position());
+  } else {
+    return Status::Corruption("bad LZ entropy flag");
+  }
+
+  out->clear();
+  // Do not trust the declared size for the allocation; grow naturally.
+  out->reserve(std::min<uint64_t>(n, 1u << 20));
+  ByteReader r(raw);
+  while (true) {
+    uint64_t lit_len = 0;
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&lit_len));
+    if (out->size() + lit_len > n || lit_len > r.remaining()) {
+      return Status::Corruption("LZ literal run overflows declared size");
+    }
+    const size_t old = out->size();
+    out->resize(old + lit_len);
+    MDZ_RETURN_IF_ERROR(r.GetBytes(out->data() + old, lit_len));
+
+    uint64_t match_len = 0;
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&match_len));
+    if (match_len == 0) break;
+    if (match_len > kMaxMatch) {
+      // The encoder never emits longer matches; this also bounds the decode
+      // work per token against hostile streams.
+      return Status::Corruption("LZ match length exceeds format maximum");
+    }
+    uint64_t offset = 0;
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&offset));
+    if (offset == 0 || offset > out->size()) {
+      return Status::Corruption("LZ match offset out of range");
+    }
+    if (out->size() + match_len > n) {
+      return Status::Corruption("LZ match overflows declared size");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < len) are legal.
+    size_t src = out->size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[src++]);
+    }
+  }
+  if (out->size() != n) {
+    return Status::Corruption("LZ stream ended before declared size");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

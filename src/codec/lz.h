@@ -1,0 +1,38 @@
+#ifndef MDZ_CODEC_LZ_H_
+#define MDZ_CODEC_LZ_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// LZ77 dictionary coder with hash-chain match finding, followed by a byte-
+// level Huffman squeeze of the token stream. This is the final lossless
+// stage of the MDZ pipeline (the paper uses Zstd there) and also serves as
+// the from-scratch stand-in for the general-purpose lossless baselines in
+// paper Table V (Zstd / Zlib / Brotli).
+struct LzOptions {
+  int window_log = 20;   // dictionary window = 1 << window_log bytes
+  int max_chain = 32;    // hash-chain probes per position
+  int min_match = 4;     // minimum match length
+  bool lazy = true;      // one-step lazy matching
+  bool entropy = true;   // apply byte Huffman to the token stream
+};
+
+// Three presets approximating the behaviour envelope of the corresponding
+// external tools (speed/ratio trade-off, not bit-exact formats).
+LzOptions ZstdLikeOptions();    // fast, large window
+LzOptions DeflateLikeOptions(); // 32 KiB window, deeper chains (zlib stand-in)
+LzOptions BrotliLikeOptions();  // largest window, deepest chains (slowest)
+
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
+                                const LzOptions& options = ZstdLikeOptions());
+
+Status LzDecompress(std::span<const uint8_t> data, std::vector<uint8_t>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_LZ_H_

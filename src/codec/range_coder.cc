@@ -1,0 +1,154 @@
+#include "codec/range_coder.h"
+
+#include <algorithm>
+
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+constexpr uint32_t kTopValue = 1u << 24;
+
+// Smallest power-of-two bit width covering [0, alphabet_size).
+int TreeBits(uint32_t alphabet_size) {
+  int bits = 1;
+  while ((1u << bits) < alphabet_size) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void RangeEncoder::ShiftLow() {
+  if (low_ < 0xFF000000ull || low_ > 0xFFFFFFFFull) {
+    // The carry (bit 32 of low_) is resolved: emit the cached byte plus any
+    // pending 0xFF run, propagating the carry into them.
+    const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    out_.push_back(static_cast<uint8_t>(cache_ + carry));
+    for (; cache_size_ > 1; --cache_size_) {
+      out_.push_back(static_cast<uint8_t>(0xFF + carry));
+    }
+    cache_ = static_cast<uint8_t>(low_ >> 24);
+    cache_size_ = 0;
+  }
+  ++cache_size_;
+  low_ = (low_ << 8) & 0xFFFFFFFFull;
+}
+
+void RangeEncoder::EncodeBit(BitModel* model, bool bit) {
+  const uint32_t bound =
+      (range_ >> BitModel::kBits) * model->probability();
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  model->Update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    ShiftLow();
+  }
+}
+
+void RangeEncoder::Flush() {
+  for (int i = 0; i < 5; ++i) ShiftLow();
+  // Drop the dummy first byte emitted by the initial cache.
+  if (!out_.empty()) out_.erase(out_.begin());
+}
+
+RangeDecoder::RangeDecoder(std::span<const uint8_t> data) : data_(data) {
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+bool RangeDecoder::DecodeBit(BitModel* model) {
+  const uint32_t bound =
+      (range_ >> BitModel::kBits) * model->probability();
+  bool bit;
+  if (code_ < bound) {
+    range_ = bound;
+    bit = false;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    bit = true;
+  }
+  model->Update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | NextByte();
+  }
+  return bit;
+}
+
+std::vector<uint8_t> RangeEncodeSymbols(std::span<const uint32_t> symbols,
+                                        uint32_t alphabet_size) {
+  const int bits = TreeBits(alphabet_size);
+  // Bit-tree contexts: node index in [1, 2^bits), as in LZMA literals.
+  std::vector<BitModel> models(size_t{1} << bits);
+
+  RangeEncoder encoder;
+  for (uint32_t symbol : symbols) {
+    uint32_t node = 1;
+    for (int b = bits - 1; b >= 0; --b) {
+      const bool bit = (symbol >> b) & 1;
+      encoder.EncodeBit(&models[node], bit);
+      node = (node << 1) | (bit ? 1 : 0);
+    }
+  }
+  encoder.Flush();
+
+  ByteWriter out;
+  out.PutVarint(symbols.size());
+  out.PutVarint(alphabet_size);
+  out.PutBytes(encoder.bytes().data(), encoder.bytes().size());
+  return out.TakeBytes();
+}
+
+Status RangeDecodeSymbols(std::span<const uint8_t> data,
+                          std::vector<uint32_t>* out) {
+  ByteReader r(data);
+  uint64_t count = 0, alphabet = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&count));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&alphabet));
+  if (alphabet == 0 || alphabet > (1u << 20)) {
+    return Status::Corruption("range coder alphabet out of bounds");
+  }
+  // The adaptive model's probability floor bounds the best case at ~0.0007
+  // bits per coded bit, i.e. < 16000 symbols per payload byte; anything
+  // above is hostile (guards allocation and loop length).
+  if (count > 16000 * (data.size() + 1)) {
+    return Status::Corruption("range coder symbol count implausible");
+  }
+  const int bits = TreeBits(static_cast<uint32_t>(alphabet));
+  std::vector<BitModel> models(size_t{1} << bits);
+
+  RangeDecoder decoder(data.subspan(r.position()));
+  out->clear();
+  out->reserve(std::min<uint64_t>(count, 1u << 20));
+  for (uint64_t i = 0; i < count; ++i) {
+    // Bail out early on truncated/hostile streams instead of decoding
+    // megabytes of zero padding.
+    if ((i & 4095) == 0 && decoder.overran()) {
+      return Status::Corruption("range coder stream truncated");
+    }
+    uint32_t node = 1;
+    for (int b = 0; b < bits; ++b) {
+      const bool bit = decoder.DecodeBit(&models[node]);
+      node = (node << 1) | (bit ? 1 : 0);
+    }
+    const uint32_t symbol = node - (1u << bits);
+    if (symbol >= alphabet) {
+      return Status::Corruption("range coder produced out-of-alphabet symbol");
+    }
+    out->push_back(symbol);
+  }
+  if (decoder.overran()) {
+    return Status::Corruption("range coder stream truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

@@ -1,0 +1,313 @@
+#include "codec/zfp_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "codec/lz.h"
+#include "util/bit_stream.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+constexpr uint64_t kNegabinaryMask = 0xAAAAAAAAAAAAAAAAull;
+constexpr int kBlock = 4;
+constexpr int kIntBits = 62;     // fixed-point magnitude bits (2 guard bits)
+constexpr int kPlanes = 63;      // negabinary planes encoded (MSB..LSB)
+
+inline uint64_t ToNegabinary(int64_t x) {
+  return (static_cast<uint64_t>(x) + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+inline int64_t FromNegabinary(uint64_t u) {
+  return static_cast<int64_t>((u ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+// ZFP's 1-D forward decorrelating lifting transform on a block of 4.
+void ForwardLift(int64_t* p) {
+  int64_t x = p[0], y = p[1], z = p[2], w = p[3];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0] = x; p[1] = y; p[2] = z; p[3] = w;
+}
+
+// Inverse of ForwardLift (ZFP inv_lift).
+void InverseLift(int64_t* p) {
+  int64_t x = p[0], y = p[1], z = p[2], w = p[3];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0] = x; p[1] = y; p[2] = z; p[3] = w;
+}
+
+// Common exponent e such that |v| < 2^e for every block value.
+int BlockExponent(const double* v, int n) {
+  double max_abs = 0.0;
+  for (int i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(v[i]));
+  if (max_abs == 0.0) return INT32_MIN / 2;
+  int e;
+  std::frexp(max_abs, &e);  // max_abs = f * 2^e with f in [0.5, 1)
+  return e;
+}
+
+// --- Reversible mode helpers (ordered-integer domain) ---
+
+inline uint64_t ToOrdered(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+}
+
+inline double FromOrdered(uint64_t u) {
+  u = (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull) : ~u;
+  double d;
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+std::vector<uint8_t> ZfpLikeCompressFixedAccuracy(std::span<const double> values,
+                                                  double tolerance) {
+  ByteWriter header;
+  header.PutVarint(values.size());
+  // Tolerance is needed at decode time only for sanity checks; store it.
+  header.Put<double>(tolerance);
+
+  BitWriter bw;
+  const size_t nblocks = (values.size() + kBlock - 1) / kBlock;
+  std::vector<int32_t> exponents;
+  exponents.reserve(nblocks);
+  std::vector<uint8_t> plane_counts;
+  plane_counts.reserve(nblocks);
+
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    double v[kBlock];
+    const size_t start = blk * kBlock;
+    const int n = static_cast<int>(std::min<size_t>(kBlock, values.size() - start));
+    for (int i = 0; i < n; ++i) v[i] = values[start + i];
+    for (int i = n; i < kBlock; ++i) v[i] = v[n - 1];  // pad partial block
+
+    const int e = BlockExponent(v, kBlock);
+    if (e == INT32_MIN / 2) {  // all-zero block
+      exponents.push_back(INT32_MIN / 2);
+      plane_counts.push_back(0);
+      continue;
+    }
+
+    // Fixed-point conversion: |q| < 2^kIntBits guaranteed by construction.
+    int64_t q[kBlock];
+    const double scale = std::ldexp(1.0, kIntBits - 1 - e);
+    for (int i = 0; i < kBlock; ++i) {
+      q[i] = static_cast<int64_t>(v[i] * scale);
+    }
+    ForwardLift(q);
+
+    uint64_t u[kBlock];
+    for (int i = 0; i < kBlock; ++i) u[i] = ToNegabinary(q[i]);
+
+    // Cutoff plane: dropping planes below p gives a fixed-point error of at
+    // most 2^(p+1) per coefficient, i.e. 2^(p + 1 + e - (kIntBits-1)) in
+    // value units; the inverse transform can roughly double it. Use an 8x
+    // safety margin so the bound always holds.
+    int cutoff = 0;
+    if (tolerance > 0.0) {
+      const double lim = tolerance / 8.0;
+      const int p =
+          static_cast<int>(std::floor(std::log2(lim))) + (kIntBits - 1) - e - 1;
+      cutoff = std::clamp(p, 0, kPlanes);
+    }
+
+    // Skip leading all-zero planes.
+    uint64_t any = u[0] | u[1] | u[2] | u[3];
+    int top = kPlanes;
+    while (top > cutoff && ((any >> (top - 1)) & 1) == 0) --top;
+
+    exponents.push_back(e);
+    plane_counts.push_back(static_cast<uint8_t>(top - cutoff));
+    for (int p = top - 1; p >= cutoff; --p) {
+      uint64_t plane = 0;
+      for (int i = 0; i < kBlock; ++i) plane |= ((u[i] >> p) & 1) << i;
+      bw.Write(plane, kBlock);
+    }
+    // Cutoff is recomputed at decode time from e + tolerance, so it is not
+    // stored per block.
+  }
+  bw.Flush();
+
+  // Exponents and plane counts compress well; run them through LZ.
+  ByteWriter meta;
+  for (size_t i = 0; i < exponents.size(); ++i) {
+    meta.PutSignedVarint(exponents[i]);
+    meta.Put<uint8_t>(plane_counts[i]);
+  }
+  const std::vector<uint8_t> meta_lz = LzCompress(meta.bytes());
+
+  ByteWriter out;
+  out.PutBytes(header.bytes().data(), header.size());
+  out.PutBlob(meta_lz);
+  out.PutBlob(bw.bytes());
+  return out.TakeBytes();
+}
+
+Status ZfpLikeDecompressFixedAccuracy(std::span<const uint8_t> data,
+                                      std::vector<double>* out) {
+  ByteReader r(data);
+  uint64_t count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&count));
+  double tolerance = 0.0;
+  MDZ_RETURN_IF_ERROR(r.Get(&tolerance));
+  std::span<const uint8_t> meta_blob, plane_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&meta_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&plane_blob));
+
+  std::vector<uint8_t> meta;
+  MDZ_RETURN_IF_ERROR(LzDecompress(meta_blob, &meta));
+  ByteReader meta_reader(meta);
+
+  // Every block contributes at least 2 metadata bytes, which bounds a
+  // hostile `count` before the output allocation.
+  const size_t nblocks = (count + kBlock - 1) / kBlock;
+  if (nblocks > meta.size()) {
+    return Status::Corruption("zfp block count exceeds metadata");
+  }
+
+  BitReader br(plane_blob);
+  out->clear();
+  out->reserve(count);
+
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    int64_t e64 = 0;
+    MDZ_RETURN_IF_ERROR(meta_reader.GetSignedVarint(&e64));
+    uint8_t nplanes = 0;
+    MDZ_RETURN_IF_ERROR(meta_reader.Get(&nplanes));
+    const int e = static_cast<int>(e64);
+
+    const size_t start = blk * kBlock;
+    const int n = static_cast<int>(std::min<size_t>(kBlock, count - start));
+
+    if (e == INT32_MIN / 2) {
+      for (int i = 0; i < n; ++i) out->push_back(0.0);
+      continue;
+    }
+
+    int cutoff = 0;
+    if (tolerance > 0.0) {
+      const double lim = tolerance / 8.0;
+      const int p =
+          static_cast<int>(std::floor(std::log2(lim))) + (kIntBits - 1) - e - 1;
+      cutoff = std::clamp(p, 0, kPlanes);
+    }
+    const int top = cutoff + nplanes;
+    if (top > kPlanes + 1) {
+      return Status::Corruption("zfp block has too many planes");
+    }
+
+    uint64_t u[kBlock] = {0, 0, 0, 0};
+    for (int p = top - 1; p >= cutoff; --p) {
+      const uint64_t plane = br.Read(kBlock);
+      for (int i = 0; i < kBlock; ++i) {
+        u[i] |= ((plane >> i) & 1) << p;
+      }
+    }
+
+    int64_t q[kBlock];
+    for (int i = 0; i < kBlock; ++i) q[i] = FromNegabinary(u[i]);
+    InverseLift(q);
+
+    const double inv_scale = std::ldexp(1.0, e - (kIntBits - 1));
+    for (int i = 0; i < n; ++i) {
+      out->push_back(static_cast<double>(q[i]) * inv_scale);
+    }
+  }
+  return br.CheckNoOverrun();
+}
+
+std::vector<uint8_t> ZfpLikeCompressReversible(std::span<const double> values) {
+  // Block-local delta in the ordered-integer domain: value 0 of each block is
+  // delta-coded against the previous block's value 0, values 1..3 against
+  // their left neighbour inside the block.
+  std::vector<uint8_t> classes;
+  classes.reserve(values.size());
+  std::vector<uint8_t> payload;
+  payload.reserve(values.size() * 4);
+
+  uint64_t prev = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint64_t ordered = ToOrdered(values[i]);
+    const uint64_t zz =
+        Zigzag(static_cast<int64_t>(ordered) - static_cast<int64_t>(prev));
+    prev = ordered;
+    int nbytes = 0;
+    uint64_t tmp = zz;
+    while (tmp != 0) {
+      ++nbytes;
+      tmp >>= 8;
+    }
+    classes.push_back(static_cast<uint8_t>(nbytes));
+    for (int b = nbytes - 1; b >= 0; --b) {
+      payload.push_back(static_cast<uint8_t>(zz >> (8 * b)));
+    }
+  }
+
+  const std::vector<uint8_t> class_lz = LzCompress(classes);
+  const std::vector<uint8_t> payload_lz = LzCompress(payload);
+
+  ByteWriter out;
+  out.PutVarint(values.size());
+  out.PutBlob(class_lz);
+  out.PutBlob(payload_lz);
+  return out.TakeBytes();
+}
+
+Status ZfpLikeDecompressReversible(std::span<const uint8_t> data,
+                                   std::vector<double>* out) {
+  ByteReader r(data);
+  uint64_t count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&count));
+  std::span<const uint8_t> class_blob, payload_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&class_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&payload_blob));
+
+  std::vector<uint8_t> classes, payload;
+  MDZ_RETURN_IF_ERROR(LzDecompress(class_blob, &classes));
+  MDZ_RETURN_IF_ERROR(LzDecompress(payload_blob, &payload));
+  if (classes.size() != count) {
+    return Status::Corruption("zfp reversible class count mismatch");
+  }
+
+  out->clear();
+  out->reserve(count);
+  uint64_t prev = 0;
+  size_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const int nbytes = classes[i];
+    if (nbytes > 8 || pos + nbytes > payload.size()) {
+      return Status::Corruption("zfp reversible payload truncated");
+    }
+    uint64_t zz = 0;
+    for (int b = 0; b < nbytes; ++b) zz = (zz << 8) | payload[pos++];
+    const uint64_t ordered =
+        static_cast<uint64_t>(static_cast<int64_t>(prev) + Unzigzag(zz));
+    prev = ordered;
+    out->push_back(FromOrdered(ordered));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

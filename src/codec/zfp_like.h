@@ -1,0 +1,38 @@
+#ifndef MDZ_CODEC_ZFP_LIKE_H_
+#define MDZ_CODEC_ZFP_LIKE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// ZFP-style transform codec for 1-D double streams, reimplemented from the
+// published algorithm (Lindstrom, TVCG'14): blocks of 4 values share a
+// block-floating-point exponent, are decorrelated with ZFP's integer lifting
+// transform, mapped to negabinary, and emitted as bit planes from the most
+// significant plane down.
+//
+// Two modes:
+//  * Fixed-accuracy (error-bounded lossy): bit planes below the tolerance-
+//    derived cutoff are dropped. |decoded - original| <= tolerance.
+//  * Reversible (lossless stand-in for the "ZFP" row of paper Table V):
+//    block-wise delta coding in the totally-ordered integer domain followed
+//    by byte-class + LZ coding. (True ZFP uses a different reversible
+//    transform; this preserves the block-local decorrelation behaviour.)
+std::vector<uint8_t> ZfpLikeCompressFixedAccuracy(std::span<const double> values,
+                                                  double tolerance);
+
+Status ZfpLikeDecompressFixedAccuracy(std::span<const uint8_t> data,
+                                      std::vector<double>* out);
+
+std::vector<uint8_t> ZfpLikeCompressReversible(std::span<const double> values);
+
+Status ZfpLikeDecompressReversible(std::span<const uint8_t> data,
+                                   std::vector<double>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_ZFP_LIKE_H_

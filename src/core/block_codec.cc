@@ -1,0 +1,539 @@
+#include "core/block_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "quant/quantizer.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::core::internal {
+
+namespace {
+
+// Level-index delta alphabet: symbol 0 escapes to a varint side channel,
+// symbols 1..kJAlphabet-1 encode zigzag(delta) inline.
+constexpr uint32_t kJAlphabet = 1024;
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// Clamp level indices so mu + lambda*L stays finite even for degenerate
+// level models; out-of-band predictions simply take the escape path.
+constexpr double kMaxLevel = 1e15;
+
+inline int64_t LevelOf(double value, const LevelModel& levels) {
+  const double l = std::round((value - levels.mu) / levels.lambda);
+  if (!(l > -kMaxLevel)) return static_cast<int64_t>(-kMaxLevel);
+  if (!(l < kMaxLevel)) return static_cast<int64_t>(kMaxLevel);
+  return static_cast<int64_t>(l);
+}
+
+// Interpolation processing order for the TI method: snapshot 0 first (coded
+// by the caller), then midpoints level by level with halving stride.
+// Identical on encode and decode.
+std::vector<std::pair<size_t, size_t>> InterpolationOrder(size_t s_count) {
+  std::vector<std::pair<size_t, size_t>> order;
+  if (s_count <= 1) return order;
+  size_t top = 1;
+  while (top * 2 < s_count) top *= 2;
+  for (size_t stride = top; stride >= 1; stride /= 2) {
+    for (size_t t = stride; t < s_count; t += 2 * stride) {
+      order.emplace_back(t, stride);
+    }
+    if (stride == 1) break;
+  }
+  return order;
+}
+
+// Spline prediction for the TI method from already-decoded snapshots:
+// cubic when the 4-anchor stencil exists, linear with both neighbors,
+// previous-anchor extrapolation at the right border.
+inline double InterpolatePredict(
+    const std::vector<std::vector<double>>& decoded,
+    const std::vector<uint8_t>& ready, size_t t, size_t stride,
+    size_t s_count, size_t i) {
+  const bool has_right = (t + stride < s_count) && ready[t + stride];
+  if (!has_right) return decoded[t - stride][i];
+  const bool has_far_left = (t >= 3 * stride) && ready[t - 3 * stride];
+  const bool has_far_right =
+      (t + 3 * stride < s_count) && ready[t + 3 * stride];
+  if (has_far_left && has_far_right) {
+    return (-decoded[t - 3 * stride][i] + 9.0 * decoded[t - stride][i] +
+            9.0 * decoded[t + stride][i] - decoded[t + 3 * stride][i]) /
+           16.0;
+  }
+  return 0.5 * (decoded[t - stride][i] + decoded[t + stride][i]);
+}
+
+// Positional index sequence of the TI processing order (snapshot 0 first,
+// then interpolation levels). TI codes are entropy-coded in this order so
+// that each interpolation level — whose residual statistics differ by an
+// order of magnitude between strides — forms a homogeneous region for the
+// dictionary coder.
+std::vector<size_t> TiPermutation(size_t s_count, size_t n) {
+  std::vector<size_t> perm;
+  perm.reserve(s_count * n);
+  for (size_t i = 0; i < n; ++i) perm.push_back(i);
+  for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+    (void)stride;
+    for (size_t i = 0; i < n; ++i) perm.push_back(t * n + i);
+  }
+  return perm;
+}
+
+// Transposes snapshot-major codes (s*n + i) to particle-major (i*s_count + s).
+std::vector<uint32_t> ToParticleMajor(const std::vector<uint32_t>& codes,
+                                      size_t s_count, size_t n) {
+  std::vector<uint32_t> out(codes.size());
+  for (size_t s = 0; s < s_count; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i * s_count + s] = codes[s * n + i];
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> FromParticleMajor(const std::vector<uint32_t>& codes,
+                                        size_t s_count, size_t n) {
+  std::vector<uint32_t> out(codes.size());
+  for (size_t s = 0; s < s_count; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      out[s * n + i] = codes[i * s_count + s];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockCodec::BlockCodec(double abs_eb, uint32_t quantization_scale,
+                       CodeLayout layout)
+    : abs_eb_(abs_eb), scale_(quantization_scale), layout_(layout) {}
+
+EncodedBlock BlockCodec::Encode(Method method,
+                                std::span<const std::vector<double>> buffer,
+                                const PredictorState& state,
+                                const LevelModel& levels) const {
+  const size_t s_count = buffer.size();
+  const size_t n = s_count == 0 ? 0 : buffer[0].size();
+  const quant::LinearQuantizer quantizer(abs_eb_, scale_);
+
+  // Positional code array (s * n + i); methods that process out of
+  // snapshot order (TI) still land codes at their logical position. Escapes
+  // stay in processing order, which encode and decode share.
+  std::vector<uint32_t> bins(s_count * n, 0);
+  std::vector<uint32_t> jcodes;  // level-delta symbols (VQ: all snaps, VQT: 1)
+  ByteWriter j_extras;           // escaped level deltas
+  ByteWriter escapes;            // verbatim doubles
+  size_t escape_count = 0;
+
+  std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
+
+  auto quantize = [&](double value, double pred, size_t s, size_t i) {
+    double dec;
+    const uint32_t code = quantizer.Encode(value, pred, &dec);
+    if (code == 0) {
+      escapes.Put<double>(value);
+      ++escape_count;
+    }
+    decoded[s][i] = dec;
+    bins[s * n + i] = code;
+  };
+
+  auto encode_vq_snapshot = [&](size_t s) {
+    int64_t prev_level = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = buffer[s][i];
+      const int64_t level = LevelOf(d, levels);
+      const uint64_t zz = Zigzag(level - prev_level);
+      prev_level = level;
+      if (zz < kJAlphabet - 1) {
+        jcodes.push_back(static_cast<uint32_t>(zz + 1));
+      } else {
+        jcodes.push_back(0);
+        j_extras.PutVarint(zz);
+      }
+      const double pred = levels.mu + levels.lambda * static_cast<double>(level);
+      quantize(d, pred, s, i);
+    }
+  };
+
+  auto encode_time_snapshot = [&](size_t s, const std::vector<double>& base) {
+    for (size_t i = 0; i < n; ++i) {
+      quantize(buffer[s][i], base[i], s, i);
+    }
+  };
+
+  switch (method) {
+    case Method::kVQ:
+      for (size_t s = 0; s < s_count; ++s) encode_vq_snapshot(s);
+      break;
+    case Method::kVQT:
+      if (s_count > 0) encode_vq_snapshot(0);
+      for (size_t s = 1; s < s_count; ++s) {
+        encode_time_snapshot(s, decoded[s - 1]);
+      }
+      break;
+    case Method::kMT:
+      if (s_count > 0) {
+        if (state.has_initial()) {
+          encode_time_snapshot(0, state.initial);
+        } else {
+          // Very first snapshot of the stream: order-1 Lorenzo in space.
+          for (size_t i = 0; i < n; ++i) {
+            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
+            quantize(buffer[0][i], pred, 0, i);
+          }
+        }
+      }
+      for (size_t s = 1; s < s_count; ++s) {
+        encode_time_snapshot(s, decoded[s - 1]);
+      }
+      break;
+    case Method::kTI: {
+      if (s_count > 0) {
+        if (state.has_prev_last()) {
+          encode_time_snapshot(0, state.prev_last);  // cross-buffer chain
+        } else if (state.has_initial()) {
+          encode_time_snapshot(0, state.initial);
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
+            quantize(buffer[0][i], pred, 0, i);
+          }
+        }
+      }
+      std::vector<uint8_t> ready(s_count, 0);
+      if (s_count > 0) ready[0] = 1;
+      for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+        for (size_t i = 0; i < n; ++i) {
+          const double pred =
+              InterpolatePredict(decoded, ready, t, stride, s_count, i);
+          quantize(buffer[t][i], pred, t, i);
+        }
+        ready[t] = 1;
+      }
+      break;
+    }
+    case Method::kAdaptive:
+      // Callers must resolve kAdaptive to a concrete method before Encode.
+      break;
+  }
+
+  // --- Entropy + dictionary stages -----------------------------------------
+  // Two candidate encodings of the quantization codes, smallest wins:
+  //  mode 0: Huffman symbols, then the dictionary coder (paper's
+  //          Zstd(Huffman(B)) pipeline) — best for high-entropy codes;
+  //  mode 1: raw u16-packed codes straight into the dictionary coder — best
+  //          when long runs of identical codes dominate (temporally stable
+  //          data in the Seq-2 layout), which bit-packed Huffman would hide.
+  std::vector<uint32_t> laid_storage;
+  if (method == Method::kTI && s_count > 1) {
+    const std::vector<size_t> perm = TiPermutation(s_count, n);
+    laid_storage.resize(bins.size());
+    for (size_t k = 0; k < perm.size(); ++k) laid_storage[k] = bins[perm[k]];
+  } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
+    laid_storage = ToParticleMajor(bins, s_count, n);
+  }
+  const std::vector<uint32_t>& laid =
+      laid_storage.empty() ? bins : laid_storage;
+  std::vector<uint8_t> jhuff;
+  if (!jcodes.empty()) jhuff = codec::HuffmanEncode(jcodes, kJAlphabet);
+
+  const std::vector<uint8_t> bhuff = codec::HuffmanEncode(laid, scale_);
+  ByteWriter main0;
+  main0.PutBlob(jhuff);
+  main0.PutBytes(bhuff.data(), bhuff.size());
+  std::vector<uint8_t> main_lz = codec::LzCompress(main0.bytes());
+  uint8_t b_mode = 0;
+
+  // Run structure only pays off when one code dominates; skip the second
+  // candidate otherwise to keep compression throughput high.
+  size_t dominant = 0;
+  if (!laid.empty()) {
+    std::vector<uint32_t> histogram(scale_, 0);
+    for (uint32_t code : laid) ++histogram[code];
+    for (uint32_t count : histogram) {
+      dominant = std::max<size_t>(dominant, count);
+    }
+  }
+  const bool try_packed =
+      !laid.empty() && dominant * 2 > laid.size() && scale_ <= (1u << 16);
+  if (try_packed) {
+    ByteWriter main1;
+    main1.PutBlob(jhuff);
+    for (uint32_t code : laid) main1.Put<uint16_t>(static_cast<uint16_t>(code));
+    std::vector<uint8_t> packed_lz = codec::LzCompress(main1.bytes());
+    if (packed_lz.size() < main_lz.size()) {
+      main_lz = std::move(packed_lz);
+      b_mode = 1;
+    }
+  }
+
+  ByteWriter side;
+  side.PutVarint(escape_count);
+  side.PutBytes(escapes.bytes().data(), escapes.size());
+  side.PutBlob(j_extras.bytes());
+  const std::vector<uint8_t> side_lz = codec::LzCompress(side.bytes());
+
+  EncodedBlock block;
+  ByteWriter out;
+  out.Put<uint8_t>(static_cast<uint8_t>(method));
+  out.PutVarint(s_count);
+  if (method == Method::kVQ || method == Method::kVQT) {
+    out.Put<double>(levels.mu);
+    out.Put<double>(levels.lambda);
+  }
+  out.Put<uint8_t>(b_mode);
+  out.PutBlob(side_lz);
+  out.PutBlob(main_lz);
+  block.bytes = out.TakeBytes();
+  block.escape_count = escape_count;
+
+  block.end_state = state;
+  if (!state.has_initial() && s_count > 0) {
+    block.end_state.initial = decoded[0];
+  }
+  if (s_count > 0) block.end_state.prev_last = decoded[s_count - 1];
+  return block;
+}
+
+Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
+                          PredictorState* state,
+                          std::vector<std::vector<double>>* out) const {
+  ByteReader r(bytes);
+  uint8_t method_byte = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
+  if (method_byte > 4 || method_byte == 3) {
+    return Status::Corruption("bad block method byte");
+  }
+  const Method method = static_cast<Method>(method_byte);
+
+  uint64_t s_count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
+  if (s_count == 0 || s_count > (1ull << 32) ||
+      s_count * n > (1ull << 31)) {
+    return Status::Corruption("bad block snapshot count");
+  }
+
+  LevelModel levels;
+  if (method == Method::kVQ || method == Method::kVQT) {
+    MDZ_RETURN_IF_ERROR(r.Get(&levels.mu));
+    MDZ_RETURN_IF_ERROR(r.Get(&levels.lambda));
+    if (!(levels.lambda > 0.0) || !std::isfinite(levels.mu)) {
+      return Status::Corruption("bad level model in block");
+    }
+    levels.valid = true;
+  }
+
+  uint8_t b_mode = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&b_mode));
+  if (b_mode > 1) return Status::Corruption("bad quant-code mode byte");
+
+  std::span<const uint8_t> side_blob, main_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&side_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&main_blob));
+
+  std::vector<uint8_t> side_bytes;
+  MDZ_RETURN_IF_ERROR(codec::LzDecompress(side_blob, &side_bytes));
+  ByteReader side(side_bytes);
+  uint64_t escape_count = 0;
+  MDZ_RETURN_IF_ERROR(side.GetVarint(&escape_count));
+  if (escape_count > side.remaining() / sizeof(double)) {
+    return Status::Corruption("escape count exceeds side channel size");
+  }
+  std::vector<double> escapes(escape_count);
+  MDZ_RETURN_IF_ERROR(
+      side.GetBytes(escapes.data(), escape_count * sizeof(double)));
+  std::span<const uint8_t> j_extras_blob;
+  MDZ_RETURN_IF_ERROR(side.GetBlob(&j_extras_blob));
+  ByteReader j_extras(j_extras_blob);
+
+  std::vector<uint8_t> main_bytes;
+  MDZ_RETURN_IF_ERROR(codec::LzDecompress(main_blob, &main_bytes));
+  ByteReader main(main_bytes);
+  std::span<const uint8_t> jhuff_blob;
+  MDZ_RETURN_IF_ERROR(main.GetBlob(&jhuff_blob));
+
+  std::vector<uint32_t> jcodes;
+  if (!jhuff_blob.empty()) {
+    MDZ_RETURN_IF_ERROR(codec::HuffmanDecode(jhuff_blob, &jcodes));
+  }
+  std::vector<uint32_t> laid;
+  if (b_mode == 0) {
+    const std::span<const uint8_t> bhuff(main_bytes.data() + main.position(),
+                                         main_bytes.size() - main.position());
+    MDZ_RETURN_IF_ERROR(codec::HuffmanDecode(bhuff, &laid));
+  } else {
+    const size_t count = s_count * n;
+    if (main.remaining() != count * sizeof(uint16_t)) {
+      return Status::Corruption("packed quant code size mismatch");
+    }
+    laid.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      uint16_t code = 0;
+      MDZ_RETURN_IF_ERROR(main.Get(&code));
+      laid[i] = code;
+    }
+  }
+  if (laid.size() != s_count * n) {
+    return Status::Corruption("quantization code count mismatch");
+  }
+  std::vector<uint32_t> bins;
+  if (method == Method::kTI && s_count > 1) {
+    const std::vector<size_t> perm = TiPermutation(s_count, n);
+    bins.resize(laid.size());
+    for (size_t k = 0; k < perm.size(); ++k) bins[perm[k]] = laid[k];
+  } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
+    bins = FromParticleMajor(laid, s_count, n);
+  } else {
+    bins = laid;
+  }
+
+  const size_t expected_j =
+      (method == Method::kVQ) ? s_count * n
+      : (method == Method::kVQT) ? n
+                                 : 0;
+  if (jcodes.size() != expected_j) {
+    return Status::Corruption("level-delta code count mismatch");
+  }
+
+  const quant::LinearQuantizer quantizer(abs_eb_, scale_);
+  size_t escape_pos = 0;
+  size_t j_pos = 0;
+
+  std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
+
+  auto reconstruct = [&](size_t s, size_t i, double pred) -> Status {
+    const uint32_t code = bins[s * n + i];
+    if (code == 0) {
+      if (escape_pos >= escapes.size()) {
+        return Status::Corruption("escape channel exhausted");
+      }
+      decoded[s][i] = escapes[escape_pos++];
+    } else {
+      if (code >= scale_) return Status::Corruption("quant code out of scale");
+      decoded[s][i] = quantizer.Decode(code, pred);
+    }
+    return Status::OK();
+  };
+
+  auto decode_vq_snapshot = [&](size_t s) -> Status {
+    int64_t prev_level = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t sym = jcodes[j_pos++];
+      uint64_t zz;
+      if (sym == 0) {
+        MDZ_RETURN_IF_ERROR(j_extras.GetVarint(&zz));
+      } else {
+        zz = sym - 1;
+      }
+      const int64_t level = prev_level + Unzigzag(zz);
+      prev_level = level;
+      const double pred =
+          levels.mu + levels.lambda * static_cast<double>(level);
+      MDZ_RETURN_IF_ERROR(reconstruct(s, i, pred));
+    }
+    return Status::OK();
+  };
+
+  auto decode_time_snapshot = [&](size_t s,
+                                  const std::vector<double>& base) -> Status {
+    for (size_t i = 0; i < n; ++i) {
+      MDZ_RETURN_IF_ERROR(reconstruct(s, i, base[i]));
+    }
+    return Status::OK();
+  };
+
+  switch (method) {
+    case Method::kVQ:
+      for (size_t s = 0; s < s_count; ++s) {
+        MDZ_RETURN_IF_ERROR(decode_vq_snapshot(s));
+      }
+      break;
+    case Method::kVQT:
+      MDZ_RETURN_IF_ERROR(decode_vq_snapshot(0));
+      for (size_t s = 1; s < s_count; ++s) {
+        MDZ_RETURN_IF_ERROR(decode_time_snapshot(s, decoded[s - 1]));
+      }
+      break;
+    case Method::kMT:
+      if (state->has_initial()) {
+        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->initial));
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t code = bins[i];
+          if (code == 0) {
+            if (escape_pos >= escapes.size()) {
+              return Status::Corruption("escape channel exhausted");
+            }
+            decoded[0][i] = escapes[escape_pos++];
+          } else {
+            if (code >= scale_) {
+              return Status::Corruption("quant code out of scale");
+            }
+            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
+            decoded[0][i] = quantizer.Decode(code, pred);
+          }
+        }
+      }
+      for (size_t s = 1; s < s_count; ++s) {
+        MDZ_RETURN_IF_ERROR(decode_time_snapshot(s, decoded[s - 1]));
+      }
+      break;
+    case Method::kTI: {
+      if (state->has_prev_last()) {
+        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->prev_last));
+      } else if (state->has_initial()) {
+        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->initial));
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t code = bins[i];
+          if (code == 0) {
+            if (escape_pos >= escapes.size()) {
+              return Status::Corruption("escape channel exhausted");
+            }
+            decoded[0][i] = escapes[escape_pos++];
+          } else {
+            if (code >= scale_) {
+              return Status::Corruption("quant code out of scale");
+            }
+            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
+            decoded[0][i] = quantizer.Decode(code, pred);
+          }
+        }
+      }
+      std::vector<uint8_t> ready(s_count, 0);
+      ready[0] = 1;
+      for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+        for (size_t i = 0; i < n; ++i) {
+          const double pred =
+              InterpolatePredict(decoded, ready, t, stride, s_count, i);
+          MDZ_RETURN_IF_ERROR(reconstruct(t, i, pred));
+        }
+        ready[t] = 1;
+      }
+      break;
+    }
+    case Method::kAdaptive:
+      return Status::Corruption("adaptive method byte in block");
+  }
+
+  if (!state->has_initial()) {
+    state->initial = decoded[0];
+  }
+  state->prev_last = decoded[s_count - 1];
+  for (auto& snapshot : decoded) {
+    out->push_back(std::move(snapshot));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::core::internal

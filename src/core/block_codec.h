@@ -1,0 +1,75 @@
+#ifndef MDZ_CORE_BLOCK_CODEC_H_
+#define MDZ_CORE_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mdz.h"
+#include "util/status.h"
+
+namespace mdz::core::internal {
+
+// Cross-buffer predictor state. For the paper's methods, the only
+// information that flows between buffers is the (decompressed) initial
+// snapshot of the whole stream, which the MT predictor uses for the first
+// snapshot of every buffer — that is what makes blocks independently
+// decodable. The TI extension additionally chains on the previous buffer's
+// last decoded snapshot (`prev_last`, maintained for every block), trading
+// random access for cross-buffer temporal continuity.
+struct PredictorState {
+  std::vector<double> initial;    // empty until the first buffer is coded
+  std::vector<double> prev_last;  // last decoded snapshot of the prior block
+
+  bool has_initial() const { return !initial.empty(); }
+  bool has_prev_last() const { return !prev_last.empty(); }
+};
+
+// Level grid used by the VQ predictor (paper Algorithm 1): level j sits at
+// mu + lambda * j.
+struct LevelModel {
+  double mu = 0.0;
+  double lambda = 1.0;
+  bool valid = false;
+};
+
+struct EncodedBlock {
+  std::vector<uint8_t> bytes;
+  PredictorState end_state;
+  size_t escape_count = 0;
+};
+
+// Encodes/decodes one buffer (S snapshots x N values) with one of the three
+// MDZ prediction strategies. Stateless apart from configuration; predictor
+// state is threaded through explicitly so the adaptive selector can trial-
+// compress the same buffer with several methods from the same entry state.
+class BlockCodec {
+ public:
+  // `abs_eb` is the resolved absolute error bound.
+  BlockCodec(double abs_eb, uint32_t quantization_scale, CodeLayout layout);
+
+  // Encodes `buffer` with `method`. For VQ/VQT, `levels` must be valid.
+  EncodedBlock Encode(Method method,
+                      std::span<const std::vector<double>> buffer,
+                      const PredictorState& state,
+                      const LevelModel& levels) const;
+
+  // Decodes a block produced by Encode. `n` is the per-snapshot value count
+  // from the stream header. Appends S decoded snapshots to *out and advances
+  // *state exactly as the encoder did.
+  Status Decode(std::span<const uint8_t> bytes, size_t n,
+                PredictorState* state,
+                std::vector<std::vector<double>>* out) const;
+
+  double absolute_error_bound() const { return abs_eb_; }
+  uint32_t quantization_scale() const { return scale_; }
+
+ private:
+  double abs_eb_;
+  uint32_t scale_;
+  CodeLayout layout_;
+};
+
+}  // namespace mdz::core::internal
+
+#endif  // MDZ_CORE_BLOCK_CODEC_H_

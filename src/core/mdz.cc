@@ -1,0 +1,545 @@
+#include "core/mdz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/block_codec.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::core {
+
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+constexpr char kMagic[4] = {'M', 'D', 'Z', 'F'};
+
+using internal::BlockCodec;
+using internal::EncodedBlock;
+using internal::LevelModel;
+using internal::PredictorState;
+
+}  // namespace
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kVQ:
+      return "VQ";
+    case Method::kVQT:
+      return "VQT";
+    case Method::kMT:
+      return "MT";
+    case Method::kAdaptive:
+      return "ADP";
+    case Method::kTI:
+      return "TI";
+  }
+  return "Unknown";
+}
+
+Status Options::Validate() const {
+  if (!(error_bound > 0.0) || !std::isfinite(error_bound)) {
+    return Status::InvalidArgument("error_bound must be positive and finite");
+  }
+  if (buffer_size == 0) {
+    return Status::InvalidArgument("buffer_size must be >= 1");
+  }
+  if (quantization_scale < 4 || quantization_scale > (1u << 20)) {
+    return Status::InvalidArgument("quantization_scale out of [4, 2^20]");
+  }
+  if ((quantization_scale & (quantization_scale - 1)) != 0) {
+    return Status::InvalidArgument("quantization_scale must be a power of two");
+  }
+  if (layout != CodeLayout::kSnapshotMajor &&
+      layout != CodeLayout::kParticleMajor) {
+    return Status::InvalidArgument("bad code layout");
+  }
+  if (adaptation_interval == 0) {
+    return Status::InvalidArgument("adaptation_interval must be >= 1");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FieldCompressor
+// ---------------------------------------------------------------------------
+
+struct FieldCompressor::Impl {
+  size_t n = 0;
+  Options options;
+
+  std::vector<std::vector<double>> buffer;  // pending snapshots
+  std::vector<uint8_t> output;
+  CompressorStats stats;
+
+  bool header_written = false;
+  double abs_eb = 0.0;
+  LevelModel levels;
+  bool levels_computed = false;
+  PredictorState state;
+
+  Method current_method = Method::kMT;  // ADP's committed choice
+  size_t buffers_since_adaptation = 0;
+
+  size_t last_block_bytes = 0;
+  Method last_block_method = Method::kMT;
+  bool finished = false;
+
+  Status EnsureHeader() {
+    if (header_written) return Status::OK();
+    // Resolve the absolute error bound (value-range mode uses the range of
+    // the first buffer, per the paper's batched execution model).
+    abs_eb = options.error_bound;
+    if (options.error_bound_mode == ErrorBoundMode::kValueRangeRelative) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const auto& snapshot : buffer) {
+        for (double v : snapshot) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      const double range = (hi > lo) ? (hi - lo) : 0.0;
+      abs_eb = (range > 0.0) ? options.error_bound * range
+                             : options.error_bound;
+    }
+
+    ByteWriter w;
+    w.PutBytes(kMagic, sizeof(kMagic));
+    w.Put<uint8_t>(kFormatVersion);
+    w.PutVarint(n);
+    w.Put<double>(abs_eb);
+    w.PutVarint(options.quantization_scale);
+    w.Put<uint8_t>(static_cast<uint8_t>(options.layout));
+    const std::vector<uint8_t> header = w.TakeBytes();
+    output.insert(output.end(), header.begin(), header.end());
+    header_written = true;
+    return Status::OK();
+  }
+
+  void EnsureLevels() {
+    if (levels_computed || buffer.empty()) return;
+    // Paper: the k-means level model is computed once, on (a 10% sample of)
+    // the first snapshot of the simulation, and reused afterwards.
+    auto fit = cluster::FitLevels(buffer[0], options.level_fit);
+    if (fit.ok()) {
+      levels.mu = fit->mu;
+      levels.lambda = std::max(fit->lambda, 1e-300);
+      levels.valid = levels.lambda > 0.0 && std::isfinite(levels.lambda) &&
+                     std::isfinite(levels.mu);
+    }
+    if (!levels.valid) {
+      levels.mu = 0.0;
+      levels.lambda = 1.0;
+      levels.valid = true;
+    }
+    levels_computed = true;
+  }
+
+  Status FlushBuffer() {
+    if (buffer.empty()) return Status::OK();
+    MDZ_RETURN_IF_ERROR(EnsureHeader());
+    EnsureLevels();
+
+    const BlockCodec codec(abs_eb, options.quantization_scale, options.layout);
+
+    EncodedBlock chosen;
+    Method chosen_method;
+    if (options.method != Method::kAdaptive) {
+      chosen_method = options.method;
+      chosen = codec.Encode(chosen_method, buffer, state, levels);
+    } else {
+      // Evaluate on the first two buffers (buffer 0 cannot expose MT's
+      // initial-snapshot predictor, which only kicks in once snapshot 0 is
+      // known), then every adaptation_interval buffers.
+      const bool evaluate =
+          stats.buffers_out <= 1 ||
+          buffers_since_adaptation >= options.adaptation_interval;
+      if (evaluate) {
+        // Trial-compress the candidate strategies from the same entry state
+        // and keep the smallest output (paper Section VI-D). TI joins the
+        // candidate set only when explicitly enabled (extension).
+        chosen_method = Method::kVQ;
+        chosen = codec.Encode(Method::kVQ, buffer, state, levels);
+        std::vector<Method> candidates = {Method::kVQT, Method::kMT};
+        if (options.enable_interpolation && buffer.size() > 2) {
+          candidates.push_back(Method::kTI);
+        }
+        for (Method m : candidates) {
+          EncodedBlock trial = codec.Encode(m, buffer, state, levels);
+          if (trial.bytes.size() < chosen.bytes.size()) {
+            chosen = std::move(trial);
+            chosen_method = m;
+          }
+        }
+        current_method = chosen_method;
+        buffers_since_adaptation = 0;
+        ++stats.adaptation_runs;
+      } else {
+        chosen_method = current_method;
+        chosen = codec.Encode(chosen_method, buffer, state, levels);
+      }
+      ++buffers_since_adaptation;
+    }
+
+    state = std::move(chosen.end_state);
+    ByteWriter framed;
+    framed.PutVarint(chosen.bytes.size());
+    output.insert(output.end(), framed.bytes().begin(), framed.bytes().end());
+    output.insert(output.end(), chosen.bytes.begin(), chosen.bytes.end());
+
+    last_block_bytes = chosen.bytes.size() + framed.size();
+    last_block_method = chosen_method;
+    stats.escape_count += chosen.escape_count;
+    ++stats.buffers_out;
+    stats.compressed_bytes = output.size();
+    stats.current_method = chosen_method;
+    buffer.clear();
+    return Status::OK();
+  }
+};
+
+FieldCompressor::FieldCompressor() : impl_(new Impl()) {}
+FieldCompressor::~FieldCompressor() = default;
+
+Result<std::unique_ptr<FieldCompressor>> FieldCompressor::Create(
+    size_t num_particles, const Options& options) {
+  MDZ_RETURN_IF_ERROR(options.Validate());
+  if (num_particles == 0) {
+    return Status::InvalidArgument("num_particles must be >= 1");
+  }
+  auto compressor = std::unique_ptr<FieldCompressor>(new FieldCompressor());
+  compressor->impl_->n = num_particles;
+  compressor->impl_->options = options;
+  return compressor;
+}
+
+Status FieldCompressor::Append(std::span<const double> snapshot) {
+  Impl& impl = *impl_;
+  if (impl.finished) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  if (snapshot.size() != impl.n) {
+    return Status::InvalidArgument("snapshot size != num_particles");
+  }
+  impl.buffer.emplace_back(snapshot.begin(), snapshot.end());
+  ++impl.stats.snapshots_in;
+  impl.stats.raw_bytes += snapshot.size() * sizeof(double);
+  if (impl.buffer.size() >= impl.options.buffer_size) {
+    return impl.FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status FieldCompressor::Finish() {
+  Impl& impl = *impl_;
+  if (impl.finished) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  MDZ_RETURN_IF_ERROR(impl.FlushBuffer());
+  MDZ_RETURN_IF_ERROR(impl.EnsureHeader());  // empty stream still gets header
+  impl.finished = true;
+  impl.stats.compressed_bytes = impl.output.size();
+  return Status::OK();
+}
+
+const std::vector<uint8_t>& FieldCompressor::output() const {
+  return impl_->output;
+}
+
+std::vector<uint8_t> FieldCompressor::TakeOutput() {
+  return std::move(impl_->output);
+}
+
+const CompressorStats& FieldCompressor::stats() const { return impl_->stats; }
+
+size_t FieldCompressor::last_block_bytes() const {
+  return impl_->last_block_bytes;
+}
+
+Method FieldCompressor::last_block_method() const {
+  return impl_->last_block_method;
+}
+
+// ---------------------------------------------------------------------------
+// FieldDecompressor
+// ---------------------------------------------------------------------------
+
+struct FieldDecompressor::Impl {
+  std::span<const uint8_t> data;
+  size_t pos = 0;
+
+  size_t n = 0;
+  double abs_eb = 0.0;
+  uint32_t scale = 0;
+  CodeLayout layout = CodeLayout::kParticleMajor;
+
+  PredictorState state;
+  std::vector<std::vector<double>> pending;  // decoded, not yet handed out
+  size_t pending_pos = 0;
+
+  // Lazily built random-access index.
+  struct BlockEntry {
+    size_t offset;          // byte offset of the framed block
+    size_t first_snapshot;  // global index of its first snapshot
+    size_t s_count;
+  };
+  std::vector<BlockEntry> index;
+  bool index_built = false;
+  // True if any block uses the TI method, which chains on the previous
+  // buffer: random access then degrades to sequential decoding.
+  bool chained = false;
+  size_t header_end = 0;  // position right after the stream header
+
+  Status ParseHeader() {
+    ByteReader r(data);
+    char magic[4];
+    MDZ_RETURN_IF_ERROR(r.GetBytes(magic, 4));
+    if (std::memcmp(magic, kMagic, 4) != 0) {
+      return Status::Corruption("bad MDZ magic");
+    }
+    uint8_t version = 0;
+    MDZ_RETURN_IF_ERROR(r.Get(&version));
+    if (version != kFormatVersion) {
+      return Status::Corruption("unsupported MDZ format version");
+    }
+    uint64_t n64 = 0;
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&n64));
+    if (n64 == 0 || n64 > (1ull << 31)) {
+      return Status::Corruption("bad particle count in header");
+    }
+    n = n64;
+    MDZ_RETURN_IF_ERROR(r.Get(&abs_eb));
+    if (!(abs_eb > 0.0) || !std::isfinite(abs_eb)) {
+      return Status::Corruption("bad error bound in header");
+    }
+    uint64_t scale64 = 0;
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&scale64));
+    if (scale64 < 4 || scale64 > (1u << 20)) {
+      return Status::Corruption("bad quantization scale in header");
+    }
+    scale = static_cast<uint32_t>(scale64);
+    uint8_t layout_byte = 0;
+    MDZ_RETURN_IF_ERROR(r.Get(&layout_byte));
+    if (layout_byte != 1 && layout_byte != 2) {
+      return Status::Corruption("bad code layout in header");
+    }
+    layout = static_cast<CodeLayout>(layout_byte);
+    pos = r.position();
+    header_end = pos;
+    return Status::OK();
+  }
+
+  // Scans block frames (without decoding payloads) to build the seek index.
+  Status BuildIndex() {
+    if (index_built) return Status::OK();
+    size_t offset = header_end;
+    size_t snapshot = 0;
+    while (offset < data.size()) {
+      ByteReader r(data.subspan(offset));
+      std::span<const uint8_t> block;
+      MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
+      // Peek the block header: method byte + snapshot count varint.
+      ByteReader peek(block);
+      uint8_t method = 0;
+      MDZ_RETURN_IF_ERROR(peek.Get(&method));
+      if (method == static_cast<uint8_t>(Method::kTI)) chained = true;
+      uint64_t s_count = 0;
+      MDZ_RETURN_IF_ERROR(peek.GetVarint(&s_count));
+      if (s_count == 0) return Status::Corruption("empty block in stream");
+      index.push_back({offset, snapshot, static_cast<size_t>(s_count)});
+      snapshot += s_count;
+      offset += r.position();
+    }
+    index_built = true;
+    return Status::OK();
+  }
+
+  // Decodes the block at index[i] into `pending` (clears it first).
+  // Block 0 is special: it was encoded before snapshot 0 existed, so it must
+  // always be decoded with an empty predictor state (re-decoding it with
+  // `initial` set would flip MT's first-snapshot branch).
+  Status DecodeBlockAt(size_t i) {
+    ByteReader r(data.subspan(index[i].offset));
+    std::span<const uint8_t> block;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
+    const BlockCodec codec(abs_eb, scale, layout);
+    pending.clear();
+    pending_pos = 0;
+    if (i == 0) {
+      PredictorState fresh;
+      MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &fresh, &pending));
+      if (!state.has_initial()) state = std::move(fresh);
+      return Status::OK();
+    }
+    return codec.Decode(block, n, &state, &pending);
+  }
+
+  // Ensures state.initial is populated (decodes the first block once).
+  Status EnsureInitialState() {
+    if (state.has_initial()) return Status::OK();
+    MDZ_RETURN_IF_ERROR(BuildIndex());
+    if (index.empty()) return Status::OutOfRange("empty stream");
+    std::vector<std::vector<double>> scratch;
+    ByteReader r(data.subspan(index[0].offset));
+    std::span<const uint8_t> block;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
+    const BlockCodec codec(abs_eb, scale, layout);
+    return codec.Decode(block, n, &state, &scratch);
+  }
+
+  // Decodes the next block into `pending`; returns false at end of stream.
+  Result<bool> DecodeNextBlock() {
+    if (pos >= data.size()) return false;
+    ByteReader r(data.subspan(pos));
+    std::span<const uint8_t> block;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
+    pos += r.position();
+
+    const BlockCodec codec(abs_eb, scale, layout);
+    pending.clear();
+    pending_pos = 0;
+    MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &state, &pending));
+    return true;
+  }
+};
+
+FieldDecompressor::FieldDecompressor() : impl_(new Impl()) {}
+FieldDecompressor::~FieldDecompressor() = default;
+
+Result<std::unique_ptr<FieldDecompressor>> FieldDecompressor::Open(
+    std::span<const uint8_t> data) {
+  auto decompressor =
+      std::unique_ptr<FieldDecompressor>(new FieldDecompressor());
+  decompressor->impl_->data = data;
+  MDZ_RETURN_IF_ERROR(decompressor->impl_->ParseHeader());
+  return decompressor;
+}
+
+size_t FieldDecompressor::num_particles() const { return impl_->n; }
+
+double FieldDecompressor::absolute_error_bound() const {
+  return impl_->abs_eb;
+}
+
+Result<size_t> FieldDecompressor::CountSnapshots() {
+  MDZ_RETURN_IF_ERROR(impl_->BuildIndex());
+  if (impl_->index.empty()) return size_t{0};
+  const auto& last = impl_->index.back();
+  return last.first_snapshot + last.s_count;
+}
+
+Status FieldDecompressor::SeekToSnapshot(size_t index) {
+  Impl& impl = *impl_;
+  MDZ_RETURN_IF_ERROR(impl.BuildIndex());
+  MDZ_RETURN_IF_ERROR(impl.EnsureInitialState());
+
+  // Binary search for the block containing `index`.
+  size_t lo = 0, hi = impl.index.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (impl.index[mid].first_snapshot <= index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (impl.index.empty() ||
+      index >= impl.index[lo].first_snapshot + impl.index[lo].s_count) {
+    return Status::OutOfRange("snapshot index beyond end of stream");
+  }
+  if (impl.chained) {
+    // TI blocks chain on the previous buffer: replay blocks 0..lo with a
+    // fresh state (correct but sequential — the price of interpolation).
+    impl.state = internal::PredictorState();
+    for (size_t k = 0; k < lo; ++k) {
+      MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(k));
+    }
+  }
+  MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(lo));
+  impl.pending_pos = index - impl.index[lo].first_snapshot;
+  // Continue sequential reads after the block.
+  impl.pos = (lo + 1 < impl.index.size()) ? impl.index[lo + 1].offset
+                                          : impl.data.size();
+  return Status::OK();
+}
+
+Result<bool> FieldDecompressor::Next(std::vector<double>* out) {
+  Impl& impl = *impl_;
+  if (impl.pending_pos >= impl.pending.size()) {
+    MDZ_ASSIGN_OR_RETURN(const bool more, impl.DecodeNextBlock());
+    if (!more) return false;
+  }
+  *out = std::move(impl.pending[impl.pending_pos++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot helpers
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint8_t>> CompressField(
+    const std::vector<std::vector<double>>& snapshots, const Options& options) {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("no snapshots to compress");
+  }
+  MDZ_ASSIGN_OR_RETURN(auto compressor,
+                       FieldCompressor::Create(snapshots[0].size(), options));
+  for (const auto& snapshot : snapshots) {
+    MDZ_RETURN_IF_ERROR(compressor->Append(snapshot));
+  }
+  MDZ_RETURN_IF_ERROR(compressor->Finish());
+  return compressor->TakeOutput();
+}
+
+Result<std::vector<std::vector<double>>> DecompressField(
+    std::span<const uint8_t> data) {
+  MDZ_ASSIGN_OR_RETURN(auto decompressor, FieldDecompressor::Open(data));
+  std::vector<std::vector<double>> snapshots;
+  std::vector<double> snapshot;
+  while (true) {
+    MDZ_ASSIGN_OR_RETURN(const bool more, decompressor->Next(&snapshot));
+    if (!more) break;
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+Result<CompressedTrajectory> CompressTrajectory(const Trajectory& trajectory,
+                                                const Options& options) {
+  if (trajectory.num_snapshots() == 0) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  CompressedTrajectory out;
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_ASSIGN_OR_RETURN(
+        auto compressor,
+        FieldCompressor::Create(trajectory.num_particles(), options));
+    for (const Snapshot& s : trajectory.snapshots) {
+      MDZ_RETURN_IF_ERROR(compressor->Append(s.axes[axis]));
+    }
+    MDZ_RETURN_IF_ERROR(compressor->Finish());
+    out.axes[axis] = compressor->TakeOutput();
+  }
+  return out;
+}
+
+Result<Trajectory> DecompressTrajectory(
+    const CompressedTrajectory& compressed) {
+  Trajectory out;
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_ASSIGN_OR_RETURN(auto snapshots, DecompressField(compressed.axes[axis]));
+    if (axis == 0) {
+      out.snapshots.resize(snapshots.size());
+    } else if (snapshots.size() != out.snapshots.size()) {
+      return Status::Corruption("axis streams have different snapshot counts");
+    }
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      out.snapshots[s].axes[axis] = std::move(snapshots[s]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdz::core

@@ -1,0 +1,179 @@
+#ifndef MDZ_CORE_MDZ_H_
+#define MDZ_CORE_MDZ_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/kmeans1d.h"
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::core {
+
+// Prediction strategy (paper Section VI). kAdaptive (ADP) trial-compresses
+// with the candidate methods periodically and keeps the winner.
+enum class Method : uint8_t {
+  kVQ = 0,   // vector-quantization (spatial levels), snapshot-independent
+  kVQT = 1,  // VQ on the buffer's first snapshot, time prediction after
+  kMT = 2,   // snapshot-0 prediction for the first, time prediction after
+  kAdaptive = 3,  // selector; never appears in the stream
+  // Extension (not in the paper): temporal spline interpolation within the
+  // buffer (SZ3-style two-sided prediction). Off by default for ADP; see
+  // Options::enable_interpolation.
+  kTI = 4,
+};
+
+std::string_view MethodName(Method method);
+
+enum class ErrorBoundMode : uint8_t {
+  kAbsolute = 0,
+  // Paper's epsilon: absolute bound = epsilon * (max - min), resolved on the
+  // first buffer of data and frozen for the rest of the stream.
+  kValueRangeRelative = 1,
+};
+
+// Quantization-code layout inside a buffer (paper Section VI-C2).
+enum class CodeLayout : uint8_t {
+  kSnapshotMajor = 1,  // Seq-1
+  kParticleMajor = 2,  // Seq-2 (default; better dictionary-coder locality)
+};
+
+struct Options {
+  double error_bound = 1e-3;
+  ErrorBoundMode error_bound_mode = ErrorBoundMode::kValueRangeRelative;
+  Method method = Method::kAdaptive;
+  uint32_t buffer_size = 10;            // BS: snapshots per buffer
+  uint32_t quantization_scale = 1024;   // paper Section VI-C1
+  CodeLayout layout = CodeLayout::kParticleMajor;
+  uint32_t adaptation_interval = 50;    // ADP re-evaluation period (buffers)
+  // Adds the TI (temporal interpolation) predictor to ADP's candidate set.
+  // Off by default so the adaptive selector matches the paper's VQ/VQT/MT
+  // design; turn on for maximum ratio on temporally smooth data.
+  bool enable_interpolation = false;
+  cluster::LevelFitOptions level_fit;   // VQ level-detection knobs
+
+  Status Validate() const;
+};
+
+// Per-stream statistics exposed by the compressor (for the adaptive-tracking
+// experiments and the examples).
+struct CompressorStats {
+  size_t snapshots_in = 0;
+  size_t buffers_out = 0;
+  size_t raw_bytes = 0;
+  size_t compressed_bytes = 0;
+  size_t escape_count = 0;      // values stored verbatim
+  size_t adaptation_runs = 0;   // ADP trial rounds executed
+  Method current_method = Method::kVQ;
+
+  double compression_ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+// Streaming compressor for one scalar field (one axis of an MD trajectory):
+// snapshots are appended one at a time, buffered BS at a time, and each full
+// buffer is compressed into a self-contained block. This mirrors the paper's
+// execution model where only a bounded window of snapshots is ever held in
+// memory.
+class FieldCompressor {
+ public:
+  // num_particles is the fixed per-snapshot length N.
+  static Result<std::unique_ptr<FieldCompressor>> Create(size_t num_particles,
+                                                         const Options& options);
+  ~FieldCompressor();
+
+  FieldCompressor(const FieldCompressor&) = delete;
+  FieldCompressor& operator=(const FieldCompressor&) = delete;
+
+  // Appends one snapshot (size must equal num_particles). Compression of a
+  // buffer happens transparently when BS snapshots have accumulated.
+  Status Append(std::span<const double> snapshot);
+
+  // Flushes a partial final buffer. Must be called exactly once, after the
+  // last Append.
+  Status Finish();
+
+  const std::vector<uint8_t>& output() const;
+  std::vector<uint8_t> TakeOutput();
+  const CompressorStats& stats() const;
+
+  // Size of compressed output produced for the most recent buffer, and the
+  // method that produced it (diagnostics for Fig. 10/11).
+  size_t last_block_bytes() const;
+  Method last_block_method() const;
+
+ private:
+  FieldCompressor();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Streaming decompressor: yields snapshots in order.
+class FieldDecompressor {
+ public:
+  // Parses the stream header. `data` must stay alive while decompressing.
+  static Result<std::unique_ptr<FieldDecompressor>> Open(
+      std::span<const uint8_t> data);
+  ~FieldDecompressor();
+
+  FieldDecompressor(const FieldDecompressor&) = delete;
+  FieldDecompressor& operator=(const FieldDecompressor&) = delete;
+
+  size_t num_particles() const;
+  double absolute_error_bound() const;
+
+  // Decodes the next snapshot into *out (resized to num_particles).
+  // Returns false (with *out untouched) when the stream is exhausted.
+  Result<bool> Next(std::vector<double>* out);
+
+  // Total snapshots in the stream (scans the block index lazily; O(#blocks)
+  // the first time, O(1) after).
+  Result<size_t> CountSnapshots();
+
+  // Random access: positions the stream so the next Next() returns snapshot
+  // `index`. Only the containing buffer (plus, once, the stream's first
+  // buffer, which seeds the MT predictor state) is decoded — decompressing
+  // snapshot k does not require decompressing the k-1 preceding snapshots
+  // (paper Section VI: VQ/buffer independence).
+  Status SeekToSnapshot(size_t index);
+
+ private:
+  FieldDecompressor();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- One-shot helpers -------------------------------------------------------
+
+// Compresses a whole field given as M snapshots of N values.
+Result<std::vector<uint8_t>> CompressField(
+    const std::vector<std::vector<double>>& snapshots, const Options& options);
+
+Result<std::vector<std::vector<double>>> DecompressField(
+    std::span<const uint8_t> data);
+
+// Compresses all three axes of a trajectory (independent streams, as in the
+// paper where per-axis results are reported).
+struct CompressedTrajectory {
+  std::array<std::vector<uint8_t>, 3> axes;
+
+  size_t total_bytes() const {
+    return axes[0].size() + axes[1].size() + axes[2].size();
+  }
+};
+
+Result<CompressedTrajectory> CompressTrajectory(const Trajectory& trajectory,
+                                                const Options& options);
+
+Result<Trajectory> DecompressTrajectory(const CompressedTrajectory& compressed);
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_MDZ_H_

@@ -1,0 +1,74 @@
+#include "core/parallel.h"
+
+#include <thread>
+
+namespace mdz::core {
+
+namespace {
+
+// Runs fn(axis) for axis 0..2 on three threads and collects the per-axis
+// Status. Exceptions cannot cross (the library is exception-free), so plain
+// joins suffice.
+template <typename Fn>
+Status RunPerAxis(Fn&& fn) {
+  Status statuses[3];
+  std::thread threads[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    threads[axis] = std::thread([axis, &fn, &statuses] {
+      statuses[axis] = fn(axis);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CompressedTrajectory> CompressTrajectoryParallel(
+    const Trajectory& trajectory, const Options& options) {
+  if (trajectory.num_snapshots() == 0) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  MDZ_RETURN_IF_ERROR(options.Validate());
+
+  CompressedTrajectory out;
+  MDZ_RETURN_IF_ERROR(RunPerAxis([&](int axis) -> Status {
+    MDZ_ASSIGN_OR_RETURN(
+        auto compressor,
+        FieldCompressor::Create(trajectory.num_particles(), options));
+    for (const Snapshot& snapshot : trajectory.snapshots) {
+      MDZ_RETURN_IF_ERROR(compressor->Append(snapshot.axes[axis]));
+    }
+    MDZ_RETURN_IF_ERROR(compressor->Finish());
+    out.axes[axis] = compressor->TakeOutput();
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<Trajectory> DecompressTrajectoryParallel(
+    const CompressedTrajectory& compressed) {
+  Trajectory out;
+  std::array<std::vector<std::vector<double>>, 3> axes;
+  MDZ_RETURN_IF_ERROR(RunPerAxis([&](int axis) -> Status {
+    MDZ_ASSIGN_OR_RETURN(axes[axis], DecompressField(compressed.axes[axis]));
+    return Status::OK();
+  }));
+
+  const size_t m = axes[0].size();
+  if (axes[1].size() != m || axes[2].size() != m) {
+    return Status::Corruption("axis streams have different snapshot counts");
+  }
+  out.snapshots.resize(m);
+  for (size_t s = 0; s < m; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      out.snapshots[s].axes[axis] = std::move(axes[axis][s]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdz::core

@@ -1,0 +1,21 @@
+#ifndef MDZ_CORE_PARALLEL_H_
+#define MDZ_CORE_PARALLEL_H_
+
+#include "core/mdz.h"
+
+namespace mdz::core {
+
+// Multithreaded trajectory compression/decompression: the three axis streams
+// are independent (paper: per-axis compression), so they compress on
+// separate threads. The output is byte-identical to the serial
+// CompressTrajectory — parallelism changes wall-clock only, never the
+// format.
+Result<CompressedTrajectory> CompressTrajectoryParallel(
+    const Trajectory& trajectory, const Options& options);
+
+Result<Trajectory> DecompressTrajectoryParallel(
+    const CompressedTrajectory& compressed);
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_PARALLEL_H_

@@ -1,0 +1,134 @@
+#include "core/pointwise_relative.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "codec/lz.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'D', 'Z', 'P'};
+
+// Per-value 2-bit tag packed four to a byte: 0 = positive, 1 = negative,
+// 2 = exact zero (or subnormal treated as zero).
+enum Tag : uint8_t { kPositive = 0, kNegative = 1, kZero = 2 };
+
+}  // namespace
+
+Result<std::vector<uint8_t>> CompressFieldPointwiseRelative(
+    const std::vector<std::vector<double>>& snapshots, double rel_bound,
+    const Options& base) {
+  if (snapshots.empty() || snapshots[0].empty()) {
+    return Status::InvalidArgument("empty field");
+  }
+  if (!(rel_bound > 0.0) || rel_bound >= 1.0) {
+    return Status::InvalidArgument("rel_bound must be in (0, 1)");
+  }
+  const size_t n = snapshots[0].size();
+
+  // Transform to sign tags + log magnitudes. Zeros keep a placeholder log
+  // value (the running mean keeps the log field smooth for the predictor).
+  std::vector<uint8_t> tags;
+  tags.reserve(snapshots.size() * n);
+  std::vector<std::vector<double>> logs(snapshots.size(),
+                                        std::vector<double>(n));
+  double placeholder = 0.0;
+  bool have_placeholder = false;
+  for (size_t s = 0; s < snapshots.size(); ++s) {
+    if (snapshots[s].size() != n) {
+      return Status::InvalidArgument("ragged field");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double d = snapshots[s][i];
+      const double mag = std::fabs(d);
+      if (!(mag >= std::numeric_limits<double>::min()) ||
+          !std::isfinite(d)) {
+        tags.push_back(kZero);
+        logs[s][i] = have_placeholder ? placeholder : 0.0;
+        continue;
+      }
+      tags.push_back(std::signbit(d) ? kNegative : kPositive);
+      logs[s][i] = std::log(mag);
+      if (!have_placeholder) {
+        placeholder = logs[s][i];
+        have_placeholder = true;
+      }
+    }
+  }
+
+  Options options = base;
+  options.error_bound_mode = ErrorBoundMode::kAbsolute;
+  options.error_bound = std::log1p(rel_bound);
+  MDZ_ASSIGN_OR_RETURN(const std::vector<uint8_t> log_stream,
+                       CompressField(logs, options));
+
+  // Pack tags 4 per byte and LZ the (usually constant) result.
+  std::vector<uint8_t> packed((tags.size() + 3) / 4, 0);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    packed[i / 4] |= static_cast<uint8_t>(tags[i] << (2 * (i % 4)));
+  }
+  const std::vector<uint8_t> tag_stream = codec::LzCompress(packed);
+
+  ByteWriter out;
+  out.PutBytes(kMagic, sizeof(kMagic));
+  out.Put<double>(rel_bound);
+  out.PutVarint(snapshots.size());
+  out.PutVarint(n);
+  out.PutBlob(tag_stream);
+  out.PutBlob(log_stream);
+  return out.TakeBytes();
+}
+
+Result<std::vector<std::vector<double>>> DecompressFieldPointwiseRelative(
+    std::span<const uint8_t> data) {
+  ByteReader r(data);
+  char magic[4];
+  MDZ_RETURN_IF_ERROR(r.GetBytes(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad pointwise-relative magic");
+  }
+  double rel_bound = 0.0;
+  MDZ_RETURN_IF_ERROR(r.Get(&rel_bound));
+  uint64_t m = 0, n = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&m));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&n));
+  if (m == 0 || n == 0 || m > (1ull << 31) || n > (1ull << 31) ||
+      m * n > (1ull << 31)) {
+    return Status::Corruption("bad dimensions");
+  }
+  std::span<const uint8_t> tag_blob, log_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&tag_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&log_blob));
+
+  std::vector<uint8_t> packed;
+  MDZ_RETURN_IF_ERROR(codec::LzDecompress(tag_blob, &packed));
+  if (packed.size() != (m * n + 3) / 4) {
+    return Status::Corruption("tag stream size mismatch");
+  }
+  MDZ_ASSIGN_OR_RETURN(auto logs, DecompressField(log_blob));
+  if (logs.size() != m || (m > 0 && logs[0].size() != n)) {
+    return Status::Corruption("log stream dimensions mismatch");
+  }
+
+  std::vector<std::vector<double>> out(m, std::vector<double>(n));
+  size_t idx = 0;
+  for (size_t s = 0; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i, ++idx) {
+      const uint8_t tag = (packed[idx / 4] >> (2 * (idx % 4))) & 3;
+      if (tag == kZero) {
+        out[s][i] = 0.0;
+      } else if (tag == kNegative) {
+        out[s][i] = -std::exp(logs[s][i]);
+      } else {
+        out[s][i] = std::exp(logs[s][i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mdz::core

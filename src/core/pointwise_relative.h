@@ -1,0 +1,33 @@
+#ifndef MDZ_CORE_POINTWISE_RELATIVE_H_
+#define MDZ_CORE_POINTWISE_RELATIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mdz.h"
+#include "util/status.h"
+
+namespace mdz::core {
+
+// Point-wise relative error bound mode: |decoded - d| <= rel_bound * |d| for
+// every value d.
+//
+// Implemented with the logarithmic-transform scheme of Liang et al.
+// (CLUSTER'18, the "SZ2" transformation the paper builds on): values are
+// mapped to sign + ln|d|, the log field is compressed by MDZ with the
+// absolute bound ln(1 + rel_bound), and signs/zeros travel in a small
+// lossless side stream. Exact zeros decode as exact zeros.
+//
+// `base` supplies the MDZ knobs (method, buffer size, ...); its error_bound
+// fields are ignored.
+Result<std::vector<uint8_t>> CompressFieldPointwiseRelative(
+    const std::vector<std::vector<double>>& snapshots, double rel_bound,
+    const Options& base = Options());
+
+Result<std::vector<std::vector<double>>> DecompressFieldPointwiseRelative(
+    std::span<const uint8_t> data);
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_POINTWISE_RELATIVE_H_

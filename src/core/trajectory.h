@@ -1,0 +1,50 @@
+#ifndef MDZ_CORE_TRAJECTORY_H_
+#define MDZ_CORE_TRAJECTORY_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mdz::core {
+
+// In-memory particle trajectory: M snapshots x N particles x 3 axes.
+// This is the exchange format between the dataset generators, the
+// compressors, and the analysis routines. Positions are stored per snapshot,
+// per axis (structure-of-arrays within a snapshot) because all compressors in
+// this library process one axis at a time, as in the paper.
+struct Snapshot {
+  std::array<std::vector<double>, 3> axes;  // x, y, z
+
+  size_t num_particles() const { return axes[0].size(); }
+};
+
+struct Trajectory {
+  std::string name;
+  std::vector<Snapshot> snapshots;
+  // Periodic box lengths (0 if non-periodic); used by RDF analysis.
+  std::array<double, 3> box = {0.0, 0.0, 0.0};
+
+  size_t num_snapshots() const { return snapshots.size(); }
+  size_t num_particles() const {
+    return snapshots.empty() ? 0 : snapshots[0].num_particles();
+  }
+  size_t num_values() const {
+    return num_snapshots() * num_particles() * 3;
+  }
+  size_t raw_bytes() const { return num_values() * sizeof(double); }
+
+  // All values of one axis across snapshots, flattened snapshot-major.
+  std::vector<double> FlattenAxis(int axis) const {
+    std::vector<double> out;
+    out.reserve(num_snapshots() * num_particles());
+    for (const Snapshot& s : snapshots) {
+      out.insert(out.end(), s.axes[axis].begin(), s.axes[axis].end());
+    }
+    return out;
+  }
+};
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_TRAJECTORY_H_

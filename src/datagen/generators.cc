@@ -1,0 +1,543 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "md/harmonic_crystal.h"
+#include "md/lattice.h"
+#include "md/lj_simulation.h"
+#include "util/rng.h"
+
+namespace mdz::datagen {
+
+namespace {
+
+using core::Snapshot;
+using core::Trajectory;
+using md::Vec3;
+
+size_t ScaledAtoms(size_t base, double scale) {
+  return std::max<size_t>(64, static_cast<size_t>(base * scale));
+}
+
+size_t ScaledSnapshots(size_t base, double scale) {
+  return std::max<size_t>(4, static_cast<size_t>(base * scale));
+}
+
+Snapshot MakeSnapshot(size_t n) {
+  Snapshot s;
+  for (auto& axis : s.axes) axis.resize(n);
+  return s;
+}
+
+// --- Crystalline generator (Copper-*, Helium-*, Pt) -------------------------
+//
+// Atoms vibrate around lattice sites with an Ornstein-Uhlenbeck displacement
+// per axis (stationary stddev = amp, snapshot-to-snapshot correlation = rho),
+// a "mobile" subset occasionally hops by half a lattice constant (site
+// changes, paper takeaway 3), and an optional coherent drift models slow
+// structures like growing helium bubbles or diffusing adatoms.
+struct CrystalParams {
+  enum class LatticeKind { kFcc, kBcc };
+  LatticeKind lattice = LatticeKind::kFcc;
+  size_t num_atoms = 1000;
+  size_t num_snapshots = 100;
+  double a = 3.615;  // lattice constant (Angstrom)
+  // Per-axis vibration amplitude and temporal correlation.
+  double amp[3] = {0.1, 0.1, 0.1};
+  double rho[3] = {0.8, 0.8, 0.8};
+  double hop_prob = 0.0;         // per mobile atom per snapshot
+  double mobile_fraction = 0.0;  // fraction of atoms that may hop/drift
+  double drift_per_snapshot = 0.0;  // coherent drift speed of mobile atoms
+  // Vibration amplitude multiplier for the mobile subpopulation (defects
+  // rattle harder than the matrix).
+  double mobile_amp_mult = 1.0;
+  // Fraction of atoms whose position decorrelates completely between dumps
+  // (long-timescale methods like ParSplice write snapshots so far apart that
+  // fast defects effectively teleport within the cell).
+  double teleport_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+Trajectory MakeCrystal(const std::string& name, const CrystalParams& p) {
+  Trajectory traj;
+  traj.name = name;
+
+  int cells;
+  std::vector<Vec3> sites;
+  if (p.lattice == CrystalParams::LatticeKind::kFcc) {
+    cells = md::FccCellsForAtoms(p.num_atoms);
+    sites = md::FccLattice(cells, cells, cells, p.a);
+  } else {
+    cells = md::BccCellsForAtoms(p.num_atoms);
+    sites = md::BccLattice(cells, cells, cells, p.a);
+  }
+  sites.resize(p.num_atoms);  // truncate to the requested atom count
+  const double edge = cells * p.a;
+  traj.box = {edge, edge, edge};
+
+  Rng rng(p.seed);
+  const size_t n = p.num_atoms;
+
+  // Per-atom state.
+  std::vector<Vec3> site(sites.begin(), sites.end());
+  std::vector<Vec3> displacement(n);   // OU state
+  std::vector<Vec3> drift_direction(n);
+  std::vector<uint8_t> mobile(n, 0);
+  std::vector<uint8_t> teleport(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < p.teleport_fraction) teleport[i] = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    displacement[i] = {rng.Gaussian(0.0, p.amp[0]),
+                       rng.Gaussian(0.0, p.amp[1]),
+                       rng.Gaussian(0.0, p.amp[2])};
+    if (rng.NextDouble() < p.mobile_fraction) {
+      mobile[i] = 1;
+      const double theta = rng.Uniform(0.0, 6.283185307179586);
+      const double cphi = rng.Uniform(-1.0, 1.0);
+      const double sphi = std::sqrt(std::max(0.0, 1.0 - cphi * cphi));
+      drift_direction[i] = {sphi * std::cos(theta), sphi * std::sin(theta),
+                            cphi};
+    }
+  }
+
+  const double half_a = 0.5 * p.a;
+  double ou_noise[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    ou_noise[axis] = p.amp[axis] * std::sqrt(1.0 - p.rho[axis] * p.rho[axis]);
+  }
+
+  traj.snapshots.reserve(p.num_snapshots);
+  for (size_t t = 0; t < p.num_snapshots; ++t) {
+    Snapshot snap = MakeSnapshot(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (teleport[i]) {
+        snap.axes[0][i] = rng.Uniform(0.0, edge);
+        snap.axes[1][i] = rng.Uniform(0.0, edge);
+        snap.axes[2][i] = rng.Uniform(0.0, edge);
+        continue;
+      }
+      const double amp_mult = mobile[i] ? p.mobile_amp_mult : 1.0;
+      if (t > 0) {
+        displacement[i].x = p.rho[0] * displacement[i].x +
+                            rng.Gaussian(0.0, amp_mult * ou_noise[0]);
+        displacement[i].y = p.rho[1] * displacement[i].y +
+                            rng.Gaussian(0.0, amp_mult * ou_noise[1]);
+        displacement[i].z = p.rho[2] * displacement[i].z +
+                            rng.Gaussian(0.0, amp_mult * ou_noise[2]);
+        if (mobile[i]) {
+          if (p.hop_prob > 0.0 && rng.NextDouble() < p.hop_prob) {
+            // Hop to a neighboring site: half lattice constant along one
+            // random axis (keeps the level grid intact).
+            const int axis = static_cast<int>(rng.UniformInt(3));
+            const double dir = (rng.NextDouble() < 0.5) ? -half_a : half_a;
+            if (axis == 0) site[i].x += dir;
+            if (axis == 1) site[i].y += dir;
+            if (axis == 2) site[i].z += dir;
+          }
+          if (p.drift_per_snapshot > 0.0) {
+            site[i] += p.drift_per_snapshot * drift_direction[i];
+          }
+        }
+      }
+      snap.axes[0][i] = site[i].x + displacement[i].x;
+      snap.axes[1][i] = site[i].y + displacement[i].y;
+      snap.axes[2][i] = site[i].z + displacement[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+// --- Protein generator (ADK, IFABP) ------------------------------------------
+//
+// A bonded chain folded into a sphere of radius R, with every atom performing
+// a confined random walk (weak harmonic pull to the centre keeps the density
+// bounded). Produces the near-uniform value distributions (Fig. 4b) and the
+// large, frequent temporal changes (Fig. 5b) the paper reports for protein
+// trajectories.
+struct ProteinParams {
+  size_t num_atoms = 3341;
+  size_t num_snapshots = 500;
+  double radius = 20.0;   // confinement sphere (Angstrom)
+  double bond = 1.5;      // initial chain bond length
+  double step = 0.6;      // per-snapshot random displacement stddev
+  double pull = 0.01;     // harmonic confinement strength
+  uint64_t seed = 7;
+};
+
+Trajectory MakeProtein(const std::string& name, const ProteinParams& p) {
+  Trajectory traj;
+  traj.name = name;
+  traj.box = {0.0, 0.0, 0.0};  // non-periodic
+
+  Rng rng(p.seed);
+  const size_t n = p.num_atoms;
+  std::vector<Vec3> pos(n);
+
+  // Initial configuration: random-direction chain, folded back into the
+  // sphere whenever it strays outside.
+  Vec3 cur{0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double theta = rng.Uniform(0.0, 6.283185307179586);
+    const double cphi = rng.Uniform(-1.0, 1.0);
+    const double sphi = std::sqrt(std::max(0.0, 1.0 - cphi * cphi));
+    Vec3 step{p.bond * sphi * std::cos(theta), p.bond * sphi * std::sin(theta),
+              p.bond * cphi};
+    Vec3 next = cur + step;
+    if (next.norm() > p.radius) next = cur - step;  // reflect inward
+    pos[i] = next;
+    cur = next;
+  }
+
+  traj.snapshots.reserve(p.num_snapshots);
+  for (size_t t = 0; t < p.num_snapshots; ++t) {
+    Snapshot snap = MakeSnapshot(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (t > 0) {
+        pos[i] += Vec3{rng.Gaussian(0.0, p.step), rng.Gaussian(0.0, p.step),
+                       rng.Gaussian(0.0, p.step)};
+        pos[i] -= p.pull * pos[i];  // soft confinement toward the origin
+      }
+      snap.axes[0][i] = pos[i].x;
+      snap.axes[1][i] = pos[i].y;
+      snap.axes[2][i] = pos[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+// --- Cosmology generator (HACC) ----------------------------------------------
+//
+// Particles drifting through a large box with velocities drawn from a smooth
+// low-mode Fourier field plus a small random dispersion: smooth trajectories,
+// spatially uniform positions.
+struct CosmoParams {
+  size_t num_particles = 100000;
+  size_t num_snapshots = 30;
+  double box = 256.0;      // Mpc/h
+  double dt = 1.0;
+  double flow_speed = 0.15;    // persistent coherent flow amplitude
+  double dispersion = 0.4;     // per-snapshot velocity dispersion
+  double velocity_rho = 0.3;   // snapshot-to-snapshot velocity correlation
+  int modes = 6;
+  uint64_t seed = 99;
+};
+
+Trajectory MakeCosmo(const std::string& name, const CosmoParams& p) {
+  Trajectory traj;
+  traj.name = name;
+  traj.box = {p.box, p.box, p.box};
+
+  Rng rng(p.seed);
+  const size_t n = p.num_particles;
+
+  struct Mode {
+    Vec3 k;
+    Vec3 amp;
+    double phase;
+  };
+  std::vector<Mode> modes(p.modes);
+  for (Mode& m : modes) {
+    const double two_pi = 6.283185307179586;
+    m.k = {two_pi / p.box * std::round(rng.Uniform(1.0, 4.0)),
+           two_pi / p.box * std::round(rng.Uniform(1.0, 4.0)),
+           two_pi / p.box * std::round(rng.Uniform(1.0, 4.0))};
+    m.amp = {rng.Gaussian(0.0, p.flow_speed), rng.Gaussian(0.0, p.flow_speed),
+             rng.Gaussian(0.0, p.flow_speed)};
+    m.phase = rng.Uniform(0.0, two_pi);
+  }
+
+  // Velocity = persistent coherent flow (low-mode field at the initial
+  // position) + a weakly correlated stochastic component. Snapshots in
+  // cosmology runs are separated by large expansion intervals, so velocities
+  // decorrelate substantially between outputs — which is what defeats
+  // linear-extrapolation and piecewise-linear compressors on this data.
+  std::vector<Vec3> pos(n);
+  std::vector<Vec3> flow(n);
+  std::vector<Vec3> jitter(n);
+  const double jitter_noise =
+      p.dispersion * std::sqrt(1.0 - p.velocity_rho * p.velocity_rho);
+  for (size_t i = 0; i < n; ++i) {
+    pos[i] = {rng.Uniform(0.0, p.box), rng.Uniform(0.0, p.box),
+              rng.Uniform(0.0, p.box)};
+    Vec3 v{0.0, 0.0, 0.0};
+    for (const Mode& m : modes) {
+      const double arg = Dot(m.k, pos[i]) + m.phase;
+      v += std::sin(arg) * m.amp;
+    }
+    flow[i] = v;
+    jitter[i] = {rng.Gaussian(0.0, p.dispersion),
+                 rng.Gaussian(0.0, p.dispersion),
+                 rng.Gaussian(0.0, p.dispersion)};
+  }
+
+  traj.snapshots.reserve(p.num_snapshots);
+  for (size_t t = 0; t < p.num_snapshots; ++t) {
+    Snapshot snap = MakeSnapshot(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (t > 0) {
+        jitter[i] = p.velocity_rho * jitter[i] +
+                    Vec3{rng.Gaussian(0.0, jitter_noise),
+                         rng.Gaussian(0.0, jitter_noise),
+                         rng.Gaussian(0.0, jitter_noise)};
+        pos[i] += p.dt * (flow[i] + jitter[i]);  // unwrapped drift
+      }
+      snap.axes[0][i] = pos[i].x;
+      snap.axes[1][i] = pos[i].y;
+      snap.axes[2][i] = pos[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+uint64_t SeedOr(const GeneratorOptions& opts, uint64_t fallback) {
+  return opts.seed != 0 ? opts.seed : fallback;
+}
+
+}  // namespace
+
+Trajectory MakeCopperA(const GeneratorOptions& opts) {
+  CrystalParams p;
+  p.lattice = CrystalParams::LatticeKind::kFcc;
+  p.num_atoms = ScaledAtoms(20000, opts.size_scale);
+  p.num_snapshots = 83;
+  p.a = 3.615;
+  for (int i = 0; i < 3; ++i) {
+    p.amp[i] = 0.12;
+    p.rho[i] = 0.85;
+  }
+  p.hop_prob = 2e-4;
+  p.mobile_fraction = 0.05;
+  p.seed = SeedOr(opts, 101);
+  return MakeCrystal("Copper-A", p);
+}
+
+Trajectory MakeCopperB(const GeneratorOptions& opts) {
+  CrystalParams p;
+  p.lattice = CrystalParams::LatticeKind::kFcc;
+  p.num_atoms = 3137;
+  p.num_snapshots = ScaledSnapshots(1200, opts.size_scale);
+  p.a = 3.615;
+  // Anisotropic dynamics: x/y vibrate hard with little temporal memory (VQ
+  // territory), z is calmer and temporally smoother (MT wins there) — this
+  // reproduces the per-axis winner split of paper Table VI.
+  p.amp[0] = p.amp[1] = 0.16;
+  p.amp[2] = 0.07;
+  p.rho[0] = p.rho[1] = 0.15;
+  p.rho[2] = 0.75;
+  p.hop_prob = 3e-3;
+  p.mobile_fraction = 0.30;
+  p.seed = SeedOr(opts, 102);
+  return MakeCrystal("Copper-B", p);
+}
+
+Trajectory MakeHeliumA(const GeneratorOptions& opts) {
+  CrystalParams p;
+  p.lattice = CrystalParams::LatticeKind::kBcc;
+  p.num_atoms = ScaledAtoms(16000, opts.size_scale);
+  p.num_snapshots = 250;
+  p.a = 3.165;  // tungsten
+  for (int i = 0; i < 3; ++i) {
+    p.amp[i] = 0.05;
+    p.rho[i] = 0.95;
+  }
+  // Growing helium bubble: a mobile subset drifts slowly and coherently.
+  p.mobile_fraction = 0.06;
+  p.drift_per_snapshot = 0.02;
+  p.hop_prob = 5e-4;
+  p.seed = SeedOr(opts, 103);
+  return MakeCrystal("Helium-A", p);
+}
+
+Trajectory MakeHeliumB(const GeneratorOptions& opts) {
+  CrystalParams p;
+  p.lattice = CrystalParams::LatticeKind::kBcc;
+  p.num_atoms = 1037;
+  p.num_snapshots = ScaledSnapshots(2000, opts.size_scale);
+  p.a = 3.165;
+  // Near-static tungsten matrix + a rattling, hopping helium/vacancy defect
+  // population: most values are unchanged between dumps (which is what makes
+  // the Seq-2 layout pay off, paper Table III), a minority moves a lot.
+  for (int i = 0; i < 3; ++i) {
+    p.amp[i] = 0.012;
+    p.rho[i] = 0.9;
+  }
+  p.hop_prob = 2e-2;  // frequent vacancy/defect transitions
+  p.mobile_fraction = 0.10;
+  p.mobile_amp_mult = 12.0;
+  p.teleport_fraction = 0.08;  // fast He defects decorrelate between dumps
+  p.seed = SeedOr(opts, 104);
+  return MakeCrystal("Helium-B", p);
+}
+
+Trajectory MakeAdk(const GeneratorOptions& opts) {
+  ProteinParams p;
+  p.num_atoms = 3341;
+  p.num_snapshots = ScaledSnapshots(1000, opts.size_scale);
+  p.radius = 22.0;
+  p.step = 0.7;  // snapshots are 240 ps apart: big jumps
+  p.pull = 0.012;
+  p.seed = SeedOr(opts, 105);
+  return MakeProtein("ADK", p);
+}
+
+Trajectory MakeIfabp(const GeneratorOptions& opts) {
+  ProteinParams p;
+  p.num_atoms = ScaledAtoms(12445, opts.size_scale);
+  p.num_snapshots = 200;
+  p.radius = 30.0;
+  p.step = 0.45;  // 1 ps between snapshots: smaller jumps than ADK
+  p.pull = 0.008;
+  p.seed = SeedOr(opts, 106);
+  return MakeProtein("IFABP", p);
+}
+
+Trajectory MakePt(const GeneratorOptions& opts) {
+  CrystalParams p;
+  p.lattice = CrystalParams::LatticeKind::kFcc;
+  p.num_atoms = ScaledAtoms(40000, opts.size_scale);
+  p.num_snapshots = 100;
+  p.a = 3.92;  // platinum
+  for (int i = 0; i < 3; ++i) {
+    p.amp[i] = 0.02;   // local hyperdynamics: almost frozen between dumps
+    p.rho[i] = 0.995;
+  }
+  p.hop_prob = 2e-3;        // a handful of diffusing adatoms
+  p.mobile_fraction = 0.005;
+  p.seed = SeedOr(opts, 107);
+  return MakeCrystal("Pt", p);
+}
+
+Trajectory MakeLj(const GeneratorOptions& opts) {
+  md::LjOptions lj;
+  // N = 4 * cells^3; default 6912 atoms (the paper's LJ set has 6912000 —
+  // the same LAMMPS benchmark geometry scaled down 1000x).
+  const size_t target = ScaledAtoms(6912, opts.size_scale);
+  lj.cells = md::FccCellsForAtoms(target);
+  lj.seed = SeedOr(opts, 108);
+  lj.thermostat = md::LjOptions::Thermostat::kBerendsen;
+
+  Trajectory traj;
+  traj.name = "LJ";
+  auto sim_or = md::LjSimulation::Create(lj);
+  if (!sim_or.ok()) return traj;  // options are internally consistent
+  md::LjSimulation& sim = *sim_or;
+  const double edge = sim.box().lx();
+  traj.box = {edge, edge, edge};
+
+  sim.Run(150);  // equilibrate the melt
+  // Dump interval of 50 steps: comparable to the velocity decorrelation time
+  // of the liquid, as in production runs where snapshots are written every
+  // hundreds of timesteps (paper Section IV).
+  const size_t snapshots = 50;
+  const int dump_every = 50;
+  traj.snapshots.reserve(snapshots);
+  for (size_t t = 0; t < snapshots; ++t) {
+    if (t > 0) sim.Run(dump_every);
+    Snapshot snap = MakeSnapshot(sim.num_atoms());
+    const auto& pos = sim.positions();
+    for (size_t i = 0; i < pos.size(); ++i) {
+      snap.axes[0][i] = pos[i].x;
+      snap.axes[1][i] = pos[i].y;
+      snap.axes[2][i] = pos[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+Trajectory MakeHacc1(const GeneratorOptions& opts) {
+  CosmoParams p;
+  p.num_particles = ScaledAtoms(120000, opts.size_scale);
+  p.num_snapshots = 30;
+  p.seed = SeedOr(opts, 109);
+  return MakeCosmo("HACC-1", p);
+}
+
+Trajectory MakeHacc2(const GeneratorOptions& opts) {
+  CosmoParams p;
+  p.num_particles = ScaledAtoms(80000, opts.size_scale);
+  p.num_snapshots = 60;
+  p.seed = SeedOr(opts, 110);
+  return MakeCosmo("HACC-2", p);
+}
+
+Trajectory MakeCopperMd(const GeneratorOptions& opts) {
+  md::HarmonicCrystalOptions hc;
+  const size_t target = ScaledAtoms(3000, opts.size_scale);
+  hc.cells = md::FccCellsForAtoms(target);
+  hc.seed = SeedOr(opts, 111);
+
+  Trajectory traj;
+  traj.name = "Copper-MD";
+  auto crystal_or = md::HarmonicCrystal::Create(hc);
+  if (!crystal_or.ok()) return traj;  // options are internally consistent
+  md::HarmonicCrystal& crystal = *crystal_or;
+  const double edge = crystal.box().lx();
+  traj.box = {edge, edge, edge};
+
+  crystal.Run(200);  // equilibrate the phonon bath
+  const size_t snapshots = 120;
+  const int dump_every = 20;  // several vibration periods between dumps
+  traj.snapshots.reserve(snapshots);
+  for (size_t t = 0; t < snapshots; ++t) {
+    if (t > 0) crystal.Run(dump_every);
+    Snapshot snap = MakeSnapshot(crystal.num_atoms());
+    const auto& pos = crystal.positions();
+    for (size_t i = 0; i < pos.size(); ++i) {
+      snap.axes[0][i] = pos[i].x;
+      snap.axes[1][i] = pos[i].y;
+      snap.axes[2][i] = pos[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+namespace {
+
+constexpr DatasetInfo kMdDatasets[] = {
+    {"Copper-A", &MakeCopperA, "Solid"},
+    {"Copper-B", &MakeCopperB, "Solid"},
+    {"Helium-A", &MakeHeliumA, "Plasma"},
+    {"Helium-B", &MakeHeliumB, "Plasma"},
+    {"ADK", &MakeAdk, "Protein"},
+    {"IFABP", &MakeIfabp, "Protein"},
+    {"Pt", &MakePt, "Solid"},
+    {"LJ", &MakeLj, "Liquid"},
+};
+
+constexpr DatasetInfo kAllDatasets[] = {
+    {"Copper-A", &MakeCopperA, "Solid"},
+    {"Copper-B", &MakeCopperB, "Solid"},
+    {"Helium-A", &MakeHeliumA, "Plasma"},
+    {"Helium-B", &MakeHeliumB, "Plasma"},
+    {"ADK", &MakeAdk, "Protein"},
+    {"IFABP", &MakeIfabp, "Protein"},
+    {"Pt", &MakePt, "Solid"},
+    {"LJ", &MakeLj, "Liquid"},
+    {"HACC-1", &MakeHacc1, "Cosmology"},
+    {"HACC-2", &MakeHacc2, "Cosmology"},
+    {"Copper-MD", &MakeCopperMd, "Solid"},
+};
+
+}  // namespace
+
+std::span<const DatasetInfo> AllMdDatasets() { return kMdDatasets; }
+
+std::span<const DatasetInfo> AllDatasets() { return kAllDatasets; }
+
+Result<core::Trajectory> MakeByName(std::string_view name,
+                                    const GeneratorOptions& opts) {
+  for (const DatasetInfo& info : kAllDatasets) {
+    if (info.name == name) return info.make(opts);
+  }
+  return Status::InvalidArgument("unknown dataset: " + std::string(name));
+}
+
+}  // namespace mdz::datagen

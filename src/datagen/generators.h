@@ -1,0 +1,59 @@
+#ifndef MDZ_DATAGEN_GENERATORS_H_
+#define MDZ_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::datagen {
+
+// Synthetic stand-ins for the paper's datasets (Table I). The originals are
+// proprietary LANL/Anton simulation outputs; these generators reproduce the
+// characterization in paper Section V — lattice-level clustering (takeaway
+// 2/3), zigzag/stair spatial patterns (Fig. 3), the value distributions
+// (Fig. 4), temporal smoothness classes (Fig. 5), and snapshot-0 similarity
+// (Fig. 8) — at laptop scale. The LJ dataset is produced by an actual
+// Lennard-Jones MD run using this repository's `md` engine.
+struct GeneratorOptions {
+  // Scales the number of atoms (mode-A datasets) or snapshots (mode-B
+  // datasets) relative to the defaults below. Clamped to keep N >= 64, M >= 4.
+  double size_scale = 1.0;
+  uint64_t seed = 0;  // 0 = dataset-specific default
+};
+
+core::Trajectory MakeCopperA(const GeneratorOptions& opts = {});  // solid, A
+core::Trajectory MakeCopperB(const GeneratorOptions& opts = {});  // solid, B
+core::Trajectory MakeHeliumA(const GeneratorOptions& opts = {});  // plasma, A
+core::Trajectory MakeHeliumB(const GeneratorOptions& opts = {});  // plasma, B
+core::Trajectory MakeAdk(const GeneratorOptions& opts = {});      // protein
+core::Trajectory MakeIfabp(const GeneratorOptions& opts = {});    // protein
+core::Trajectory MakePt(const GeneratorOptions& opts = {});       // solid, A
+core::Trajectory MakeLj(const GeneratorOptions& opts = {});       // liquid (MD)
+core::Trajectory MakeHacc1(const GeneratorOptions& opts = {});    // cosmology
+core::Trajectory MakeHacc2(const GeneratorOptions& opts = {});    // cosmology
+// Extension: copper-like crystal produced by an actual harmonic-lattice MD
+// run (src/md/harmonic_crystal.h) instead of the stochastic model — same
+// level-clustered structure, physically correct vibration spectrum.
+core::Trajectory MakeCopperMd(const GeneratorOptions& opts = {});
+
+struct DatasetInfo {
+  std::string_view name;
+  core::Trajectory (*make)(const GeneratorOptions&);
+  std::string_view state;  // Solid / Plasma / Protein / Liquid / Cosmology
+};
+
+// The eight MD datasets of paper Table I, in table order.
+std::span<const DatasetInfo> AllMdDatasets();
+
+// MD datasets + the two HACC datasets (paper Section VII-E).
+std::span<const DatasetInfo> AllDatasets();
+
+Result<core::Trajectory> MakeByName(std::string_view name,
+                                    const GeneratorOptions& opts = {});
+
+}  // namespace mdz::datagen
+
+#endif  // MDZ_DATAGEN_GENERATORS_H_

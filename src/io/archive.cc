@@ -1,0 +1,113 @@
+#include "io/archive.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/byte_buffer.h"
+#include "util/hash.h"
+
+namespace mdz::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'D', 'Z', 'A'};
+constexpr uint8_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteArchive(const Archive& archive, const std::string& path) {
+  ByteWriter w;
+  w.PutBytes(kMagic, sizeof(kMagic));
+  w.Put<uint8_t>(kVersion);
+  w.PutVarint(archive.name.size());
+  w.PutBytes(archive.name.data(), archive.name.size());
+  for (double b : archive.box) w.Put<double>(b);
+  for (const auto& axis : archive.data.axes) {
+    w.PutBlob(axis);
+  }
+  const uint64_t checksum = Fnv1a64(w.bytes());
+  w.Put<uint64_t>(checksum);
+
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  if (std::fwrite(w.bytes().data(), 1, w.size(), file.get()) != w.size()) {
+    return Status::Internal("short write: " + path);
+  }
+  if (std::fflush(file.get()) != 0) return Status::Internal("flush failed");
+  return Status::OK();
+}
+
+Result<Archive> ReadArchive(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  std::fseek(file.get(), 0, SEEK_END);
+  const long size = std::ftell(file.get());
+  std::fseek(file.get(), 0, SEEK_SET);
+  if (size < static_cast<long>(sizeof(kMagic) + 1 + sizeof(uint64_t))) {
+    return Status::Corruption("archive too small: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
+    return Status::Corruption("cannot read archive: " + path);
+  }
+
+  // Verify the trailing checksum before parsing anything.
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload_size, sizeof(stored));
+  const uint64_t computed =
+      Fnv1a64(std::span<const uint8_t>(bytes.data(), payload_size));
+  if (stored != computed) {
+    return Status::Corruption("archive checksum mismatch: " + path);
+  }
+
+  ByteReader r(std::span<const uint8_t>(bytes.data(), payload_size));
+  char magic[4];
+  MDZ_RETURN_IF_ERROR(r.GetBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("not an MDZ archive: " + path);
+  }
+  uint8_t version = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported archive version");
+  }
+
+  Archive archive;
+  uint64_t name_len = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&name_len));
+  if (name_len > 4096) return Status::Corruption("archive name too long");
+  archive.name.resize(name_len);
+  MDZ_RETURN_IF_ERROR(r.GetBytes(archive.name.data(), name_len));
+  for (double& b : archive.box) {
+    MDZ_RETURN_IF_ERROR(r.Get(&b));
+  }
+  for (auto& axis : archive.data.axes) {
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    axis.assign(blob.begin(), blob.end());
+  }
+  return archive;
+}
+
+Result<core::Trajectory> DecompressArchive(const Archive& archive) {
+  MDZ_ASSIGN_OR_RETURN(core::Trajectory trajectory,
+                       core::DecompressTrajectory(archive.data));
+  trajectory.name = archive.name;
+  trajectory.box = archive.box;
+  return trajectory;
+}
+
+}  // namespace mdz::io

@@ -1,0 +1,32 @@
+#ifndef MDZ_IO_ARCHIVE_H_
+#define MDZ_IO_ARCHIVE_H_
+
+#include <array>
+#include <string>
+
+#include "core/mdz.h"
+#include "util/status.h"
+
+namespace mdz::io {
+
+// On-disk container for a compressed trajectory: the three per-axis MDZ
+// streams plus the metadata needed to reconstruct a core::Trajectory, sealed
+// with an FNV-1a checksum so bit rot is reported as Corruption rather than
+// silently decoded.
+struct Archive {
+  core::CompressedTrajectory data;
+  std::string name;                       // dataset label (optional)
+  std::array<double, 3> box = {0, 0, 0};  // periodic box (0 = non-periodic)
+};
+
+Status WriteArchive(const Archive& archive, const std::string& path);
+
+Result<Archive> ReadArchive(const std::string& path);
+
+// Convenience: decompress an archive back into a trajectory (restores name
+// and box from the metadata).
+Result<core::Trajectory> DecompressArchive(const Archive& archive);
+
+}  // namespace mdz::io
+
+#endif  // MDZ_IO_ARCHIVE_H_

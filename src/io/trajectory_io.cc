@@ -1,0 +1,176 @@
+#include "io/trajectory_io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace mdz::io {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'M', 'D', 'T', 'R', 'A', 'J', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::Corruption("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteBinaryTrajectory(const core::Trajectory& trajectory,
+                             const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), kBinaryMagic, sizeof(kBinaryMagic)));
+
+  const uint64_t n = trajectory.num_particles();
+  const uint64_t m = trajectory.num_snapshots();
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), &n, sizeof(n)));
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), &m, sizeof(m)));
+  MDZ_RETURN_IF_ERROR(
+      WriteAll(file.get(), trajectory.box.data(), sizeof(double) * 3));
+  const uint32_t name_len =
+      static_cast<uint32_t>(std::min<size_t>(trajectory.name.size(), 4096));
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), &name_len, sizeof(name_len)));
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), trajectory.name.data(), name_len));
+
+  for (const core::Snapshot& snap : trajectory.snapshots) {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (snap.axes[axis].size() != n) {
+        return Status::InvalidArgument("ragged trajectory");
+      }
+      MDZ_RETURN_IF_ERROR(WriteAll(file.get(), snap.axes[axis].data(),
+                                   sizeof(double) * n));
+    }
+  }
+  if (std::fflush(file.get()) != 0) return Status::Internal("flush failed");
+  return Status::OK();
+}
+
+Result<core::Trajectory> ReadBinaryTrajectory(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  char magic[8];
+  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("not an mdtraj binary file: " + path);
+  }
+  uint64_t n = 0, m = 0;
+  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &n, sizeof(n)));
+  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &m, sizeof(m)));
+  if (n == 0 || m == 0 || n > (1ull << 34) || m > (1ull << 34)) {
+    return Status::Corruption("implausible trajectory dimensions");
+  }
+
+  core::Trajectory trajectory;
+  MDZ_RETURN_IF_ERROR(
+      ReadAll(file.get(), trajectory.box.data(), sizeof(double) * 3));
+  uint32_t name_len = 0;
+  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &name_len, sizeof(name_len)));
+  if (name_len > 4096) return Status::Corruption("trajectory name too long");
+  trajectory.name.resize(name_len);
+  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), trajectory.name.data(), name_len));
+  trajectory.snapshots.resize(m);
+  for (core::Snapshot& snap : trajectory.snapshots) {
+    for (int axis = 0; axis < 3; ++axis) {
+      snap.axes[axis].resize(n);
+      MDZ_RETURN_IF_ERROR(
+          ReadAll(file.get(), snap.axes[axis].data(), sizeof(double) * n));
+    }
+  }
+  return trajectory;
+}
+
+Status WriteXyzTrajectory(const core::Trajectory& trajectory,
+                          const std::string& path,
+                          const std::string& element) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t n = trajectory.num_particles();
+  for (size_t s = 0; s < trajectory.num_snapshots(); ++s) {
+    const core::Snapshot& snap = trajectory.snapshots[s];
+    std::fprintf(file.get(), "%zu\nframe %zu box %.17g %.17g %.17g\n", n, s,
+                 trajectory.box[0], trajectory.box[1], trajectory.box[2]);
+    for (size_t i = 0; i < n; ++i) {
+      std::fprintf(file.get(), "%s %.17g %.17g %.17g\n", element.c_str(),
+                   snap.axes[0][i], snap.axes[1][i], snap.axes[2][i]);
+    }
+  }
+  if (std::fflush(file.get()) != 0) return Status::Internal("flush failed");
+  return Status::OK();
+}
+
+Result<core::Trajectory> ReadXyzTrajectory(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  core::Trajectory trajectory;
+  char line[512];
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    uint64_t n = 0;
+    if (std::sscanf(line, "%" SCNu64, &n) != 1 || n == 0) {
+      return Status::Corruption("bad XYZ frame header");
+    }
+    // Comment line; pick up the box if our writer put it there.
+    if (std::fgets(line, sizeof(line), file.get()) == nullptr) {
+      return Status::Corruption("truncated XYZ frame (missing comment)");
+    }
+    double bx, by, bz;
+    if (std::sscanf(line, "%*s %*s box %lf %lf %lf", &bx, &by, &bz) == 3) {
+      trajectory.box = {bx, by, bz};
+    }
+
+    core::Snapshot snap;
+    for (auto& axis : snap.axes) axis.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (std::fgets(line, sizeof(line), file.get()) == nullptr) {
+        return Status::Corruption("truncated XYZ frame (missing atoms)");
+      }
+      char element[64];
+      double x, y, z;
+      if (std::sscanf(line, "%63s %lf %lf %lf", element, &x, &y, &z) != 4) {
+        return Status::Corruption("bad XYZ atom line");
+      }
+      snap.axes[0][i] = x;
+      snap.axes[1][i] = y;
+      snap.axes[2][i] = z;
+    }
+    if (!trajectory.snapshots.empty() &&
+        trajectory.snapshots[0].num_particles() != n) {
+      return Status::Corruption("XYZ frames have inconsistent atom counts");
+    }
+    trajectory.snapshots.push_back(std::move(snap));
+  }
+  if (trajectory.snapshots.empty()) {
+    return Status::Corruption("empty XYZ file");
+  }
+  return trajectory;
+}
+
+}  // namespace mdz::io

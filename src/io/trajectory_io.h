@@ -1,0 +1,38 @@
+#ifndef MDZ_IO_TRAJECTORY_IO_H_
+#define MDZ_IO_TRAJECTORY_IO_H_
+
+#include <string>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::io {
+
+// Trajectory file I/O for the command-line tools and examples.
+//
+// Two formats:
+//  * Binary (".mdtraj"): magic + N/M/box header + per-snapshot xyz doubles.
+//    Compact, exact, fast; the native interchange format of this repo.
+//  * XYZ text (".xyz"): the ubiquitous plain-text format understood by VMD /
+//    Ovito / ASE (atom count, comment, "El x y z" lines per frame). Lossy in
+//    the textual sense (17 significant digits are written, so round-trips
+//    are bit-exact for doubles).
+
+// --- Binary format ---------------------------------------------------------
+
+Status WriteBinaryTrajectory(const core::Trajectory& trajectory,
+                             const std::string& path);
+
+Result<core::Trajectory> ReadBinaryTrajectory(const std::string& path);
+
+// --- XYZ text format -------------------------------------------------------
+
+Status WriteXyzTrajectory(const core::Trajectory& trajectory,
+                          const std::string& path,
+                          const std::string& element = "Ar");
+
+Result<core::Trajectory> ReadXyzTrajectory(const std::string& path);
+
+}  // namespace mdz::io
+
+#endif  // MDZ_IO_TRAJECTORY_IO_H_

@@ -1,0 +1,44 @@
+#ifndef MDZ_MD_BOX_H_
+#define MDZ_MD_BOX_H_
+
+#include <cmath>
+
+#include "md/vec3.h"
+
+namespace mdz::md {
+
+// Orthorhombic periodic simulation box.
+class Box {
+ public:
+  Box() = default;
+  Box(double lx, double ly, double lz) : l_{lx, ly, lz} {}
+
+  double lx() const { return l_.x; }
+  double ly() const { return l_.y; }
+  double lz() const { return l_.z; }
+  double volume() const { return l_.x * l_.y * l_.z; }
+
+  // Wraps a position into [0, L) per axis.
+  Vec3 Wrap(Vec3 p) const {
+    p.x -= l_.x * std::floor(p.x / l_.x);
+    p.y -= l_.y * std::floor(p.y / l_.y);
+    p.z -= l_.z * std::floor(p.z / l_.z);
+    return p;
+  }
+
+  // Minimum-image displacement a - b.
+  Vec3 MinImage(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    d.x -= l_.x * std::nearbyint(d.x / l_.x);
+    d.y -= l_.y * std::nearbyint(d.y / l_.y);
+    d.z -= l_.z * std::nearbyint(d.z / l_.z);
+    return d;
+  }
+
+ private:
+  Vec3 l_{1.0, 1.0, 1.0};
+};
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_BOX_H_

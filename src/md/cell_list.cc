@@ -1,0 +1,39 @@
+#include "md/cell_list.h"
+
+#include <cmath>
+
+namespace mdz::md {
+
+constexpr int CellList::kStencil[14][3];
+
+CellList::CellList(const Box& box, double cutoff)
+    : box_(box), cutoff_(cutoff) {
+  nx_ = static_cast<int>(std::floor(box.lx() / cutoff));
+  ny_ = static_cast<int>(std::floor(box.ly() / cutoff));
+  nz_ = static_cast<int>(std::floor(box.lz() / cutoff));
+  if (nx_ < 3 || ny_ < 3 || nz_ < 3) {
+    brute_ = true;
+    nx_ = ny_ = nz_ = 1;
+  }
+  heads_.assign(static_cast<size_t>(nx_) * ny_ * nz_, -1);
+}
+
+void CellList::Build(const std::vector<Vec3>& positions) {
+  if (brute_) return;
+  heads_.assign(heads_.size(), -1);
+  next_.assign(positions.size(), -1);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 p = box_.Wrap(positions[i]);
+    int cx = static_cast<int>(p.x / box_.lx() * nx_);
+    int cy = static_cast<int>(p.y / box_.ly() * ny_);
+    int cz = static_cast<int>(p.z / box_.lz() * nz_);
+    if (cx >= nx_) cx = nx_ - 1;
+    if (cy >= ny_) cy = ny_ - 1;
+    if (cz >= nz_) cz = nz_ - 1;
+    const int cell = CellIndex(cx, cy, cz);
+    next_[i] = heads_[cell];
+    heads_[cell] = static_cast<int32_t>(i);
+  }
+}
+
+}  // namespace mdz::md

@@ -1,0 +1,95 @@
+#ifndef MDZ_MD_CELL_LIST_H_
+#define MDZ_MD_CELL_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "md/box.h"
+#include "md/vec3.h"
+
+namespace mdz::md {
+
+// Linked-cell neighbor search for short-range potentials: the box is split
+// into cells of edge >= cutoff, so all interacting pairs are within the
+// 27-cell neighborhood. Rebuilt every step (cheap: O(N)).
+class CellList {
+ public:
+  CellList(const Box& box, double cutoff);
+
+  void Build(const std::vector<Vec3>& positions);
+
+  // Invokes fn(i, j, dr, r2) for every pair with r2 < cutoff^2, i < j,
+  // where dr is the minimum-image displacement r_i - r_j.
+  template <typename Fn>
+  void ForEachPair(const std::vector<Vec3>& positions, Fn&& fn) const {
+    const double cutoff2 = cutoff_ * cutoff_;
+    if (brute_) {
+      // Box too small for a 3x3x3 cell decomposition: O(N^2) fallback.
+      for (size_t i = 0; i < positions.size(); ++i) {
+        for (size_t j = i + 1; j < positions.size(); ++j) {
+          const Vec3 dr = box_.MinImage(positions[i], positions[j]);
+          const double r2 = dr.norm2();
+          if (r2 < cutoff2) fn(i, j, dr, r2);
+        }
+      }
+      return;
+    }
+    for (int cz = 0; cz < nz_; ++cz) {
+      for (int cy = 0; cy < ny_; ++cy) {
+        for (int cx = 0; cx < nx_; ++cx) {
+          const int cell = CellIndex(cx, cy, cz);
+          // Half the neighbor stencil (13 cells + self) to visit each pair
+          // once.
+          for (int s = 0; s < 14; ++s) {
+            const int ox = kStencil[s][0];
+            const int oy = kStencil[s][1];
+            const int oz = kStencil[s][2];
+            const int other = CellIndex(WrapCell(cx + ox, nx_),
+                                        WrapCell(cy + oy, ny_),
+                                        WrapCell(cz + oz, nz_));
+            const bool same = (other == cell);
+            for (int32_t i = heads_[cell]; i >= 0; i = next_[i]) {
+              const int32_t j_start = same ? next_[i] : heads_[other];
+              for (int32_t j = j_start; j >= 0; j = next_[j]) {
+                const Vec3 dr = box_.MinImage(positions[i], positions[j]);
+                const double r2 = dr.norm2();
+                if (r2 < cutoff2) {
+                  fn(static_cast<size_t>(i), static_cast<size_t>(j), dr, r2);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  int num_cells() const { return nx_ * ny_ * nz_; }
+
+ private:
+  static int WrapCell(int c, int n) {
+    if (c < 0) return c + n;
+    if (c >= n) return c - n;
+    return c;
+  }
+  int CellIndex(int cx, int cy, int cz) const {
+    return (cz * ny_ + cy) * nx_ + cx;
+  }
+
+  // 14 offsets covering each unordered cell pair exactly once.
+  static constexpr int kStencil[14][3] = {
+      {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+      {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+      {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1}};
+
+  Box box_;
+  double cutoff_;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  bool brute_ = false;
+  std::vector<int32_t> heads_;
+  std::vector<int32_t> next_;
+};
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_CELL_LIST_H_

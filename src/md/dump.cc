@@ -1,0 +1,110 @@
+#include "md/dump.h"
+
+#include "util/timer.h"
+
+namespace mdz::md {
+
+// --- RawDumpWriter ----------------------------------------------------------
+
+Result<std::unique_ptr<RawDumpWriter>> RawDumpWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open dump file: " + path);
+  }
+  return std::unique_ptr<RawDumpWriter>(new RawDumpWriter(file));
+}
+
+RawDumpWriter::~RawDumpWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RawDumpWriter::WriteSnapshot(const std::vector<Vec3>& positions) {
+  WallTimer timer;
+  const size_t n = positions.size() * 3;
+  const size_t written =
+      std::fwrite(positions.data(), sizeof(double), n, file_);
+  output_seconds_ += timer.ElapsedSeconds();
+  if (written != n) return Status::Internal("short write to raw dump");
+  bytes_written_ += n * sizeof(double);
+  return Status::OK();
+}
+
+Status RawDumpWriter::Finish() {
+  WallTimer timer;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  output_seconds_ += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+// --- MdzDumpWriter ----------------------------------------------------------
+
+Result<std::unique_ptr<MdzDumpWriter>> MdzDumpWriter::Open(
+    const std::string& path, size_t num_atoms, const core::Options& options) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open dump file: " + path);
+  }
+  auto writer = std::unique_ptr<MdzDumpWriter>(
+      new MdzDumpWriter(file, num_atoms));
+  for (auto& compressor : writer->compressors_) {
+    MDZ_ASSIGN_OR_RETURN(compressor,
+                         core::FieldCompressor::Create(num_atoms, options));
+  }
+  writer->scratch_.resize(num_atoms);
+  return writer;
+}
+
+MdzDumpWriter::~MdzDumpWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status MdzDumpWriter::FlushNewBytes() {
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::vector<uint8_t>& out = compressors_[axis]->output();
+    const size_t pending = out.size() - flushed_[axis];
+    if (pending == 0) continue;
+    const size_t written =
+        std::fwrite(out.data() + flushed_[axis], 1, pending, file_);
+    if (written != pending) {
+      return Status::Internal("short write to MDZ dump");
+    }
+    flushed_[axis] = out.size();
+    bytes_written_ += pending;
+  }
+  return Status::OK();
+}
+
+Status MdzDumpWriter::WriteSnapshot(const std::vector<Vec3>& positions) {
+  WallTimer timer;
+  if (positions.size() != n_) {
+    return Status::InvalidArgument("dump snapshot size mismatch");
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    for (size_t i = 0; i < n_; ++i) {
+      const Vec3& p = positions[i];
+      scratch_[i] = (axis == 0) ? p.x : (axis == 1) ? p.y : p.z;
+    }
+    MDZ_RETURN_IF_ERROR(compressors_[axis]->Append(scratch_));
+  }
+  const Status flush = FlushNewBytes();
+  output_seconds_ += timer.ElapsedSeconds();
+  return flush;
+}
+
+Status MdzDumpWriter::Finish() {
+  WallTimer timer;
+  for (auto& compressor : compressors_) {
+    MDZ_RETURN_IF_ERROR(compressor->Finish());
+  }
+  MDZ_RETURN_IF_ERROR(FlushNewBytes());
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  output_seconds_ += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace mdz::md

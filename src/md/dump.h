@@ -1,0 +1,76 @@
+#ifndef MDZ_MD_DUMP_H_
+#define MDZ_MD_DUMP_H_
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mdz.h"
+#include "md/vec3.h"
+#include "util/status.h"
+
+namespace mdz::md {
+
+// Trajectory dump sink for the simulation driver, mirroring LAMMPS' dump
+// facility (paper Section VII-D): either raw binary positions or in-situ
+// MDZ-compressed streams. Both write to a file so the Table VII experiment
+// measures real output (serialization + I/O) cost.
+class DumpWriter {
+ public:
+  virtual ~DumpWriter() = default;
+
+  virtual Status WriteSnapshot(const std::vector<Vec3>& positions) = 0;
+  virtual Status Finish() = 0;
+
+  // Wall-clock seconds spent inside WriteSnapshot/Finish.
+  double output_seconds() const { return output_seconds_; }
+  // Bytes written to the file so far (post-compression if any).
+  size_t bytes_written() const { return bytes_written_; }
+
+ protected:
+  double output_seconds_ = 0.0;
+  size_t bytes_written_ = 0;
+};
+
+// Writes raw little-endian doubles (x0 y0 z0 x1 y1 z1 ...) per snapshot.
+class RawDumpWriter : public DumpWriter {
+ public:
+  static Result<std::unique_ptr<RawDumpWriter>> Open(const std::string& path);
+  ~RawDumpWriter() override;
+
+  Status WriteSnapshot(const std::vector<Vec3>& positions) override;
+  Status Finish() override;
+
+ private:
+  explicit RawDumpWriter(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+// Compresses each axis with an MDZ FieldCompressor and appends the newly
+// produced compressed bytes to the file as they become available.
+class MdzDumpWriter : public DumpWriter {
+ public:
+  static Result<std::unique_ptr<MdzDumpWriter>> Open(
+      const std::string& path, size_t num_atoms, const core::Options& options);
+  ~MdzDumpWriter() override;
+
+  Status WriteSnapshot(const std::vector<Vec3>& positions) override;
+  Status Finish() override;
+
+ private:
+  MdzDumpWriter(std::FILE* file, size_t num_atoms) : file_(file), n_(num_atoms) {}
+
+  Status FlushNewBytes();
+
+  std::FILE* file_;
+  size_t n_;
+  std::array<std::unique_ptr<core::FieldCompressor>, 3> compressors_;
+  std::array<size_t, 3> flushed_ = {0, 0, 0};
+  std::vector<double> scratch_;
+};
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_DUMP_H_

@@ -1,0 +1,118 @@
+#include "md/harmonic_crystal.h"
+
+#include <cmath>
+
+#include "md/cell_list.h"
+#include "md/lattice.h"
+
+namespace mdz::md {
+
+Result<HarmonicCrystal> HarmonicCrystal::Create(
+    const HarmonicCrystalOptions& options) {
+  if (options.cells < 2 || options.spring_k <= 0.0 || options.dt <= 0.0 ||
+      options.lattice_constant <= 0.0) {
+    return Status::InvalidArgument("bad harmonic crystal options");
+  }
+  HarmonicCrystal crystal;
+  crystal.options_ = options;
+  crystal.rng_ = Rng(options.seed);
+
+  const double a = options.lattice_constant;
+  const double edge = options.cells * a;
+  crystal.box_ = Box(edge, edge, edge);
+  crystal.sites_ =
+      FccLattice(options.cells, options.cells, options.cells, a);
+  crystal.positions_ = crystal.sites_;
+  const size_t n = crystal.sites_.size();
+  crystal.velocities_.resize(n);
+  crystal.forces_.resize(n);
+
+  // Bond list: FCC nearest neighbors at a/sqrt(2); use a cutoff halfway to
+  // the second shell (a).
+  const double nn = a / std::sqrt(2.0);
+  const double cutoff = 0.5 * (nn + a);
+  CellList cells(crystal.box_, cutoff);
+  cells.Build(crystal.sites_);
+  cells.ForEachPair(crystal.sites_,
+                    [&](size_t i, size_t j, const Vec3& dr, double) {
+                      crystal.bonds_.push_back({static_cast<uint32_t>(i),
+                                                static_cast<uint32_t>(j), dr});
+                    });
+
+  // Maxwell-Boltzmann velocities at the target temperature.
+  const double stddev = std::sqrt(options.temperature);
+  for (Vec3& v : crystal.velocities_) {
+    v = {crystal.rng_.Gaussian(0.0, stddev),
+         crystal.rng_.Gaussian(0.0, stddev),
+         crystal.rng_.Gaussian(0.0, stddev)};
+  }
+  crystal.ComputeForces();
+  return crystal;
+}
+
+void HarmonicCrystal::ComputeForces() {
+  for (Vec3& f : forces_) f = {0.0, 0.0, 0.0};
+  const double k = options_.spring_k;
+  for (const Bond& bond : bonds_) {
+    // Displacement relative to the rest geometry (harmonic approximation on
+    // the bond vector, valid for small vibrations).
+    const Vec3 dr = box_.MinImage(positions_[bond.i], positions_[bond.j]);
+    const Vec3 stretch = dr - bond.rest;
+    const Vec3 f = (-k) * stretch;
+    forces_[bond.i] += f;
+    forces_[bond.j] -= f;
+  }
+}
+
+double HarmonicCrystal::kinetic_energy() const {
+  double ke = 0.0;
+  for (const Vec3& v : velocities_) ke += 0.5 * v.norm2();
+  return ke;
+}
+
+double HarmonicCrystal::potential_energy() const {
+  double pe = 0.0;
+  for (const Bond& bond : bonds_) {
+    const Vec3 dr = box_.MinImage(positions_[bond.i], positions_[bond.j]);
+    pe += 0.5 * options_.spring_k * (dr - bond.rest).norm2();
+  }
+  return pe;
+}
+
+double HarmonicCrystal::instantaneous_temperature() const {
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(num_atoms()));
+}
+
+double HarmonicCrystal::MeanSquaredDisplacementFromSites() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    sum += box_.MinImage(positions_[i], sites_[i]).norm2();
+  }
+  return sum / static_cast<double>(positions_.size());
+}
+
+void HarmonicCrystal::Run(int steps) {
+  const double dt = options_.dt;
+  const double half_dt = 0.5 * dt;
+  const double c1 = std::exp(-options_.gamma * dt);
+  const double c2 = std::sqrt(options_.temperature * (1.0 - c1 * c1));
+  for (int s = 0; s < steps; ++s) {
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      velocities_[i] += half_dt * forces_[i];
+      // No wrapping: atoms vibrate around fixed sites and never migrate, and
+      // unwrapped coordinates keep the dumped streams continuous (as in
+      // LAMMPS' unwrapped dump of a solid).
+      positions_[i] += dt * velocities_[i];
+    }
+    ComputeForces();
+    for (size_t i = 0; i < velocities_.size(); ++i) {
+      velocities_[i] += half_dt * forces_[i];
+      // Langevin (OU) velocity refresh keeps the canonical ensemble.
+      velocities_[i] = c1 * velocities_[i] +
+                       Vec3{c2 * rng_.Gaussian(), c2 * rng_.Gaussian(),
+                            c2 * rng_.Gaussian()};
+    }
+  }
+}
+
+}  // namespace mdz::md

@@ -1,0 +1,56 @@
+#include "md/lattice.h"
+
+#include <cmath>
+
+namespace mdz::md {
+
+namespace {
+
+std::vector<Vec3> BuildLattice(int nx, int ny, int nz, double a,
+                               const Vec3* basis, int basis_count) {
+  std::vector<Vec3> sites;
+  sites.reserve(static_cast<size_t>(nx) * ny * nz * basis_count);
+  for (int i = 0; i < nx; ++i) {
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        const Vec3 origin{i * a, j * a, k * a};
+        for (int b = 0; b < basis_count; ++b) {
+          sites.push_back(origin + a * basis[b]);
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+std::vector<Vec3> FccLattice(int nx, int ny, int nz, double a) {
+  static const Vec3 kBasis[4] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  return BuildLattice(nx, ny, nz, a, kBasis, 4);
+}
+
+std::vector<Vec3> BccLattice(int nx, int ny, int nz, double a) {
+  static const Vec3 kBasis[2] = {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+  return BuildLattice(nx, ny, nz, a, kBasis, 2);
+}
+
+std::vector<Vec3> CubicLattice(int nx, int ny, int nz, double a) {
+  static const Vec3 kBasis[1] = {{0.0, 0.0, 0.0}};
+  return BuildLattice(nx, ny, nz, a, kBasis, 1);
+}
+
+int FccCellsForAtoms(size_t num_atoms) {
+  int n = 1;
+  while (static_cast<size_t>(n) * n * n * 4 < num_atoms) ++n;
+  return n;
+}
+
+int BccCellsForAtoms(size_t num_atoms) {
+  int n = 1;
+  while (static_cast<size_t>(n) * n * n * 2 < num_atoms) ++n;
+  return n;
+}
+
+}  // namespace mdz::md

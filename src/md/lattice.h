@@ -1,0 +1,33 @@
+#ifndef MDZ_MD_LATTICE_H_
+#define MDZ_MD_LATTICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "md/vec3.h"
+
+namespace mdz::md {
+
+// Crystal lattice site builders. Sites are emitted cell-by-cell in
+// (i, j, k, basis) order, which is also the dump order the dataset
+// generators use — this ordering is what produces the zigzag spatial
+// patterns characterized in paper Fig. 3.
+//
+// `a` is the cubic lattice constant; the box spans nx*a x ny*a x nz*a.
+
+// Face-centred cubic: 4 basis atoms per cell.
+std::vector<Vec3> FccLattice(int nx, int ny, int nz, double a);
+
+// Body-centred cubic: 2 basis atoms per cell.
+std::vector<Vec3> BccLattice(int nx, int ny, int nz, double a);
+
+// Simple cubic: 1 atom per cell.
+std::vector<Vec3> CubicLattice(int nx, int ny, int nz, double a);
+
+// Smallest cell count n such that an FCC block n^3 * 4 >= num_atoms.
+int FccCellsForAtoms(size_t num_atoms);
+int BccCellsForAtoms(size_t num_atoms);
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_LATTICE_H_

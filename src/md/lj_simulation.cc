@@ -1,0 +1,144 @@
+#include "md/lj_simulation.h"
+
+#include <cmath>
+
+#include "md/lattice.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace mdz::md {
+
+LjSimulation::LjSimulation(const LjOptions& options)
+    : options_(options),
+      box_(1.0, 1.0, 1.0),
+      cells_(Box(1.0, 1.0, 1.0), options.cutoff) {}
+
+Result<LjSimulation> LjSimulation::Create(const LjOptions& options) {
+  if (options.cells < 1 || options.density <= 0.0 || options.dt <= 0.0 ||
+      options.cutoff <= 0.0) {
+    return Status::InvalidArgument("bad LJ simulation options");
+  }
+  LjSimulation sim(options);
+  sim.thermostat_rng_ = Rng(options.seed + 1);
+
+  const size_t n = static_cast<size_t>(options.cells) * options.cells *
+                   options.cells * 4;
+  // Box edge from the reduced density: rho = N / V.
+  const double edge =
+      std::cbrt(static_cast<double>(n) / options.density);
+  sim.box_ = Box(edge, edge, edge);
+  const double a = edge / options.cells;  // FCC lattice constant
+
+  sim.positions_ = FccLattice(options.cells, options.cells, options.cells, a);
+  sim.velocities_.resize(n);
+  sim.forces_.resize(n);
+
+  // Maxwell-Boltzmann velocities at the target temperature with zero net
+  // momentum.
+  Rng rng(options.seed);
+  const double stddev = std::sqrt(options.temperature);
+  Vec3 net{0.0, 0.0, 0.0};
+  for (Vec3& v : sim.velocities_) {
+    v = {rng.Gaussian(0.0, stddev), rng.Gaussian(0.0, stddev),
+         rng.Gaussian(0.0, stddev)};
+    net += v;
+  }
+  net *= 1.0 / static_cast<double>(n);
+  for (Vec3& v : sim.velocities_) v -= net;
+
+  sim.cells_ = CellList(sim.box_, options.cutoff);
+  sim.ComputeForces();
+  return sim;
+}
+
+void LjSimulation::ComputeForces() {
+  WallTimer timer;
+  cells_.Build(positions_);
+  for (Vec3& f : forces_) f = {0.0, 0.0, 0.0};
+  double pe = 0.0;
+  const double cutoff2 = options_.cutoff * options_.cutoff;
+  // Energy shift so the potential is continuous at the cutoff.
+  const double inv_c6 = 1.0 / (cutoff2 * cutoff2 * cutoff2);
+  const double e_shift = 4.0 * (inv_c6 * inv_c6 - inv_c6);
+
+  cells_.ForEachPair(positions_, [&](size_t i, size_t j, const Vec3& dr,
+                                     double r2) {
+    const double inv_r2 = 1.0 / r2;
+    const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    const double inv_r12 = inv_r6 * inv_r6;
+    // F(r) = 24 (2/r^12 - 1/r^6) / r^2 * dr
+    const double f_scalar = 24.0 * (2.0 * inv_r12 - inv_r6) * inv_r2;
+    const Vec3 f = f_scalar * dr;
+    forces_[i] += f;
+    forces_[j] -= f;
+    pe += 4.0 * (inv_r12 - inv_r6) - e_shift;
+  });
+  (void)cutoff2;
+  potential_energy_ = pe;
+  force_seconds_ += timer.ElapsedSeconds();
+}
+
+double LjSimulation::kinetic_energy() const {
+  double ke = 0.0;
+  for (const Vec3& v : velocities_) ke += 0.5 * v.norm2();
+  return ke;
+}
+
+double LjSimulation::instantaneous_temperature() const {
+  // 3N degrees of freedom (momentum constraint ignored; N is large).
+  return 2.0 * kinetic_energy() /
+         (3.0 * static_cast<double>(positions_.size()));
+}
+
+void LjSimulation::ApplyThermostat() {
+  switch (options_.thermostat) {
+    case LjOptions::Thermostat::kNone:
+      return;
+    case LjOptions::Thermostat::kBerendsen: {
+      const double t_now = instantaneous_temperature();
+      if (t_now <= 0.0) return;
+      const double lambda = std::sqrt(
+          1.0 + options_.dt / options_.thermostat_coupling *
+                    (options_.temperature / t_now - 1.0));
+      for (Vec3& v : velocities_) v *= lambda;
+      return;
+    }
+    case LjOptions::Thermostat::kLangevin: {
+      // BAOAB-style stochastic velocity update appended to the Verlet step.
+      const double gamma = options_.thermostat_coupling;
+      const double c1 = std::exp(-gamma * options_.dt);
+      const double c2 =
+          std::sqrt(options_.temperature * (1.0 - c1 * c1));
+      for (Vec3& v : velocities_) {
+        v = c1 * v + Vec3{c2 * thermostat_rng_.Gaussian(),
+                          c2 * thermostat_rng_.Gaussian(),
+                          c2 * thermostat_rng_.Gaussian()};
+      }
+      return;
+    }
+  }
+}
+
+void LjSimulation::Run(int steps) {
+  const double dt = options_.dt;
+  const double half_dt = 0.5 * dt;
+  for (int s = 0; s < steps; ++s) {
+    WallTimer timer;
+    // Velocity Verlet: half-kick, drift, force, half-kick.
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      velocities_[i] += half_dt * forces_[i];
+      positions_[i] = box_.Wrap(positions_[i] + dt * velocities_[i]);
+    }
+    integrate_seconds_ += timer.ElapsedSeconds();
+    ComputeForces();
+    timer.Reset();
+    for (size_t i = 0; i < velocities_.size(); ++i) {
+      velocities_[i] += half_dt * forces_[i];
+    }
+    ApplyThermostat();
+    ++step_;
+    integrate_seconds_ += timer.ElapsedSeconds();
+  }
+}
+
+}  // namespace mdz::md

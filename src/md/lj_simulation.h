@@ -1,0 +1,77 @@
+#ifndef MDZ_MD_LJ_SIMULATION_H_
+#define MDZ_MD_LJ_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "md/box.h"
+#include "md/cell_list.h"
+#include "md/vec3.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mdz::md {
+
+// Lennard-Jones liquid simulation in reduced units (sigma = epsilon = m = 1),
+// mirroring the LAMMPS "LJ liquid" benchmark the paper uses for its LJ
+// dataset and the Table VII integration experiment: FCC-initialized box at a
+// given reduced density/temperature, truncated 12-6 potential, velocity
+// Verlet, optional Berendsen or Langevin thermostat.
+struct LjOptions {
+  int cells = 10;            // FCC cells per edge: N = 4 * cells^3
+  double density = 0.8442;   // reduced density (LAMMPS benchmark value)
+  double temperature = 0.728;
+  double dt = 0.005;
+  double cutoff = 2.5;
+  uint64_t seed = 2022;
+
+  enum class Thermostat { kNone, kBerendsen, kLangevin };
+  Thermostat thermostat = Thermostat::kBerendsen;
+  double thermostat_coupling = 0.1;  // Berendsen tau (time) / Langevin gamma
+};
+
+class LjSimulation {
+ public:
+  static Result<LjSimulation> Create(const LjOptions& options);
+
+  // Advances `steps` timesteps.
+  void Run(int steps);
+
+  size_t num_atoms() const { return positions_.size(); }
+  const Box& box() const { return box_; }
+  const std::vector<Vec3>& positions() const { return positions_; }
+  const std::vector<Vec3>& velocities() const { return velocities_; }
+
+  double kinetic_energy() const;
+  double potential_energy() const { return potential_energy_; }
+  double total_energy() const { return kinetic_energy() + potential_energy_; }
+  double instantaneous_temperature() const;
+  int64_t step_count() const { return step_; }
+
+  // Wall-clock accounting for the Table VII runtime-breakdown experiment.
+  double force_seconds() const { return force_seconds_; }
+  double integrate_seconds() const { return integrate_seconds_; }
+
+ private:
+  explicit LjSimulation(const LjOptions& options);
+
+  void ComputeForces();
+  void ApplyThermostat();
+
+  LjOptions options_;
+  Box box_;
+  CellList cells_;
+  Rng thermostat_rng_{1};
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+  std::vector<Vec3> forces_;
+  double potential_energy_ = 0.0;
+  int64_t step_ = 0;
+  double force_seconds_ = 0.0;
+  double integrate_seconds_ = 0.0;
+};
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_LJ_SIMULATION_H_

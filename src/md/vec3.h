@@ -1,0 +1,47 @@
+#ifndef MDZ_MD_VEC3_H_
+#define MDZ_MD_VEC3_H_
+
+#include <cmath>
+
+namespace mdz::md {
+
+// Minimal 3-vector for the MD engine. Plain struct, value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  double norm2() const { return x * x + y * y + z * z; }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+inline Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+inline Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+inline Vec3 operator*(Vec3 a, double s) { return a *= s; }
+inline Vec3 operator*(double s, Vec3 a) { return a *= s; }
+inline double Dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+}  // namespace mdz::md
+
+#endif  // MDZ_MD_VEC3_H_

@@ -1,0 +1,69 @@
+#ifndef MDZ_QUANT_QUANTIZER_H_
+#define MDZ_QUANT_QUANTIZER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mdz::quant {
+
+// Linear-scale quantizer (SZ-style, paper Section VI-C).
+//
+// Prediction errors are mapped to integer codes: code 0 is reserved as the
+// "unpredictable" escape (the original value is stored verbatim in a side
+// channel), and code `radius` represents a perfect prediction. The
+// quantization scale (total number of codes, default 1024) bounds the Huffman
+// alphabet; errors that land outside the scale take the escape path.
+//
+// Reconstruction is `pred + 2*eb*(code - radius)`, which guarantees
+// |decoded - original| <= eb whenever the code is in range.
+class LinearQuantizer {
+ public:
+  LinearQuantizer(double error_bound, uint32_t scale = 1024)
+      : eb_(error_bound),
+        inv_2eb_(1.0 / (2.0 * error_bound)),
+        radius_(scale / 2),
+        scale_(scale) {}
+
+  uint32_t scale() const { return scale_; }
+  uint32_t radius() const { return radius_; }
+  double error_bound() const { return eb_; }
+
+  // Quantizes `value` against `prediction`. Returns the code; code 0 means
+  // unpredictable (caller must store the exact value) and *decoded is set to
+  // `value` in that case, otherwise to the reconstructed approximation.
+  uint32_t Encode(double value, double prediction, double* decoded) const {
+    const double diff = value - prediction;
+    // Round-half-away-from-zero of diff / (2*eb).
+    const double scaled = diff * inv_2eb_;
+    if (!(std::fabs(scaled) < static_cast<double>(radius_) - 1.0)) {
+      *decoded = value;
+      return 0;  // escape: out of scale (also catches NaN/inf)
+    }
+    const int64_t q = static_cast<int64_t>(std::llround(scaled));
+    const double recon = prediction + 2.0 * eb_ * static_cast<double>(q);
+    if (std::fabs(recon - value) > eb_) {
+      *decoded = value;  // numerical edge case; take the exact path
+      return 0;
+    }
+    *decoded = recon;
+    return static_cast<uint32_t>(q + static_cast<int64_t>(radius_));
+  }
+
+  // Reconstructs from a non-zero code.
+  double Decode(uint32_t code, double prediction) const {
+    const int64_t q =
+        static_cast<int64_t>(code) - static_cast<int64_t>(radius_);
+    return prediction + 2.0 * eb_ * static_cast<double>(q);
+  }
+
+ private:
+  double eb_;
+  double inv_2eb_;
+  uint32_t radius_;
+  uint32_t scale_;
+};
+
+}  // namespace mdz::quant
+
+#endif  // MDZ_QUANT_QUANTIZER_H_

@@ -1,0 +1,125 @@
+#ifndef MDZ_UTIL_BIT_STREAM_H_
+#define MDZ_UTIL_BIT_STREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz {
+
+// BitWriter packs bits LSB-first into a growing byte vector. Hot path for
+// Huffman and bit-plane coding, so everything is inline and branch-light.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Writes the low `nbits` bits of `bits` (nbits in [0, 57]).
+  void Write(uint64_t bits, int nbits) {
+    acc_ |= bits << filled_;
+    filled_ += nbits;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void WriteBit(bool bit) { Write(bit ? 1u : 0u, 1); }
+
+  // Flushes any partial byte. Call exactly once, after the last Write.
+  void Flush() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  size_t bit_count() const { return out_.size() * 8 + filled_; }
+  const std::vector<uint8_t>& bytes() const { return out_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+// BitReader consumes bits LSB-first from a byte span. Reads past the end
+// return zero bits and set the overrun flag (checked once at the end by the
+// caller) instead of per-bit Status plumbing, which would be too slow.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+
+  // Reads `nbits` bits (nbits in [0, 57]).
+  uint64_t Read(int nbits) {
+    consumed_ += nbits;
+    while (filled_ < nbits) {
+      if (pos_ < data_.size()) {
+        acc_ |= static_cast<uint64_t>(data_[pos_++]) << filled_;
+      } else {
+        overrun_ = true;
+      }
+      filled_ += 8;
+    }
+    const uint64_t mask = (nbits == 64) ? ~0ull : ((1ull << nbits) - 1);
+    const uint64_t value = acc_ & mask;
+    acc_ >>= nbits;
+    filled_ -= nbits;
+    return value;
+  }
+
+  bool ReadBit() { return Read(1) != 0; }
+
+  // Peeks up to 32 bits without consuming them (for table-driven decoding).
+  uint32_t Peek(int nbits) {
+    while (filled_ < nbits) {
+      if (pos_ < data_.size()) {
+        acc_ |= static_cast<uint64_t>(data_[pos_++]) << filled_;
+        filled_ += 8;
+      } else {
+        filled_ = nbits;  // zero-pad; overrun is flagged only on Read
+        break;
+      }
+    }
+    const uint64_t mask = (1ull << nbits) - 1;
+    return static_cast<uint32_t>(acc_ & mask);
+  }
+
+  // Consumes `nbits` previously peeked bits.
+  void Skip(int nbits) {
+    consumed_ += nbits;
+    if (filled_ < nbits) {
+      overrun_ = true;
+      filled_ = nbits;
+    }
+    acc_ >>= nbits;
+    filled_ -= nbits;
+  }
+
+  // True if more bits were consumed than the input contains (zero-padded
+  // reads past the end count as overrun even when Peek masked them).
+  bool overrun() const {
+    return overrun_ || consumed_ > 8 * data_.size();
+  }
+
+  Status CheckNoOverrun() const {
+    if (overrun()) return Status::Corruption("bit stream truncated");
+    return Status::OK();
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+  size_t consumed_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_BIT_STREAM_H_

@@ -1,0 +1,150 @@
+#ifndef MDZ_UTIL_BYTE_BUFFER_H_
+#define MDZ_UTIL_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz {
+
+// ByteWriter appends little-endian scalar values and raw blocks to a growable
+// byte vector. Used to assemble compressed stream sections.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  // Appends a trivially-copyable scalar in native (little-endian) layout.
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  void PutBytes(std::span<const uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  // LEB128 unsigned varint.
+  void PutVarint(uint64_t value) {
+    while (value >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(value));
+  }
+
+  // Zigzag-encoded signed varint.
+  void PutSignedVarint(int64_t value) {
+    PutVarint((static_cast<uint64_t>(value) << 1) ^
+              static_cast<uint64_t>(value >> 63));
+  }
+
+  // Appends a length-prefixed blob (varint length + raw bytes).
+  void PutBlob(std::span<const uint8_t> data) {
+    PutVarint(data.size());
+    PutBytes(data);
+  }
+
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+  // Overwrites `sizeof(T)` bytes at `offset` (used to back-patch lengths).
+  template <typename T>
+  void PatchAt(size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// ByteReader consumes a byte span produced by ByteWriter, with bounds checks
+// on every read so that truncated/corrupt streams surface as Status errors.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  Status Get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::Corruption("byte stream truncated (scalar)");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status GetBytes(void* out, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("byte stream truncated (raw bytes)");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) {
+        return Status::Corruption("byte stream truncated (varint)");
+      }
+      const uint8_t b = data_[pos_++];
+      if (shift >= 63 && (b & 0x7F) > 1) {
+        return Status::Corruption("varint overflows 64 bits");
+      }
+      value |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  Status GetSignedVarint(int64_t* out) {
+    uint64_t raw = 0;
+    MDZ_RETURN_IF_ERROR(GetVarint(&raw));
+    *out = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return Status::OK();
+  }
+
+  // Reads a length-prefixed blob as a subspan (no copy).
+  Status GetBlob(std::span<const uint8_t>* out) {
+    uint64_t n = 0;
+    MDZ_RETURN_IF_ERROR(GetVarint(&n));
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("byte stream truncated (blob)");
+    }
+    *out = data_.subspan(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_BYTE_BUFFER_H_

@@ -1,0 +1,25 @@
+#ifndef MDZ_UTIL_HASH_H_
+#define MDZ_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mdz {
+
+// 64-bit FNV-1a over a byte span. Used as the integrity checksum in the
+// compressed container format (cheap, streaming-friendly, good avalanche for
+// corruption detection; not cryptographic).
+inline uint64_t Fnv1a64(std::span<const uint8_t> data,
+                        uint64_t seed = 0xCBF29CE484222325ull) {
+  uint64_t hash = seed;
+  for (uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_HASH_H_

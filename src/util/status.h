@@ -1,0 +1,131 @@
+#ifndef MDZ_UTIL_STATUS_H_
+#define MDZ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mdz {
+
+// Error categories used across the MDZ library. Mirrors the coarse taxonomy
+// used by database-style C++ projects: a small enum plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kCorruption,      // malformed or truncated compressed stream
+  kOutOfRange,      // index/value outside the permitted domain
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+// Status carries either success (OK) or an error code plus message.
+// It is cheap to copy in the OK case and is the mandatory return type of all
+// fallible public APIs in this library (no exceptions cross API boundaries).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Modeled after
+// absl::StatusOr<T>; accessing the value of an error result aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller. Usable only in functions
+// returning Status.
+#define MDZ_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::mdz::Status _mdz_status = (expr);       \
+    if (!_mdz_status.ok()) return _mdz_status; \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its status, otherwise
+// moves the value into `lhs`.
+#define MDZ_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto MDZ_CONCAT_(_mdz_result, __LINE__) = (expr);      \
+  if (!MDZ_CONCAT_(_mdz_result, __LINE__).ok())          \
+    return MDZ_CONCAT_(_mdz_result, __LINE__).status();  \
+  lhs = std::move(MDZ_CONCAT_(_mdz_result, __LINE__)).value()
+
+#define MDZ_CONCAT_INNER_(a, b) a##b
+#define MDZ_CONCAT_(a, b) MDZ_CONCAT_INNER_(a, b)
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_STATUS_H_

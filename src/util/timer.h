@@ -1,0 +1,26 @@
+#ifndef MDZ_UTIL_TIMER_H_
+#define MDZ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mdz {
+
+// Simple monotonic wall-clock timer for throughput reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_TIMER_H_

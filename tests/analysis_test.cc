@@ -1,0 +1,201 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/characterize.h"
+#include "analysis/metrics.h"
+#include "analysis/rdf.h"
+#include "md/lattice.h"
+#include "util/rng.h"
+
+namespace mdz::analysis {
+namespace {
+
+// --- Error metrics ----------------------------------------------------------
+
+TEST(MetricsTest, IdenticalDataHasZeroError) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  const ErrorMetrics m = ComputeErrorMetrics(data, data);
+  EXPECT_EQ(m.max_error, 0.0);
+  EXPECT_EQ(m.nrmse, 0.0);
+  EXPECT_TRUE(std::isinf(m.psnr));
+  EXPECT_EQ(m.count, 4u);
+}
+
+TEST(MetricsTest, KnownErrors) {
+  std::vector<double> orig = {0.0, 10.0};  // range 10
+  std::vector<double> dec = {1.0, 10.0};   // errors {1, 0}
+  const ErrorMetrics m = ComputeErrorMetrics(orig, dec);
+  EXPECT_DOUBLE_EQ(m.max_error, 1.0);
+  // RMSE = sqrt(0.5); NRMSE = sqrt(0.5)/10.
+  EXPECT_NEAR(m.nrmse, std::sqrt(0.5) / 10.0, 1e-12);
+  EXPECT_NEAR(m.psnr, 20.0 * std::log10(10.0 / std::sqrt(0.5)), 1e-9);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  const ErrorMetrics m = ComputeErrorMetrics({}, {});
+  EXPECT_EQ(m.count, 0u);
+}
+
+TEST(MetricsTest, BitRateAndRatio) {
+  EXPECT_DOUBLE_EQ(BitRate(1000, 1000), 8.0);
+  EXPECT_DOUBLE_EQ(BitRate(250, 1000), 2.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(8000, 1000), 8.0);
+  EXPECT_EQ(CompressionRatio(100, 0), 0.0);
+}
+
+TEST(MetricsTest, SimilarityFormula) {
+  std::vector<double> initial = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> same = initial;
+  EXPECT_DOUBLE_EQ(SimilarityToInitial(initial, same, 0.01), 1.0);
+
+  std::vector<double> half = {1.0, 2.0, 30.0, 40.0};  // 2 of 4 changed
+  EXPECT_DOUBLE_EQ(SimilarityToInitial(initial, half, 0.01), 0.5);
+}
+
+TEST(MetricsTest, SimilarityTauMatters) {
+  std::vector<double> initial = {100.0};
+  std::vector<double> moved = {101.0};  // 1% relative change (vs snapshot)
+  EXPECT_DOUBLE_EQ(SimilarityToInitial(initial, moved, 0.02), 1.0);
+  EXPECT_DOUBLE_EQ(SimilarityToInitial(initial, moved, 0.001), 0.0);
+}
+
+// --- Histogram / characterization -------------------------------------------
+
+TEST(HistogramTest, CountsSumToInput) {
+  Rng rng(1);
+  std::vector<double> data(10000);
+  for (auto& d : data) d = rng.Uniform(0.0, 1.0);
+  const Histogram h = ComputeHistogram(data, 50);
+  size_t total = 0;
+  for (size_t c : h.counts) total += c;
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(h.counts.size(), 50u);
+}
+
+TEST(HistogramTest, ConstantDataSingleBin) {
+  std::vector<double> data(100, 5.0);
+  const Histogram h = ComputeHistogram(data, 10);
+  EXPECT_EQ(h.counts[0], 100u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  std::vector<double> data = {0.0, 10.0};
+  const Histogram h = ComputeHistogram(data, 10);
+  EXPECT_NEAR(h.BinCenter(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.BinCenter(9), 9.5, 1e-12);
+}
+
+TEST(PeakCountTest, MultiPeakDetected) {
+  Rng rng(2);
+  std::vector<double> data;
+  for (int level = 0; level < 5; ++level) {
+    for (int i = 0; i < 1000; ++i) {
+      data.push_back(level * 10.0 + rng.Gaussian(0.0, 0.3));
+    }
+  }
+  const Histogram h = ComputeHistogram(data, 100);
+  EXPECT_GE(CountHistogramPeaks(h), 5);
+}
+
+TEST(PeakCountTest, UniformDataFewPeaks) {
+  Rng rng(3);
+  std::vector<double> data(50000);
+  for (auto& d : data) d = rng.Uniform(0.0, 1.0);
+  const Histogram h = ComputeHistogram(data, 20);
+  EXPECT_LE(CountHistogramPeaks(h), 6);
+}
+
+TEST(RoughnessTest, SmoothVsRoughSpace) {
+  std::vector<double> smooth(1000), rough(1000);
+  Rng rng(4);
+  for (size_t i = 0; i < 1000; ++i) {
+    smooth[i] = static_cast<double>(i);  // monotone ramp
+    rough[i] = rng.Uniform(0.0, 1000.0);
+  }
+  EXPECT_LT(SpatialRoughness(smooth), 0.01);
+  EXPECT_GT(SpatialRoughness(rough), 0.1);
+}
+
+// --- RDF ----------------------------------------------------------------------
+
+core::Trajectory IdealGas(size_t n, double box, uint64_t seed) {
+  core::Trajectory traj;
+  traj.box = {box, box, box};
+  Rng rng(seed);
+  core::Snapshot snap;
+  for (auto& axis : snap.axes) {
+    axis.resize(n);
+    for (auto& v : axis) v = rng.Uniform(0.0, box);
+  }
+  traj.snapshots.push_back(std::move(snap));
+  return traj;
+}
+
+TEST(RdfTest, IdealGasIsFlatAtOne) {
+  const auto traj = IdealGas(8000, 20.0, 5);
+  RdfOptions options;
+  options.r_max = 6.0;
+  options.bins = 30;
+  auto rdf = ComputeRdf(traj, options);
+  ASSERT_TRUE(rdf.ok());
+  // Skip the first couple of bins (tiny shells, noisy statistics).
+  for (size_t b = 4; b < rdf->g.size(); ++b) {
+    EXPECT_NEAR(rdf->g[b], 1.0, 0.15) << "bin " << b;
+  }
+}
+
+TEST(RdfTest, FccLatticeFirstPeakAtNearestNeighbor) {
+  const double a = 2.0;
+  const auto sites = md::FccLattice(6, 6, 6, a);
+  core::Trajectory traj;
+  traj.box = {6 * a, 6 * a, 6 * a};
+  core::Snapshot snap;
+  for (auto& axis : snap.axes) axis.resize(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    snap.axes[0][i] = sites[i].x;
+    snap.axes[1][i] = sites[i].y;
+    snap.axes[2][i] = sites[i].z;
+  }
+  traj.snapshots.push_back(std::move(snap));
+
+  RdfOptions options;
+  options.r_max = 3.0;
+  options.bins = 120;
+  auto rdf = ComputeRdf(traj, options);
+  ASSERT_TRUE(rdf.ok());
+
+  // The first non-zero g(r) bin must sit at the FCC nearest-neighbor
+  // distance a/sqrt(2) ~ 1.414.
+  size_t first = 0;
+  while (first < rdf->g.size() && rdf->g[first] < 0.5) ++first;
+  ASSERT_LT(first, rdf->g.size());
+  EXPECT_NEAR(rdf->r[first], a / std::sqrt(2.0), 0.05);
+}
+
+TEST(RdfTest, DeviationOfIdenticalTrajectoriesIsZero) {
+  const auto traj = IdealGas(1000, 10.0, 6);
+  auto a = ComputeRdf(traj);
+  auto b = ComputeRdf(traj);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(RdfMaxDeviation(*a, *b), 0.0);
+}
+
+TEST(RdfTest, RejectsTinyTrajectories) {
+  core::Trajectory traj;
+  EXPECT_FALSE(ComputeRdf(traj).ok());
+}
+
+TEST(RdfTest, RmaxClampedToHalfBox) {
+  const auto traj = IdealGas(500, 8.0, 7);
+  RdfOptions options;
+  options.r_max = 100.0;  // way beyond half the box
+  auto rdf = ComputeRdf(traj, options);
+  ASSERT_TRUE(rdf.ok());
+  EXPECT_LE(rdf->r.back(), 4.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace mdz::analysis

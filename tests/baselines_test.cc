@@ -1,0 +1,315 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/asn.h"
+#include "baselines/compressor_interface.h"
+#include "baselines/hrtc.h"
+#include "baselines/lfzip.h"
+#include "baselines/mdb.h"
+#include "baselines/sz2.h"
+#include "baselines/tng.h"
+#include "util/rng.h"
+
+namespace mdz::baselines {
+namespace {
+
+Field SmoothField(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Field field(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) field[0][i] = rng.Uniform(0.0, 30.0);
+  for (size_t s = 1; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = field[s - 1][i] + rng.Gaussian(0.0, 0.02);
+    }
+  }
+  return field;
+}
+
+Field NoisyField(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Field field(m, std::vector<double>(n));
+  for (auto& snapshot : field) {
+    for (auto& v : snapshot) v = rng.Uniform(-5.0, 5.0);
+  }
+  return field;
+}
+
+double GlobalRange(const Field& field) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : field) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return hi - lo;
+}
+
+void ExpectWithinBound(const Field& original, const Field& decoded,
+                       double abs_eb, const std::string& label) {
+  ASSERT_EQ(decoded.size(), original.size()) << label;
+  for (size_t s = 0; s < original.size(); ++s) {
+    ASSERT_EQ(decoded[s].size(), original[s].size()) << label;
+    for (size_t i = 0; i < original[s].size(); ++i) {
+      ASSERT_LE(std::fabs(decoded[s][i] - original[s][i]), abs_eb * 1.0000001)
+          << label << " snapshot " << s << " index " << i;
+    }
+  }
+}
+
+// --- Registry-wide property tests: every lossy compressor round-trips within
+// the error bound on every data shape.
+
+struct SweepParam {
+  const char* compressor;
+  int shape;  // 0 smooth, 1 noisy
+  double eb;
+  uint32_t bs;
+};
+
+class LossySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(LossySweepTest, RoundTripWithinBound) {
+  const SweepParam p = GetParam();
+  auto info = LossyCompressorByName(p.compressor);
+  ASSERT_TRUE(info.ok());
+
+  const Field field = (p.shape == 0) ? SmoothField(27, 150, 1)
+                                     : NoisyField(27, 150, 2);
+  CompressorConfig config;
+  config.error_bound = p.eb;
+  config.buffer_size = p.bs;
+
+  auto compressed = info->compress(field, config);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = info->decompress(*compressed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  const double abs_eb = p.eb * GlobalRange(field);
+  ExpectWithinBound(field, *decoded, abs_eb, p.compressor);
+}
+
+std::vector<SweepParam> MakeSweepParams() {
+  std::vector<SweepParam> params;
+  for (const char* name :
+       {"SZ2", "ASN", "TNG", "HRTC", "MDB", "LFZip", "SZ3", "MDZ"}) {
+    for (int shape : {0, 1}) {
+      for (double eb : {1e-2, 1e-4}) {
+        for (uint32_t bs : {5u, 10u}) {
+          params.push_back({name, shape, eb, bs});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompressors, LossySweepTest, ::testing::ValuesIn(MakeSweepParams()),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const SweepParam& p = info.param;
+      std::string name = p.compressor;
+      name += (p.shape == 0) ? "_smooth" : "_noisy";
+      name += (p.eb == 1e-2) ? "_eb1e2" : "_eb1e4";
+      name += "_bs" + std::to_string(p.bs);
+      return name;
+    });
+
+// --- Registry sanity -----------------------------------------------------------
+
+TEST(RegistryTest, AllCompressorsListed) {
+  EXPECT_EQ(AllLossyCompressors().size(), 8u);
+  EXPECT_EQ(BaselineLossyCompressors().size(), 7u);
+  EXPECT_EQ(AllLossyCompressors().back().name, "MDZ");
+}
+
+TEST(RegistryTest, UnknownNameIsError) {
+  EXPECT_FALSE(LossyCompressorByName("NoSuchThing").ok());
+}
+
+// --- SZ2 specifics ---------------------------------------------------------------
+
+TEST(Sz2Test, TwoDModeBeatsOneDOnTimeSmoothData) {
+  // Paper Table IV: 2D mode exploits time smoothness that 1D cannot.
+  const Field field = SmoothField(50, 400, 3);
+  CompressorConfig config;
+  auto one_d = Sz2Compress(field, config, Sz2Mode::k1D);
+  auto two_d = Sz2Compress(field, config, Sz2Mode::k2D);
+  ASSERT_TRUE(one_d.ok());
+  ASSERT_TRUE(two_d.ok());
+  EXPECT_LT(two_d->size(), one_d->size());
+}
+
+TEST(Sz2Test, BothModesDecodeCorrectly) {
+  const Field field = NoisyField(15, 80, 4);
+  CompressorConfig config;
+  const double abs_eb = config.error_bound * GlobalRange(field);
+  for (Sz2Mode mode : {Sz2Mode::k1D, Sz2Mode::k2D}) {
+    auto compressed = Sz2Compress(field, config, mode);
+    ASSERT_TRUE(compressed.ok());
+    auto decoded = Sz2Decompress(*compressed);
+    ASSERT_TRUE(decoded.ok());
+    ExpectWithinBound(field, *decoded, abs_eb, "SZ2");
+  }
+}
+
+TEST(Sz2Test, EmptyFieldRejected) {
+  EXPECT_FALSE(Sz2Compress({}, CompressorConfig(), Sz2Mode::k2D).ok());
+}
+
+// --- ASN specifics ---------------------------------------------------------------
+
+TEST(AsnTest, ExtrapolationHelpsLinearMotion) {
+  // Constant-velocity drift: ASN's 2x(t-1) - x(t-2) predictor is exact, so it
+  // must beat plain previous-snapshot deltas encoded by TNG.
+  Field field(40, std::vector<double>(200));
+  Rng rng(5);
+  std::vector<double> v0(200), vel(200);
+  for (size_t i = 0; i < 200; ++i) {
+    v0[i] = rng.Uniform(0.0, 10.0);
+    vel[i] = rng.Uniform(0.05, 0.2);
+  }
+  for (size_t s = 0; s < 40; ++s) {
+    for (size_t i = 0; i < 200; ++i) {
+      field[s][i] = v0[i] + vel[i] * static_cast<double>(s) +
+                    rng.Gaussian(0.0, 1e-4);
+    }
+  }
+  CompressorConfig config;
+  config.buffer_size = 40;
+  auto asn = AsnCompress(field, config);
+  auto tng = TngCompress(field, config);
+  ASSERT_TRUE(asn.ok());
+  ASSERT_TRUE(tng.ok());
+  EXPECT_LT(asn->size(), tng->size());
+}
+
+// --- TNG specifics ---------------------------------------------------------------
+
+TEST(TngTest, GridQuantizationIsUniform) {
+  const Field field = SmoothField(10, 50, 6);
+  CompressorConfig config;
+  config.error_bound = 1e-3;
+  auto compressed = TngCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = TngDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  // All decoded values sit on one global grid: multiples of 2*abs_eb.
+  const double abs_eb = 1e-3 * GlobalRange(field);
+  for (const auto& snapshot : *decoded) {
+    for (double v : snapshot) {
+      const double q = v / (2.0 * abs_eb);
+      EXPECT_NEAR(q, std::round(q), 1e-6);
+    }
+  }
+}
+
+// --- HRTC specifics ---------------------------------------------------------------
+
+TEST(HrtcTest, PiecewiseLinearDataCollapsesToFewSegments) {
+  // Exactly linear per-particle trajectories compress to ~2 breakpoints per
+  // buffer per particle.
+  Field field(60, std::vector<double>(100));
+  for (size_t s = 0; s < 60; ++s) {
+    for (size_t i = 0; i < 100; ++i) {
+      field[s][i] = static_cast<double>(i) +
+                    0.05 * static_cast<double>(i % 7) * static_cast<double>(s);
+    }
+  }
+  CompressorConfig config;
+  config.buffer_size = 60;
+  auto compressed = HrtcCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  // Far below one value per point.
+  EXPECT_LT(compressed->size(), 60 * 100 * sizeof(double) / 20);
+  auto decoded = HrtcDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  const double abs_eb = config.error_bound * GlobalRange(field);
+  ExpectWithinBound(field, *decoded, abs_eb, "HRTC");
+}
+
+// --- MDB specifics ---------------------------------------------------------------
+
+TEST(MdbTest, ConstantSeriesUsesPmc) {
+  Field field(20, std::vector<double>(50, 1.5));
+  CompressorConfig config;
+  config.buffer_size = 20;
+  auto compressed = MdbCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  // One PMC segment per particle: ~(1+1+8) bytes * 50 + header.
+  EXPECT_LT(compressed->size(), 50u * 16u + 64u);
+  auto decoded = MdbDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  for (const auto& snapshot : *decoded) {
+    for (double v : snapshot) EXPECT_NEAR(v, 1.5, 1e-12);
+  }
+}
+
+TEST(MdbTest, NoisySeriesFallsBackToGorillaLossless) {
+  const Field field = NoisyField(10, 30, 7);
+  CompressorConfig config;
+  config.error_bound = 1e-9;  // nothing fits PMC/Swing
+  auto compressed = MdbCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = MdbDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  // Gorilla fallback is lossless.
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      EXPECT_EQ((*decoded)[s][i], field[s][i]);
+    }
+  }
+}
+
+// --- LFZip specifics ---------------------------------------------------------------
+
+TEST(LfzipTest, FilterAdaptsToPeriodicSignal) {
+  // A pure sinusoid is perfectly predictable by a 32-tap linear filter after
+  // adaptation; later buffers must compress much better than a random signal.
+  Field sine(100, std::vector<double>(64));
+  for (size_t s = 0; s < 100; ++s) {
+    for (size_t i = 0; i < 64; ++i) {
+      sine[s][i] = std::sin(0.2 * static_cast<double>(s)) + 2.0;
+    }
+  }
+  const Field noisy = NoisyField(100, 64, 8);
+  CompressorConfig config;
+  auto sine_out = LfzipCompress(sine, config);
+  auto noisy_out = LfzipCompress(noisy, config);
+  ASSERT_TRUE(sine_out.ok());
+  ASSERT_TRUE(noisy_out.ok());
+  EXPECT_LT(sine_out->size(), noisy_out->size());
+}
+
+// --- Cross-compressor corruption robustness -----------------------------------------
+
+TEST(BaselineCorruptionTest, FlippedBytesNeverCrash) {
+  const Field field = SmoothField(12, 60, 9);
+  CompressorConfig config;
+  Rng rng(10);
+  for (const auto& info : AllLossyCompressors()) {
+    auto compressed = info.compress(field, config);
+    ASSERT_TRUE(compressed.ok()) << info.name;
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<uint8_t> mutated = *compressed;
+      mutated[rng.UniformInt(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.UniformInt(255));
+      auto result = info.decompress(mutated);  // must not crash
+      (void)result;
+    }
+  }
+}
+
+TEST(BaselineCorruptionTest, EmptyInputRejectedByAll) {
+  for (const auto& info : AllLossyCompressors()) {
+    EXPECT_FALSE(info.decompress({}).ok()) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace mdz::baselines

@@ -1,0 +1,211 @@
+// Direct tests of the internal per-buffer block codec (core/block_codec.h):
+// state threading, layout handling, entropy-mode selection and corruption
+// behaviour below the FieldCompressor level.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/block_codec.h"
+#include "util/rng.h"
+
+namespace mdz::core::internal {
+namespace {
+
+std::vector<std::vector<double>> MakeBuffer(size_t s, size_t n, uint64_t seed,
+                                            double step = 0.5) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> buffer(s, std::vector<double>(n));
+  for (size_t t = 0; t < s; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      buffer[t][i] = (t == 0) ? rng.Uniform(0.0, 10.0)
+                              : buffer[t - 1][i] + rng.Gaussian(0.0, step);
+    }
+  }
+  return buffer;
+}
+
+LevelModel UnitLevels() {
+  LevelModel levels;
+  levels.mu = 0.0;
+  levels.lambda = 1.0;
+  levels.valid = true;
+  return levels;
+}
+
+void ExpectDecodesWithinBound(const BlockCodec& codec, Method method,
+                              const std::vector<std::vector<double>>& buffer,
+                              const PredictorState& in_state, double abs_eb) {
+  const EncodedBlock block =
+      codec.Encode(method, buffer, in_state, UnitLevels());
+  PredictorState state = in_state;
+  std::vector<std::vector<double>> decoded;
+  const Status s = codec.Decode(block.bytes, buffer[0].size(), &state,
+                                &decoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(decoded.size(), buffer.size());
+  for (size_t t = 0; t < buffer.size(); ++t) {
+    for (size_t i = 0; i < buffer[t].size(); ++i) {
+      ASSERT_LE(std::fabs(decoded[t][i] - buffer[t][i]), abs_eb)
+          << "method " << static_cast<int>(method) << " t=" << t;
+    }
+  }
+  // Decoder must reproduce the encoder's end state exactly.
+  ASSERT_EQ(state.initial.size(), block.end_state.initial.size());
+  for (size_t i = 0; i < state.initial.size(); ++i) {
+    EXPECT_EQ(state.initial[i], block.end_state.initial[i]);
+  }
+}
+
+TEST(BlockCodecTest, AllMethodsDecodeWithoutPriorState) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(10, 128, 1);
+  for (Method method :
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+    ExpectDecodesWithinBound(codec, method, buffer, PredictorState(), 0.01);
+  }
+}
+
+TEST(BlockCodecTest, AllMethodsDecodeWithInitialState) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(10, 128, 2);
+  PredictorState state;
+  state.initial.assign(128, 5.0);
+  for (Method method :
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+    ExpectDecodesWithinBound(codec, method, buffer, state, 0.01);
+  }
+}
+
+TEST(BlockCodecTest, EndStatePreservesExistingInitial) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(5, 32, 3);
+  PredictorState state;
+  state.initial.assign(32, -1.0);
+  const EncodedBlock block =
+      codec.Encode(Method::kMT, buffer, state, UnitLevels());
+  // initial must not be overwritten by later buffers.
+  ASSERT_EQ(block.end_state.initial.size(), 32u);
+  for (double v : block.end_state.initial) EXPECT_EQ(v, -1.0);
+}
+
+TEST(BlockCodecTest, FirstBlockSetsInitialFromDecodedSnapshot) {
+  const BlockCodec codec(0.05, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(4, 64, 4);
+  const EncodedBlock block =
+      codec.Encode(Method::kVQ, buffer, PredictorState(), UnitLevels());
+  ASSERT_EQ(block.end_state.initial.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_LE(std::fabs(block.end_state.initial[i] - buffer[0][i]), 0.05);
+  }
+}
+
+TEST(BlockCodecTest, BothLayoutsRoundTrip) {
+  for (CodeLayout layout :
+       {CodeLayout::kSnapshotMajor, CodeLayout::kParticleMajor}) {
+    const BlockCodec codec(0.01, 1024, layout);
+    const auto buffer = MakeBuffer(8, 100, 5);
+    ExpectDecodesWithinBound(codec, Method::kMT, buffer, PredictorState(),
+                             0.01);
+  }
+}
+
+TEST(BlockCodecTest, SingleSnapshotBufferSkipsTransposition) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(1, 77, 6);
+  for (Method method :
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+    ExpectDecodesWithinBound(codec, method, buffer, PredictorState(), 0.01);
+  }
+}
+
+TEST(BlockCodecTest, RunDominatedBufferPicksPackedMode) {
+  // Constant-in-time data: nearly all codes equal -> the packed candidate
+  // competes; whichever wins, the round trip must hold and the output must
+  // be tiny.
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  std::vector<std::vector<double>> buffer(20, std::vector<double>(500));
+  Rng rng(7);
+  for (size_t i = 0; i < 500; ++i) buffer[0][i] = rng.Uniform(0.0, 5.0);
+  for (size_t t = 1; t < 20; ++t) buffer[t] = buffer[0];
+  const EncodedBlock block =
+      codec.Encode(Method::kMT, buffer, PredictorState(), UnitLevels());
+  // The first snapshot pays full (Lorenzo) entropy; the 19 constant repeats
+  // must be nearly free, so the block compresses > 40x overall.
+  EXPECT_LT(block.bytes.size(), 20 * 500 * sizeof(double) / 40);
+  ExpectDecodesWithinBound(codec, Method::kMT, buffer, PredictorState(), 0.01);
+}
+
+TEST(BlockCodecTest, VqEscapesFarOutliers) {
+  const BlockCodec codec(1e-6, 16, CodeLayout::kParticleMajor);  // tiny reach
+  auto buffer = MakeBuffer(3, 50, 8, /*step=*/2.0);
+  const EncodedBlock block =
+      codec.Encode(Method::kMT, buffer, PredictorState(), UnitLevels());
+  EXPECT_GT(block.escape_count, 0u);
+  ExpectDecodesWithinBound(codec, Method::kMT, buffer, PredictorState(),
+                           1e-6);
+}
+
+TEST(BlockCodecTest, HugeLevelIndicesUseEscapeChannel) {
+  // Values spread over a gigantic range relative to lambda force J escapes
+  // (zigzag deltas beyond the inline alphabet).
+  const BlockCodec codec(0.5, 1024, CodeLayout::kParticleMajor);
+  std::vector<std::vector<double>> buffer(2, std::vector<double>(32));
+  Rng rng(9);
+  for (auto& snapshot : buffer) {
+    for (auto& v : snapshot) v = rng.Uniform(-1e6, 1e6);
+  }
+  ExpectDecodesWithinBound(codec, Method::kVQ, buffer, PredictorState(), 0.5);
+}
+
+TEST(BlockCodecTest, DecodeRejectsBadMethodByte) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(4, 16, 10);
+  EncodedBlock block =
+      codec.Encode(Method::kVQ, buffer, PredictorState(), UnitLevels());
+  block.bytes[0] = 9;  // invalid method
+  PredictorState state;
+  std::vector<std::vector<double>> decoded;
+  EXPECT_EQ(codec.Decode(block.bytes, 16, &state, &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BlockCodecTest, DecodeRejectsWrongParticleCount) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(4, 16, 11);
+  const EncodedBlock block =
+      codec.Encode(Method::kMT, buffer, PredictorState(), UnitLevels());
+  PredictorState state;
+  std::vector<std::vector<double>> decoded;
+  EXPECT_FALSE(codec.Decode(block.bytes, 17, &state, &decoded).ok());
+}
+
+TEST(BlockCodecTest, DecodeRejectsTruncatedBlock) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(6, 64, 12);
+  const EncodedBlock block =
+      codec.Encode(Method::kVQT, buffer, PredictorState(), UnitLevels());
+  for (size_t cut : {size_t{1}, block.bytes.size() / 3,
+                     block.bytes.size() - 2}) {
+    std::vector<uint8_t> truncated(block.bytes.begin(),
+                                   block.bytes.begin() + cut);
+    PredictorState state;
+    std::vector<std::vector<double>> decoded;
+    EXPECT_FALSE(codec.Decode(truncated, 64, &state, &decoded).ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(BlockCodecTest, DeterministicEncoding) {
+  const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
+  const auto buffer = MakeBuffer(10, 200, 13);
+  const EncodedBlock a =
+      codec.Encode(Method::kVQ, buffer, PredictorState(), UnitLevels());
+  const EncodedBlock b =
+      codec.Encode(Method::kVQ, buffer, PredictorState(), UnitLevels());
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+}  // namespace
+}  // namespace mdz::core::internal

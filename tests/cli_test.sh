@@ -1,0 +1,42 @@
+#!/bin/sh
+# End-to-end smoke test of the mdz command-line tool:
+# gen -> compress -> info -> verify -> decompress(xyz) -> re-read.
+set -eu
+
+MDZ="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$MDZ" datasets | grep -q "Copper-B"
+
+"$MDZ" gen Copper-B "$WORK/traj.mdtraj" --scale 0.03 --seed 7
+test -s "$WORK/traj.mdtraj"
+
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/traj.mdza" --eb 1e-3 --bs 10 \
+  --method adp | grep -q "ratio"
+test -s "$WORK/traj.mdza"
+
+# The archive must be much smaller than the raw trajectory.
+raw_size=$(wc -c < "$WORK/traj.mdtraj")
+mdz_size=$(wc -c < "$WORK/traj.mdza")
+test "$mdz_size" -lt "$((raw_size / 5))"
+
+"$MDZ" info "$WORK/traj.mdza" | grep -q "Copper-B"
+"$MDZ" verify "$WORK/traj.mdtraj" "$WORK/traj.mdza" | grep -q "x"
+
+"$MDZ" decompress "$WORK/traj.mdza" "$WORK/out.xyz"
+test -s "$WORK/out.xyz"
+head -1 "$WORK/out.xyz" | grep -q "3137"
+
+# XYZ round trip back through the compressor.
+"$MDZ" compress "$WORK/out.xyz" "$WORK/again.mdza" --method mt --bs 5
+"$MDZ" info "$WORK/again.mdza" > /dev/null
+
+# Unknown flags / methods must fail loudly.
+if "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/x.mdza" --method bogus \
+    2>/dev/null; then
+  echo "expected failure for bogus method" >&2
+  exit 1
+fi
+
+echo "cli_test OK"

@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/characterize.h"
+#include "datagen/generators.h"
+
+namespace mdz::datagen {
+namespace {
+
+GeneratorOptions Tiny() {
+  GeneratorOptions opts;
+  opts.size_scale = 0.05;  // keep unit tests fast
+  return opts;
+}
+
+TEST(RegistryTest, EightMdDatasets) {
+  const auto datasets = AllMdDatasets();
+  ASSERT_EQ(datasets.size(), 8u);
+  EXPECT_EQ(datasets[0].name, "Copper-A");
+  EXPECT_EQ(datasets[7].name, "LJ");
+}
+
+TEST(RegistryTest, AllDatasetsIncludeHaccAndExtensions) {
+  const auto datasets = AllDatasets();
+  ASSERT_EQ(datasets.size(), 11u);
+  EXPECT_EQ(datasets[8].name, "HACC-1");
+  EXPECT_EQ(datasets[9].name, "HACC-2");
+  EXPECT_EQ(datasets[10].name, "Copper-MD");
+}
+
+TEST(RegistryTest, MakeByNameWorks) {
+  auto traj = MakeByName("Helium-B", Tiny());
+  ASSERT_TRUE(traj.ok());
+  EXPECT_EQ(traj->name, "Helium-B");
+  EXPECT_GT(traj->num_snapshots(), 0u);
+}
+
+TEST(RegistryTest, MakeByNameUnknownFails) {
+  EXPECT_FALSE(MakeByName("Uranium-C", Tiny()).ok());
+}
+
+TEST(GeneratorTest, FixedAtomCountsMatchPaper) {
+  // Mode-B datasets keep the paper's exact atom counts.
+  EXPECT_EQ(MakeCopperB(Tiny()).num_particles(), 3137u);
+  EXPECT_EQ(MakeHeliumB(Tiny()).num_particles(), 1037u);
+  EXPECT_EQ(MakeAdk(Tiny()).num_particles(), 3341u);
+}
+
+TEST(GeneratorTest, EverySnapshotHasThreeEqualAxes) {
+  for (const auto& info : AllMdDatasets()) {
+    const auto traj = info.make(Tiny());
+    ASSERT_GT(traj.num_snapshots(), 0u) << info.name;
+    const size_t n = traj.num_particles();
+    ASSERT_GT(n, 0u) << info.name;
+    for (const auto& snap : traj.snapshots) {
+      for (int axis = 0; axis < 3; ++axis) {
+        ASSERT_EQ(snap.axes[axis].size(), n) << info.name;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, AllValuesFinite) {
+  for (const auto& info : AllDatasets()) {
+    const auto traj = info.make(Tiny());
+    for (const auto& snap : traj.snapshots) {
+      for (int axis = 0; axis < 3; ++axis) {
+        for (double v : snap.axes[axis]) {
+          ASSERT_TRUE(std::isfinite(v)) << info.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossCalls) {
+  const auto a = MakeCopperB(Tiny());
+  const auto b = MakeCopperB(Tiny());
+  ASSERT_EQ(a.num_snapshots(), b.num_snapshots());
+  for (size_t s = 0; s < a.num_snapshots(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ(a.snapshots[s].axes[axis], b.snapshots[s].axes[axis]);
+    }
+  }
+}
+
+TEST(GeneratorTest, SeedChangesData) {
+  GeneratorOptions a = Tiny();
+  GeneratorOptions b = Tiny();
+  b.seed = 987654;
+  const auto ta = MakeHeliumB(a);
+  const auto tb = MakeHeliumB(b);
+  EXPECT_NE(ta.snapshots[0].axes[0], tb.snapshots[0].axes[0]);
+}
+
+// --- Characterization properties: the generators must reproduce the paper's
+// takeaways (Section V).
+
+TEST(CharacterizationTest, CopperBIsMultiPeak) {
+  const auto traj = MakeCopperB(Tiny());
+  const auto hist =
+      analysis::ComputeHistogram(traj.snapshots[0].axes[0], 100);
+  EXPECT_GE(analysis::CountHistogramPeaks(hist), 4)
+      << "crystalline data must cluster into discrete levels (Fig. 4a)";
+}
+
+TEST(CharacterizationTest, AdkIsNotStronglyMultiPeak) {
+  const auto traj = MakeAdk(Tiny());
+  const auto hist =
+      analysis::ComputeHistogram(traj.snapshots[0].axes[0], 40);
+  // Protein data is spread out (Fig. 4b): no dominant empty-bin structure.
+  size_t empty = 0;
+  for (size_t c : hist.counts) {
+    if (c == 0) ++empty;
+  }
+  EXPECT_LT(empty, hist.counts.size() / 2);
+}
+
+TEST(CharacterizationTest, PtIsExtremelySmoothInTime) {
+  const auto pt = MakePt(Tiny());
+  const auto adk = MakeAdk(Tiny());
+  const double pt_rough = analysis::TemporalRoughness(pt, 0);
+  const double adk_rough = analysis::TemporalRoughness(adk, 0);
+  EXPECT_LT(pt_rough * 10.0, adk_rough)
+      << "Pt must be far smoother in time than ADK (takeaway 4)";
+}
+
+TEST(CharacterizationTest, LjIsSmoothInTimeAndRoughInSpace) {
+  const auto lj = MakeLj(Tiny());
+  ASSERT_GT(lj.num_snapshots(), 1u);
+  const double temporal = analysis::TemporalRoughness(lj, 0);
+  const double spatial =
+      analysis::SpatialRoughness(lj.snapshots[0].axes[0]);
+  EXPECT_LT(temporal, 0.05);
+  EXPECT_GT(spatial, 0.05);
+}
+
+TEST(CharacterizationTest, HaccTrajectoriesAreSmooth) {
+  const auto hacc = MakeHacc1(Tiny());
+  EXPECT_LT(analysis::TemporalRoughness(hacc, 0), 0.05);
+}
+
+TEST(GeneratorTest, LjComesFromRealSimulation) {
+  const auto lj = MakeLj(Tiny());
+  ASSERT_GT(lj.num_snapshots(), 1u);
+  // Particles must actually move between dumps (it's a liquid, not a copy).
+  const auto& first = lj.snapshots.front().axes[0];
+  const auto& last = lj.snapshots.back().axes[0];
+  double moved = 0.0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    moved += std::fabs(last[i] - first[i]);
+  }
+  EXPECT_GT(moved / static_cast<double>(first.size()), 1e-3);
+  // And the box is recorded for RDF analysis.
+  EXPECT_GT(lj.box[0], 0.0);
+}
+
+TEST(GeneratorTest, SizeScaleGrowsDataset) {
+  GeneratorOptions small = Tiny();
+  GeneratorOptions large = Tiny();
+  large.size_scale = 0.2;
+  EXPECT_LT(MakeCopperA(small).num_particles(),
+            MakeCopperA(large).num_particles());
+  // Mode-B datasets scale snapshots instead.
+  EXPECT_LT(MakeHeliumB(small).num_snapshots(),
+            MakeHeliumB(large).num_snapshots());
+}
+
+}  // namespace
+}  // namespace mdz::datagen

@@ -1,0 +1,246 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dynamics.h"
+#include "core/mdz.h"
+#include "datagen/generators.h"
+#include "md/harmonic_crystal.h"
+#include "util/rng.h"
+
+namespace mdz {
+namespace {
+
+// --- HarmonicCrystal (MD substrate) -------------------------------------------
+
+TEST(HarmonicCrystalTest, CreateRejectsBadOptions) {
+  md::HarmonicCrystalOptions options;
+  options.cells = 1;
+  EXPECT_FALSE(md::HarmonicCrystal::Create(options).ok());
+  options = md::HarmonicCrystalOptions();
+  options.spring_k = -1.0;
+  EXPECT_FALSE(md::HarmonicCrystal::Create(options).ok());
+}
+
+TEST(HarmonicCrystalTest, AtomAndBondTopology) {
+  md::HarmonicCrystalOptions options;
+  options.cells = 4;
+  auto crystal = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(crystal.ok());
+  EXPECT_EQ(crystal->num_atoms(), 4u * 4u * 4u * 4u);
+}
+
+TEST(HarmonicCrystalTest, TemperatureEquilibrates) {
+  md::HarmonicCrystalOptions options;
+  options.cells = 4;
+  options.temperature = 0.05;
+  auto crystal = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(crystal.ok());
+  crystal->Run(400);
+  // Langevin thermostat: kinetic temperature near target (20% tolerance for
+  // finite-size fluctuations).
+  EXPECT_NEAR(crystal->instantaneous_temperature(), 0.05, 0.012);
+}
+
+TEST(HarmonicCrystalTest, AtomsStayBoundToSites) {
+  md::HarmonicCrystalOptions options;
+  options.cells = 3;
+  auto crystal = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(crystal.ok());
+  crystal->Run(600);
+  // Stable crystal: thermal MSD from sites stays far below the
+  // nearest-neighbor distance a/sqrt(2) ~ 2.56.
+  const double msd = crystal->MeanSquaredDisplacementFromSites();
+  EXPECT_GT(msd, 0.0);
+  EXPECT_LT(std::sqrt(msd), 0.8);
+}
+
+TEST(HarmonicCrystalTest, EquipartitionOfEnergy) {
+  // Harmonic system: <PE> ~ <KE> in equilibrium (each quadratic mode gets
+  // T/2). Check the ratio loosely over a time average.
+  md::HarmonicCrystalOptions options;
+  options.cells = 3;
+  options.temperature = 0.08;
+  auto crystal = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(crystal.ok());
+  crystal->Run(300);
+  double ke_sum = 0.0, pe_sum = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    crystal->Run(25);
+    ke_sum += crystal->kinetic_energy();
+    pe_sum += crystal->potential_energy();
+  }
+  EXPECT_NEAR(pe_sum / ke_sum, 1.0, 0.3);
+}
+
+TEST(HarmonicCrystalTest, DeterministicForSameSeed) {
+  md::HarmonicCrystalOptions options;
+  options.cells = 3;
+  auto a = md::HarmonicCrystal::Create(options);
+  auto b = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->Run(50);
+  b->Run(50);
+  for (size_t i = 0; i < a->num_atoms(); ++i) {
+    EXPECT_EQ(a->positions()[i].x, b->positions()[i].x);
+  }
+}
+
+TEST(CopperMdDatasetTest, GeneratesLevelClusteredData) {
+  datagen::GeneratorOptions opts;
+  opts.size_scale = 0.1;
+  const core::Trajectory traj = datagen::MakeCopperMd(opts);
+  ASSERT_GT(traj.num_snapshots(), 10u);
+  ASSERT_GT(traj.num_particles(), 100u);
+  // MDZ should compress it well and the adaptive selector should not crash.
+  core::Options options;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_GT(static_cast<double>(traj.raw_bytes()) /
+                compressed->total_bytes(),
+            5.0);
+}
+
+// --- MSD / autocorrelation ------------------------------------------------------
+
+core::Trajectory RandomWalkTrajectory(size_t m, size_t n, double step,
+                                      uint64_t seed) {
+  core::Trajectory traj;
+  Rng rng(seed);
+  traj.snapshots.resize(m);
+  std::vector<md::Vec3> pos(n);
+  for (size_t s = 0; s < m; ++s) {
+    auto& snap = traj.snapshots[s];
+    for (auto& axis : snap.axes) axis.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (s > 0) {
+        pos[i] += {rng.Gaussian(0.0, step), rng.Gaussian(0.0, step),
+                   rng.Gaussian(0.0, step)};
+      }
+      snap.axes[0][i] = pos[i].x;
+      snap.axes[1][i] = pos[i].y;
+      snap.axes[2][i] = pos[i].z;
+    }
+  }
+  return traj;
+}
+
+TEST(MsdTest, RandomWalkIsLinearInLag) {
+  const double step = 0.1;
+  const auto traj = RandomWalkTrajectory(200, 400, step, 1);
+  auto msd = analysis::MeanSquaredDisplacement(traj, 10);
+  ASSERT_TRUE(msd.ok());
+  ASSERT_EQ(msd->size(), 10u);
+  // Diffusive scaling: MSD(lag) = 3 * step^2 * lag.
+  for (size_t lag = 1; lag <= 10; ++lag) {
+    const double expected = 3.0 * step * step * static_cast<double>(lag);
+    EXPECT_NEAR((*msd)[lag - 1], expected, 0.15 * expected) << "lag " << lag;
+  }
+}
+
+TEST(MsdTest, StaticTrajectoryIsZero) {
+  core::Trajectory traj = RandomWalkTrajectory(10, 50, 0.0, 2);
+  auto msd = analysis::MeanSquaredDisplacement(traj, 5);
+  ASSERT_TRUE(msd.ok());
+  for (double v : *msd) EXPECT_EQ(v, 0.0);
+}
+
+TEST(MsdTest, RejectsTinyTrajectory) {
+  const auto traj = RandomWalkTrajectory(1, 10, 0.1, 3);
+  EXPECT_FALSE(analysis::MeanSquaredDisplacement(traj, 5).ok());
+}
+
+TEST(AutocorrelationTest, RandomWalkDecorrelatesImmediately) {
+  const auto traj = RandomWalkTrajectory(300, 300, 0.1, 4);
+  auto corr = analysis::DisplacementAutocorrelation(traj, 6);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_DOUBLE_EQ((*corr)[0], 1.0);
+  for (size_t lag = 1; lag < corr->size(); ++lag) {
+    EXPECT_NEAR((*corr)[lag], 0.0, 0.05) << "lag " << lag;
+  }
+}
+
+TEST(AutocorrelationTest, BallisticMotionStaysCorrelated) {
+  // Constant-velocity drift: displacements identical each frame -> C ~ 1.
+  core::Trajectory traj;
+  traj.snapshots.resize(30);
+  const size_t n = 100;
+  Rng rng(5);
+  std::vector<double> vel(n);
+  for (auto& v : vel) v = rng.Uniform(0.5, 1.5);
+  for (size_t s = 0; s < 30; ++s) {
+    for (auto& axis : traj.snapshots[s].axes) axis.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      traj.snapshots[s].axes[0][i] = vel[i] * static_cast<double>(s);
+      traj.snapshots[s].axes[1][i] = 0.0;
+      traj.snapshots[s].axes[2][i] = 0.0;
+    }
+  }
+  auto corr = analysis::DisplacementAutocorrelation(traj, 5);
+  ASSERT_TRUE(corr.ok());
+  for (double c : *corr) EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, HarmonicVibrationGoesNegative) {
+  // A vibrating crystal rebounds: displacement autocorrelation dips below
+  // zero at some lag (phonon oscillation) instead of decaying monotonically.
+  md::HarmonicCrystalOptions options;
+  options.cells = 3;
+  options.gamma = 0.02;  // underdamped
+  auto crystal = md::HarmonicCrystal::Create(options);
+  ASSERT_TRUE(crystal.ok());
+  crystal->Run(200);
+
+  core::Trajectory traj;
+  for (int s = 0; s < 60; ++s) {
+    crystal->Run(4);
+    core::Snapshot snap;
+    for (auto& axis : snap.axes) axis.resize(crystal->num_atoms());
+    for (size_t i = 0; i < crystal->num_atoms(); ++i) {
+      snap.axes[0][i] = crystal->positions()[i].x;
+      snap.axes[1][i] = crystal->positions()[i].y;
+      snap.axes[2][i] = crystal->positions()[i].z;
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  auto corr = analysis::DisplacementAutocorrelation(traj, 20);
+  ASSERT_TRUE(corr.ok());
+  const double min_c = *std::min_element(corr->begin(), corr->end());
+  EXPECT_LT(min_c, -0.05);
+}
+
+// --- Dynamics preservation through compression -----------------------------------
+
+TEST(DynamicsPreservationTest, MsdSurvivesCompression) {
+  datagen::GeneratorOptions gen;
+  gen.size_scale = 0.05;
+  const core::Trajectory traj = datagen::MakeLj(gen);
+  ASSERT_GT(traj.num_snapshots(), 5u);
+
+  core::Options options;
+  options.error_bound = 1e-4;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = core::DecompressTrajectory(*compressed);
+  ASSERT_TRUE(decoded.ok());
+
+  auto original_msd = analysis::MeanSquaredDisplacement(traj, 8);
+  auto decoded_msd = analysis::MeanSquaredDisplacement(*decoded, 8);
+  ASSERT_TRUE(original_msd.ok());
+  ASSERT_TRUE(decoded_msd.ok());
+  EXPECT_LT(analysis::CurveMaxRelativeDeviation(*original_msd, *decoded_msd),
+            0.02);
+}
+
+TEST(CurveDeviationTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(
+      analysis::CurveMaxRelativeDeviation({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      analysis::CurveMaxRelativeDeviation({1.0, 2.0}, {1.0, 1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(analysis::CurveMaxRelativeDeviation({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace mdz

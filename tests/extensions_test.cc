@@ -1,0 +1,276 @@
+// Tests for the extension features beyond the paper's core system: random-
+// access (seek) decompression, the point-wise relative error bound mode, and
+// the SZ3-interpolation extension baseline.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sz3_interp.h"
+#include "core/mdz.h"
+#include "core/pointwise_relative.h"
+#include "util/rng.h"
+
+namespace mdz {
+namespace {
+
+std::vector<std::vector<double>> SmoothField(size_t m, size_t n,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) field[0][i] = rng.Uniform(0.0, 40.0);
+  for (size_t s = 1; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = field[s - 1][i] + rng.Gaussian(0.0, 0.02);
+    }
+  }
+  return field;
+}
+
+// --- Random access ------------------------------------------------------------
+
+class SeekTest : public ::testing::TestWithParam<core::Method> {};
+
+TEST_P(SeekTest, SeekMatchesSequentialDecode) {
+  const auto field = SmoothField(47, 120, 1);
+  core::Options options;
+  options.method = GetParam();
+  options.buffer_size = 10;
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+
+  // Sequential reference decode.
+  auto reference = core::DecompressField(*compressed);
+  ASSERT_TRUE(reference.ok());
+
+  auto decompressor = core::FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  auto count = (*decompressor)->CountSnapshots();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 47u);
+
+  // Random jumps, forward and backward, including buffer boundaries.
+  std::vector<double> snapshot;
+  for (size_t target : {size_t{31}, size_t{0}, size_t{46}, size_t{9},
+                        size_t{10}, size_t{20}, size_t{5}}) {
+    ASSERT_TRUE((*decompressor)->SeekToSnapshot(target).ok()) << target;
+    auto more = (*decompressor)->Next(&snapshot);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(snapshot, (*reference)[target]) << "snapshot " << target;
+  }
+
+  // Sequential reads continue correctly after a seek.
+  ASSERT_TRUE((*decompressor)->SeekToSnapshot(18).ok());
+  for (size_t s = 18; s < 25; ++s) {
+    auto more = (*decompressor)->Next(&snapshot);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(snapshot, (*reference)[s]) << "snapshot " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SeekTest,
+                         ::testing::Values(core::Method::kVQ,
+                                           core::Method::kVQT,
+                                           core::Method::kMT,
+                                           core::Method::kAdaptive,
+                                           core::Method::kTI),
+                         [](const auto& info) {
+                           return std::string(core::MethodName(info.param));
+                         });
+
+TEST(SeekTest, OutOfRangeIsError) {
+  const auto field = SmoothField(12, 30, 2);
+  auto compressed = core::CompressField(field, core::Options());
+  ASSERT_TRUE(compressed.ok());
+  auto decompressor = core::FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  EXPECT_EQ((*decompressor)->SeekToSnapshot(12).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE((*decompressor)->SeekToSnapshot(11).ok());
+}
+
+TEST(SeekTest, EndOfStreamAfterSeekToLastBuffer) {
+  const auto field = SmoothField(23, 30, 3);
+  auto compressed = core::CompressField(field, core::Options());
+  ASSERT_TRUE(compressed.ok());
+  auto decompressor = core::FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  ASSERT_TRUE((*decompressor)->SeekToSnapshot(22).ok());
+  std::vector<double> snapshot;
+  auto more = (*decompressor)->Next(&snapshot);
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  more = (*decompressor)->Next(&snapshot);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);  // exhausted
+}
+
+// --- Point-wise relative bound ---------------------------------------------------
+
+class PointwiseRelativeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PointwiseRelativeTest, BoundHoldsForEveryValue) {
+  const double rel = GetParam();
+  Rng rng(4);
+  // Values spanning many orders of magnitude — exactly where a value-range
+  // bound fails and a point-wise relative bound matters.
+  std::vector<std::vector<double>> field(20, std::vector<double>(200));
+  for (auto& snapshot : field) {
+    for (auto& v : snapshot) {
+      const double mag = std::pow(10.0, rng.Uniform(-6.0, 6.0));
+      v = (rng.NextDouble() < 0.5 ? -1.0 : 1.0) * mag;
+    }
+  }
+  field[3][7] = 0.0;    // exact zero must survive
+  field[9][11] = -0.0;
+
+  auto compressed = core::CompressFieldPointwiseRelative(field, rel);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = core::DecompressFieldPointwiseRelative(*compressed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      const double orig = field[s][i];
+      const double dec = (*decoded)[s][i];
+      ASSERT_LE(std::fabs(dec - orig), rel * std::fabs(orig) * 1.0000001)
+          << "s=" << s << " i=" << i << " orig=" << orig;
+    }
+  }
+  EXPECT_EQ((*decoded)[3][7], 0.0);
+  EXPECT_EQ((*decoded)[9][11], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PointwiseRelativeTest,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(PointwiseRelativeTest, SignsPreserved) {
+  Rng rng(5);
+  std::vector<std::vector<double>> field(8, std::vector<double>(64));
+  for (auto& snapshot : field) {
+    for (auto& v : snapshot) v = rng.Gaussian(0.0, 10.0);
+  }
+  auto compressed = core::CompressFieldPointwiseRelative(field, 1e-2);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = core::DecompressFieldPointwiseRelative(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      EXPECT_EQ(std::signbit(field[s][i]), std::signbit((*decoded)[s][i]));
+    }
+  }
+}
+
+TEST(PointwiseRelativeTest, RejectsBadBound) {
+  std::vector<std::vector<double>> field(2, std::vector<double>(4, 1.0));
+  EXPECT_FALSE(core::CompressFieldPointwiseRelative(field, 0.0).ok());
+  EXPECT_FALSE(core::CompressFieldPointwiseRelative(field, 1.5).ok());
+}
+
+TEST(PointwiseRelativeTest, SmallValuesGetTightAbsoluteError) {
+  std::vector<std::vector<double>> field(10, std::vector<double>(50));
+  Rng rng(6);
+  for (auto& snapshot : field) {
+    for (auto& v : snapshot) v = rng.Uniform(1e-9, 2e-9);
+  }
+  auto compressed = core::CompressFieldPointwiseRelative(field, 1e-3);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = core::DecompressFieldPointwiseRelative(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      // A value-range-relative bound on mixed data would dwarf these values;
+      // the point-wise mode keeps the error at the 1e-12 scale.
+      ASSERT_LE(std::fabs((*decoded)[s][i] - field[s][i]),
+                1e-3 * 2e-9 * 1.01);
+    }
+  }
+}
+
+// --- SZ3 interpolation baseline ----------------------------------------------------
+
+TEST(Sz3InterpTest, RoundTripWithinBound) {
+  const auto field = SmoothField(37, 100, 7);
+  baselines::CompressorConfig config;
+  config.error_bound = 1e-3;
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : field) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  auto compressed = baselines::Sz3InterpCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = baselines::Sz3InterpDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  const double abs_eb = 1e-3 * (hi - lo);
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      ASSERT_LE(std::fabs((*decoded)[s][i] - field[s][i]), abs_eb * 1.000001);
+    }
+  }
+}
+
+TEST(Sz3InterpTest, InterpolationBeatsPlainDeltaOnSmoothData) {
+  // Two-sided interpolation should produce smaller residuals than TNG's
+  // one-sided deltas on smooth trajectories, hence better ratios.
+  const auto field = SmoothField(100, 300, 8);
+  baselines::CompressorConfig config;
+  config.buffer_size = 32;
+  auto sz3 = baselines::Sz3InterpCompress(field, config);
+  ASSERT_TRUE(sz3.ok());
+  auto info = baselines::LossyCompressorByName("TNG");
+  ASSERT_TRUE(info.ok());
+  auto tng = info->compress(field, config);
+  ASSERT_TRUE(tng.ok());
+  EXPECT_LT(sz3->size(), tng->size());
+}
+
+// --- TI predictor (interpolation inside MDZ) -------------------------------------
+
+TEST(TiMethodTest, AdaptiveWithInterpolationNeverWorse) {
+  // Enabling the TI candidate can only shrink ADP's output (it is selected
+  // per buffer only when it wins); on smooth data it should win outright.
+  const auto field = SmoothField(60, 500, 10);
+  core::Options base;
+  auto plain = core::CompressField(field, base);
+  ASSERT_TRUE(plain.ok());
+  core::Options with_ti = base;
+  with_ti.enable_interpolation = true;
+  auto ti = core::CompressField(field, with_ti);
+  ASSERT_TRUE(ti.ok());
+  EXPECT_LE(ti->size(), plain->size() + 64);
+  EXPECT_LT(ti->size() * 10, plain->size() * 9)
+      << "interpolation should clearly win on smooth data";
+}
+
+TEST(TiMethodTest, TiStreamDecodesWithPlainDecompressor) {
+  // The TI method byte is part of the stream format: a decoder without any
+  // special configuration must handle it.
+  const auto field = SmoothField(25, 100, 11);
+  core::Options options;
+  options.method = core::Method::kTI;
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = core::DecompressField(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 25u);
+}
+
+TEST(Sz3InterpTest, BufferOfOneSnapshot) {
+  const auto field = SmoothField(5, 20, 9);
+  baselines::CompressorConfig config;
+  config.buffer_size = 1;
+  auto compressed = baselines::Sz3InterpCompress(field, config);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = baselines::Sz3InterpDecompress(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 5u);
+}
+
+}  // namespace
+}  // namespace mdz

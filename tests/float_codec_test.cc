@@ -1,0 +1,229 @@
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/fpc.h"
+#include "codec/fpzip_like.h"
+#include "codec/lossless.h"
+#include "codec/zfp_like.h"
+#include "util/rng.h"
+
+namespace mdz::codec {
+namespace {
+
+std::vector<double> SmoothSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 10.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.01 * rng.Gaussian();
+    v[i] = x + 0.3 * std::sin(0.01 * static_cast<double>(i));
+  }
+  return v;
+}
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Uniform(-1e6, 1e6);
+  return v;
+}
+
+std::vector<double> SpecialValues() {
+  return {0.0,
+          -0.0,
+          1.0,
+          -1.0,
+          1e-308,          // subnormal territory
+          -1e-308,
+          1e308,
+          -1e308,
+          std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::max(),
+          3.141592653589793,
+          -2.718281828459045};
+}
+
+// --- FPC ---------------------------------------------------------------------
+
+void ExpectFpcRoundTrip(const std::vector<double>& values) {
+  const std::vector<uint8_t> encoded = FpcCompress(values);
+  std::vector<double> decoded;
+  const Status s = FpcDecompress(encoded, &decoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&decoded[i], &values[i], 8), 0) << "index " << i;
+  }
+}
+
+TEST(FpcTest, EmptyInput) { ExpectFpcRoundTrip({}); }
+
+TEST(FpcTest, SmoothSeriesBitExact) { ExpectFpcRoundTrip(SmoothSeries(10000, 1)); }
+
+TEST(FpcTest, RandomSeriesBitExact) { ExpectFpcRoundTrip(RandomSeries(10000, 2)); }
+
+TEST(FpcTest, SpecialValuesBitExact) { ExpectFpcRoundTrip(SpecialValues()); }
+
+TEST(FpcTest, ConstantSeriesCompressesWell) {
+  std::vector<double> values(10000, 42.0);
+  const std::vector<uint8_t> encoded = FpcCompress(values);
+  // FCM predicts repeats exactly: ~0.5-1.5 bytes/value.
+  EXPECT_LT(encoded.size(), values.size() * 2);
+  ExpectFpcRoundTrip(values);
+}
+
+TEST(FpcTest, RejectsBadTableLog) {
+  std::vector<uint8_t> bytes = {0x01, 0x63};  // count=1, table_log=99
+  std::vector<double> out;
+  EXPECT_FALSE(FpcDecompress(bytes, &out).ok());
+}
+
+// --- fpzip-like --------------------------------------------------------------
+
+void ExpectFpzipRoundTrip(const std::vector<double>& values) {
+  const std::vector<uint8_t> encoded = FpzipLikeCompress(values);
+  std::vector<double> decoded;
+  const Status s = FpzipLikeDecompress(encoded, &decoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&decoded[i], &values[i], 8), 0) << "index " << i;
+  }
+}
+
+TEST(FpzipLikeTest, EmptyInput) { ExpectFpzipRoundTrip({}); }
+
+TEST(FpzipLikeTest, SmoothSeriesBitExact) {
+  ExpectFpzipRoundTrip(SmoothSeries(10000, 3));
+}
+
+TEST(FpzipLikeTest, RandomSeriesBitExact) {
+  ExpectFpzipRoundTrip(RandomSeries(10000, 4));
+}
+
+TEST(FpzipLikeTest, SpecialValuesBitExact) {
+  ExpectFpzipRoundTrip(SpecialValues());
+}
+
+TEST(FpzipLikeTest, NegativePositiveMixBitExact) {
+  Rng rng(5);
+  std::vector<double> values(5000);
+  for (auto& v : values) v = rng.Gaussian() * 100.0;
+  ExpectFpzipRoundTrip(values);
+}
+
+TEST(FpzipLikeTest, SmoothBeatsRandomInSize) {
+  const auto smooth = FpzipLikeCompress(SmoothSeries(20000, 6));
+  const auto random = FpzipLikeCompress(RandomSeries(20000, 7));
+  EXPECT_LT(smooth.size(), random.size());
+}
+
+// --- zfp-like ----------------------------------------------------------------
+
+TEST(ZfpReversibleTest, BitExactRoundTrips) {
+  for (uint64_t seed : {10ull, 11ull}) {
+    const std::vector<double> values = SmoothSeries(4096, seed);
+    const std::vector<uint8_t> encoded = ZfpLikeCompressReversible(values);
+    std::vector<double> decoded;
+    ASSERT_TRUE(ZfpLikeDecompressReversible(encoded, &decoded).ok());
+    ASSERT_EQ(decoded.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&decoded[i], &values[i], 8), 0);
+    }
+  }
+}
+
+TEST(ZfpReversibleTest, SpecialValues) {
+  const std::vector<double> values = SpecialValues();
+  const std::vector<uint8_t> encoded = ZfpLikeCompressReversible(values);
+  std::vector<double> decoded;
+  ASSERT_TRUE(ZfpLikeDecompressReversible(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&decoded[i], &values[i], 8), 0);
+  }
+}
+
+class ZfpAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfpAccuracyTest, ErrorBoundHolds) {
+  const double tolerance = GetParam();
+  const std::vector<double> values = SmoothSeries(4099, 20);  // partial block
+  const std::vector<uint8_t> encoded =
+      ZfpLikeCompressFixedAccuracy(values, tolerance);
+  std::vector<double> decoded;
+  ASSERT_TRUE(ZfpLikeDecompressFixedAccuracy(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_LE(std::fabs(decoded[i] - values[i]), tolerance)
+        << "index " << i << " tol " << tolerance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ZfpAccuracyTest,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-6));
+
+TEST(ZfpAccuracyTest, LooserToleranceSmallerOutput) {
+  const std::vector<double> values = SmoothSeries(8192, 21);
+  const auto tight = ZfpLikeCompressFixedAccuracy(values, 1e-6);
+  const auto loose = ZfpLikeCompressFixedAccuracy(values, 1e-2);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(ZfpAccuracyTest, AllZeroBlocks) {
+  std::vector<double> values(1000, 0.0);
+  const auto encoded = ZfpLikeCompressFixedAccuracy(values, 1e-3);
+  std::vector<double> decoded;
+  ASSERT_TRUE(ZfpLikeDecompressFixedAccuracy(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (double d : decoded) EXPECT_EQ(d, 0.0);
+}
+
+// --- Lossless facade ----------------------------------------------------------
+
+class LosslessFacadeTest : public ::testing::TestWithParam<LosslessCodec> {};
+
+TEST_P(LosslessFacadeTest, BitExactRoundTrip) {
+  const LosslessCodec codec = GetParam();
+  const std::vector<double> values = SmoothSeries(5000, 30);
+  const std::vector<uint8_t> encoded = LosslessCompress(values, codec);
+  std::vector<double> decoded;
+  const Status s = LosslessDecompress(encoded, codec, &decoded);
+  ASSERT_TRUE(s.ok()) << LosslessCodecName(codec) << ": " << s.ToString();
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&decoded[i], &values[i], 8), 0)
+        << LosslessCodecName(codec) << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, LosslessFacadeTest,
+    ::testing::ValuesIn(std::vector<LosslessCodec>(
+        AllLosslessCodecs().begin(), AllLosslessCodecs().end())),
+    [](const ::testing::TestParamInfo<LosslessCodec>& info) {
+      std::string name(LosslessCodecName(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(LosslessFacadeTest, NamesAreUnique) {
+  const auto codecs = AllLosslessCodecs();
+  for (size_t i = 0; i < codecs.size(); ++i) {
+    for (size_t j = i + 1; j < codecs.size(); ++j) {
+      EXPECT_NE(LosslessCodecName(codecs[i]), LosslessCodecName(codecs[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdz::codec

@@ -1,0 +1,114 @@
+// Decoder robustness: every decompressor in the repository must reject (or
+// harmlessly decode) arbitrary byte strings — never crash, hang, or read out
+// of bounds. Deterministic pseudo-fuzz: random buffers, truncations of valid
+// streams, and valid streams with corrupted regions.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/compressor_interface.h"
+#include "codec/fpc.h"
+#include "codec/fpzip_like.h"
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "codec/range_coder.h"
+#include "codec/zfp_like.h"
+#include "core/mdz.h"
+#include "core/pointwise_relative.h"
+#include "util/rng.h"
+
+namespace mdz {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_size) {
+  std::vector<uint8_t> bytes(1 + rng->UniformInt(max_size));
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng->NextU64());
+  return bytes;
+}
+
+TEST(FuzzTest, CodecDecodersSurviveRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto bytes = RandomBytes(&rng, 512);
+    {
+      std::vector<uint32_t> out;
+      (void)codec::HuffmanDecode(bytes, &out);
+      (void)codec::RangeDecodeSymbols(bytes, &out);
+    }
+    {
+      std::vector<uint8_t> out;
+      (void)codec::LzDecompress(bytes, &out);
+    }
+    {
+      std::vector<double> out;
+      (void)codec::FpcDecompress(bytes, &out);
+      (void)codec::FpzipLikeDecompress(bytes, &out);
+      (void)codec::ZfpLikeDecompressFixedAccuracy(bytes, &out);
+      (void)codec::ZfpLikeDecompressReversible(bytes, &out);
+    }
+  }
+}
+
+TEST(FuzzTest, MdzDecoderSurvivesRandomBytes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto bytes = RandomBytes(&rng, 512);
+    (void)core::DecompressField(bytes);
+    (void)core::DecompressFieldPointwiseRelative(bytes);
+  }
+}
+
+TEST(FuzzTest, BaselineDecodersSurviveRandomBytes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto bytes = RandomBytes(&rng, 512);
+    for (const auto& info : baselines::AllLossyCompressors()) {
+      (void)info.decompress(bytes);
+    }
+  }
+}
+
+TEST(FuzzTest, TruncationsOfValidStreamNeverCrash) {
+  Rng rng(4);
+  std::vector<std::vector<double>> field(15, std::vector<double>(80));
+  for (auto& s : field) {
+    for (auto& v : s) v = rng.Uniform(0.0, 9.0);
+  }
+  for (const auto& info : baselines::AllLossyCompressors()) {
+    baselines::CompressorConfig config;
+    auto compressed = info.compress(field, config);
+    ASSERT_TRUE(compressed.ok()) << info.name;
+    for (size_t cut = 0; cut < compressed->size();
+         cut += 1 + compressed->size() / 23) {
+      std::vector<uint8_t> truncated(compressed->begin(),
+                                     compressed->begin() + cut);
+      (void)info.decompress(truncated);
+    }
+  }
+}
+
+TEST(FuzzTest, CorruptedRegionsNeverCrash) {
+  Rng rng(5);
+  std::vector<std::vector<double>> field(12, std::vector<double>(60));
+  for (auto& s : field) {
+    for (auto& v : s) v = rng.Uniform(-3.0, 3.0);
+  }
+  core::Options options;
+  options.enable_interpolation = true;  // exercise TI blocks too
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> mutated = *compressed;
+    // Corrupt a random 1-8 byte window.
+    const size_t start = rng.UniformInt(mutated.size());
+    const size_t len = 1 + rng.UniformInt(8);
+    for (size_t i = start; i < std::min(start + len, mutated.size()); ++i) {
+      mutated[i] = static_cast<uint8_t>(rng.NextU64());
+    }
+    (void)core::DecompressField(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace mdz

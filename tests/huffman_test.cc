@@ -1,0 +1,206 @@
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/huffman.h"
+#include "util/rng.h"
+
+namespace mdz::codec {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& symbols,
+                                uint32_t alphabet) {
+  const std::vector<uint8_t> encoded = HuffmanEncode(symbols, alphabet);
+  std::vector<uint32_t> decoded;
+  const Status s = HuffmanDecode(encoded, &decoded);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return decoded;
+}
+
+TEST(HuffmanTest, EmptyInput) {
+  EXPECT_EQ(RoundTrip({}, 16), std::vector<uint32_t>{});
+}
+
+TEST(HuffmanTest, SingleSymbolRepeated) {
+  std::vector<uint32_t> symbols(1000, 5);
+  EXPECT_EQ(RoundTrip(symbols, 16), symbols);
+}
+
+TEST(HuffmanTest, SingleOccurrence) {
+  std::vector<uint32_t> symbols = {3};
+  EXPECT_EQ(RoundTrip(symbols, 8), symbols);
+}
+
+TEST(HuffmanTest, TwoSymbols) {
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 500; ++i) symbols.push_back(i % 2);
+  EXPECT_EQ(RoundTrip(symbols, 2), symbols);
+}
+
+TEST(HuffmanTest, UniformAlphabet) {
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 2560; ++i) symbols.push_back(i % 256);
+  EXPECT_EQ(RoundTrip(symbols, 256), symbols);
+}
+
+TEST(HuffmanTest, SkewedDistributionCompresses) {
+  // 95% zeros: entropy ~0.3 bits; encoded size must be far below 4 bytes per
+  // symbol.
+  Rng rng(1);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 50000; ++i) {
+    symbols.push_back(rng.NextDouble() < 0.95 ? 0
+                                              : 1 + rng.UniformInt(100));
+  }
+  const std::vector<uint8_t> encoded = HuffmanEncode(symbols, 128);
+  EXPECT_LT(encoded.size(), symbols.size());  // < 8 bits/symbol
+  EXPECT_EQ(RoundTrip(symbols, 128), symbols);
+}
+
+TEST(HuffmanTest, NearEntropyOnSkewedData) {
+  Rng rng(2);
+  std::vector<uint32_t> symbols;
+  std::vector<uint64_t> freqs(16, 0);
+  for (int i = 0; i < 100000; ++i) {
+    // Geometric-ish distribution.
+    uint32_t s = 0;
+    while (s < 15 && rng.NextDouble() < 0.5) ++s;
+    symbols.push_back(s);
+    ++freqs[s];
+  }
+  const double entropy = ShannonEntropyBits(freqs);
+  const std::vector<uint8_t> encoded = HuffmanEncode(symbols, 16);
+  const double bits_per_symbol =
+      8.0 * static_cast<double>(encoded.size()) / symbols.size();
+  // Huffman is within 1 bit of entropy; header adds a bit of overhead.
+  EXPECT_LT(bits_per_symbol, entropy + 1.2);
+  EXPECT_EQ(RoundTrip(symbols, 16), symbols);
+}
+
+TEST(HuffmanTest, LargeAlphabetSparseUse) {
+  // Alphabet of 65536 but only a handful of distinct symbols: the RLE'd
+  // length table must stay small.
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 10000; ++i) symbols.push_back((i % 5) * 10000);
+  const std::vector<uint8_t> encoded = HuffmanEncode(symbols, 65536);
+  EXPECT_LT(encoded.size(), 5000u);
+  EXPECT_EQ(RoundTrip(symbols, 65536), symbols);
+}
+
+TEST(HuffmanTest, RandomRoundTripVariousAlphabets) {
+  Rng rng(3);
+  for (uint32_t alphabet : {2u, 3u, 17u, 256u, 1024u, 4096u}) {
+    std::vector<uint32_t> symbols;
+    const int count = 1000 + static_cast<int>(rng.UniformInt(5000));
+    for (int i = 0; i < count; ++i) {
+      symbols.push_back(rng.UniformInt(alphabet));
+    }
+    EXPECT_EQ(RoundTrip(symbols, alphabet), symbols) << "alphabet " << alphabet;
+  }
+}
+
+TEST(HuffmanTest, DecodeRejectsTruncatedHeader) {
+  std::vector<uint32_t> symbols(100, 1);
+  std::vector<uint8_t> encoded = HuffmanEncode(symbols, 4);
+  std::vector<uint32_t> decoded;
+  for (size_t cut : {size_t{0}, size_t{1}, encoded.size() / 2}) {
+    std::vector<uint8_t> truncated(encoded.begin(), encoded.begin() + cut);
+    const Status s = HuffmanDecode(truncated, &decoded);
+    // Either explicit corruption or detected bitstream overrun.
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(HuffmanTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage(64, 0xFF);
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(HuffmanDecode(garbage, &decoded).ok());
+}
+
+TEST(BuildCodeLengthsTest, KraftEquality) {
+  Rng rng(4);
+  std::vector<uint64_t> freqs(257, 0);
+  for (int i = 0; i < 257; ++i) freqs[i] = rng.UniformInt(1000) + 1;
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  double kraft = 0.0;
+  for (uint8_t l : lengths) {
+    ASSERT_GT(l, 0);
+    ASSERT_LE(l, kMaxCodeLength);
+    kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_NEAR(kraft, 1.0, 1e-9);
+}
+
+TEST(BuildCodeLengthsTest, ZeroFrequencySymbolsGetZeroLength) {
+  std::vector<uint64_t> freqs = {10, 0, 5, 0, 0, 1};
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  EXPECT_GT(lengths[0], 0);
+  EXPECT_EQ(lengths[1], 0);
+  EXPECT_GT(lengths[2], 0);
+  EXPECT_EQ(lengths[3], 0);
+  EXPECT_EQ(lengths[4], 0);
+  EXPECT_GT(lengths[5], 0);
+}
+
+TEST(BuildCodeLengthsTest, ExtremeSkewRespectsLengthLimit) {
+  // Fibonacci-like frequencies force maximal tree depth; the builder must
+  // damp them below kMaxCodeLength.
+  std::vector<uint64_t> freqs;
+  uint64_t a = 1, b = 1;
+  for (int i = 0; i < 60; ++i) {
+    freqs.push_back(a);
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  for (uint8_t l : lengths) {
+    EXPECT_LE(l, kMaxCodeLength);
+    EXPECT_GT(l, 0);
+  }
+}
+
+TEST(BuildCodeLengthsTest, MoreFrequentSymbolsGetShorterCodes) {
+  std::vector<uint64_t> freqs = {1000, 100, 10, 1};
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(ShannonEntropyTest, KnownValues) {
+  std::vector<uint64_t> uniform = {1, 1, 1, 1};
+  EXPECT_NEAR(ShannonEntropyBits(uniform), 2.0, 1e-12);
+  std::vector<uint64_t> single = {100};
+  EXPECT_NEAR(ShannonEntropyBits(single), 0.0, 1e-12);
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(ShannonEntropyBits(empty), 0.0);
+}
+
+// Parameterized sweep: the round trip must hold for every (size, skew) combo.
+class HuffmanSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HuffmanSweepTest, RoundTrip) {
+  const auto [size, skew] = GetParam();
+  Rng rng(42 + size);
+  std::vector<uint32_t> symbols;
+  symbols.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    uint32_t s = 0;
+    while (s < 63 && rng.NextDouble() < skew) ++s;
+    symbols.push_back(s);
+  }
+  EXPECT_EQ(RoundTrip(symbols, 64), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSkews, HuffmanSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000, 100000),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace mdz::codec

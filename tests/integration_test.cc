@@ -1,0 +1,143 @@
+// End-to-end tests: generated datasets -> compression (MDZ + baselines) ->
+// decompression -> error-bound and physics checks. These mirror the paper's
+// evaluation pipeline in miniature.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/rdf.h"
+#include "baselines/compressor_interface.h"
+#include "core/mdz.h"
+#include "datagen/generators.h"
+
+namespace mdz {
+namespace {
+
+datagen::GeneratorOptions Tiny() {
+  datagen::GeneratorOptions opts;
+  opts.size_scale = 0.05;
+  return opts;
+}
+
+TEST(IntegrationTest, MdzRoundTripsEveryDatasetWithinBound) {
+  for (const auto& info : datagen::AllMdDatasets()) {
+    const core::Trajectory traj = info.make(Tiny());
+    core::Options options;
+    options.error_bound = 1e-3;
+
+    auto compressed = core::CompressTrajectory(traj, options);
+    ASSERT_TRUE(compressed.ok()) << info.name;
+    auto decoded = core::DecompressTrajectory(*compressed);
+    ASSERT_TRUE(decoded.ok()) << info.name;
+
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto metrics =
+          analysis::ComputeAxisErrorMetrics(traj, *decoded, axis);
+      // Value-range-relative bound resolved on the first buffer can differ
+      // slightly from the global range; allow 2x headroom.
+      EXPECT_LE(metrics.max_error, 2e-3 * metrics.value_range + 1e-12)
+          << info.name << " axis " << axis;
+    }
+
+    const double ratio = analysis::CompressionRatio(
+        traj.raw_bytes(), compressed->total_bytes());
+    EXPECT_GT(ratio, 2.0) << info.name;
+  }
+}
+
+TEST(IntegrationTest, MdzBeatsRawStorageSubstantially) {
+  const core::Trajectory traj = datagen::MakePt(Tiny());
+  core::Options options;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  const double ratio = analysis::CompressionRatio(traj.raw_bytes(),
+                                                  compressed->total_bytes());
+  // Pt is the paper's smooth-in-time showcase: CR should be high.
+  EXPECT_GT(ratio, 30.0);
+}
+
+TEST(IntegrationTest, MdzPreservesRdfOnCrystal) {
+  const core::Trajectory traj = datagen::MakeCopperB(Tiny());
+  core::Options options;
+  // RDF bins are ~0.04 Angstrom wide; pick a bound safely below that so the
+  // decompressed pair distances stay in their bins (the Fig. 14 bench does
+  // the CR-matched cross-compressor comparison).
+  options.error_bound = 1e-4;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = core::DecompressTrajectory(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  decoded->box = traj.box;
+
+  analysis::RdfOptions rdf_options;
+  rdf_options.r_max = 6.0;
+  auto original_rdf = analysis::ComputeRdf(traj, rdf_options);
+  auto decoded_rdf = analysis::ComputeRdf(*decoded, rdf_options);
+  ASSERT_TRUE(original_rdf.ok());
+  ASSERT_TRUE(decoded_rdf.ok());
+
+  const double peak =
+      *std::max_element(original_rdf->g.begin(), original_rdf->g.end());
+  EXPECT_LT(analysis::RdfMaxDeviation(*original_rdf, *decoded_rdf),
+            0.1 * peak)
+      << "decompressed data must preserve local structure (paper Fig. 14)";
+}
+
+TEST(IntegrationTest, EveryCompressorHandlesEveryDataset) {
+  // Cross-product smoke test at tiny scale: no crashes, shapes preserved,
+  // error bounded.
+  baselines::CompressorConfig config;
+  config.error_bound = 1e-2;
+  for (const auto& dataset : datagen::AllMdDatasets()) {
+    datagen::GeneratorOptions opts;
+    opts.size_scale = 0.02;
+    const core::Trajectory traj = dataset.make(opts);
+    const auto field = [&] {
+      baselines::Field f;
+      for (const auto& snap : traj.snapshots) f.push_back(snap.axes[0]);
+      return f;
+    }();
+
+    for (const auto& compressor : baselines::AllLossyCompressors()) {
+      auto compressed = compressor.compress(field, config);
+      ASSERT_TRUE(compressed.ok())
+          << compressor.name << " on " << dataset.name;
+      auto decoded = compressor.decompress(*compressed);
+      ASSERT_TRUE(decoded.ok()) << compressor.name << " on " << dataset.name;
+      ASSERT_EQ(decoded->size(), field.size())
+          << compressor.name << " on " << dataset.name;
+    }
+  }
+}
+
+TEST(IntegrationTest, MdzCompressionRatioBeatsBaselinesOnCrystal) {
+  // The headline claim, in miniature: on level-structured MD data MDZ's
+  // adaptive compressor produces the smallest output among all compressors.
+  const core::Trajectory traj = datagen::MakeCopperB(Tiny());
+  baselines::Field field;
+  for (const auto& snap : traj.snapshots) field.push_back(snap.axes[0]);
+
+  baselines::CompressorConfig config;
+  config.error_bound = 1e-3;
+  config.buffer_size = 10;
+
+  size_t mdz_size = 0;
+  size_t best_baseline = SIZE_MAX;
+  for (const auto& compressor : baselines::AllLossyCompressors()) {
+    auto compressed = compressor.compress(field, config);
+    ASSERT_TRUE(compressed.ok()) << compressor.name;
+    if (compressor.name == "MDZ") {
+      mdz_size = compressed->size();
+    } else {
+      best_baseline = std::min(best_baseline, compressed->size());
+    }
+  }
+  EXPECT_LT(mdz_size, best_baseline)
+      << "MDZ must beat the best baseline on Copper-B (paper Fig. 12)";
+}
+
+}  // namespace
+}  // namespace mdz

@@ -1,0 +1,199 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/mdz.h"
+#include "io/archive.h"
+#include "io/trajectory_io.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace mdz::io {
+namespace {
+
+core::Trajectory MakeTestTrajectory(size_t m, size_t n, uint64_t seed) {
+  core::Trajectory traj;
+  traj.name = "io-test";
+  traj.box = {12.5, 13.5, 14.5};
+  Rng rng(seed);
+  for (size_t s = 0; s < m; ++s) {
+    core::Snapshot snap;
+    for (auto& axis : snap.axes) {
+      axis.resize(n);
+      for (auto& v : axis) v = rng.Uniform(-100.0, 100.0);
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- Hash --------------------------------------------------------------------
+
+TEST(HashTest, DeterministicAndSensitive) {
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  const uint64_t h1 = Fnv1a64(data);
+  EXPECT_EQ(h1, Fnv1a64(data));
+  data[2] ^= 1;
+  EXPECT_NE(h1, Fnv1a64(data));
+}
+
+TEST(HashTest, EmptyInputHasSeedValue) {
+  EXPECT_EQ(Fnv1a64({}), 0xCBF29CE484222325ull);
+}
+
+// --- Binary trajectory I/O ------------------------------------------------------
+
+TEST(BinaryTrajectoryTest, RoundTripBitExact) {
+  const core::Trajectory traj = MakeTestTrajectory(7, 50, 1);
+  const std::string path = TempPath("traj_roundtrip.mdtraj");
+  ASSERT_TRUE(WriteBinaryTrajectory(traj, path).ok());
+  auto read = ReadBinaryTrajectory(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+
+  EXPECT_EQ(read->name, traj.name);
+  EXPECT_EQ(read->box, traj.box);
+  ASSERT_EQ(read->num_snapshots(), traj.num_snapshots());
+  for (size_t s = 0; s < traj.num_snapshots(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(read->snapshots[s].axes[axis], traj.snapshots[s].axes[axis]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrajectoryTest, RejectsMissingFile) {
+  EXPECT_FALSE(ReadBinaryTrajectory("/nonexistent/file.mdtraj").ok());
+}
+
+TEST(BinaryTrajectoryTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.mdtraj");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("NOTATRAJ__________", 1, 18, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadBinaryTrajectory(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrajectoryTest, RejectsTruncation) {
+  const core::Trajectory traj = MakeTestTrajectory(5, 40, 2);
+  const std::string path = TempPath("trunc.mdtraj");
+  ASSERT_TRUE(WriteBinaryTrajectory(traj, path).ok());
+  // Truncate the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(ReadBinaryTrajectory(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- XYZ I/O --------------------------------------------------------------------
+
+TEST(XyzTrajectoryTest, RoundTripBitExact) {
+  const core::Trajectory traj = MakeTestTrajectory(4, 25, 3);
+  const std::string path = TempPath("traj.xyz");
+  ASSERT_TRUE(WriteXyzTrajectory(traj, path, "Cu").ok());
+  auto read = ReadXyzTrajectory(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->num_snapshots(), 4u);
+  ASSERT_EQ(read->num_particles(), 25u);
+  EXPECT_EQ(read->box, traj.box);  // written in the comment line
+  for (size_t s = 0; s < 4; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      // %.17g preserves doubles exactly.
+      EXPECT_EQ(read->snapshots[s].axes[axis], traj.snapshots[s].axes[axis]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(XyzTrajectoryTest, RejectsGarbage) {
+  const std::string path = TempPath("garbage.xyz");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "not an xyz file\n");
+  std::fclose(f);
+  EXPECT_FALSE(ReadXyzTrajectory(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(XyzTrajectoryTest, RejectsInconsistentFrames) {
+  const std::string path = TempPath("ragged.xyz");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "2\nframe 0\nAr 0 0 0\nAr 1 1 1\n");
+  std::fprintf(f, "3\nframe 1\nAr 0 0 0\nAr 1 1 1\nAr 2 2 2\n");
+  std::fclose(f);
+  EXPECT_FALSE(ReadXyzTrajectory(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Archive --------------------------------------------------------------------
+
+TEST(ArchiveTest, RoundTripWithinBound) {
+  const core::Trajectory traj = MakeTestTrajectory(12, 80, 4);
+  core::Options options;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+
+  Archive archive;
+  archive.data = std::move(compressed).value();
+  archive.name = traj.name;
+  archive.box = traj.box;
+  const std::string path = TempPath("archive.mdza");
+  ASSERT_TRUE(WriteArchive(archive, path).ok());
+
+  auto read = ReadArchive(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->name, "io-test");
+  EXPECT_EQ(read->box, traj.box);
+
+  auto decoded = DecompressArchive(*read);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_snapshots(), 12u);
+  EXPECT_EQ(decoded->num_particles(), 80u);
+  EXPECT_EQ(decoded->name, "io-test");
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, ChecksumCatchesBitFlip) {
+  const core::Trajectory traj = MakeTestTrajectory(6, 30, 5);
+  auto compressed = core::CompressTrajectory(traj, core::Options());
+  ASSERT_TRUE(compressed.ok());
+  Archive archive;
+  archive.data = std::move(compressed).value();
+  const std::string path = TempPath("flipped.mdza");
+  ASSERT_TRUE(WriteArchive(archive, path).ok());
+
+  // Flip one payload byte in the middle of the file.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  auto read = ReadArchive(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, RejectsTinyFile) {
+  const std::string path = TempPath("tiny.mdza");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("MD", 1, 2, f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadArchive(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdz::io

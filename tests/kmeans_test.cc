@@ -1,0 +1,206 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans1d.h"
+#include "util/rng.h"
+
+namespace mdz::cluster {
+namespace {
+
+// Brute-force optimal 1-D k-means by enumerating all contiguous partitions
+// (exponential; only for tiny n).
+double BruteForceCost(const std::vector<double>& sorted, size_t l, size_t r) {
+  double sum = 0.0;
+  for (size_t i = l; i <= r; ++i) sum += sorted[i];
+  const double mean = sum / static_cast<double>(r - l + 1);
+  double cost = 0.0;
+  for (size_t i = l; i <= r; ++i) {
+    cost += (sorted[i] - mean) * (sorted[i] - mean);
+  }
+  return cost;
+}
+
+double BruteForceKMeans(const std::vector<double>& sorted, size_t start, int k) {
+  const size_t n = sorted.size();
+  if (k == 1) return BruteForceCost(sorted, start, n - 1);
+  double best = std::numeric_limits<double>::infinity();
+  // First cluster is [start, split-1]; needs k-1 clusters for the rest.
+  for (size_t split = start + 1; split + static_cast<size_t>(k) - 1 <= n;
+       ++split) {
+    const double cost = BruteForceCost(sorted, start, split - 1) +
+                        BruteForceKMeans(sorted, split, k - 1);
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(KMeans1DTest, RejectsEmptyInput) {
+  EXPECT_FALSE(OptimalKMeans1D({}, 1).ok());
+}
+
+TEST(KMeans1DTest, RejectsBadK) {
+  std::vector<double> data = {1.0, 2.0};
+  EXPECT_FALSE(OptimalKMeans1D(data, 0).ok());
+  EXPECT_FALSE(OptimalKMeans1D(data, 3).ok());
+}
+
+TEST(KMeans1DTest, SingleCluster) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  auto result = OptimalKMeans1D(data, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->centroids[0], 2.5);
+  EXPECT_NEAR(result->cost, 5.0, 1e-12);  // 1.5^2+0.5^2+0.5^2+1.5^2
+}
+
+TEST(KMeans1DTest, KEqualsNIsZeroCost) {
+  std::vector<double> data = {5.0, 1.0, 3.0};
+  auto result = OptimalKMeans1D(data, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 0.0, 1e-12);
+  EXPECT_EQ(result->centroids, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(KMeans1DTest, ObviousTwoClusters) {
+  std::vector<double> data = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  auto result = OptimalKMeans1D(data, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 2u);
+  EXPECT_NEAR(result->centroids[0], 0.1, 1e-12);
+  EXPECT_NEAR(result->centroids[1], 10.1, 1e-12);
+  EXPECT_EQ(result->sizes[0], 3u);
+  EXPECT_EQ(result->sizes[1], 3u);
+}
+
+TEST(KMeans1DTest, MatchesBruteForceOnRandomSmallInputs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.UniformInt(8));
+    std::vector<double> data(n);
+    for (auto& d : data) d = rng.Uniform(0.0, 100.0);
+    std::vector<double> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    for (int k = 1; k <= std::min(n, 4); ++k) {
+      auto result = OptimalKMeans1D(data, k);
+      ASSERT_TRUE(result.ok());
+      const double brute = BruteForceKMeans(sorted, 0, k);
+      EXPECT_NEAR(result->cost, brute, 1e-6 * (1.0 + brute))
+          << "trial " << trial << " n " << n << " k " << k;
+    }
+  }
+}
+
+TEST(KMeans1DTest, CostDecreasesWithK) {
+  Rng rng(78);
+  std::vector<double> data(200);
+  for (auto& d : data) d = rng.Uniform(0.0, 50.0);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 10; ++k) {
+    auto result = OptimalKMeans1D(data, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->cost, prev + 1e-9);
+    prev = result->cost;
+  }
+}
+
+// --- FitLevels ----------------------------------------------------------------
+
+std::vector<double> LevelData(int levels, double mu, double lambda,
+                              double noise, size_t per_level, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data;
+  for (int l = 0; l < levels; ++l) {
+    for (size_t i = 0; i < per_level; ++i) {
+      data.push_back(mu + lambda * l + rng.Gaussian(0.0, noise));
+    }
+  }
+  // Shuffle so sampling isn't trivially sorted.
+  for (size_t i = data.size() - 1; i > 0; --i) {
+    std::swap(data[i], data[rng.UniformInt(i + 1)]);
+  }
+  return data;
+}
+
+TEST(FitLevelsTest, RecoversLambdaAndMu) {
+  const double mu = 3.0, lambda = 1.8;
+  const auto data = LevelData(12, mu, lambda, 0.05, 200, 5);
+  auto fit = FitLevels(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->lambda, lambda, 0.05 * lambda);
+  // mu is recovered modulo lambda (level indices can shift); check distance
+  // to the level grid.
+  const double offset = std::fabs(
+      std::remainder(fit->mu - mu, lambda));
+  EXPECT_LT(offset, 0.1 * lambda);
+  EXPECT_NEAR(fit->num_levels, 12, 3);
+}
+
+TEST(FitLevelsTest, HandlesSparseOccupiedLevels) {
+  // Only levels 0, 3, 4, 9 occupied: gaps are multiples of lambda.
+  Rng rng(6);
+  std::vector<double> data;
+  const double lambda = 2.5;
+  for (int level : {0, 3, 4, 9}) {
+    for (int i = 0; i < 300; ++i) {
+      data.push_back(1.0 + lambda * level + rng.Gaussian(0.0, 0.03));
+    }
+  }
+  auto fit = FitLevels(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->lambda, lambda, 0.1 * lambda);
+}
+
+TEST(FitLevelsTest, ConstantDataSingleLevel) {
+  std::vector<double> data(1000, 7.5);
+  auto fit = FitLevels(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->num_levels, 1);
+  EXPECT_DOUBLE_EQ(fit->mu, 7.5);
+}
+
+TEST(FitLevelsTest, EmptyInputIsError) {
+  EXPECT_FALSE(FitLevels({}).ok());
+}
+
+TEST(FitLevelsTest, UniformDataHasHighFitError) {
+  Rng rng(7);
+  std::vector<double> data(4000);
+  for (auto& d : data) d = rng.Uniform(0.0, 100.0);
+  auto uniform_fit = FitLevels(data);
+  ASSERT_TRUE(uniform_fit.ok());
+
+  const auto level_data = LevelData(10, 0.0, 5.0, 0.05, 400, 8);
+  auto level_fit = FitLevels(level_data);
+  ASSERT_TRUE(level_fit.ok());
+
+  // Level-structured data fits its grid far better than uniform data fits
+  // whatever grid the clustering found.
+  EXPECT_LT(level_fit->fit_error, uniform_fit->fit_error);
+}
+
+TEST(FitLevelsTest, RespectsMaxLevels) {
+  LevelFitOptions options;
+  options.max_levels = 5;
+  const auto data = LevelData(40, 0.0, 1.0, 0.02, 100, 9);
+  auto fit = FitLevels(data, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->num_levels, 5);
+}
+
+TEST(FitLevelsTest, DeterministicForFixedSeed) {
+  const auto data = LevelData(8, 0.0, 3.0, 0.1, 500, 10);
+  auto a = FitLevels(data);
+  auto b = FitLevels(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mu, b->mu);
+  EXPECT_EQ(a->lambda, b->lambda);
+  EXPECT_EQ(a->num_levels, b->num_levels);
+}
+
+}  // namespace
+}  // namespace mdz::cluster

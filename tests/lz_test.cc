@@ -1,0 +1,148 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/lz.h"
+#include "util/rng.h"
+
+namespace mdz::codec {
+namespace {
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input,
+                               const LzOptions& options) {
+  const std::vector<uint8_t> encoded = LzCompress(input, options);
+  std::vector<uint8_t> decoded;
+  const Status s = LzDecompress(encoded, &decoded);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return decoded;
+}
+
+TEST(LzTest, EmptyInput) {
+  EXPECT_EQ(RoundTrip({}, ZstdLikeOptions()), std::vector<uint8_t>{});
+}
+
+TEST(LzTest, SingleByte) {
+  std::vector<uint8_t> input = {42};
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, ShortInputBelowMinMatch) {
+  std::vector<uint8_t> input = {1, 2, 3};
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, HighlyRepetitiveCompressesWell) {
+  std::vector<uint8_t> input(100000, 'A');
+  const std::vector<uint8_t> encoded = LzCompress(input, ZstdLikeOptions());
+  EXPECT_LT(encoded.size(), 1000u);
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, OverlappingMatchReconstruction) {
+  // "abcabcabc..." forces matches with offset < length.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 10000; ++i) input.push_back("abc"[i % 3]);
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, IncompressibleRandomSurvives) {
+  Rng rng(11);
+  std::vector<uint8_t> input(65536);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.NextU64());
+  const std::vector<uint8_t> encoded = LzCompress(input, ZstdLikeOptions());
+  // Random bytes must not blow up (small framing overhead only).
+  EXPECT_LT(encoded.size(), input.size() + 1024);
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, TextLikeData) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  const std::vector<uint8_t> encoded = LzCompress(input, ZstdLikeOptions());
+  EXPECT_LT(encoded.size(), input.size() / 10);
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+}
+
+TEST(LzTest, AllThreePresetsRoundTrip) {
+  Rng rng(12);
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 30000; ++i) {
+    // Mixture of structure and noise.
+    input.push_back(static_cast<uint8_t>(
+        (i % 64 < 48) ? (i % 251) : rng.UniformInt(256)));
+  }
+  for (const LzOptions& options :
+       {ZstdLikeOptions(), DeflateLikeOptions(), BrotliLikeOptions()}) {
+    EXPECT_EQ(RoundTrip(input, options), input);
+  }
+}
+
+TEST(LzTest, NoEntropyStageRoundTrip) {
+  LzOptions options = ZstdLikeOptions();
+  options.entropy = false;
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 5000; ++i) input.push_back(static_cast<uint8_t>(i % 7));
+  EXPECT_EQ(RoundTrip(input, options), input);
+}
+
+TEST(LzTest, DecompressRejectsGarbage) {
+  std::vector<uint8_t> garbage = {0x10, 0xFF, 0xFF, 0xFF, 0xAB, 0xCD};
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(LzDecompress(garbage, &out).ok());
+}
+
+TEST(LzTest, DecompressRejectsTruncation) {
+  std::vector<uint8_t> input(10000, 'x');
+  for (int i = 0; i < 10000; ++i) input[i] = static_cast<uint8_t>(i * 7 % 256);
+  std::vector<uint8_t> encoded = LzCompress(input, ZstdLikeOptions());
+  encoded.resize(encoded.size() / 2);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(LzDecompress(encoded, &out).ok());
+}
+
+TEST(LzTest, DecompressRejectsBadFlag) {
+  std::vector<uint8_t> bytes = {0x00, 0x07};  // size 0, flag 7
+  std::vector<uint8_t> out;
+  EXPECT_EQ(LzDecompress(bytes, &out).code(), StatusCode::kCorruption);
+}
+
+// Parameterized sweep over sizes and data shapes.
+class LzSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzSweepTest, RoundTrip) {
+  const auto [size, shape] = GetParam();
+  Rng rng(100 + size + shape);
+  std::vector<uint8_t> input;
+  input.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    switch (shape) {
+      case 0:  // constant
+        input.push_back(7);
+        break;
+      case 1:  // short period
+        input.push_back(static_cast<uint8_t>(i % 5));
+        break;
+      case 2:  // long period
+        input.push_back(static_cast<uint8_t>(i % 1000));
+        break;
+      case 3:  // random
+        input.push_back(static_cast<uint8_t>(rng.NextU64()));
+        break;
+    }
+  }
+  EXPECT_EQ(RoundTrip(input, ZstdLikeOptions()), input);
+  EXPECT_EQ(RoundTrip(input, DeflateLikeOptions()), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndShapes, LzSweepTest,
+    ::testing::Combine(::testing::Values(1, 5, 100, 4096, 200000),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace mdz::codec

@@ -1,0 +1,300 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "md/box.h"
+#include "md/cell_list.h"
+#include "md/dump.h"
+#include "md/lattice.h"
+#include "md/lj_simulation.h"
+#include "util/rng.h"
+
+namespace mdz::md {
+namespace {
+
+// --- Lattices -----------------------------------------------------------------
+
+TEST(LatticeTest, FccAtomCount) {
+  EXPECT_EQ(FccLattice(3, 3, 3, 1.0).size(), 3u * 3u * 3u * 4u);
+  EXPECT_EQ(FccLattice(2, 3, 4, 1.0).size(), 2u * 3u * 4u * 4u);
+}
+
+TEST(LatticeTest, BccAtomCount) {
+  EXPECT_EQ(BccLattice(4, 4, 4, 1.0).size(), 4u * 4u * 4u * 2u);
+}
+
+TEST(LatticeTest, CubicAtomCount) {
+  EXPECT_EQ(CubicLattice(5, 5, 5, 2.0).size(), 125u);
+}
+
+TEST(LatticeTest, SitesAreDistinct) {
+  const auto sites = FccLattice(3, 3, 3, 1.0);
+  std::set<std::tuple<long, long, long>> unique;
+  for (const Vec3& s : sites) {
+    unique.insert({std::lround(s.x * 1000), std::lround(s.y * 1000),
+                   std::lround(s.z * 1000)});
+  }
+  EXPECT_EQ(unique.size(), sites.size());
+}
+
+TEST(LatticeTest, FccNearestNeighborDistance) {
+  // FCC nearest-neighbor distance is a / sqrt(2).
+  const double a = 3.6;
+  const auto sites = FccLattice(3, 3, 3, a);
+  double min_dist = 1e300;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      min_dist = std::min(min_dist, (sites[i] - sites[j]).norm());
+    }
+  }
+  EXPECT_NEAR(min_dist, a / std::sqrt(2.0), 1e-9);
+}
+
+TEST(LatticeTest, CellsForAtoms) {
+  EXPECT_EQ(FccCellsForAtoms(4), 1);
+  EXPECT_EQ(FccCellsForAtoms(5), 2);
+  EXPECT_EQ(FccCellsForAtoms(32), 2);
+  EXPECT_EQ(FccCellsForAtoms(33), 3);
+  EXPECT_EQ(BccCellsForAtoms(2), 1);
+  EXPECT_EQ(BccCellsForAtoms(17), 3);
+}
+
+// --- Box ----------------------------------------------------------------------
+
+TEST(BoxTest, WrapIntoBox) {
+  Box box(10.0, 10.0, 10.0);
+  const Vec3 p = box.Wrap({12.5, -0.5, 9.9});
+  EXPECT_NEAR(p.x, 2.5, 1e-12);
+  EXPECT_NEAR(p.y, 9.5, 1e-12);
+  EXPECT_NEAR(p.z, 9.9, 1e-12);
+}
+
+TEST(BoxTest, MinImageShortestVector) {
+  Box box(10.0, 10.0, 10.0);
+  const Vec3 d = box.MinImage({9.5, 0.0, 0.0}, {0.5, 0.0, 0.0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);  // across the boundary, not +9
+}
+
+// --- Cell list ----------------------------------------------------------------
+
+TEST(CellListTest, MatchesBruteForcePairCount) {
+  Rng rng(1);
+  Box box(12.0, 12.0, 12.0);
+  std::vector<Vec3> pos(400);
+  for (auto& p : pos) {
+    p = {rng.Uniform(0.0, 12.0), rng.Uniform(0.0, 12.0),
+         rng.Uniform(0.0, 12.0)};
+  }
+  const double cutoff = 2.5;
+
+  size_t brute_pairs = 0;
+  double brute_sum_r2 = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    for (size_t j = i + 1; j < pos.size(); ++j) {
+      const double r2 = box.MinImage(pos[i], pos[j]).norm2();
+      if (r2 < cutoff * cutoff) {
+        ++brute_pairs;
+        brute_sum_r2 += r2;
+      }
+    }
+  }
+
+  CellList cells(box, cutoff);
+  cells.Build(pos);
+  size_t cell_pairs = 0;
+  double cell_sum_r2 = 0.0;
+  cells.ForEachPair(pos, [&](size_t, size_t, const Vec3&, double r2) {
+    ++cell_pairs;
+    cell_sum_r2 += r2;
+  });
+
+  EXPECT_EQ(cell_pairs, brute_pairs);
+  EXPECT_NEAR(cell_sum_r2, brute_sum_r2, 1e-9 * brute_sum_r2);
+}
+
+TEST(CellListTest, EachPairVisitedOnce) {
+  Rng rng(2);
+  Box box(9.0, 9.0, 9.0);
+  std::vector<Vec3> pos(200);
+  for (auto& p : pos) {
+    p = {rng.Uniform(0.0, 9.0), rng.Uniform(0.0, 9.0), rng.Uniform(0.0, 9.0)};
+  }
+  CellList cells(box, 3.0);
+  cells.Build(pos);
+  std::set<std::pair<size_t, size_t>> seen;
+  cells.ForEachPair(pos, [&](size_t i, size_t j, const Vec3&, double) {
+    const auto key = std::minmax(i, j);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "pair " << i << "," << j << " visited twice";
+  });
+}
+
+TEST(CellListTest, SmallBoxFallsBackToBruteForce) {
+  Box box(4.0, 4.0, 4.0);  // < 3 cells of cutoff 2.5 per edge
+  CellList cells(box, 2.5);
+  std::vector<Vec3> pos = {{0.1, 0.1, 0.1}, {1.0, 1.0, 1.0}, {3.9, 3.9, 3.9}};
+  cells.Build(pos);
+  size_t pairs = 0;
+  cells.ForEachPair(pos, [&](size_t, size_t, const Vec3&, double) { ++pairs; });
+  EXPECT_EQ(pairs, 3u);  // all three pairs within min-image cutoff
+}
+
+// --- LJ simulation -------------------------------------------------------------
+
+TEST(LjSimulationTest, CreateRejectsBadOptions) {
+  LjOptions options;
+  options.cells = 0;
+  EXPECT_FALSE(LjSimulation::Create(options).ok());
+  options = LjOptions();
+  options.dt = -1.0;
+  EXPECT_FALSE(LjSimulation::Create(options).ok());
+}
+
+TEST(LjSimulationTest, AtomCountAndDensity) {
+  LjOptions options;
+  options.cells = 4;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->num_atoms(), 4u * 4u * 4u * 4u);
+  const double volume = sim->box().volume();
+  EXPECT_NEAR(static_cast<double>(sim->num_atoms()) / volume, options.density,
+              1e-9);
+}
+
+TEST(LjSimulationTest, InitialTemperatureNearTarget) {
+  LjOptions options;
+  options.cells = 5;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(sim->instantaneous_temperature(), options.temperature, 0.05);
+}
+
+TEST(LjSimulationTest, NveEnergyConservation) {
+  LjOptions options;
+  options.cells = 4;
+  options.thermostat = LjOptions::Thermostat::kNone;
+  options.dt = 0.002;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  sim->Run(50);  // settle the lattice melt transient
+  const double e0 = sim->total_energy();
+  sim->Run(200);
+  const double e1 = sim->total_energy();
+  const double per_atom_drift =
+      std::fabs(e1 - e0) / static_cast<double>(sim->num_atoms());
+  EXPECT_LT(per_atom_drift, 0.01);  // reduced units; Verlet drift is tiny
+}
+
+TEST(LjSimulationTest, BerendsenDrivesTemperature) {
+  LjOptions options;
+  options.cells = 4;
+  options.temperature = 1.2;
+  options.thermostat = LjOptions::Thermostat::kBerendsen;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  sim->Run(300);
+  EXPECT_NEAR(sim->instantaneous_temperature(), 1.2, 0.25);
+}
+
+TEST(LjSimulationTest, LangevinStaysFinite) {
+  LjOptions options;
+  options.cells = 3;
+  options.thermostat = LjOptions::Thermostat::kLangevin;
+  options.thermostat_coupling = 1.0;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  sim->Run(100);
+  for (const Vec3& p : sim->positions()) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+    EXPECT_TRUE(std::isfinite(p.z));
+  }
+  EXPECT_GT(sim->instantaneous_temperature(), 0.1);
+}
+
+TEST(LjSimulationTest, PositionsStayInBox) {
+  LjOptions options;
+  options.cells = 3;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+  sim->Run(100);
+  const double edge = sim->box().lx();
+  for (const Vec3& p : sim->positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, edge);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, edge);
+  }
+}
+
+TEST(LjSimulationTest, DeterministicForSameSeed) {
+  LjOptions options;
+  options.cells = 3;
+  auto a = LjSimulation::Create(options);
+  auto b = LjSimulation::Create(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->Run(20);
+  b->Run(20);
+  for (size_t i = 0; i < a->num_atoms(); ++i) {
+    EXPECT_EQ(a->positions()[i].x, b->positions()[i].x);
+    EXPECT_EQ(a->positions()[i].z, b->positions()[i].z);
+  }
+}
+
+// --- Dump writers ----------------------------------------------------------------
+
+TEST(DumpTest, RawDumpWritesExpectedBytes) {
+  const std::string path = ::testing::TempDir() + "/raw_dump_test.bin";
+  auto writer = RawDumpWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  std::vector<Vec3> snapshot(100, Vec3{1.0, 2.0, 3.0});
+  ASSERT_TRUE((*writer)->WriteSnapshot(snapshot).ok());
+  ASSERT_TRUE((*writer)->WriteSnapshot(snapshot).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_EQ((*writer)->bytes_written(), 2u * 100u * 3u * sizeof(double));
+  std::remove(path.c_str());
+}
+
+TEST(DumpTest, MdzDumpIsSmallerThanRawOnSmoothTrajectory) {
+  LjOptions options;
+  options.cells = 3;
+  auto sim = LjSimulation::Create(options);
+  ASSERT_TRUE(sim.ok());
+
+  const std::string raw_path = ::testing::TempDir() + "/dump_raw.bin";
+  const std::string mdz_path = ::testing::TempDir() + "/dump_mdz.bin";
+  auto raw = RawDumpWriter::Open(raw_path);
+  core::Options mdz_options;
+  auto mdz = MdzDumpWriter::Open(mdz_path, sim->num_atoms(), mdz_options);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(mdz.ok());
+
+  for (int snap = 0; snap < 20; ++snap) {
+    sim->Run(5);
+    ASSERT_TRUE((*raw)->WriteSnapshot(sim->positions()).ok());
+    ASSERT_TRUE((*mdz)->WriteSnapshot(sim->positions()).ok());
+  }
+  ASSERT_TRUE((*raw)->Finish().ok());
+  ASSERT_TRUE((*mdz)->Finish().ok());
+
+  EXPECT_GT((*mdz)->bytes_written(), 0u);
+  EXPECT_LT((*mdz)->bytes_written(), (*raw)->bytes_written() / 4);
+  std::remove(raw_path.c_str());
+  std::remove(mdz_path.c_str());
+}
+
+TEST(DumpTest, MdzDumpRejectsWrongSize) {
+  const std::string path = ::testing::TempDir() + "/dump_badsize.bin";
+  auto mdz = MdzDumpWriter::Open(path, 10, core::Options());
+  ASSERT_TRUE(mdz.ok());
+  std::vector<Vec3> snapshot(11);
+  EXPECT_FALSE((*mdz)->WriteSnapshot(snapshot).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdz::md

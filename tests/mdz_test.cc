@@ -1,0 +1,469 @@
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mdz.h"
+#include "util/rng.h"
+
+namespace mdz::core {
+namespace {
+
+// Synthetic fields with the paper's three regimes.
+std::vector<std::vector<double>> LevelStructuredField(size_t m, size_t n,
+                                                      uint64_t seed) {
+  // Values cluster on a lattice-level grid with small vibration and a
+  // lattice-ordered dump (spatially regular level indices), as in real
+  // crystalline MD output — the VQ regime.
+  // Atoms vibrate independently around fixed lattice sites; dumps are far
+  // apart in time so the vibrations are uncorrelated between snapshots.
+  // Time prediction then pays the sqrt(2) differenced-noise penalty while
+  // VQ predicts from the (static) level grid — the Copper-B regime.
+  Rng rng(seed);
+  std::vector<int> level(n);
+  for (size_t i = 0; i < n; ++i) level[i] = static_cast<int>(i % 20);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (size_t s = 0; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = 1.5 * level[i] + rng.Gaussian(0.0, 0.08);
+    }
+  }
+  return field;
+}
+
+std::vector<std::vector<double>> SmoothTimeField(size_t m, size_t n,
+                                                 uint64_t seed) {
+  // Values barely move between snapshots (MT regime).
+  Rng rng(seed);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) field[0][i] = rng.Uniform(0.0, 100.0);
+  for (size_t s = 1; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = field[s - 1][i] + rng.Gaussian(0.0, 0.01);
+    }
+  }
+  return field;
+}
+
+std::vector<std::vector<double>> RandomField(size_t m, size_t n,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (auto& snapshot : field) {
+    for (auto& v : snapshot) v = rng.Uniform(-50.0, 50.0);
+  }
+  return field;
+}
+
+void ExpectRoundTripWithinBound(const std::vector<std::vector<double>>& field,
+                                const Options& options) {
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decompressed = DecompressField(*compressed);
+  ASSERT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+  ASSERT_EQ(decompressed->size(), field.size());
+
+  // Resolve the bound the same way the compressor does (first buffer range).
+  double abs_eb = options.error_bound;
+  if (options.error_bound_mode == ErrorBoundMode::kValueRangeRelative) {
+    double lo = 1e300, hi = -1e300;
+    const size_t first_buffer =
+        std::min<size_t>(options.buffer_size, field.size());
+    for (size_t s = 0; s < first_buffer; ++s) {
+      for (double v : field[s]) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (hi > lo) abs_eb = options.error_bound * (hi - lo);
+  }
+
+  for (size_t s = 0; s < field.size(); ++s) {
+    ASSERT_EQ((*decompressed)[s].size(), field[s].size());
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      ASSERT_LE(std::fabs((*decompressed)[s][i] - field[s][i]), abs_eb)
+          << "snapshot " << s << " index " << i << " method "
+          << MethodName(options.method);
+    }
+  }
+}
+
+// --- Options validation --------------------------------------------------------
+
+TEST(OptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(Options().Validate().ok());
+}
+
+TEST(OptionsTest, RejectsBadErrorBound) {
+  Options options;
+  options.error_bound = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.error_bound = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsBadBufferSize) {
+  Options options;
+  options.buffer_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsNonPowerOfTwoScale) {
+  Options options;
+  options.quantization_scale = 1000;
+  EXPECT_FALSE(options.Validate().ok());
+  options.quantization_scale = 2;  // below minimum
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsZeroAdaptationInterval) {
+  Options options;
+  options.adaptation_interval = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// --- Method round trips ----------------------------------------------------------
+
+class MethodRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<Method, uint32_t, double>> {};
+
+TEST_P(MethodRoundTripTest, LevelStructuredData) {
+  const auto [method, buffer_size, eb] = GetParam();
+  Options options;
+  options.method = method;
+  options.buffer_size = buffer_size;
+  options.error_bound = eb;
+  ExpectRoundTripWithinBound(LevelStructuredField(37, 400, 1), options);
+}
+
+TEST_P(MethodRoundTripTest, SmoothTimeData) {
+  const auto [method, buffer_size, eb] = GetParam();
+  Options options;
+  options.method = method;
+  options.buffer_size = buffer_size;
+  options.error_bound = eb;
+  ExpectRoundTripWithinBound(SmoothTimeField(37, 400, 2), options);
+}
+
+TEST_P(MethodRoundTripTest, RandomData) {
+  const auto [method, buffer_size, eb] = GetParam();
+  Options options;
+  options.method = method;
+  options.buffer_size = buffer_size;
+  options.error_bound = eb;
+  ExpectRoundTripWithinBound(RandomField(23, 300, 3), options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsBuffersBounds, MethodRoundTripTest,
+    ::testing::Combine(::testing::Values(Method::kVQ, Method::kVQT, Method::kMT,
+                                         Method::kAdaptive, Method::kTI),
+                       ::testing::Values(1u, 7u, 10u, 100u),
+                       ::testing::Values(1e-2, 1e-3, 1e-5)),
+    [](const auto& info) {
+      const Method method = std::get<0>(info.param);
+      const uint32_t bs = std::get<1>(info.param);
+      const double eb = std::get<2>(info.param);
+      std::string name(MethodName(method));
+      name += "_BS" + std::to_string(bs) + "_eb";
+      name += (eb == 1e-2) ? "1e2" : (eb == 1e-3) ? "1e3" : "1e5";
+      return name;
+    });
+
+// --- Absolute error bound mode -----------------------------------------------
+
+TEST(MdzTest, AbsoluteErrorBoundMode) {
+  Options options;
+  options.error_bound_mode = ErrorBoundMode::kAbsolute;
+  options.error_bound = 0.5;
+  const auto field = RandomField(11, 200, 4);
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decompressed = DecompressField(*compressed);
+  ASSERT_TRUE(decompressed.ok());
+  for (size_t s = 0; s < field.size(); ++s) {
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      EXPECT_LE(std::fabs((*decompressed)[s][i] - field[s][i]), 0.5);
+    }
+  }
+}
+
+// --- Compression ratio expectations -------------------------------------------
+
+TEST(MdzTest, VqWinsOnLevelDataVsMtOnVibratingData) {
+  // With weak temporal correlation but strong level structure, VQ must beat
+  // MT (paper takeaway 2/3).
+  const auto field = LevelStructuredField(100, 1000, 5);
+  Options vq;
+  vq.method = Method::kVQ;
+  Options mt;
+  mt.method = Method::kMT;
+  auto vq_out = CompressField(field, vq);
+  auto mt_out = CompressField(field, mt);
+  ASSERT_TRUE(vq_out.ok());
+  ASSERT_TRUE(mt_out.ok());
+  EXPECT_LT(vq_out->size(), mt_out->size());
+}
+
+TEST(MdzTest, MtWinsOnSmoothTimeData) {
+  const auto field = SmoothTimeField(100, 1000, 6);
+  Options vq;
+  vq.method = Method::kVQ;
+  Options mt;
+  mt.method = Method::kMT;
+  auto vq_out = CompressField(field, vq);
+  auto mt_out = CompressField(field, mt);
+  ASSERT_TRUE(vq_out.ok());
+  ASSERT_TRUE(mt_out.ok());
+  EXPECT_LT(mt_out->size(), vq_out->size());
+}
+
+TEST(MdzTest, AdaptiveMatchesBestSingleMethod) {
+  // ADP must be within a small factor of the best of VQ/VQT/MT on both
+  // regimes (paper Fig. 11).
+  for (uint64_t seed : {7ull, 8ull}) {
+    for (const auto& field :
+         {LevelStructuredField(60, 500, seed), SmoothTimeField(60, 500, seed)}) {
+      size_t best = SIZE_MAX;
+      for (Method m : {Method::kVQ, Method::kVQT, Method::kMT}) {
+        Options options;
+        options.method = m;
+        auto out = CompressField(field, options);
+        ASSERT_TRUE(out.ok());
+        best = std::min(best, out->size());
+      }
+      Options adp;
+      adp.method = Method::kAdaptive;
+      // Re-evaluate frequently so the selector converges within this short
+      // stream (the paper's default of 50 is tuned for thousands of
+      // snapshots).
+      adp.adaptation_interval = 2;
+      auto adp_out = CompressField(field, adp);
+      ASSERT_TRUE(adp_out.ok());
+      EXPECT_LE(adp_out->size(), best * 12 / 10 + 256);
+    }
+  }
+}
+
+TEST(MdzTest, SmoothDataCompressesFarBelowRaw) {
+  const auto field = SmoothTimeField(100, 2000, 9);
+  Options options;
+  auto out = CompressField(field, options);
+  ASSERT_TRUE(out.ok());
+  const size_t raw = 100 * 2000 * sizeof(double);
+  EXPECT_LT(out->size() * 20, raw);  // CR > 20 on very smooth data
+}
+
+// --- Streaming API --------------------------------------------------------------
+
+TEST(StreamingTest, StreamingMatchesOneShot) {
+  const auto field = LevelStructuredField(25, 300, 10);
+  Options options;
+  options.method = Method::kVQT;
+
+  auto compressor = FieldCompressor::Create(300, options);
+  ASSERT_TRUE(compressor.ok());
+  for (const auto& snapshot : field) {
+    ASSERT_TRUE((*compressor)->Append(snapshot).ok());
+  }
+  ASSERT_TRUE((*compressor)->Finish().ok());
+  const std::vector<uint8_t> streamed = (*compressor)->TakeOutput();
+
+  auto one_shot = CompressField(field, options);
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(streamed, *one_shot);
+}
+
+TEST(StreamingTest, DecompressorYieldsSnapshotsInOrder) {
+  const auto field = SmoothTimeField(15, 100, 11);
+  Options options;
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+
+  auto decompressor = FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  EXPECT_EQ((*decompressor)->num_particles(), 100u);
+
+  std::vector<double> snapshot;
+  size_t count = 0;
+  while (true) {
+    auto more = (*decompressor)->Next(&snapshot);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_EQ(snapshot.size(), 100u);
+    ++count;
+  }
+  EXPECT_EQ(count, 15u);
+}
+
+TEST(StreamingTest, AppendAfterFinishFails) {
+  auto compressor = FieldCompressor::Create(10, Options());
+  ASSERT_TRUE(compressor.ok());
+  std::vector<double> snapshot(10, 1.0);
+  ASSERT_TRUE((*compressor)->Append(snapshot).ok());
+  ASSERT_TRUE((*compressor)->Finish().ok());
+  EXPECT_EQ((*compressor)->Append(snapshot).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*compressor)->Finish().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingTest, WrongSnapshotSizeFails) {
+  auto compressor = FieldCompressor::Create(10, Options());
+  ASSERT_TRUE(compressor.ok());
+  std::vector<double> snapshot(11, 1.0);
+  EXPECT_EQ((*compressor)->Append(snapshot).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingTest, StatsAreTracked) {
+  const auto field = SmoothTimeField(30, 200, 12);
+  Options options;
+  auto compressor = FieldCompressor::Create(200, options);
+  ASSERT_TRUE(compressor.ok());
+  for (const auto& snapshot : field) {
+    ASSERT_TRUE((*compressor)->Append(snapshot).ok());
+  }
+  ASSERT_TRUE((*compressor)->Finish().ok());
+  const CompressorStats& stats = (*compressor)->stats();
+  EXPECT_EQ(stats.snapshots_in, 30u);
+  EXPECT_EQ(stats.buffers_out, 3u);  // BS=10
+  EXPECT_EQ(stats.raw_bytes, 30u * 200u * sizeof(double));
+  EXPECT_GT(stats.compressed_bytes, 0u);
+  EXPECT_GT(stats.compression_ratio(), 1.0);
+}
+
+// --- Edge cases -------------------------------------------------------------------
+
+TEST(MdzTest, SingleSnapshot) {
+  Options options;
+  ExpectRoundTripWithinBound(RandomField(1, 100, 13), options);
+}
+
+TEST(MdzTest, SingleParticle) {
+  Options options;
+  ExpectRoundTripWithinBound(RandomField(50, 1, 14), options);
+}
+
+TEST(MdzTest, PartialFinalBuffer) {
+  Options options;
+  options.buffer_size = 10;
+  ExpectRoundTripWithinBound(RandomField(23, 50, 15), options);  // 23 % 10 != 0
+}
+
+TEST(MdzTest, ConstantField) {
+  std::vector<std::vector<double>> field(10, std::vector<double>(100, 3.25));
+  Options options;
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decompressed = DecompressField(*compressed);
+  ASSERT_TRUE(decompressed.ok());
+  for (const auto& snapshot : *decompressed) {
+    for (double v : snapshot) EXPECT_NEAR(v, 3.25, 1e-3);
+  }
+}
+
+TEST(MdzTest, EmptyFieldIsError) {
+  EXPECT_FALSE(CompressField({}, Options()).ok());
+}
+
+TEST(MdzTest, HugeOutliersAreEscapedExactly) {
+  auto field = SmoothTimeField(10, 100, 16);
+  field[5][50] = 1e12;  // wildly outside the quantizer scale
+  Options options;
+  options.error_bound_mode = ErrorBoundMode::kAbsolute;
+  options.error_bound = 0.01;
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decompressed = DecompressField(*compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_DOUBLE_EQ((*decompressed)[5][50], 1e12);
+}
+
+// --- Corruption handling ------------------------------------------------------------
+
+TEST(CorruptionTest, BadMagicRejected) {
+  const auto field = RandomField(5, 50, 17);
+  auto compressed = CompressField(field, Options());
+  ASSERT_TRUE(compressed.ok());
+  (*compressed)[0] = 'X';
+  EXPECT_FALSE(DecompressField(*compressed).ok());
+}
+
+TEST(CorruptionTest, TruncatedStreamRejected) {
+  const auto field = RandomField(20, 200, 18);
+  auto compressed = CompressField(field, Options());
+  ASSERT_TRUE(compressed.ok());
+  std::vector<uint8_t> truncated(compressed->begin(),
+                                 compressed->begin() + compressed->size() / 2);
+  auto result = DecompressField(truncated);
+  // Either an error, or fewer snapshots than the original (prefix decode) —
+  // never a crash or wrong-size snapshots.
+  if (result.ok()) {
+    EXPECT_LT(result->size(), field.size());
+    for (const auto& s : *result) EXPECT_EQ(s.size(), 200u);
+  }
+}
+
+TEST(CorruptionTest, FlippedPayloadByteNeverCrashes) {
+  const auto field = LevelStructuredField(12, 100, 19);
+  auto compressed = CompressField(field, Options());
+  ASSERT_TRUE(compressed.ok());
+  Rng rng(20);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> mutated = *compressed;
+    mutated[rng.UniformInt(mutated.size())] ^=
+        static_cast<uint8_t>(1 + rng.UniformInt(255));
+    auto result = DecompressField(mutated);  // must not crash
+    (void)result;
+  }
+}
+
+TEST(CorruptionTest, EmptyInputRejected) {
+  EXPECT_FALSE(DecompressField({}).ok());
+}
+
+// --- Trajectory wrapper --------------------------------------------------------------
+
+TEST(TrajectoryTest, ThreeAxisRoundTrip) {
+  Trajectory traj;
+  traj.name = "test";
+  Rng rng(21);
+  for (int s = 0; s < 12; ++s) {
+    Snapshot snap;
+    for (auto& axis : snap.axes) {
+      axis.resize(64);
+      for (auto& v : axis) v = rng.Uniform(0.0, 10.0);
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+
+  Options options;
+  auto compressed = CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_GT(compressed->total_bytes(), 0u);
+  auto decompressed = DecompressTrajectory(*compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_EQ(decompressed->num_snapshots(), 12u);
+  EXPECT_EQ(decompressed->num_particles(), 64u);
+  for (size_t s = 0; s < 12; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      for (size_t i = 0; i < 64; ++i) {
+        EXPECT_LE(std::fabs(decompressed->snapshots[s].axes[axis][i] -
+                            traj.snapshots[s].axes[axis][i]),
+                  1e-3 * 10.0 * 1.01);
+      }
+    }
+  }
+}
+
+TEST(MethodNameTest, AllNamesDistinct) {
+  EXPECT_EQ(MethodName(Method::kVQ), "VQ");
+  EXPECT_EQ(MethodName(Method::kVQT), "VQT");
+  EXPECT_EQ(MethodName(Method::kMT), "MT");
+  EXPECT_EQ(MethodName(Method::kAdaptive), "ADP");
+}
+
+}  // namespace
+}  // namespace mdz::core

@@ -1,0 +1,87 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mdz.h"
+#include "core/parallel.h"
+#include "util/rng.h"
+
+namespace mdz::core {
+namespace {
+
+Trajectory MakeTrajectory(size_t m, size_t n, uint64_t seed) {
+  Trajectory traj;
+  Rng rng(seed);
+  for (size_t s = 0; s < m; ++s) {
+    Snapshot snap;
+    for (auto& axis : snap.axes) {
+      axis.resize(n);
+      for (auto& v : axis) v = rng.Uniform(0.0, 25.0);
+    }
+    traj.snapshots.push_back(std::move(snap));
+  }
+  return traj;
+}
+
+TEST(ParallelTest, OutputIdenticalToSerial) {
+  const Trajectory traj = MakeTrajectory(25, 200, 1);
+  Options options;
+  for (Method method : {Method::kVQ, Method::kMT, Method::kAdaptive}) {
+    options.method = method;
+    auto serial = CompressTrajectory(traj, options);
+    auto parallel = CompressTrajectoryParallel(traj, options);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(serial->axes[axis], parallel->axes[axis])
+          << MethodName(method) << " axis " << axis;
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelRoundTrip) {
+  const Trajectory traj = MakeTrajectory(17, 150, 2);
+  Options options;
+  auto compressed = CompressTrajectoryParallel(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = DecompressTrajectoryParallel(*compressed);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_snapshots(), 17u);
+  ASSERT_EQ(decoded->num_particles(), 150u);
+  // Also cross-check against the serial decompressor.
+  auto serial_decoded = DecompressTrajectory(*compressed);
+  ASSERT_TRUE(serial_decoded.ok());
+  for (size_t s = 0; s < 17; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(decoded->snapshots[s].axes[axis],
+                serial_decoded->snapshots[s].axes[axis]);
+    }
+  }
+}
+
+TEST(ParallelTest, EmptyTrajectoryIsError) {
+  EXPECT_FALSE(CompressTrajectoryParallel(Trajectory(), Options()).ok());
+}
+
+TEST(ParallelTest, InvalidOptionsRejected) {
+  const Trajectory traj = MakeTrajectory(3, 10, 3);
+  Options options;
+  options.error_bound = -1.0;
+  EXPECT_FALSE(CompressTrajectoryParallel(traj, options).ok());
+}
+
+TEST(ParallelTest, MismatchedAxisStreamsRejected) {
+  const Trajectory traj = MakeTrajectory(10, 50, 4);
+  Options options;
+  auto compressed = CompressTrajectoryParallel(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  // Replace one axis with a stream of a different snapshot count.
+  const Trajectory shorter = MakeTrajectory(5, 50, 5);
+  auto other = CompressTrajectoryParallel(shorter, options);
+  ASSERT_TRUE(other.ok());
+  compressed->axes[2] = other->axes[2];
+  EXPECT_FALSE(DecompressTrajectoryParallel(*compressed).ok());
+}
+
+}  // namespace
+}  // namespace mdz::core

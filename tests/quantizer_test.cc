@@ -1,0 +1,106 @@
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace mdz::quant {
+namespace {
+
+TEST(QuantizerTest, PerfectPredictionIsRadiusCode) {
+  LinearQuantizer q(0.01, 1024);
+  double decoded;
+  const uint32_t code = q.Encode(5.0, 5.0, &decoded);
+  EXPECT_EQ(code, q.radius());
+  EXPECT_DOUBLE_EQ(decoded, 5.0);
+}
+
+TEST(QuantizerTest, DecodedWithinBound) {
+  LinearQuantizer q(0.01, 1024);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double pred = rng.Uniform(-100.0, 100.0);
+    const double value = pred + rng.Uniform(-6.0, 6.0);
+    double decoded;
+    const uint32_t code = q.Encode(value, pred, &decoded);
+    EXPECT_LE(std::fabs(decoded - value), 0.01);
+    if (code != 0) {
+      EXPECT_DOUBLE_EQ(q.Decode(code, pred), decoded);
+      EXPECT_LT(code, q.scale());
+    }
+  }
+}
+
+TEST(QuantizerTest, FarValueEscapes) {
+  LinearQuantizer q(0.001, 1024);
+  double decoded;
+  // 1024 codes * 2*eb reach ~ +-1.02; a diff of 100 is unreachable.
+  const uint32_t code = q.Encode(100.0, 0.0, &decoded);
+  EXPECT_EQ(code, 0u);
+  EXPECT_DOUBLE_EQ(decoded, 100.0);  // exact escape
+}
+
+TEST(QuantizerTest, NanAndInfEscape) {
+  LinearQuantizer q(0.01, 1024);
+  double decoded;
+  EXPECT_EQ(q.Encode(std::numeric_limits<double>::quiet_NaN(), 0.0, &decoded),
+            0u);
+  EXPECT_EQ(q.Encode(std::numeric_limits<double>::infinity(), 0.0, &decoded),
+            0u);
+  EXPECT_EQ(q.Encode(1.0, std::numeric_limits<double>::quiet_NaN(), &decoded),
+            0u);
+  EXPECT_DOUBLE_EQ(decoded, 1.0);
+}
+
+TEST(QuantizerTest, BoundaryOfScale) {
+  LinearQuantizer q(0.5, 16);  // radius 8, max |q| = 6 (radius-1 with margin)
+  double decoded;
+  // diff = 5.9 -> scaled = 5.9; within radius-1 - 1 = 6? scaled < 7 required.
+  const uint32_t in_range = q.Encode(5.9, 0.0, &decoded);
+  EXPECT_NE(in_range, 0u);
+  EXPECT_LE(std::fabs(decoded - 5.9), 0.5);
+  // diff = 7.5 -> scaled = 7.5 >= radius-1 = 7: escape.
+  const uint32_t out_of_range = q.Encode(7.5, 0.0, &decoded);
+  EXPECT_EQ(out_of_range, 0u);
+}
+
+class QuantizerSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(QuantizerSweepTest, ErrorBoundInvariant) {
+  const auto [eb, scale] = GetParam();
+  LinearQuantizer q(eb, scale);
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const double pred = rng.Uniform(-10.0, 10.0);
+    const double value = pred + rng.Gaussian(0.0, 20.0 * eb);
+    double decoded;
+    q.Encode(value, pred, &decoded);
+    ASSERT_LE(std::fabs(decoded - value), eb)
+        << "eb " << eb << " scale " << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsAndScales, QuantizerSweepTest,
+    ::testing::Combine(::testing::Values(1e-1, 1e-3, 1e-6, 1e-9),
+                       ::testing::Values(16u, 64u, 1024u, 65536u)));
+
+TEST(QuantizerTest, RoundTripAllCodes) {
+  LinearQuantizer q(0.25, 64);
+  // Codes at the extreme edge of the scale (1 and scale-1) are outside the
+  // encoder's safety margin and re-encode as escapes; test the rest.
+  for (uint32_t code = 2; code < 63; ++code) {
+    const double value = q.Decode(code, 3.0);
+    double decoded;
+    const uint32_t re = q.Encode(value, 3.0, &decoded);
+    EXPECT_EQ(re, code);
+    EXPECT_DOUBLE_EQ(decoded, value);
+  }
+}
+
+}  // namespace
+}  // namespace mdz::quant

@@ -1,0 +1,139 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/huffman.h"
+#include "codec/range_coder.h"
+#include "util/rng.h"
+
+namespace mdz::codec {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& symbols,
+                                uint32_t alphabet) {
+  const std::vector<uint8_t> encoded = RangeEncodeSymbols(symbols, alphabet);
+  std::vector<uint32_t> decoded;
+  const Status s = RangeDecodeSymbols(encoded, &decoded);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return decoded;
+}
+
+TEST(RangeCoderTest, EmptyInput) {
+  EXPECT_EQ(RoundTrip({}, 16), std::vector<uint32_t>{});
+}
+
+TEST(RangeCoderTest, SingleSymbol) {
+  EXPECT_EQ(RoundTrip({5}, 8), std::vector<uint32_t>{5});
+}
+
+TEST(RangeCoderTest, ConstantStreamCompressesHard) {
+  std::vector<uint32_t> symbols(100000, 3);
+  const auto encoded = RangeEncodeSymbols(symbols, 1024);
+  // The adaptive model saturates at ~0.023 bits per coded bit (kMoveBits=5
+  // floor), i.e. ~0.23 bits/symbol through the 10-level tree — still far
+  // below Huffman's 1-bit floor.
+  EXPECT_LT(encoded.size(), 3500u);
+  EXPECT_EQ(RoundTrip(symbols, 1024), symbols);
+}
+
+TEST(RangeCoderTest, RandomStreamsRoundTripVariousAlphabets) {
+  Rng rng(1);
+  for (uint32_t alphabet : {2u, 3u, 10u, 255u, 256u, 1024u, 4097u}) {
+    std::vector<uint32_t> symbols(20000);
+    for (auto& s : symbols) s = rng.UniformInt(alphabet);
+    EXPECT_EQ(RoundTrip(symbols, alphabet), symbols)
+        << "alphabet " << alphabet;
+  }
+}
+
+TEST(RangeCoderTest, SkewedStreamNearEntropy) {
+  Rng rng(2);
+  std::vector<uint32_t> symbols;
+  std::vector<uint64_t> freqs(64, 0);
+  for (int i = 0; i < 200000; ++i) {
+    uint32_t s = 0;
+    while (s < 63 && rng.NextDouble() < 0.4) ++s;
+    symbols.push_back(s);
+    ++freqs[s];
+  }
+  const double entropy = ShannonEntropyBits(freqs);
+  const auto encoded = RangeEncodeSymbols(symbols, 64);
+  const double bits = 8.0 * encoded.size() / symbols.size();
+  EXPECT_LT(bits, entropy * 1.05 + 0.05);
+  EXPECT_EQ(RoundTrip(symbols, 64), symbols);
+}
+
+TEST(RangeCoderTest, BeatsHuffmanOnSubBitSymbols) {
+  // 97% of one symbol: entropy ~0.2 bits, Huffman floor is 1 bit/symbol
+  // (before the LZ stage); arithmetic coding goes below it directly.
+  Rng rng(3);
+  std::vector<uint32_t> symbols(100000);
+  for (auto& s : symbols) {
+    s = rng.NextDouble() < 0.97 ? 7 : rng.UniformInt(16);
+  }
+  const auto rc = RangeEncodeSymbols(symbols, 16);
+  const auto huff = HuffmanEncode(symbols, 16);
+  EXPECT_LT(rc.size() * 3, huff.size());
+  EXPECT_EQ(RoundTrip(symbols, 16), symbols);
+}
+
+TEST(RangeCoderTest, AdaptsToDriftingStatistics) {
+  // First half all 1s, second half all 2s: a static Huffman table treats
+  // both as equiprobable; the adaptive coder converges to each phase.
+  std::vector<uint32_t> symbols(50000, 1);
+  symbols.resize(100000, 2);
+  const auto rc = RangeEncodeSymbols(symbols, 4);
+  EXPECT_LT(rc.size(), 2500u);  // << 1 bit/symbol
+  EXPECT_EQ(RoundTrip(symbols, 4), symbols);
+}
+
+TEST(RangeCoderTest, CarryPropagationStress) {
+  // Deterministic pseudorandom streams across many seeds exercise the
+  // 0xFF-run carry path of the encoder.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> symbols(4096);
+    for (auto& s : symbols) s = rng.UniformInt(256);
+    EXPECT_EQ(RoundTrip(symbols, 256), symbols) << "seed " << seed;
+  }
+}
+
+TEST(RangeCoderTest, TruncatedStreamDetected) {
+  std::vector<uint32_t> symbols(5000);
+  Rng rng(4);
+  for (auto& s : symbols) s = rng.UniformInt(700);
+  auto encoded = RangeEncodeSymbols(symbols, 1024);
+  encoded.resize(encoded.size() / 2);
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(RangeDecodeSymbols(encoded, &decoded).ok());
+}
+
+TEST(RangeCoderTest, GarbageHeaderRejected) {
+  std::vector<uint8_t> garbage = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(RangeDecodeSymbols(garbage, &decoded).ok());
+}
+
+class RangeCoderSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RangeCoderSweepTest, RoundTrip) {
+  const auto [size, skew] = GetParam();
+  Rng rng(100 + size);
+  std::vector<uint32_t> symbols(size);
+  for (auto& s : symbols) {
+    uint32_t v = 0;
+    while (v < 511 && rng.NextDouble() < skew) ++v;
+    s = v;
+  }
+  EXPECT_EQ(RoundTrip(symbols, 512), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSkews, RangeCoderSweepTest,
+    ::testing::Combine(::testing::Values(1, 17, 1000, 65536),
+                       ::testing::Values(0.05, 0.5, 0.95)));
+
+}  // namespace
+}  // namespace mdz::codec

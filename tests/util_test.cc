@@ -1,0 +1,328 @@
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bit_stream.h"
+#include "util/byte_buffer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mdz {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad bytes");
+  EXPECT_EQ(s.ToString(), "Corruption: bad bytes");
+}
+
+TEST(StatusTest, FactoryFunctionsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  MDZ_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+// --- ByteWriter / ByteReader -------------------------------------------------
+
+TEST(ByteBufferTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.Put<uint8_t>(7);
+  w.Put<uint32_t>(0xDEADBEEF);
+  w.Put<double>(3.14159);
+  w.Put<int64_t>(-12345678901234LL);
+
+  ByteReader r(w.bytes());
+  uint8_t a;
+  uint32_t b;
+  double c;
+  int64_t d;
+  ASSERT_TRUE(r.Get(&a).ok());
+  ASSERT_TRUE(r.Get(&b).ok());
+  ASSERT_TRUE(r.Get(&c).ok());
+  ASSERT_TRUE(r.Get(&d).ok());
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(c, 3.14159);
+  EXPECT_EQ(d, -12345678901234LL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, VarintRoundTripEdgeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  ByteWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.bytes());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.GetVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(ByteBufferTest, SignedVarintRoundTrip) {
+  const int64_t values[] = {0,  -1, 1,  -64, 64, -8191, 8191,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  ByteWriter w;
+  for (int64_t v : values) w.PutSignedVarint(v);
+  ByteReader r(w.bytes());
+  for (int64_t v : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(r.GetSignedVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(ByteBufferTest, BlobRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.PutBlob(payload);
+  w.PutBlob({});
+
+  ByteReader r(w.bytes());
+  std::span<const uint8_t> a, b;
+  ASSERT_TRUE(r.GetBlob(&a).ok());
+  ASSERT_TRUE(r.GetBlob(&b).ok());
+  EXPECT_EQ(std::vector<uint8_t>(a.begin(), a.end()), payload);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ByteBufferTest, TruncatedScalarIsCorruption) {
+  ByteWriter w;
+  w.Put<uint8_t>(1);
+  ByteReader r(w.bytes());
+  uint32_t big = 0;
+  EXPECT_EQ(r.Get(&big).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteBufferTest, TruncatedVarintIsCorruption) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};  // continuation never ends
+  ByteReader r(bytes);
+  uint64_t v = 0;
+  EXPECT_EQ(r.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteBufferTest, BlobLengthBeyondDataIsCorruption) {
+  ByteWriter w;
+  w.PutVarint(100);  // declares 100 bytes, provides none
+  ByteReader r(w.bytes());
+  std::span<const uint8_t> blob;
+  EXPECT_EQ(r.GetBlob(&blob).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteBufferTest, PatchAt) {
+  ByteWriter w;
+  w.Put<uint32_t>(0);
+  w.Put<uint8_t>(9);
+  w.PatchAt<uint32_t>(0, 77);
+  ByteReader r(w.bytes());
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Get(&v).ok());
+  EXPECT_EQ(v, 77u);
+}
+
+// --- BitWriter / BitReader ----------------------------------------------------
+
+TEST(BitStreamTest, SingleBits) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true, false,
+                          true, true};
+  for (bool b : pattern) w.WriteBit(b);
+  w.Flush();
+
+  BitReader r(w.bytes());
+  for (bool b : pattern) EXPECT_EQ(r.ReadBit(), b);
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitStreamTest, MultiBitValues) {
+  BitWriter w;
+  w.Write(0x5, 3);
+  w.Write(0x1FF, 9);
+  w.Write(0x12345, 20);
+  w.Write(0x1FFFFFFFFFFFFFull, 53);
+  w.Flush();
+
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Read(3), 0x5u);
+  EXPECT_EQ(r.Read(9), 0x1FFu);
+  EXPECT_EQ(r.Read(20), 0x12345u);
+  EXPECT_EQ(r.Read(53), 0x1FFFFFFFFFFFFFull);
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitStreamTest, PeekDoesNotConsume) {
+  BitWriter w;
+  w.Write(0xAB, 8);
+  w.Flush();
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Peek(4), 0xBu);
+  EXPECT_EQ(r.Peek(4), 0xBu);
+  EXPECT_EQ(r.Read(8), 0xABu);
+}
+
+TEST(BitStreamTest, SkipAfterPeek) {
+  BitWriter w;
+  w.Write(0b110101, 6);
+  w.Flush();
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Peek(3), 0b101u);
+  r.Skip(3);
+  EXPECT_EQ(r.Read(3), 0b110u);
+}
+
+TEST(BitStreamTest, OverrunDetected) {
+  BitWriter w;
+  w.Write(0xFF, 8);
+  w.Flush();
+  BitReader r(w.bytes());
+  r.Read(8);
+  r.Read(8);  // past the end
+  EXPECT_TRUE(r.overrun());
+  EXPECT_EQ(r.CheckNoOverrun().code(), StatusCode::kCorruption);
+}
+
+TEST(BitStreamTest, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.Write(1, 5);
+  EXPECT_EQ(w.bit_count(), 5u);
+  w.Write(1, 11);
+  EXPECT_EQ(w.bit_count(), 16u);
+}
+
+TEST(BitStreamTest, RandomRoundTrip) {
+  Rng rng(7);
+  std::vector<std::pair<uint64_t, int>> tokens;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.UniformInt(56));
+    const uint64_t mask = (nbits == 64) ? ~0ull : ((1ull << nbits) - 1);
+    const uint64_t value = rng.NextU64() & mask;
+    tokens.emplace_back(value, nbits);
+    w.Write(value, nbits);
+  }
+  w.Flush();
+  BitReader r(w.bytes());
+  for (const auto& [value, nbits] : tokens) {
+    EXPECT_EQ(r.Read(nbits), value);
+  }
+  EXPECT_FALSE(r.overrun());
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(8);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+}  // namespace
+}  // namespace mdz

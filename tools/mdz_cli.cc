@@ -1,0 +1,298 @@
+// mdz — command-line front end for the MDZ compressor.
+//
+//   mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]
+//   mdz compress <in.mdtraj|.xyz> <out.mdza> [--eb E] [--abs] [--bs N]
+//                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1]
+//   mdz decompress <in.mdza> <out.mdtraj|.xyz>
+//   mdz info <file.mdza|file.mdtraj>
+//   mdz verify <original.mdtraj|.xyz> <compressed.mdza>
+//   mdz datasets
+//
+// Files ending in ".xyz" are read/written as XYZ text; everything else is
+// the binary mdtraj format.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "core/mdz.h"
+#include "datagen/generators.h"
+#include "io/archive.h"
+#include "io/trajectory_io.h"
+#include "util/timer.h"
+
+namespace {
+
+using mdz::Result;
+using mdz::Status;
+using mdz::core::Trajectory;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Trajectory> ReadTrajectoryAuto(const std::string& path) {
+  if (EndsWith(path, ".xyz")) return mdz::io::ReadXyzTrajectory(path);
+  return mdz::io::ReadBinaryTrajectory(path);
+}
+
+Status WriteTrajectoryAuto(const Trajectory& trajectory,
+                           const std::string& path) {
+  if (EndsWith(path, ".xyz")) {
+    return mdz::io::WriteXyzTrajectory(trajectory, path);
+  }
+  return mdz::io::WriteBinaryTrajectory(trajectory, path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]\n"
+               "  mdz compress <in> <out.mdza> [--eb E] [--abs] [--bs N]\n"
+               "               [--method adp|vq|vqt|mt|ti] [--quant-scale N]\n"
+               "               [--seq1] [--interp]\n"
+               "  mdz decompress <in.mdza> <out.mdtraj|.xyz>\n"
+               "  mdz info <file.mdza|file.mdtraj>\n"
+               "  mdz verify <original> <compressed.mdza>\n"
+               "  mdz datasets\n");
+  return 2;
+}
+
+// Minimal flag scanner: flags may appear anywhere after the positionals.
+struct Flags {
+  std::vector<std::string> positional;
+  double eb = 1e-3;
+  bool absolute = false;
+  uint32_t bs = 10;
+  std::string method = "adp";
+  uint32_t quant_scale = 1024;
+  bool seq1 = false;
+  bool interp = false;  // adds the TI predictor to ADP's candidates
+  double scale = 1.0;
+  uint64_t seed = 0;
+
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_value = [&]() -> Result<std::string> {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("missing value for " + arg);
+        }
+        return std::string(argv[++i]);
+      };
+      if (arg == "--eb") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.eb = std::atof(v.c_str());
+      } else if (arg == "--abs") {
+        flags.absolute = true;
+      } else if (arg == "--bs") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.bs = static_cast<uint32_t>(std::atoi(v.c_str()));
+      } else if (arg == "--method") {
+        MDZ_ASSIGN_OR_RETURN(flags.method, next_value());
+      } else if (arg == "--quant-scale") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.quant_scale = static_cast<uint32_t>(std::atoi(v.c_str()));
+      } else if (arg == "--seq1") {
+        flags.seq1 = true;
+      } else if (arg == "--interp") {
+        flags.interp = true;
+      } else if (arg == "--scale") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.scale = std::atof(v.c_str());
+      } else if (arg == "--seed") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+      } else if (arg.rfind("--", 0) == 0) {
+        return Status::InvalidArgument("unknown flag: " + arg);
+      } else {
+        flags.positional.push_back(arg);
+      }
+    }
+    return flags;
+  }
+
+  Result<mdz::core::Options> ToOptions() const {
+    mdz::core::Options options;
+    options.error_bound = eb;
+    options.error_bound_mode = absolute
+                                   ? mdz::core::ErrorBoundMode::kAbsolute
+                                   : mdz::core::ErrorBoundMode::kValueRangeRelative;
+    options.buffer_size = bs;
+    options.quantization_scale = quant_scale;
+    options.layout = seq1 ? mdz::core::CodeLayout::kSnapshotMajor
+                          : mdz::core::CodeLayout::kParticleMajor;
+    options.enable_interpolation = interp;
+    if (method == "adp") {
+      options.method = mdz::core::Method::kAdaptive;
+    } else if (method == "vq") {
+      options.method = mdz::core::Method::kVQ;
+    } else if (method == "vqt") {
+      options.method = mdz::core::Method::kVQT;
+    } else if (method == "mt") {
+      options.method = mdz::core::Method::kMT;
+    } else if (method == "ti") {
+      options.method = mdz::core::Method::kTI;
+    } else {
+      return Status::InvalidArgument("unknown method: " + method);
+    }
+    MDZ_RETURN_IF_ERROR(options.Validate());
+    return options;
+  }
+};
+
+int CmdDatasets() {
+  std::printf("%-10s %-10s\n", "Name", "State");
+  for (const auto& info : mdz::datagen::AllDatasets()) {
+    std::printf("%-10.*s %-10.*s\n", static_cast<int>(info.name.size()),
+                info.name.data(), static_cast<int>(info.state.size()),
+                info.state.data());
+  }
+  return 0;
+}
+
+int CmdGen(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  mdz::datagen::GeneratorOptions gen;
+  gen.size_scale = flags.scale;
+  gen.seed = flags.seed;
+  auto trajectory = mdz::datagen::MakeByName(flags.positional[0], gen);
+  if (!trajectory.ok()) return Fail(trajectory.status());
+  const Status s = WriteTrajectoryAuto(*trajectory, flags.positional[1]);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu snapshots x %zu atoms (%.1f MB)\n",
+              flags.positional[1].c_str(), trajectory->num_snapshots(),
+              trajectory->num_particles(), trajectory->raw_bytes() / 1e6);
+  return 0;
+}
+
+int CmdCompress(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  auto options = flags.ToOptions();
+  if (!options.ok()) return Fail(options.status());
+  auto trajectory = ReadTrajectoryAuto(flags.positional[0]);
+  if (!trajectory.ok()) return Fail(trajectory.status());
+
+  mdz::WallTimer timer;
+  auto compressed = mdz::core::CompressTrajectory(*trajectory, *options);
+  if (!compressed.ok()) return Fail(compressed.status());
+  const double seconds = timer.ElapsedSeconds();
+
+  mdz::io::Archive archive;
+  archive.data = std::move(compressed).value();
+  archive.name = trajectory->name;
+  archive.box = trajectory->box;
+  const Status s = mdz::io::WriteArchive(archive, flags.positional[1]);
+  if (!s.ok()) return Fail(s);
+
+  const size_t raw = trajectory->raw_bytes();
+  const size_t out = archive.data.total_bytes();
+  std::printf("%zu snapshots x %zu atoms: %.1f MB -> %.3f MB "
+              "(ratio %.1fx, %.0f MB/s)\n",
+              trajectory->num_snapshots(), trajectory->num_particles(),
+              raw / 1e6, out / 1e6, static_cast<double>(raw) / out,
+              raw / 1e6 / seconds);
+  return 0;
+}
+
+int CmdDecompress(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  auto archive = mdz::io::ReadArchive(flags.positional[0]);
+  if (!archive.ok()) return Fail(archive.status());
+  auto trajectory = mdz::io::DecompressArchive(*archive);
+  if (!trajectory.ok()) return Fail(trajectory.status());
+  const Status s = WriteTrajectoryAuto(*trajectory, flags.positional[1]);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu snapshots x %zu atoms\n",
+              flags.positional[1].c_str(), trajectory->num_snapshots(),
+              trajectory->num_particles());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  const std::string& path = flags.positional[0];
+  auto archive = mdz::io::ReadArchive(path);
+  if (archive.ok()) {
+    std::printf("MDZ archive: %s\n", path.c_str());
+    std::printf("  dataset:  %s\n",
+                archive->name.empty() ? "(unnamed)" : archive->name.c_str());
+    std::printf("  box:      %.3f %.3f %.3f\n", archive->box[0],
+                archive->box[1], archive->box[2]);
+    std::printf("  payload:  %.3f MB (x %.3f / y %.3f / z %.3f)\n",
+                archive->data.total_bytes() / 1e6,
+                archive->data.axes[0].size() / 1e6,
+                archive->data.axes[1].size() / 1e6,
+                archive->data.axes[2].size() / 1e6);
+    auto trajectory = mdz::io::DecompressArchive(*archive);
+    if (trajectory.ok()) {
+      std::printf("  contents: %zu snapshots x %zu atoms (%.1f MB raw, "
+                  "ratio %.1fx)\n",
+                  trajectory->num_snapshots(), trajectory->num_particles(),
+                  trajectory->raw_bytes() / 1e6,
+                  static_cast<double>(trajectory->raw_bytes()) /
+                      archive->data.total_bytes());
+    }
+    return 0;
+  }
+  auto trajectory = ReadTrajectoryAuto(path);
+  if (!trajectory.ok()) return Fail(trajectory.status());
+  std::printf("trajectory: %s\n", path.c_str());
+  std::printf("  %zu snapshots x %zu atoms (%.1f MB)\n",
+              trajectory->num_snapshots(), trajectory->num_particles(),
+              trajectory->raw_bytes() / 1e6);
+  std::printf("  box: %.3f %.3f %.3f\n", trajectory->box[0],
+              trajectory->box[1], trajectory->box[2]);
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  auto original = ReadTrajectoryAuto(flags.positional[0]);
+  if (!original.ok()) return Fail(original.status());
+  auto archive = mdz::io::ReadArchive(flags.positional[1]);
+  if (!archive.ok()) return Fail(archive.status());
+  auto decoded = mdz::io::DecompressArchive(*archive);
+  if (!decoded.ok()) return Fail(decoded.status());
+
+  if (decoded->num_snapshots() != original->num_snapshots() ||
+      decoded->num_particles() != original->num_particles()) {
+    std::fprintf(stderr, "dimension mismatch\n");
+    return 1;
+  }
+  std::printf("%-6s %-12s %-12s %-10s\n", "Axis", "MaxError", "NRMSE",
+              "PSNR_dB");
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto m =
+        mdz::analysis::ComputeAxisErrorMetrics(*original, *decoded, axis);
+    std::printf("%-6c %-12.6g %-12.4g %-10.1f\n", "xyz"[axis], m.max_error,
+                m.nrmse, m.psnr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) return Fail(flags.status());
+
+  if (command == "datasets") return CmdDatasets();
+  if (command == "gen") return CmdGen(*flags);
+  if (command == "compress") return CmdCompress(*flags);
+  if (command == "decompress") return CmdDecompress(*flags);
+  if (command == "info") return CmdInfo(*flags);
+  if (command == "verify") return CmdVerify(*flags);
+  return Usage();
+}
