@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptation.dir/ablation_adaptation.cc.o"
+  "CMakeFiles/ablation_adaptation.dir/ablation_adaptation.cc.o.d"
+  "ablation_adaptation"
+  "ablation_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

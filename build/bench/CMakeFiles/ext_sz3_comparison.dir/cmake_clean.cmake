@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sz3_comparison.dir/ext_sz3_comparison.cc.o"
+  "CMakeFiles/ext_sz3_comparison.dir/ext_sz3_comparison.cc.o.d"
+  "ext_sz3_comparison"
+  "ext_sz3_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sz3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adaptive_tracking.dir/fig10_adaptive_tracking.cc.o"
+  "CMakeFiles/fig10_adaptive_tracking.dir/fig10_adaptive_tracking.cc.o.d"
+  "fig10_adaptive_tracking"
+  "fig10_adaptive_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adaptive_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

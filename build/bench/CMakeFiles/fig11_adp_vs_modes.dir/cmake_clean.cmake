@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adp_vs_modes.dir/fig11_adp_vs_modes.cc.o"
+  "CMakeFiles/fig11_adp_vs_modes.dir/fig11_adp_vs_modes.cc.o.d"
+  "fig11_adp_vs_modes"
+  "fig11_adp_vs_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adp_vs_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

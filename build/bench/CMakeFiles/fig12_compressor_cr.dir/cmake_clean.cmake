@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compressor_cr.dir/fig12_compressor_cr.cc.o"
+  "CMakeFiles/fig12_compressor_cr.dir/fig12_compressor_cr.cc.o.d"
+  "fig12_compressor_cr"
+  "fig12_compressor_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compressor_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

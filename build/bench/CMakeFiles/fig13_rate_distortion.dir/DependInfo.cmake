@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_rate_distortion.cc" "bench/CMakeFiles/fig13_rate_distortion.dir/fig13_rate_distortion.cc.o" "gcc" "bench/CMakeFiles/fig13_rate_distortion.dir/fig13_rate_distortion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mdz_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mdz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mdz_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdz_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rate_distortion.dir/fig13_rate_distortion.cc.o"
+  "CMakeFiles/fig13_rate_distortion.dir/fig13_rate_distortion.cc.o.d"
+  "fig13_rate_distortion"
+  "fig13_rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rdf.dir/fig14_rdf.cc.o"
+  "CMakeFiles/fig14_rdf.dir/fig14_rdf.cc.o.d"
+  "fig14_rdf"
+  "fig14_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_hacc.dir/fig16_hacc.cc.o"
+  "CMakeFiles/fig16_hacc.dir/fig16_hacc.cc.o.d"
+  "fig16_hacc"
+  "fig16_hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

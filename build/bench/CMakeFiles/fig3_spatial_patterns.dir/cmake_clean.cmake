@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_spatial_patterns.dir/fig3_spatial_patterns.cc.o"
+  "CMakeFiles/fig3_spatial_patterns.dir/fig3_spatial_patterns.cc.o.d"
+  "fig3_spatial_patterns"
+  "fig3_spatial_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_spatial_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

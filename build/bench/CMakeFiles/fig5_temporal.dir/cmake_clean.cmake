@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_temporal.dir/fig5_temporal.cc.o"
+  "CMakeFiles/fig5_temporal.dir/fig5_temporal.cc.o.d"
+  "fig5_temporal"
+  "fig5_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

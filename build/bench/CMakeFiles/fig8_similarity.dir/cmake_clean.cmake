@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_similarity.dir/fig8_similarity.cc.o"
+  "CMakeFiles/fig8_similarity.dir/fig8_similarity.cc.o.d"
+  "fig8_similarity"
+  "fig8_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

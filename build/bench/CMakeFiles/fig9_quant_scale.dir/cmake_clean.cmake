@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_quant_scale.dir/fig9_quant_scale.cc.o"
+  "CMakeFiles/fig9_quant_scale.dir/fig9_quant_scale.cc.o.d"
+  "fig9_quant_scale"
+  "fig9_quant_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_quant_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prediction_error.dir/table2_prediction_error.cc.o"
+  "CMakeFiles/table2_prediction_error.dir/table2_prediction_error.cc.o.d"
+  "table2_prediction_error"
+  "table2_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sequence.dir/table3_sequence.cc.o"
+  "CMakeFiles/table3_sequence.dir/table3_sequence.cc.o.d"
+  "table3_sequence"
+  "table3_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

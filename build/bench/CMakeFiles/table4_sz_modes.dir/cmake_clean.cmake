@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sz_modes.dir/table4_sz_modes.cc.o"
+  "CMakeFiles/table4_sz_modes.dir/table4_sz_modes.cc.o.d"
+  "table4_sz_modes"
+  "table4_sz_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sz_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_lossless.dir/table5_lossless.cc.o"
+  "CMakeFiles/table5_lossless.dir/table5_lossless.cc.o.d"
+  "table5_lossless"
+  "table5_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_error_metrics.dir/table6_error_metrics.cc.o"
+  "CMakeFiles/table6_error_metrics.dir/table6_error_metrics.cc.o.d"
+  "table6_error_metrics"
+  "table6_error_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_error_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_md_dump.dir/insitu_md_dump.cpp.o"
+  "CMakeFiles/insitu_md_dump.dir/insitu_md_dump.cpp.o.d"
+  "insitu_md_dump"
+  "insitu_md_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_md_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_access.dir/random_access.cpp.o"
+  "CMakeFiles/random_access.dir/random_access.cpp.o.d"
+  "random_access"
+  "random_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

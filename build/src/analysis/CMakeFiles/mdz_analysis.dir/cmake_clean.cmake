@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_analysis.dir/characterize.cc.o"
+  "CMakeFiles/mdz_analysis.dir/characterize.cc.o.d"
+  "CMakeFiles/mdz_analysis.dir/dynamics.cc.o"
+  "CMakeFiles/mdz_analysis.dir/dynamics.cc.o.d"
+  "CMakeFiles/mdz_analysis.dir/metrics.cc.o"
+  "CMakeFiles/mdz_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/mdz_analysis.dir/rdf.cc.o"
+  "CMakeFiles/mdz_analysis.dir/rdf.cc.o.d"
+  "libmdz_analysis.a"
+  "libmdz_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/asn.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/asn.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/asn.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/compressor_interface.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/compressor_interface.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/compressor_interface.cc.o.d"
+  "/root/repo/src/baselines/hrtc.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/hrtc.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/hrtc.cc.o.d"
+  "/root/repo/src/baselines/lfzip.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/lfzip.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/lfzip.cc.o.d"
+  "/root/repo/src/baselines/mdb.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/mdb.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/mdb.cc.o.d"
+  "/root/repo/src/baselines/sz2.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/sz2.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/sz2.cc.o.d"
+  "/root/repo/src/baselines/sz3_interp.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/sz3_interp.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/sz3_interp.cc.o.d"
+  "/root/repo/src/baselines/tng.cc" "src/baselines/CMakeFiles/mdz_baselines.dir/tng.cc.o" "gcc" "src/baselines/CMakeFiles/mdz_baselines.dir/tng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_baselines.dir/asn.cc.o"
+  "CMakeFiles/mdz_baselines.dir/asn.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/common.cc.o"
+  "CMakeFiles/mdz_baselines.dir/common.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/compressor_interface.cc.o"
+  "CMakeFiles/mdz_baselines.dir/compressor_interface.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/hrtc.cc.o"
+  "CMakeFiles/mdz_baselines.dir/hrtc.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/lfzip.cc.o"
+  "CMakeFiles/mdz_baselines.dir/lfzip.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/mdb.cc.o"
+  "CMakeFiles/mdz_baselines.dir/mdb.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/sz2.cc.o"
+  "CMakeFiles/mdz_baselines.dir/sz2.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/sz3_interp.cc.o"
+  "CMakeFiles/mdz_baselines.dir/sz3_interp.cc.o.d"
+  "CMakeFiles/mdz_baselines.dir/tng.cc.o"
+  "CMakeFiles/mdz_baselines.dir/tng.cc.o.d"
+  "libmdz_baselines.a"
+  "libmdz_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

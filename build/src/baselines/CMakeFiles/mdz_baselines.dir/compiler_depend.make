@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mdz_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_cluster.dir/kmeans1d.cc.o"
+  "CMakeFiles/mdz_cluster.dir/kmeans1d.cc.o.d"
+  "libmdz_cluster.a"
+  "libmdz_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

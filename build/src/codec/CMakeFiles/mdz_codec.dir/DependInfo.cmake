@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/fpc.cc" "src/codec/CMakeFiles/mdz_codec.dir/fpc.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/fpc.cc.o.d"
+  "/root/repo/src/codec/fpzip_like.cc" "src/codec/CMakeFiles/mdz_codec.dir/fpzip_like.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/fpzip_like.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/codec/CMakeFiles/mdz_codec.dir/huffman.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/huffman.cc.o.d"
+  "/root/repo/src/codec/lossless.cc" "src/codec/CMakeFiles/mdz_codec.dir/lossless.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/lossless.cc.o.d"
+  "/root/repo/src/codec/lz.cc" "src/codec/CMakeFiles/mdz_codec.dir/lz.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/lz.cc.o.d"
+  "/root/repo/src/codec/range_coder.cc" "src/codec/CMakeFiles/mdz_codec.dir/range_coder.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/range_coder.cc.o.d"
+  "/root/repo/src/codec/zfp_like.cc" "src/codec/CMakeFiles/mdz_codec.dir/zfp_like.cc.o" "gcc" "src/codec/CMakeFiles/mdz_codec.dir/zfp_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_codec.dir/fpc.cc.o"
+  "CMakeFiles/mdz_codec.dir/fpc.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/fpzip_like.cc.o"
+  "CMakeFiles/mdz_codec.dir/fpzip_like.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/huffman.cc.o"
+  "CMakeFiles/mdz_codec.dir/huffman.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/lossless.cc.o"
+  "CMakeFiles/mdz_codec.dir/lossless.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/lz.cc.o"
+  "CMakeFiles/mdz_codec.dir/lz.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/range_coder.cc.o"
+  "CMakeFiles/mdz_codec.dir/range_coder.cc.o.d"
+  "CMakeFiles/mdz_codec.dir/zfp_like.cc.o"
+  "CMakeFiles/mdz_codec.dir/zfp_like.cc.o.d"
+  "libmdz_codec.a"
+  "libmdz_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_codec.cc" "src/core/CMakeFiles/mdz_core.dir/block_codec.cc.o" "gcc" "src/core/CMakeFiles/mdz_core.dir/block_codec.cc.o.d"
+  "/root/repo/src/core/mdz.cc" "src/core/CMakeFiles/mdz_core.dir/mdz.cc.o" "gcc" "src/core/CMakeFiles/mdz_core.dir/mdz.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/mdz_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/mdz_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/pointwise_relative.cc" "src/core/CMakeFiles/mdz_core.dir/pointwise_relative.cc.o" "gcc" "src/core/CMakeFiles/mdz_core.dir/pointwise_relative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_core.dir/block_codec.cc.o"
+  "CMakeFiles/mdz_core.dir/block_codec.cc.o.d"
+  "CMakeFiles/mdz_core.dir/mdz.cc.o"
+  "CMakeFiles/mdz_core.dir/mdz.cc.o.d"
+  "CMakeFiles/mdz_core.dir/parallel.cc.o"
+  "CMakeFiles/mdz_core.dir/parallel.cc.o.d"
+  "CMakeFiles/mdz_core.dir/pointwise_relative.cc.o"
+  "CMakeFiles/mdz_core.dir/pointwise_relative.cc.o.d"
+  "libmdz_core.a"
+  "libmdz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/generators.cc" "src/datagen/CMakeFiles/mdz_datagen.dir/generators.cc.o" "gcc" "src/datagen/CMakeFiles/mdz_datagen.dir/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdz_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

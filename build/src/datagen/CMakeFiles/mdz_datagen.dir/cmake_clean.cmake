@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_datagen.dir/generators.cc.o"
+  "CMakeFiles/mdz_datagen.dir/generators.cc.o.d"
+  "libmdz_datagen.a"
+  "libmdz_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

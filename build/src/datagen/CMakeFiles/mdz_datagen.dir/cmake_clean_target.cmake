@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdz_datagen.a"
+)

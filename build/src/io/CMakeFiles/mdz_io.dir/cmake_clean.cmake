@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_io.dir/archive.cc.o"
+  "CMakeFiles/mdz_io.dir/archive.cc.o.d"
+  "CMakeFiles/mdz_io.dir/trajectory_io.cc.o"
+  "CMakeFiles/mdz_io.dir/trajectory_io.cc.o.d"
+  "libmdz_io.a"
+  "libmdz_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

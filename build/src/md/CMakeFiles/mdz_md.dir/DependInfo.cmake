@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/cell_list.cc" "src/md/CMakeFiles/mdz_md.dir/cell_list.cc.o" "gcc" "src/md/CMakeFiles/mdz_md.dir/cell_list.cc.o.d"
+  "/root/repo/src/md/dump.cc" "src/md/CMakeFiles/mdz_md.dir/dump.cc.o" "gcc" "src/md/CMakeFiles/mdz_md.dir/dump.cc.o.d"
+  "/root/repo/src/md/harmonic_crystal.cc" "src/md/CMakeFiles/mdz_md.dir/harmonic_crystal.cc.o" "gcc" "src/md/CMakeFiles/mdz_md.dir/harmonic_crystal.cc.o.d"
+  "/root/repo/src/md/lattice.cc" "src/md/CMakeFiles/mdz_md.dir/lattice.cc.o" "gcc" "src/md/CMakeFiles/mdz_md.dir/lattice.cc.o.d"
+  "/root/repo/src/md/lj_simulation.cc" "src/md/CMakeFiles/mdz_md.dir/lj_simulation.cc.o" "gcc" "src/md/CMakeFiles/mdz_md.dir/lj_simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

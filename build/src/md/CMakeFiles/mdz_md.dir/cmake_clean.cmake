@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_md.dir/cell_list.cc.o"
+  "CMakeFiles/mdz_md.dir/cell_list.cc.o.d"
+  "CMakeFiles/mdz_md.dir/dump.cc.o"
+  "CMakeFiles/mdz_md.dir/dump.cc.o.d"
+  "CMakeFiles/mdz_md.dir/harmonic_crystal.cc.o"
+  "CMakeFiles/mdz_md.dir/harmonic_crystal.cc.o.d"
+  "CMakeFiles/mdz_md.dir/lattice.cc.o"
+  "CMakeFiles/mdz_md.dir/lattice.cc.o.d"
+  "CMakeFiles/mdz_md.dir/lj_simulation.cc.o"
+  "CMakeFiles/mdz_md.dir/lj_simulation.cc.o.d"
+  "libmdz_md.a"
+  "libmdz_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

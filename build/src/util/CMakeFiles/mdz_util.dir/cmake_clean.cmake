@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_util.dir/status.cc.o"
+  "CMakeFiles/mdz_util.dir/status.cc.o.d"
+  "libmdz_util.a"
+  "libmdz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/mdz_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/mdz_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/block_codec_test.cc" "tests/CMakeFiles/mdz_tests.dir/block_codec_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/block_codec_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/mdz_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/dynamics_test.cc" "tests/CMakeFiles/mdz_tests.dir/dynamics_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/dynamics_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/mdz_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/float_codec_test.cc" "tests/CMakeFiles/mdz_tests.dir/float_codec_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/float_codec_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/mdz_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/huffman_test.cc" "tests/CMakeFiles/mdz_tests.dir/huffman_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/huffman_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mdz_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/mdz_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/mdz_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/lz_test.cc" "tests/CMakeFiles/mdz_tests.dir/lz_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/lz_test.cc.o.d"
+  "/root/repo/tests/md_test.cc" "tests/CMakeFiles/mdz_tests.dir/md_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/md_test.cc.o.d"
+  "/root/repo/tests/mdz_test.cc" "tests/CMakeFiles/mdz_tests.dir/mdz_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/mdz_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/mdz_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/quantizer_test.cc" "tests/CMakeFiles/mdz_tests.dir/quantizer_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/quantizer_test.cc.o.d"
+  "/root/repo/tests/range_coder_test.cc" "tests/CMakeFiles/mdz_tests.dir/range_coder_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/range_coder_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/mdz_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/mdz_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mdz_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mdz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mdz_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mdz_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdz_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mdz_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/mdz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

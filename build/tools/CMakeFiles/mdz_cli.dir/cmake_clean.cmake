@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdz_cli.dir/mdz_cli.cc.o"
+  "CMakeFiles/mdz_cli.dir/mdz_cli.cc.o.d"
+  "mdz"
+  "mdz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
