@@ -89,7 +89,9 @@ Status UnpackQuantBlock(std::span<const uint8_t> data,
     return Status::Corruption("escape channel not a whole number of doubles");
   }
   escapes->resize(escape_bytes.size() / sizeof(double));
-  std::memcpy(escapes->data(), escape_bytes.data(), escape_bytes.size());
+  if (!escape_bytes.empty()) {
+    std::memcpy(escapes->data(), escape_bytes.data(), escape_bytes.size());
+  }
   return Status::OK();
 }
 

@@ -52,8 +52,9 @@ std::vector<uint8_t> FpzipLikeCompress(std::span<const double> values) {
   uint64_t prev = 0;
   for (double d : values) {
     const uint64_t ordered = ToOrdered(d);
-    const uint64_t zz =
-        Zigzag(static_cast<int64_t>(ordered) - static_cast<int64_t>(prev));
+    // Delta in uint64: wraparound is defined and bit-identical to the
+    // two's-complement difference, even at int64 extremes.
+    const uint64_t zz = Zigzag(static_cast<int64_t>(ordered - prev));
     prev = ordered;
     const int nbytes = SignificantBytes(zz);
     classes.push_back(static_cast<uint32_t>(nbytes));
@@ -102,8 +103,7 @@ Status FpzipLikeDecompress(std::span<const uint8_t> data,
     for (uint32_t b = 0; b < nbytes; ++b) {
       zz = (zz << 8) | payload[pos++];
     }
-    const uint64_t ordered =
-        static_cast<uint64_t>(static_cast<int64_t>(prev) + Unzigzag(zz));
+    const uint64_t ordered = prev + static_cast<uint64_t>(Unzigzag(zz));
     prev = ordered;
     out->push_back(FromOrdered(ordered));
   }

@@ -250,8 +250,9 @@ std::vector<uint8_t> ZfpLikeCompressReversible(std::span<const double> values) {
   uint64_t prev = 0;
   for (size_t i = 0; i < values.size(); ++i) {
     const uint64_t ordered = ToOrdered(values[i]);
-    const uint64_t zz =
-        Zigzag(static_cast<int64_t>(ordered) - static_cast<int64_t>(prev));
+    // Delta in uint64: wraparound is defined and bit-identical to the
+    // two's-complement difference, even at int64 extremes.
+    const uint64_t zz = Zigzag(static_cast<int64_t>(ordered - prev));
     prev = ordered;
     int nbytes = 0;
     uint64_t tmp = zz;
@@ -302,8 +303,7 @@ Status ZfpLikeDecompressReversible(std::span<const uint8_t> data,
     }
     uint64_t zz = 0;
     for (int b = 0; b < nbytes; ++b) zz = (zz << 8) | payload[pos++];
-    const uint64_t ordered =
-        static_cast<uint64_t>(static_cast<int64_t>(prev) + Unzigzag(zz));
+    const uint64_t ordered = prev + static_cast<uint64_t>(Unzigzag(zz));
     prev = ordered;
     out->push_back(FromOrdered(ordered));
   }

@@ -113,6 +113,25 @@ std::vector<uint32_t> FromParticleMajor(const std::vector<uint32_t>& codes,
 
 }  // namespace
 
+Result<BlockHeader> PeekBlockHeader(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  uint8_t method_byte = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
+  if (method_byte > 4 || method_byte == 3) {
+    return Status::Corruption("bad block method byte");
+  }
+  uint64_t s_count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
+  if (s_count == 0) return Status::Corruption("empty block in stream");
+  if (s_count > (1ull << 32)) {
+    return Status::Corruption("bad block snapshot count");
+  }
+  BlockHeader header;
+  header.method = static_cast<Method>(method_byte);
+  header.s_count = static_cast<size_t>(s_count);
+  return header;
+}
+
 BlockCodec::BlockCodec(double abs_eb, uint32_t quantization_scale,
                        CodeLayout layout)
     : abs_eb_(abs_eb), scale_(quantization_scale), layout_(layout) {}

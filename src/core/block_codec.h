@@ -39,6 +39,18 @@ struct EncodedBlock {
   size_t escape_count = 0;
 };
 
+// The fixed prefix of every encoded block: method byte + snapshot count.
+struct BlockHeader {
+  Method method = Method::kVQ;
+  size_t s_count = 0;
+};
+
+// Parses and validates the prefix of an encoded block without touching the
+// payload. Used to build the random-access seek index (and to detect TI
+// chaining) in O(1) per block. Rejects unknown method bytes and — because a
+// well-formed encoder never frames an empty buffer — zero-snapshot blocks.
+Result<BlockHeader> PeekBlockHeader(std::span<const uint8_t> bytes);
+
 // Encodes/decodes one buffer (S snapshots x N values) with one of the three
 // MDZ prediction strategies. Stateless apart from configuration; predictor
 // state is threaded through explicitly so the adaptive selector can trial-

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/block_codec.h"
+#include "core/thread_pool.h"
 #include "util/byte_buffer.h"
 
 namespace mdz::core {
@@ -159,20 +160,32 @@ struct FieldCompressor::Impl {
       if (evaluate) {
         // Trial-compress the candidate strategies from the same entry state
         // and keep the smallest output (paper Section VI-D). TI joins the
-        // candidate set only when explicitly enabled (extension).
-        chosen_method = Method::kVQ;
-        chosen = codec.Encode(Method::kVQ, buffer, state, levels);
-        std::vector<Method> candidates = {Method::kVQT, Method::kMT};
+        // candidate set only when explicitly enabled (extension). Each trial
+        // reads `buffer`/`state`/`levels` by const reference and writes only
+        // its own EncodedBlock, so the trials are independent and may run
+        // concurrently; the fixed candidate order with a first-smallest
+        // tie-break keeps the winner — and therefore the stream —
+        // byte-identical to a serial evaluation.
+        std::vector<Method> candidates = {Method::kVQ, Method::kVQT,
+                                          Method::kMT};
         if (options.enable_interpolation && buffer.size() > 2) {
           candidates.push_back(Method::kTI);
         }
-        for (Method m : candidates) {
-          EncodedBlock trial = codec.Encode(m, buffer, state, levels);
-          if (trial.bytes.size() < chosen.bytes.size()) {
-            chosen = std::move(trial);
-            chosen_method = m;
-          }
+        std::vector<EncodedBlock> trials(candidates.size());
+        const auto encode_trial = [&](size_t k) {
+          trials[k] = codec.Encode(candidates[k], buffer, state, levels);
+        };
+        if (options.pool != nullptr && !options.pool->serial()) {
+          options.pool->ParallelFor(0, candidates.size(), encode_trial);
+        } else {
+          for (size_t k = 0; k < candidates.size(); ++k) encode_trial(k);
         }
+        size_t best = 0;
+        for (size_t k = 1; k < trials.size(); ++k) {
+          if (trials[k].bytes.size() < trials[best].bytes.size()) best = k;
+        }
+        chosen = std::move(trials[best]);
+        chosen_method = candidates[best];
         current_method = chosen_method;
         buffers_since_adaptation = 0;
         ++stats.adaptation_runs;
@@ -224,11 +237,13 @@ Status FieldCompressor::Append(std::span<const double> snapshot) {
     return Status::InvalidArgument("snapshot size != num_particles");
   }
   impl.buffer.emplace_back(snapshot.begin(), snapshot.end());
+  if (impl.buffer.size() >= impl.options.buffer_size) {
+    MDZ_RETURN_IF_ERROR(impl.FlushBuffer());
+  }
+  // Stats count only successfully accepted snapshots: when a flush fails the
+  // counters stay put, so snapshots_in/raw_bytes never overcount on error.
   ++impl.stats.snapshots_in;
   impl.stats.raw_bytes += snapshot.size() * sizeof(double);
-  if (impl.buffer.size() >= impl.options.buffer_size) {
-    return impl.FlushBuffer();
-  }
   return Status::OK();
 }
 
@@ -334,22 +349,22 @@ struct FieldDecompressor::Impl {
   // Scans block frames (without decoding payloads) to build the seek index.
   Status BuildIndex() {
     if (index_built) return Status::OK();
+    // Start from scratch on every (re)build: a failed scan — e.g. a
+    // truncated final frame — must not leave partial entries behind, or a
+    // retry would append duplicates.
+    index.clear();
+    chained = false;
     size_t offset = header_end;
     size_t snapshot = 0;
     while (offset < data.size()) {
       ByteReader r(data.subspan(offset));
       std::span<const uint8_t> block;
       MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
-      // Peek the block header: method byte + snapshot count varint.
-      ByteReader peek(block);
-      uint8_t method = 0;
-      MDZ_RETURN_IF_ERROR(peek.Get(&method));
-      if (method == static_cast<uint8_t>(Method::kTI)) chained = true;
-      uint64_t s_count = 0;
-      MDZ_RETURN_IF_ERROR(peek.GetVarint(&s_count));
-      if (s_count == 0) return Status::Corruption("empty block in stream");
-      index.push_back({offset, snapshot, static_cast<size_t>(s_count)});
-      snapshot += s_count;
+      MDZ_ASSIGN_OR_RETURN(const internal::BlockHeader header,
+                           internal::PeekBlockHeader(block));
+      if (header.method == Method::kTI) chained = true;
+      index.push_back({offset, snapshot, header.s_count});
+      snapshot += header.s_count;
       offset += r.position();
     }
     index_built = true;
@@ -371,9 +386,16 @@ struct FieldDecompressor::Impl {
       PredictorState fresh;
       MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &fresh, &pending));
       if (!state.has_initial()) state = std::move(fresh);
-      return Status::OK();
+    } else {
+      MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &state, &pending));
     }
-    return codec.Decode(block, n, &state, &pending);
+    if (pending.empty()) {
+      // Defense in depth: Next() hands out pending[pending_pos] right after
+      // a successful decode, so an empty decode must be an error, never a
+      // silent success.
+      return Status::Corruption("empty block in stream");
+    }
+    return Status::OK();
   }
 
   // Ensures state.initial is populated (decodes the first block once).
@@ -401,6 +423,11 @@ struct FieldDecompressor::Impl {
     pending.clear();
     pending_pos = 0;
     MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &state, &pending));
+    if (pending.empty()) {
+      // A block that decodes to zero snapshots would make Next() index past
+      // the end of `pending`; reject it here instead.
+      return Status::Corruption("empty block in stream");
+    }
     return true;
   }
 };
@@ -473,6 +500,83 @@ Result<bool> FieldDecompressor::Next(std::vector<double>* out) {
   }
   *out = std::move(impl.pending[impl.pending_pos++]);
   return true;
+}
+
+Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
+    ThreadPool* pool) {
+  Impl& impl = *impl_;
+  MDZ_RETURN_IF_ERROR(impl.BuildIndex());
+
+  // Restart any in-progress sequential read: DecodeAll always yields the
+  // whole stream.
+  impl.pending.clear();
+  impl.pending_pos = 0;
+  impl.state = PredictorState();
+  impl.pos = impl.header_end;
+
+  std::vector<std::vector<double>> out;
+  const size_t blocks = impl.index.size();
+  if (blocks == 0) return out;
+
+  const auto& last = impl.index.back();
+  const size_t total = last.first_snapshot + last.s_count;
+  // TI blocks chain on the previous buffer's last snapshot, so they only
+  // decode correctly in stream order. The value-count cap mirrors the block
+  // codec's own limit: a corrupt index that claims an absurd snapshot total
+  // must not trigger a giant up-front allocation — the incremental
+  // sequential path reports the corruption without it.
+  const bool sequential = impl.chained || pool == nullptr || pool->serial() ||
+                          total > (1ull << 31) / impl.n;
+  if (sequential) {
+    while (true) {
+      MDZ_ASSIGN_OR_RETURN(const bool more, impl.DecodeNextBlock());
+      if (!more) break;
+      for (auto& s : impl.pending) out.push_back(std::move(s));
+      impl.pending.clear();
+      impl.pending_pos = 0;
+    }
+    return out;
+  }
+
+  // Non-chained streams: every block is independently decodable given the
+  // stream's initial snapshot (paper Section VI — what makes random access
+  // work also makes block-parallel decoding work). Decode block 0 first to
+  // seed the MT predictor state, then fan the rest out on the pool.
+  MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(0));
+  out.resize(total);
+  for (size_t k = 0; k < impl.pending.size(); ++k) {
+    out[k] = std::move(impl.pending[k]);
+  }
+  impl.pending.clear();
+
+  const std::vector<double> initial = impl.state.initial;
+  std::vector<Status> statuses(blocks);
+  pool->ParallelFor(1, blocks, [&](size_t b) {
+    statuses[b] = [&]() -> Status {
+      ByteReader r(impl.data.subspan(impl.index[b].offset));
+      std::span<const uint8_t> block;
+      MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
+      const BlockCodec codec(impl.abs_eb, impl.scale, impl.layout);
+      PredictorState local;
+      local.initial = initial;  // per-task copy; blocks share no state
+      std::vector<std::vector<double>> decoded;
+      MDZ_RETURN_IF_ERROR(codec.Decode(block, impl.n, &local, &decoded));
+      if (decoded.size() != impl.index[b].s_count) {
+        return Status::Corruption("block decoded to unexpected snapshot count");
+      }
+      for (size_t k = 0; k < decoded.size(); ++k) {
+        out[impl.index[b].first_snapshot + k] = std::move(decoded[k]);
+      }
+      return Status::OK();
+    }();
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  // Leave the decompressor at end of stream for subsequent Next() calls.
+  impl.pos = impl.data.size();
+  return out;
 }
 
 // ---------------------------------------------------------------------------

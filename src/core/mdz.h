@@ -13,6 +13,8 @@
 
 namespace mdz::core {
 
+class ThreadPool;  // core/thread_pool.h
+
 // Prediction strategy (paper Section VI). kAdaptive (ADP) trial-compresses
 // with the candidate methods periodically and keeps the winner.
 enum class Method : uint8_t {
@@ -54,6 +56,11 @@ struct Options {
   // design; turn on for maximum ratio on temporally smooth data.
   bool enable_interpolation = false;
   cluster::LevelFitOptions level_fit;   // VQ level-detection knobs
+  // Optional, non-owning: when set, ADP runs its trial encodes concurrently
+  // on this pool. The candidate order and smallest-output tie-break are
+  // fixed, so the stream stays byte-identical to a serial run. Not part of
+  // the stream format. The pool must outlive the compressor.
+  ThreadPool* pool = nullptr;
 
   Status Validate() const;
 };
@@ -143,6 +150,14 @@ class FieldDecompressor {
   // snapshot k does not require decompressing the k-1 preceding snapshots
   // (paper Section VI: VQ/buffer independence).
   Status SeekToSnapshot(size_t index);
+
+  // Decodes the whole stream in one shot, decoding blocks concurrently on
+  // `pool` when the stream has no TI blocks (TI chains each buffer on the
+  // previous one, which forces sequential decoding). Output is identical to
+  // draining Next(). Resets any in-progress sequential read and leaves the
+  // decompressor positioned at end of stream. A null or serial pool decodes
+  // sequentially.
+  Result<std::vector<std::vector<double>>> DecodeAll(ThreadPool* pool = nullptr);
 
  private:
   FieldDecompressor();

@@ -1,67 +1,65 @@
 #include "core/parallel.h"
 
-#include <thread>
+#include <array>
 
 namespace mdz::core {
 
-namespace {
-
-// Runs fn(axis) for axis 0..2 on three threads and collects the per-axis
-// Status. Exceptions cannot cross (the library is exception-free), so plain
-// joins suffice.
-template <typename Fn>
-Status RunPerAxis(Fn&& fn) {
-  Status statuses[3];
-  std::thread threads[3];
-  for (int axis = 0; axis < 3; ++axis) {
-    threads[axis] = std::thread([axis, &fn, &statuses] {
-      statuses[axis] = fn(axis);
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Result<CompressedTrajectory> CompressTrajectoryParallel(
-    const Trajectory& trajectory, const Options& options) {
+    const Trajectory& trajectory, const Options& options, ThreadPool* pool) {
   if (trajectory.num_snapshots() == 0) {
     return Status::InvalidArgument("empty trajectory");
   }
   MDZ_RETURN_IF_ERROR(options.Validate());
+  ThreadPool& p = (pool != nullptr) ? *pool : ThreadPool::Shared();
+
+  // Axis tasks share the pool with their own ADP trial encodes (nested
+  // ParallelFor is deadlock-free: the submitting thread drains its batch).
+  Options axis_options = options;
+  axis_options.pool = &p;
 
   CompressedTrajectory out;
-  MDZ_RETURN_IF_ERROR(RunPerAxis([&](int axis) -> Status {
-    MDZ_ASSIGN_OR_RETURN(
-        auto compressor,
-        FieldCompressor::Create(trajectory.num_particles(), options));
-    for (const Snapshot& snapshot : trajectory.snapshots) {
-      MDZ_RETURN_IF_ERROR(compressor->Append(snapshot.axes[axis]));
-    }
-    MDZ_RETURN_IF_ERROR(compressor->Finish());
-    out.axes[axis] = compressor->TakeOutput();
-    return Status::OK();
-  }));
+  std::array<Status, 3> statuses;
+  p.ParallelFor(0, 3, [&](size_t axis) {
+    statuses[axis] = [&]() -> Status {
+      MDZ_ASSIGN_OR_RETURN(
+          auto compressor,
+          FieldCompressor::Create(trajectory.num_particles(), axis_options));
+      for (const Snapshot& snapshot : trajectory.snapshots) {
+        MDZ_RETURN_IF_ERROR(compressor->Append(snapshot.axes[axis]));
+      }
+      MDZ_RETURN_IF_ERROR(compressor->Finish());
+      out.axes[axis] = compressor->TakeOutput();
+      return Status::OK();
+    }();
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
   return out;
 }
 
 Result<Trajectory> DecompressTrajectoryParallel(
-    const CompressedTrajectory& compressed) {
-  Trajectory out;
+    const CompressedTrajectory& compressed, ThreadPool* pool) {
+  ThreadPool& p = (pool != nullptr) ? *pool : ThreadPool::Shared();
+
   std::array<std::vector<std::vector<double>>, 3> axes;
-  MDZ_RETURN_IF_ERROR(RunPerAxis([&](int axis) -> Status {
-    MDZ_ASSIGN_OR_RETURN(axes[axis], DecompressField(compressed.axes[axis]));
-    return Status::OK();
-  }));
+  std::array<Status, 3> statuses;
+  p.ParallelFor(0, 3, [&](size_t axis) {
+    statuses[axis] = [&]() -> Status {
+      MDZ_ASSIGN_OR_RETURN(axes[axis],
+                           DecompressFieldParallel(compressed.axes[axis], &p));
+      return Status::OK();
+    }();
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
 
   const size_t m = axes[0].size();
   if (axes[1].size() != m || axes[2].size() != m) {
     return Status::Corruption("axis streams have different snapshot counts");
   }
+  Trajectory out;
   out.snapshots.resize(m);
   for (size_t s = 0; s < m; ++s) {
     for (int axis = 0; axis < 3; ++axis) {
@@ -69,6 +67,13 @@ Result<Trajectory> DecompressTrajectoryParallel(
     }
   }
   return out;
+}
+
+Result<std::vector<std::vector<double>>> DecompressFieldParallel(
+    std::span<const uint8_t> data, ThreadPool* pool) {
+  ThreadPool& p = (pool != nullptr) ? *pool : ThreadPool::Shared();
+  MDZ_ASSIGN_OR_RETURN(auto decompressor, FieldDecompressor::Open(data));
+  return decompressor->DecodeAll(&p);
 }
 
 }  // namespace mdz::core

@@ -1,20 +1,40 @@
 #ifndef MDZ_CORE_PARALLEL_H_
 #define MDZ_CORE_PARALLEL_H_
 
+#include <span>
+#include <vector>
+
 #include "core/mdz.h"
+#include "core/thread_pool.h"
 
 namespace mdz::core {
 
-// Multithreaded trajectory compression/decompression: the three axis streams
-// are independent (paper: per-axis compression), so they compress on
-// separate threads. The output is byte-identical to the serial
-// CompressTrajectory — parallelism changes wall-clock only, never the
+// Multithreaded trajectory compression/decompression on a shared ThreadPool
+// (defaulting to ThreadPool::Shared() when `pool` is null). Three layers of
+// parallelism ride on the same pool:
+//
+//  1. the three axis streams are independent (paper: per-axis compression)
+//     and run as pool tasks;
+//  2. within each axis, ADP trial-compresses its candidate predictors
+//     concurrently (Options::pool is wired up automatically);
+//  3. on decompression, non-chained streams decode their blocks
+//     concurrently via FieldDecompressor::DecodeAll.
+//
+// The output is byte-identical to the serial CompressTrajectory for every
+// method and thread count — parallelism changes wall-clock only, never the
 // format.
 Result<CompressedTrajectory> CompressTrajectoryParallel(
-    const Trajectory& trajectory, const Options& options);
+    const Trajectory& trajectory, const Options& options,
+    ThreadPool* pool = nullptr);
 
 Result<Trajectory> DecompressTrajectoryParallel(
-    const CompressedTrajectory& compressed);
+    const CompressedTrajectory& compressed, ThreadPool* pool = nullptr);
+
+// Decompresses one field stream, decoding blocks concurrently when the
+// stream is not TI-chained (falls back to sequential otherwise). Identical
+// output to DecompressField.
+Result<std::vector<std::vector<double>>> DecompressFieldParallel(
+    std::span<const uint8_t> data, ThreadPool* pool = nullptr);
 
 }  // namespace mdz::core
 

@@ -1,0 +1,132 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace mdz::core {
+
+namespace {
+
+std::mutex& SharedPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& SharedPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = num_threads;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n <= 1) return;  // serial pool: every batch runs on the calling thread
+  workers_.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::ClaimIterationLocked(Batch* batch) {
+  if (batch->next >= batch->end) return batch->end;
+  const size_t i = batch->next++;
+  if (batch->next >= batch->end) {
+    // Last iteration claimed: nothing left for other threads to pick up.
+    std::erase(queue_, batch);
+  }
+  return i;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    // Batches in the queue always have unclaimed iterations (they are
+    // retired the moment their last iteration is claimed).
+    Batch* batch = queue_.front();
+    const size_t i = ClaimIterationLocked(batch);
+    lock.unlock();
+    (*batch->fn)(i);
+    {
+      std::lock_guard<std::mutex> done_lock(batch->done_mu);
+      ++batch->completed;
+      // Notify while holding done_mu: the submitter cannot observe
+      // completion (and destroy the batch) before this thread releases the
+      // lock, so the notify never touches freed memory.
+      batch->done_cv.notify_one();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  if (serial() || count == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.begin = begin;
+  batch.end = end;
+  batch.next = begin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(&batch);
+  }
+  work_cv_.notify_all();
+
+  // The submitting thread drains its own batch alongside the workers; this
+  // is what makes nested ParallelFor calls (pool task fanning out onto the
+  // same pool) deadlock-free.
+  while (true) {
+    size_t i = end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      i = ClaimIterationLocked(&batch);
+    }
+    if (i >= end) break;
+    fn(i);
+    std::lock_guard<std::mutex> done_lock(batch.done_mu);
+    ++batch.completed;
+  }
+
+  // Wait for iterations claimed by workers. The batch left the queue when
+  // its last iteration was claimed, and workers only touch it under done_mu,
+  // so returning (and destroying the batch) afterwards is safe.
+  std::unique_lock<std::mutex> done_lock(batch.done_mu);
+  batch.done_cv.wait(done_lock, [&] { return batch.completed == count; });
+}
+
+void ThreadPool::RunTasks(std::span<const std::function<void()>> tasks) {
+  ParallelFor(0, tasks.size(), [&tasks](size_t i) { tasks[i](); });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  std::lock_guard<std::mutex> lock(SharedPoolMutex());
+  auto& slot = SharedPoolSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::SetSharedPoolThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(SharedPoolMutex());
+  SharedPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace mdz::core

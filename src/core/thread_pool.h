@@ -1,0 +1,93 @@
+#ifndef MDZ_CORE_THREAD_POOL_H_
+#define MDZ_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace mdz::core {
+
+// Fixed-size, exception-free thread pool shared by every parallel code path
+// in the library (per-axis trajectory streams, ADP trial encodes, block-level
+// field decoding). Design constraints, in order:
+//
+//  * No exceptions: tasks are plain callables that report failure through
+//    out-parameters (the library's Status convention); nothing throws across
+//    the pool boundary.
+//  * Nested-safe: ParallelFor/RunTasks may be called from inside a pool task
+//    (an axis task fans out ADP trials onto the same pool). The calling
+//    thread always participates in its own batch, so a batch completes even
+//    if every worker is busy — waiting can never deadlock.
+//  * Deterministic results: the pool only changes *where* iterations run,
+//    never their outcome; callers that need a deterministic reduction (e.g.
+//    ADP's smallest-output winner) combine per-index results in index order
+//    after the batch completes.
+//  * Serial fallback: a pool built with 0 or 1 threads (or when
+//    hardware_concurrency() reports 0 or 1) spawns no workers and runs every
+//    batch inline on the calling thread.
+class ThreadPool {
+ public:
+  // num_threads == 0 picks std::thread::hardware_concurrency(). A resolved
+  // size of 0 or 1 yields a serial pool (no worker threads).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker-thread count; 0 means every batch runs inline (serial pool).
+  size_t num_threads() const { return workers_.size(); }
+  bool serial() const { return workers_.empty(); }
+
+  // Runs fn(i) for every i in [begin, end) and blocks until all iterations
+  // completed. The calling thread executes iterations alongside the workers.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  // Runs every task in `tasks` (blocking, caller participates).
+  void RunTasks(std::span<const std::function<void()>> tasks);
+
+  // Process-wide pool, lazily built with the hardware thread count. Intended
+  // for callers that have no pool of their own (CLI default, benches).
+  static ThreadPool& Shared();
+
+  // Rebuilds the shared pool with `num_threads` workers (0 = hardware).
+  // Must not be called while work is in flight on the shared pool; meant for
+  // process start-up (e.g. the CLI's --threads flag).
+  static void SetSharedPoolThreads(size_t num_threads);
+
+ private:
+  // One ParallelFor call: a half-open index range claimed iteration by
+  // iteration by workers and the submitting thread.
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t next = 0;       // next unclaimed iteration (guarded by pool mu_)
+    size_t completed = 0;  // finished iterations (guarded by done_mu)
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+
+  // Claims the next unclaimed iteration of *batch and retires the batch from
+  // the queue once none remain. Returns batch->end when there is nothing
+  // left to claim. Caller must hold mu_.
+  size_t ClaimIterationLocked(Batch* batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Batch*> queue_;  // batches with unclaimed iterations
+  bool shutdown_ = false;
+};
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_THREAD_POOL_H_

@@ -93,7 +93,7 @@ class ByteReader {
     if (pos_ + n > data_.size()) {
       return Status::Corruption("byte stream truncated (raw bytes)");
     }
-    std::memcpy(out, data_.data() + pos_, n);
+    if (n != 0) std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
     return Status::OK();
   }

@@ -15,11 +15,46 @@
 #include "codec/range_coder.h"
 #include "codec/zfp_like.h"
 #include "core/mdz.h"
+#include "core/parallel.h"
 #include "core/pointwise_relative.h"
+#include "core/thread_pool.h"
+#include "util/byte_buffer.h"
 #include "util/rng.h"
 
 namespace mdz {
 namespace {
+
+std::vector<std::vector<double>> RandomField(size_t m, size_t n,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (auto& s : field) {
+    for (auto& v : s) v = rng.Uniform(-2.0, 2.0);
+  }
+  return field;
+}
+
+// Parses the fixed MDZ stream header (magic, version, N, eb, scale, layout)
+// and returns the byte offset of the first block frame.
+size_t HeaderEnd(const std::vector<uint8_t>& stream) {
+  ByteReader r(stream);
+  char magic[4];
+  uint8_t u8 = 0;
+  uint64_t var = 0;
+  double d = 0.0;
+  EXPECT_TRUE(r.GetBytes(magic, 4).ok());
+  EXPECT_TRUE(r.Get(&u8).ok());       // version
+  EXPECT_TRUE(r.GetVarint(&var).ok());  // particle count
+  EXPECT_TRUE(r.Get(&d).ok());        // absolute error bound
+  EXPECT_TRUE(r.GetVarint(&var).ok());  // quantization scale
+  EXPECT_TRUE(r.Get(&u8).ok());       // layout
+  return r.position();
+}
+
+bool IsDecodeError(const Status& status) {
+  return status.code() == StatusCode::kCorruption ||
+         status.code() == StatusCode::kOutOfRange;
+}
 
 std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_size) {
   std::vector<uint8_t> bytes(1 + rng->UniformInt(max_size));
@@ -107,6 +142,136 @@ TEST(FuzzTest, CorruptedRegionsNeverCrash) {
       mutated[i] = static_cast<uint8_t>(rng.NextU64());
     }
     (void)core::DecompressField(mutated);
+  }
+}
+
+// --- Structured corruptions of the MDZ stream format ------------------------
+// Each case targets a specific framing invariant and asserts the decoder
+// reports Corruption/OutOfRange through every entry point — sequential Next,
+// index-driven CountSnapshots/Seek, and block-parallel DecodeAll — without
+// crashing or reading out of bounds.
+
+// A block frame whose header claims zero snapshots must be rejected: Next()
+// hands out pending[pending_pos] right after a block decode, so an empty
+// decode that slipped through would index past the end of `pending`.
+TEST(FuzzTest, ZeroSnapshotBlockFrameIsCorruption) {
+  core::Options options;
+  options.method = core::Method::kMT;  // block header carries no level model
+  auto compressed = core::CompressField(RandomField(10, 50, 6), options);
+  ASSERT_TRUE(compressed.ok());
+  std::vector<uint8_t> stream = *compressed;
+
+  const size_t frame_start = HeaderEnd(stream);
+  ByteReader frame(std::span<const uint8_t>(stream).subspan(frame_start));
+  uint64_t frame_len = 0;
+  ASSERT_TRUE(frame.GetVarint(&frame_len).ok());
+  // Block layout: method byte, then the snapshot-count varint (10 fits in
+  // one varint byte, so overwriting it with 0 keeps the framing intact).
+  const size_t s_count_pos = frame_start + frame.position() + 1;
+  ASSERT_EQ(stream[s_count_pos], 10);
+  stream[s_count_pos] = 0;
+
+  auto decoded = core::DecompressField(stream);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(IsDecodeError(decoded.status())) << decoded.status().ToString();
+
+  auto decompressor = core::FieldDecompressor::Open(stream);
+  ASSERT_TRUE(decompressor.ok());
+  auto count = (*decompressor)->CountSnapshots();
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kCorruption);
+
+  auto sequential = core::FieldDecompressor::Open(stream);
+  ASSERT_TRUE(sequential.ok());
+  std::vector<double> snapshot;
+  auto next = (*sequential)->Next(&snapshot);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kCorruption);
+
+  core::ThreadPool pool(4);
+  auto parallel = core::DecompressFieldParallel(stream, &pool);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_TRUE(IsDecodeError(parallel.status()));
+}
+
+TEST(FuzzTest, TruncatedFrameVarintIsCorruption) {
+  auto compressed = core::CompressField(RandomField(12, 40, 7), core::Options());
+  ASSERT_TRUE(compressed.ok());
+  // A dangling continuation byte after the last valid frame: the next frame
+  // length varint never terminates.
+  std::vector<uint8_t> stream = *compressed;
+  stream.push_back(0x80);
+  stream.push_back(0x80);
+
+  auto decoded = core::DecompressField(stream);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  auto decompressor = core::FieldDecompressor::Open(stream);
+  ASSERT_TRUE(decompressor.ok());
+  EXPECT_FALSE((*decompressor)->CountSnapshots().ok());
+}
+
+TEST(FuzzTest, OversizedBlobLengthIsCorruption) {
+  auto compressed = core::CompressField(RandomField(10, 30, 8), core::Options());
+  ASSERT_TRUE(compressed.ok());
+  // Replace the block frames with one whose length claims ~1 TB.
+  std::vector<uint8_t> stream(compressed->begin(),
+                              compressed->begin() + HeaderEnd(*compressed));
+  ByteWriter w;
+  w.PutVarint(1ull << 40);
+  w.Put<uint8_t>(0x42);
+  stream.insert(stream.end(), w.bytes().begin(), w.bytes().end());
+
+  auto decoded = core::DecompressField(stream);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  core::ThreadPool pool(2);
+  auto parallel = core::DecompressFieldParallel(stream, &pool);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), StatusCode::kCorruption);
+}
+
+// A failed index build (truncated final frame) must leave the decompressor
+// in a clean state: retrying must not accumulate partial index entries or
+// change the reported error.
+TEST(FuzzTest, IndexBuildIsIdempotentAfterTruncation) {
+  core::Options options;
+  options.buffer_size = 10;
+  auto compressed = core::CompressField(RandomField(20, 60, 9), options);
+  ASSERT_TRUE(compressed.ok());
+  std::vector<uint8_t> truncated(compressed->begin(), compressed->end() - 3);
+
+  auto decompressor = core::FieldDecompressor::Open(truncated);
+  ASSERT_TRUE(decompressor.ok());
+  auto first = (*decompressor)->CountSnapshots();
+  ASSERT_FALSE(first.ok());
+  auto second = (*decompressor)->CountSnapshots();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.status().ToString(), second.status().ToString());
+  EXPECT_FALSE((*decompressor)->SeekToSnapshot(0).ok());
+}
+
+TEST(FuzzTest, MdzTruncationsReturnErrorStatusNeverCrash) {
+  core::Options options;
+  options.buffer_size = 5;
+  auto compressed = core::CompressField(RandomField(23, 45, 10), options);
+  ASSERT_TRUE(compressed.ok());
+  core::ThreadPool pool(2);
+  for (size_t cut = 0; cut < compressed->size(); ++cut) {
+    const std::vector<uint8_t> truncated(compressed->begin(),
+                                         compressed->begin() + cut);
+    auto decoded = core::DecompressField(truncated);
+    if (!decoded.ok()) {
+      EXPECT_TRUE(IsDecodeError(decoded.status()))
+          << "cut=" << cut << ": " << decoded.status().ToString();
+    }
+    auto parallel = core::DecompressFieldParallel(truncated, &pool);
+    if (!parallel.ok()) {
+      EXPECT_TRUE(IsDecodeError(parallel.status()))
+          << "cut=" << cut << ": " << parallel.status().ToString();
+    }
   }
 }
 

@@ -334,6 +334,25 @@ TEST(StreamingTest, StatsAreTracked) {
   EXPECT_GT(stats.compression_ratio(), 1.0);
 }
 
+// Stats must count only snapshots the compressor actually accepted: a
+// rejected Append (wrong size, or after Finish) leaves them untouched.
+TEST(StreamingTest, StatsCountOnlyAcceptedSnapshots) {
+  auto compressor = FieldCompressor::Create(50, Options());
+  ASSERT_TRUE(compressor.ok());
+  std::vector<double> snapshot(50, 1.5);
+  ASSERT_TRUE((*compressor)->Append(snapshot).ok());
+
+  std::vector<double> wrong_size(51, 1.5);
+  EXPECT_FALSE((*compressor)->Append(wrong_size).ok());
+  EXPECT_EQ((*compressor)->stats().snapshots_in, 1u);
+  EXPECT_EQ((*compressor)->stats().raw_bytes, 50u * sizeof(double));
+
+  ASSERT_TRUE((*compressor)->Finish().ok());
+  EXPECT_FALSE((*compressor)->Append(snapshot).ok());
+  EXPECT_EQ((*compressor)->stats().snapshots_in, 1u);
+  EXPECT_EQ((*compressor)->stats().raw_bytes, 50u * sizeof(double));
+}
+
 // --- Edge cases -------------------------------------------------------------------
 
 TEST(MdzTest, SingleSnapshot) {

@@ -4,6 +4,7 @@
 
 #include "core/mdz.h"
 #include "core/parallel.h"
+#include "core/thread_pool.h"
 #include "util/rng.h"
 
 namespace mdz::core {
@@ -57,6 +58,103 @@ TEST(ParallelTest, ParallelRoundTrip) {
                 serial_decoded->snapshots[s].axes[axis]);
     }
   }
+}
+
+// The pool engine must never change the stream: every method (including the
+// adaptive selector with the TI extension in its candidate set, whose trial
+// encodes run concurrently) must produce byte-identical output at every
+// thread count.
+TEST(ParallelTest, ByteIdenticalToSerialAcrossThreadCounts) {
+  const Trajectory traj = MakeTrajectory(30, 120, 6);
+  struct Config {
+    Method method;
+    bool interp;
+  };
+  const Config configs[] = {{Method::kVQ, false},      {Method::kVQT, false},
+                            {Method::kMT, false},      {Method::kTI, false},
+                            {Method::kAdaptive, false}, {Method::kAdaptive, true}};
+  for (const Config& config : configs) {
+    Options options;
+    options.method = config.method;
+    options.enable_interpolation = config.interp;
+    options.adaptation_interval = 2;  // several ADP trial rounds per stream
+    auto serial = CompressTrajectory(traj, options);
+    ASSERT_TRUE(serial.ok());
+    auto serial_decoded = DecompressTrajectory(*serial);
+    ASSERT_TRUE(serial_decoded.ok());
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ThreadPool pool(threads);
+      auto parallel = CompressTrajectoryParallel(traj, options, &pool);
+      ASSERT_TRUE(parallel.ok());
+      for (int axis = 0; axis < 3; ++axis) {
+        EXPECT_EQ(serial->axes[axis], parallel->axes[axis])
+            << MethodName(config.method) << (config.interp ? "+interp" : "")
+            << " axis " << axis << " threads " << threads;
+      }
+      auto decoded = DecompressTrajectoryParallel(*parallel, &pool);
+      ASSERT_TRUE(decoded.ok());
+      ASSERT_EQ(decoded->num_snapshots(), serial_decoded->num_snapshots());
+      for (size_t s = 0; s < decoded->num_snapshots(); ++s) {
+        for (int axis = 0; axis < 3; ++axis) {
+          EXPECT_EQ(decoded->snapshots[s].axes[axis],
+                    serial_decoded->snapshots[s].axes[axis]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, FieldParallelDecodeMatchesSequential) {
+  Rng rng(7);
+  std::vector<std::vector<double>> field(37, std::vector<double>(90));
+  for (auto& s : field) {
+    for (auto& v : s) v = rng.Uniform(-5.0, 5.0);
+  }
+  ThreadPool pool(4);
+  for (Method method : {Method::kVQ, Method::kMT, Method::kTI}) {
+    Options options;
+    options.method = method;
+    options.buffer_size = 5;  // several independently decodable blocks
+    auto compressed = CompressField(field, options);
+    ASSERT_TRUE(compressed.ok()) << MethodName(method);
+    auto sequential = DecompressField(*compressed);
+    ASSERT_TRUE(sequential.ok());
+    // TI chains buffers, so this also covers the sequential fallback.
+    auto parallel = DecompressFieldParallel(*compressed, &pool);
+    ASSERT_TRUE(parallel.ok()) << MethodName(method);
+    EXPECT_EQ(*sequential, *parallel) << MethodName(method);
+  }
+}
+
+TEST(ParallelTest, DecodeAllRestartsPartialSequentialRead) {
+  Rng rng(8);
+  std::vector<std::vector<double>> field(20, std::vector<double>(40));
+  for (auto& s : field) {
+    for (auto& v : s) v = rng.Uniform(0.0, 4.0);
+  }
+  Options options;
+  options.buffer_size = 4;
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+
+  ThreadPool pool(2);
+  auto decompressor = FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  std::vector<double> snapshot;
+  for (int i = 0; i < 3; ++i) {
+    auto more = (*decompressor)->Next(&snapshot);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+  }
+  // DecodeAll yields the whole stream regardless of the reads above, and
+  // leaves the decompressor exhausted.
+  auto all = (*decompressor)->DecodeAll(&pool);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+  auto more = (*decompressor)->Next(&snapshot);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
 }
 
 TEST(ParallelTest, EmptyTrajectoryIsError) {

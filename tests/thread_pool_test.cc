@@ -1,0 +1,84 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mdz::core {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.serial());
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_threads(), 8u);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubrangeAndEmptyRange) {
+  ThreadPool pool(4);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // An axis task fanning ADP trials onto the same pool is exactly this
+  // shape; the submitting thread must drain its own batch.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 3, kInner = 5;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(0, kOuter, [&](size_t outer) {
+    pool.ParallelFor(0, kInner, [&](size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyBatchesReuseTheSameWorkers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 16, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 16u);
+}
+
+TEST(ThreadPoolTest, RunTasksRunsEveryTask) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(7);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.RunTasks(tasks);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SharedPoolCanBeResized) {
+  ThreadPool::SetSharedPoolThreads(2);
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), 2u);
+  ThreadPool::SetSharedPoolThreads(1);
+  EXPECT_TRUE(ThreadPool::Shared().serial());
+  // Restore the hardware default for the rest of the test binary.
+  ThreadPool::SetSharedPoolThreads(0);
+}
+
+}  // namespace
+}  // namespace mdz::core

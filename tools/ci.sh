@@ -1,0 +1,42 @@
+#!/bin/sh
+# Sanitizer CI matrix for the MDZ tree.
+#
+#   tools/ci.sh [build-root]
+#
+# Builds and tests three configurations (one build tree each under the
+# build root, default ./build-ci):
+#   address    full ctest suite under AddressSanitizer
+#   undefined  full ctest suite under UndefinedBehaviorSanitizer
+#   thread     thread-pool, parallel, and fuzz tests under ThreadSanitizer
+#
+# The thread configuration runs only the concurrency-relevant binaries:
+# TSan's false-sharing-free runtime makes the full suite needlessly slow,
+# and the remaining tests are single-threaded by construction.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-${ROOT}/build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  san="$1"
+  shift
+  build="${BUILD_ROOT}/${san}"
+  echo "=== [${san}] configure + build ==="
+  cmake -B "${build}" -S "${ROOT}" -DMDZ_SANITIZE="${san}" >/dev/null
+  cmake --build "${build}" -j "${JOBS}"
+  echo "=== [${san}] test ==="
+  "$@"
+}
+
+run_config address \
+  sh -c "cd '${BUILD_ROOT}/address' && ctest --output-on-failure -j '${JOBS}'"
+
+run_config undefined \
+  sh -c "cd '${BUILD_ROOT}/undefined' && ctest --output-on-failure -j '${JOBS}'"
+
+run_config thread \
+  "${BUILD_ROOT}/thread/tests/mdz_tests" \
+  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*'
+
+echo "=== sanitizer matrix passed ==="
