@@ -17,6 +17,8 @@
 #include "core/mdz.h"
 #include "core/trajectory.h"
 #include "datagen/generators.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace mdz::bench {
@@ -191,6 +193,21 @@ inline CrMatched MatchCompressionRatio(
     }
   }
   return best;
+}
+
+// Writes the global metrics registry (the telemetry a bench accumulated
+// while running with obs::SetEnabled(true)) as BENCH_<name>.json in the
+// working directory, so bench output is machine-readable alongside the
+// printed table. Returns the path; failures warn but don't kill the bench.
+inline std::string EmitMetricsJson(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  const Status s =
+      obs::WriteJsonFile(obs::MetricsRegistry::Global(), path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  }
+  return path;
 }
 
 }  // namespace mdz::bench

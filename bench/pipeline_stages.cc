@@ -1,0 +1,107 @@
+// Pipeline-stage breakdown (not a paper exhibit): where the compressed bytes
+// and the compression wall time go, per dataset. Runs the full compressor
+// with telemetry on, prints the per-stage byte split from CompressorStats
+// plus the hottest timing spans, and emits the whole metrics snapshot as
+// BENCH_pipeline.json for downstream tooling (tools/check_telemetry.sh
+// validates the same schema).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace mdz::bench {
+namespace {
+
+struct DatasetRow {
+  std::string name;
+  core::CompressorStats totals;
+  size_t raw_bytes = 0;
+};
+
+DatasetRow RunDataset(const std::string& name) {
+  DatasetRow row;
+  row.name = name;
+  const core::Trajectory traj = LoadDataset(name);
+  row.raw_bytes = traj.raw_bytes();
+
+  core::Options options;
+  options.telemetry = true;
+  for (int axis = 0; axis < 3; ++axis) {
+    auto compressor =
+        core::FieldCompressor::Create(traj.num_particles(), options);
+    if (!compressor.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   compressor.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (const auto& snap : traj.snapshots) {
+      (void)(*compressor)->Append(snap.axes[axis]);
+    }
+    (void)(*compressor)->Finish();
+    const core::CompressorStats& s = (*compressor)->stats();
+    row.totals.compressed_bytes += s.compressed_bytes;
+    row.totals.huffman_bytes += s.huffman_bytes;
+    row.totals.main_lz_bytes += s.main_lz_bytes;
+    row.totals.side_lz_bytes += s.side_lz_bytes;
+    row.totals.framing_bytes += s.framing_bytes;
+    row.totals.escape_count += s.escape_count;
+    row.totals.blocks_vq += s.blocks_vq;
+    row.totals.blocks_vqt += s.blocks_vqt;
+    row.totals.blocks_mt += s.blocks_mt;
+    row.totals.blocks_ti += s.blocks_ti;
+  }
+  return row;
+}
+
+std::string Pct(size_t part, size_t whole) {
+  return whole == 0 ? "0.0" : Fmt(100.0 * part / whole, 1);
+}
+
+int Main() {
+  obs::SetEnabled(true);
+
+  const std::vector<std::string> datasets = {"Copper-B", "Helium-A", "LJ"};
+  TablePrinter table({"Dataset", "Ratio", "MainLZ%", "SideLZ%", "Frame%",
+                      "Huff/LZ", "VQ", "VQT", "MT"},
+                     10);
+  table.PrintHeader();
+  for (const auto& name : datasets) {
+    const DatasetRow row = RunDataset(name);
+    const core::CompressorStats& t = row.totals;
+    table.PrintRow({
+        row.name,
+        Fmt(static_cast<double>(row.raw_bytes) / t.compressed_bytes, 1),
+        Pct(t.main_lz_bytes, t.compressed_bytes),
+        Pct(t.side_lz_bytes, t.compressed_bytes),
+        Pct(t.framing_bytes, t.compressed_bytes),
+        // Dictionary-stage gain over the entropy stage alone.
+        Fmt(t.main_lz_bytes == 0
+                ? 0.0
+                : static_cast<double>(t.huffman_bytes) / t.main_lz_bytes,
+            2),
+        std::to_string(t.blocks_vq),
+        std::to_string(t.blocks_vqt),
+        std::to_string(t.blocks_mt),
+    });
+  }
+
+  std::printf("\nTiming spans (seconds, across all datasets):\n");
+  std::printf("%-64s %8s %10s\n", "Span", "Count", "Total_s");
+  const auto snapshot = obs::MetricsRegistry::Global().Collect();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name.rfind("span/", 0) != 0 || h.count == 0) continue;
+    std::printf("%-64s %8llu %10s\n", h.name.substr(5).c_str(),
+                static_cast<unsigned long long>(h.count),
+                Fmt(h.sum, 4).c_str());
+  }
+
+  const std::string json = EmitMetricsJson("pipeline");
+  std::printf("\nmetrics snapshot: %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdz::bench
+
+int main() { return mdz::bench::Main(); }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace mdz::cluster {
@@ -152,6 +153,7 @@ Result<KMeansResult> OptimalKMeans1D(std::span<const double> data, int k) {
 
 Result<LevelFit> FitLevels(std::span<const double> data,
                            const LevelFitOptions& options) {
+  MDZ_SPAN("kmeans_fit");
   if (data.empty()) {
     return Status::InvalidArgument("level fit input is empty");
   }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/span.h"
 #include "util/bit_stream.h"
 #include "util/byte_buffer.h"
 
@@ -310,6 +311,7 @@ double ShannonEntropyBits(std::span<const uint64_t> freqs) {
 
 std::vector<uint8_t> HuffmanEncode(std::span<const uint32_t> symbols,
                                    uint32_t alphabet_size) {
+  MDZ_SPAN("huffman");
   std::vector<uint64_t> freqs(alphabet_size, 0);
   for (uint32_t s : symbols) ++freqs[s];
 
@@ -335,6 +337,7 @@ std::vector<uint8_t> HuffmanEncode(std::span<const uint32_t> symbols,
 
 Status HuffmanDecode(std::span<const uint8_t> data,
                      std::vector<uint32_t>* out) {
+  MDZ_SPAN("huffman");
   ByteReader top(data);
   std::span<const uint8_t> header_bytes;
   MDZ_RETURN_IF_ERROR(top.GetBlob(&header_bytes));

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "codec/huffman.h"
+#include "obs/span.h"
 #include "util/byte_buffer.h"
 
 namespace mdz::codec {
@@ -70,6 +71,7 @@ LzOptions BrotliLikeOptions() {
 
 std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
                                 const LzOptions& options) {
+  MDZ_SPAN("lz_compress");
   const size_t n = input.size();
   const uint8_t* base = input.data();
   const size_t window = size_t{1} << options.window_log;
@@ -171,6 +173,7 @@ std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
 }
 
 Status LzDecompress(std::span<const uint8_t> data, std::vector<uint8_t>* out) {
+  MDZ_SPAN("lz_decompress");
   ByteReader top(data);
   uint64_t n = 0;
   MDZ_RETURN_IF_ERROR(top.GetVarint(&n));

@@ -5,6 +5,7 @@
 
 #include "codec/huffman.h"
 #include "codec/lz.h"
+#include "obs/span.h"
 #include "quant/quantizer.h"
 #include "util/byte_buffer.h"
 
@@ -140,6 +141,7 @@ EncodedBlock BlockCodec::Encode(Method method,
                                 std::span<const std::vector<double>> buffer,
                                 const PredictorState& state,
                                 const LevelModel& levels) const {
+  MDZ_SPAN("encode_block");
   const size_t s_count = buffer.size();
   const size_t n = s_count == 0 ? 0 : buffer[0].size();
   const quant::LinearQuantizer quantizer(abs_eb_, scale_);
@@ -191,16 +193,21 @@ EncodedBlock BlockCodec::Encode(Method method,
   };
 
   switch (method) {
-    case Method::kVQ:
+    case Method::kVQ: {
+      MDZ_SPAN("predict_vq");
       for (size_t s = 0; s < s_count; ++s) encode_vq_snapshot(s);
       break;
-    case Method::kVQT:
+    }
+    case Method::kVQT: {
+      MDZ_SPAN("predict_vqt");
       if (s_count > 0) encode_vq_snapshot(0);
       for (size_t s = 1; s < s_count; ++s) {
         encode_time_snapshot(s, decoded[s - 1]);
       }
       break;
-    case Method::kMT:
+    }
+    case Method::kMT: {
+      MDZ_SPAN("predict_mt");
       if (s_count > 0) {
         if (state.has_initial()) {
           encode_time_snapshot(0, state.initial);
@@ -216,7 +223,9 @@ EncodedBlock BlockCodec::Encode(Method method,
         encode_time_snapshot(s, decoded[s - 1]);
       }
       break;
+    }
     case Method::kTI: {
+      MDZ_SPAN("predict_ti");
       if (s_count > 0) {
         if (state.has_prev_last()) {
           encode_time_snapshot(0, state.prev_last);  // cross-buffer chain
@@ -254,53 +263,75 @@ EncodedBlock BlockCodec::Encode(Method method,
   //          when long runs of identical codes dominate (temporally stable
   //          data in the Seq-2 layout), which bit-packed Huffman would hide.
   std::vector<uint32_t> laid_storage;
-  if (method == Method::kTI && s_count > 1) {
-    const std::vector<size_t> perm = TiPermutation(s_count, n);
-    laid_storage.resize(bins.size());
-    for (size_t k = 0; k < perm.size(); ++k) laid_storage[k] = bins[perm[k]];
-  } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
-    laid_storage = ToParticleMajor(bins, s_count, n);
+  {
+    MDZ_SPAN("reorder");
+    if (method == Method::kTI && s_count > 1) {
+      const std::vector<size_t> perm = TiPermutation(s_count, n);
+      laid_storage.resize(bins.size());
+      for (size_t k = 0; k < perm.size(); ++k) laid_storage[k] = bins[perm[k]];
+    } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
+      laid_storage = ToParticleMajor(bins, s_count, n);
+    }
   }
   const std::vector<uint32_t>& laid =
       laid_storage.empty() ? bins : laid_storage;
   std::vector<uint8_t> jhuff;
-  if (!jcodes.empty()) jhuff = codec::HuffmanEncode(jcodes, kJAlphabet);
-
-  const std::vector<uint8_t> bhuff = codec::HuffmanEncode(laid, scale_);
-  ByteWriter main0;
-  main0.PutBlob(jhuff);
-  main0.PutBytes(bhuff.data(), bhuff.size());
-  std::vector<uint8_t> main_lz = codec::LzCompress(main0.bytes());
-  uint8_t b_mode = 0;
+  std::vector<uint8_t> bhuff;
+  {
+    MDZ_SPAN("huffman_encode");
+    if (!jcodes.empty()) jhuff = codec::HuffmanEncode(jcodes, kJAlphabet);
+    bhuff = codec::HuffmanEncode(laid, scale_);
+  }
 
   // Run structure only pays off when one code dominates; skip the second
-  // candidate otherwise to keep compression throughput high.
+  // candidate otherwise to keep compression throughput high. The same
+  // histogram pass yields the quantization-bin entropy for telemetry.
   size_t dominant = 0;
+  double entropy_bits = 0.0;
   if (!laid.empty()) {
     std::vector<uint32_t> histogram(scale_, 0);
     for (uint32_t code : laid) ++histogram[code];
+    const double total = static_cast<double>(laid.size());
     for (uint32_t count : histogram) {
       dominant = std::max<size_t>(dominant, count);
-    }
-  }
-  const bool try_packed =
-      !laid.empty() && dominant * 2 > laid.size() && scale_ <= (1u << 16);
-  if (try_packed) {
-    ByteWriter main1;
-    main1.PutBlob(jhuff);
-    for (uint32_t code : laid) main1.Put<uint16_t>(static_cast<uint16_t>(code));
-    std::vector<uint8_t> packed_lz = codec::LzCompress(main1.bytes());
-    if (packed_lz.size() < main_lz.size()) {
-      main_lz = std::move(packed_lz);
-      b_mode = 1;
+      if (count > 0) {
+        const double p = count / total;
+        entropy_bits -= p * std::log2(p);
+      }
     }
   }
 
-  ByteWriter side;
-  side.PutVarint(escape_count);
-  side.PutBytes(escapes.bytes().data(), escapes.size());
-  side.PutBlob(j_extras.bytes());
-  const std::vector<uint8_t> side_lz = codec::LzCompress(side.bytes());
+  std::vector<uint8_t> main_lz;
+  std::vector<uint8_t> side_lz;
+  uint8_t b_mode = 0;
+  {
+    MDZ_SPAN("lossless_backend");
+    ByteWriter main0;
+    main0.PutBlob(jhuff);
+    main0.PutBytes(bhuff.data(), bhuff.size());
+    main_lz = codec::LzCompress(main0.bytes());
+
+    const bool try_packed =
+        !laid.empty() && dominant * 2 > laid.size() && scale_ <= (1u << 16);
+    if (try_packed) {
+      ByteWriter main1;
+      main1.PutBlob(jhuff);
+      for (uint32_t code : laid) {
+        main1.Put<uint16_t>(static_cast<uint16_t>(code));
+      }
+      std::vector<uint8_t> packed_lz = codec::LzCompress(main1.bytes());
+      if (packed_lz.size() < main_lz.size()) {
+        main_lz = std::move(packed_lz);
+        b_mode = 1;
+      }
+    }
+
+    ByteWriter side;
+    side.PutVarint(escape_count);
+    side.PutBytes(escapes.bytes().data(), escapes.size());
+    side.PutBlob(j_extras.bytes());
+    side_lz = codec::LzCompress(side.bytes());
+  }
 
   EncodedBlock block;
   ByteWriter out;
@@ -315,6 +346,10 @@ EncodedBlock BlockCodec::Encode(Method method,
   out.PutBlob(main_lz);
   block.bytes = out.TakeBytes();
   block.escape_count = escape_count;
+  block.huffman_bytes = jhuff.size() + bhuff.size();
+  block.main_lz_bytes = main_lz.size();
+  block.side_lz_bytes = side_lz.size();
+  block.bin_entropy_bits = entropy_bits;
 
   block.end_state = state;
   if (!state.has_initial() && s_count > 0) {
@@ -327,6 +362,7 @@ EncodedBlock BlockCodec::Encode(Method method,
 Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
                           PredictorState* state,
                           std::vector<std::vector<double>>* out) const {
+  MDZ_SPAN("decode_block");
   ByteReader r(bytes);
   uint8_t method_byte = 0;
   MDZ_RETURN_IF_ERROR(r.Get(&method_byte));

@@ -37,6 +37,18 @@ struct EncodedBlock {
   std::vector<uint8_t> bytes;
   PredictorState end_state;
   size_t escape_count = 0;
+
+  // Pipeline-stage accounting for this block (observability; not part of
+  // the stream). huffman_bytes is measured before the dictionary stage;
+  // main_lz_bytes + side_lz_bytes plus the block's header/framing bytes sum
+  // to bytes.size().
+  size_t huffman_bytes = 0;  // Huffman(B) + Huffman(J) output, pre-LZ
+  size_t main_lz_bytes = 0;  // dictionary-coded main payload blob
+  size_t side_lz_bytes = 0;  // dictionary-coded side channel blob
+  // Shannon entropy of the laid-out quantization codes, bits/symbol
+  // (escape symbol included). A cheap byproduct of the run-structure
+  // histogram the backend already builds.
+  double bin_entropy_bits = 0.0;
 };
 
 // The fixed prefix of every encoded block: method byte + snapshot count.

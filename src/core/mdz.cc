@@ -7,6 +7,9 @@
 
 #include "core/block_codec.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "util/byte_buffer.h"
 
 namespace mdz::core {
@@ -20,6 +23,23 @@ using internal::BlockCodec;
 using internal::EncodedBlock;
 using internal::LevelModel;
 using internal::PredictorState;
+
+// Registry counter name for the per-method block tally.
+const char* BlocksCounterName(Method method) {
+  switch (method) {
+    case Method::kVQ:
+      return "compress/blocks_vq";
+    case Method::kVQT:
+      return "compress/blocks_vqt";
+    case Method::kMT:
+      return "compress/blocks_mt";
+    case Method::kTI:
+      return "compress/blocks_ti";
+    case Method::kAdaptive:
+      break;
+  }
+  return "compress/blocks_unknown";
+}
 
 }  // namespace
 
@@ -115,12 +135,14 @@ struct FieldCompressor::Impl {
     w.Put<uint8_t>(static_cast<uint8_t>(options.layout));
     const std::vector<uint8_t> header = w.TakeBytes();
     output.insert(output.end(), header.begin(), header.end());
+    stats.framing_bytes += header.size();
     header_written = true;
     return Status::OK();
   }
 
   void EnsureLevels() {
     if (levels_computed || buffer.empty()) return;
+    MDZ_SPAN("level_fit");
     // Paper: the k-means level model is computed once, on (a 10% sample of)
     // the first snapshot of the simulation, and reused afterwards.
     auto fit = cluster::FitLevels(buffer[0], options.level_fit);
@@ -140,6 +162,7 @@ struct FieldCompressor::Impl {
 
   Status FlushBuffer() {
     if (buffer.empty()) return Status::OK();
+    MDZ_SPAN("flush_buffer");
     MDZ_RETURN_IF_ERROR(EnsureHeader());
     EnsureLevels();
 
@@ -147,6 +170,8 @@ struct FieldCompressor::Impl {
 
     EncodedBlock chosen;
     Method chosen_method;
+    bool adapted = false;
+    std::array<uint64_t, 4> trial_bytes{};  // VQ, VQT, MT, TI
     if (options.method != Method::kAdaptive) {
       chosen_method = options.method;
       chosen = codec.Encode(chosen_method, buffer, state, levels);
@@ -173,6 +198,7 @@ struct FieldCompressor::Impl {
         }
         std::vector<EncodedBlock> trials(candidates.size());
         const auto encode_trial = [&](size_t k) {
+          MDZ_SPAN("adp_trial");
           trials[k] = codec.Encode(candidates[k], buffer, state, levels);
         };
         if (options.pool != nullptr && !options.pool->serial()) {
@@ -183,6 +209,11 @@ struct FieldCompressor::Impl {
         size_t best = 0;
         for (size_t k = 1; k < trials.size(); ++k) {
           if (trials[k].bytes.size() < trials[best].bytes.size()) best = k;
+        }
+        adapted = true;
+        // Candidate order matches the trace schema's (VQ, VQT, MT, TI).
+        for (size_t k = 0; k < trials.size() && k < trial_bytes.size(); ++k) {
+          trial_bytes[k] = trials[k].bytes.size();
         }
         chosen = std::move(trials[best]);
         chosen_method = candidates[best];
@@ -208,6 +239,54 @@ struct FieldCompressor::Impl {
     ++stats.buffers_out;
     stats.compressed_bytes = output.size();
     stats.current_method = chosen_method;
+    switch (chosen_method) {
+      case Method::kVQ:
+        ++stats.blocks_vq;
+        break;
+      case Method::kVQT:
+        ++stats.blocks_vqt;
+        break;
+      case Method::kMT:
+        ++stats.blocks_mt;
+        break;
+      case Method::kTI:
+        ++stats.blocks_ti;
+        break;
+      case Method::kAdaptive:
+        break;  // never a concrete block method
+    }
+    stats.huffman_bytes += chosen.huffman_bytes;
+    stats.main_lz_bytes += chosen.main_lz_bytes;
+    stats.side_lz_bytes += chosen.side_lz_bytes;
+    // Everything in the frame that is not one of the two LZ blobs is
+    // framing: length varints, method byte, snapshot count, level model.
+    stats.framing_bytes +=
+        last_block_bytes - chosen.main_lz_bytes - chosen.side_lz_bytes;
+
+    const size_t s_count = buffer.size();
+    if (options.telemetry) {
+      if (obs::Enabled()) {
+        auto& registry = obs::MetricsRegistry::Global();
+        registry.GetCounter("compress/blocks")->Increment();
+        registry.GetCounter(BlocksCounterName(chosen_method))->Increment();
+        registry.GetCounter("compress/bytes_out")->Add(last_block_bytes);
+        registry.GetCounter("compress/escapes")->Add(chosen.escape_count);
+        if (adapted) registry.GetCounter("compress/adaptations")->Increment();
+      }
+      if (options.trace != nullptr) {
+        obs::BlockTrace trace;
+        trace.axis = options.trace_axis;
+        trace.block_index = stats.buffers_out - 1;
+        trace.method = MethodName(chosen_method).data();
+        trace.snapshots = s_count;
+        trace.block_bytes = last_block_bytes;
+        trace.escape_count = chosen.escape_count;
+        trace.bin_entropy_bits = chosen.bin_entropy_bits;
+        trace.adapted = adapted;
+        trace.trial_bytes = trial_bytes;
+        options.trace->Record(trace);
+      }
+    }
     buffer.clear();
     return Status::OK();
   }
@@ -225,6 +304,9 @@ Result<std::unique_ptr<FieldCompressor>> FieldCompressor::Create(
   auto compressor = std::unique_ptr<FieldCompressor>(new FieldCompressor());
   compressor->impl_->n = num_particles;
   compressor->impl_->options = options;
+  // One switch for callers: asking for telemetry on a compressor lights up
+  // the process-wide instrumentation (spans, pool gauges) as well.
+  if (options.telemetry) obs::SetEnabled(true);
   return compressor;
 }
 
@@ -256,6 +338,12 @@ Status FieldCompressor::Finish() {
   MDZ_RETURN_IF_ERROR(impl.EnsureHeader());  // empty stream still gets header
   impl.finished = true;
   impl.stats.compressed_bytes = impl.output.size();
+  if (impl.options.telemetry && obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("compress/snapshots_in")->Add(impl.stats.snapshots_in);
+    registry.GetCounter("compress/bytes_raw")->Add(impl.stats.raw_bytes);
+    registry.GetCounter("compress/streams")->Increment();
+  }
   return Status::OK();
 }
 
@@ -293,12 +381,15 @@ struct FieldDecompressor::Impl {
   PredictorState state;
   std::vector<std::vector<double>> pending;  // decoded, not yet handed out
   size_t pending_pos = 0;
+  DecompressorStats dstats;
 
   // Lazily built random-access index.
   struct BlockEntry {
     size_t offset;          // byte offset of the framed block
+    size_t frame_bytes;     // framing varint + payload
     size_t first_snapshot;  // global index of its first snapshot
     size_t s_count;
+    Method method;
   };
   std::vector<BlockEntry> index;
   bool index_built = false;
@@ -363,12 +454,40 @@ struct FieldDecompressor::Impl {
       MDZ_ASSIGN_OR_RETURN(const internal::BlockHeader header,
                            internal::PeekBlockHeader(block));
       if (header.method == Method::kTI) chained = true;
-      index.push_back({offset, snapshot, header.s_count});
+      index.push_back(
+          {offset, r.position(), snapshot, header.s_count, header.method});
       snapshot += header.s_count;
       offset += r.position();
     }
     index_built = true;
     return Status::OK();
+  }
+
+  // Records one decoded block payload. Not thread-safe: the parallel
+  // DecodeAll path aggregates its workers' blocks from the owner thread.
+  void AccountDecode(size_t frame_bytes, size_t snapshots) {
+    ++dstats.blocks_decoded;
+    dstats.snapshots_decoded += snapshots;
+    dstats.bytes_in += frame_bytes;
+    dstats.bytes_out += snapshots * n * sizeof(double);
+    if (obs::Enabled()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("decompress/blocks")->Increment();
+      registry.GetCounter("decompress/snapshots")->Add(snapshots);
+      registry.GetCounter("decompress/bytes_in")->Add(frame_bytes);
+      registry.GetCounter("decompress/bytes_out")
+          ->Add(snapshots * n * sizeof(double));
+    }
+  }
+
+  // Funnel for statuses leaving the public API: tallies Corruption errors so
+  // callers can see how often a stream failed validation.
+  Status Track(Status s) {
+    if (!s.ok() && s.code() == StatusCode::kCorruption) {
+      ++dstats.corruption_errors;
+      MDZ_COUNTER_ADD("decompress/corruption_errors", 1);
+    }
+    return s;
   }
 
   // Decodes the block at index[i] into `pending` (clears it first).
@@ -395,6 +514,7 @@ struct FieldDecompressor::Impl {
       // silent success.
       return Status::Corruption("empty block in stream");
     }
+    AccountDecode(index[i].frame_bytes, pending.size());
     return Status::OK();
   }
 
@@ -408,7 +528,9 @@ struct FieldDecompressor::Impl {
     std::span<const uint8_t> block;
     MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
     const BlockCodec codec(abs_eb, scale, layout);
-    return codec.Decode(block, n, &state, &scratch);
+    MDZ_RETURN_IF_ERROR(codec.Decode(block, n, &state, &scratch));
+    AccountDecode(index[0].frame_bytes, scratch.size());
+    return Status::OK();
   }
 
   // Decodes the next block into `pending`; returns false at end of stream.
@@ -417,7 +539,8 @@ struct FieldDecompressor::Impl {
     ByteReader r(data.subspan(pos));
     std::span<const uint8_t> block;
     MDZ_RETURN_IF_ERROR(r.GetBlob(&block));
-    pos += r.position();
+    const size_t frame_bytes = r.position();
+    pos += frame_bytes;
 
     const BlockCodec codec(abs_eb, scale, layout);
     pending.clear();
@@ -428,6 +551,7 @@ struct FieldDecompressor::Impl {
       // the end of `pending`; reject it here instead.
       return Status::Corruption("empty block in stream");
     }
+    AccountDecode(frame_bytes, pending.size());
     return true;
   }
 };
@@ -450,17 +574,33 @@ double FieldDecompressor::absolute_error_bound() const {
   return impl_->abs_eb;
 }
 
+const DecompressorStats& FieldDecompressor::stats() const {
+  return impl_->dstats;
+}
+
 Result<size_t> FieldDecompressor::CountSnapshots() {
-  MDZ_RETURN_IF_ERROR(impl_->BuildIndex());
+  MDZ_RETURN_IF_ERROR(impl_->Track(impl_->BuildIndex()));
   if (impl_->index.empty()) return size_t{0};
   const auto& last = impl_->index.back();
   return last.first_snapshot + last.s_count;
 }
 
+Result<std::vector<FieldDecompressor::BlockInfo>>
+FieldDecompressor::ListBlocks() {
+  MDZ_RETURN_IF_ERROR(impl_->Track(impl_->BuildIndex()));
+  std::vector<BlockInfo> out;
+  out.reserve(impl_->index.size());
+  for (const auto& entry : impl_->index) {
+    out.push_back({entry.offset, entry.frame_bytes, entry.first_snapshot,
+                   entry.s_count, entry.method});
+  }
+  return out;
+}
+
 Status FieldDecompressor::SeekToSnapshot(size_t index) {
   Impl& impl = *impl_;
-  MDZ_RETURN_IF_ERROR(impl.BuildIndex());
-  MDZ_RETURN_IF_ERROR(impl.EnsureInitialState());
+  MDZ_RETURN_IF_ERROR(impl.Track(impl.BuildIndex()));
+  MDZ_RETURN_IF_ERROR(impl.Track(impl.EnsureInitialState()));
 
   // Binary search for the block containing `index`.
   size_t lo = 0, hi = impl.index.size();
@@ -481,10 +621,10 @@ Status FieldDecompressor::SeekToSnapshot(size_t index) {
     // fresh state (correct but sequential — the price of interpolation).
     impl.state = internal::PredictorState();
     for (size_t k = 0; k < lo; ++k) {
-      MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(k));
+      MDZ_RETURN_IF_ERROR(impl.Track(impl.DecodeBlockAt(k)));
     }
   }
-  MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(lo));
+  MDZ_RETURN_IF_ERROR(impl.Track(impl.DecodeBlockAt(lo)));
   impl.pending_pos = index - impl.index[lo].first_snapshot;
   // Continue sequential reads after the block.
   impl.pos = (lo + 1 < impl.index.size()) ? impl.index[lo + 1].offset
@@ -495,8 +635,9 @@ Status FieldDecompressor::SeekToSnapshot(size_t index) {
 Result<bool> FieldDecompressor::Next(std::vector<double>* out) {
   Impl& impl = *impl_;
   if (impl.pending_pos >= impl.pending.size()) {
-    MDZ_ASSIGN_OR_RETURN(const bool more, impl.DecodeNextBlock());
-    if (!more) return false;
+    auto more = impl.DecodeNextBlock();
+    if (!more.ok()) return impl.Track(more.status());
+    if (!*more) return false;
   }
   *out = std::move(impl.pending[impl.pending_pos++]);
   return true;
@@ -504,8 +645,9 @@ Result<bool> FieldDecompressor::Next(std::vector<double>* out) {
 
 Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
     ThreadPool* pool) {
+  MDZ_SPAN("decode_all");
   Impl& impl = *impl_;
-  MDZ_RETURN_IF_ERROR(impl.BuildIndex());
+  MDZ_RETURN_IF_ERROR(impl.Track(impl.BuildIndex()));
 
   // Restart any in-progress sequential read: DecodeAll always yields the
   // whole stream.
@@ -529,8 +671,9 @@ Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
                           total > (1ull << 31) / impl.n;
   if (sequential) {
     while (true) {
-      MDZ_ASSIGN_OR_RETURN(const bool more, impl.DecodeNextBlock());
-      if (!more) break;
+      auto more = impl.DecodeNextBlock();
+      if (!more.ok()) return impl.Track(more.status());
+      if (!*more) break;
       for (auto& s : impl.pending) out.push_back(std::move(s));
       impl.pending.clear();
       impl.pending_pos = 0;
@@ -542,7 +685,7 @@ Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
   // stream's initial snapshot (paper Section VI — what makes random access
   // work also makes block-parallel decoding work). Decode block 0 first to
   // seed the MT predictor state, then fan the rest out on the pool.
-  MDZ_RETURN_IF_ERROR(impl.DecodeBlockAt(0));
+  MDZ_RETURN_IF_ERROR(impl.Track(impl.DecodeBlockAt(0)));
   out.resize(total);
   for (size_t k = 0; k < impl.pending.size(); ++k) {
     out[k] = std::move(impl.pending[k]);
@@ -571,7 +714,12 @@ Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
     }();
   });
   for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+    if (!s.ok()) return impl.Track(s);
+  }
+  // Worker tasks don't touch dstats (AccountDecode is not thread-safe);
+  // settle their blocks here from the owner thread instead.
+  for (size_t b = 1; b < blocks; ++b) {
+    impl.AccountDecode(impl.index[b].frame_bytes, impl.index[b].s_count);
   }
 
   // Leave the decompressor at end of stream for subsequent Next() calls.

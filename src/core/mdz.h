@@ -11,6 +11,10 @@
 #include "core/trajectory.h"
 #include "util/status.h"
 
+namespace mdz::obs {
+class TraceSink;  // obs/trace.h
+}
+
 namespace mdz::core {
 
 class ThreadPool;  // core/thread_pool.h
@@ -62,6 +66,18 @@ struct Options {
   // the stream format. The pool must outlive the compressor.
   ThreadPool* pool = nullptr;
 
+  // --- Telemetry (src/obs, docs/OBSERVABILITY.md) --------------------------
+  // When true, the compressor records per-stage timing spans and pipeline
+  // counters into obs::MetricsRegistry::Global() and emits one trace event
+  // per flushed buffer to `trace` (if set). Create() flips the process-wide
+  // obs::SetEnabled switch on, so the shared instrumentation (thread pool,
+  // codec spans) lights up too. Off by default: the only residual cost is a
+  // relaxed atomic load per instrumentation site. None of these fields are
+  // part of the stream format.
+  bool telemetry = false;
+  obs::TraceSink* trace = nullptr;  // non-owning; must outlive the compressor
+  int trace_axis = -1;              // axis label stamped into trace events
+
   Status Validate() const;
 };
 
@@ -76,12 +92,39 @@ struct CompressorStats {
   size_t adaptation_runs = 0;   // ADP trial rounds executed
   Method current_method = Method::kVQ;
 
+  // Per-method block counters (which predictor actually won each buffer;
+  // Fig. 10/11 material). blocks_vq+blocks_vqt+blocks_mt+blocks_ti ==
+  // buffers_out.
+  size_t blocks_vq = 0;
+  size_t blocks_vqt = 0;
+  size_t blocks_mt = 0;
+  size_t blocks_ti = 0;
+
+  // Where the compressed bytes went, by pipeline stage. huffman_bytes is the
+  // entropy-stage output *before* the dictionary coder (so it does not sum
+  // with the others); main_lz_bytes + side_lz_bytes + framing_bytes ==
+  // compressed_bytes.
+  size_t huffman_bytes = 0;   // Huffman(B) + Huffman(J), pre-dictionary
+  size_t main_lz_bytes = 0;   // dictionary-coded main payload
+  size_t side_lz_bytes = 0;   // dictionary-coded escape/level side channel
+  size_t framing_bytes = 0;   // stream header + block framing/method bytes
+
   double compression_ratio() const {
     return compressed_bytes == 0
                ? 0.0
                : static_cast<double>(raw_bytes) /
                      static_cast<double>(compressed_bytes);
   }
+};
+
+// Decompression-side accounting, exposed by FieldDecompressor::stats().
+struct DecompressorStats {
+  size_t blocks_decoded = 0;      // block payloads decoded (incl. re-decodes
+                                  // for seeks and the MT initial-state read)
+  size_t snapshots_decoded = 0;   // snapshots materialized from blocks
+  size_t bytes_in = 0;            // framed compressed bytes consumed
+  size_t bytes_out = 0;           // decoded doubles produced
+  size_t corruption_errors = 0;   // Corruption statuses surfaced to callers
 };
 
 // Streaming compressor for one scalar field (one axis of an MD trajectory):
@@ -135,6 +178,20 @@ class FieldDecompressor {
 
   size_t num_particles() const;
   double absolute_error_bound() const;
+  const DecompressorStats& stats() const;
+
+  // One entry per block frame, in stream order: where it sits, which method
+  // produced it, and what it covers. Built from the O(#blocks) header scan
+  // (no payload decoding) — the raw material for `mdz stats` and for
+  // reconstructing the paper's method-over-time plots from an archive.
+  struct BlockInfo {
+    size_t offset = 0;          // byte offset of the framed block
+    size_t frame_bytes = 0;     // framing varint + payload
+    size_t first_snapshot = 0;  // global index of its first snapshot
+    size_t snapshots = 0;
+    Method method = Method::kVQ;
+  };
+  Result<std::vector<BlockInfo>> ListBlocks();
 
   // Decodes the next snapshot into *out (resized to num_particles).
   // Returns false (with *out untouched) when the stream is exhausted.

@@ -21,9 +21,13 @@ Result<CompressedTrajectory> CompressTrajectoryParallel(
   std::array<Status, 3> statuses;
   p.ParallelFor(0, 3, [&](size_t axis) {
     statuses[axis] = [&]() -> Status {
+      // Label trace events with the axis so a shared TraceSink stays
+      // attributable when all three streams interleave into it.
+      Options task_options = axis_options;
+      task_options.trace_axis = static_cast<int>(axis);
       MDZ_ASSIGN_OR_RETURN(
           auto compressor,
-          FieldCompressor::Create(trajectory.num_particles(), axis_options));
+          FieldCompressor::Create(trajectory.num_particles(), task_options));
       for (const Snapshot& snapshot : trajectory.snapshots) {
         MDZ_RETURN_IF_ERROR(compressor->Append(snapshot.axes[axis]));
       }

@@ -1,7 +1,10 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+
+#include "obs/metrics.h"
 
 namespace mdz::core {
 
@@ -15,6 +18,47 @@ std::mutex& SharedPoolMutex() {
 std::unique_ptr<ThreadPool>& SharedPoolSlot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+// Pool telemetry (docs/OBSERVABILITY.md). Handles are resolved once and
+// cached; every site is gated on obs::Enabled() so the disabled cost is one
+// relaxed load. "Queue depth" counts batches submitted and not yet complete
+// (a batch leaves the internal queue as soon as its last iteration is
+// claimed, which would read as permanently ~0).
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("pool/queue_depth");
+  return g;
+}
+
+obs::Histogram* TaskSecondsHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "pool/task_seconds", obs::DurationBuckets());
+  return h;
+}
+
+obs::Histogram* BatchSecondsHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "pool/batch_seconds", obs::DurationBuckets());
+  return h;
+}
+
+// Runs one claimed iteration, timed when telemetry is on. pool/busy_ns over
+// (elapsed wall time x pool thread count) is the worker-utilization ratio.
+void RunIteration(const std::function<void(size_t)>& fn, size_t i) {
+  if (!obs::Enabled()) {
+    fn(i);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  fn(i);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  TaskSecondsHist()->Observe(std::chrono::duration<double>(dt).count());
+  MDZ_COUNTER_ADD("pool/tasks", 1);
+  MDZ_COUNTER_ADD(
+      "pool/busy_ns",
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
 }
 
 }  // namespace
@@ -58,7 +102,7 @@ void ThreadPool::WorkerLoop() {
     Batch* batch = queue_.front();
     const size_t i = ClaimIterationLocked(batch);
     lock.unlock();
-    (*batch->fn)(i);
+    RunIteration(*batch->fn, i);
     {
       std::lock_guard<std::mutex> done_lock(batch->done_mu);
       ++batch->completed;
@@ -78,6 +122,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (serial() || count == 1) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
+  }
+
+  const bool timed = obs::Enabled();
+  std::chrono::steady_clock::time_point batch_start;
+  if (timed) {
+    batch_start = std::chrono::steady_clock::now();
+    QueueDepthGauge()->Add(1);
   }
 
   Batch batch;
@@ -101,7 +152,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       i = ClaimIterationLocked(&batch);
     }
     if (i >= end) break;
-    fn(i);
+    RunIteration(fn, i);
     std::lock_guard<std::mutex> done_lock(batch.done_mu);
     ++batch.completed;
   }
@@ -111,6 +162,16 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // so returning (and destroying the batch) afterwards is safe.
   std::unique_lock<std::mutex> done_lock(batch.done_mu);
   batch.done_cv.wait(done_lock, [&] { return batch.completed == count; });
+  done_lock.unlock();
+
+  if (timed) {
+    QueueDepthGauge()->Add(-1);
+    BatchSecondsHist()->Observe(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    batch_start)
+                                    .count());
+    MDZ_COUNTER_ADD("pool/batches", 1);
+  }
 }
 
 void ThreadPool::RunTasks(std::span<const std::function<void()>> tasks) {

@@ -1,0 +1,146 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mdz::obs {
+
+namespace {
+
+// Shortest round-trip formatting for doubles ("%.17g" is exact but noisy;
+// try increasing precision until the value survives a parse round trip).
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "mdz_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.Collect();
+  std::string out = "{\"schema\":\"mdz.metrics.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(h.name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + FormatDouble(h.sum) +
+           ",\"buckets\":[";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      const std::string le =
+          (i < h.bounds.size()) ? FormatDouble(h.bounds[i]) : "\"+Inf\"";
+      out += "{\"le\":" + le +
+             ",\"count\":" + std::to_string(h.bucket_counts[i]) + '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToPrometheus(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.Collect();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string prom = PromName(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string le =
+          (i < h.bounds.size()) ? FormatDouble(h.bounds[i]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += prom + "_sum " + FormatDouble(h.sum) + '\n';
+    out += prom + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool flush_failed = std::fflush(file) != 0;
+  std::fclose(file);
+  if (written != content.size() || flush_failed) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteJsonFile(const MetricsRegistry& registry, const std::string& path) {
+  return WriteStringToFile(ToJson(registry), path);
+}
+
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path) {
+  return WriteStringToFile(ToPrometheus(registry), path);
+}
+
+}  // namespace mdz::obs

@@ -1,0 +1,33 @@
+#ifndef MDZ_OBS_EXPORT_H_
+#define MDZ_OBS_EXPORT_H_
+
+// Machine-readable views of a MetricsRegistry: a JSON snapshot
+// (schema "mdz.metrics.v1", validated by tools/check_telemetry.sh) and
+// Prometheus text exposition format. Both render a point-in-time
+// Collect() — neither mutates the registry.
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace mdz::obs {
+
+// {"schema":"mdz.metrics.v1","counters":{...},"gauges":{...},
+//  "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}
+// Keys are name-sorted, so equal registry states export byte-identically.
+std::string ToJson(const MetricsRegistry& registry);
+
+// Prometheus text format. Metric names are prefixed "mdz_" and sanitized
+// ([^a-zA-Z0-9_] -> "_"); histograms expand to _bucket/_sum/_count families
+// with cumulative le labels.
+std::string ToPrometheus(const MetricsRegistry& registry);
+
+// Renders `registry` with the given exporter and writes it to `path`.
+Status WriteJsonFile(const MetricsRegistry& registry, const std::string& path);
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path);
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_EXPORT_H_

@@ -1,0 +1,164 @@
+#ifndef MDZ_OBS_METRICS_H_
+#define MDZ_OBS_METRICS_H_
+
+// Process-wide telemetry registry: counters, gauges and fixed-bucket
+// histograms (docs/OBSERVABILITY.md has the metric catalog).
+//
+// Design constraints, in order:
+//
+//  * Near-zero cost when off. Every recording site first checks the global
+//    Enabled() flag — one relaxed atomic load and a predictable branch.
+//    Defining MDZ_OBS_DISABLED at compile time turns the MDZ_SPAN /
+//    MDZ_COUNTER_ADD macros into nothing at all.
+//  * Lock-free hot path when on. Counters shard their cell across cache
+//    lines and add with relaxed atomics, so pool workers hammering the same
+//    counter never contend; histograms are one relaxed add per observation.
+//  * Stable handles. GetCounter/GetGauge/GetHistogram return pointers that
+//    stay valid for the registry's lifetime, so instrumentation sites look
+//    a metric up once (function-local static) and record through the cached
+//    pointer afterwards.
+//
+// Registration (name -> metric) takes a mutex; it happens once per site.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mdz::obs {
+
+// Global runtime switch for all telemetry (spans, pool gauges, compressor
+// metrics). Off by default; Options::telemetry and the CLI's --metrics-json/
+// --trace flags turn it on for the process.
+bool Enabled();
+void SetEnabled(bool on);
+
+// Monotonic counter. Add() is a relaxed atomic add on a per-thread shard;
+// Value() sums the shards (reads may race with writers and see a slightly
+// stale total, which is fine for telemetry).
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kShards = 16;
+  static size_t ShardIndex();
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Last-writer-wins instantaneous value (e.g. pool queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: N finite upper bounds plus an implicit +Inf
+// bucket. Observe() is a linear scan over the (small) bound array and one
+// relaxed add; sum is maintained with a CAS loop.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+
+  // Cumulative count of observations <= bounds()[i]; the last entry of
+  // BucketCounts() is the +Inf bucket (== Count()).
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;  // non-cumulative, size N+1
+  uint64_t Count() const;
+  double Sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> counts_;  // N+1 buckets
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Default bucket bounds for durations in seconds: 1us .. 10s, decades.
+std::span<const double> DurationBuckets();
+
+// Name-keyed registry. Global() is the process-wide instance every
+// instrumentation site records into; separate instances can be built for
+// tests. Reset() zeroes values but keeps registrations, so cached pointers
+// stay valid.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  // Finds or creates the named metric. A histogram's bounds are fixed by
+  // the first registration; later calls ignore `bounds`.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::span<const double> bounds);
+
+  void Reset();
+
+  // Stable-ordered (name-sorted) copy of the current values, the input to
+  // the exporters in obs/export.h.
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;  // size bounds.size()+1 (+Inf last)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramValue> histograms;
+  };
+  Snapshot Collect() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#ifndef MDZ_OBS_DISABLED
+// Adds `delta` to the named global counter when telemetry is enabled. The
+// registry lookup runs once per call site.
+#define MDZ_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    if (::mdz::obs::Enabled()) {                                            \
+      static ::mdz::obs::Counter* _mdz_counter =                            \
+          ::mdz::obs::MetricsRegistry::Global().GetCounter(name);           \
+      _mdz_counter->Add(delta);                                             \
+    }                                                                       \
+  } while (false)
+#else
+#define MDZ_COUNTER_ADD(name, delta) \
+  do {                               \
+  } while (false)
+#endif
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_METRICS_H_

@@ -1,0 +1,43 @@
+#include "obs/span.h"
+
+#include <vector>
+
+namespace mdz::obs {
+
+namespace {
+
+// Per-thread stack of open span names; the join of the stack is the path of
+// the innermost span.
+thread_local std::vector<const char*> tls_span_stack;
+
+}  // namespace
+
+SpanTimer::SpanTimer(const char* name) {
+  if (!Enabled()) return;
+  active_ = true;
+  tls_span_stack.push_back(name);
+  path_.reserve(64);
+  path_ = "span";
+  for (const char* part : tls_span_stack) {
+    path_ += '/';
+    path_ += part;
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanTimer::~SpanTimer() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  tls_span_stack.pop_back();
+  // Telemetry may have been flipped off mid-span; still record, the registry
+  // write is harmless and the pop above must happen regardless.
+  MetricsRegistry::Global()
+      .GetHistogram(path_, DurationBuckets())
+      ->Observe(seconds);
+}
+
+size_t SpanDepthForTest() { return tls_span_stack.size(); }
+
+}  // namespace mdz::obs

@@ -1,0 +1,56 @@
+#ifndef MDZ_OBS_SPAN_H_
+#define MDZ_OBS_SPAN_H_
+
+// Hierarchical timing spans. MDZ_SPAN("huffman_encode") times the enclosing
+// scope and records the duration into the global metrics registry as a
+// histogram named "span/<path>", where <path> joins every span currently
+// open *on this thread* ("compress_block/huffman_encode"). Span stacks are
+// thread-local: a span opened inside a pool task starts a fresh path on the
+// worker, so pool-offloaded stages (ADP trials, block decodes) show up as
+// top-level spans rather than under their submitter.
+//
+// When telemetry is disabled (obs::Enabled() == false) the constructor is a
+// relaxed load and a branch — no clock read, no allocation. Compiling with
+// MDZ_OBS_DISABLED removes the spans entirely.
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mdz::obs {
+
+// RAII scope timer; prefer the MDZ_SPAN macro. `name` must outlive the span
+// (string literals only).
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name);
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string path_;  // "span/<joined hierarchy>"
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Current thread's span depth (0 outside any span); exposed for tests.
+size_t SpanDepthForTest();
+
+#define MDZ_OBS_CONCAT_INNER_(a, b) a##b
+#define MDZ_OBS_CONCAT_(a, b) MDZ_OBS_CONCAT_INNER_(a, b)
+
+#ifndef MDZ_OBS_DISABLED
+#define MDZ_SPAN(name) \
+  ::mdz::obs::SpanTimer MDZ_OBS_CONCAT_(_mdz_span_, __LINE__)(name)
+#else
+#define MDZ_SPAN(name) \
+  do {                 \
+  } while (false)
+#endif
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_SPAN_H_

@@ -1,0 +1,59 @@
+#include "obs/trace.h"
+
+namespace mdz::obs {
+
+Result<std::unique_ptr<TraceSink>> TraceSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  auto sink = std::unique_ptr<TraceSink>(new TraceSink());
+  sink->file_ = file;
+  return sink;
+}
+
+TraceSink::~TraceSink() { (void)Close(); }
+
+void TraceSink::Record(const BlockTrace& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  const int written = std::fprintf(
+      file_,
+      "{\"axis\":%d,\"block\":%llu,\"method\":\"%s\",\"snapshots\":%llu,"
+      "\"bytes\":%llu,\"escapes\":%llu,\"entropy_bits\":%.6g,"
+      "\"adapted\":%s,\"trial_vq\":%llu,\"trial_vqt\":%llu,"
+      "\"trial_mt\":%llu,\"trial_ti\":%llu}\n",
+      t.axis, static_cast<unsigned long long>(t.block_index), t.method,
+      static_cast<unsigned long long>(t.snapshots),
+      static_cast<unsigned long long>(t.block_bytes),
+      static_cast<unsigned long long>(t.escape_count), t.bin_entropy_bits,
+      t.adapted ? "true" : "false",
+      static_cast<unsigned long long>(t.trial_bytes[0]),
+      static_cast<unsigned long long>(t.trial_bytes[1]),
+      static_cast<unsigned long long>(t.trial_bytes[2]),
+      static_cast<unsigned long long>(t.trial_bytes[3]));
+  if (written < 0) {
+    write_error_ = true;
+  } else {
+    ++records_;
+  }
+}
+
+uint64_t TraceSink::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+Status TraceSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  const bool flush_failed = std::fflush(file_) != 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (write_error_ || flush_failed) {
+    return Status::Internal("trace file write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::obs

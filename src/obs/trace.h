@@ -1,0 +1,64 @@
+#ifndef MDZ_OBS_TRACE_H_
+#define MDZ_OBS_TRACE_H_
+
+// Per-block trace sink: one JSON line per flushed buffer, recording what the
+// compressor actually did — chosen method, ADP trial sizes, block bytes,
+// escape count, quantization-bin entropy. A single traced run is enough to
+// reproduce the paper's Fig. 10 (method over time) and Fig. 11 (ADP vs the
+// fixed modes); docs/OBSERVABILITY.md documents the schema.
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+// One flushed buffer. `trial_bytes` follows the ADP candidate order
+// (VQ, VQT, MT, TI); entries stay 0 for flushes that ran no trials.
+struct BlockTrace {
+  int axis = -1;               // axis label (-1 when the caller sets none)
+  uint64_t block_index = 0;    // per-stream flush ordinal, 0-based
+  const char* method = "";     // MethodName() of the chosen method
+  uint64_t snapshots = 0;      // snapshots in the buffer
+  uint64_t block_bytes = 0;    // framed bytes appended to the stream
+  uint64_t escape_count = 0;   // values stored verbatim
+  double bin_entropy_bits = 0.0;  // Shannon entropy of the quant codes
+  bool adapted = false;        // this flush ran ADP trial encodes
+  std::array<uint64_t, 4> trial_bytes{};
+};
+
+// Thread-safe JSONL writer (one mutex-guarded line per Record call; per-axis
+// compressors on the pool share one sink).
+class TraceSink {
+ public:
+  static Result<std::unique_ptr<TraceSink>> Open(const std::string& path);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void Record(const BlockTrace& trace);
+
+  uint64_t records_written() const;
+
+  // Flushes and closes the file; further Records are dropped. Idempotent
+  // (the destructor closes too); returns the first write/flush error.
+  Status Close();
+
+ private:
+  TraceSink() = default;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_ = 0;
+  bool write_error_ = false;
+};
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_TRACE_H_

@@ -39,4 +39,45 @@ if "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/x.mdza" --method bogus \
   exit 1
 fi
 
+# --- Exit codes (documented at the top of tools/mdz_cli.cc) -----------------
+# Helper: run "$@" silenced and echo its exit code.
+exit_code() {
+  "$@" >/dev/null 2>&1 && echo 0 || echo $?
+}
+
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/x.mdza" \
+  --method bogus)" = 2                                    # bad arguments
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj")" = 2  # missing arg
+test "$(exit_code "$MDZ" bogus-command)" = 2              # unknown command
+test "$(exit_code "$MDZ" decompress "$WORK/no-such-file.mdza" \
+  "$WORK/y.mdtraj")" = 3                                  # unreadable input
+
+# Corrupt archive: truncating a valid archive must yield the corruption code.
+head -c "$((mdz_size / 2))" "$WORK/traj.mdza" > "$WORK/trunc.mdza"
+test "$(exit_code "$MDZ" decompress "$WORK/trunc.mdza" "$WORK/y.mdtraj")" = 4
+
+# --- Telemetry flags (docs/OBSERVABILITY.md) --------------------------------
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/tele.mdza" --quiet \
+  --metrics-json "$WORK/m.json" --metrics-prom "$WORK/m.prom" \
+  --trace "$WORK/trace.jsonl" > "$WORK/compress.out"
+test ! -s "$WORK/compress.out"   # --quiet silences informational stdout
+grep -q '"schema":"mdz.metrics.v1"' "$WORK/m.json"
+grep -q '"compress/blocks":' "$WORK/m.json"
+grep -q '"span/flush_buffer' "$WORK/m.json"
+grep -q '^# TYPE mdz_compress_blocks counter' "$WORK/m.prom"
+grep -q '"method":"' "$WORK/trace.jsonl"
+# One trace event per flushed buffer across the three axes.
+blocks=$("$MDZ" stats "$WORK/tele.mdza" --json \
+  | tr ',' '\n' | grep '"blocks"' | tr -cd '0-9\n' | awk '{n+=$1} END {print n}')
+test "$(wc -l < "$WORK/trace.jsonl")" = "$blocks"
+
+"$MDZ" decompress "$WORK/tele.mdza" "$WORK/tele-out.mdtraj" --quiet \
+  --metrics-json "$WORK/d.json"
+grep -q '"decompress/blocks":' "$WORK/d.json"
+
+# --- stats subcommand -------------------------------------------------------
+"$MDZ" stats "$WORK/traj.mdza" | grep -q "^Axis"
+"$MDZ" stats "$WORK/traj.mdza" --json | grep -q '"axes":\['
+test "$(exit_code "$MDZ" stats "$WORK/trunc.mdza")" = 4
+
 echo "cli_test OK"

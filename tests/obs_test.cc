@@ -1,0 +1,529 @@
+// Tests for the observability subsystem (src/obs): metrics registry
+// concurrency, span nesting, exporter golden files, and the trace sink.
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mdz.h"
+#include "core/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace mdz::obs {
+namespace {
+
+// Flips the global telemetry switch for one test and restores it after.
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : prev_(Enabled()) { SetEnabled(on); }
+  ~EnabledGuard() { SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+uint64_t CounterValueOrZero(const MetricsRegistry::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsRegistry::HistogramValue* FindHistogram(
+    const MetricsRegistry::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ObsMetricsTest, CounterConcurrentAddsFromThreadPool) {
+  MetricsRegistry registry;
+  Counter* hammered = registry.GetCounter("hammered");
+  Counter* strided = registry.GetCounter("strided");
+
+  // Every pool worker (plus the submitting thread) adds through the same two
+  // handles; the sharded cells must not lose any increment.
+  core::ThreadPool pool(8);
+  constexpr size_t kIters = 20000;
+  pool.ParallelFor(0, kIters, [&](size_t i) {
+    hammered->Add(1);
+    if (i % 2 == 0) strided->Add(3);
+  });
+
+  EXPECT_EQ(hammered->Value(), kIters);
+  EXPECT_EQ(strided->Value(), 3 * (kIters / 2));
+}
+
+TEST(ObsMetricsTest, HandlesSurviveReset) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", DurationBuckets());
+  c->Add(7);
+  g->Set(-5);
+  h->Observe(0.5);
+
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Sum(), 0.0);
+
+  // The same handles keep working after the reset.
+  c->Add(2);
+  EXPECT_EQ(c->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(4);
+  g->Add(-1);
+  g->Add(-1);
+  EXPECT_EQ(g->Value(), 2);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram* h = registry.GetHistogram("latency", bounds);
+  h->Observe(0.5);   // <= 1
+  h->Observe(5.0);   // <= 10
+  h->Observe(50.0);  // +Inf
+  EXPECT_EQ(h->Count(), 3u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 55.5);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(ObsMetricsTest, HistogramConcurrentObserve) {
+  MetricsRegistry registry;
+  const std::array<double, 3> bounds = {1.0, 2.0, 3.0};
+  Histogram* h = registry.GetHistogram("conc", bounds);
+  core::ThreadPool pool(8);
+  constexpr size_t kIters = 10000;
+  pool.ParallelFor(0, kIters, [&](size_t i) {
+    h->Observe(static_cast<double>(i % 4) + 0.5);  // buckets 1,2,3,+Inf
+  });
+  EXPECT_EQ(h->Count(), kIters);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  for (uint64_t c : counts) EXPECT_EQ(c, kIters / 4);
+}
+
+TEST(ObsMetricsTest, CollectIsNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const auto snap = registry.Collect();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+TEST(ObsMetricsTest, CounterMacroRespectsEnabledSwitch) {
+  {
+    EnabledGuard off(false);
+    MDZ_COUNTER_ADD("obs_test/macro", 5);  // must not record
+  }
+  {
+    EnabledGuard on(true);
+    MDZ_COUNTER_ADD("obs_test/macro", 2);
+  }
+  const auto snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValueOrZero(snap, "obs_test/macro"), 2u);
+}
+
+// --- Spans ------------------------------------------------------------------
+
+TEST(ObsSpanTest, NestingBuildsHierarchicalPaths) {
+  EnabledGuard on(true);
+  MetricsRegistry::Global().Reset();
+
+  EXPECT_EQ(SpanDepthForTest(), 0u);
+  {
+    MDZ_SPAN("obs_outer");
+    EXPECT_EQ(SpanDepthForTest(), 1u);
+    {
+      MDZ_SPAN("obs_inner");
+      EXPECT_EQ(SpanDepthForTest(), 2u);
+    }
+    {
+      MDZ_SPAN("obs_inner");  // second visit accumulates, same path
+      EXPECT_EQ(SpanDepthForTest(), 2u);
+    }
+  }
+  EXPECT_EQ(SpanDepthForTest(), 0u);
+
+  const auto snap = MetricsRegistry::Global().Collect();
+  const auto* outer = FindHistogram(snap, "span/obs_outer");
+  const auto* inner = FindHistogram(snap, "span/obs_outer/obs_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // The inner spans ran inside the outer one, so the outer time covers them.
+  EXPECT_GE(outer->sum, inner->sum);
+}
+
+TEST(ObsSpanTest, DisabledSpanRecordsNothing) {
+  EnabledGuard off(false);
+  {
+    MDZ_SPAN("obs_ghost");
+    EXPECT_EQ(SpanDepthForTest(), 0u);
+  }
+  const auto snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(FindHistogram(snap, "span/obs_ghost"), nullptr);
+}
+
+TEST(ObsSpanTest, WorkerSpansStartFreshPaths) {
+  EnabledGuard on(true);
+  MetricsRegistry::Global().Reset();
+
+  core::ThreadPool pool(4);
+  {
+    MDZ_SPAN("obs_submitter");
+    pool.ParallelFor(0, 64, [&](size_t) { MDZ_SPAN("obs_task"); });
+  }
+  const auto snap = MetricsRegistry::Global().Collect();
+  // Iterations run by the submitting thread nest under its open span; the
+  // ones claimed by workers appear as top-level spans. Together they cover
+  // all 64 iterations.
+  const auto* nested = FindHistogram(snap, "span/obs_submitter/obs_task");
+  const auto* top = FindHistogram(snap, "span/obs_task");
+  const uint64_t nested_count = nested != nullptr ? nested->count : 0;
+  const uint64_t top_count = top != nullptr ? top->count : 0;
+  EXPECT_EQ(nested_count + top_count, 64u);
+}
+
+// --- Exporters --------------------------------------------------------------
+
+MetricsRegistry* GoldenRegistry() {
+  auto* registry = new MetricsRegistry();
+  registry->GetCounter("a/count")->Add(3);
+  registry->GetGauge("g")->Set(-2);
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram* h = registry->GetHistogram("h", bounds);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  return registry;
+}
+
+TEST(ObsExportTest, JsonGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  EXPECT_EQ(
+      ToJson(*registry),
+      "{\"schema\":\"mdz.metrics.v1\","
+      "\"counters\":{\"a/count\":3},"
+      "\"gauges\":{\"g\":-2},"
+      "\"histograms\":{\"h\":{\"count\":3,\"sum\":55.5,\"buckets\":["
+      "{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
+      "{\"le\":\"+Inf\",\"count\":1}]}}}");
+}
+
+TEST(ObsExportTest, PrometheusGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  EXPECT_EQ(ToPrometheus(*registry),
+            "# TYPE mdz_a_count counter\n"
+            "mdz_a_count 3\n"
+            "# TYPE mdz_g gauge\n"
+            "mdz_g -2\n"
+            "# TYPE mdz_h histogram\n"
+            "mdz_h_bucket{le=\"1\"} 1\n"
+            "mdz_h_bucket{le=\"10\"} 2\n"
+            "mdz_h_bucket{le=\"+Inf\"} 3\n"
+            "mdz_h_sum 55.5\n"
+            "mdz_h_count 3\n");
+}
+
+TEST(ObsExportTest, EmptyRegistryExports) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ToJson(registry),
+            "{\"schema\":\"mdz.metrics.v1\",\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{}}");
+  EXPECT_EQ(ToPrometheus(registry), "");
+}
+
+TEST(ObsExportTest, WriteFilesRoundTrip) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  const std::string path = testing::TempDir() + "/obs_export_test.json";
+  ASSERT_TRUE(WriteJsonFile(*registry, path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), ToJson(*registry));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExportTest, WriteFileToBadPathFails) {
+  MetricsRegistry registry;
+  const Status s = WriteJsonFile(registry, "/nonexistent-dir/x/y.json");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// --- Trace sink -------------------------------------------------------------
+
+TEST(ObsTraceTest, WritesOneJsonLinePerRecord) {
+  const std::string path = testing::TempDir() + "/obs_trace_test.jsonl";
+  auto sink = TraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+
+  BlockTrace t;
+  t.axis = 1;
+  t.block_index = 4;
+  t.method = "VQT";
+  t.snapshots = 10;
+  t.block_bytes = 1234;
+  t.escape_count = 2;
+  t.bin_entropy_bits = 3.5;
+  t.adapted = true;
+  t.trial_bytes = {1300, 1234, 1500, 0};
+  (*sink)->Record(t);
+
+  BlockTrace plain;
+  plain.method = "MT";
+  (*sink)->Record(plain);
+
+  EXPECT_EQ((*sink)->records_written(), 2u);
+  ASSERT_TRUE((*sink)->Close().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"axis\":1,\"block\":4,\"method\":\"VQT\",\"snapshots\":10,"
+            "\"bytes\":1234,\"escapes\":2,\"entropy_bits\":3.5,"
+            "\"adapted\":true,\"trial_vq\":1300,\"trial_vqt\":1234,"
+            "\"trial_mt\":1500,\"trial_ti\":0}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"axis\":-1,\"block\":0,\"method\":\"MT\",\"snapshots\":0,"
+            "\"bytes\":0,\"escapes\":0,\"entropy_bits\":0,"
+            "\"adapted\":false,\"trial_vq\":0,\"trial_vqt\":0,"
+            "\"trial_mt\":0,\"trial_ti\":0}");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, ConcurrentRecordsAllLand) {
+  const std::string path = testing::TempDir() + "/obs_trace_conc.jsonl";
+  auto sink = TraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+
+  core::ThreadPool pool(4);
+  constexpr size_t kRecords = 500;
+  pool.ParallelFor(0, kRecords, [&](size_t i) {
+    BlockTrace t;
+    t.axis = static_cast<int>(i % 3);
+    t.block_index = i;
+    t.method = "VQ";
+    (*sink)->Record(t);
+  });
+  EXPECT_EQ((*sink)->records_written(), kRecords);
+  ASSERT_TRUE((*sink)->Close().ok());
+
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, kRecords);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, OpenFailsForUnwritablePath) {
+  auto sink = TraceSink::Open("/nonexistent-dir/x/trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+// --- Pool instrumentation ---------------------------------------------------
+
+TEST(ObsPoolTest, ParallelForRecordsPoolMetrics) {
+  EnabledGuard on(true);
+  MetricsRegistry::Global().Reset();
+
+  core::ThreadPool pool(4);
+  pool.ParallelFor(0, 32, [](size_t) {});
+
+  const auto snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValueOrZero(snap, "pool/batches"), 1u);
+  EXPECT_EQ(CounterValueOrZero(snap, "pool/tasks"), 32u);
+  const auto* tasks = FindHistogram(snap, "pool/task_seconds");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->count, 32u);
+  // The in-flight gauge pairs its +1/-1, so it reads 0 between batches.
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "pool/queue_depth") EXPECT_EQ(value, 0);
+  }
+}
+
+// --- Pipeline stats (CompressorStats / DecompressorStats extensions) --------
+
+std::vector<std::vector<double>> SmoothField(size_t m, size_t n,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> field(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) field[0][i] = rng.Uniform(0.0, 100.0);
+  for (size_t s = 1; s < m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      field[s][i] = field[s - 1][i] + rng.Gaussian(0.0, 0.01);
+    }
+  }
+  return field;
+}
+
+TEST(PipelineStatsTest, MethodCountersAndStageBytesAddUp) {
+  const auto field = SmoothField(25, 200, 11);
+  core::Options options;
+  options.method = core::Method::kMT;
+  options.buffer_size = 10;
+
+  auto compressor = core::FieldCompressor::Create(200, options);
+  ASSERT_TRUE(compressor.ok());
+  for (const auto& s : field) ASSERT_TRUE((*compressor)->Append(s).ok());
+  ASSERT_TRUE((*compressor)->Finish().ok());
+
+  const core::CompressorStats& stats = (*compressor)->stats();
+  EXPECT_EQ(stats.buffers_out, 3u);
+  EXPECT_EQ(stats.blocks_mt, 3u);
+  EXPECT_EQ(stats.blocks_vq + stats.blocks_vqt + stats.blocks_ti, 0u);
+  EXPECT_EQ(stats.blocks_vq + stats.blocks_vqt + stats.blocks_mt +
+                stats.blocks_ti,
+            stats.buffers_out);
+
+  // Stage-byte invariant: the dictionary-coded payloads plus framing account
+  // for every compressed byte; the pre-dictionary Huffman size is nonzero.
+  EXPECT_GT(stats.huffman_bytes, 0u);
+  EXPECT_EQ(stats.main_lz_bytes + stats.side_lz_bytes + stats.framing_bytes,
+            stats.compressed_bytes);
+  EXPECT_EQ(stats.compressed_bytes, (*compressor)->output().size());
+}
+
+TEST(PipelineStatsTest, DecompressorStatsCountBlocksAndBytes) {
+  const size_t kSnapshots = 25, kParticles = 150;
+  const auto field = SmoothField(kSnapshots, kParticles, 3);
+  core::Options options;
+  options.buffer_size = 10;
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+
+  auto decompressor = core::FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  auto all = (*decompressor)->DecodeAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), kSnapshots);
+
+  const core::DecompressorStats& stats = (*decompressor)->stats();
+  EXPECT_EQ(stats.blocks_decoded, 3u);
+  EXPECT_EQ(stats.snapshots_decoded, kSnapshots);
+  EXPECT_EQ(stats.bytes_out, kSnapshots * kParticles * sizeof(double));
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_LE(stats.bytes_in, compressed->size());
+  EXPECT_EQ(stats.corruption_errors, 0u);
+}
+
+TEST(PipelineStatsTest, DecompressorCountsCorruptionErrors) {
+  const auto field = SmoothField(12, 100, 5);
+  auto compressed = core::CompressField(field, core::Options{});
+  ASSERT_TRUE(compressed.ok());
+  // Truncate mid-payload: the stream opens fine but decoding fails.
+  std::vector<uint8_t> truncated(*compressed);
+  truncated.resize(truncated.size() - truncated.size() / 3);
+
+  auto decompressor = core::FieldDecompressor::Open(truncated);
+  if (!decompressor.ok()) return;  // header landed in the cut — fine
+  std::vector<double> snapshot;
+  Status failure = Status::OK();
+  while (true) {
+    auto more = (*decompressor)->Next(&snapshot);
+    if (!more.ok()) {
+      failure = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  ASSERT_EQ(failure.code(), StatusCode::kCorruption)
+      << failure.ToString();
+  EXPECT_EQ((*decompressor)->stats().corruption_errors, 1u);
+}
+
+TEST(PipelineStatsTest, ListBlocksCoversTheStream) {
+  const size_t kSnapshots = 25;
+  const auto field = SmoothField(kSnapshots, 120, 9);
+  core::Options options;
+  options.buffer_size = 10;
+  options.method = core::Method::kVQT;
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+
+  auto decompressor = core::FieldDecompressor::Open(*compressed);
+  ASSERT_TRUE(decompressor.ok());
+  auto blocks = (*decompressor)->ListBlocks();
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 3u);
+  size_t covered = 0;
+  for (const auto& b : *blocks) {
+    EXPECT_EQ(b.first_snapshot, covered);
+    EXPECT_EQ(b.method, core::Method::kVQT);
+    EXPECT_GT(b.frame_bytes, 0u);
+    EXPECT_LT(b.offset, compressed->size());
+    covered += b.snapshots;
+  }
+  EXPECT_EQ(covered, kSnapshots);
+}
+
+TEST(PipelineStatsTest, TraceSinkReceivesOneEventPerBuffer) {
+  EnabledGuard on(true);
+  const std::string path = testing::TempDir() + "/obs_pipeline_trace.jsonl";
+  auto sink = TraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+
+  const auto field = SmoothField(25, 100, 17);
+  core::Options options;
+  options.buffer_size = 10;
+  options.telemetry = true;
+  options.trace = sink->get();
+  options.trace_axis = 2;
+  auto compressed = core::CompressField(field, options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ((*sink)->records_written(), 3u);
+  ASSERT_TRUE((*sink)->Close().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"axis\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"method\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdz::obs

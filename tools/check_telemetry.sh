@@ -1,0 +1,94 @@
+#!/bin/sh
+# Validates the telemetry artifacts produced by a `mdz compress --metrics-json
+# M --metrics-prom P --trace T` run, using only POSIX shell + grep/awk (no
+# JSON tooling in the image). Exits non-zero with a message on the first
+# violated invariant.
+#
+#   tools/check_telemetry.sh <metrics.json> <metrics.prom> <trace.jsonl>
+set -eu
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 <metrics.json> <metrics.prom> <trace.jsonl>" >&2
+  exit 2
+fi
+JSON="$1"
+PROM="$2"
+TRACE="$3"
+
+fail() {
+  echo "check_telemetry: $1" >&2
+  exit 1
+}
+
+# --- JSON snapshot ----------------------------------------------------------
+test -s "$JSON" || fail "metrics JSON missing or empty: $JSON"
+grep -q '^{"schema":"mdz.metrics.v1",' "$JSON" || fail "bad JSON schema tag"
+for key in '"counters":{' '"gauges":{' '"histograms":{'; do
+  grep -q "$key" "$JSON" || fail "JSON missing section $key"
+done
+for counter in compress/blocks compress/bytes_out compress/bytes_raw \
+    compress/snapshots_in compress/streams; do
+  grep -q "\"$counter\":[0-9]" "$JSON" || fail "JSON missing $counter"
+done
+for span in span/flush_buffer span/flush_buffer/encode_block; do
+  grep -q "\"$span\":{\"count\":[0-9]" "$JSON" || fail "JSON missing $span"
+done
+grep -q '"le":"+Inf"' "$JSON" || fail "JSON histograms missing +Inf bucket"
+
+# compress/blocks must equal the sum of the per-method block counters.
+awk '
+  {
+    for (i = 1; i <= NF; ++i) {
+      if (split($i, kv, ":") == 2) {
+        gsub(/[\"{}]/, "", kv[1])
+        if (kv[1] == "compress/blocks") total = kv[2] + 0
+        if (kv[1] ~ /^compress\/blocks_/) sum += kv[2] + 0
+      }
+    }
+  }
+  END {
+    if (total == 0) { print "no blocks recorded"; exit 1 }
+    if (sum != total) {
+      print "per-method counters sum to " sum ", expected " total; exit 1
+    }
+  }
+' RS=',' "$JSON" || fail "block counter invariant violated in $JSON"
+
+# --- Prometheus exposition --------------------------------------------------
+test -s "$PROM" || fail "Prometheus file missing or empty: $PROM"
+grep -q '^# TYPE mdz_compress_blocks counter$' "$PROM" \
+  || fail "prom missing mdz_compress_blocks TYPE line"
+grep -Eq '^mdz_compress_blocks [0-9]+$' "$PROM" \
+  || fail "prom missing mdz_compress_blocks sample"
+grep -Eq '^mdz_span_flush_buffer_bucket\{le="\+Inf"\} [0-9]+$' "$PROM" \
+  || fail "prom missing flush_buffer +Inf bucket"
+# Histogram sanity: every _count sample has a matching +Inf bucket count.
+awk '
+  /_bucket\{le="\+Inf"\}/ { inf[substr($1, 1, index($1, "_bucket") - 1)] = $2 }
+  /_count / { sub(/_count$/, "", $1); cnt[$1] = $2 }
+  END {
+    for (m in cnt) {
+      if (!(m in inf)) { print "no +Inf bucket for " m; exit 1 }
+      if (inf[m] != cnt[m]) {
+        print m ": +Inf bucket " inf[m] " != count " cnt[m]; exit 1
+      }
+    }
+  }
+' "$PROM" || fail "prom histogram invariant violated in $PROM"
+
+# --- Trace JSONL ------------------------------------------------------------
+test -s "$TRACE" || fail "trace file missing or empty: $TRACE"
+lines=$(wc -l < "$TRACE")
+well_formed=$(grep -c \
+  '^{"axis":-*[0-9]*,"block":[0-9]*,"method":"[A-Z]*","snapshots":[0-9]*,"bytes":[0-9]*,"escapes":[0-9]*,"entropy_bits":[-0-9.e+]*,"adapted":\(true\|false\),"trial_vq":[0-9]*,"trial_vqt":[0-9]*,"trial_mt":[0-9]*,"trial_ti":[0-9]*}$' \
+  "$TRACE") || true
+test "$lines" = "$well_formed" \
+  || fail "$((lines - well_formed)) malformed trace lines in $TRACE"
+
+# The traced block count must match the JSON's compress/blocks counter.
+json_blocks=$(tr ',' '\n' < "$JSON" | grep '"compress/blocks"' \
+  | tr -cd '0-9')
+test "$lines" = "$json_blocks" \
+  || fail "trace has $lines events, metrics counted $json_blocks blocks"
+
+echo "check_telemetry OK: $lines blocks traced, invariants hold"

@@ -7,11 +7,16 @@
 # build root, default ./build-ci):
 #   address    full ctest suite under AddressSanitizer
 #   undefined  full ctest suite under UndefinedBehaviorSanitizer
-#   thread     thread-pool, parallel, and fuzz tests under ThreadSanitizer
+#   thread     thread-pool, parallel, obs, and fuzz tests under
+#              ThreadSanitizer
 #
 # The thread configuration runs only the concurrency-relevant binaries:
 # TSan's false-sharing-free runtime makes the full suite needlessly slow,
 # and the remaining tests are single-threaded by construction.
+#
+# After the matrix, a telemetry smoke step compresses a generated trajectory
+# with --metrics-json/--metrics-prom/--trace and validates the artifacts
+# with tools/check_telemetry.sh.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +42,24 @@ run_config undefined \
 
 run_config thread \
   "${BUILD_ROOT}/thread/tests/mdz_tests" \
-  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*'
+  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*:Obs*.*:PipelineStatsTest.*'
+
+echo "=== telemetry smoke ==="
+# The address tree is a normal (instrumented) build of the mdz binary; use
+# it so the smoke also runs under ASan. --threads 2 forces a real pool even
+# on single-core runners, so the pool gauges light up.
+MDZ_BIN="${BUILD_ROOT}/address/tools/mdz"
+SMOKE="${BUILD_ROOT}/telemetry-smoke"
+rm -rf "${SMOKE}"
+mkdir -p "${SMOKE}"
+"${MDZ_BIN}" gen LJ "${SMOKE}/traj.mdtraj" --scale 0.3 --seed 3 --quiet
+"${MDZ_BIN}" compress "${SMOKE}/traj.mdtraj" "${SMOKE}/traj.mdza" \
+  --threads 2 --quiet \
+  --metrics-json "${SMOKE}/metrics.json" \
+  --metrics-prom "${SMOKE}/metrics.prom" \
+  --trace "${SMOKE}/trace.jsonl"
+sh "${ROOT}/tools/check_telemetry.sh" \
+  "${SMOKE}/metrics.json" "${SMOKE}/metrics.prom" "${SMOKE}/trace.jsonl"
+"${MDZ_BIN}" stats "${SMOKE}/traj.mdza" --json | grep -q '"axes":\['
 
 echo "=== sanitizer matrix passed ==="

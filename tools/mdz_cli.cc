@@ -3,16 +3,26 @@
 //   mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]
 //   mdz compress <in.mdtraj|.xyz> <out.mdza> [--eb E] [--abs] [--bs N]
 //                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1]
-//   mdz decompress <in.mdza> <out.mdtraj|.xyz>
+//                [--metrics-json F] [--metrics-prom F] [--trace F]
+//   mdz decompress <in.mdza> <out.mdtraj|.xyz> [--metrics-json F]
 //   mdz info <file.mdza|file.mdtraj>
+//   mdz stats <file.mdza> [--json]
 //   mdz verify <original.mdtraj|.xyz> <compressed.mdza>
 //   mdz datasets
 //
 // Files ending in ".xyz" are read/written as XYZ text; everything else is
 // the binary mdtraj format.
+//
+// Exit codes (asserted by tests/cli_test.sh):
+//   0  success
+//   1  other runtime failure
+//   2  usage error / invalid arguments
+//   3  I/O failure (unreadable input, unwritable output)
+//   4  corrupt archive
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +33,9 @@
 #include "datagen/generators.h"
 #include "io/archive.h"
 #include "io/trajectory_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -30,6 +43,34 @@ namespace {
 using mdz::Result;
 using mdz::Status;
 using mdz::core::Trajectory;
+
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitCorruption = 4;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case mdz::StatusCode::kInvalidArgument:
+    case mdz::StatusCode::kFailedPrecondition:
+      return kExitUsage;
+    case mdz::StatusCode::kInternal:  // the io/ layer's file errors
+      return kExitIo;
+    case mdz::StatusCode::kCorruption:
+      return kExitCorruption;
+    default:
+      return kExitFailure;
+  }
+}
+
+// --quiet suppresses this (informational stdout); errors still reach stderr.
+bool g_quiet = false;
+
+template <typename... Args>
+void Say(const char* format, Args... args) {
+  if (!g_quiet) std::printf(format, args...);
+}
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -51,7 +92,7 @@ Status WriteTrajectoryAuto(const Trajectory& trajectory,
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status);
 }
 
 int Usage() {
@@ -61,11 +102,15 @@ int Usage() {
                "  mdz compress <in> <out.mdza> [--eb E] [--abs] [--bs N]\n"
                "               [--method adp|vq|vqt|mt|ti] [--quant-scale N]\n"
                "               [--seq1] [--interp] [--threads N]\n"
+               "               [--metrics-json F] [--metrics-prom F] [--trace F]\n"
                "  mdz decompress <in.mdza> <out.mdtraj|.xyz> [--threads N]\n"
+               "               [--metrics-json F] [--metrics-prom F]\n"
                "  mdz info <file.mdza|file.mdtraj>\n"
+               "  mdz stats <file.mdza> [--json]\n"
                "  mdz verify <original> <compressed.mdza>\n"
-               "  mdz datasets\n");
-  return 2;
+               "  mdz datasets\n"
+               "global flags: --quiet\n");
+  return kExitUsage;
 }
 
 // Minimal flag scanner: flags may appear anywhere after the positionals.
@@ -83,6 +128,17 @@ struct Flags {
   // Worker threads for compress/decompress: 0 = all hardware threads
   // (default), 1 = serial. Output bytes are identical at any thread count.
   uint32_t threads = 0;
+  // Telemetry sinks (docs/OBSERVABILITY.md). Any of these being set turns
+  // the obs subsystem on for the run; empty means no file is written.
+  std::string metrics_json;
+  std::string metrics_prom;
+  std::string trace_path;
+  bool json = false;  // `mdz stats --json`
+
+  bool telemetry() const {
+    return !metrics_json.empty() || !metrics_prom.empty() ||
+           !trace_path.empty();
+  }
 
   static Result<Flags> Parse(int argc, char** argv, int first) {
     Flags flags;
@@ -120,6 +176,16 @@ struct Flags {
       } else if (arg == "--threads") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
         flags.threads = static_cast<uint32_t>(std::atoi(v.c_str()));
+      } else if (arg == "--metrics-json") {
+        MDZ_ASSIGN_OR_RETURN(flags.metrics_json, next_value());
+      } else if (arg == "--metrics-prom") {
+        MDZ_ASSIGN_OR_RETURN(flags.metrics_prom, next_value());
+      } else if (arg == "--trace") {
+        MDZ_ASSIGN_OR_RETURN(flags.trace_path, next_value());
+      } else if (arg == "--json") {
+        flags.json = true;
+      } else if (arg == "--quiet") {
+        g_quiet = true;
       } else if (arg.rfind("--", 0) == 0) {
         return Status::InvalidArgument("unknown flag: " + arg);
       } else {
@@ -158,6 +224,21 @@ struct Flags {
   }
 };
 
+// Writes the requested metrics files after a telemetry-enabled run. Returns
+// the exit code: kExitOk, or kExitIo on the first failed write.
+int WriteMetricsFiles(const Flags& flags) {
+  const auto& registry = mdz::obs::MetricsRegistry::Global();
+  if (!flags.metrics_json.empty()) {
+    const Status s = mdz::obs::WriteJsonFile(registry, flags.metrics_json);
+    if (!s.ok()) return Fail(s);
+  }
+  if (!flags.metrics_prom.empty()) {
+    const Status s = mdz::obs::WritePrometheusFile(registry, flags.metrics_prom);
+    if (!s.ok()) return Fail(s);
+  }
+  return kExitOk;
+}
+
 int CmdDatasets() {
   std::printf("%-10s %-10s\n", "Name", "State");
   for (const auto& info : mdz::datagen::AllDatasets()) {
@@ -177,10 +258,10 @@ int CmdGen(const Flags& flags) {
   if (!trajectory.ok()) return Fail(trajectory.status());
   const Status s = WriteTrajectoryAuto(*trajectory, flags.positional[1]);
   if (!s.ok()) return Fail(s);
-  std::printf("wrote %s: %zu snapshots x %zu atoms (%.1f MB)\n",
-              flags.positional[1].c_str(), trajectory->num_snapshots(),
-              trajectory->num_particles(), trajectory->raw_bytes() / 1e6);
-  return 0;
+  Say("wrote %s: %zu snapshots x %zu atoms (%.1f MB)\n",
+      flags.positional[1].c_str(), trajectory->num_snapshots(),
+      trajectory->num_particles(), trajectory->raw_bytes() / 1e6);
+  return kExitOk;
 }
 
 int CmdCompress(const Flags& flags) {
@@ -189,6 +270,17 @@ int CmdCompress(const Flags& flags) {
   if (!options.ok()) return Fail(options.status());
   auto trajectory = ReadTrajectoryAuto(flags.positional[0]);
   if (!trajectory.ok()) return Fail(trajectory.status());
+
+  std::unique_ptr<mdz::obs::TraceSink> trace;
+  if (flags.telemetry()) {
+    options->telemetry = true;
+    if (!flags.trace_path.empty()) {
+      auto sink = mdz::obs::TraceSink::Open(flags.trace_path);
+      if (!sink.ok()) return Fail(sink.status());
+      trace = std::move(sink).value();
+      options->trace = trace.get();
+    }
+  }
 
   // A 0- or 1-thread pool runs serially; any other size fans per-axis work,
   // ADP trials, and block decodes out across the workers. The stream bytes
@@ -207,18 +299,30 @@ int CmdCompress(const Flags& flags) {
   const Status s = mdz::io::WriteArchive(archive, flags.positional[1]);
   if (!s.ok()) return Fail(s);
 
+  if (trace != nullptr) {
+    const Status ts = trace->Close();
+    if (!ts.ok()) return Fail(ts);
+    Say("trace: %llu block events -> %s\n",
+        static_cast<unsigned long long>(trace->records_written()),
+        flags.trace_path.c_str());
+  }
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+
   const size_t raw = trajectory->raw_bytes();
   const size_t out = archive.data.total_bytes();
-  std::printf("%zu snapshots x %zu atoms: %.1f MB -> %.3f MB "
-              "(ratio %.1fx, %.0f MB/s)\n",
-              trajectory->num_snapshots(), trajectory->num_particles(),
-              raw / 1e6, out / 1e6, static_cast<double>(raw) / out,
-              raw / 1e6 / seconds);
-  return 0;
+  Say("%zu snapshots x %zu atoms: %.1f MB -> %.3f MB "
+      "(ratio %.1fx, %.0f MB/s)\n",
+      trajectory->num_snapshots(), trajectory->num_particles(), raw / 1e6,
+      out / 1e6, static_cast<double>(raw) / out, raw / 1e6 / seconds);
+  return kExitOk;
 }
 
 int CmdDecompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
+  if (flags.telemetry()) mdz::obs::SetEnabled(true);
   auto archive = mdz::io::ReadArchive(flags.positional[0]);
   if (!archive.ok()) return Fail(archive.status());
   mdz::core::ThreadPool pool(flags.threads);
@@ -229,10 +333,13 @@ int CmdDecompress(const Flags& flags) {
   trajectory->box = archive->box;
   const Status s = WriteTrajectoryAuto(*trajectory, flags.positional[1]);
   if (!s.ok()) return Fail(s);
-  std::printf("wrote %s: %zu snapshots x %zu atoms\n",
-              flags.positional[1].c_str(), trajectory->num_snapshots(),
-              trajectory->num_particles());
-  return 0;
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+  Say("wrote %s: %zu snapshots x %zu atoms\n", flags.positional[1].c_str(),
+      trajectory->num_snapshots(), trajectory->num_particles());
+  return kExitOk;
 }
 
 int CmdInfo(const Flags& flags) {
@@ -272,6 +379,77 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+// Per-axis block/method breakdown from the archive's block index alone (no
+// payload decoding): which predictor won each buffer and where the bytes
+// sit. This is the offline view of the data behind the paper's Fig. 10/11.
+int CmdStats(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  auto archive = mdz::io::ReadArchive(flags.positional[0]);
+  if (!archive.ok()) return Fail(archive.status());
+
+  struct AxisStats {
+    size_t blocks = 0;
+    size_t snapshots = 0;
+    size_t bytes = 0;
+    size_t by_method[5] = {0, 0, 0, 0, 0};  // indexed by Method value
+  };
+  AxisStats per_axis[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    auto decompressor =
+        mdz::core::FieldDecompressor::Open(archive->data.axes[axis]);
+    if (!decompressor.ok()) return Fail(decompressor.status());
+    auto blocks = (*decompressor)->ListBlocks();
+    if (!blocks.ok()) return Fail(blocks.status());
+    AxisStats& a = per_axis[axis];
+    a.bytes = archive->data.axes[axis].size();
+    for (const auto& b : *blocks) {
+      ++a.blocks;
+      a.snapshots += b.snapshots;
+      const auto m = static_cast<size_t>(b.method);
+      if (m < 5) ++a.by_method[m];
+    }
+  }
+
+  const mdz::core::Method kMethods[] = {
+      mdz::core::Method::kVQ, mdz::core::Method::kVQT, mdz::core::Method::kMT,
+      mdz::core::Method::kTI};
+  if (flags.json) {
+    std::printf("{\"file\":\"%s\",\"axes\":[", flags.positional[0].c_str());
+    for (int axis = 0; axis < 3; ++axis) {
+      const AxisStats& a = per_axis[axis];
+      std::printf("%s{\"axis\":\"%c\",\"blocks\":%zu,\"snapshots\":%zu,"
+                  "\"bytes\":%zu,\"methods\":{",
+                  axis == 0 ? "" : ",", "xyz"[axis], a.blocks, a.snapshots,
+                  a.bytes);
+      bool first = true;
+      for (const auto m : kMethods) {
+        std::printf("%s\"%.*s\":%zu", first ? "" : ",",
+                    static_cast<int>(mdz::core::MethodName(m).size()),
+                    mdz::core::MethodName(m).data(),
+                    a.by_method[static_cast<size_t>(m)]);
+        first = false;
+      }
+      std::printf("}}");
+    }
+    std::printf("]}\n");
+    return kExitOk;
+  }
+
+  std::printf("%-6s %-8s %-10s %-6s %-6s %-6s %-6s %-10s\n", "Axis", "Blocks",
+              "Snapshots", "VQ", "VQT", "MT", "TI", "Bytes");
+  for (int axis = 0; axis < 3; ++axis) {
+    const AxisStats& a = per_axis[axis];
+    std::printf("%-6c %-8zu %-10zu %-6zu %-6zu %-6zu %-6zu %-10zu\n",
+                "xyz"[axis], a.blocks, a.snapshots,
+                a.by_method[static_cast<size_t>(mdz::core::Method::kVQ)],
+                a.by_method[static_cast<size_t>(mdz::core::Method::kVQT)],
+                a.by_method[static_cast<size_t>(mdz::core::Method::kMT)],
+                a.by_method[static_cast<size_t>(mdz::core::Method::kTI)],
+                a.bytes);
+  }
+  return kExitOk;
+}
+
 int CmdVerify(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
   auto original = ReadTrajectoryAuto(flags.positional[0]);
@@ -284,7 +462,7 @@ int CmdVerify(const Flags& flags) {
   if (decoded->num_snapshots() != original->num_snapshots() ||
       decoded->num_particles() != original->num_particles()) {
     std::fprintf(stderr, "dimension mismatch\n");
-    return 1;
+    return kExitFailure;
   }
   std::printf("%-6s %-12s %-12s %-10s\n", "Axis", "MaxError", "NRMSE",
               "PSNR_dB");
@@ -310,6 +488,7 @@ int main(int argc, char** argv) {
   if (command == "compress") return CmdCompress(*flags);
   if (command == "decompress") return CmdDecompress(*flags);
   if (command == "info") return CmdInfo(*flags);
+  if (command == "stats") return CmdStats(*flags);
   if (command == "verify") return CmdVerify(*flags);
   return Usage();
 }
