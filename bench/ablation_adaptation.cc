@@ -47,6 +47,7 @@ int main() {
       {"Config", "CR", "Comp_MB/s", "AdaptRuns"}, 14);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("ablation_adaptation");
   for (auto method : {mdz::core::Method::kVQ, mdz::core::Method::kVQT,
                       mdz::core::Method::kMT}) {
     mdz::core::Options options;
@@ -58,6 +59,10 @@ int main() {
     table.PrintRow({std::string(mdz::core::MethodName(method)),
                     mdz::bench::Fmt(static_cast<double>(raw) / out->size(), 1),
                     mdz::bench::Fmt(raw / 1e6 / seconds, 1), "-"});
+    const std::string prefix =
+        "regime_switch/" + std::string(mdz::core::MethodName(method));
+    report.Add(prefix + "/cr", static_cast<double>(raw) / out->size(), "x");
+    report.Add(prefix + "/compress_mbps", raw / 1e6 / seconds, "MB/s");
   }
 
   for (uint32_t interval : {1u, 2u, 5u, 10u, 25u, 50u, 1000u}) {
@@ -78,7 +83,12 @@ int main() {
                     mdz::bench::Fmt(stats.compression_ratio(), 1),
                     mdz::bench::Fmt(raw / 1e6 / seconds, 1),
                     std::to_string(stats.adaptation_runs)});
+    const std::string prefix =
+        "regime_switch/ADP" + std::to_string(interval);
+    report.Add(prefix + "/cr", stats.compression_ratio(), "x");
+    report.Add(prefix + "/compress_mbps", raw / 1e6 / seconds, "MB/s");
   }
+  report.Emit();
   std::printf(
       "\nExpected shape: tiny intervals track regime changes perfectly but\n"
       "pay ~3x trial-compression cost; interval 50 (the paper's default)\n"

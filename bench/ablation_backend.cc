@@ -84,8 +84,11 @@ int main() {
   streams.push_back({"gaussian (high entropy)", NoisyCodes(count)});
   streams.push_back({"run-dominated (stable)", RunnyCodes(count)});
 
+  mdz::bench::BenchReport report("ablation_backend");
   for (const auto& [name, codes] : streams) {
     const double denom = static_cast<double>(codes.size());
+    const std::string stream_key =
+        std::string(name).substr(0, std::string(name).find(' '));
     auto timed = [&](auto&& fn) {
       mdz::WallTimer timer;
       const size_t bytes = fn();
@@ -93,10 +96,16 @@ int main() {
       return std::pair<double, double>(8.0 * bytes / denom,
                                        denom / 1e6 / seconds);
     };
+    auto record = [&](const std::string& backend, double bits, double speed) {
+      report.Add(stream_key + "/" + backend + "/bits_per_code", bits, "bits");
+      report.Add(stream_key + "/" + backend + "/encode_msyms", speed,
+                 "Msym/s");
+    };
 
     auto [huff_bits, huff_speed] = timed([&] { return HuffmanOnly(codes); });
     table.PrintRow({name, "Huffman only", mdz::bench::Fmt(huff_bits, 3),
                     mdz::bench::Fmt(huff_speed, 1)});
+    record("huffman", huff_bits, huff_speed);
     for (const auto& [lz_name, lz] :
          std::vector<std::pair<std::string, mdz::codec::LzOptions>>{
              {"Huffman+LZ(zstd-like)", mdz::codec::ZstdLikeOptions()},
@@ -104,12 +113,16 @@ int main() {
       auto [bits, speed] = timed([&] { return HuffmanThenLz(codes, lz); });
       table.PrintRow({name, lz_name, mdz::bench::Fmt(bits, 3),
                       mdz::bench::Fmt(speed, 1)});
+      record(lz_name == "Huffman+LZ(zstd-like)" ? "huffman_lz_zstd"
+                                                : "huffman_lz_deflate",
+             bits, speed);
     }
     {
       auto [bits, speed] = timed(
           [&] { return PackedThenLz(codes, mdz::codec::ZstdLikeOptions()); });
       table.PrintRow({name, "u16+LZ(zstd-like)", mdz::bench::Fmt(bits, 3),
                       mdz::bench::Fmt(speed, 1)});
+      record("u16_lz_zstd", bits, speed);
     }
     {
       auto [bits, speed] = timed([&] {
@@ -117,8 +130,10 @@ int main() {
       });
       table.PrintRow({name, "adaptive range coder", mdz::bench::Fmt(bits, 3),
                       mdz::bench::Fmt(speed, 1)});
+      record("range_coder", bits, speed);
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape: on high-entropy codes, Huffman dominates and the\n"
       "dictionary stage adds nothing (packed+LZ is ~2x worse). On\n"

@@ -18,6 +18,7 @@ int main() {
                                  10);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("ablation_levels");
   for (double sample : {0.01, 0.05, 0.10, 0.5}) {
     for (double knee : {0.5, 0.8, 0.9, 0.99}) {
       for (int max_k : {8, 50, 150}) {
@@ -41,9 +42,15 @@ int main() {
              mdz::bench::Fmt(fit->lambda, 3),
              mdz::bench::Fmt(fit->fit_error, 4),
              mdz::bench::Fmt(static_cast<double>(raw) / out->size(), 1)});
+        char knob_label[64];
+        std::snprintf(knob_label, sizeof(knob_label),
+                      "sample%g/knee%g/maxk%d", sample, knee, max_k);
+        report.Add("Copper-B/" + std::string(knob_label) + "/vq_cr",
+                   static_cast<double>(raw) / out->size(), "x");
       }
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape: the fitted lambda (and hence the VQ ratio) is\n"
       "insensitive to the sample fraction down to ~1%% and to the knee\n"

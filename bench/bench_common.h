@@ -17,6 +17,7 @@
 #include "core/mdz.h"
 #include "core/trajectory.h"
 #include "datagen/generators.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
@@ -196,11 +197,11 @@ inline CrMatched MatchCompressionRatio(
 }
 
 // Writes the global metrics registry (the telemetry a bench accumulated
-// while running with obs::SetEnabled(true)) as BENCH_<name>.json in the
-// working directory, so bench output is machine-readable alongside the
+// while running with obs::SetEnabled(true)) as BENCH_<name>_metrics.json in
+// the working directory, so bench output is machine-readable alongside the
 // printed table. Returns the path; failures warn but don't kill the bench.
 inline std::string EmitMetricsJson(const std::string& name) {
-  const std::string path = "BENCH_" + name + ".json";
+  const std::string path = "BENCH_" + name + "_metrics.json";
   const Status s =
       obs::WriteJsonFile(obs::MetricsRegistry::Global(), path);
   if (!s.ok()) {
@@ -209,6 +210,120 @@ inline std::string EmitMetricsJson(const std::string& name) {
   }
   return path;
 }
+
+// --- mdz.bench.v1 -----------------------------------------------------------
+//
+// Every bench binary emits its headline numbers through one BenchReport so
+// tools/bench_diff can compare any two runs without per-bench parsers:
+//
+//   {"schema":"mdz.bench.v1","bench":"fig9","scale":1,"build":{...},
+//    "metrics":[{"name":"Copper-B/bs10/MDZ/cr","value":20.7,"unit":"x",
+//                "repetitions":1}, ...]}
+//
+// Units carry the comparison semantics: "x" (compression ratio) and "MB/s"
+// (throughput) are higher-is-better and gated by bench_diff; anything else
+// ("s", "bytes", "1", ...) is informational. Metric names are stable
+// dataset/config/compressor paths — bench_diff matches on them exactly.
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  int repetitions = 1;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit,
+           int repetitions = 1) {
+    metrics_.push_back(BenchMetric{name, value, unit, repetitions});
+  }
+
+  // Headline numbers of one compress/decompress cycle under `prefix`.
+  void AddRun(const std::string& prefix, const CompressionRun& run,
+              int repetitions = 1) {
+    Add(prefix + "/cr", run.ratio(), "x", repetitions);
+    Add(prefix + "/compress_mbps", run.compress_mbps(), "MB/s", repetitions);
+    Add(prefix + "/decompress_mbps", run.decompress_mbps(), "MB/s",
+        repetitions);
+  }
+
+  size_t size() const { return metrics_.size(); }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema\":\"mdz.bench.v1\"";
+    out += ",\"bench\":\"" + JsonEscape(bench_) + '"';
+    out += ",\"scale\":" + JsonNumber(SizeScale());
+    out += ",\"build\":" + obs::BuildInfoJson();
+    out += ",\"metrics\":[";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out += ',';
+      const BenchMetric& m = metrics_[i];
+      out += "{\"name\":\"" + JsonEscape(m.name) + '"';
+      out += ",\"value\":" + JsonNumber(m.value);
+      out += ",\"unit\":\"" + JsonEscape(m.unit) + '"';
+      out += ",\"repetitions\":" + std::to_string(m.repetitions);
+      out += '}';
+    }
+    out += "]}";
+    return out;
+  }
+
+  // Writes BENCH_<bench>.json in the working directory (the layout
+  // tools/bench_diff and tools/ci.sh expect). Failures warn but don't kill
+  // the bench — the printed table is still the primary output.
+  std::string Emit() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return path;
+    }
+    const std::string json = ToJson() + "\n";
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    }
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  // Shortest round-trip double; non-finite renders as null (bench_diff
+  // treats null as absent).
+  static std::string JsonNumber(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    for (int precision = 6; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+      double parsed = 0.0;
+      std::sscanf(buf, "%lf", &parsed);
+      if (parsed == v) break;
+    }
+    return buf;
+  }
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<BenchMetric> metrics_;
+};
 
 }  // namespace mdz::bench
 

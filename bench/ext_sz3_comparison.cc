@@ -37,6 +37,7 @@ int main() {
       {"Dataset", "BS", "MDZ_CR", "SZ3_CR", "MDZ+TI_CR", "Winner"}, 11);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("ext_sz3");
   for (const auto& dataset : mdz::datagen::AllMdDatasets()) {
     const mdz::core::Trajectory traj =
         mdz::bench::LoadDataset(dataset.name, 0.4);
@@ -54,8 +55,14 @@ int main() {
       table.PrintRow({std::string(dataset.name), std::to_string(bs),
                       mdz::bench::Fmt(mdz_cr, 1), mdz::bench::Fmt(sz3_cr, 1),
                       mdz::bench::Fmt(ti_cr, 1), winner});
+      const std::string prefix =
+          std::string(dataset.name) + "/bs" + std::to_string(bs);
+      report.Add(prefix + "/MDZ/cr", mdz_cr, "x");
+      report.Add(prefix + "/SZ3/cr", sz3_cr, "x");
+      report.Add(prefix + "/MDZ+TI/cr", ti_cr, "x");
     }
   }
+  report.Emit();
   std::printf(
       "\nReading: two-sided interpolation overtakes MDZ's one-sided time\n"
       "prediction on temporally smooth data, especially at small buffers —\n"

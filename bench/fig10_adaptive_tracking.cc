@@ -91,9 +91,16 @@ int main() {
     row.push_back(adp_method);
     if (buffer_index % 4 == 1) table.PrintRow(row);  // subsample the series
   }
+  mdz::bench::BenchReport report("fig10");
+  const size_t total_raw = field.size() * n * sizeof(double);
   for (auto& [name, tracker] : trackers) {
     (void)tracker.compressor->Finish();
+    report.Add("regime_switch/" + name + "/cr",
+               static_cast<double>(total_raw) /
+                   tracker.compressor->output().size(),
+               "x");
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): one method dominates before the switch and\n"
       "another after; ADP's column follows the per-regime winner within one\n"

@@ -15,6 +15,7 @@ int main() {
       {"Dataset", "BS", "VQ", "VQT", "MT", "ADP"}, 11);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("fig11");
   for (const auto& dataset : mdz::datagen::AllMdDatasets()) {
     const mdz::core::Trajectory traj =
         mdz::bench::LoadDataset(dataset.name, 0.5);
@@ -25,12 +26,16 @@ int main() {
       std::vector<std::string> row = {std::string(dataset.name),
                                       std::to_string(bs)};
       for (const auto& variant : variants) {
-        row.push_back(
-            mdz::bench::Fmt(mdz::bench::TrajectoryRatio(variant, traj, config), 1));
+        const double cr = mdz::bench::TrajectoryRatio(variant, traj, config);
+        row.push_back(mdz::bench::Fmt(cr, 1));
+        report.Add(std::string(dataset.name) + "/bs" + std::to_string(bs) +
+                       "/" + std::string(variant.name) + "/cr",
+                   cr, "x");
       }
       table.PrintRow(row);
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): ADP's column equals (or slightly exceeds,\n"
       "per-axis mixing) the best of the three fixed methods on every row.\n");

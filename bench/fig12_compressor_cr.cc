@@ -16,6 +16,7 @@ int main() {
   mdz::bench::TablePrinter table(headers, 10);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("fig12");
   for (const auto& dataset : mdz::datagen::AllMdDatasets()) {
     const mdz::core::Trajectory traj =
         mdz::bench::LoadDataset(dataset.name, 0.5);
@@ -31,6 +32,9 @@ int main() {
       for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
         const double ratio = mdz::bench::TrajectoryRatio(info, traj, config);
         row.push_back(mdz::bench::Fmt(ratio, 1));
+        report.Add(std::string(dataset.name) + "/bs" + std::to_string(bs) +
+                       "/" + std::string(info.name) + "/cr",
+                   ratio, "x");
         if (info.name == "MDZ") {
           mdz_ratio = ratio;
         } else {
@@ -44,6 +48,7 @@ int main() {
       table.PrintRow(row);
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): MDZ has the highest CR on every dataset and\n"
       "buffer size; MDB stays in the 1-6x range; the MDZ gain over the\n"

@@ -14,6 +14,7 @@ int main() {
 
   const double bounds[] = {1e-2, 1e-3, 1e-4, 1e-5};
 
+  mdz::bench::BenchReport report("fig13");
   for (const char* name : {"Copper-B", "Helium-B", "ADK", "Pt"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
     const auto field = mdz::bench::AxisField(traj, 0);
@@ -32,16 +33,21 @@ int main() {
         std::vector<double> dec;
         for (const auto& s : decoded) dec.insert(dec.end(), s.begin(), s.end());
         const auto metrics = mdz::analysis::ComputeErrorMetrics(orig, dec);
+        const double bitrate =
+            mdz::analysis::BitRate(run.compressed_bytes, orig.size());
         table.PrintRow({traj.name, std::string(info.name),
-                        mdz::bench::Fmt(eb, 5),
-                        mdz::bench::Fmt(
-                            mdz::analysis::BitRate(run.compressed_bytes,
-                                                   orig.size()),
-                            3),
+                        mdz::bench::Fmt(eb, 5), mdz::bench::Fmt(bitrate, 3),
                         mdz::bench::Fmt(metrics.psnr, 1)});
+        char eb_label[32];
+        std::snprintf(eb_label, sizeof(eb_label), "eb%g", eb);
+        const std::string prefix = traj.name + "/" + eb_label + "/" +
+                                   std::string(info.name);
+        report.Add(prefix + "/bitrate", bitrate, "bits");
+        report.Add(prefix + "/psnr", metrics.psnr, "dB");
       }
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): at matched PSNR, MDZ's bit rate is the\n"
       "lowest (roughly half of the baselines'); at matched bit rate its PSNR\n"

@@ -48,6 +48,7 @@ int main() {
       {"Compressor", "CR", "MaxRDFDev", "PeakG", "Verdict"}, 12);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("fig14");
   for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
     if (info.name == "MDB") continue;  // cannot reach CR=10
     std::array<mdz::baselines::Field, 3> decoded;
@@ -76,7 +77,11 @@ int main() {
     table.PrintRow({std::string(info.name), mdz::bench::Fmt(achieved, 1),
                     mdz::bench::Fmt(dev, 3), mdz::bench::Fmt(dec_peak, 2),
                     dev < 0.25 * peak_g ? "preserved" : "distorted"});
+    const std::string prefix = "Copper-B/cr10/" + std::string(info.name);
+    report.Add(prefix + "/achieved_cr", achieved, "x");
+    report.Add(prefix + "/rdf_max_dev", dev, "g");
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): at CR=10 only MDZ keeps the RDF on top of\n"
       "the original (smallest deviation, crystalline peaks intact); the\n"

@@ -15,6 +15,7 @@ int main() {
       {"Dataset", "Compressor", "Comp_MB/s", "Dec_MB/s", "CR"}, 12);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("fig15");
   for (const auto& dataset : mdz::datagen::AllMdDatasets()) {
     const mdz::core::Trajectory traj =
         mdz::bench::LoadDataset(dataset.name, 0.4);
@@ -29,6 +30,9 @@ int main() {
                       mdz::bench::Fmt(run.compress_mbps(), 1),
                       mdz::bench::Fmt(run.decompress_mbps(), 1),
                       mdz::bench::Fmt(run.ratio(), 1)});
+      report.AddRun(std::string(dataset.name) + "/bs10/" +
+                        std::string(info.name),
+                    run);
     }
   }
   std::printf(
@@ -85,8 +89,13 @@ int main() {
                       mdz::bench::Fmt(raw_mb / dec_s, 1),
                       mdz::bench::Fmt(comp_s > 0 ? serial_comp / comp_s : 0.0, 2),
                       mdz::bench::Fmt(dec_s > 0 ? serial_dec / dec_s : 0.0, 2)});
+      const std::string prefix = std::string(name) + "/threads" +
+                                 std::to_string(threads) + "/MDZ";
+      report.Add(prefix + "/compress_mbps", raw_mb / comp_s, "MB/s");
+      report.Add(prefix + "/decompress_mbps", raw_mb / dec_s, "MB/s");
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape: compression scales past 3x (axis tasks + concurrent\n"
       "ADP trial encodes); decompression scales with the number of\n"

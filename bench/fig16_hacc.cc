@@ -13,6 +13,7 @@ int main() {
   mdz::bench::TablePrinter table(headers, 10);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("fig16");
   for (const char* name : {"HACC-1", "HACC-2"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.5);
     for (uint32_t bs : {10u}) {
@@ -21,12 +22,16 @@ int main() {
       config.buffer_size = bs;
       std::vector<std::string> row = {std::string(name), std::to_string(bs)};
       for (const auto& info : mdz::baselines::PaperLossyCompressors()) {
-        row.push_back(mdz::bench::Fmt(
-            mdz::bench::TrajectoryRatio(info, traj, config), 1));
+        const double cr = mdz::bench::TrajectoryRatio(info, traj, config);
+        row.push_back(mdz::bench::Fmt(cr, 1));
+        report.Add(std::string(name) + "/bs" + std::to_string(bs) + "/" +
+                       std::string(info.name) + "/cr",
+                   cr, "x");
       }
       table.PrintRow(row);
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): MDZ is the best on both datasets, ~30-55%%\n"
       "above the second-best compressor — the spatial+temporal design\n"

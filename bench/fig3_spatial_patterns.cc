@@ -8,6 +8,7 @@
 int main() {
   std::printf("=== Paper Fig. 3: spatial correlations in atom position data ===\n\n");
 
+  mdz::bench::BenchReport report("fig3");
   for (const char* name :
        {"Copper-B", "ADK", "Helium-A", "Helium-B", "Pt", "LJ"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
@@ -18,9 +19,11 @@ int main() {
     for (size_t i = 0; i < 40 && i < x.size(); ++i) {
       std::printf("%.2f ", x[i]);
     }
-    std::printf("\nspatial roughness (mean |dx| / range): %.4f\n\n",
-                mdz::analysis::SpatialRoughness(x));
+    const double roughness = mdz::analysis::SpatialRoughness(x);
+    std::printf("\nspatial roughness (mean |dx| / range): %.4f\n\n", roughness);
+    report.Add(std::string(name) + "/spatial_roughness", roughness, "1");
   }
+  report.Emit();
   std::printf(
       "Expected shape (paper): crystalline sets (Copper-B, Helium-B) show\n"
       "stable zigzag level patterns; Pt shows stair-wise plateaus; ADK looks\n"

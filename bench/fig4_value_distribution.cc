@@ -8,6 +8,7 @@
 int main() {
   std::printf("=== Paper Fig. 4: frequencies of atom position data ===\n\n");
 
+  mdz::bench::BenchReport report("fig4");
   for (const char* name :
        {"Copper-B", "ADK", "Helium-A", "Helium-B", "Pt", "LJ"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
@@ -24,9 +25,11 @@ int main() {
       std::printf(" %zu\n", hist.counts[b]);
     }
     const auto fine = mdz::analysis::ComputeHistogram(x, 120);
-    std::printf("peaks (120-bin): %d\n\n",
-                mdz::analysis::CountHistogramPeaks(fine));
+    const int peaks = mdz::analysis::CountHistogramPeaks(fine);
+    std::printf("peaks (120-bin): %d\n\n", peaks);
+    report.Add(std::string(name) + "/histogram_peaks", peaks, "1");
   }
+  report.Emit();
   std::printf(
       "Expected shape (paper): Copper-B / Helium-A / Helium-B are multi-peak\n"
       "(level clustering); ADK / Pt / LJ are near-uniform across the box.\n");

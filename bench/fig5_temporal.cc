@@ -8,6 +8,7 @@
 int main() {
   std::printf("=== Paper Fig. 5: temporal correlations (time normalized to 0-50) ===\n\n");
 
+  mdz::bench::BenchReport report("fig5");
   for (const char* name :
        {"Copper-B", "ADK", "Helium-B", "Helium-A", "Pt", "LJ"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name, 0.3);
@@ -22,9 +23,12 @@ int main() {
       }
       std::printf("\n");
     }
+    const double roughness = mdz::analysis::TemporalRoughness(traj, 0);
     std::printf("temporal roughness (mean |dx/dt| / range): %.5f\n\n",
-                mdz::analysis::TemporalRoughness(traj, 0));
+                roughness);
+    report.Add(std::string(name) + "/temporal_roughness", roughness, "1");
   }
+  report.Emit();
   std::printf(
       "Expected shape (paper): Copper-B / ADK / Helium-B change largely and\n"
       "frequently; Helium-A / Pt / LJ change only slightly between dumps.\n");

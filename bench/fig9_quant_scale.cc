@@ -19,6 +19,7 @@ int main() {
                                   "CR"},
                                  12);
   table.PrintHeader();
+  mdz::bench::BenchReport report("fig9");
 
   for (uint32_t scale : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
     for (auto method : {mdz::core::Method::kVQ, mdz::core::Method::kVQT,
@@ -46,8 +47,16 @@ int main() {
                       mdz::bench::Fmt(static_cast<double>(raw) /
                                           compressed->size(),
                                       1)});
+      const std::string prefix = "Helium-B/scale" + std::to_string(scale) +
+                                 "/" +
+                                 std::string(mdz::core::MethodName(method));
+      report.Add(prefix + "/compress_mbps", raw / 1e6 / comp_s, "MB/s");
+      report.Add(prefix + "/decompress_mbps", raw / 1e6 / dec_s, "MB/s");
+      report.Add(prefix + "/cr",
+                 static_cast<double>(raw) / compressed->size(), "x");
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): throughput drops several-fold as the scale\n"
       "grows from 64 to 65536 (bigger Huffman tables); 1024 keeps speed high\n"

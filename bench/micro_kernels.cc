@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "cluster/kmeans1d.h"
 #include "codec/huffman.h"
 #include "codec/lz.h"
@@ -130,6 +131,48 @@ BENCHMARK(BM_MdzCompressField)
     ->Arg(2)   // MT
     ->Arg(3);  // ADP
 
+// Console output as usual, plus every completed run captured into the shared
+// mdz.bench.v1 report so micro-kernel numbers flow through the same
+// bench_diff gate as the figure benches.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(mdz::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      const int reps = static_cast<int>(run.iterations);
+      report_->Add(name + "/real_time_ns", run.GetAdjustedRealTime(), "ns",
+                   reps);
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        report_->Add(name + "/throughput",
+                     static_cast<double>(it->second) / 1e6, "MB/s", reps);
+      }
+      it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        report_->Add(name + "/items_per_second",
+                     static_cast<double>(it->second), "items/s", reps);
+      }
+    }
+  }
+
+ private:
+  mdz::bench::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mdz::bench::BenchReport report("micro_kernels");
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.Emit();
+  return 0;
+}

@@ -1,9 +1,10 @@
 // Pipeline-stage breakdown (not a paper exhibit): where the compressed bytes
 // and the compression wall time go, per dataset. Runs the full compressor
 // with telemetry on, prints the per-stage byte split from CompressorStats
-// plus the hottest timing spans, and emits the whole metrics snapshot as
-// BENCH_pipeline.json for downstream tooling (tools/check_telemetry.sh
-// validates the same schema).
+// plus the hottest timing spans, and emits both the mdz.bench.v1 report
+// (BENCH_pipeline.json, gated by tools/bench_diff in ci.sh) and the whole
+// metrics snapshot (BENCH_pipeline_metrics.json, same mdz.metrics.v1 schema
+// tools/check_telemetry.sh validates).
 
 #include <string>
 #include <vector>
@@ -66,6 +67,7 @@ int Main() {
                       "Huff/LZ", "VQ", "VQT", "MT"},
                      10);
   table.PrintHeader();
+  BenchReport report("pipeline");
   for (const auto& name : datasets) {
     const DatasetRow row = RunDataset(name);
     const core::CompressorStats& t = row.totals;
@@ -84,7 +86,20 @@ int Main() {
         std::to_string(t.blocks_vqt),
         std::to_string(t.blocks_mt),
     });
+    report.Add(row.name + "/cr",
+               static_cast<double>(row.raw_bytes) / t.compressed_bytes, "x");
+    report.Add(row.name + "/main_lz_pct",
+               t.compressed_bytes == 0
+                   ? 0.0
+                   : 100.0 * t.main_lz_bytes / t.compressed_bytes,
+               "%");
+    report.Add(row.name + "/side_lz_pct",
+               t.compressed_bytes == 0
+                   ? 0.0
+                   : 100.0 * t.side_lz_bytes / t.compressed_bytes,
+               "%");
   }
+  report.Emit();
 
   std::printf("\nTiming spans (seconds, across all datasets):\n");
   std::printf("%-64s %8s %10s\n", "Span", "Count", "Total_s");

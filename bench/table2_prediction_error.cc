@@ -55,6 +55,7 @@ int main() {
       {"Dataset", "Axis", "Snapshot0", "Lorenzo", "PrevSnap"}, 12);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("table2");
   for (const char* name : {"Copper-A", "Helium-A", "Pt", "LJ"}) {
     const Trajectory traj = mdz::bench::LoadDataset(name);
     for (int axis = 0; axis < 3; ++axis) {
@@ -63,8 +64,14 @@ int main() {
                       mdz::bench::Fmt(e.snapshot0, 4),
                       mdz::bench::Fmt(e.lorenzo, 4),
                       mdz::bench::Fmt(e.previous, 4)});
+      const std::string prefix =
+          std::string(name) + "/" + std::string(1, "xyz"[axis]);
+      report.Add(prefix + "/snapshot0_mae", e.snapshot0, "1");
+      report.Add(prefix + "/lorenzo_mae", e.lorenzo, "1");
+      report.Add(prefix + "/prev_snapshot_mae", e.previous, "1");
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): snapshot-0 prediction error is far below\n"
       "the spatial Lorenzo error on temporally smooth datasets.\n");

@@ -11,6 +11,7 @@ int main() {
   mdz::bench::TablePrinter table({"Dataset", "Axis", "1D_CR", "2D_CR"}, 12);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("table4");
   for (const char* name : {"Pt", "LJ", "Helium-A"}) {
     const mdz::core::Trajectory traj = mdz::bench::LoadDataset(name);
     for (int axis = 0; axis < 3; ++axis) {
@@ -32,8 +33,13 @@ int main() {
       table.PrintRow({traj.name, std::string(1, "xyz"[axis]),
                       mdz::bench::Fmt(ratios[0], 2),
                       mdz::bench::Fmt(ratios[1], 2)});
+      const std::string prefix =
+          std::string(name) + "/" + std::string(1, "xyz"[axis]) + "/SZ2";
+      report.Add(prefix + "/1d/cr", ratios[0], "x");
+      report.Add(prefix + "/2d/cr", ratios[1], "x");
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): 2D mode reaches up to ~2-3x the 1D ratio on\n"
       "temporally smooth data (Pt), smaller gains elsewhere.\n");

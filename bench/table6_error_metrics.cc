@@ -25,6 +25,7 @@ int main() {
       {"Compressor", "Axis", "CR", "MaxError", "NRMSE_1e-4"}, 13);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("table6");
   for (const auto& info : compressors) {
     for (int axis = 0; axis < 3; ++axis) {
       const auto field = mdz::bench::AxisField(traj, axis);
@@ -47,8 +48,13 @@ int main() {
                       mdz::bench::Fmt(matched.achieved_ratio, 1),
                       mdz::bench::Fmt(metrics.max_error, 4),
                       mdz::bench::Fmt(metrics.nrmse * 1e4, 2)});
+      const std::string prefix = "Copper-B/cr10/" + std::string(info.name) +
+                                 "/" + std::string(1, "xyz"[axis]);
+      report.Add(prefix + "/max_error", metrics.max_error, "1");
+      report.Add(prefix + "/nrmse", metrics.nrmse, "1");
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): at the same CR, MDZ variants (VQ on x/y, MT\n"
       "on z, ADP matching the per-axis best) show the lowest MaxError and\n"

@@ -78,6 +78,7 @@ int main() {
                                  10);
   table.PrintHeader();
 
+  mdz::bench::BenchReport report("table7");
   for (int dump_every : {10, 100}) {
     for (int cells : {8, 12}) {  // 2048 and 6912 atoms
       const size_t atoms = static_cast<size_t>(cells) * cells * cells * 4;
@@ -89,9 +90,17 @@ int main() {
                         mdz::bench::Fmt(r.comp_pct, 1),
                         mdz::bench::Fmt(r.output_pct, 1),
                         mdz::bench::Fmt(r.dump_bytes / 1e6, 2)});
+        const std::string prefix = "lj/freq" + std::to_string(dump_every) +
+                                   "/atoms" + std::to_string(atoms) +
+                                   (use_mdz ? "/mdz" : "/raw");
+        report.Add(prefix + "/total_seconds", r.total_seconds, "s");
+        report.Add(prefix + "/output_pct", r.output_pct, "%");
+        report.Add(prefix + "/dump_bytes",
+                   static_cast<double>(r.dump_bytes), "bytes");
       }
     }
   }
+  report.Emit();
   std::printf(
       "\nExpected shape (paper): enabling MDZ leaves total runtime within\n"
       "noise, shrinks the dump by >10x, and at high dump frequency reduces\n"

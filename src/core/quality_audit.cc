@@ -1,0 +1,102 @@
+#include "core/quality_audit.h"
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace mdz::core {
+
+namespace {
+
+// Mirrors the per-stats bucket layout into the global registry so the
+// rel_error distribution shows up in metrics.json / metrics.prom alongside
+// the span histograms.
+obs::Histogram* RelErrorHistogram() {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "audit/rel_error", std::span<const double>(obs::kQualityBucketBounds));
+}
+
+}  // namespace
+
+Result<obs::FieldQuality> AuditField(std::span<const uint8_t> stream,
+                                     const Trajectory& original, int axis,
+                                     const AuditOptions& options) {
+  MDZ_SPAN("audit_field");
+  if (axis < 0 || axis > 2) {
+    return Status::InvalidArgument("audit axis must be 0, 1, or 2");
+  }
+
+  MDZ_ASSIGN_OR_RETURN(auto decompressor, FieldDecompressor::Open(stream));
+  if (decompressor->num_particles() != original.num_particles()) {
+    return Status::InvalidArgument(
+        "particle count mismatch: archive has " +
+        std::to_string(decompressor->num_particles()) + ", original has " +
+        std::to_string(original.num_particles()));
+  }
+  MDZ_ASSIGN_OR_RETURN(auto blocks, decompressor->ListBlocks());
+  size_t stream_snapshots = 0;
+  for (const auto& b : blocks) stream_snapshots += b.snapshots;
+  if (stream_snapshots != original.num_snapshots()) {
+    return Status::InvalidArgument(
+        "snapshot count mismatch: archive has " +
+        std::to_string(stream_snapshots) + ", original has " +
+        std::to_string(original.num_snapshots()));
+  }
+
+  obs::FieldQuality field;
+  field.axis = axis;
+  field.bound = decompressor->absolute_error_bound();
+  field.blocks.reserve(blocks.size());
+
+  const bool feed_registry = options.telemetry && obs::Enabled();
+  obs::Histogram* rel_error = feed_registry ? RelErrorHistogram() : nullptr;
+
+  std::vector<double> decoded;
+  size_t snapshot_index = 0;
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    obs::BlockQuality block;
+    block.block_index = bi;
+    block.first_snapshot = blocks[bi].first_snapshot;
+    block.snapshots = blocks[bi].snapshots;
+    block.method = std::string(MethodName(blocks[bi].method));
+
+    for (size_t s = 0; s < blocks[bi].snapshots; ++s, ++snapshot_index) {
+      MDZ_ASSIGN_OR_RETURN(bool have, decompressor->Next(&decoded));
+      if (!have) {
+        return Status::Corruption(
+            "stream ended before the block index said it would (snapshot " +
+            std::to_string(snapshot_index) + ")");
+      }
+      const std::vector<double>& ref =
+          original.snapshots[snapshot_index].axes[axis];
+      for (size_t p = 0; p < decoded.size(); ++p) {
+        const double ratio = block.stats.Observe(ref[p], decoded[p], field.bound);
+        if (rel_error != nullptr) rel_error->Observe(ratio);
+      }
+    }
+
+    if (options.trace != nullptr) options.trace->Record(axis, block);
+    field.stats.Merge(block.stats);
+    field.blocks.push_back(std::move(block));
+  }
+
+  if (feed_registry) obs::RecordQualityMetrics(field);
+  return field;
+}
+
+Result<obs::QualityReport> AuditTrajectory(
+    const CompressedTrajectory& compressed, const Trajectory& original,
+    const AuditOptions& options) {
+  obs::QualityReport report;
+  report.fields.reserve(3);
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_ASSIGN_OR_RETURN(
+        auto field, AuditField(compressed.axes[axis], original, axis, options));
+    report.fields.push_back(std::move(field));
+  }
+  return report;
+}
+
+}  // namespace mdz::core

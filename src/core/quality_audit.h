@@ -1,0 +1,50 @@
+#ifndef MDZ_CORE_QUALITY_AUDIT_H_
+#define MDZ_CORE_QUALITY_AUDIT_H_
+
+// Streaming decompress-and-verify: decodes an archive block by block and
+// checks every reconstructed value against the original trajectory and the
+// stream's configured absolute error bound. This is the driver behind
+// `mdz audit` and the compressor's --audit flag; the accumulators and the
+// mdz.quality.v1 serialization live in obs/quality.h (pure math, no decoder
+// dependency).
+//
+// Memory stays bounded: only one decoded snapshot is live at a time, and the
+// original is read in place — no flattened copies of either side.
+
+#include <span>
+
+#include "core/mdz.h"
+#include "core/trajectory.h"
+#include "obs/quality.h"
+#include "util/status.h"
+
+namespace mdz::core {
+
+struct AuditOptions {
+  // Optional per-block JSONL trace (one line per decoded block). Non-owning;
+  // must outlive the audit call.
+  obs::QualityTraceSink* trace = nullptr;
+  // Feed the global metrics registry (audit/* counters and the
+  // audit/rel_error histogram). Requires obs::Enabled().
+  bool telemetry = false;
+};
+
+// Audits one axis stream against the matching axis of `original`. The stream
+// must decode to exactly original.num_snapshots() snapshots of
+// original.num_particles() values — a shape mismatch is InvalidArgument (the
+// comparison would be meaningless), while undecodable input surfaces the
+// decoder's own Corruption status. A bound violation is NOT an error status:
+// it is counted in the returned FieldQuality (callers map violations to
+// their own verdict, e.g. exit code 5).
+Result<obs::FieldQuality> AuditField(std::span<const uint8_t> stream,
+                                     const Trajectory& original, int axis,
+                                     const AuditOptions& options = {});
+
+// Audits all three axis streams of a compressed trajectory.
+Result<obs::QualityReport> AuditTrajectory(
+    const CompressedTrajectory& compressed, const Trajectory& original,
+    const AuditOptions& options = {});
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_QUALITY_AUDIT_H_

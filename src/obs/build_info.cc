@@ -1,0 +1,78 @@
+#include "obs/build_info.h"
+
+namespace mdz::obs {
+
+namespace {
+
+#ifndef MDZ_GIT_SHA
+#define MDZ_GIT_SHA "unknown"
+#endif
+#ifndef MDZ_GIT_DESCRIBE
+#define MDZ_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MDZ_BUILD_FLAGS
+#define MDZ_BUILD_FLAGS "unknown"
+#endif
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // flags/describe never legitimately contain control chars
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo();
+    b->git_sha = MDZ_GIT_SHA;
+    b->git_describe = MDZ_GIT_DESCRIBE;
+    b->compiler = CompilerString();
+    b->flags = MDZ_BUILD_FLAGS;
+#ifdef MDZ_OBS_DISABLED
+    b->obs_disabled = true;
+#else
+    b->obs_disabled = false;
+#endif
+    return b;
+  }();
+  return *info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string out = "{\"git_sha\":\"" + JsonEscape(b.git_sha) +
+                    "\",\"git_describe\":\"" + JsonEscape(b.git_describe) +
+                    "\",\"compiler\":\"" + JsonEscape(b.compiler) +
+                    "\",\"flags\":\"" + JsonEscape(b.flags) +
+                    "\",\"obs_disabled\":";
+  out += b.obs_disabled ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace mdz::obs

@@ -1,0 +1,41 @@
+#ifndef MDZ_OBS_BUILD_INFO_H_
+#define MDZ_OBS_BUILD_INFO_H_
+
+// Build provenance, stamped once per binary: which commit, compiler and
+// flags produced it, and whether telemetry was compiled out. Every
+// machine-readable artifact the tree emits (mdz.metrics.v1, mdz.bench.v1,
+// mdz.quality.v1, the Prometheus exposition, `mdz version --json`) embeds
+// this block, so a metrics file or a BENCH_*.json found on disk can always
+// be traced back to the build that produced it (tools/bench_diff refuses to
+// silently compare numbers from different flag sets).
+//
+// The git fields are resolved at CMake configure time and injected as
+// compile definitions on this translation unit only; re-run cmake (or any
+// build after a commit, since CMake reconfigures on CMakeLists changes) to
+// refresh them. Outside a git checkout they read "unknown".
+
+#include <string>
+
+namespace mdz::obs {
+
+struct BuildInfo {
+  std::string git_sha;       // full commit hash, or "unknown"
+  std::string git_describe;  // `git describe --always --dirty`, or "unknown"
+  std::string compiler;      // e.g. "gcc 13.2.0" / "clang 17.0.6"
+  std::string flags;         // build type + CXX flags (+ sanitizer if any)
+  bool obs_disabled = false; // true when compiled with MDZ_OBS_DISABLED
+};
+
+// The process-wide instance (immutable after first use).
+const BuildInfo& GetBuildInfo();
+
+// The instance as a JSON object, e.g.
+//   {"git_sha":"abc...","git_describe":"abc1234-dirty",
+//    "compiler":"gcc 13.2.0","flags":"RelWithDebInfo -Wall -Wextra",
+//    "obs_disabled":false}
+// Embedded under the "build" key of every versioned schema in this tree.
+std::string BuildInfoJson();
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_BUILD_INFO_H_

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/build_info.h"
+
 namespace mdz::obs {
 
 namespace {
@@ -51,7 +53,9 @@ std::string PromName(const std::string& name) {
 
 std::string ToJson(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snap = registry.Collect();
-  std::string out = "{\"schema\":\"mdz.metrics.v1\",\"counters\":{";
+  std::string out =
+      "{\"schema\":\"mdz.metrics.v1\",\"build\":" + BuildInfoJson() +
+      ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
     if (!first) out += ',';
@@ -86,21 +90,53 @@ std::string ToJson(const MetricsRegistry& registry) {
   return out;
 }
 
+namespace {
+
+// Prometheus label values escape backslash, double quote and newline.
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string ToPrometheus(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snap = registry.Collect();
+  const BuildInfo& build = GetBuildInfo();
   std::string out;
+  out += "# HELP mdz_build_info Build provenance of the emitting binary "
+         "(constant 1; see labels)\n";
+  out += "# TYPE mdz_build_info gauge\n";
+  out += "mdz_build_info{git_sha=\"" + PromLabelEscape(build.git_sha) +
+         "\",git_describe=\"" + PromLabelEscape(build.git_describe) +
+         "\",compiler=\"" + PromLabelEscape(build.compiler) + "\",flags=\"" +
+         PromLabelEscape(build.flags) + "\"} 1\n";
   for (const auto& [name, value] : snap.counters) {
     const std::string prom = PromName(name);
+    out += "# HELP " + prom + " MDZ counter '" + name + "'\n";
     out += "# TYPE " + prom + " counter\n";
     out += prom + ' ' + std::to_string(value) + '\n';
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string prom = PromName(name);
+    out += "# HELP " + prom + " MDZ gauge '" + name + "'\n";
     out += "# TYPE " + prom + " gauge\n";
     out += prom + ' ' + std::to_string(value) + '\n';
   }
   for (const auto& h : snap.histograms) {
     const std::string prom = PromName(h.name);
+    out += "# HELP " + prom + " MDZ histogram '" + h.name + "'\n";
     out += "# TYPE " + prom + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.bucket_counts.size(); ++i) {

@@ -1,0 +1,257 @@
+#include "obs/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+
+namespace mdz::obs {
+
+namespace {
+
+// Shortest round-trip formatting (same approach as the metrics exporter);
+// non-finite values render as JSON null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+size_t BucketIndex(double ratio) {
+  for (size_t i = 0; i < kQualityBucketBounds.size(); ++i) {
+    if (ratio <= kQualityBucketBounds[i]) return i;
+  }
+  return kQualityBucketBounds.size();  // overflow: bound violation
+}
+
+std::string StatsJsonFields(const QualityStats& s) {
+  std::string out;
+  out += "\"count\":" + std::to_string(s.count);
+  out += ",\"max_err\":" + JsonNumber(s.max_err);
+  out += ",\"mean_err\":" + JsonNumber(s.mean_err());
+  out += ",\"mean_abs_err\":" + JsonNumber(s.mean_abs_err());
+  out += ",\"rmse\":" + JsonNumber(s.rmse());
+  out += ",\"nrmse\":" + JsonNumber(s.nrmse());
+  out += ",\"psnr_db\":" + JsonNumber(s.psnr_db());
+  out += ",\"value_range\":" + JsonNumber(s.value_range());
+  out += ",\"violations\":" + std::to_string(s.violations);
+  return out;
+}
+
+}  // namespace
+
+double QualityStats::Observe(double original, double decoded, double bound) {
+  const double err = original - decoded;
+  const double abs_err = std::fabs(err);
+  if (count == 0) {
+    min_orig = max_orig = original;
+  } else {
+    min_orig = std::min(min_orig, original);
+    max_orig = std::max(max_orig, original);
+  }
+  ++count;
+  if (!std::isfinite(abs_err)) {
+    // A NaN/Inf decode can never certify the bound — count it as a
+    // violation without poisoning the running aggregates.
+    ++violations;
+    ++histogram[kQualityBucketCount - 1];
+    return 1.5;
+  }
+  max_err = std::max(max_err, abs_err);
+  sum_err += err;
+  sum_abs_err += abs_err;
+  sum_sq_err += err * err;
+  const double ratio = bound > 0.0
+                           ? abs_err / bound
+                           : (abs_err > 0.0 ? 1.5 : 0.0);
+  ++histogram[BucketIndex(ratio)];
+  if (ratio > 1.0) ++violations;
+  return ratio;
+}
+
+void QualityStats::Merge(const QualityStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min_orig = other.min_orig;
+    max_orig = other.max_orig;
+  } else {
+    min_orig = std::min(min_orig, other.min_orig);
+    max_orig = std::max(max_orig, other.max_orig);
+  }
+  count += other.count;
+  violations += other.violations;
+  max_err = std::max(max_err, other.max_err);
+  sum_err += other.sum_err;
+  sum_abs_err += other.sum_abs_err;
+  sum_sq_err += other.sum_sq_err;
+  for (size_t i = 0; i < histogram.size(); ++i) histogram[i] += other.histogram[i];
+}
+
+double QualityStats::mean_err() const {
+  return count == 0 ? 0.0 : sum_err / static_cast<double>(count);
+}
+
+double QualityStats::mean_abs_err() const {
+  return count == 0 ? 0.0 : sum_abs_err / static_cast<double>(count);
+}
+
+double QualityStats::rmse() const {
+  return count == 0 ? 0.0 : std::sqrt(sum_sq_err / static_cast<double>(count));
+}
+
+double QualityStats::nrmse() const {
+  const double range = value_range();
+  return range > 0.0 ? rmse() / range : 0.0;
+}
+
+double QualityStats::psnr_db() const {
+  const double range = value_range();
+  const double r = rmse();
+  if (range <= 0.0) return 0.0;
+  if (r <= 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(range / r);
+}
+
+uint64_t QualityReport::total_samples() const {
+  uint64_t total = 0;
+  for (const auto& f : fields) total += f.stats.count;
+  return total;
+}
+
+uint64_t QualityReport::total_violations() const {
+  uint64_t total = 0;
+  for (const auto& f : fields) total += f.stats.violations;
+  return total;
+}
+
+std::string QualityReportToJson(const QualityReport& report,
+                                const std::string& archive_label,
+                                const std::string& original_label) {
+  std::string out = "{\"schema\":\"mdz.quality.v1\"";
+  out += ",\"archive\":\"" + JsonEscape(archive_label) + '"';
+  out += ",\"original\":\"" + JsonEscape(original_label) + '"';
+  out += ",\"build\":" + BuildInfoJson();
+  out += ",\"ok\":";
+  out += report.clean() ? "true" : "false";
+  out += ",\"violations\":" + std::to_string(report.total_violations());
+  out += ",\"fields\":[";
+  bool first = true;
+  for (const auto& f : report.fields) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"axis\":\"";
+    out += (f.axis >= 0 && f.axis < 3) ? "xyz"[f.axis] : '?';
+    out += '"';
+    out += ",\"bound\":" + JsonNumber(f.bound);
+    out += ',' + StatsJsonFields(f.stats);
+    out += ",\"blocks\":" + std::to_string(f.blocks.size());
+    out += ",\"histogram\":{\"bounds\":[";
+    for (size_t i = 0; i < kQualityBucketBounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += JsonNumber(kQualityBucketBounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < f.stats.histogram.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(f.stats.histogram[i]);
+    }
+    out += "]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void RecordQualityMetrics(const FieldQuality& field) {
+  if (!Enabled()) return;
+  MDZ_COUNTER_ADD("audit/fields", 1);
+  MDZ_COUNTER_ADD("audit/blocks", field.blocks.size());
+  MDZ_COUNTER_ADD("audit/samples", field.stats.count);
+  MDZ_COUNTER_ADD("audit/violations", field.stats.violations);
+}
+
+// --- QualityTraceSink -------------------------------------------------------
+
+Result<std::unique_ptr<QualityTraceSink>> QualityTraceSink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open quality trace for writing: " + path);
+  }
+  std::unique_ptr<QualityTraceSink> sink(new QualityTraceSink());
+  sink->file_ = file;
+  return sink;
+}
+
+QualityTraceSink::~QualityTraceSink() { (void)Close(); }
+
+void QualityTraceSink::Record(int axis, const BlockQuality& block) {
+  std::string line = "{\"axis\":" + std::to_string(axis);
+  line += ",\"block\":" + std::to_string(block.block_index);
+  line += ",\"first_snapshot\":" + std::to_string(block.first_snapshot);
+  line += ",\"snapshots\":" + std::to_string(block.snapshots);
+  line += ",\"method\":\"" + JsonEscape(block.method) + '"';
+  line += ',' + StatsJsonFields(block.stats);
+  line += ",\"hist\":[";
+  for (size_t i = 0; i < block.stats.histogram.size(); ++i) {
+    if (i > 0) line += ',';
+    line += std::to_string(block.stats.histogram[i]);
+  }
+  line += "]}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || write_error_) return;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    write_error_ = true;
+    return;
+  }
+  ++records_;
+}
+
+uint64_t QualityTraceSink::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+Status QualityTraceSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return write_error_ ? Status::Internal("quality trace write failed")
+                        : Status::OK();
+  }
+  const bool flush_failed = std::fflush(file_) != 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (write_error_ || flush_failed) {
+    write_error_ = true;
+    return Status::Internal("quality trace write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::obs

@@ -1,0 +1,150 @@
+#ifndef MDZ_OBS_QUALITY_H_
+#define MDZ_OBS_QUALITY_H_
+
+// Quality-audit telemetry: the error-bound contract, machine-checked.
+//
+// PR 2 made the pipeline observable on the performance axis (spans, counters,
+// block traces); this layer observes *what* we compress. A QualityStats
+// accumulates pointwise original-vs-decoded error — max absolute error
+// against the configured bound, signed mean error (bias), RMSE-derived
+// PSNR/NRMSE, and a fixed-bucket histogram of |err|/bound — per block and per
+// field. Any sample with |err| > bound (or a non-finite decode) is a counted
+// *violation*, not a log line: `mdz audit` turns a nonzero violation count
+// into exit code 5, and tools/check_telemetry.sh asserts max_err <= bound on
+// clean round-trips.
+//
+// The streaming decompress-and-verify driver lives in core/quality_audit.h
+// (it needs the decoder); this header is pure math + serialization so the
+// obs layer stays free of core dependencies.
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+// Upper bounds of the |err|/bound histogram buckets; one implicit overflow
+// bucket (ratio > 1, i.e. bound violation) follows. Bucket counts always sum
+// to the observation count.
+inline constexpr std::array<double, 6> kQualityBucketBounds = {
+    0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+inline constexpr size_t kQualityBucketCount = kQualityBucketBounds.size() + 1;
+
+// Pointwise error accumulator. Single-threaded by design (the audit pass
+// streams snapshots in order); Merge() folds per-block stats into the field
+// total.
+struct QualityStats {
+  uint64_t count = 0;
+  uint64_t violations = 0;   // |err| > bound, or non-finite error
+  double max_err = 0.0;      // max |orig - dec| over finite errors
+  double sum_err = 0.0;      // signed sum (bias numerator)
+  double sum_abs_err = 0.0;
+  double sum_sq_err = 0.0;
+  double min_orig = 0.0;     // original-value range (for NRMSE/PSNR)
+  double max_orig = 0.0;
+  std::array<uint64_t, kQualityBucketCount> histogram{};
+
+  // Records one (original, decoded) pair against the absolute bound.
+  // Returns the |err|/bound ratio observed (used by the caller to feed the
+  // global audit/rel_error histogram); non-finite errors count as
+  // violations and report a ratio just above 1.
+  double Observe(double original, double decoded, double bound);
+
+  void Merge(const QualityStats& other);
+
+  // Derived metrics. NRMSE/PSNR are relative to the original value range;
+  // psnr() is +inf for an exact match and NaN-free throughout.
+  double mean_err() const;      // signed bias
+  double mean_abs_err() const;
+  double rmse() const;
+  double value_range() const { return count == 0 ? 0.0 : max_orig - min_orig; }
+  double nrmse() const;
+  double psnr_db() const;
+};
+
+// One decoded block (the unit the compressor chose a predictor for).
+struct BlockQuality {
+  uint64_t block_index = 0;
+  uint64_t first_snapshot = 0;
+  uint64_t snapshots = 0;
+  std::string method;  // core::MethodName of the block's predictor
+  QualityStats stats;
+};
+
+// One field (one axis stream of a trajectory archive).
+struct FieldQuality {
+  int axis = -1;       // 0/1/2 = x/y/z; -1 for standalone fields
+  double bound = 0.0;  // the stream's absolute error bound
+  QualityStats stats;
+  std::vector<BlockQuality> blocks;
+
+  bool clean() const { return stats.violations == 0; }
+};
+
+// Whole-archive audit result.
+struct QualityReport {
+  std::vector<FieldQuality> fields;
+
+  uint64_t total_samples() const;
+  uint64_t total_violations() const;
+  bool clean() const { return total_violations() == 0; }
+};
+
+// Renders the report under the versioned "mdz.quality.v1" schema:
+//   {"schema":"mdz.quality.v1","archive":...,"original":...,"build":{...},
+//    "ok":true,"violations":0,"fields":[{"axis":"x","bound":...,"count":...,
+//      "max_err":...,"mean_err":...,"mean_abs_err":...,"rmse":...,
+//      "nrmse":...,"psnr_db":...,"value_range":...,"violations":0,"blocks":N,
+//      "histogram":{"bounds":[...],"counts":[...]}}]}
+// Non-finite metric values (e.g. PSNR of an exact round-trip) render as
+// null. Per-block detail goes to the QualityTraceSink JSONL, not here.
+std::string QualityReportToJson(const QualityReport& report,
+                                const std::string& archive_label,
+                                const std::string& original_label);
+
+// Folds a completed field audit into the global metrics registry:
+// counters audit/fields, audit/blocks, audit/samples, audit/violations.
+// (The per-sample audit/rel_error histogram is fed by the audit driver so
+// its sum reflects real ratios.) No-op when telemetry is disabled.
+void RecordQualityMetrics(const FieldQuality& field);
+
+// JSONL sink for per-block quality traces (one line per decoded block):
+//   {"axis":0,"block":3,"first_snapshot":30,"snapshots":10,"method":"MT",
+//    "count":20000,"max_err":...,"mean_err":...,"mean_abs_err":...,
+//    "rmse":...,"violations":0,"hist":[c0,...,c6]}
+// Thread-safe like TraceSink (one mutex-guarded line per Record).
+class QualityTraceSink {
+ public:
+  static Result<std::unique_ptr<QualityTraceSink>> Open(
+      const std::string& path);
+  ~QualityTraceSink();
+
+  QualityTraceSink(const QualityTraceSink&) = delete;
+  QualityTraceSink& operator=(const QualityTraceSink&) = delete;
+
+  void Record(int axis, const BlockQuality& block);
+
+  uint64_t records_written() const;
+
+  // Flushes and closes; idempotent; returns the first write error.
+  Status Close();
+
+ private:
+  QualityTraceSink() = default;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_ = 0;
+  bool write_error_ = false;
+};
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_QUALITY_H_

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Tests for tools/bench_diff: identical runs pass, a 20% throughput drop and
+# a ratio drop are flagged, informational units and --ignore-unit are not
+# gated, and the usage/parse exit codes hold.
+set -eu
+
+BENCH_DIFF="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+exit_code() {
+  "$@" >/dev/null 2>&1 && echo 0 || echo $?
+}
+
+# Baseline report: one gated throughput, one gated ratio, one informational.
+cat > "$WORK/BENCH_synth.json" <<'EOF'
+{"schema":"mdz.bench.v1","bench":"synth","scale":1,
+ "build":{"git_sha":"aaa","flags":"-O2"},
+ "metrics":[
+  {"name":"kernel/throughput","value":100.0,"unit":"MB/s","repetitions":3},
+  {"name":"dataset/cr","value":20.0,"unit":"x","repetitions":1},
+  {"name":"dataset/bias","value":0.5,"unit":"g","repetitions":1}]}
+EOF
+
+# Identical comparison passes.
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_synth.json")" = 0
+
+# A 20% throughput regression fails at the default 10% threshold...
+sed 's/"value":100.0/"value":80.0/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_slow.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_slow.json")" = 1
+# ...passes with a loose threshold...
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_slow.json" --threshold-throughput 25)" = 0
+# ...and passes when MB/s is ignored entirely.
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_slow.json" --ignore-unit MB/s)" = 0
+
+# A compression-ratio regression fails at the default 5% threshold.
+sed 's/"value":20.0/"value":18.0/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_worse.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_worse.json")" = 1
+
+# An improvement is never a regression.
+sed 's/"value":100.0/"value":150.0/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_fast.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_fast.json")" = 0
+
+# An informational unit ("g") never gates, however large the drop.
+sed 's/"value":0.5/"value":5.0/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_drift.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_drift.json")" = 0
+
+# Directory mode: reports matched by file name; the regression still fails.
+mkdir -p "$WORK/base" "$WORK/cur"
+cp "$WORK/BENCH_synth.json" "$WORK/base/BENCH_synth.json"
+cp "$WORK/BENCH_slow.json" "$WORK/cur/BENCH_synth.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/base" "$WORK/cur")" = 1
+
+# A missing metric warns but does not fail.
+sed '/dataset\/cr/d' "$WORK/BENCH_synth.json" > "$WORK/BENCH_fewer.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_synth.json" \
+  "$WORK/BENCH_fewer.json")" = 0
+"$BENCH_DIFF" "$WORK/BENCH_synth.json" "$WORK/BENCH_fewer.json" 2>&1 \
+  | grep -q "missing from current"
+
+# Usage and parse/I-O errors keep their own codes.
+test "$(exit_code "$BENCH_DIFF")" = 2
+test "$(exit_code "$BENCH_DIFF" --bogus x y)" = 2
+test "$(exit_code "$BENCH_DIFF" "$WORK/no-such.json" \
+  "$WORK/BENCH_synth.json")" = 3
+echo 'not json at all' > "$WORK/BENCH_garbage.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_garbage.json" \
+  "$WORK/BENCH_garbage.json")" = 3
+printf '{"schema":"other.v1","metrics":[]}' > "$WORK/BENCH_alien.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_alien.json" \
+  "$WORK/BENCH_alien.json")" = 3
+
+# Differing build flags warn (never silently compared).
+sed 's/"flags":"-O2"/"flags":"-O0"/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_debug.json"
+"$BENCH_DIFF" "$WORK/BENCH_synth.json" "$WORK/BENCH_debug.json" 2>&1 \
+  | grep -q "build flags differ"
+
+echo "bench_diff_test OK"

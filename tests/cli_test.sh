@@ -80,4 +80,52 @@ grep -q '"decompress/blocks":' "$WORK/d.json"
 "$MDZ" stats "$WORK/traj.mdza" --json | grep -q '"axes":\['
 test "$(exit_code "$MDZ" stats "$WORK/trunc.mdza")" = 4
 
+# --- audit subcommand (exit 0 clean / 4 corrupt / 5 bound violation) --------
+# A violated original: flip an exponent byte of one payload double. The
+# .mdtraj header for this file is 60 bytes (8 magic + 8 n + 8 m + 24 box +
+# 4 name_len + 8 for "Copper-B"); doubles follow 8-byte aligned, so byte
+# 60 + 8k + 7 is the sign/exponent byte of value k. 0xff there turns a
+# coordinate into a huge negative — far beyond any bound.
+cp "$WORK/traj.mdtraj" "$WORK/bad.mdtraj"
+printf '\377' | dd of="$WORK/bad.mdtraj" bs=1 seek=$((60 + 8 * 100 + 7)) \
+  conv=notrunc 2>/dev/null
+
+# The audit verdict must hold for every predictor mode.
+for method in vq vqt mt; do
+  "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/a-$method.mdza" --quiet \
+    --method "$method" --bs 10
+  "$MDZ" audit "$WORK/a-$method.mdza" "$WORK/traj.mdtraj" | grep -q "PASS"
+  test "$(exit_code "$MDZ" audit "$WORK/a-$method.mdza" \
+    "$WORK/bad.mdtraj")" = 5
+done
+
+"$MDZ" audit "$WORK/traj.mdza" "$WORK/traj.mdtraj" --json \
+  | grep -q '^{"schema":"mdz.quality.v1",.*"ok":true'
+test "$(exit_code "$MDZ" audit "$WORK/trunc.mdza" "$WORK/traj.mdtraj")" = 4
+test "$(exit_code "$MDZ" audit "$WORK/no-such.mdza" "$WORK/traj.mdtraj")" = 3
+
+# Audit violations are counted per sample in the JSON report.
+"$MDZ" audit "$WORK/traj.mdza" "$WORK/bad.mdtraj" --json \
+  > "$WORK/bad-audit.json" || test $? = 5
+grep -q '"ok":false' "$WORK/bad-audit.json"
+grep -q '"violations":1' "$WORK/bad-audit.json"
+
+# Empty archive: malformed input, not a crash.
+: > "$WORK/empty.mdza"
+test "$(exit_code "$MDZ" stats "$WORK/empty.mdza")" = 4
+test "$(exit_code "$MDZ" audit "$WORK/empty.mdza" "$WORK/traj.mdtraj")" = 4
+
+# --- compress --audit + per-block quality trace -----------------------------
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/audited.mdza" --quiet --audit \
+  --quality-trace "$WORK/quality.jsonl"
+grep -q '"first_snapshot":' "$WORK/quality.jsonl"
+grep -q '"hist":\[' "$WORK/quality.jsonl"
+# --audit must not change the archive bytes.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/plain.mdza" --quiet
+cmp "$WORK/audited.mdza" "$WORK/plain.mdza"
+
+# --- version subcommand -----------------------------------------------------
+"$MDZ" version | grep -q "^mdz "
+"$MDZ" version --json | grep -q '"build":{"git_sha":"'
+
 echo "cli_test OK"

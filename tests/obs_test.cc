@@ -2,6 +2,7 @@
 // concurrency, span nesting, exporter golden files, and the trace sink.
 
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include "core/mdz.h"
+#include "core/quality_audit.h"
 #include "core/thread_pool.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -229,39 +233,67 @@ MetricsRegistry* GoldenRegistry() {
   return registry;
 }
 
+// The constant build-provenance block every exposition starts with.
+std::string PromBuildInfoBlock() {
+  const BuildInfo& b = GetBuildInfo();
+  return "# HELP mdz_build_info Build provenance of the emitting binary "
+         "(constant 1; see labels)\n"
+         "# TYPE mdz_build_info gauge\n"
+         "mdz_build_info{git_sha=\"" + b.git_sha + "\",git_describe=\"" +
+         b.git_describe + "\",compiler=\"" + b.compiler + "\",flags=\"" +
+         b.flags + "\"} 1\n";
+}
+
 TEST(ObsExportTest, JsonGolden) {
   std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
   EXPECT_EQ(
       ToJson(*registry),
-      "{\"schema\":\"mdz.metrics.v1\","
-      "\"counters\":{\"a/count\":3},"
-      "\"gauges\":{\"g\":-2},"
-      "\"histograms\":{\"h\":{\"count\":3,\"sum\":55.5,\"buckets\":["
-      "{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
-      "{\"le\":\"+Inf\",\"count\":1}]}}}");
+      "{\"schema\":\"mdz.metrics.v1\",\"build\":" + BuildInfoJson() +
+          ",\"counters\":{\"a/count\":3},"
+          "\"gauges\":{\"g\":-2},"
+          "\"histograms\":{\"h\":{\"count\":3,\"sum\":55.5,\"buckets\":["
+          "{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
+          "{\"le\":\"+Inf\",\"count\":1}]}}}");
 }
 
 TEST(ObsExportTest, PrometheusGolden) {
   std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
   EXPECT_EQ(ToPrometheus(*registry),
-            "# TYPE mdz_a_count counter\n"
-            "mdz_a_count 3\n"
-            "# TYPE mdz_g gauge\n"
-            "mdz_g -2\n"
-            "# TYPE mdz_h histogram\n"
-            "mdz_h_bucket{le=\"1\"} 1\n"
-            "mdz_h_bucket{le=\"10\"} 2\n"
-            "mdz_h_bucket{le=\"+Inf\"} 3\n"
-            "mdz_h_sum 55.5\n"
-            "mdz_h_count 3\n");
+            PromBuildInfoBlock() +
+                "# HELP mdz_a_count MDZ counter 'a/count'\n"
+                "# TYPE mdz_a_count counter\n"
+                "mdz_a_count 3\n"
+                "# HELP mdz_g MDZ gauge 'g'\n"
+                "# TYPE mdz_g gauge\n"
+                "mdz_g -2\n"
+                "# HELP mdz_h MDZ histogram 'h'\n"
+                "# TYPE mdz_h histogram\n"
+                "mdz_h_bucket{le=\"1\"} 1\n"
+                "mdz_h_bucket{le=\"10\"} 2\n"
+                "mdz_h_bucket{le=\"+Inf\"} 3\n"
+                "mdz_h_sum 55.5\n"
+                "mdz_h_count 3\n");
 }
 
 TEST(ObsExportTest, EmptyRegistryExports) {
   MetricsRegistry registry;
   EXPECT_EQ(ToJson(registry),
-            "{\"schema\":\"mdz.metrics.v1\",\"counters\":{},\"gauges\":{},"
-            "\"histograms\":{}}");
-  EXPECT_EQ(ToPrometheus(registry), "");
+            "{\"schema\":\"mdz.metrics.v1\",\"build\":" + BuildInfoJson() +
+                ",\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(ToPrometheus(registry), PromBuildInfoBlock());
+}
+
+TEST(ObsBuildInfoTest, FieldsAreNonEmptyAndJsonIsWellFormed) {
+  const BuildInfo& b = GetBuildInfo();
+  EXPECT_FALSE(b.git_sha.empty());
+  EXPECT_FALSE(b.compiler.empty());
+  EXPECT_FALSE(b.flags.empty());
+  const std::string json = BuildInfoJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_disabled\":"), std::string::npos);
 }
 
 TEST(ObsExportTest, WriteFilesRoundTrip) {
@@ -523,6 +555,242 @@ TEST(PipelineStatsTest, TraceSinkReceivesOneEventPerBuffer) {
   }
   EXPECT_EQ(lines, 3u);
   std::remove(path.c_str());
+}
+
+// --- Quality accumulators ---------------------------------------------------
+
+TEST(QualityStatsTest, GoldenDerivedMetrics) {
+  // Constant error of +0.125 (exactly representable, so orig - dec is exact
+  // for these originals) against originals spanning [0, 3]: every derived
+  // metric has a closed form.
+  QualityStats stats;
+  for (double orig : {0.0, 1.0, 2.0, 3.0}) {
+    const double ratio = stats.Observe(orig, orig - 0.125, 0.25);
+    EXPECT_DOUBLE_EQ(ratio, 0.5);
+  }
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_err, 0.125);
+  EXPECT_DOUBLE_EQ(stats.mean_err(), 0.125);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_err(), 0.125);
+  EXPECT_DOUBLE_EQ(stats.rmse(), 0.125);
+  EXPECT_DOUBLE_EQ(stats.value_range(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.nrmse(), 0.125 / 3.0);
+  EXPECT_NEAR(stats.psnr_db(), 20.0 * std::log10(3.0 / 0.125), 1e-12);
+  // ratio 0.5 lands exactly on the 0.5 bucket bound (index 2).
+  EXPECT_EQ(stats.histogram[2], 4u);
+}
+
+TEST(QualityStatsTest, ExactRoundTripHasInfinitePsnr) {
+  QualityStats stats;
+  stats.Observe(1.0, 1.0, 0.1);
+  stats.Observe(2.0, 2.0, 0.1);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_DOUBLE_EQ(stats.rmse(), 0.0);
+  EXPECT_TRUE(std::isinf(stats.psnr_db()));
+  EXPECT_GT(stats.psnr_db(), 0.0);
+  EXPECT_EQ(stats.histogram[0], 2u);
+}
+
+TEST(QualityStatsTest, OutOfBoundSampleIsAViolation) {
+  QualityStats stats;
+  EXPECT_GT(stats.Observe(1.0, 1.5, 0.1), 1.0);
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.histogram[kQualityBucketCount - 1], 1u);
+  // A NaN decode is a violation too, without poisoning the aggregates.
+  stats.Observe(2.0, std::nan(""), 0.1);
+  EXPECT_EQ(stats.violations, 2u);
+  EXPECT_TRUE(std::isfinite(stats.rmse()));
+}
+
+TEST(QualityStatsTest, MergeFoldsAllFields) {
+  QualityStats a, b;
+  a.Observe(0.0, 0.05, 0.1);
+  a.Observe(10.0, 10.0, 0.1);
+  b.Observe(-5.0, -5.2, 0.1);  // violation
+  QualityStats merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.violations, 1u);
+  EXPECT_DOUBLE_EQ(merged.value_range(), 15.0);
+  uint64_t hist_total = 0;
+  for (uint64_t c : merged.histogram) hist_total += c;
+  EXPECT_EQ(hist_total, merged.count);
+}
+
+TEST(QualityReportTest, JsonSchemaAndVerdict) {
+  QualityReport report;
+  FieldQuality field;
+  field.axis = 0;
+  field.bound = 0.1;
+  field.stats.Observe(1.0, 1.05, 0.1);
+  report.fields.push_back(field);
+
+  const std::string json = QualityReportToJson(report, "a.mdza", "a.mdtraj");
+  EXPECT_EQ(json.rfind("{\"schema\":\"mdz.quality.v1\",", 0), 0u);
+  EXPECT_NE(json.find("\"archive\":\"a.mdza\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\":" + BuildInfoJson()), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"axis\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\":{\"bounds\":[0.1,0.25,0.5,0.75,0.9,1],"),
+            std::string::npos);
+
+  report.fields[0].stats.Observe(1.0, 2.0, 0.1);
+  EXPECT_FALSE(report.clean());
+  const std::string bad = QualityReportToJson(report, "a.mdza", "a.mdtraj");
+  EXPECT_NE(bad.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bad.find("\"violations\":1"), std::string::npos);
+}
+
+TEST(QualityTraceTest, WritesOneSchemaLinePerBlock) {
+  const std::string path = testing::TempDir() + "/obs_quality_trace.jsonl";
+  auto sink = QualityTraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+
+  BlockQuality block;
+  block.block_index = 2;
+  block.first_snapshot = 20;
+  block.snapshots = 10;
+  block.method = "VQT";
+  block.stats.Observe(1.0, 1.01, 0.1);
+  (*sink)->Record(0, block);
+  EXPECT_EQ((*sink)->records_written(), 1u);
+  ASSERT_TRUE((*sink)->Close().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("{\"axis\":0,\"block\":2,\"first_snapshot\":20,"
+                       "\"snapshots\":10,\"method\":\"VQT\",\"count\":1,",
+                       0),
+            0u);
+  EXPECT_NE(line.find("\"hist\":[0,1,0,0,0,0,0]}"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+// --- Audit driver (core/quality_audit) --------------------------------------
+
+core::Trajectory SmoothTrajectory(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  core::Trajectory traj;
+  traj.name = "audit-test";
+  traj.snapshots.resize(m);
+  for (int axis = 0; axis < 3; ++axis) {
+    traj.snapshots[0].axes[axis].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      traj.snapshots[0].axes[axis][i] = rng.Uniform(0.0, 50.0);
+    }
+  }
+  for (size_t s = 1; s < m; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      traj.snapshots[s].axes[axis].resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        traj.snapshots[s].axes[axis][i] =
+            traj.snapshots[s - 1].axes[axis][i] + rng.Gaussian(0.0, 0.01);
+      }
+    }
+  }
+  return traj;
+}
+
+TEST(QualityAuditTest, CleanRoundTripOnEveryPredictor) {
+  const core::Trajectory traj = SmoothTrajectory(25, 120, 21);
+  for (core::Method method :
+       {core::Method::kVQ, core::Method::kVQT, core::Method::kMT}) {
+    core::Options options;
+    options.method = method;
+    options.buffer_size = 10;
+    auto compressed = core::CompressTrajectory(traj, options);
+    ASSERT_TRUE(compressed.ok());
+
+    auto report = core::AuditTrajectory(*compressed, traj);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean());
+    ASSERT_EQ(report->fields.size(), 3u);
+    EXPECT_EQ(report->total_samples(), traj.num_values());
+    for (const auto& field : report->fields) {
+      EXPECT_GT(field.bound, 0.0);
+      EXPECT_LE(field.stats.max_err, field.bound);
+      EXPECT_EQ(field.blocks.size(), 3u);
+    }
+  }
+}
+
+TEST(QualityAuditTest, PerturbedOriginalIsAViolation) {
+  core::Trajectory traj = SmoothTrajectory(20, 100, 22);
+  core::Options options;
+  options.buffer_size = 10;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+
+  // Push one original value far outside the bound: the archive no longer
+  // certifies this trajectory.
+  traj.snapshots[7].axes[1][42] += 1000.0;
+  auto report = core::AuditTrajectory(*compressed, traj);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  EXPECT_EQ(report->total_violations(), 1u);
+  EXPECT_TRUE(report->fields[0].clean());
+  EXPECT_FALSE(report->fields[1].clean());
+  EXPECT_TRUE(report->fields[2].clean());
+}
+
+TEST(QualityAuditTest, ShapeMismatchIsInvalidArgument) {
+  const core::Trajectory traj = SmoothTrajectory(10, 80, 23);
+  auto compressed = core::CompressTrajectory(traj, core::Options{});
+  ASSERT_TRUE(compressed.ok());
+
+  core::Trajectory fewer = traj;
+  fewer.snapshots.pop_back();
+  auto report = core::AuditTrajectory(*compressed, fewer);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QualityAuditTest, CorruptStreamSurfacesCorruption) {
+  const core::Trajectory traj = SmoothTrajectory(12, 90, 24);
+  auto compressed = core::CompressTrajectory(traj, core::Options{});
+  ASSERT_TRUE(compressed.ok());
+  core::CompressedTrajectory broken = *compressed;
+  broken.axes[0].resize(broken.axes[0].size() / 2);
+
+  auto report = core::AuditTrajectory(broken, traj);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCorruption);
+}
+
+TEST(QualityAuditTest, TraceAndMetricsHooksFire) {
+  EnabledGuard on(true);
+  MetricsRegistry::Global().Reset();
+
+  const core::Trajectory traj = SmoothTrajectory(20, 100, 25);
+  core::Options options;
+  options.buffer_size = 10;
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+
+  const std::string path = testing::TempDir() + "/obs_audit_trace.jsonl";
+  auto sink = QualityTraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+  core::AuditOptions audit_options;
+  audit_options.trace = sink->get();
+  audit_options.telemetry = true;
+  auto report = core::AuditTrajectory(*compressed, traj, audit_options);
+  ASSERT_TRUE(report.ok());
+  // 2 blocks per axis stream (20 snapshots / buffer_size 10), 3 axes.
+  EXPECT_EQ((*sink)->records_written(), 6u);
+  ASSERT_TRUE((*sink)->Close().ok());
+  std::remove(path.c_str());
+
+  const auto snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValueOrZero(snap, "audit/fields"), 3u);
+  EXPECT_EQ(CounterValueOrZero(snap, "audit/blocks"), 6u);
+  EXPECT_EQ(CounterValueOrZero(snap, "audit/samples"), traj.num_values());
+  EXPECT_EQ(CounterValueOrZero(snap, "audit/violations"), 0u);
+  const auto* rel = FindHistogram(snap, "audit/rel_error");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->count, traj.num_values());
 }
 
 }  // namespace

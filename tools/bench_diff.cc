@@ -1,0 +1,494 @@
+// bench_diff: compare two mdz.bench.v1 reports (or directories of them) and
+// fail on throughput / compression-ratio regressions.
+//
+//   bench_diff <baseline> <current> [options]
+//
+// <baseline> and <current> are either single BENCH_*.json files or
+// directories; for directories, reports are matched by file name and only
+// the intersection is compared. Metric direction comes from the unit:
+// "MB/s" (throughput) and "x" (compression ratio) are higher-is-better and
+// gated; every other unit is informational and only printed.
+//
+// Options:
+//   --threshold-throughput PCT   allowed MB/s drop, percent (default 10)
+//   --threshold-ratio PCT        allowed ratio drop, percent (default 5)
+//   --ignore-unit UNIT           skip gating for UNIT (repeatable)
+//   --quiet                      only print regressions and the verdict
+//
+// Exit codes: 0 no regression, 1 regression found, 2 usage error,
+// 3 I/O or parse error.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — enough for the mdz.bench.v1 schema this repo emits
+// (objects, arrays, strings, numbers, booleans, null).
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> Parse(std::string* error) {
+    auto value = ParseValue();
+    SkipSpace();
+    if (!value || pos_ != text_.size()) {
+      if (error) {
+        *error = "JSON parse error at byte " + std::to_string(pos_);
+      }
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      if (!ConsumeWord("null")) return nullptr;
+      return std::make_shared<JsonValue>();
+    }
+    return ParseNumber();
+  }
+
+  std::shared_ptr<JsonValue> ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return value;
+    while (true) {
+      auto key = ParseString();
+      if (!key || !Consume(':')) return nullptr;
+      auto member = ParseValue();
+      if (!member) return nullptr;
+      value->object[key->string] = member;
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return nullptr;
+    }
+  }
+
+  std::shared_ptr<JsonValue> ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return value;
+    while (true) {
+      auto element = ParseValue();
+      if (!element) return nullptr;
+      value->array.push_back(element);
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return nullptr;
+    }
+  }
+
+  std::shared_ptr<JsonValue> ParseString() {
+    if (!Consume('"')) return nullptr;
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return nullptr;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value->string += '"'; break;
+          case '\\': value->string += '\\'; break;
+          case '/': value->string += '/'; break;
+          case 'b': value->string += '\b'; break;
+          case 'f': value->string += '\f'; break;
+          case 'n': value->string += '\n'; break;
+          case 'r': value->string += '\r'; break;
+          case 't': value->string += '\t'; break;
+          case 'u': {
+            // The schema only escapes control characters; decode the BMP
+            // code point as a single byte when it fits, '?' otherwise.
+            if (pos_ + 4 > text_.size()) return nullptr;
+            const unsigned long code =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            value->string += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return nullptr;
+        }
+      } else {
+        value->string += c;
+      }
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<JsonValue> ParseBool() {
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kBool;
+    if (ConsumeWord("true")) {
+      value->boolean = true;
+      return value;
+    }
+    if (ConsumeWord("false")) return value;
+    return nullptr;
+  }
+
+  std::shared_ptr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return nullptr;
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kNumber;
+    try {
+      value->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return nullptr;
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Report model.
+
+struct Metric {
+  double value = 0.0;
+  std::string unit;
+  bool has_value = false;
+};
+
+struct Report {
+  std::string bench;
+  std::string build_flags;
+  std::map<std::string, Metric> metrics;
+};
+
+std::optional<Report> LoadReport(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonParser parser(text);
+  auto root = parser.Parse(error);
+  if (!root) {
+    *error = path + ": " + *error;
+    return std::nullopt;
+  }
+  if (root->kind != JsonValue::Kind::kObject) {
+    *error = path + ": top level is not an object";
+    return std::nullopt;
+  }
+  auto schema = root->object.find("schema");
+  if (schema == root->object.end() ||
+      schema->second->string != "mdz.bench.v1") {
+    *error = path + ": not an mdz.bench.v1 report";
+    return std::nullopt;
+  }
+
+  Report report;
+  if (auto it = root->object.find("bench"); it != root->object.end()) {
+    report.bench = it->second->string;
+  }
+  if (auto it = root->object.find("build");
+      it != root->object.end() &&
+      it->second->kind == JsonValue::Kind::kObject) {
+    if (auto flags = it->second->object.find("flags");
+        flags != it->second->object.end()) {
+      report.build_flags = flags->second->string;
+    }
+  }
+  auto metrics = root->object.find("metrics");
+  if (metrics == root->object.end() ||
+      metrics->second->kind != JsonValue::Kind::kArray) {
+    *error = path + ": missing metrics array";
+    return std::nullopt;
+  }
+  for (const auto& entry : metrics->second->array) {
+    if (entry->kind != JsonValue::Kind::kObject) continue;
+    auto name = entry->object.find("name");
+    if (name == entry->object.end()) continue;
+    Metric metric;
+    if (auto it = entry->object.find("unit"); it != entry->object.end()) {
+      metric.unit = it->second->string;
+    }
+    if (auto it = entry->object.find("value");
+        it != entry->object.end() &&
+        it->second->kind == JsonValue::Kind::kNumber) {
+      metric.value = it->second->number;
+      metric.has_value = true;
+    }
+    report.metrics[name->second->string] = metric;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison.
+
+struct Options {
+  double threshold_throughput = 10.0;  // percent, "MB/s"
+  double threshold_ratio = 5.0;        // percent, "x"
+  std::set<std::string> ignore_units;
+  bool quiet = false;
+};
+
+// Allowed relative drop for a unit; nullopt = informational only.
+std::optional<double> ThresholdFor(const std::string& unit,
+                                   const Options& options) {
+  if (options.ignore_units.count(unit)) return std::nullopt;
+  if (unit == "MB/s") return options.threshold_throughput;
+  if (unit == "x") return options.threshold_ratio;
+  return std::nullopt;
+}
+
+struct DiffCounts {
+  int compared = 0;
+  int regressions = 0;
+  int missing = 0;
+};
+
+void DiffReports(const std::string& label, const Report& baseline,
+                 const Report& current, const Options& options,
+                 DiffCounts* counts) {
+  for (const auto& [name, base] : baseline.metrics) {
+    auto it = current.metrics.find(name);
+    if (it == current.metrics.end()) {
+      ++counts->missing;
+      std::fprintf(stderr, "WARN  %s %s: metric missing from current run\n",
+                   label.c_str(), name.c_str());
+      continue;
+    }
+    const Metric& cur = it->second;
+    if (!base.has_value || !cur.has_value) continue;
+    ++counts->compared;
+
+    const double delta_pct =
+        base.value == 0.0 ? 0.0
+                          : 100.0 * (cur.value - base.value) / base.value;
+    const auto threshold = ThresholdFor(base.unit, options);
+    const bool gated = threshold.has_value();
+    const bool regressed = gated && delta_pct < -*threshold;
+    if (regressed) {
+      ++counts->regressions;
+      std::fprintf(stderr,
+                   "FAIL  %s %s: %.4g -> %.4g %s (%+.1f%%, allowed -%.1f%%)\n",
+                   label.c_str(), name.c_str(), base.value, cur.value,
+                   base.unit.c_str(), delta_pct, *threshold);
+    } else if (!options.quiet) {
+      std::printf("%s  %s %s: %.4g -> %.4g %s (%+.1f%%)\n",
+                  gated ? "ok  " : "info", label.c_str(), name.c_str(),
+                  base.value, cur.value, base.unit.c_str(), delta_pct);
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff <baseline> <current> [--threshold-throughput PCT]\n"
+      "                  [--threshold-ratio PCT] [--ignore-unit UNIT]...\n"
+      "                  [--quiet]\n"
+      "<baseline>/<current> are BENCH_*.json files or directories of them.\n");
+  return 2;
+}
+
+// A directory argument expands to its BENCH_*.json files, keyed by name.
+std::map<std::string, std::string> ExpandArg(const std::string& arg,
+                                             std::string* error) {
+  namespace fs = std::filesystem;
+  std::map<std::string, std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (const auto& entry : fs::directory_iterator(arg, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        files[name] = entry.path().string();
+      }
+    }
+    if (ec) *error = arg + ": " + ec.message();
+    if (files.empty() && error->empty()) {
+      *error = arg + ": no BENCH_*.json files found";
+    }
+  } else if (fs::exists(arg, ec)) {
+    files[fs::path(arg).filename().string()] = arg;
+  } else {
+    *error = arg + ": no such file or directory";
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--threshold-throughput") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.threshold_throughput = std::atof(v);
+    } else if (arg == "--threshold-ratio") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.threshold_ratio = std::atof(v);
+    } else if (arg == "--ignore-unit") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.ignore_units.insert(v);
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage();
+
+  std::string error;
+  const auto baseline_files = ExpandArg(positional[0], &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 3;
+  }
+  const auto current_files = ExpandArg(positional[1], &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 3;
+  }
+
+  // Directories match by file name; two single files compare directly.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (baseline_files.size() == 1 && current_files.size() == 1) {
+    pairs.emplace_back(baseline_files.begin()->second,
+                       current_files.begin()->second);
+  } else {
+    for (const auto& [name, path] : baseline_files) {
+      auto it = current_files.find(name);
+      if (it == current_files.end()) {
+        std::fprintf(stderr, "WARN  %s: present in baseline only\n",
+                     name.c_str());
+        continue;
+      }
+      pairs.emplace_back(path, it->second);
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "bench_diff: no matching reports to compare\n");
+      return 3;
+    }
+  }
+
+  DiffCounts counts;
+  for (const auto& [base_path, cur_path] : pairs) {
+    auto baseline = LoadReport(base_path, &error);
+    if (!baseline) {
+      std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+      return 3;
+    }
+    auto current = LoadReport(cur_path, &error);
+    if (!current) {
+      std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+      return 3;
+    }
+    const std::string label =
+        baseline->bench.empty()
+            ? std::filesystem::path(base_path).filename().string()
+            : baseline->bench;
+    // Numbers from different flag sets are comparable in ratio ("x") but not
+    // in throughput; never compare them silently.
+    if (!baseline->build_flags.empty() && !current->build_flags.empty() &&
+        baseline->build_flags != current->build_flags) {
+      std::fprintf(stderr,
+                   "WARN  %s: build flags differ (baseline \"%s\" vs "
+                   "current \"%s\")\n",
+                   label.c_str(), baseline->build_flags.c_str(),
+                   current->build_flags.c_str());
+    }
+    DiffReports(label, *baseline, *current, options, &counts);
+  }
+
+  std::printf("bench_diff: %d metric(s) compared, %d regression(s), "
+              "%d missing\n",
+              counts.compared, counts.regressions, counts.missing);
+  return counts.regressions > 0 ? 1 : 0;
+}

@@ -4,16 +4,22 @@
 # JSON tooling in the image). Exits non-zero with a message on the first
 # violated invariant.
 #
-#   tools/check_telemetry.sh <metrics.json> <metrics.prom> <trace.jsonl>
+#   tools/check_telemetry.sh <metrics.json> <metrics.prom> <trace.jsonl> \
+#       [quality.json]
+#
+# The optional fourth argument is an `mdz audit --json` report from a clean
+# round-trip; it is checked for the mdz.quality.v1 invariants (verdict ok,
+# max error within the bound, histogram counts summing to the sample count).
 set -eu
 
-if [ $# -ne 3 ]; then
-  echo "usage: $0 <metrics.json> <metrics.prom> <trace.jsonl>" >&2
+if [ $# -lt 3 ] || [ $# -gt 4 ]; then
+  echo "usage: $0 <metrics.json> <metrics.prom> <trace.jsonl> [quality.json]" >&2
   exit 2
 fi
 JSON="$1"
 PROM="$2"
 TRACE="$3"
+QUALITY="${4:-}"
 
 fail() {
   echo "check_telemetry: $1" >&2
@@ -76,6 +82,23 @@ awk '
   }
 ' "$PROM" || fail "prom histogram invariant violated in $PROM"
 
+# Exposition lint: every sample must be preceded by # HELP and # TYPE lines
+# for its metric family (histogram samples resolve via their family name).
+awk '
+  /^# HELP / { help[$3] = 1; next }
+  /^# TYPE / { type[$3] = 1; next }
+  /^[A-Za-z_:]/ {
+    m = $1
+    sub(/\{.*/, "", m)
+    base = m
+    if (!(base in type)) sub(/_(bucket|sum|count)$/, "", base)
+    if (!(base in type)) { print "no # TYPE for " m; exit 1 }
+    if (!(base in help)) { print "no # HELP for " m; exit 1 }
+  }
+' "$PROM" || fail "prom HELP/TYPE lint failed in $PROM"
+grep -q '^mdz_build_info{git_sha="' "$PROM" \
+  || fail "prom missing mdz_build_info gauge"
+
 # --- Trace JSONL ------------------------------------------------------------
 test -s "$TRACE" || fail "trace file missing or empty: $TRACE"
 lines=$(wc -l < "$TRACE")
@@ -90,5 +113,59 @@ json_blocks=$(tr ',' '\n' < "$JSON" | grep '"compress/blocks"' \
   | tr -cd '0-9')
 test "$lines" = "$json_blocks" \
   || fail "trace has $lines events, metrics counted $json_blocks blocks"
+
+# --- Quality report (optional) ----------------------------------------------
+if [ -n "$QUALITY" ]; then
+  test -s "$QUALITY" || fail "quality report missing or empty: $QUALITY"
+  grep -q '^{"schema":"mdz.quality.v1",' "$QUALITY" \
+    || fail "bad quality schema tag in $QUALITY"
+  grep -q '"ok":true' "$QUALITY" \
+    || fail "quality report verdict is not ok in $QUALITY"
+  grep -q '"build":{"git_sha":"' "$QUALITY" \
+    || fail "quality report missing build provenance"
+  # Per-field invariants: max_err within the bound, zero violations, and the
+  # error histogram counts summing to the field sample count.
+  awk '
+    function num(seg, key,   s) {
+      if (!match(seg, key "[-+0-9.eE]+")) return "missing"
+      s = substr(seg, RSTART + length(key), RLENGTH - length(key))
+      return s + 0
+    }
+    {
+      n = split($0, parts, /\{"axis":/)
+      if (n < 2) { print "no fields in quality report"; exit 1 }
+      for (i = 2; i <= n; ++i) {
+        seg = parts[i]
+        bound = num(seg, "\"bound\":")
+        max_err = num(seg, "\"max_err\":")
+        count = num(seg, "\"count\":")
+        violations = num(seg, "\"violations\":")
+        if (bound == "missing" || max_err == "missing" || \
+            count == "missing" || violations == "missing") {
+          print "field " i - 1 " missing a stats key"; exit 1
+        }
+        if (max_err > bound) {
+          print "field " i - 1 ": max_err " max_err " exceeds bound " bound
+          exit 1
+        }
+        if (violations != 0) {
+          print "field " i - 1 ": " violations " violations in an ok report"
+          exit 1
+        }
+        if (!match(seg, /"counts":\[[0-9,]*\]/)) {
+          print "field " i - 1 ": no histogram counts"; exit 1
+        }
+        hist = substr(seg, RSTART + 10, RLENGTH - 11)
+        hn = split(hist, hc, ",")
+        sum = 0
+        for (j = 1; j <= hn; ++j) sum += hc[j] + 0
+        if (sum != count) {
+          print "field " i - 1 ": histogram sums to " sum ", count is " count
+          exit 1
+        }
+      }
+    }
+  ' "$QUALITY" || fail "quality invariant violated in $QUALITY"
+fi
 
 echo "check_telemetry OK: $lines blocks traced, invariants hold"

@@ -16,7 +16,11 @@
 #
 # After the matrix, a telemetry smoke step compresses a generated trajectory
 # with --metrics-json/--metrics-prom/--trace and validates the artifacts
-# with tools/check_telemetry.sh.
+# with tools/check_telemetry.sh, audits the archive against its original,
+# and a bench smoke step runs two figure benches plus pipeline_stages at a
+# small scale, archives their BENCH_*.json reports under the build root and
+# gates the compression ratios against the committed bench/baselines via
+# tools/bench_diff (throughput is machine-dependent, so MB/s is ignored).
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -58,8 +62,25 @@ mkdir -p "${SMOKE}"
   --metrics-json "${SMOKE}/metrics.json" \
   --metrics-prom "${SMOKE}/metrics.prom" \
   --trace "${SMOKE}/trace.jsonl"
+"${MDZ_BIN}" audit "${SMOKE}/traj.mdza" "${SMOKE}/traj.mdtraj" \
+  --json --quiet > "${SMOKE}/quality.json"
 sh "${ROOT}/tools/check_telemetry.sh" \
-  "${SMOKE}/metrics.json" "${SMOKE}/metrics.prom" "${SMOKE}/trace.jsonl"
+  "${SMOKE}/metrics.json" "${SMOKE}/metrics.prom" "${SMOKE}/trace.jsonl" \
+  "${SMOKE}/quality.json"
 "${MDZ_BIN}" stats "${SMOKE}/traj.mdza" --json | grep -q '"axes":\['
+
+echo "=== bench smoke + regression gate ==="
+BENCH_DIR="${BUILD_ROOT}/bench-smoke"
+rm -rf "${BENCH_DIR}"
+mkdir -p "${BENCH_DIR}"
+for bench in fig9_quant_scale fig11_adp_vs_modes pipeline_stages; do
+  echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
+  (cd "${BENCH_DIR}" &&
+   MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)
+done
+rm -f "${BENCH_DIR}/BENCH_pipeline_metrics.json"
+ls "${BENCH_DIR}"/BENCH_*.json
+"${BUILD_ROOT}/address/tools/bench_diff" \
+  "${ROOT}/bench/baselines" "${BENCH_DIR}" --ignore-unit "MB/s" --quiet
 
 echo "=== sanitizer matrix passed ==="

@@ -8,10 +8,17 @@
 //   mdz info <file.mdza|file.mdtraj>
 //   mdz stats <file.mdza> [--json]
 //   mdz verify <original.mdtraj|.xyz> <compressed.mdza>
+//   mdz audit <archive.mdza> <original.mdtraj|.xyz> [--json]
+//             [--quality-trace F]
+//   mdz version [--json]
 //   mdz datasets
 //
 // Files ending in ".xyz" are read/written as XYZ text; everything else is
 // the binary mdtraj format.
+//
+// `verify` prints error metrics for a human; `audit` is the machine-checked
+// contract: it streams the archive block by block against the original and
+// turns any sample beyond the stream's error bound into exit code 5.
 //
 // Exit codes (asserted by tests/cli_test.sh):
 //   0  success
@@ -19,6 +26,7 @@
 //   2  usage error / invalid arguments
 //   3  I/O failure (unreadable input, unwritable output)
 //   4  corrupt archive
+//   5  error-bound violation found by audit
 
 #include <cstdio>
 #include <cstring>
@@ -29,12 +37,15 @@
 #include "analysis/metrics.h"
 #include "core/mdz.h"
 #include "core/parallel.h"
+#include "core/quality_audit.h"
 #include "core/thread_pool.h"
 #include "datagen/generators.h"
 #include "io/archive.h"
 #include "io/trajectory_io.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -49,6 +60,9 @@ constexpr int kExitFailure = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitCorruption = 4;
+constexpr int kExitBoundViolation = 5;
+
+constexpr const char* kMdzVersion = "0.3.0";
 
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
@@ -101,13 +115,17 @@ int Usage() {
                "  mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]\n"
                "  mdz compress <in> <out.mdza> [--eb E] [--abs] [--bs N]\n"
                "               [--method adp|vq|vqt|mt|ti] [--quant-scale N]\n"
-               "               [--seq1] [--interp] [--threads N]\n"
+               "               [--seq1] [--interp] [--threads N] [--audit]\n"
                "               [--metrics-json F] [--metrics-prom F] [--trace F]\n"
                "  mdz decompress <in.mdza> <out.mdtraj|.xyz> [--threads N]\n"
                "               [--metrics-json F] [--metrics-prom F]\n"
                "  mdz info <file.mdza|file.mdtraj>\n"
                "  mdz stats <file.mdza> [--json]\n"
                "  mdz verify <original> <compressed.mdza>\n"
+               "  mdz audit <archive.mdza> <original> [--json]\n"
+               "               [--quality-trace F] [--metrics-json F]\n"
+               "               [--metrics-prom F]\n"
+               "  mdz version [--json]\n"
                "  mdz datasets\n"
                "global flags: --quiet\n");
   return kExitUsage;
@@ -133,7 +151,9 @@ struct Flags {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_path;
-  bool json = false;  // `mdz stats --json`
+  std::string quality_trace;  // per-block quality JSONL (audit / --audit)
+  bool json = false;          // `mdz stats|audit|version --json`
+  bool audit = false;         // `mdz compress --audit`: verify after writing
 
   bool telemetry() const {
     return !metrics_json.empty() || !metrics_prom.empty() ||
@@ -182,6 +202,10 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.metrics_prom, next_value());
       } else if (arg == "--trace") {
         MDZ_ASSIGN_OR_RETURN(flags.trace_path, next_value());
+      } else if (arg == "--quality-trace") {
+        MDZ_ASSIGN_OR_RETURN(flags.quality_trace, next_value());
+      } else if (arg == "--audit") {
+        flags.audit = true;
       } else if (arg == "--json") {
         flags.json = true;
       } else if (arg == "--quiet") {
@@ -236,6 +260,94 @@ int WriteMetricsFiles(const Flags& flags) {
     const Status s = mdz::obs::WritePrometheusFile(registry, flags.metrics_prom);
     if (!s.ok()) return Fail(s);
   }
+  return kExitOk;
+}
+
+// Shared by `mdz audit` and `mdz compress --audit`: streams the compressed
+// axes against the original, prints the report (table or mdz.quality.v1
+// JSON), and maps any bound violation to kExitBoundViolation.
+int RunAudit(const mdz::core::CompressedTrajectory& compressed,
+             const Trajectory& original, const Flags& flags,
+             const std::string& archive_label,
+             const std::string& original_label) {
+  mdz::core::AuditOptions audit_options;
+  audit_options.telemetry = flags.telemetry();
+  if (flags.telemetry()) mdz::obs::SetEnabled(true);
+
+  std::unique_ptr<mdz::obs::QualityTraceSink> qtrace;
+  if (!flags.quality_trace.empty()) {
+    auto sink = mdz::obs::QualityTraceSink::Open(flags.quality_trace);
+    if (!sink.ok()) return Fail(sink.status());
+    qtrace = std::move(sink).value();
+    audit_options.trace = qtrace.get();
+  }
+
+  auto report = mdz::core::AuditTrajectory(compressed, original, audit_options);
+  if (!report.ok()) return Fail(report.status());
+  if (qtrace != nullptr) {
+    const Status ts = qtrace->Close();
+    if (!ts.ok()) return Fail(ts);
+    Say("quality trace: %llu block records -> %s\n",
+        static_cast<unsigned long long>(qtrace->records_written()),
+        flags.quality_trace.c_str());
+  }
+
+  if (flags.json) {
+    std::printf("%s\n",
+                mdz::obs::QualityReportToJson(*report, archive_label,
+                                              original_label)
+                    .c_str());
+  } else {
+    Say("%-6s %-12s %-12s %-12s %-10s %-10s %s\n", "Axis", "Bound", "MaxError",
+        "Bias", "PSNR_dB", "NRMSE", "Violations");
+    for (const auto& f : report->fields) {
+      Say("%-6c %-12.6g %-12.6g %-12.3g %-10.1f %-10.4g %llu\n",
+          "xyz?"[f.axis >= 0 && f.axis < 3 ? f.axis : 3], f.bound,
+          f.stats.max_err, f.stats.mean_err(), f.stats.psnr_db(),
+          f.stats.nrmse(), static_cast<unsigned long long>(f.stats.violations));
+    }
+  }
+
+  if (!report->clean()) {
+    std::fprintf(stderr,
+                 "audit: FAIL — %llu of %llu samples beyond the error bound\n",
+                 static_cast<unsigned long long>(report->total_violations()),
+                 static_cast<unsigned long long>(report->total_samples()));
+    return kExitBoundViolation;
+  }
+  Say("audit: PASS — %llu samples within bound\n",
+      static_cast<unsigned long long>(report->total_samples()));
+  return kExitOk;
+}
+
+int CmdAudit(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  auto archive = mdz::io::ReadArchive(flags.positional[0]);
+  if (!archive.ok()) return Fail(archive.status());
+  auto original = ReadTrajectoryAuto(flags.positional[1]);
+  if (!original.ok()) return Fail(original.status());
+  const int code = RunAudit(archive->data, *original, flags,
+                            flags.positional[0], flags.positional[1]);
+  if (flags.telemetry()) {
+    const int mcode = WriteMetricsFiles(flags);
+    if (mcode != kExitOk) return mcode;
+  }
+  return code;
+}
+
+int CmdVersion(const Flags& flags) {
+  const auto& build = mdz::obs::GetBuildInfo();
+  if (flags.json) {
+    std::printf("{\"name\":\"mdz\",\"version\":\"%s\",\"build\":%s}\n",
+                kMdzVersion, mdz::obs::BuildInfoJson().c_str());
+    return kExitOk;
+  }
+  std::printf("mdz %s\n", kMdzVersion);
+  std::printf("  commit:    %s (%s)\n", build.git_describe.c_str(),
+              build.git_sha.c_str());
+  std::printf("  compiler:  %s\n", build.compiler.c_str());
+  std::printf("  flags:     %s\n", build.flags.c_str());
+  std::printf("  telemetry: compiled %s\n", build.obs_disabled ? "out" : "in");
   return kExitOk;
 }
 
@@ -306,10 +418,22 @@ int CmdCompress(const Flags& flags) {
         static_cast<unsigned long long>(trace->records_written()),
         flags.trace_path.c_str());
   }
+
+  // --audit re-decodes the archive we just wrote and certifies the bound,
+  // before the metrics snapshot so the audit/* counters land in it.
+  int audit_code = kExitOk;
+  if (flags.audit) {
+    audit_code = RunAudit(archive.data, *trajectory, flags,
+                          flags.positional[1], flags.positional[0]);
+    if (audit_code != kExitOk && audit_code != kExitBoundViolation) {
+      return audit_code;
+    }
+  }
   if (flags.telemetry()) {
     const int code = WriteMetricsFiles(flags);
     if (code != kExitOk) return code;
   }
+  if (audit_code != kExitOk) return audit_code;
 
   const size_t raw = trajectory->raw_bytes();
   const size_t out = archive.data.total_bytes();
@@ -490,5 +614,7 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(*flags);
   if (command == "stats") return CmdStats(*flags);
   if (command == "verify") return CmdVerify(*flags);
+  if (command == "audit") return CmdAudit(*flags);
+  if (command == "version") return CmdVersion(*flags);
   return Usage();
 }
