@@ -1,0 +1,267 @@
+#include "archive/format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace mdz::archive {
+
+namespace {
+
+bool ValidConcreteMethod(uint8_t byte) {
+  switch (static_cast<core::Method>(byte)) {
+    case core::Method::kVQ:
+    case core::Method::kVQT:
+    case core::Method::kMT:
+    case core::Method::kTI:
+      return true;
+    case core::Method::kAdaptive:
+      return false;
+  }
+  return false;
+}
+
+std::string FrameLabel(size_t frame_id) {
+  return "frame " + std::to_string(frame_id);
+}
+
+}  // namespace
+
+void SerializeFooter(const Footer& footer, ByteWriter* w) {
+  w->PutVarint(footer.name.size());
+  w->PutBytes(footer.name.data(), footer.name.size());
+  for (double b : footer.box) w->Put<double>(b);
+  w->PutVarint(footer.num_snapshots);
+  w->PutVarint(footer.num_particles);
+  for (const AxisStreamInfo& axis : footer.axes) {
+    w->PutBlob(axis.stream_header);
+    w->Put<uint8_t>(axis.chained ? 1 : 0);
+    w->Put<uint8_t>(static_cast<uint8_t>(axis.ref_kind));
+    w->PutBlob(axis.reference);
+  }
+  w->PutVarint(footer.frames.size());
+  for (const FrameInfo& f : footer.frames) {
+    w->Put<uint8_t>(f.axis);
+    w->Put<uint8_t>(static_cast<uint8_t>(f.method));
+    w->PutVarint(f.offset);
+    w->PutVarint(f.frame_size);
+    w->PutVarint(f.payload_size);
+    w->PutVarint(f.first_snapshot);
+    w->PutVarint(f.s_count);
+    w->Put<uint64_t>(f.crc);
+  }
+  w->PutVarint(footer.build_info_json.size());
+  w->PutBytes(footer.build_info_json.data(), footer.build_info_json.size());
+}
+
+Result<Footer> ParseFooter(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  Footer footer;
+  uint64_t name_len = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&name_len));
+  if (name_len > 4096) return Status::Corruption("footer name too long");
+  footer.name.resize(name_len);
+  MDZ_RETURN_IF_ERROR(r.GetBytes(footer.name.data(), name_len));
+  for (double& b : footer.box) MDZ_RETURN_IF_ERROR(r.Get(&b));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&footer.num_snapshots));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&footer.num_particles));
+  for (AxisStreamInfo& axis : footer.axes) {
+    std::span<const uint8_t> blob;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    axis.stream_header.assign(blob.begin(), blob.end());
+    uint8_t chained = 0;
+    MDZ_RETURN_IF_ERROR(r.Get(&chained));
+    if (chained > 1) return Status::Corruption("bad chained flag in footer");
+    axis.chained = chained != 0;
+    uint8_t kind = 0;
+    MDZ_RETURN_IF_ERROR(r.Get(&kind));
+    if (kind > static_cast<uint8_t>(ReferenceKind::kFirstFrame)) {
+      return Status::Corruption("bad reference kind in footer");
+    }
+    axis.ref_kind = static_cast<ReferenceKind>(kind);
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+    axis.reference.assign(blob.begin(), blob.end());
+  }
+  uint64_t frame_count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&frame_count));
+  // A frame index entry is at least 15 bytes; anything claiming more frames
+  // than the footer could hold is corrupt (and must not drive a giant
+  // reserve()).
+  if (frame_count > bytes.size() / 15) {
+    return Status::Corruption("footer frame count exceeds footer size");
+  }
+  footer.frames.reserve(frame_count);
+  for (uint64_t i = 0; i < frame_count; ++i) {
+    FrameInfo f;
+    MDZ_RETURN_IF_ERROR(r.Get(&f.axis));
+    uint8_t method = 0;
+    MDZ_RETURN_IF_ERROR(r.Get(&method));
+    if (!ValidConcreteMethod(method)) {
+      return Status::Corruption("bad method byte in footer " + FrameLabel(i));
+    }
+    f.method = static_cast<core::Method>(method);
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&f.offset));
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&f.frame_size));
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&f.payload_size));
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&f.first_snapshot));
+    MDZ_RETURN_IF_ERROR(r.GetVarint(&f.s_count));
+    MDZ_RETURN_IF_ERROR(r.Get(&f.crc));
+    footer.frames.push_back(f);
+  }
+  uint64_t build_len = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&build_len));
+  if (build_len > 64 * 1024) {
+    return Status::Corruption("footer build info too long");
+  }
+  footer.build_info_json.resize(build_len);
+  MDZ_RETURN_IF_ERROR(r.GetBytes(footer.build_info_json.data(), build_len));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after footer");
+  return footer;
+}
+
+Status ValidateFooter(const Footer& footer, uint64_t footer_offset) {
+  // Axis stream headers must parse and agree on the particle count.
+  bool has_ti[3] = {false, false, false};
+  for (int axis = 0; axis < 3; ++axis) {
+    const AxisStreamInfo& info = footer.axes[axis];
+    MDZ_ASSIGN_OR_RETURN(const core::FieldStreamHeader header,
+                         core::ParseFieldStreamHeader(info.stream_header));
+    if (header.header_bytes != info.stream_header.size()) {
+      return Status::Corruption("axis stream header has trailing bytes");
+    }
+    if (header.num_particles != footer.num_particles) {
+      return Status::Corruption("axis particle count disagrees with footer");
+    }
+  }
+
+  // Per-axis snapshot coverage: frames must appear in snapshot order and
+  // tile [0, num_snapshots) without gaps or overlaps.
+  uint64_t next_snapshot[3] = {0, 0, 0};
+  for (size_t i = 0; i < footer.frames.size(); ++i) {
+    const FrameInfo& f = footer.frames[i];
+    if (f.axis > 2) {
+      return Status::Corruption("bad axis in footer " + FrameLabel(i));
+    }
+    if (f.s_count == 0) {
+      return Status::Corruption("zero-snapshot " + FrameLabel(i));
+    }
+    if (f.first_snapshot != next_snapshot[f.axis]) {
+      return Status::Corruption("snapshot range gap at " + FrameLabel(i));
+    }
+    next_snapshot[f.axis] = f.first_snapshot + f.s_count;
+    if (f.method == core::Method::kTI) has_ti[f.axis] = true;
+    // Byte range: inside the frame region, big enough for its own payload
+    // (axis + method + two 1-byte varints + payload blob + crc at minimum).
+    if (f.offset < kFileHeaderBytes || f.frame_size < f.payload_size ||
+        f.frame_size > footer_offset ||
+        f.offset > footer_offset - f.frame_size) {
+      return Status::Corruption("byte range out of bounds for " +
+                                FrameLabel(i));
+    }
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    if (next_snapshot[axis] != footer.num_snapshots) {
+      return Status::Corruption("axis " + std::to_string(axis) +
+                                " does not cover all snapshots");
+    }
+    const AxisStreamInfo& info = footer.axes[axis];
+    if (has_ti[axis] && !info.chained) {
+      return Status::Corruption("TI frames on an unchained axis");
+    }
+    const bool has_frames = footer.num_snapshots > 0;
+    if (has_frames && info.ref_kind == ReferenceKind::kNone) {
+      return Status::Corruption("missing reference for axis " +
+                                std::to_string(axis));
+    }
+    if (info.ref_kind == ReferenceKind::kRaw &&
+        info.reference.size() != footer.num_particles * sizeof(double)) {
+      return Status::Corruption("raw reference size mismatch for axis " +
+                                std::to_string(axis));
+    }
+    if (info.ref_kind == ReferenceKind::kEncoded && info.reference.empty()) {
+      return Status::Corruption("empty encoded reference for axis " +
+                                std::to_string(axis));
+    }
+    if (info.ref_kind == ReferenceKind::kFirstFrame &&
+        !info.reference.empty()) {
+      return Status::Corruption("first-frame reference carries bytes, axis " +
+                                std::to_string(axis));
+    }
+  }
+
+  // Frames must not overlap each other.
+  std::vector<const FrameInfo*> by_offset;
+  by_offset.reserve(footer.frames.size());
+  for (const FrameInfo& f : footer.frames) by_offset.push_back(&f);
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const FrameInfo* a, const FrameInfo* b) {
+              return a->offset < b->offset;
+            });
+  for (size_t i = 1; i < by_offset.size(); ++i) {
+    if (by_offset[i - 1]->offset + by_offset[i - 1]->frame_size >
+        by_offset[i]->offset) {
+      return Status::Corruption("overlapping frame byte ranges");
+    }
+  }
+  return Status::OK();
+}
+
+FrameInfo BuildFrameRecord(uint8_t axis, core::Method method,
+                           uint64_t first_snapshot, uint64_t s_count,
+                           std::span<const uint8_t> payload, uint64_t offset,
+                           ByteWriter* w) {
+  const size_t start = w->size();
+  w->Put<uint8_t>(axis);
+  w->Put<uint8_t>(static_cast<uint8_t>(method));
+  w->PutVarint(first_snapshot);
+  w->PutVarint(s_count);
+  w->PutBlob(payload);
+  const uint64_t crc = Fnv1a64(std::span<const uint8_t>(
+      w->bytes().data() + start, w->size() - start));
+  w->Put<uint64_t>(crc);
+
+  FrameInfo info;
+  info.axis = axis;
+  info.method = method;
+  info.offset = offset;
+  info.frame_size = w->size() - start;
+  info.payload_size = payload.size();
+  info.first_snapshot = first_snapshot;
+  info.s_count = s_count;
+  info.crc = crc;
+  return info;
+}
+
+Status ParseFrameRecord(std::span<const uint8_t> bytes, const FrameInfo& info,
+                        size_t frame_id, std::span<const uint8_t>* payload) {
+  if (bytes.size() != info.frame_size || bytes.size() < 8) {
+    return Status::Corruption("short read of " + FrameLabel(frame_id));
+  }
+  const size_t body_size = bytes.size() - 8;
+  uint64_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
+  if (stored_crc != info.crc ||
+      Fnv1a64(bytes.subspan(0, body_size)) != info.crc) {
+    return Status::Corruption("CRC mismatch in " + FrameLabel(frame_id));
+  }
+  ByteReader r(bytes.subspan(0, body_size));
+  uint8_t axis = 0, method = 0;
+  uint64_t first_snapshot = 0, s_count = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&axis));
+  MDZ_RETURN_IF_ERROR(r.Get(&method));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&first_snapshot));
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
+  std::span<const uint8_t> blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&blob));
+  if (axis != info.axis || method != static_cast<uint8_t>(info.method) ||
+      first_snapshot != info.first_snapshot || s_count != info.s_count ||
+      blob.size() != info.payload_size || !r.AtEnd()) {
+    return Status::Corruption(FrameLabel(frame_id) +
+                              " disagrees with footer index");
+  }
+  *payload = blob;
+  return Status::OK();
+}
+
+}  // namespace mdz::archive

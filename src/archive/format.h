@@ -1,0 +1,141 @@
+#ifndef MDZ_ARCHIVE_FORMAT_H_
+#define MDZ_ARCHIVE_FORMAT_H_
+
+// Archive v2 on-disk format (docs/FORMAT.md Section 2): a framed, indexed,
+// seekable container for a compressed trajectory. Where the v1 ".mdza" file
+// is a monolithic blob sealed by one whole-file checksum, v2 stores each
+// compressed buffer of each axis as a self-contained *frame* with its own
+// CRC, followed by a footer index (frame offsets/sizes, snapshot ranges,
+// per-frame checksums, build-info stamp) that a reader verifies first and
+// then uses to touch only the frames a query needs.
+//
+// Layout (all integers little-endian, varint = unsigned LEB128,
+// blob = varint length + bytes):
+//
+//   magic      "MDZA" (4 bytes)          shared with v1; the version byte
+//   version    u8 (= 2)                  distinguishes the two
+//   frames     frame records, back to back (interleaved x,y,z per buffer)
+//   footer     see Footer below
+//   footer_crc u64                       FNV-1a of the footer bytes
+//   footer_len u64                       length of the footer bytes
+//   trailer    "2ZDM" (4 bytes)          locates the footer from EOF
+//
+// Frame record:
+//
+//   axis           u8                    0 = x, 1 = y, 2 = z
+//   method         u8                    predictor that encoded the payload
+//   first_snapshot varint
+//   s_count        varint
+//   payload        blob                  one core block payload, verbatim
+//   crc            u64                   FNV-1a of the record up to here
+//
+// A frame payload is byte-identical to the corresponding block payload of
+// the v1 field stream, so concatenating an axis's stream header with
+// `PutBlob(payload)` for each of its frames reproduces the v1 stream
+// exactly — repacking between container versions never re-encodes.
+//
+// The footer records, per axis, the field-stream header and how to obtain
+// the *reference snapshot*: the stream's decoded snapshot 0, which MT frames
+// at any position predict their first snapshot from. The quantizer's
+// reconstruction grid is relative to each value's prediction, so a lossy
+// re-encode of the decoded snapshot is rarely bit-exact; the reference is
+// therefore usually kFirstFrame — derived by decoding the axis's first frame
+// once (O(1) per axis, however deep into the stream a read lands) — with
+// kEncoded/kRaw as embedded alternatives when exactness or frame-0
+// independence is worth the bytes.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mdz.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace mdz::archive {
+
+inline constexpr char kMagic[4] = {'M', 'D', 'Z', 'A'};
+inline constexpr uint8_t kVersionV1 = 1;
+inline constexpr uint8_t kVersionV2 = 2;
+inline constexpr char kTrailerMagic[4] = {'2', 'Z', 'D', 'M'};
+// magic + version byte: where the first frame record starts.
+inline constexpr size_t kFileHeaderBytes = sizeof(kMagic) + 1;
+// footer_crc u64 + footer_len u64 + trailer magic.
+inline constexpr size_t kFileTailBytes = 8 + 8 + sizeof(kTrailerMagic);
+
+// How the reader obtains an axis's reference (decoded initial) snapshot.
+enum class ReferenceKind : uint8_t {
+  kNone = 0,        // axis has no frames (empty stream)
+  kEncoded = 1,     // embedded 1-snapshot block payload (must decode exactly)
+  kRaw = 2,         // embedded verbatim f64 values
+  kFirstFrame = 3,  // no bytes: decode the axis's first frame, take snapshot 0
+};
+
+// One footer index entry. `offset`/`frame_size` delimit the whole frame
+// record (including its trailing CRC); `payload_size` is the blob length, so
+// readers can size buffers without parsing the record first.
+struct FrameInfo {
+  uint8_t axis = 0;
+  core::Method method = core::Method::kVQ;
+  uint64_t offset = 0;
+  uint64_t frame_size = 0;
+  uint64_t payload_size = 0;
+  uint64_t first_snapshot = 0;
+  uint64_t s_count = 0;
+  uint64_t crc = 0;
+};
+
+struct AxisStreamInfo {
+  std::vector<uint8_t> stream_header;  // v1 field-stream header, verbatim
+  bool chained = false;                // axis contains TI frames
+  ReferenceKind ref_kind = ReferenceKind::kNone;
+  std::vector<uint8_t> reference;      // per ref_kind
+};
+
+struct Footer {
+  std::string name;
+  std::array<double, 3> box = {0, 0, 0};
+  uint64_t num_snapshots = 0;
+  uint64_t num_particles = 0;
+  std::array<AxisStreamInfo, 3> axes;
+  std::vector<FrameInfo> frames;       // file order
+  std::string build_info_json;
+};
+
+// Serializes the footer bytes (no CRC/length/trailer — the writer appends
+// those).
+void SerializeFooter(const Footer& footer, ByteWriter* w);
+
+// Parses footer bytes produced by SerializeFooter. Purely structural; use
+// ValidateFooter for cross-field invariants.
+Result<Footer> ParseFooter(std::span<const uint8_t> bytes);
+
+// Cross-field validation of a parsed footer against the file size:
+//  * axis stream headers parse and agree with num_particles;
+//  * every frame lies inside [kFileHeaderBytes, footer_offset), frames do
+//    not overlap, and per-axis snapshot ranges tile [0, num_snapshots)
+//    without gaps;
+//  * methods are concrete (never the ADP selector), TI only on chained axes;
+//  * reference kinds are consistent with the axis having frames.
+// Any violation is Corruption naming the offending frame.
+Status ValidateFooter(const Footer& footer, uint64_t footer_offset);
+
+// Serializes one frame record (everything incl. the trailing CRC) and
+// returns the index entry describing it. `offset` is where the record will
+// be written.
+FrameInfo BuildFrameRecord(uint8_t axis, core::Method method,
+                           uint64_t first_snapshot, uint64_t s_count,
+                           std::span<const uint8_t> payload, uint64_t offset,
+                           ByteWriter* w);
+
+// Parses + CRC-checks a frame record read back from disk and verifies it
+// matches its index entry `info` (frame id `frame_id` is used in error
+// messages only). On success *payload points into `bytes`.
+Status ParseFrameRecord(std::span<const uint8_t> bytes, const FrameInfo& info,
+                        size_t frame_id, std::span<const uint8_t>* payload);
+
+}  // namespace mdz::archive
+
+#endif  // MDZ_ARCHIVE_FORMAT_H_

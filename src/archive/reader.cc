@@ -1,0 +1,465 @@
+#include "archive/reader.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/block_codec.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/byte_buffer.h"
+#include "util/hash.h"
+
+namespace mdz::archive {
+
+namespace {
+
+using core::internal::BlockCodec;
+using core::internal::PredictorState;
+
+}  // namespace
+
+struct ArchiveReader::Impl {
+  // One decoded frame, immutable once published; the cache hands out shared
+  // ownership so eviction never invalidates a frame a reader is copying from.
+  struct DecodedFrame {
+    std::vector<std::vector<double>> snapshots;
+  };
+  using FramePtr = std::shared_ptr<const DecodedFrame>;
+
+  // Cache slot: the per-frame mutex serializes concurrent decoders of the
+  // same frame (the loser waits and reuses the winner's result instead of
+  // decoding twice). `data` stays null until a decode succeeds.
+  struct Slot {
+    std::mutex mu;
+    FramePtr data;
+  };
+  struct CacheEntry {
+    std::shared_ptr<Slot> slot;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  int fd = -1;
+  uint64_t file_size = 0;
+  uint64_t footer_offset = 0;
+  Footer footer;
+  size_t cache_capacity = 2;
+  std::array<core::FieldStreamHeader, 3> headers;
+  std::array<std::vector<size_t>, 3> axis_frames;  // frame ids, snapshot order
+  std::vector<size_t> axis_pos;  // frame id -> position within its axis
+
+  std::mutex reference_mu;
+  std::array<std::vector<double>, 3> reference;
+  std::array<bool, 3> reference_loaded = {false, false, false};
+
+  std::mutex cache_mu;
+  std::list<size_t> lru;  // most recently used first
+  std::unordered_map<size_t, CacheEntry> cache;
+
+  std::atomic<uint64_t> frames_decoded{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> reference_decodes{0};
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Status ReadAt(uint64_t offset, std::span<uint8_t> out) const {
+    size_t done = 0;
+    while (done < out.size()) {
+      const ssize_t got = ::pread(fd, out.data() + done, out.size() - done,
+                                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("archive read failed");
+      }
+      if (got == 0) return Status::Corruption("archive file truncated");
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  // Decodes (or copies) the axis's embedded reference snapshot once.
+  Status EnsureReference(int axis) {
+    std::lock_guard<std::mutex> lock(reference_mu);
+    if (reference_loaded[axis]) return Status::OK();
+    const AxisStreamInfo& info = footer.axes[axis];
+    const core::FieldStreamHeader& header = headers[axis];
+    switch (info.ref_kind) {
+      case ReferenceKind::kRaw:
+        reference[axis].resize(header.num_particles);
+        std::memcpy(reference[axis].data(), info.reference.data(),
+                    info.reference.size());
+        break;
+      case ReferenceKind::kEncoded: {
+        const BlockCodec codec(header.abs_eb, header.quantization_scale,
+                               header.layout);
+        PredictorState state;
+        std::vector<std::vector<double>> decoded;
+        const Status s = codec.Decode(info.reference, header.num_particles,
+                                      &state, &decoded);
+        if (!s.ok() || decoded.size() != 1) {
+          return Status::Corruption("damaged reference frame for axis " +
+                                    std::to_string(axis));
+        }
+        reference[axis] = std::move(decoded[0]);
+        break;
+      }
+      case ReferenceKind::kFirstFrame: {
+        // No embedded bytes: the reference is snapshot 0 of the axis's first
+        // frame, decoded once from an empty state (exactly how block 0 of
+        // the v1 stream defines it). Counted as a reference decode, not a
+        // frame decode — random-access reads stay O(covering frames).
+        if (axis_frames[axis].empty()) {
+          return Status::Corruption("axis " + std::to_string(axis) +
+                                    " has no frame to derive a reference");
+        }
+        const size_t id = axis_frames[axis][0];
+        const FrameInfo& f = footer.frames[id];
+        std::vector<uint8_t> bytes(f.frame_size);
+        MDZ_RETURN_IF_ERROR(ReadAt(f.offset, bytes));
+        std::span<const uint8_t> payload;
+        MDZ_RETURN_IF_ERROR(ParseFrameRecord(bytes, f, id, &payload));
+        const BlockCodec codec(header.abs_eb, header.quantization_scale,
+                               header.layout);
+        PredictorState state;
+        std::vector<std::vector<double>> decoded;
+        const Status s =
+            codec.Decode(payload, header.num_particles, &state, &decoded);
+        if (!s.ok()) {
+          return Status::Corruption("frame " + std::to_string(id) + ": " +
+                                    s.message());
+        }
+        if (!state.has_initial()) {
+          return Status::Corruption("frame " + std::to_string(id) +
+                                    " decoded no reference snapshot");
+        }
+        reference[axis] = std::move(state.initial);
+        break;
+      }
+      case ReferenceKind::kNone:
+        return Status::Corruption("axis " + std::to_string(axis) +
+                                  " has no reference frame");
+    }
+    reference_loaded[axis] = true;
+    reference_decodes.fetch_add(1, std::memory_order_relaxed);
+    MDZ_COUNTER_ADD("archive/reference_decodes", 1);
+    return Status::OK();
+  }
+
+  // Reads, CRC-checks and decodes one frame payload. `prev` is the decoded
+  // predecessor frame (required for TI frames past axis position 0).
+  Result<FramePtr> DecodeFrame(size_t id, const FramePtr& prev) {
+    const FrameInfo& f = footer.frames[id];
+    std::vector<uint8_t> bytes(f.frame_size);
+    MDZ_RETURN_IF_ERROR(ReadAt(f.offset, bytes));
+    std::span<const uint8_t> payload;
+    MDZ_RETURN_IF_ERROR(ParseFrameRecord(bytes, f, id, &payload));
+
+    // Frame 0 of an axis decodes from an empty state, exactly like block 0
+    // of the v1 stream; later frames seed only what their method consumes.
+    PredictorState state;
+    if (axis_pos[id] > 0) {
+      if (f.method == core::Method::kMT) {
+        MDZ_RETURN_IF_ERROR(EnsureReference(f.axis));
+        {
+          std::lock_guard<std::mutex> lock(reference_mu);
+          state.initial = reference[f.axis];
+        }
+      } else if (f.method == core::Method::kTI) {
+        if (prev == nullptr || prev->snapshots.empty()) {
+          return Status::Internal("TI frame decoded without predecessor");
+        }
+        state.prev_last = prev->snapshots.back();
+      }
+    }
+
+    const core::FieldStreamHeader& header = headers[f.axis];
+    const BlockCodec codec(header.abs_eb, header.quantization_scale,
+                           header.layout);
+    auto decoded = std::make_shared<DecodedFrame>();
+    const Status s =
+        codec.Decode(payload, header.num_particles, &state, &decoded->snapshots);
+    if (!s.ok()) {
+      return Status::Corruption("frame " + std::to_string(id) + ": " +
+                                s.message());
+    }
+    if (decoded->snapshots.size() != f.s_count) {
+      return Status::Corruption("frame " + std::to_string(id) +
+                                " decoded to unexpected snapshot count");
+    }
+    frames_decoded.fetch_add(1, std::memory_order_relaxed);
+    MDZ_COUNTER_ADD("archive/frames_decoded", 1);
+    return FramePtr(std::move(decoded));
+  }
+
+  // Returns the cached decoded frame, or null. Internal dependency lookup;
+  // does not count toward hit/miss stats.
+  FramePtr CachePeek(size_t id) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu);
+      auto it = cache.find(id);
+      if (it == cache.end()) return nullptr;
+      lru.splice(lru.begin(), lru, it->second.lru_it);
+      slot = it->second.slot;
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    return slot->data;
+  }
+
+  void EvictLocked() {
+    while (cache.size() > cache_capacity) {
+      const size_t victim = lru.back();
+      lru.pop_back();
+      cache.erase(victim);  // in-flight readers keep the Slot alive
+    }
+  }
+
+  // Cache lookup-or-decode for one frame.
+  Result<FramePtr> AcquireFrame(size_t id, const FramePtr& prev) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu);
+      auto it = cache.find(id);
+      if (it != cache.end()) {
+        lru.splice(lru.begin(), lru, it->second.lru_it);
+        slot = it->second.slot;
+      } else {
+        slot = std::make_shared<Slot>();
+        lru.push_front(id);
+        cache[id] = CacheEntry{slot, lru.begin()};
+        EvictLocked();
+      }
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->data != nullptr) {
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
+      MDZ_COUNTER_ADD("archive/cache_hit", 1);
+      return slot->data;
+    }
+    cache_misses.fetch_add(1, std::memory_order_relaxed);
+    MDZ_COUNTER_ADD("archive/cache_miss", 1);
+    MDZ_ASSIGN_OR_RETURN(FramePtr data, DecodeFrame(id, prev));
+    slot->data = data;
+    return data;
+  }
+
+  // Decoded frame `target`, resolving TI predecessor chains through the
+  // cache: walk back until a frame that decodes standalone (non-TI or axis
+  // position 0) or a cached predecessor, then decode forward. The chain's
+  // shared_ptrs are held locally, so eviction mid-walk cannot strand a TI
+  // decode without its predecessor.
+  Result<FramePtr> GetFrame(size_t target) {
+    std::vector<size_t> chain = {target};
+    FramePtr prev;  // decoded predecessor of chain.back(), when cached
+    while (true) {
+      const size_t id = chain.back();
+      const FrameInfo& f = footer.frames[id];
+      if (f.method != core::Method::kTI || axis_pos[id] == 0) break;
+      const size_t prev_id = axis_frames[f.axis][axis_pos[id] - 1];
+      prev = CachePeek(prev_id);
+      if (prev != nullptr) break;
+      chain.push_back(prev_id);
+    }
+    FramePtr result;
+    for (size_t i = chain.size(); i-- > 0;) {
+      MDZ_ASSIGN_OR_RETURN(result, AcquireFrame(chain[i], prev));
+      prev = result;
+    }
+    return result;
+  }
+
+  Result<std::vector<core::Snapshot>> ReadRange(size_t first, size_t count,
+                                                size_t first_particle,
+                                                size_t particle_count) {
+    MDZ_SPAN("archive_extract");
+    const size_t total = footer.num_snapshots;
+    const size_t n = footer.num_particles;
+    if (first > total || count > total - first) {
+      return Status::OutOfRange("snapshot range beyond end of archive");
+    }
+    if (first_particle > n || particle_count > n - first_particle) {
+      return Status::OutOfRange("particle range beyond particle count");
+    }
+    std::vector<core::Snapshot> out(count);
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::vector<size_t>& ids = axis_frames[axis];
+      // First frame whose range reaches past `first`.
+      size_t lo = 0, hi = ids.size();
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        const FrameInfo& f = footer.frames[ids[mid]];
+        if (f.first_snapshot + f.s_count <= first) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      for (size_t k = lo; k < ids.size(); ++k) {
+        const FrameInfo& f = footer.frames[ids[k]];
+        if (f.first_snapshot >= first + count) break;
+        MDZ_ASSIGN_OR_RETURN(const FramePtr frame, GetFrame(ids[k]));
+        const size_t begin = std::max<size_t>(first, f.first_snapshot);
+        const size_t end =
+            std::min<size_t>(first + count, f.first_snapshot + f.s_count);
+        for (size_t g = begin; g < end; ++g) {
+          const std::vector<double>& src =
+              frame->snapshots[g - f.first_snapshot];
+          out[g - first].axes[axis].assign(
+              src.begin() + first_particle,
+              src.begin() + first_particle + particle_count);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+ArchiveReader::ArchiveReader() : impl_(new Impl()) {}
+ArchiveReader::~ArchiveReader() = default;
+
+Result<std::unique_ptr<ArchiveReader>> ArchiveReader::Open(
+    const std::string& path, const ReaderOptions& options) {
+  auto reader = std::unique_ptr<ArchiveReader>(new ArchiveReader());
+  Impl& impl = *reader->impl_;
+  impl.cache_capacity = std::max<size_t>(options.cache_frames, 2);
+
+  impl.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (impl.fd < 0) {
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  struct stat st;
+  if (::fstat(impl.fd, &st) != 0 || st.st_size < 0) {
+    return Status::Internal("cannot stat: " + path);
+  }
+  impl.file_size = static_cast<uint64_t>(st.st_size);
+  if (impl.file_size < kFileHeaderBytes + kFileTailBytes) {
+    return Status::Corruption("archive too small: " + path);
+  }
+
+  uint8_t head[kFileHeaderBytes];
+  MDZ_RETURN_IF_ERROR(impl.ReadAt(0, head));
+  if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not an MDZ archive: " + path);
+  }
+  if (head[sizeof(kMagic)] == kVersionV1) {
+    return Status::InvalidArgument(
+        "v1 archive has no frame index; open via io::ReadArchive or migrate "
+        "with `mdz repack`: " +
+        path);
+  }
+  if (head[sizeof(kMagic)] != kVersionV2) {
+    return Status::Corruption("unsupported archive version");
+  }
+
+  // Locate and verify the footer before trusting any of it.
+  uint8_t tail[kFileTailBytes];
+  MDZ_RETURN_IF_ERROR(impl.ReadAt(impl.file_size - kFileTailBytes, tail));
+  if (std::memcmp(tail + 16, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Status::Corruption("archive trailer missing or damaged");
+  }
+  uint64_t footer_crc = 0, footer_len = 0;
+  std::memcpy(&footer_crc, tail, sizeof(footer_crc));
+  std::memcpy(&footer_len, tail + 8, sizeof(footer_len));
+  if (footer_len > impl.file_size - kFileHeaderBytes - kFileTailBytes) {
+    return Status::Corruption("footer length out of bounds");
+  }
+  impl.footer_offset = impl.file_size - kFileTailBytes - footer_len;
+  std::vector<uint8_t> footer_bytes(footer_len);
+  MDZ_RETURN_IF_ERROR(impl.ReadAt(impl.footer_offset, footer_bytes));
+  if (Fnv1a64(footer_bytes) != footer_crc) {
+    return Status::Corruption("archive footer checksum mismatch");
+  }
+  MDZ_ASSIGN_OR_RETURN(impl.footer, ParseFooter(footer_bytes));
+  MDZ_RETURN_IF_ERROR(ValidateFooter(impl.footer, impl.footer_offset));
+
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_ASSIGN_OR_RETURN(
+        impl.headers[axis],
+        core::ParseFieldStreamHeader(impl.footer.axes[axis].stream_header));
+  }
+  impl.axis_pos.resize(impl.footer.frames.size());
+  for (size_t i = 0; i < impl.footer.frames.size(); ++i) {
+    const uint8_t axis = impl.footer.frames[i].axis;
+    impl.axis_pos[i] = impl.axis_frames[axis].size();
+    impl.axis_frames[axis].push_back(i);
+  }
+  return reader;
+}
+
+const Footer& ArchiveReader::footer() const { return impl_->footer; }
+const std::string& ArchiveReader::name() const { return impl_->footer.name; }
+const std::array<double, 3>& ArchiveReader::box() const {
+  return impl_->footer.box;
+}
+size_t ArchiveReader::num_snapshots() const {
+  return impl_->footer.num_snapshots;
+}
+size_t ArchiveReader::num_particles() const {
+  return impl_->footer.num_particles;
+}
+
+Result<std::vector<core::Snapshot>> ArchiveReader::ReadSnapshots(
+    size_t first, size_t count) {
+  return impl_->ReadRange(first, count, 0, impl_->footer.num_particles);
+}
+
+Result<std::vector<core::Snapshot>> ArchiveReader::ReadParticles(
+    size_t first, size_t count, size_t first_particle, size_t particle_count) {
+  return impl_->ReadRange(first, count, first_particle, particle_count);
+}
+
+Result<core::CompressedTrajectory> ArchiveReader::Reassemble() {
+  MDZ_SPAN("archive_reassemble");
+  Impl& impl = *impl_;
+  core::CompressedTrajectory out;
+  for (int axis = 0; axis < 3; ++axis) {
+    ByteWriter w;
+    w.PutBytes(impl.footer.axes[axis].stream_header);
+    for (const size_t id : impl.axis_frames[axis]) {
+      const FrameInfo& f = impl.footer.frames[id];
+      std::vector<uint8_t> bytes(f.frame_size);
+      MDZ_RETURN_IF_ERROR(impl.ReadAt(f.offset, bytes));
+      std::span<const uint8_t> payload;
+      MDZ_RETURN_IF_ERROR(ParseFrameRecord(bytes, f, id, &payload));
+      w.PutBlob(payload);
+    }
+    out.axes[axis] = w.TakeBytes();
+  }
+  return out;
+}
+
+ReaderStats ArchiveReader::stats() const {
+  ReaderStats s;
+  s.frames_decoded = impl_->frames_decoded.load(std::memory_order_relaxed);
+  s.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = impl_->cache_misses.load(std::memory_order_relaxed);
+  s.reference_decodes =
+      impl_->reference_decodes.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool SniffArchiveVersion(const std::string& path, uint8_t* version) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint8_t head[kFileHeaderBytes];
+  const bool ok = std::fread(head, 1, sizeof(head), f) == sizeof(head) &&
+                  std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+  std::fclose(f);
+  if (!ok) return false;
+  *version = head[sizeof(kMagic)];
+  return true;
+}
+
+}  // namespace mdz::archive

@@ -1,0 +1,86 @@
+#ifndef MDZ_ARCHIVE_READER_H_
+#define MDZ_ARCHIVE_READER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/format.h"
+#include "core/mdz.h"
+#include "core/trajectory.h"
+
+namespace mdz::archive {
+
+struct ReaderOptions {
+  // Decoded-frame LRU cache capacity, in frames. Clamped to >= 2 so a TI
+  // frame and its predecessor can coexist while a chain replays.
+  size_t cache_frames = 32;
+};
+
+// Per-reader access accounting (always maintained; the archive/* counters in
+// obs::MetricsRegistry mirror these when telemetry is enabled).
+struct ReaderStats {
+  uint64_t frames_decoded = 0;    // frame payloads actually decoded
+  uint64_t cache_hits = 0;        // frame requests served from the cache
+  uint64_t cache_misses = 0;      // frame requests that had to decode
+  uint64_t reference_decodes = 0; // embedded reference snapshots decoded
+};
+
+// Random-access reader over a v2 archive. Open() verifies the footer index
+// (trailer, checksum, structural invariants) up front; frame payloads are
+// CRC-checked lazily, only when a read actually touches them — a corrupt
+// frame fails only the reads that need it, as Corruption naming the frame.
+//
+// All read methods are safe to call concurrently from multiple threads: file
+// access uses positioned reads and the decoded-frame cache hands out shared
+// immutable frames.
+class ArchiveReader {
+ public:
+  static Result<std::unique_ptr<ArchiveReader>> Open(
+      const std::string& path, const ReaderOptions& options = {});
+  ~ArchiveReader();
+
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  const Footer& footer() const;
+  const std::string& name() const;
+  const std::array<double, 3>& box() const;
+  size_t num_snapshots() const;
+  size_t num_particles() const;
+
+  // Decodes snapshots [first, first + count), touching only the frames whose
+  // snapshot ranges overlap it (plus, per axis, the embedded reference for
+  // MT frames and the predecessor chain for TI frames).
+  Result<std::vector<core::Snapshot>> ReadSnapshots(size_t first,
+                                                    size_t count);
+
+  // Same snapshot range, but each returned axis holds only particles
+  // [first_particle, first_particle + particle_count).
+  Result<std::vector<core::Snapshot>> ReadParticles(size_t first, size_t count,
+                                                    size_t first_particle,
+                                                    size_t particle_count);
+
+  // Reconstructs the per-axis v1 field streams byte-identical to the streams
+  // the archive was built from (CRC-checks every frame; no payload decoding).
+  // This is how v2 archives open through io::ReadArchive and how `mdz
+  // repack` migrates without re-encoding.
+  Result<core::CompressedTrajectory> Reassemble();
+
+  ReaderStats stats() const;
+
+ private:
+  ArchiveReader();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// True when the file at `path` starts with the archive magic and the given
+// version byte. I/O errors read as false.
+bool SniffArchiveVersion(const std::string& path, uint8_t* version);
+
+}  // namespace mdz::archive
+
+#endif  // MDZ_ARCHIVE_READER_H_

@@ -1,0 +1,401 @@
+#include "archive/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/block_codec.h"
+#include "core/thread_pool.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/byte_buffer.h"
+#include "util/hash.h"
+
+namespace mdz::archive {
+
+namespace {
+
+using core::internal::BlockCodec;
+using core::internal::EncodedBlock;
+using core::internal::LevelModel;
+using core::internal::PredictorState;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Sequentially builds a v2 file: header, then frames as they arrive, then
+// the footer + tail on Seal(). Frame index entries accumulate in footer().
+class V2FileBuilder {
+ public:
+  static Result<V2FileBuilder> Create(const std::string& path) {
+    V2FileBuilder b;
+    b.file_.reset(std::fopen(path.c_str(), "wb"));
+    if (b.file_ == nullptr) {
+      return Status::Internal("cannot open for writing: " + path);
+    }
+    uint8_t header[kFileHeaderBytes];
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    header[sizeof(kMagic)] = kVersionV2;
+    MDZ_RETURN_IF_ERROR(b.WriteBytes(header, sizeof(header)));
+    b.offset_ = kFileHeaderBytes;
+    return b;
+  }
+
+  Status AddFrame(uint8_t axis, core::Method method, uint64_t first_snapshot,
+                  uint64_t s_count, std::span<const uint8_t> payload) {
+    ByteWriter w;
+    const FrameInfo info = BuildFrameRecord(axis, method, first_snapshot,
+                                            s_count, payload, offset_, &w);
+    MDZ_RETURN_IF_ERROR(WriteBytes(w.bytes().data(), w.size()));
+    offset_ += w.size();
+    footer_.frames.push_back(info);
+    MDZ_COUNTER_ADD("archive/frames_written", 1);
+    return Status::OK();
+  }
+
+  Footer& footer() { return footer_; }
+
+  Status Seal() {
+    footer_.build_info_json = obs::BuildInfoJson();
+    ByteWriter w;
+    SerializeFooter(footer_, &w);
+    const uint64_t crc = Fnv1a64(w.bytes());
+    const uint64_t len = w.size();
+    w.Put<uint64_t>(crc);
+    w.Put<uint64_t>(len);
+    w.PutBytes(kTrailerMagic, sizeof(kTrailerMagic));
+    MDZ_RETURN_IF_ERROR(WriteBytes(w.bytes().data(), w.size()));
+    if (std::fflush(file_.get()) != 0) {
+      return Status::Internal("flush failed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  V2FileBuilder() = default;
+
+  Status WriteBytes(const void* data, size_t n) {
+    if (std::fwrite(data, 1, n, file_.get()) != n) {
+      return Status::Internal("short write to archive");
+    }
+    return Status::OK();
+  }
+
+  FilePtr file_;
+  uint64_t offset_ = 0;
+  Footer footer_;
+};
+
+// Builds the footer's per-axis entry. The reference must reproduce the
+// stream's decoded snapshot 0 bit-exactly (MT frames were encoded against
+// it). A 1-snapshot re-encode is embedded when its round trip verifies
+// bit-exactly — but the quantizer's grid is relative to each prediction, so
+// that is rare; the usual outcome is kFirstFrame, which carries no bytes and
+// has the reader decode the axis's first frame once instead. Either way the
+// reader never depends on re-quantization being idempotent.
+AxisStreamInfo BuildAxisInfo(const core::FieldStreamHeader& header,
+                             std::vector<uint8_t> stream_header,
+                             const std::vector<double>& initial,
+                             bool chained) {
+  AxisStreamInfo info;
+  info.stream_header = std::move(stream_header);
+  info.chained = chained;
+  if (initial.empty()) return info;  // ReferenceKind::kNone
+
+  const BlockCodec codec(header.abs_eb, header.quantization_scale,
+                         header.layout);
+  const std::vector<std::vector<double>> buffer(1, initial);
+  EncodedBlock encoded =
+      codec.Encode(core::Method::kMT, buffer, PredictorState(), LevelModel());
+
+  PredictorState state;
+  std::vector<std::vector<double>> decoded;
+  const bool exact =
+      codec.Decode(encoded.bytes, header.num_particles, &state, &decoded)
+          .ok() &&
+      decoded.size() == 1 && decoded[0].size() == initial.size() &&
+      std::memcmp(decoded[0].data(), initial.data(),
+                  initial.size() * sizeof(double)) == 0;
+  if (exact) {
+    info.ref_kind = ReferenceKind::kEncoded;
+    info.reference = std::move(encoded.bytes);
+  } else {
+    info.ref_kind = ReferenceKind::kFirstFrame;
+  }
+  return info;
+}
+
+// Decodes a block payload from an empty predictor state and returns the
+// stream's initial snapshot (what block 0 seeds for the MT predictor).
+Result<std::vector<double>> DecodeInitialSnapshot(
+    const core::FieldStreamHeader& header, std::span<const uint8_t> payload) {
+  const BlockCodec codec(header.abs_eb, header.quantization_scale,
+                         header.layout);
+  PredictorState state;
+  std::vector<std::vector<double>> decoded;
+  MDZ_RETURN_IF_ERROR(
+      codec.Decode(payload, header.num_particles, &state, &decoded));
+  if (!state.has_initial()) {
+    return Status::Corruption("first block decoded no snapshots");
+  }
+  return std::move(state.initial);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArchiveWriter
+// ---------------------------------------------------------------------------
+
+struct ArchiveWriter::Impl {
+  // Per-axis compression state; frames are cut from the compressor's drained
+  // output so payload bytes are identical to the v1 stream's blocks.
+  struct AxisState {
+    std::unique_ptr<core::FieldCompressor> compressor;
+    bool header_parsed = false;
+    core::FieldStreamHeader header;
+    std::vector<uint8_t> stream_header;
+    std::vector<double> initial;  // decoded snapshot 0 (reference source)
+    bool chained = false;         // stream contains TI frames
+    uint64_t next_snapshot = 0;
+  };
+
+  size_t n = 0;
+  core::ThreadPool* pool = nullptr;
+  std::unique_ptr<V2FileBuilder> builder;
+  std::array<AxisState, 3> axes;
+  std::vector<core::Snapshot> window;  // pending snapshots, <= buffer_size
+  size_t window_capacity = 1;
+  uint64_t snapshots_in = 0;
+  std::string name;
+  std::array<double, 3> box = {0, 0, 0};
+  bool finished = false;
+
+  // Moves the drained compressor output of one axis into frames on disk.
+  Status DrainAxis(int axis) {
+    AxisState& ax = axes[axis];
+    const std::vector<uint8_t> bytes = ax.compressor->TakeOutput();
+    if (bytes.empty()) return Status::OK();
+    const std::span<const uint8_t> data(bytes);
+    size_t pos = 0;
+    if (!ax.header_parsed) {
+      MDZ_ASSIGN_OR_RETURN(ax.header, core::ParseFieldStreamHeader(data));
+      ax.stream_header.assign(bytes.begin(),
+                              bytes.begin() + ax.header.header_bytes);
+      ax.header_parsed = true;
+      pos = ax.header.header_bytes;
+    }
+    while (pos < data.size()) {
+      ByteReader r(data.subspan(pos));
+      std::span<const uint8_t> payload;
+      MDZ_RETURN_IF_ERROR(r.GetBlob(&payload));
+      MDZ_ASSIGN_OR_RETURN(const core::internal::BlockHeader block,
+                           core::internal::PeekBlockHeader(payload));
+      if (ax.initial.empty()) {
+        MDZ_ASSIGN_OR_RETURN(ax.initial,
+                             DecodeInitialSnapshot(ax.header, payload));
+      }
+      if (block.method == core::Method::kTI) ax.chained = true;
+      MDZ_RETURN_IF_ERROR(builder->AddFrame(static_cast<uint8_t>(axis),
+                                            block.method, ax.next_snapshot,
+                                            block.s_count, payload));
+      ax.next_snapshot += block.s_count;
+      pos += r.position();
+    }
+    return Status::OK();
+  }
+
+  // Feeds the buffered window to the three axis compressors (concurrently on
+  // the pool) and flushes the frames they produced.
+  Status FlushWindow() {
+    if (window.empty()) return Status::OK();
+    MDZ_SPAN("archive_flush");
+    std::array<Status, 3> statuses;
+    const auto feed = [&](size_t axis) {
+      for (const core::Snapshot& s : window) {
+        statuses[axis] = axes[axis].compressor->Append(s.axes[axis]);
+        if (!statuses[axis].ok()) return;
+      }
+    };
+    if (pool != nullptr && !pool->serial()) {
+      pool->ParallelFor(0, 3, feed);
+    } else {
+      for (size_t axis = 0; axis < 3; ++axis) feed(axis);
+    }
+    for (const Status& s : statuses) MDZ_RETURN_IF_ERROR(s);
+    window.clear();
+    for (int axis = 0; axis < 3; ++axis) {
+      MDZ_RETURN_IF_ERROR(DrainAxis(axis));
+    }
+    return Status::OK();
+  }
+};
+
+ArchiveWriter::ArchiveWriter() : impl_(new Impl()) {}
+ArchiveWriter::~ArchiveWriter() = default;
+
+Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Create(
+    const std::string& path, size_t num_particles, const core::Options& options,
+    core::ThreadPool* pool) {
+  auto writer = std::unique_ptr<ArchiveWriter>(new ArchiveWriter());
+  Impl& impl = *writer->impl_;
+  impl.n = num_particles;
+  impl.pool = pool;
+  impl.window_capacity = options.buffer_size;
+  core::Options axis_options = options;
+  axis_options.pool = pool;
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_ASSIGN_OR_RETURN(
+        impl.axes[axis].compressor,
+        core::FieldCompressor::Create(num_particles, axis_options));
+  }
+  MDZ_ASSIGN_OR_RETURN(V2FileBuilder builder, V2FileBuilder::Create(path));
+  impl.builder = std::make_unique<V2FileBuilder>(std::move(builder));
+  return writer;
+}
+
+void ArchiveWriter::SetName(const std::string& name) { impl_->name = name; }
+
+void ArchiveWriter::SetBox(const std::array<double, 3>& box) {
+  impl_->box = box;
+}
+
+Status ArchiveWriter::Append(const core::Snapshot& snapshot) {
+  Impl& impl = *impl_;
+  if (impl.finished) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    if (snapshot.axes[axis].size() != impl.n) {
+      return Status::InvalidArgument("snapshot size != num_particles");
+    }
+  }
+  impl.window.push_back(snapshot);
+  ++impl.snapshots_in;
+  if (impl.window.size() >= impl.window_capacity) {
+    MDZ_RETURN_IF_ERROR(impl.FlushWindow());
+  }
+  return Status::OK();
+}
+
+Status ArchiveWriter::Finish() {
+  Impl& impl = *impl_;
+  if (impl.finished) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  if (impl.snapshots_in == 0) {
+    return Status::InvalidArgument("archive needs at least one snapshot");
+  }
+  MDZ_RETURN_IF_ERROR(impl.FlushWindow());
+  for (int axis = 0; axis < 3; ++axis) {
+    MDZ_RETURN_IF_ERROR(impl.axes[axis].compressor->Finish());
+    MDZ_RETURN_IF_ERROR(impl.DrainAxis(axis));
+  }
+  Footer& footer = impl.builder->footer();
+  footer.name = impl.name;
+  footer.box = impl.box;
+  footer.num_snapshots = impl.snapshots_in;
+  footer.num_particles = impl.n;
+  for (int axis = 0; axis < 3; ++axis) {
+    Impl::AxisState& ax = impl.axes[axis];
+    footer.axes[axis] = BuildAxisInfo(ax.header, std::move(ax.stream_header),
+                                      ax.initial, ax.chained);
+  }
+  MDZ_RETURN_IF_ERROR(impl.builder->Seal());
+  impl.finished = true;
+  return Status::OK();
+}
+
+const core::CompressorStats& ArchiveWriter::axis_stats(int axis) const {
+  return impl_->axes[axis].compressor->stats();
+}
+
+// ---------------------------------------------------------------------------
+// WriteV2: split existing v1 field streams into a v2 file (no re-encoding)
+// ---------------------------------------------------------------------------
+
+Status WriteV2(const core::CompressedTrajectory& data, const std::string& name,
+               const std::array<double, 3>& box, const std::string& path) {
+  MDZ_SPAN("archive_write_v2");
+  struct AxisSource {
+    core::FieldStreamHeader header;
+    std::vector<core::FieldDecompressor::BlockInfo> blocks;
+    std::vector<double> initial;
+    bool chained = false;
+  };
+  std::array<AxisSource, 3> src;
+  uint64_t num_snapshots = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::span<const uint8_t> bytes(data.axes[axis]);
+    MDZ_ASSIGN_OR_RETURN(src[axis].header,
+                         core::ParseFieldStreamHeader(bytes));
+    if (src[axis].header.num_particles != src[0].header.num_particles) {
+      return Status::InvalidArgument("axis particle counts disagree");
+    }
+    MDZ_ASSIGN_OR_RETURN(auto decompressor,
+                         core::FieldDecompressor::Open(bytes));
+    MDZ_ASSIGN_OR_RETURN(src[axis].blocks, decompressor->ListBlocks());
+    if (src[axis].blocks.empty()) {
+      return Status::InvalidArgument("cannot archive an empty stream");
+    }
+    const auto& last = src[axis].blocks.back();
+    const uint64_t total = last.first_snapshot + last.snapshots;
+    if (axis == 0) {
+      num_snapshots = total;
+    } else if (total != num_snapshots) {
+      return Status::InvalidArgument("axis snapshot counts disagree");
+    }
+    for (const auto& block : src[axis].blocks) {
+      if (block.method == core::Method::kTI) src[axis].chained = true;
+    }
+    ByteReader r(bytes.subspan(src[axis].blocks[0].offset));
+    std::span<const uint8_t> payload;
+    MDZ_RETURN_IF_ERROR(r.GetBlob(&payload));
+    MDZ_ASSIGN_OR_RETURN(src[axis].initial,
+                         DecodeInitialSnapshot(src[axis].header, payload));
+  }
+
+  MDZ_ASSIGN_OR_RETURN(V2FileBuilder builder, V2FileBuilder::Create(path));
+  // Interleave x,y,z per buffer — the same frame order the streaming writer
+  // produces, so both paths generate identical files for identical streams.
+  size_t max_blocks = 0;
+  for (const AxisSource& s : src) {
+    max_blocks = std::max(max_blocks, s.blocks.size());
+  }
+  for (size_t b = 0; b < max_blocks; ++b) {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (b >= src[axis].blocks.size()) continue;
+      const auto& block = src[axis].blocks[b];
+      ByteReader r(
+          std::span<const uint8_t>(data.axes[axis]).subspan(block.offset));
+      std::span<const uint8_t> payload;
+      MDZ_RETURN_IF_ERROR(r.GetBlob(&payload));
+      MDZ_RETURN_IF_ERROR(builder.AddFrame(static_cast<uint8_t>(axis),
+                                           block.method, block.first_snapshot,
+                                           block.snapshots, payload));
+    }
+  }
+  Footer& footer = builder.footer();
+  footer.name = name;
+  footer.box = box;
+  footer.num_snapshots = num_snapshots;
+  footer.num_particles = src[0].header.num_particles;
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::span<const uint8_t> bytes(data.axes[axis]);
+    std::vector<uint8_t> stream_header(
+        bytes.begin(), bytes.begin() + src[axis].header.header_bytes);
+    footer.axes[axis] =
+        BuildAxisInfo(src[axis].header, std::move(stream_header),
+                      src[axis].initial, src[axis].chained);
+  }
+  return builder.Seal();
+}
+
+}  // namespace mdz::archive

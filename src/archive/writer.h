@@ -1,0 +1,66 @@
+#ifndef MDZ_ARCHIVE_WRITER_H_
+#define MDZ_ARCHIVE_WRITER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "archive/format.h"
+#include "core/mdz.h"
+
+namespace mdz::core {
+class ThreadPool;
+}
+
+namespace mdz::archive {
+
+// Streaming v2 archive writer: snapshots go in one at a time, and every time
+// a buffer of Options::buffer_size snapshots accumulates, the three axis
+// compressors run concurrently on `pool` (nested ADP trials fan out onto the
+// same pool) and the finished frames are flushed straight to disk. Memory
+// stays bounded by one buffer of snapshots plus one buffer's compressed
+// output, independent of trajectory length.
+class ArchiveWriter {
+ public:
+  // Creates `path` (truncating) and writes the file header. `options` is the
+  // per-axis compressor configuration; its `pool` field is overridden with
+  // `pool`. A null pool compresses the axes sequentially.
+  static Result<std::unique_ptr<ArchiveWriter>> Create(
+      const std::string& path, size_t num_particles,
+      const core::Options& options, core::ThreadPool* pool = nullptr);
+  ~ArchiveWriter();
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  // Metadata stamped into the footer; may be set any time before Finish.
+  void SetName(const std::string& name);
+  void SetBox(const std::array<double, 3>& box);
+
+  // Appends one snapshot (each axis sized num_particles).
+  Status Append(const core::Snapshot& snapshot);
+
+  // Flushes the final partial buffer, builds the per-axis reference frames,
+  // and seals the file with the footer. Must be called exactly once, after
+  // at least one Append.
+  Status Finish();
+
+  // Per-axis compressor statistics (valid after Finish).
+  const core::CompressorStats& axis_stats(int axis) const;
+
+ private:
+  ArchiveWriter();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One-shot: writes already-compressed v1 field streams as a v2 archive by
+// splitting each stream into frames. Never re-encodes — every frame payload
+// is the verbatim block payload of the source stream, so a repacked archive
+// decodes byte-identically to the original.
+Status WriteV2(const core::CompressedTrajectory& data, const std::string& name,
+               const std::array<double, 3>& box, const std::string& path);
+
+}  // namespace mdz::archive
+
+#endif  // MDZ_ARCHIVE_WRITER_H_

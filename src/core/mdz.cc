@@ -136,6 +136,7 @@ struct FieldCompressor::Impl {
     const std::vector<uint8_t> header = w.TakeBytes();
     output.insert(output.end(), header.begin(), header.end());
     stats.framing_bytes += header.size();
+    stats.compressed_bytes += header.size();
     header_written = true;
     return Status::OK();
   }
@@ -237,7 +238,9 @@ struct FieldCompressor::Impl {
     last_block_method = chosen_method;
     stats.escape_count += chosen.escape_count;
     ++stats.buffers_out;
-    stats.compressed_bytes = output.size();
+    // Accumulated (not output.size()): TakeOutput may drain the output
+    // mid-stream, so the total is tracked independently of the vector.
+    stats.compressed_bytes += last_block_bytes;
     stats.current_method = chosen_method;
     switch (chosen_method) {
       case Method::kVQ:
@@ -337,7 +340,6 @@ Status FieldCompressor::Finish() {
   MDZ_RETURN_IF_ERROR(impl.FlushBuffer());
   MDZ_RETURN_IF_ERROR(impl.EnsureHeader());  // empty stream still gets header
   impl.finished = true;
-  impl.stats.compressed_bytes = impl.output.size();
   if (impl.options.telemetry && obs::Enabled()) {
     auto& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("compress/snapshots_in")->Add(impl.stats.snapshots_in);
@@ -399,41 +401,14 @@ struct FieldDecompressor::Impl {
   size_t header_end = 0;  // position right after the stream header
 
   Status ParseHeader() {
-    ByteReader r(data);
-    char magic[4];
-    MDZ_RETURN_IF_ERROR(r.GetBytes(magic, 4));
-    if (std::memcmp(magic, kMagic, 4) != 0) {
-      return Status::Corruption("bad MDZ magic");
-    }
-    uint8_t version = 0;
-    MDZ_RETURN_IF_ERROR(r.Get(&version));
-    if (version != kFormatVersion) {
-      return Status::Corruption("unsupported MDZ format version");
-    }
-    uint64_t n64 = 0;
-    MDZ_RETURN_IF_ERROR(r.GetVarint(&n64));
-    if (n64 == 0 || n64 > (1ull << 31)) {
-      return Status::Corruption("bad particle count in header");
-    }
-    n = n64;
-    MDZ_RETURN_IF_ERROR(r.Get(&abs_eb));
-    if (!(abs_eb > 0.0) || !std::isfinite(abs_eb)) {
-      return Status::Corruption("bad error bound in header");
-    }
-    uint64_t scale64 = 0;
-    MDZ_RETURN_IF_ERROR(r.GetVarint(&scale64));
-    if (scale64 < 4 || scale64 > (1u << 20)) {
-      return Status::Corruption("bad quantization scale in header");
-    }
-    scale = static_cast<uint32_t>(scale64);
-    uint8_t layout_byte = 0;
-    MDZ_RETURN_IF_ERROR(r.Get(&layout_byte));
-    if (layout_byte != 1 && layout_byte != 2) {
-      return Status::Corruption("bad code layout in header");
-    }
-    layout = static_cast<CodeLayout>(layout_byte);
-    pos = r.position();
-    header_end = pos;
+    MDZ_ASSIGN_OR_RETURN(const FieldStreamHeader header,
+                         ParseFieldStreamHeader(data));
+    n = header.num_particles;
+    abs_eb = header.abs_eb;
+    scale = header.quantization_scale;
+    layout = header.layout;
+    pos = header.header_bytes;
+    header_end = header.header_bytes;
     return Status::OK();
   }
 
@@ -725,6 +700,45 @@ Result<std::vector<std::vector<double>>> FieldDecompressor::DecodeAll(
   // Leave the decompressor at end of stream for subsequent Next() calls.
   impl.pos = impl.data.size();
   return out;
+}
+
+Result<FieldStreamHeader> ParseFieldStreamHeader(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  char magic[4];
+  MDZ_RETURN_IF_ERROR(r.GetBytes(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad MDZ magic");
+  }
+  uint8_t version = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&version));
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported MDZ format version");
+  }
+  FieldStreamHeader header;
+  uint64_t n64 = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&n64));
+  if (n64 == 0 || n64 > (1ull << 31)) {
+    return Status::Corruption("bad particle count in header");
+  }
+  header.num_particles = n64;
+  MDZ_RETURN_IF_ERROR(r.Get(&header.abs_eb));
+  if (!(header.abs_eb > 0.0) || !std::isfinite(header.abs_eb)) {
+    return Status::Corruption("bad error bound in header");
+  }
+  uint64_t scale64 = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&scale64));
+  if (scale64 < 4 || scale64 > (1u << 20)) {
+    return Status::Corruption("bad quantization scale in header");
+  }
+  header.quantization_scale = static_cast<uint32_t>(scale64);
+  uint8_t layout_byte = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&layout_byte));
+  if (layout_byte != 1 && layout_byte != 2) {
+    return Status::Corruption("bad code layout in header");
+  }
+  header.layout = static_cast<CodeLayout>(layout_byte);
+  header.header_bytes = r.position();
+  return header;
 }
 
 // ---------------------------------------------------------------------------

@@ -151,6 +151,11 @@ class FieldCompressor {
   Status Finish();
 
   const std::vector<uint8_t>& output() const;
+  // Moves the bytes produced so far out of the compressor. May be called
+  // between Appends, not just after Finish: the compressor keeps appending
+  // newly flushed buffers to a now-empty output, so a streaming container
+  // (src/archive) can drain frames as they are produced and keep memory
+  // bounded. Stats (compressed_bytes et al.) accumulate across drains.
   std::vector<uint8_t> TakeOutput();
   const CompressorStats& stats() const;
 
@@ -221,6 +226,22 @@ class FieldDecompressor {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+// Parsed form of the fixed field-stream header (docs/FORMAT.md Section 1).
+// `header_bytes` is the offset of the first block frame. Exposed so container
+// layers (src/archive) can split a stream into self-contained frames and
+// re-derive the codec parameters without instantiating a decompressor.
+struct FieldStreamHeader {
+  size_t num_particles = 0;
+  double abs_eb = 0.0;
+  uint32_t quantization_scale = 0;
+  CodeLayout layout = CodeLayout::kParticleMajor;
+  size_t header_bytes = 0;  // offset of the first block frame
+};
+
+// Validates and parses the stream header at the start of `data`. Returns
+// Corruption for anything that is not a well-formed MDZF version-1 header.
+Result<FieldStreamHeader> ParseFieldStreamHeader(std::span<const uint8_t> data);
 
 // --- One-shot helpers -------------------------------------------------------
 

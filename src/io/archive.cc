@@ -4,6 +4,8 @@
 #include <cstring>
 #include <memory>
 
+#include "archive/reader.h"
+#include "archive/writer.h"
 #include "util/byte_buffer.h"
 #include "util/hash.h"
 
@@ -47,7 +49,25 @@ Status WriteArchive(const Archive& archive, const std::string& path) {
   return Status::OK();
 }
 
+Status WriteArchiveV2(const Archive& archive, const std::string& path) {
+  return archive::WriteV2(archive.data, archive.name, archive.box, path);
+}
+
 Result<Archive> ReadArchive(const std::string& path) {
+  // Version sniffing: v2 archives open through the frame-indexed reader and
+  // reassemble their original axis streams; everything else (including files
+  // too short to sniff) falls through to the v1 parser and its errors.
+  uint8_t version = 0;
+  if (archive::SniffArchiveVersion(path, &version) &&
+      version == archive::kVersionV2) {
+    MDZ_ASSIGN_OR_RETURN(auto reader, archive::ArchiveReader::Open(path));
+    Archive archive;
+    MDZ_ASSIGN_OR_RETURN(archive.data, reader->Reassemble());
+    archive.name = reader->name();
+    archive.box = reader->box();
+    return archive;
+  }
+
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::Internal("cannot open for reading: " + path);
@@ -79,9 +99,9 @@ Result<Archive> ReadArchive(const std::string& path) {
   if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
     return Status::Corruption("not an MDZ archive: " + path);
   }
-  uint8_t version = 0;
-  MDZ_RETURN_IF_ERROR(r.Get(&version));
-  if (version != kVersion) {
+  uint8_t file_version = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&file_version));
+  if (file_version != kVersion) {
     return Status::Corruption("unsupported archive version");
   }
 

@@ -9,18 +9,31 @@
 
 namespace mdz::io {
 
-// On-disk container for a compressed trajectory: the three per-axis MDZ
-// streams plus the metadata needed to reconstruct a core::Trajectory, sealed
-// with an FNV-1a checksum so bit rot is reported as Corruption rather than
-// silently decoded.
+// In-memory form of an on-disk archive: the three per-axis MDZ streams plus
+// the metadata needed to reconstruct a core::Trajectory. Two container
+// versions exist on disk (docs/FORMAT.md Section 2):
+//
+//   v1 — monolithic blob sealed by one whole-file FNV-1a checksum;
+//   v2 — framed + indexed (src/archive/), integrity-checked per frame, the
+//        format `src/archive/ArchiveReader` serves random access from.
 struct Archive {
   core::CompressedTrajectory data;
   std::string name;                       // dataset label (optional)
   std::array<double, 3> box = {0, 0, 0};  // periodic box (0 = non-periodic)
 };
 
+// Writes the legacy v1 container (kept so `mdz repack` round-trip tests and
+// old archives stay exercised).
 Status WriteArchive(const Archive& archive, const std::string& path);
 
+// Writes the framed v2 container (the default for new archives). The axis
+// streams are stored frame-by-frame but byte-identically recoverable, so
+// ReadArchive returns the same Archive for both versions of the same data.
+Status WriteArchiveV2(const Archive& archive, const std::string& path);
+
+// Opens either container version (sniffs magic + version byte). v1 archives
+// are verified by their whole-file checksum; v2 archives by the footer index
+// and every frame's own CRC.
 Result<Archive> ReadArchive(const std::string& path);
 
 // Convenience: decompress an archive back into a trajectory (restores name

@@ -1,0 +1,435 @@
+// Archive v2 (src/archive/): format round trips, random-access reads against
+// full decodes, cache/telemetry accounting, concurrency, and integrity
+// isolation (a corrupt frame only fails the reads that touch it).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "archive/format.h"
+#include "archive/reader.h"
+#include "archive/writer.h"
+#include "core/mdz.h"
+#include "core/thread_pool.h"
+#include "core/trajectory.h"
+#include "io/archive.h"
+#include "util/rng.h"
+
+namespace mdz::archive {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Random-walk positions: temporally correlated, so MT/TI behave like they do
+// on real MD data while VQ still sees spatial structure.
+core::Trajectory MakeWalkTrajectory(size_t m, size_t n, uint64_t seed) {
+  core::Trajectory traj;
+  traj.name = "archive-test";
+  traj.box = {20.0, 20.0, 20.0};
+  Rng rng(seed);
+  core::Snapshot current;
+  for (auto& axis : current.axes) {
+    axis.resize(n);
+    for (auto& v : axis) v = rng.Uniform(-10.0, 10.0);
+  }
+  traj.snapshots.push_back(current);
+  for (size_t s = 1; s < m; ++s) {
+    for (auto& axis : current.axes) {
+      for (auto& v : axis) v += rng.Uniform(-0.05, 0.05);
+    }
+    traj.snapshots.push_back(current);
+  }
+  return traj;
+}
+
+core::CompressedTrajectory Compress(const core::Trajectory& traj,
+                                    core::Method method,
+                                    uint32_t buffer_size = 10) {
+  core::Options options;
+  options.method = method;
+  options.buffer_size = buffer_size;
+  options.enable_interpolation = (method == core::Method::kTI ||
+                                  method == core::Method::kAdaptive);
+  auto compressed = core::CompressTrajectory(traj, options);
+  EXPECT_TRUE(compressed.ok()) << compressed.status().ToString();
+  return std::move(compressed).value();
+}
+
+core::Trajectory FullDecode(const core::CompressedTrajectory& data) {
+  auto decoded = core::DecompressTrajectory(data);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+void ExpectSnapshotsEqualSlice(const std::vector<core::Snapshot>& got,
+                               const core::Trajectory& full, size_t first) {
+  for (size_t s = 0; s < got.size(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ(got[s].axes[axis], full.snapshots[first + s].axes[axis])
+          << "snapshot " << first + s << " axis " << axis;
+    }
+  }
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<uint8_t> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void FlipByteAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, offset, SEEK_SET);
+  const int byte = std::fgetc(f);
+  std::fseek(f, offset, SEEK_SET);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+}
+
+// --- Round trips, every predictor -------------------------------------------
+
+TEST(ArchiveV2, RangeReadsMatchFullDecodeForEveryMethod) {
+  const core::Trajectory traj = MakeWalkTrajectory(37, 60, 11);
+  const core::Method methods[] = {core::Method::kVQ, core::Method::kVQT,
+                                  core::Method::kMT, core::Method::kTI,
+                                  core::Method::kAdaptive};
+  for (const core::Method method : methods) {
+    const auto data = Compress(traj, method);
+    const core::Trajectory full = FullDecode(data);
+    const std::string path = TempPath("range_read.mdza");
+    ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+    auto reader = ArchiveReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ((*reader)->num_snapshots(), 37u);
+    EXPECT_EQ((*reader)->num_particles(), 60u);
+    EXPECT_EQ((*reader)->name(), "archive-test");
+
+    // Full range, a mid-stream buffer, a buffer-straddling window, the tail.
+    const std::pair<size_t, size_t> ranges[] = {
+        {0, 37}, {10, 10}, {8, 15}, {30, 7}, {36, 1}};
+    for (const auto& [first, count] : ranges) {
+      auto got = (*reader)->ReadSnapshots(first, count);
+      ASSERT_TRUE(got.ok()) << "method " << core::MethodName(method) << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(got->size(), count);
+      ExpectSnapshotsEqualSlice(*got, full, first);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ArchiveV2, ParticleRangeReadsMatchFullDecode) {
+  const core::Trajectory traj = MakeWalkTrajectory(25, 80, 12);
+  const auto data = Compress(traj, core::Method::kAdaptive);
+  const core::Trajectory full = FullDecode(data);
+  const std::string path = TempPath("particle_read.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto got = (*reader)->ReadParticles(12, 9, 30, 17);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), 9u);
+  for (size_t s = 0; s < 9; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto& whole = full.snapshots[12 + s].axes[axis];
+      const std::vector<double> expect(whole.begin() + 30, whole.begin() + 47);
+      ASSERT_EQ((*got)[s].axes[axis], expect);
+    }
+  }
+
+  EXPECT_EQ((*reader)
+                ->ReadSnapshots(20, 10)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*reader)->ReadParticles(0, 1, 70, 20).status().code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+// --- Touch accounting --------------------------------------------------------
+
+TEST(ArchiveV2, DecodesOnlyCoveringFramesAndCountsCacheHits) {
+  const core::Trajectory traj = MakeWalkTrajectory(50, 40, 13);
+  const auto data = Compress(traj, core::Method::kMT, /*buffer_size=*/10);
+  const std::string path = TempPath("touch.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ((*reader)->footer().frames.size(), 15u);  // 5 buffers x 3 axes
+
+  // One mid-stream buffer: exactly one frame per axis, plus one reference
+  // decode per axis (MT frames past position 0 seed from the reference).
+  ASSERT_TRUE((*reader)->ReadSnapshots(20, 10).ok());
+  ReaderStats stats = (*reader)->stats();
+  EXPECT_EQ(stats.frames_decoded, 3u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.reference_decodes, 3u);
+
+  // The same range again: served entirely from the cache.
+  ASSERT_TRUE((*reader)->ReadSnapshots(20, 10).ok());
+  stats = (*reader)->stats();
+  EXPECT_EQ(stats.frames_decoded, 3u);
+  EXPECT_EQ(stats.cache_hits, 3u);
+
+  // References load once per axis, ever.
+  ASSERT_TRUE((*reader)->ReadSnapshots(30, 10).ok());
+  stats = (*reader)->stats();
+  EXPECT_EQ(stats.frames_decoded, 6u);
+  EXPECT_EQ(stats.reference_decodes, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveV2, TinyCacheStillDecodesTiChains) {
+  const core::Trajectory traj = MakeWalkTrajectory(40, 30, 14);
+  const auto data = Compress(traj, core::Method::kTI, /*buffer_size=*/8);
+  const core::Trajectory full = FullDecode(data);
+  const std::string path = TempPath("tiny_cache.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  ReaderOptions options;
+  options.cache_frames = 1;  // clamped to 2; forces constant eviction
+  auto reader = ArchiveReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Deep into the chain: the reader must replay predecessors it cannot hold.
+  auto got = (*reader)->ReadSnapshots(33, 7);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSnapshotsEqualSlice(*got, full, 33);
+  std::remove(path.c_str());
+}
+
+// --- Concurrency -------------------------------------------------------------
+
+TEST(ArchiveV2, ConcurrentRangeReadsMatchSequentialDecode) {
+  const core::Trajectory traj = MakeWalkTrajectory(60, 50, 15);
+  const auto data = Compress(traj, core::Method::kAdaptive, /*buffer_size=*/6);
+  const core::Trajectory full = FullDecode(data);
+  const std::string path = TempPath("concurrent.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  ReaderOptions options;
+  options.cache_frames = 4;  // small enough that readers contend and evict
+  auto reader = ArchiveReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  constexpr size_t kQueries = 48;
+  std::vector<Status> statuses(kQueries, Status::OK());
+  std::vector<std::vector<core::Snapshot>> results(kQueries);
+  core::ThreadPool pool(8);
+  pool.ParallelFor(0, kQueries, [&](size_t q) {
+    const size_t first = (q * 7) % 55;
+    const size_t count = 1 + (q % 6);
+    auto got = (*reader)->ReadSnapshots(first, count);
+    if (!got.ok()) {
+      statuses[q] = got.status();
+      return;
+    }
+    results[q] = std::move(got).value();
+  });
+  for (size_t q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(statuses[q].ok()) << "query " << q << ": "
+                                  << statuses[q].ToString();
+    ExpectSnapshotsEqualSlice(results[q], full, (q * 7) % 55);
+  }
+  // Every request either hit the cache or decoded a frame — no request can
+  // vanish, whatever the interleaving.
+  const ReaderStats stats = (*reader)->stats();
+  EXPECT_EQ(stats.frames_decoded, stats.cache_misses);
+  EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+  std::remove(path.c_str());
+}
+
+// --- Streaming writer --------------------------------------------------------
+
+TEST(ArchiveV2, StreamingWriterProducesIdenticalFileToWriteV2) {
+  const core::Trajectory traj = MakeWalkTrajectory(32, 45, 16);
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.enable_interpolation = true;
+  options.buffer_size = 10;
+
+  const std::string streamed = TempPath("streamed.mdza");
+  auto writer = ArchiveWriter::Create(streamed, traj.num_particles(), options,
+                                      nullptr);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  (*writer)->SetName(traj.name);
+  (*writer)->SetBox(traj.box);
+  for (const core::Snapshot& s : traj.snapshots) {
+    ASSERT_TRUE((*writer)->Append(s).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok());
+  const std::string oneshot = TempPath("oneshot.mdza");
+  ASSERT_TRUE(WriteV2(*compressed, traj.name, traj.box, oneshot).ok());
+
+  EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(oneshot));
+  std::remove(streamed.c_str());
+  std::remove(oneshot.c_str());
+}
+
+TEST(ArchiveV2, StreamingWriterWithPoolMatchesSerial) {
+  const core::Trajectory traj = MakeWalkTrajectory(24, 35, 17);
+  core::Options options;
+  options.buffer_size = 8;
+
+  const std::string serial = TempPath("writer_serial.mdza");
+  {
+    auto writer =
+        ArchiveWriter::Create(serial, traj.num_particles(), options, nullptr);
+    ASSERT_TRUE(writer.ok());
+    for (const auto& s : traj.snapshots) ASSERT_TRUE((*writer)->Append(s).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  const std::string pooled = TempPath("writer_pooled.mdza");
+  {
+    core::ThreadPool pool(4);
+    auto writer =
+        ArchiveWriter::Create(pooled, traj.num_particles(), options, &pool);
+    ASSERT_TRUE(writer.ok());
+    for (const auto& s : traj.snapshots) ASSERT_TRUE((*writer)->Append(s).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  EXPECT_EQ(ReadFileBytes(serial), ReadFileBytes(pooled));
+  std::remove(serial.c_str());
+  std::remove(pooled.c_str());
+}
+
+// --- Container migration -----------------------------------------------------
+
+TEST(ArchiveV2, ReadArchiveReturnsSameDataForBothContainerVersions) {
+  const core::Trajectory traj = MakeWalkTrajectory(20, 30, 18);
+  const auto data = Compress(traj, core::Method::kAdaptive);
+
+  io::Archive archive;
+  archive.data = data;
+  archive.name = traj.name;
+  archive.box = traj.box;
+  const std::string v1 = TempPath("container_v1.mdza");
+  const std::string v2 = TempPath("container_v2.mdza");
+  ASSERT_TRUE(io::WriteArchive(archive, v1).ok());
+  ASSERT_TRUE(io::WriteArchiveV2(archive, v2).ok());
+
+  auto from_v1 = io::ReadArchive(v1);
+  auto from_v2 = io::ReadArchive(v2);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  EXPECT_EQ(from_v1->name, from_v2->name);
+  EXPECT_EQ(from_v1->box, from_v2->box);
+  for (int axis = 0; axis < 3; ++axis) {
+    // The v2 reassembly must reproduce the v1 stream bytes exactly — this is
+    // what makes repacking lossless without re-encoding.
+    ASSERT_EQ(from_v1->data.axes[axis], from_v2->data.axes[axis]);
+    ASSERT_EQ(from_v1->data.axes[axis], data.axes[axis]);
+  }
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST(ArchiveV2, OpeningV1DirectlySuggestsRepack) {
+  const core::Trajectory traj = MakeWalkTrajectory(8, 20, 19);
+  io::Archive archive;
+  archive.data = Compress(traj, core::Method::kVQ);
+  const std::string path = TempPath("v1_direct.mdza");
+  ASSERT_TRUE(io::WriteArchive(archive, path).ok());
+
+  uint8_t version = 0;
+  ASSERT_TRUE(SniffArchiveVersion(path, &version));
+  EXPECT_EQ(version, kVersionV1);
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// --- Integrity isolation -----------------------------------------------------
+
+TEST(ArchiveV2, CorruptUnusedFrameDoesNotFailUnrelatedReads) {
+  const core::Trajectory traj = MakeWalkTrajectory(50, 40, 20);
+  const auto data = Compress(traj, core::Method::kMT, /*buffer_size=*/10);
+  const core::Trajectory full = FullDecode(data);
+  const std::string path = TempPath("isolated.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  // Corrupt the payload of the last axis-0 frame (covers snapshots 40:50).
+  size_t corrupt_id = 0;
+  {
+    auto reader = ArchiveReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    const Footer& footer = (*reader)->footer();
+    for (size_t i = 0; i < footer.frames.size(); ++i) {
+      if (footer.frames[i].axis == 0 &&
+          footer.frames[i].first_snapshot == 40) {
+        corrupt_id = i;
+      }
+    }
+    FlipByteAt(path,
+               static_cast<long>(footer.frames[corrupt_id].offset) + 10);
+  }
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();  // footer is intact
+  // Reads that never touch the damaged frame still succeed and verify.
+  auto got = (*reader)->ReadSnapshots(0, 40);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSnapshotsEqualSlice(*got, full, 0);
+
+  // A read that needs the damaged frame reports Corruption naming it.
+  auto bad = (*reader)->ReadSnapshots(45, 5);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.status().message().find(
+                "frame " + std::to_string(corrupt_id)),
+            std::string::npos)
+      << bad.status().ToString();
+
+  // Reassembly CRC-checks every frame, so it must refuse too.
+  EXPECT_EQ((*reader)->Reassemble().status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveV2, FooterCorruptionFailsOpen) {
+  const core::Trajectory traj = MakeWalkTrajectory(16, 25, 21);
+  const auto data = Compress(traj, core::Method::kVQT);
+  const std::string path = TempPath("bad_footer.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  const auto bytes = ReadFileBytes(path);
+  // A byte inside the footer region (just before the 20-byte tail).
+  FlipByteAt(path, static_cast<long>(bytes.size()) - 25);
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveV2, TruncatedTailFailsOpen) {
+  const core::Trajectory traj = MakeWalkTrajectory(12, 20, 22);
+  const auto data = Compress(traj, core::Method::kVQ);
+  const std::string path = TempPath("truncated.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+  const auto bytes = ReadFileBytes(path);
+  ASSERT_EQ(truncate(path.c_str(), static_cast<off_t>(bytes.size() - 7)), 0);
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdz::archive

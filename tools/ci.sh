@@ -17,8 +17,9 @@
 # After the matrix, a telemetry smoke step compresses a generated trajectory
 # with --metrics-json/--metrics-prom/--trace and validates the artifacts
 # with tools/check_telemetry.sh, audits the archive against its original,
-# and a bench smoke step runs two figure benches plus pipeline_stages at a
-# small scale, archives their BENCH_*.json reports under the build root and
+# and a bench smoke step runs two figure benches, pipeline_stages, and the
+# archive random-access bench at a small scale, archives their BENCH_*.json
+# reports under the build root and
 # gates the compression ratios against the committed bench/baselines via
 # tools/bench_diff (throughput is machine-dependent, so MB/s is ignored).
 set -eu
@@ -73,7 +74,8 @@ echo "=== bench smoke + regression gate ==="
 BENCH_DIR="${BUILD_ROOT}/bench-smoke"
 rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
-for bench in fig9_quant_scale fig11_adp_vs_modes pipeline_stages; do
+for bench in fig9_quant_scale fig11_adp_vs_modes pipeline_stages \
+             bench_random_access; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)

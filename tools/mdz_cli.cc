@@ -2,9 +2,13 @@
 //
 //   mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]
 //   mdz compress <in.mdtraj|.xyz> <out.mdza> [--eb E] [--abs] [--bs N]
-//                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1]
+//                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1] [--v1]
 //                [--metrics-json F] [--metrics-prom F] [--trace F]
 //   mdz decompress <in.mdza> <out.mdtraj|.xyz> [--metrics-json F]
+//   mdz extract <in.mdza> <out.mdtraj|.xyz> --snapshots a:b
+//               [--particles p:q] [--metrics-json F]
+//   mdz index <archive.mdza> [--json]
+//   mdz repack <in.mdza> <out.mdza> [--v1]
 //   mdz info <file.mdza|file.mdtraj>
 //   mdz stats <file.mdza> [--json]
 //   mdz verify <original.mdtraj|.xyz> <compressed.mdza>
@@ -35,6 +39,8 @@
 #include <vector>
 
 #include "analysis/metrics.h"
+#include "archive/format.h"
+#include "archive/reader.h"
 #include "core/mdz.h"
 #include "core/parallel.h"
 #include "core/quality_audit.h"
@@ -68,6 +74,7 @@ int ExitCodeFor(const Status& status) {
   switch (status.code()) {
     case mdz::StatusCode::kInvalidArgument:
     case mdz::StatusCode::kFailedPrecondition:
+    case mdz::StatusCode::kOutOfRange:  // e.g. --snapshots beyond the archive
       return kExitUsage;
     case mdz::StatusCode::kInternal:  // the io/ layer's file errors
       return kExitIo;
@@ -119,6 +126,11 @@ int Usage() {
                "               [--metrics-json F] [--metrics-prom F] [--trace F]\n"
                "  mdz decompress <in.mdza> <out.mdtraj|.xyz> [--threads N]\n"
                "               [--metrics-json F] [--metrics-prom F]\n"
+               "  mdz extract <in.mdza> <out.mdtraj|.xyz> --snapshots a:b\n"
+               "               [--particles p:q] [--cache-frames N]\n"
+               "               [--metrics-json F] [--metrics-prom F]\n"
+               "  mdz index <archive.mdza> [--json]\n"
+               "  mdz repack <in.mdza> <out.mdza> [--v1]\n"
                "  mdz info <file.mdza|file.mdtraj>\n"
                "  mdz stats <file.mdza> [--json]\n"
                "  mdz verify <original> <compressed.mdza>\n"
@@ -154,6 +166,10 @@ struct Flags {
   std::string quality_trace;  // per-block quality JSONL (audit / --audit)
   bool json = false;          // `mdz stats|audit|version --json`
   bool audit = false;         // `mdz compress --audit`: verify after writing
+  bool v1 = false;            // `compress`/`repack`: write legacy v1 container
+  std::string snapshots;      // `extract --snapshots a:b` (half-open range)
+  std::string particles;      // `extract --particles p:q` (half-open range)
+  uint32_t cache_frames = 32;  // `extract`: decoded-frame LRU capacity
 
   bool telemetry() const {
     return !metrics_json.empty() || !metrics_prom.empty() ||
@@ -206,6 +222,15 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.quality_trace, next_value());
       } else if (arg == "--audit") {
         flags.audit = true;
+      } else if (arg == "--v1") {
+        flags.v1 = true;
+      } else if (arg == "--snapshots") {
+        MDZ_ASSIGN_OR_RETURN(flags.snapshots, next_value());
+      } else if (arg == "--particles") {
+        MDZ_ASSIGN_OR_RETURN(flags.particles, next_value());
+      } else if (arg == "--cache-frames") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        flags.cache_frames = static_cast<uint32_t>(std::atoi(v.c_str()));
       } else if (arg == "--json") {
         flags.json = true;
       } else if (arg == "--quiet") {
@@ -247,6 +272,27 @@ struct Flags {
     return options;
   }
 };
+
+// Parses a half-open "a:b" range (a <= index < b) into {first, count}.
+Result<std::pair<size_t, size_t>> ParseRange(const std::string& spec,
+                                             const std::string& flag) {
+  const size_t colon = spec.find(':');
+  const Status bad =
+      Status::InvalidArgument(flag + " expects a half-open range a:b, got \"" +
+                              spec + "\"");
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return bad;
+  }
+  char* end = nullptr;
+  const unsigned long long a = std::strtoull(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + colon) return bad;
+  const unsigned long long b = std::strtoull(spec.c_str() + colon + 1, &end, 10);
+  if (end != spec.c_str() + spec.size()) return bad;
+  if (b <= a) {
+    return Status::InvalidArgument(flag + " range is empty: \"" + spec + "\"");
+  }
+  return std::make_pair(static_cast<size_t>(a), static_cast<size_t>(b - a));
+}
 
 // Writes the requested metrics files after a telemetry-enabled run. Returns
 // the exit code: kExitOk, or kExitIo on the first failed write.
@@ -408,7 +454,9 @@ int CmdCompress(const Flags& flags) {
   archive.data = std::move(compressed).value();
   archive.name = trajectory->name;
   archive.box = trajectory->box;
-  const Status s = mdz::io::WriteArchive(archive, flags.positional[1]);
+  const Status s = flags.v1
+                       ? mdz::io::WriteArchive(archive, flags.positional[1])
+                       : mdz::io::WriteArchiveV2(archive, flags.positional[1]);
   if (!s.ok()) return Fail(s);
 
   if (trace != nullptr) {
@@ -574,6 +622,161 @@ int CmdStats(const Flags& flags) {
   return kExitOk;
 }
 
+// Random access into a v2 archive: decodes only the frames covering the
+// requested snapshot range (optionally sliced to a particle range) instead of
+// replaying the whole stream. v1 archives are rejected with a pointer to
+// `mdz repack`.
+int CmdExtract(const Flags& flags) {
+  if (flags.positional.size() != 2 || flags.snapshots.empty()) return Usage();
+  if (flags.telemetry()) mdz::obs::SetEnabled(true);
+
+  auto snap_range = ParseRange(flags.snapshots, "--snapshots");
+  if (!snap_range.ok()) return Fail(snap_range.status());
+
+  mdz::archive::ReaderOptions options;
+  options.cache_frames = flags.cache_frames;
+  auto reader = mdz::archive::ArchiveReader::Open(flags.positional[0], options);
+  if (!reader.ok()) return Fail(reader.status());
+
+  Result<std::vector<mdz::core::Snapshot>> snapshots =
+      Status::Internal("unreachable");
+  if (flags.particles.empty()) {
+    snapshots =
+        (*reader)->ReadSnapshots(snap_range->first, snap_range->second);
+  } else {
+    auto part_range = ParseRange(flags.particles, "--particles");
+    if (!part_range.ok()) return Fail(part_range.status());
+    snapshots =
+        (*reader)->ReadParticles(snap_range->first, snap_range->second,
+                                 part_range->first, part_range->second);
+  }
+  if (!snapshots.ok()) return Fail(snapshots.status());
+
+  Trajectory trajectory;
+  trajectory.name = (*reader)->name();
+  trajectory.box = (*reader)->box();
+  trajectory.snapshots = std::move(snapshots).value();
+  const Status s = WriteTrajectoryAuto(trajectory, flags.positional[1]);
+  if (!s.ok()) return Fail(s);
+
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+  const auto stats = (*reader)->stats();
+  Say("extracted %zu snapshots x %zu atoms -> %s "
+      "(%llu of %zu frames decoded, %llu reference decodes)\n",
+      trajectory.num_snapshots(), trajectory.num_particles(),
+      flags.positional[1].c_str(),
+      static_cast<unsigned long long>(stats.frames_decoded),
+      (*reader)->footer().frames.size(),
+      static_cast<unsigned long long>(stats.reference_decodes));
+  return kExitOk;
+}
+
+// Prints the v2 footer index: what a reader learns about the file without
+// decoding any payload.
+int CmdIndex(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  auto reader = mdz::archive::ArchiveReader::Open(flags.positional[0]);
+  if (!reader.ok()) return Fail(reader.status());
+  const mdz::archive::Footer& footer = (*reader)->footer();
+
+  const auto ref_name = [](mdz::archive::ReferenceKind kind) {
+    switch (kind) {
+      case mdz::archive::ReferenceKind::kNone: return "none";
+      case mdz::archive::ReferenceKind::kEncoded: return "encoded";
+      case mdz::archive::ReferenceKind::kRaw: return "raw";
+      case mdz::archive::ReferenceKind::kFirstFrame: return "first-frame";
+    }
+    return "?";
+  };
+
+  if (flags.json) {
+    std::printf("{\"file\":\"%s\",\"version\":2,\"name\":\"%s\","
+                "\"snapshots\":%llu,\"particles\":%llu,\"axes\":[",
+                flags.positional[0].c_str(), footer.name.c_str(),
+                static_cast<unsigned long long>(footer.num_snapshots),
+                static_cast<unsigned long long>(footer.num_particles));
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto& a = footer.axes[axis];
+      std::printf("%s{\"axis\":\"%c\",\"chained\":%s,\"reference\":\"%s\"}",
+                  axis == 0 ? "" : ",", "xyz"[axis],
+                  a.chained ? "true" : "false", ref_name(a.ref_kind));
+    }
+    std::printf("],\"frames\":[");
+    for (size_t i = 0; i < footer.frames.size(); ++i) {
+      const auto& f = footer.frames[i];
+      std::printf("%s{\"id\":%zu,\"axis\":\"%c\",\"method\":\"%.*s\","
+                  "\"first_snapshot\":%llu,\"snapshots\":%llu,"
+                  "\"offset\":%llu,\"bytes\":%llu}",
+                  i == 0 ? "" : ",", i, "xyz"[f.axis % 3],
+                  static_cast<int>(mdz::core::MethodName(f.method).size()),
+                  mdz::core::MethodName(f.method).data(),
+                  static_cast<unsigned long long>(f.first_snapshot),
+                  static_cast<unsigned long long>(f.s_count),
+                  static_cast<unsigned long long>(f.offset),
+                  static_cast<unsigned long long>(f.frame_size));
+    }
+    std::printf("],\"build\":%s}\n", footer.build_info_json.empty()
+                                         ? "null"
+                                         : footer.build_info_json.c_str());
+    return kExitOk;
+  }
+
+  std::printf("MDZ archive v2: %s\n", flags.positional[0].c_str());
+  std::printf("  dataset:  %s\n",
+              footer.name.empty() ? "(unnamed)" : footer.name.c_str());
+  std::printf("  contents: %llu snapshots x %llu atoms, %zu frames\n",
+              static_cast<unsigned long long>(footer.num_snapshots),
+              static_cast<unsigned long long>(footer.num_particles),
+              footer.frames.size());
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto& a = footer.axes[axis];
+    std::printf("  axis %c:   %s reference, %s\n", "xyz"[axis],
+                ref_name(a.ref_kind),
+                a.chained ? "TI-chained" : "independently decodable");
+  }
+  std::printf("%-6s %-5s %-7s %-12s %-10s %-10s\n", "Frame", "Axis", "Method",
+              "Snapshots", "Offset", "Bytes");
+  for (size_t i = 0; i < footer.frames.size(); ++i) {
+    const auto& f = footer.frames[i];
+    char range[32];
+    std::snprintf(range, sizeof(range), "%llu:%llu",
+                  static_cast<unsigned long long>(f.first_snapshot),
+                  static_cast<unsigned long long>(f.first_snapshot +
+                                                  f.s_count));
+    std::printf("%-6zu %-5c %-7.*s %-12s %-10llu %-10llu\n", i,
+                "xyz"[f.axis % 3],
+                static_cast<int>(mdz::core::MethodName(f.method).size()),
+                mdz::core::MethodName(f.method).data(), range,
+                static_cast<unsigned long long>(f.offset),
+                static_cast<unsigned long long>(f.frame_size));
+  }
+  return kExitOk;
+}
+
+// Container migration without re-encoding: the axis streams move between
+// versions byte-identically (v2 frames hold v1 block payloads verbatim), so
+// `repack` then `decompress` matches the original archive exactly.
+int CmdRepack(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  uint8_t in_version = 0;
+  if (!mdz::archive::SniffArchiveVersion(flags.positional[0], &in_version)) {
+    in_version = 0;  // let ReadArchive produce the real error
+  }
+  auto archive = mdz::io::ReadArchive(flags.positional[0]);
+  if (!archive.ok()) return Fail(archive.status());
+  const Status s = flags.v1
+                       ? mdz::io::WriteArchive(*archive, flags.positional[1])
+                       : mdz::io::WriteArchiveV2(*archive, flags.positional[1]);
+  if (!s.ok()) return Fail(s);
+  Say("repacked %s (v%u) -> %s (v%u)\n", flags.positional[0].c_str(),
+      static_cast<unsigned>(in_version), flags.positional[1].c_str(),
+      flags.v1 ? 1u : 2u);
+  return kExitOk;
+}
+
 int CmdVerify(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
   auto original = ReadTrajectoryAuto(flags.positional[0]);
@@ -611,6 +814,9 @@ int main(int argc, char** argv) {
   if (command == "gen") return CmdGen(*flags);
   if (command == "compress") return CmdCompress(*flags);
   if (command == "decompress") return CmdDecompress(*flags);
+  if (command == "extract") return CmdExtract(*flags);
+  if (command == "index") return CmdIndex(*flags);
+  if (command == "repack") return CmdRepack(*flags);
   if (command == "info") return CmdInfo(*flags);
   if (command == "stats") return CmdStats(*flags);
   if (command == "verify") return CmdVerify(*flags);
