@@ -1,11 +1,14 @@
 #include "archive/writer.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "archive/reader.h"
 #include "core/block_codec.h"
 #include "core/thread_pool.h"
 #include "obs/build_info.h"
@@ -45,6 +48,30 @@ class V2FileBuilder {
     header[sizeof(kMagic)] = kVersionV2;
     MDZ_RETURN_IF_ERROR(b.WriteBytes(header, sizeof(header)));
     b.offset_ = kFileHeaderBytes;
+    return b;
+  }
+
+  // Reopens a sealed file for in-situ append: the sealed footer + tail are
+  // truncated away, the frame records stay in place, and new frames continue
+  // exactly where the footer began. `footer` is the parsed (validated) footer
+  // whose frame index carries over into the resealed file.
+  static Result<V2FileBuilder> ReopenAt(const std::string& path, Footer footer,
+                                        uint64_t footer_offset) {
+    V2FileBuilder b;
+    b.file_.reset(std::fopen(path.c_str(), "r+b"));
+    if (b.file_ == nullptr) {
+      return Status::Internal("cannot open for appending: " + path);
+    }
+    if (ftruncate(fileno(b.file_.get()), static_cast<off_t>(footer_offset)) !=
+        0) {
+      return Status::Internal("cannot truncate archive footer: " + path);
+    }
+    if (std::fseek(b.file_.get(), static_cast<long>(footer_offset),
+                   SEEK_SET) != 0) {
+      return Status::Internal("cannot seek in archive: " + path);
+    }
+    b.offset_ = footer_offset;
+    b.footer_ = std::move(footer);
     return b;
   }
 
@@ -146,6 +173,37 @@ Result<std::vector<double>> DecodeInitialSnapshot(
     return Status::Corruption("first block decoded no snapshots");
   }
   return std::move(state.initial);
+}
+
+// Locates the sealed footer from the file tail (the reader has already
+// verified the trailer magic, CRC and length bounds by the time this runs).
+Result<uint64_t> ReadFooterOffset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::Internal("cannot open: " + path);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::Internal("cannot seek: " + path);
+  }
+  const long end = std::ftell(f.get());
+  if (end < 0 ||
+      static_cast<uint64_t>(end) < kFileHeaderBytes + kFileTailBytes) {
+    return Status::Corruption("archive too small for a footer");
+  }
+  uint8_t tail[kFileTailBytes];
+  if (std::fseek(f.get(), end - static_cast<long>(kFileTailBytes), SEEK_SET) !=
+          0 ||
+      std::fread(tail, 1, sizeof(tail), f.get()) != sizeof(tail)) {
+    return Status::Internal("cannot read archive tail: " + path);
+  }
+  ByteReader r(std::span<const uint8_t>(tail, sizeof(tail)));
+  uint64_t crc = 0;
+  uint64_t len = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&crc));
+  MDZ_RETURN_IF_ERROR(r.Get(&len));
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  if (len > file_size - kFileHeaderBytes - kFileTailBytes) {
+    return Status::Corruption("footer length out of range");
+  }
+  return file_size - kFileTailBytes - len;
 }
 
 }  // namespace
@@ -261,6 +319,152 @@ Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Create(
   return writer;
 }
 
+Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Reopen(
+    const std::string& path, const core::Options& options,
+    core::ThreadPool* pool) {
+  MDZ_SPAN("archive_reopen");
+  // Open through the reader first: footer CRC, structural invariants and the
+  // per-frame tiling are all verified before we touch the file for writing.
+  MDZ_ASSIGN_OR_RETURN(auto reader, ArchiveReader::Open(path));
+  Footer footer = reader->footer();
+  const uint64_t m = footer.num_snapshots;
+  const size_t n = footer.num_particles;
+
+  // Every frame must cover one full buffer: a short final frame means the
+  // trailing snapshots were already lossy-coded, and re-encoding them into a
+  // full buffer could not reproduce the one-shot bytes.
+  uint64_t bs = 0;
+  for (const FrameInfo& f : footer.frames) {
+    if (bs == 0) bs = f.s_count;
+    if (f.s_count != bs) {
+      return Status::FailedPrecondition(
+          "archive ends on a partial buffer; append requires num_snapshots "
+          "to be a multiple of the buffer size");
+    }
+  }
+  if (bs == 0 || m % bs != 0) {
+    return Status::FailedPrecondition(
+        "archive frames do not tile full buffers");
+  }
+
+  // The append is byte-identical to one-shot compression only when the codec
+  // is configured the way the original run was. Parameters recorded in the
+  // file (bound, scale, layout, buffer size) are restored below; the ones
+  // that are not recorded (method, interval, TI toggle) we can at least
+  // cross-check against the frames.
+  if (options.method != core::Method::kAdaptive) {
+    for (const FrameInfo& f : footer.frames) {
+      if (f.method != options.method) {
+        return Status::InvalidArgument(
+            "archive frames disagree with the requested fixed method; reopen "
+            "with the options the archive was created with");
+      }
+    }
+  } else if ((footer.axes[0].chained || footer.axes[1].chained ||
+              footer.axes[2].chained) &&
+             !options.enable_interpolation) {
+    return Status::InvalidArgument(
+        "archive contains TI frames but interpolation is disabled; reopen "
+        "with the options the archive was created with");
+  }
+
+  // Decoded boundary snapshots: snapshot 0 seeds the MT reference, snapshot
+  // M-1 is the TI chain tail the resumed predictor state needs.
+  MDZ_ASSIGN_OR_RETURN(auto first_snap, reader->ReadSnapshots(0, 1));
+  MDZ_ASSIGN_OR_RETURN(auto last_snap, reader->ReadSnapshots(m - 1, 1));
+
+  auto writer = std::unique_ptr<ArchiveWriter>(new ArchiveWriter());
+  Impl& impl = *writer->impl_;
+  impl.n = n;
+  impl.pool = pool;
+  impl.window_capacity = bs;
+  impl.snapshots_in = m;
+  impl.name = footer.name;
+  impl.box = footer.box;
+
+  FilePtr probe(std::fopen(path.c_str(), "rb"));
+  if (probe == nullptr) return Status::Internal("cannot open: " + path);
+
+  for (int axis = 0; axis < 3; ++axis) {
+    Impl::AxisState& ax = impl.axes[axis];
+    const AxisStreamInfo& info = footer.axes[axis];
+    MDZ_ASSIGN_OR_RETURN(
+        ax.header,
+        core::ParseFieldStreamHeader(std::span<const uint8_t>(
+            info.stream_header.data(), info.stream_header.size())));
+    ax.stream_header = info.stream_header;
+    ax.header_parsed = true;
+    ax.chained = info.chained;
+    ax.next_snapshot = m;
+    ax.initial = first_snap[0].axes[axis];
+
+    core::Options axis_options = options;
+    axis_options.pool = pool;
+    axis_options.buffer_size = static_cast<uint32_t>(bs);
+    axis_options.quantization_scale = ax.header.quantization_scale;
+    axis_options.layout = ax.header.layout;
+    axis_options.error_bound = ax.header.abs_eb;
+    axis_options.error_bound_mode = core::ErrorBoundMode::kAbsolute;
+
+    core::FieldCompressor::ResumeState state;
+    state.abs_eb = ax.header.abs_eb;
+    state.initial = ax.initial;
+    state.prev_last = std::move(last_snap[0].axes[axis]);
+    state.snapshots_in = m;
+    size_t axis_frames = 0;
+    for (size_t i = 0; i < footer.frames.size(); ++i) {
+      const FrameInfo& f = footer.frames[i];
+      if (f.axis != axis) continue;
+      ++axis_frames;
+      state.current_method = f.method;
+      if (!state.has_levels && (f.method == core::Method::kVQ ||
+                                f.method == core::Method::kVQT)) {
+        // The level grid is fit once per stream and serialized verbatim in
+        // every VQ-family block, so any one of them recovers it bit-exactly.
+        std::vector<uint8_t> record(f.frame_size);
+        if (std::fseek(probe.get(), static_cast<long>(f.offset), SEEK_SET) !=
+                0 ||
+            std::fread(record.data(), 1, record.size(), probe.get()) !=
+                record.size()) {
+          return Status::Internal("cannot read frame record: " + path);
+        }
+        std::span<const uint8_t> payload;
+        MDZ_RETURN_IF_ERROR(ParseFrameRecord(record, f, i, &payload));
+        MDZ_ASSIGN_OR_RETURN(const LevelModel levels,
+                             core::internal::PeekBlockLevels(payload));
+        if (levels.valid) {
+          state.has_levels = true;
+          state.level_mu = levels.mu;
+          state.level_lambda = levels.lambda;
+        }
+      }
+    }
+    state.buffers_out = axis_frames;
+    if (!state.has_levels && options.method == core::Method::kAdaptive) {
+      // ADP fit a grid at its first trial round even if no VQ/VQT block ever
+      // won; the raw snapshot it fit from is gone, so refit from the decoded
+      // one — the only reopen ingredient that is not recovered verbatim.
+      const LevelModel refit =
+          core::internal::FitLevelModel(ax.initial, options.level_fit);
+      state.has_levels = refit.valid;
+      state.level_mu = refit.mu;
+      state.level_lambda = refit.lambda;
+    }
+    MDZ_ASSIGN_OR_RETURN(
+        ax.compressor,
+        core::FieldCompressor::Resume(n, axis_options, state));
+  }
+  probe.reset();
+  reader.reset();  // closes the read fd before the file is truncated
+
+  MDZ_ASSIGN_OR_RETURN(const uint64_t footer_offset, ReadFooterOffset(path));
+  MDZ_ASSIGN_OR_RETURN(
+      V2FileBuilder builder,
+      V2FileBuilder::ReopenAt(path, std::move(footer), footer_offset));
+  impl.builder = std::make_unique<V2FileBuilder>(std::move(builder));
+  return writer;
+}
+
 void ArchiveWriter::SetName(const std::string& name) { impl_->name = name; }
 
 void ArchiveWriter::SetBox(const std::array<double, 3>& box) {
@@ -315,6 +519,16 @@ Status ArchiveWriter::Finish() {
 
 const core::CompressorStats& ArchiveWriter::axis_stats(int axis) const {
   return impl_->axes[axis].compressor->stats();
+}
+
+size_t ArchiveWriter::buffered_snapshots() const {
+  return impl_->window.size();
+}
+
+size_t ArchiveWriter::num_particles() const { return impl_->n; }
+
+uint64_t ArchiveWriter::snapshots_written() const {
+  return impl_->snapshots_in;
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,30 @@ class ArchiveWriter {
   static Result<std::unique_ptr<ArchiveWriter>> Create(
       const std::string& path, size_t num_particles,
       const core::Options& options, core::ThreadPool* pool = nullptr);
+
+  // Reopens a sealed v2 archive for in-situ append (the growing-simulation
+  // workflow): validates the file, truncates the footer, and resumes the
+  // three axis compressors exactly where the sealed stream left them (bound
+  // and level grid recovered verbatim from the stream, MT's snapshot-0
+  // reference and TI's chain tail decoded from the frames, ADP's interval
+  // counter replayed from the block count) — so Append + Finish produces a
+  // file byte-identical to one-shot compression of the concatenated input.
+  //
+  // Codec parameters that live in the file (buffer size, quantization scale,
+  // layout, resolved error bound) override whatever `options` says; method,
+  // adaptation interval and the TI toggle must be passed the same as the
+  // original run for the identity to hold. Fails with FailedPrecondition
+  // when the archive ends on a partial buffer (its snapshots were already
+  // lossy-coded; re-encoding them could not be byte-identical), and with
+  // the reader's Corruption errors for damaged files. Name and box carry
+  // over; SetName/SetBox still override. If the stream used ADP but never
+  // committed a VQ/VQT block, the level grid is refit from the decoded
+  // reference snapshot — identical to the original fit in every case except
+  // a grid that was fit on raw data no block ever recorded.
+  static Result<std::unique_ptr<ArchiveWriter>> Reopen(
+      const std::string& path, const core::Options& options,
+      core::ThreadPool* pool = nullptr);
+
   ~ArchiveWriter();
 
   ArchiveWriter(const ArchiveWriter&) = delete;
@@ -47,6 +71,16 @@ class ArchiveWriter {
 
   // Per-axis compressor statistics (valid after Finish).
   const core::CompressorStats& axis_stats(int axis) const;
+
+  // Snapshots buffered in the current window, not yet compressed to frames
+  // (always < buffer size). Feeds the streaming pump's peak-memory account.
+  size_t buffered_snapshots() const;
+
+  size_t num_particles() const;
+
+  // Snapshots accepted so far, including (after Reopen) the ones already in
+  // the sealed file.
+  uint64_t snapshots_written() const;
 
  private:
   ArchiveWriter();

@@ -133,6 +133,45 @@ Result<BlockHeader> PeekBlockHeader(std::span<const uint8_t> bytes) {
   return header;
 }
 
+Result<LevelModel> PeekBlockLevels(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  uint8_t method_byte = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
+  if (method_byte > 4 || method_byte == 3) {
+    return Status::Corruption("bad block method byte");
+  }
+  uint64_t s_count = 0;
+  MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
+  const Method method = static_cast<Method>(method_byte);
+  LevelModel levels;
+  if (method != Method::kVQ && method != Method::kVQT) return levels;
+  MDZ_RETURN_IF_ERROR(r.Get(&levels.mu));
+  MDZ_RETURN_IF_ERROR(r.Get(&levels.lambda));
+  if (!(levels.lambda > 0.0) || !std::isfinite(levels.mu)) {
+    return Status::Corruption("bad level model in block");
+  }
+  levels.valid = true;
+  return levels;
+}
+
+LevelModel FitLevelModel(const std::vector<double>& snapshot,
+                         const cluster::LevelFitOptions& options) {
+  LevelModel levels;
+  auto fit = cluster::FitLevels(snapshot, options);
+  if (fit.ok()) {
+    levels.mu = fit->mu;
+    levels.lambda = std::max(fit->lambda, 1e-300);
+    levels.valid = levels.lambda > 0.0 && std::isfinite(levels.lambda) &&
+                   std::isfinite(levels.mu);
+  }
+  if (!levels.valid) {
+    levels.mu = 0.0;
+    levels.lambda = 1.0;
+    levels.valid = true;
+  }
+  return levels;
+}
+
 BlockCodec::BlockCodec(double abs_eb, uint32_t quantization_scale,
                        CodeLayout layout)
     : abs_eb_(abs_eb), scale_(quantization_scale), layout_(layout) {}

@@ -63,6 +63,20 @@ struct BlockHeader {
 // well-formed encoder never frames an empty buffer — zero-snapshot blocks.
 Result<BlockHeader> PeekBlockHeader(std::span<const uint8_t> bytes);
 
+// Reads the level model serialized in a VQ/VQT block's fixed prefix (method
+// byte, snapshot count, then mu/lambda as two f64). The model is stored
+// verbatim, so this recovers the encoder's grid bit-exactly — what lets an
+// appending writer resume a sealed stream byte-identically. Returns an
+// invalid (valid == false) model for MT/TI blocks, which carry none.
+Result<LevelModel> PeekBlockLevels(std::span<const uint8_t> bytes);
+
+// The compressor's level-model fit (paper: k-means on the first snapshot),
+// including the degenerate-data fallback to the identity grid. Shared by
+// FieldCompressor::EnsureLevels and the archive writer's append path, which
+// refits from a decoded reference when no VQ/VQT block recorded the grid.
+LevelModel FitLevelModel(const std::vector<double>& snapshot,
+                         const cluster::LevelFitOptions& options);
+
 // Encodes/decodes one buffer (S snapshots x N values) with one of the three
 // MDZ prediction strategies. Stateless apart from configuration; predictor
 // state is threaded through explicitly so the adaptive selector can trial-

@@ -146,18 +146,7 @@ struct FieldCompressor::Impl {
     MDZ_SPAN("level_fit");
     // Paper: the k-means level model is computed once, on (a 10% sample of)
     // the first snapshot of the simulation, and reused afterwards.
-    auto fit = cluster::FitLevels(buffer[0], options.level_fit);
-    if (fit.ok()) {
-      levels.mu = fit->mu;
-      levels.lambda = std::max(fit->lambda, 1e-300);
-      levels.valid = levels.lambda > 0.0 && std::isfinite(levels.lambda) &&
-                     std::isfinite(levels.mu);
-    }
-    if (!levels.valid) {
-      levels.mu = 0.0;
-      levels.lambda = 1.0;
-      levels.valid = true;
-    }
+    levels = internal::FitLevelModel(buffer[0], options.level_fit);
     levels_computed = true;
   }
 
@@ -313,6 +302,50 @@ Result<std::unique_ptr<FieldCompressor>> FieldCompressor::Create(
   return compressor;
 }
 
+Result<std::unique_ptr<FieldCompressor>> FieldCompressor::Resume(
+    size_t num_particles, const Options& options, const ResumeState& state) {
+  MDZ_ASSIGN_OR_RETURN(auto compressor, Create(num_particles, options));
+  Impl& impl = *compressor->impl_;
+  if (!(state.abs_eb > 0.0) || !std::isfinite(state.abs_eb)) {
+    return Status::InvalidArgument("resume state has no resolved error bound");
+  }
+  if (state.buffers_out == 0) {
+    return Status::InvalidArgument("nothing to resume: stream has no blocks");
+  }
+  if (state.initial.size() != num_particles ||
+      state.prev_last.size() != num_particles) {
+    return Status::InvalidArgument(
+        "resume predictor snapshots must have num_particles values");
+  }
+  // The stream header already exists on disk; the resolved bound is final
+  // (value-range bounds froze on the original first buffer).
+  impl.header_written = true;
+  impl.abs_eb = state.abs_eb;
+  if (state.has_levels) {
+    impl.levels.mu = state.level_mu;
+    impl.levels.lambda = state.level_lambda;
+    impl.levels.valid = true;
+    impl.levels_computed = true;
+  }
+  impl.state.initial = state.initial;
+  impl.state.prev_last = state.prev_last;
+  impl.current_method = state.current_method;
+  impl.last_block_method = state.current_method;
+  impl.stats.buffers_out = state.buffers_out;
+  impl.stats.snapshots_in = state.snapshots_in;
+  // Replay ADP's evaluation schedule up to the resume point: the counter is
+  // a pure function of the block count and the interval (FlushBuffer zeroes
+  // it on every evaluation, then increments unconditionally), so the resumed
+  // compressor re-evaluates on exactly the buffers the original would have.
+  size_t since = 0;
+  for (size_t b = 0; b < state.buffers_out; ++b) {
+    if (b <= 1 || since >= options.adaptation_interval) since = 0;
+    ++since;
+  }
+  impl.buffers_since_adaptation = since;
+  return compressor;
+}
+
 Status FieldCompressor::Append(std::span<const double> snapshot) {
   Impl& impl = *impl_;
   if (impl.finished) {
@@ -320,6 +353,19 @@ Status FieldCompressor::Append(std::span<const double> snapshot) {
   }
   if (snapshot.size() != impl.n) {
     return Status::InvalidArgument("snapshot size != num_particles");
+  }
+  // A nan/inf would flow through the predictor into the quantizer and
+  // silently void the error bound for every sample in the block; reject the
+  // snapshot instead, and leave a trail in the audit counters.
+  size_t nonfinite = 0;
+  for (const double v : snapshot) {
+    if (!std::isfinite(v)) ++nonfinite;
+  }
+  if (nonfinite > 0) {
+    MDZ_COUNTER_ADD("audit/nonfinite_inputs", nonfinite);
+    return Status::InvalidArgument(
+        "snapshot contains " + std::to_string(nonfinite) +
+        " non-finite value(s); the error bound cannot hold");
   }
   impl.buffer.emplace_back(snapshot.begin(), snapshot.end());
   if (impl.buffer.size() >= impl.options.buffer_size) {

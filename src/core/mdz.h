@@ -137,6 +137,39 @@ class FieldCompressor {
   // num_particles is the fixed per-snapshot length N.
   static Result<std::unique_ptr<FieldCompressor>> Create(size_t num_particles,
                                                          const Options& options);
+
+  // Everything a sealed stream determines about its compressor's mid-stream
+  // state, in plain values a container layer can recover from the file:
+  // the resolved absolute bound and the level grid come verbatim from the
+  // stream (header / first VQ-family block), the two predictor snapshots
+  // are decoded output, and the block count replays ADP's deterministic
+  // evaluation schedule. See FieldCompressor::Resume.
+  struct ResumeState {
+    double abs_eb = 0.0;            // stream header's resolved bound
+    bool has_levels = false;        // level grid recovered?
+    double level_mu = 0.0;
+    double level_lambda = 1.0;
+    std::vector<double> initial;    // decoded stream snapshot 0
+    std::vector<double> prev_last;  // last decoded snapshot of the stream
+    Method current_method = Method::kMT;  // method of the final block
+    size_t buffers_out = 0;         // blocks already in the stream
+    size_t snapshots_in = 0;        // snapshots already in the stream
+  };
+
+  // Re-creates a compressor positioned exactly where a previous one stood
+  // after emitting `state.buffers_out` full buffers: no stream header is
+  // written again, the bound/grid/predictor state are restored from `state`,
+  // and ADP's interval counter is replayed from the block count (the
+  // schedule is a pure function of it). Appending to a Resume()d compressor
+  // yields bytes identical to what the original compressor would have
+  // produced for the same snapshots — the contract behind in-situ archive
+  // append. Requires the same Options the stream was created with (buffer
+  // size, scale, layout, method, adaptation interval); `state.has_levels`
+  // false leaves the grid to be refit from the next buffer, which only
+  // matches the original when the stream never encoded a VQ/VQT block.
+  static Result<std::unique_ptr<FieldCompressor>> Resume(
+      size_t num_particles, const Options& options, const ResumeState& state);
+
   ~FieldCompressor();
 
   FieldCompressor(const FieldCompressor&) = delete;

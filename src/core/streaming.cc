@@ -1,0 +1,206 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace mdz::core {
+
+namespace {
+
+constexpr size_t kDefaultQueueCapacity = 8;
+
+// Bounded single-producer single-consumer hand-off queue. The producer (the
+// pump's reader thread) blocks when the queue is full — that is what keeps
+// the pipeline's memory bounded however fast the source is — and the
+// consumer blocks when it is empty. Stall counts are kept for telemetry.
+class SnapshotQueue {
+ public:
+  explicit SnapshotQueue(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {}
+
+  // Producer side. Returns false when the consumer closed the queue early
+  // (an Append error), telling the producer to stop reading.
+  bool Push(Snapshot snapshot) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queue_.size() >= capacity_ && !closed_) {
+      ++sink_stalls_;
+      space_cv_.wait(lock);
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(snapshot));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  // Producer side: no more snapshots (end of stream or source error).
+  void SetDone(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    source_status_ = std::move(status);
+    item_cv_.notify_one();
+  }
+
+  // Consumer side. Returns false at end of stream; *queued_behind is how
+  // many snapshots remained queued after this pop (for peak accounting).
+  Result<bool> Pop(Snapshot* out, size_t* queued_behind) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queue_.empty() && !done_) {
+      ++source_stalls_;
+      item_cv_.wait(lock);
+    }
+    if (queue_.empty()) {
+      MDZ_RETURN_IF_ERROR(source_status_);
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    *queued_behind = queue_.size();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  // Consumer side: abort — wake and stop the producer.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    space_cv_.notify_one();
+  }
+
+  size_t source_stalls() const { return source_stalls_; }
+  size_t sink_stalls() const { return sink_stalls_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::deque<Snapshot> queue_;
+  bool done_ = false;
+  bool closed_ = false;
+  Status source_status_ = Status::OK();
+  size_t source_stalls_ = 0;  // guarded by mu_; read after the transfer
+  size_t sink_stalls_ = 0;
+};
+
+void RecordStreamTelemetry(const StreamStats& stats) {
+  if (!obs::Enabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("stream/snapshots")->Add(stats.snapshots);
+  registry.GetCounter("stream/source_stalls")->Add(stats.source_stalls);
+  registry.GetCounter("stream/sink_stalls")->Add(stats.sink_stalls);
+  registry.GetGauge("stream/peak_in_flight")
+      ->Set(static_cast<int64_t>(stats.peak_in_flight));
+  obs::RecordPeakRss();
+}
+
+Result<StreamStats> PumpSerial(SnapshotSource* source, SnapshotSink* sink) {
+  StreamStats stats;
+  Snapshot snapshot;
+  while (true) {
+    bool more = false;
+    {
+      MDZ_SPAN("stream_read");
+      MDZ_ASSIGN_OR_RETURN(more, source->Next(&snapshot));
+    }
+    if (!more) break;
+    stats.peak_in_flight = std::max(stats.peak_in_flight,
+                                    1 + sink->buffered_snapshots());
+    {
+      MDZ_SPAN("stream_append");
+      MDZ_RETURN_IF_ERROR(sink->Append(snapshot));
+    }
+    ++stats.snapshots;
+  }
+  {
+    MDZ_SPAN("stream_finish");
+    MDZ_RETURN_IF_ERROR(sink->Finish());
+  }
+  RecordStreamTelemetry(stats);
+  return stats;
+}
+
+}  // namespace
+
+Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
+                                              SnapshotSink* sink,
+                                              const StreamOptions& options) {
+  MDZ_SPAN("stream_pump");
+  if (source == nullptr || sink == nullptr) {
+    return Status::InvalidArgument("streaming pump needs a source and a sink");
+  }
+  if (!options.overlap_io) return PumpSerial(source, sink);
+
+  const size_t capacity = options.queue_capacity > 0 ? options.queue_capacity
+                                                     : kDefaultQueueCapacity;
+  SnapshotQueue queue(capacity);
+
+  // The reader must be a dedicated thread, not a pool task: it blocks on the
+  // queue while the consumer drives compression, and compression fans its
+  // own work onto the shared pool — parking a blocking producer there could
+  // deadlock the pool against itself.
+  std::thread producer([&]() {
+    Snapshot snapshot;
+    while (true) {
+      Result<bool> more = [&]() -> Result<bool> {
+        MDZ_SPAN("stream_read");
+        return source->Next(&snapshot);
+      }();
+      if (!more.ok()) {
+        queue.SetDone(more.status());
+        return;
+      }
+      if (!*more) {
+        queue.SetDone(Status::OK());
+        return;
+      }
+      if (!queue.Push(std::move(snapshot))) return;  // consumer aborted
+    }
+  });
+
+  StreamStats stats;
+  Status sink_status = Status::OK();
+  Status source_status = Status::OK();
+  Snapshot snapshot;
+  while (true) {
+    size_t queued_behind = 0;
+    Result<bool> more = queue.Pop(&snapshot, &queued_behind);
+    if (!more.ok()) {
+      source_status = more.status();
+      break;
+    }
+    if (!*more) break;
+    // In flight right now: what is still queued, the snapshot in hand, and
+    // whatever the sink has pending but not yet flushed.
+    stats.peak_in_flight =
+        std::max(stats.peak_in_flight,
+                 queued_behind + 1 + sink->buffered_snapshots());
+    {
+      MDZ_SPAN("stream_append");
+      sink_status = sink->Append(snapshot);
+    }
+    if (!sink_status.ok()) {
+      queue.Close();
+      break;
+    }
+    ++stats.snapshots;
+  }
+  producer.join();
+  stats.source_stalls = queue.source_stalls();
+  stats.sink_stalls = queue.sink_stalls();
+  MDZ_RETURN_IF_ERROR(sink_status);
+  MDZ_RETURN_IF_ERROR(source_status);
+  {
+    MDZ_SPAN("stream_finish");
+    MDZ_RETURN_IF_ERROR(sink->Finish());
+  }
+  RecordStreamTelemetry(stats);
+  return stats;
+}
+
+}  // namespace mdz::core

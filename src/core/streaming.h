@@ -1,0 +1,85 @@
+#ifndef MDZ_CORE_STREAMING_H_
+#define MDZ_CORE_STREAMING_H_
+
+// Bounded-memory streaming pipeline (the execution model the paper assumes:
+// only a window of BS snapshots is ever resident). A SnapshotSource yields
+// one core::Snapshot at a time, a SnapshotSink consumes them, and
+// StreamingCompressor::Pump moves snapshots from one to the other with a
+// bounded hand-off queue, overlapping source I/O with sink compute on a
+// dedicated reader thread. The same pump drives both directions: streaming
+// compression (trajectory reader -> archive writer) and streaming
+// decompression (archive reader -> trajectory writer); the file-format
+// adapters live in src/io (io/streaming.h), which can see both this layer
+// and src/archive.
+
+#include <cstddef>
+
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::core {
+
+// Produces snapshots in stream order. Implementations are pulled from one
+// thread at a time (the pump's reader thread); they need no locking.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+
+  // Per-snapshot value count per axis; fixed for the stream's lifetime.
+  virtual size_t num_particles() const = 0;
+
+  // Yields the next snapshot into *out. Returns false (with *out untouched)
+  // when the stream is exhausted.
+  virtual Result<bool> Next(Snapshot* out) = 0;
+};
+
+// Consumes snapshots in stream order. Append and Finish are called from the
+// pump's calling thread only.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  virtual Status Append(const Snapshot& snapshot) = 0;
+
+  // Called exactly once, after the last Append.
+  virtual Status Finish() = 0;
+
+  // Snapshots the sink is currently holding (e.g. an archive writer's
+  // pending window). Feeds the pump's peak-in-flight accounting so tests can
+  // assert the O(N*BS) memory bound end to end.
+  virtual size_t buffered_snapshots() const { return 0; }
+};
+
+struct StreamOptions {
+  // Hand-off queue capacity in snapshots; 0 picks a small default. With a
+  // sink that buffers at most BS snapshots (the archive writer), a capacity
+  // of BS bounds the whole pipeline at 2*BS snapshots in flight.
+  size_t queue_capacity = 0;
+
+  // Read ahead on a dedicated thread so source I/O overlaps sink compute
+  // (double buffering). False pulls and pushes on the calling thread.
+  bool overlap_io = true;
+};
+
+struct StreamStats {
+  size_t snapshots = 0;        // snapshots moved source -> sink
+  size_t peak_in_flight = 0;   // max queue + in-hand + sink-buffered
+  size_t source_stalls = 0;    // sink waited on an empty queue
+  size_t sink_stalls = 0;      // source waited on a full queue
+};
+
+// Streaming driver. Pump() drains `source` into `sink` (calling
+// sink->Finish() on success) and reports how much moved and how much was
+// ever in flight. Errors from either side abort the transfer and surface
+// unchanged; the sink is left un-Finished so a caller can distinguish a
+// sealed output from an aborted one. Telemetry (when enabled): stream/*
+// counters, span/stream_* timings, and the process/peak_rss_bytes gauge.
+class StreamingCompressor {
+ public:
+  static Result<StreamStats> Pump(SnapshotSource* source, SnapshotSink* sink,
+                                  const StreamOptions& options = {});
+};
+
+}  // namespace mdz::core
+
+#endif  // MDZ_CORE_STREAMING_H_

@@ -1,0 +1,419 @@
+#include "io/streaming.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "io/trajectory_io.h"
+
+namespace mdz::io {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::Corruption("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+// --- Binary reader ---------------------------------------------------------
+
+class BinaryTrajectoryReader final : public TrajectoryReader {
+ public:
+  static Result<std::unique_ptr<TrajectoryReader>> Open(
+      FilePtr file, const std::string& path) {
+    auto reader = std::unique_ptr<BinaryTrajectoryReader>(
+        new BinaryTrajectoryReader());
+    reader->file_ = std::move(file);
+    std::FILE* f = reader->file_.get();
+    char magic[sizeof(kBinaryTrajectoryMagic)];
+    MDZ_RETURN_IF_ERROR(ReadAll(f, magic, sizeof(magic)));
+    if (std::memcmp(magic, kBinaryTrajectoryMagic, sizeof(magic)) != 0) {
+      return Status::Corruption("not an mdtraj binary file: " + path);
+    }
+    MDZ_RETURN_IF_ERROR(ReadAll(f, &reader->n_, sizeof(reader->n_)));
+    MDZ_RETURN_IF_ERROR(ReadAll(f, &reader->m_, sizeof(reader->m_)));
+    if (reader->n_ == 0 || reader->m_ == 0 || reader->n_ > (1ull << 34) ||
+        reader->m_ > (1ull << 34)) {
+      return Status::Corruption("implausible trajectory dimensions");
+    }
+    MDZ_RETURN_IF_ERROR(ReadAll(f, reader->box_.data(), sizeof(double) * 3));
+    uint32_t name_len = 0;
+    MDZ_RETURN_IF_ERROR(ReadAll(f, &name_len, sizeof(name_len)));
+    if (name_len > 4096) {
+      return Status::Corruption("trajectory name too long");
+    }
+    reader->name_.resize(name_len);
+    MDZ_RETURN_IF_ERROR(ReadAll(f, reader->name_.data(), name_len));
+    return std::unique_ptr<TrajectoryReader>(std::move(reader));
+  }
+
+  TrajectoryFormat format() const override { return TrajectoryFormat::kBinary; }
+  size_t num_particles() const override { return n_; }
+  uint64_t num_snapshots() const override { return m_; }
+  const std::string& name() const override { return name_; }
+  const std::array<double, 3>& box() const override { return box_; }
+
+  Result<bool> Next(core::Snapshot* out) override {
+    if (read_ >= m_) return false;
+    core::Snapshot snap;
+    for (int axis = 0; axis < 3; ++axis) {
+      snap.axes[axis].resize(n_);
+      MDZ_RETURN_IF_ERROR(
+          ReadAll(file_.get(), snap.axes[axis].data(), sizeof(double) * n_));
+    }
+    ++read_;
+    *out = std::move(snap);
+    return true;
+  }
+
+ private:
+  BinaryTrajectoryReader() = default;
+
+  FilePtr file_;
+  uint64_t n_ = 0;
+  uint64_t m_ = 0;
+  uint64_t read_ = 0;
+  std::array<double, 3> box_ = {0, 0, 0};
+  std::string name_;
+};
+
+// --- XYZ reader ------------------------------------------------------------
+
+class XyzTrajectoryReader final : public TrajectoryReader {
+ public:
+  static Result<std::unique_ptr<TrajectoryReader>> Open(
+      FilePtr file, const std::string& path) {
+    auto reader =
+        std::unique_ptr<XyzTrajectoryReader>(new XyzTrajectoryReader());
+    reader->file_ = std::move(file);
+    reader->path_ = path;
+    // The atom count lives in the first frame header, so the stream's
+    // num_particles is only known after consuming it; remember that Next()
+    // must not read another header for frame 0.
+    MDZ_ASSIGN_OR_RETURN(const bool more, reader->ReadFrameHeader());
+    if (!more) return Status::Corruption("empty XYZ file: " + path);
+    reader->header_pending_ = true;
+    return std::unique_ptr<TrajectoryReader>(std::move(reader));
+  }
+
+  TrajectoryFormat format() const override { return TrajectoryFormat::kXyz; }
+  size_t num_particles() const override { return n_; }
+  uint64_t num_snapshots() const override { return 0; }  // unknown up front
+  const std::string& name() const override { return name_; }
+  const std::array<double, 3>& box() const override { return box_; }
+
+  Result<bool> Next(core::Snapshot* out) override {
+    if (done_) return false;
+    if (!header_pending_) {
+      MDZ_ASSIGN_OR_RETURN(const bool more, ReadFrameHeader());
+      if (!more) {
+        done_ = true;
+        return false;
+      }
+    }
+    header_pending_ = false;
+    core::Snapshot snap;
+    for (auto& axis : snap.axes) axis.resize(n_);
+    char line[512];
+    for (uint64_t i = 0; i < n_; ++i) {
+      if (!ReadLine(line, sizeof(line))) {
+        return Status::Corruption("truncated XYZ frame (missing atoms) at " +
+                                  Where());
+      }
+      char element[64];
+      double x, y, z;
+      if (std::sscanf(line, "%63s %lf %lf %lf", element, &x, &y, &z) != 4) {
+        return Status::Corruption("bad XYZ atom line at " + Where());
+      }
+      if (!std::isfinite(x) || !std::isfinite(y) || !std::isfinite(z)) {
+        return Status::InvalidArgument(
+            "non-finite coordinate at " + Where() +
+            "; no error bound can hold for nan/inf");
+      }
+      snap.axes[0][i] = x;
+      snap.axes[1][i] = y;
+      snap.axes[2][i] = z;
+    }
+    *out = std::move(snap);
+    return true;
+  }
+
+ private:
+  XyzTrajectoryReader() = default;
+
+  bool ReadLine(char* buf, size_t cap) {
+    if (std::fgets(buf, static_cast<int>(cap), file_.get()) == nullptr) {
+      return false;
+    }
+    ++line_;
+    return true;
+  }
+
+  std::string Where() const {
+    return path_ + " line " + std::to_string(line_);
+  }
+
+  // Consumes one "count \n comment" frame preamble. False at clean EOF.
+  Result<bool> ReadFrameHeader() {
+    char line[512];
+    if (!ReadLine(line, sizeof(line))) return false;
+    uint64_t n = 0;
+    if (std::sscanf(line, "%" SCNu64, &n) != 1 || n == 0) {
+      return Status::Corruption("bad XYZ frame header at " + Where());
+    }
+    if (n_ != 0 && n != n_) {
+      return Status::Corruption("XYZ frames have inconsistent atom counts at " +
+                                Where());
+    }
+    n_ = n;
+    if (!ReadLine(line, sizeof(line))) {
+      return Status::Corruption("truncated XYZ frame (missing comment) at " +
+                                Where());
+    }
+    double bx, by, bz;
+    if (std::sscanf(line, "%*s %*s box %lf %lf %lf", &bx, &by, &bz) == 3) {
+      box_ = {bx, by, bz};
+    }
+    return true;
+  }
+
+  FilePtr file_;
+  std::string path_;
+  uint64_t n_ = 0;
+  size_t line_ = 0;  // 1-based number of the last line read
+  bool header_pending_ = false;
+  bool done_ = false;
+  std::array<double, 3> box_ = {0, 0, 0};
+  std::string name_;
+};
+
+// --- Binary writer ---------------------------------------------------------
+
+class BinaryTrajectoryWriter final : public TrajectoryWriter {
+ public:
+  static Result<std::unique_ptr<TrajectoryWriter>> Open(
+      const std::string& path, size_t num_particles,
+      const TrajectoryWriter::Options& options) {
+    auto writer = std::unique_ptr<BinaryTrajectoryWriter>(
+        new BinaryTrajectoryWriter());
+    writer->file_.reset(std::fopen(path.c_str(), "wb"));
+    if (writer->file_ == nullptr) {
+      return Status::Internal("cannot open for writing: " + path);
+    }
+    std::FILE* f = writer->file_.get();
+    writer->n_ = num_particles;
+    MDZ_RETURN_IF_ERROR(WriteAll(f, kBinaryTrajectoryMagic,
+                                 sizeof(kBinaryTrajectoryMagic)));
+    const uint64_t n = num_particles;
+    MDZ_RETURN_IF_ERROR(WriteAll(f, &n, sizeof(n)));
+    // Snapshot count placeholder; Finish() back-patches it once known, which
+    // keeps the output byte-identical to the whole-trajectory writer.
+    const uint64_t m = 0;
+    MDZ_RETURN_IF_ERROR(WriteAll(f, &m, sizeof(m)));
+    MDZ_RETURN_IF_ERROR(WriteAll(f, options.box.data(), sizeof(double) * 3));
+    const uint32_t name_len =
+        static_cast<uint32_t>(std::min<size_t>(options.name.size(), 4096));
+    MDZ_RETURN_IF_ERROR(WriteAll(f, &name_len, sizeof(name_len)));
+    MDZ_RETURN_IF_ERROR(WriteAll(f, options.name.data(), name_len));
+    return std::unique_ptr<TrajectoryWriter>(std::move(writer));
+  }
+
+  Status Append(const core::Snapshot& snapshot) override {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (snapshot.axes[axis].size() != n_) {
+        return Status::InvalidArgument("snapshot size != num_particles");
+      }
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      MDZ_RETURN_IF_ERROR(WriteAll(file_.get(), snapshot.axes[axis].data(),
+                                   sizeof(double) * n_));
+    }
+    ++m_;
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    if (finished_) return Status::FailedPrecondition("Finish called twice");
+    // m sits after the 8-byte magic and the 8-byte particle count.
+    if (std::fseek(file_.get(), 16, SEEK_SET) != 0) {
+      return Status::Internal("cannot seek to patch snapshot count");
+    }
+    MDZ_RETURN_IF_ERROR(WriteAll(file_.get(), &m_, sizeof(m_)));
+    if (std::fflush(file_.get()) != 0) return Status::Internal("flush failed");
+    finished_ = true;
+    return Status::OK();
+  }
+
+ private:
+  BinaryTrajectoryWriter() = default;
+
+  FilePtr file_;
+  size_t n_ = 0;
+  uint64_t m_ = 0;
+  bool finished_ = false;
+};
+
+// --- XYZ writer ------------------------------------------------------------
+
+class XyzTrajectoryWriter final : public TrajectoryWriter {
+ public:
+  static Result<std::unique_ptr<TrajectoryWriter>> Open(
+      const std::string& path, size_t num_particles,
+      const TrajectoryWriter::Options& options) {
+    auto writer =
+        std::unique_ptr<XyzTrajectoryWriter>(new XyzTrajectoryWriter());
+    writer->file_.reset(std::fopen(path.c_str(), "w"));
+    if (writer->file_ == nullptr) {
+      return Status::Internal("cannot open for writing: " + path);
+    }
+    writer->n_ = num_particles;
+    writer->options_ = options;
+    return std::unique_ptr<TrajectoryWriter>(std::move(writer));
+  }
+
+  Status Append(const core::Snapshot& snapshot) override {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (snapshot.axes[axis].size() != n_) {
+        return Status::InvalidArgument("snapshot size != num_particles");
+      }
+    }
+    std::FILE* f = file_.get();
+    std::fprintf(f, "%zu\nframe %zu box %.17g %.17g %.17g\n", n_, frame_,
+                 options_.box[0], options_.box[1], options_.box[2]);
+    for (size_t i = 0; i < n_; ++i) {
+      std::fprintf(f, "%s %.17g %.17g %.17g\n", options_.element.c_str(),
+                   snapshot.axes[0][i], snapshot.axes[1][i],
+                   snapshot.axes[2][i]);
+    }
+    if (std::ferror(f) != 0) return Status::Internal("short write");
+    ++frame_;
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    if (finished_) return Status::FailedPrecondition("Finish called twice");
+    if (std::fflush(file_.get()) != 0) return Status::Internal("flush failed");
+    finished_ = true;
+    return Status::OK();
+  }
+
+ private:
+  XyzTrajectoryWriter() = default;
+
+  FilePtr file_;
+  size_t n_ = 0;
+  size_t frame_ = 0;
+  bool finished_ = false;
+  TrajectoryWriter::Options options_;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TrajectoryReader>> TrajectoryReader::Open(
+    const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kBinaryTrajectoryMagic)] = {0};
+  const size_t got = std::fread(magic, 1, sizeof(magic), file.get());
+  std::rewind(file.get());
+  if (got == sizeof(magic) &&
+      std::memcmp(magic, kBinaryTrajectoryMagic, sizeof(magic)) == 0) {
+    return BinaryTrajectoryReader::Open(std::move(file), path);
+  }
+  return XyzTrajectoryReader::Open(std::move(file), path);
+}
+
+Result<std::unique_ptr<TrajectoryWriter>> TrajectoryWriter::Open(
+    const std::string& path, size_t num_particles, const Options& options) {
+  if (EndsWith(path, ".xyz")) {
+    return XyzTrajectoryWriter::Open(path, num_particles, options);
+  }
+  return BinaryTrajectoryWriter::Open(path, num_particles, options);
+}
+
+// --- Archive adapters ------------------------------------------------------
+
+ArchiveSink::ArchiveSink(std::unique_ptr<archive::ArchiveWriter> writer)
+    : writer_(std::move(writer)) {}
+
+ArchiveSink::~ArchiveSink() = default;
+
+void ArchiveSink::set_before_finish(
+    std::function<void(archive::ArchiveWriter&)> hook) {
+  before_finish_ = std::move(hook);
+}
+
+Status ArchiveSink::Append(const core::Snapshot& snapshot) {
+  return writer_->Append(snapshot);
+}
+
+Status ArchiveSink::Finish() {
+  if (before_finish_) before_finish_(*writer_);
+  return writer_->Finish();
+}
+
+size_t ArchiveSink::buffered_snapshots() const {
+  return writer_->buffered_snapshots();
+}
+
+ArchiveSnapshotSource::~ArchiveSnapshotSource() = default;
+
+Result<std::unique_ptr<ArchiveSnapshotSource>> ArchiveSnapshotSource::Open(
+    const std::string& path, size_t chunk_snapshots) {
+  auto source = std::unique_ptr<ArchiveSnapshotSource>(
+      new ArchiveSnapshotSource());
+  MDZ_ASSIGN_OR_RETURN(source->reader_, archive::ArchiveReader::Open(path));
+  source->total_ = source->reader_->num_snapshots();
+  size_t chunk = chunk_snapshots;
+  if (chunk == 0) {
+    const auto& frames = source->reader_->footer().frames;
+    chunk = frames.empty() ? 1 : static_cast<size_t>(frames[0].s_count);
+  }
+  source->chunk_size_ = std::max<size_t>(chunk, 1);
+  return source;
+}
+
+size_t ArchiveSnapshotSource::num_particles() const {
+  return reader_->num_particles();
+}
+
+Result<bool> ArchiveSnapshotSource::Next(core::Snapshot* out) {
+  if (chunk_pos_ >= chunk_.size()) {
+    if (next_index_ >= total_) return false;
+    const size_t count = std::min(chunk_size_, total_ - next_index_);
+    MDZ_ASSIGN_OR_RETURN(chunk_, reader_->ReadSnapshots(next_index_, count));
+    next_index_ += count;
+    chunk_pos_ = 0;
+  }
+  *out = std::move(chunk_[chunk_pos_++]);
+  return true;
+}
+
+}  // namespace mdz::io

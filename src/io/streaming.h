@@ -1,0 +1,117 @@
+#ifndef MDZ_IO_STREAMING_H_
+#define MDZ_IO_STREAMING_H_
+
+// File-format adapters for the core streaming pipeline (core/streaming.h):
+// trajectory files as SnapshotSources/SnapshotSinks and the v2 archive as
+// both, so the CLI's --stream paths compress and decompress with O(N * BS)
+// peak memory however long the trajectory is.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "archive/reader.h"
+#include "archive/writer.h"
+#include "core/streaming.h"
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::io {
+
+enum class TrajectoryFormat : uint8_t { kBinary, kXyz };
+
+// Streaming reader over a trajectory file, one snapshot in memory at a time.
+// Open() sniffs the format from the file's first bytes (the binary magic vs
+// text). XYZ atom lines are validated as they are parsed: a malformed or
+// non-finite coordinate fails Next() with InvalidArgument naming the file
+// and line — nan/inf never enter the pipeline, where no error bound could
+// hold for them.
+class TrajectoryReader : public core::SnapshotSource {
+ public:
+  static Result<std::unique_ptr<TrajectoryReader>> Open(
+      const std::string& path);
+
+  virtual TrajectoryFormat format() const = 0;
+
+  // Total snapshots when the format records it up front (binary); 0 when it
+  // is only known at end of stream (XYZ).
+  virtual uint64_t num_snapshots() const = 0;
+
+  // Trajectory name from the header (binary; empty for XYZ).
+  virtual const std::string& name() const = 0;
+
+  // Binary: the header box. XYZ: the most recent frame comment's box (our
+  // writer stamps it on every frame), {0,0,0} until one is seen.
+  virtual const std::array<double, 3>& box() const = 0;
+};
+
+// Streaming writer producing files byte-identical to WriteBinaryTrajectory /
+// WriteXyzTrajectory without holding the trajectory: the binary header's
+// snapshot count is back-patched by Finish(), XYZ frames are emitted as they
+// arrive.
+class TrajectoryWriter : public core::SnapshotSink {
+ public:
+  struct Options {
+    std::string name;                     // binary header name
+    std::array<double, 3> box = {0, 0, 0};
+    std::string element = "Ar";           // XYZ atom label
+  };
+
+  // Picks XYZ when `path` ends in ".xyz", binary otherwise.
+  static Result<std::unique_ptr<TrajectoryWriter>> Open(
+      const std::string& path, size_t num_particles, const Options& options);
+};
+
+// SnapshotSink over an archive::ArchiveWriter (from Create or Reopen). The
+// optional before-finish hook runs right before the footer is sealed — the
+// place to stamp name/box that a source only knows once its file has been
+// read (an XYZ box, for instance).
+class ArchiveSink : public core::SnapshotSink {
+ public:
+  explicit ArchiveSink(std::unique_ptr<archive::ArchiveWriter> writer);
+  ~ArchiveSink() override;
+
+  void set_before_finish(std::function<void(archive::ArchiveWriter&)> hook);
+
+  Status Append(const core::Snapshot& snapshot) override;
+  Status Finish() override;
+  size_t buffered_snapshots() const override;
+
+  archive::ArchiveWriter& writer() { return *writer_; }
+
+ private:
+  std::unique_ptr<archive::ArchiveWriter> writer_;
+  std::function<void(archive::ArchiveWriter&)> before_finish_;
+};
+
+// SnapshotSource over a v2 archive: decodes snapshots in stream order one
+// buffer-sized chunk at a time (the reader's frame cache keeps the work per
+// chunk at one decode per axis), never the whole trajectory.
+class ArchiveSnapshotSource : public core::SnapshotSource {
+ public:
+  // `chunk_snapshots` = 0 derives the chunk from the archive's buffer size.
+  static Result<std::unique_ptr<ArchiveSnapshotSource>> Open(
+      const std::string& path, size_t chunk_snapshots = 0);
+  ~ArchiveSnapshotSource() override;
+
+  size_t num_particles() const override;
+  Result<bool> Next(core::Snapshot* out) override;
+
+  const archive::ArchiveReader& reader() const { return *reader_; }
+
+ private:
+  ArchiveSnapshotSource() = default;
+
+  std::unique_ptr<archive::ArchiveReader> reader_;
+  std::vector<core::Snapshot> chunk_;
+  size_t chunk_pos_ = 0;
+  size_t next_index_ = 0;
+  size_t total_ = 0;
+  size_t chunk_size_ = 1;
+};
+
+}  // namespace mdz::io
+
+#endif  // MDZ_IO_STREAMING_H_

@@ -1,17 +1,16 @@
 #include "io/trajectory_io.h"
 
 #include <algorithm>
-#include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
+
+#include "io/streaming.h"
 
 namespace mdz::io {
 
 namespace {
-
-constexpr char kBinaryMagic[8] = {'M', 'D', 'T', 'R', 'A', 'J', '0', '1'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -27,11 +26,20 @@ Status WriteAll(std::FILE* f, const void* data, size_t n) {
   return Status::OK();
 }
 
-Status ReadAll(std::FILE* f, void* data, size_t n) {
-  if (std::fread(data, 1, n, f) != n) {
-    return Status::Corruption("unexpected end of file");
+// Drains a streaming reader into a whole-trajectory value. The box is read
+// after the last frame so the XYZ reader's per-frame box updates keep their
+// last-one-wins semantics.
+Result<core::Trajectory> Collect(TrajectoryReader* reader) {
+  core::Trajectory trajectory;
+  core::Snapshot snapshot;
+  while (true) {
+    MDZ_ASSIGN_OR_RETURN(const bool more, reader->Next(&snapshot));
+    if (!more) break;
+    trajectory.snapshots.push_back(std::move(snapshot));
   }
-  return Status::OK();
+  trajectory.name = reader->name();
+  trajectory.box = reader->box();
+  return trajectory;
 }
 
 }  // namespace
@@ -42,7 +50,8 @@ Status WriteBinaryTrajectory(const core::Trajectory& trajectory,
   if (file == nullptr) {
     return Status::Internal("cannot open for writing: " + path);
   }
-  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), kBinaryMagic, sizeof(kBinaryMagic)));
+  MDZ_RETURN_IF_ERROR(WriteAll(file.get(), kBinaryTrajectoryMagic,
+                               sizeof(kBinaryTrajectoryMagic)));
 
   const uint64_t n = trajectory.num_particles();
   const uint64_t m = trajectory.num_snapshots();
@@ -69,39 +78,11 @@ Status WriteBinaryTrajectory(const core::Trajectory& trajectory,
 }
 
 Result<core::Trajectory> ReadBinaryTrajectory(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::Internal("cannot open for reading: " + path);
-  }
-  char magic[8];
-  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), magic, sizeof(magic)));
-  if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+  MDZ_ASSIGN_OR_RETURN(auto reader, TrajectoryReader::Open(path));
+  if (reader->format() != TrajectoryFormat::kBinary) {
     return Status::Corruption("not an mdtraj binary file: " + path);
   }
-  uint64_t n = 0, m = 0;
-  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &n, sizeof(n)));
-  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &m, sizeof(m)));
-  if (n == 0 || m == 0 || n > (1ull << 34) || m > (1ull << 34)) {
-    return Status::Corruption("implausible trajectory dimensions");
-  }
-
-  core::Trajectory trajectory;
-  MDZ_RETURN_IF_ERROR(
-      ReadAll(file.get(), trajectory.box.data(), sizeof(double) * 3));
-  uint32_t name_len = 0;
-  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), &name_len, sizeof(name_len)));
-  if (name_len > 4096) return Status::Corruption("trajectory name too long");
-  trajectory.name.resize(name_len);
-  MDZ_RETURN_IF_ERROR(ReadAll(file.get(), trajectory.name.data(), name_len));
-  trajectory.snapshots.resize(m);
-  for (core::Snapshot& snap : trajectory.snapshots) {
-    for (int axis = 0; axis < 3; ++axis) {
-      snap.axes[axis].resize(n);
-      MDZ_RETURN_IF_ERROR(
-          ReadAll(file.get(), snap.axes[axis].data(), sizeof(double) * n));
-    }
-  }
-  return trajectory;
+  return Collect(reader.get());
 }
 
 Status WriteXyzTrajectory(const core::Trajectory& trajectory,
@@ -126,51 +107,11 @@ Status WriteXyzTrajectory(const core::Trajectory& trajectory,
 }
 
 Result<core::Trajectory> ReadXyzTrajectory(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "r"));
-  if (file == nullptr) {
-    return Status::Internal("cannot open for reading: " + path);
+  MDZ_ASSIGN_OR_RETURN(auto reader, TrajectoryReader::Open(path));
+  if (reader->format() != TrajectoryFormat::kXyz) {
+    return Status::Corruption("not an XYZ file: " + path);
   }
-  core::Trajectory trajectory;
-  char line[512];
-  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
-    uint64_t n = 0;
-    if (std::sscanf(line, "%" SCNu64, &n) != 1 || n == 0) {
-      return Status::Corruption("bad XYZ frame header");
-    }
-    // Comment line; pick up the box if our writer put it there.
-    if (std::fgets(line, sizeof(line), file.get()) == nullptr) {
-      return Status::Corruption("truncated XYZ frame (missing comment)");
-    }
-    double bx, by, bz;
-    if (std::sscanf(line, "%*s %*s box %lf %lf %lf", &bx, &by, &bz) == 3) {
-      trajectory.box = {bx, by, bz};
-    }
-
-    core::Snapshot snap;
-    for (auto& axis : snap.axes) axis.resize(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      if (std::fgets(line, sizeof(line), file.get()) == nullptr) {
-        return Status::Corruption("truncated XYZ frame (missing atoms)");
-      }
-      char element[64];
-      double x, y, z;
-      if (std::sscanf(line, "%63s %lf %lf %lf", element, &x, &y, &z) != 4) {
-        return Status::Corruption("bad XYZ atom line");
-      }
-      snap.axes[0][i] = x;
-      snap.axes[1][i] = y;
-      snap.axes[2][i] = z;
-    }
-    if (!trajectory.snapshots.empty() &&
-        trajectory.snapshots[0].num_particles() != n) {
-      return Status::Corruption("XYZ frames have inconsistent atom counts");
-    }
-    trajectory.snapshots.push_back(std::move(snap));
-  }
-  if (trajectory.snapshots.empty()) {
-    return Status::Corruption("empty XYZ file");
-  }
-  return trajectory;
+  return Collect(reader.get());
 }
 
 }  // namespace mdz::io

@@ -18,6 +18,11 @@ namespace mdz::io {
 //    the textual sense (17 significant digits are written, so round-trips
 //    are bit-exact for doubles).
 
+// Binary trajectory magic, shared by the whole-file functions below and the
+// streaming reader/writer in io/streaming.h.
+inline constexpr char kBinaryTrajectoryMagic[8] = {'M', 'D', 'T', 'R',
+                                                   'A', 'J', '0', '1'};
+
 // --- Binary format ---------------------------------------------------------
 
 Status WriteBinaryTrajectory(const core::Trajectory& trajectory,

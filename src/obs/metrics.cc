@@ -1,5 +1,9 @@
 #include "obs/metrics.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <algorithm>
 #include <array>
 
@@ -134,6 +138,24 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+int64_t RecordPeakRss() {
+  if (!Enabled()) return 0;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  const int64_t bytes = static_cast<int64_t>(usage.ru_maxrss);
+#else
+  const int64_t bytes = static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#endif
+  MetricsRegistry::Global().GetGauge("process/peak_rss_bytes")->Set(bytes);
+  return bytes;
+#else
+  return 0;
+#endif
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Collect() const {

@@ -98,6 +98,13 @@ class Histogram {
 // Default bucket bounds for durations in seconds: 1us .. 10s, decades.
 std::span<const double> DurationBuckets();
 
+// Samples the process's peak resident set size (getrusage ru_maxrss) into
+// the process/peak_rss_bytes gauge and returns it in bytes. Lets streaming
+// runs prove their bounded-memory claim in the exported metrics; returns 0
+// (and records nothing) when the platform has no usable counter or
+// telemetry is disabled.
+int64_t RecordPeakRss();
+
 // Name-keyed registry. Global() is the process-wide instance every
 // instrumentation site records into; separate instances can be built for
 // tests. Reset() zeroes values but keeps registrations, so cached pointers

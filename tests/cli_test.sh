@@ -183,6 +183,56 @@ printf '\377' | dd of="$WORK/late-corrupt.mdza" bs=1 seek=$((offset + 10)) \
 test "$(exit_code "$MDZ" extract "$WORK/late-corrupt.mdza" "$WORK/no.mdtraj" \
   --snapshots 30:36)" = 4
 
+# --- streaming pipeline: compress/decompress --stream, append ---------------
+# --stream must produce the same bytes as the in-memory path, both ways.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/streamed.mdza" --quiet --stream
+cmp "$WORK/streamed.mdza" "$WORK/v2.mdza"
+"$MDZ" decompress "$WORK/v2.mdza" "$WORK/sdec.mdtraj" --quiet --stream
+cmp "$WORK/sdec.mdtraj" "$WORK/dec2.mdtraj"
+"$MDZ" decompress "$WORK/v2.mdza" "$WORK/sdec.xyz" --quiet --stream
+cmp "$WORK/sdec.xyz" "$WORK/out.xyz"
+
+# --stream is v2-only in both directions.
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --stream --v1)" = 2
+test "$(exit_code "$MDZ" decompress "$WORK/v1.mdza" "$WORK/z.mdtraj" \
+  --stream)" = 2
+
+# append: grow a sealed archive in place; the result must be byte-identical
+# to one-shot compression of the concatenated input. Appending a trajectory
+# to an archive of itself lets the concatenation be built with cat (the XYZ
+# frame-comment indices differ but carry no coordinate data).
+"$MDZ" decompress "$WORK/v2.mdza" "$WORK/first.xyz" --quiet
+"$MDZ" compress "$WORK/first.xyz" "$WORK/grow.mdza" --quiet --bs 12
+"$MDZ" append "$WORK/grow.mdza" "$WORK/first.xyz" --quiet
+cat "$WORK/first.xyz" "$WORK/first.xyz" > "$WORK/double.xyz"
+"$MDZ" compress "$WORK/double.xyz" "$WORK/double.mdza" --quiet --bs 12
+cmp "$WORK/grow.mdza" "$WORK/double.mdza"
+test "$(exit_code "$MDZ" append "$WORK/v1.mdza" "$WORK/first.xyz")" = 2
+test "$(exit_code "$MDZ" append "$WORK/trunc.mdza" "$WORK/first.xyz")" = 4
+
+# --- parser hardening (exit 2, not silent nonsense) -------------------------
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --threads -1)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --bs 10garbage)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --quant-scale "")" = 2
+test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
+  --snapshots 5:2)" = 2                                    # reversed
+test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
+  --snapshots 3:3)" = 2                                    # empty
+test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
+  --snapshots 0:99999999999999999999999999)" = 2           # overflow
+test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
+  --cache-frames 2x)" = 2
+
+# Non-finite coordinates are rejected at parse time, naming the line.
+printf '2\nframe 0 box 1 1 1\nAr 0.5 nan 0.25\nAr 1 2 3\n' > "$WORK/bad.xyz"
+test "$(exit_code "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza")" = 2
+"$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza" 2>&1 | grep -q "line 3"
+test "$(exit_code "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza" --stream)" = 2
+
 # --- version subcommand -----------------------------------------------------
 "$MDZ" version | grep -q "^mdz "
 "$MDZ" version --json | grep -q '"build":{"git_sha":"'

@@ -1,0 +1,403 @@
+// Bounded-memory streaming pipeline (core/streaming.h, io/streaming.h) and
+// in-situ archive append (ArchiveWriter::Reopen): byte-identity against the
+// in-memory paths, the O(N * BS) peak-memory contract, and input validation
+// (non-finite coordinates are rejected before they can break the bound).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "archive/reader.h"
+#include "archive/writer.h"
+#include "core/mdz.h"
+#include "core/streaming.h"
+#include "core/thread_pool.h"
+#include "core/trajectory.h"
+#include "io/streaming.h"
+#include "io/trajectory_io.h"
+#include "util/rng.h"
+
+namespace mdz {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Random-walk positions: temporally correlated like real MD data, so every
+// predictor (MT, TI, VQ/VQT) sees the structure it was designed for.
+core::Trajectory MakeWalkTrajectory(size_t m, size_t n, uint64_t seed) {
+  core::Trajectory traj;
+  traj.name = "streaming-test";
+  traj.box = {20.0, 20.0, 20.0};
+  Rng rng(seed);
+  core::Snapshot current;
+  for (auto& axis : current.axes) {
+    axis.resize(n);
+    for (auto& v : axis) v = rng.Uniform(-10.0, 10.0);
+  }
+  traj.snapshots.push_back(current);
+  for (size_t s = 1; s < m; ++s) {
+    for (auto& axis : current.axes) {
+      for (auto& v : axis) v += rng.Uniform(-0.05, 0.05);
+    }
+    traj.snapshots.push_back(current);
+  }
+  return traj;
+}
+
+core::Trajectory Slice(const core::Trajectory& traj, size_t lo, size_t hi) {
+  core::Trajectory out;
+  out.name = traj.name;
+  out.box = traj.box;
+  out.snapshots.assign(traj.snapshots.begin() + lo,
+                       traj.snapshots.begin() + hi);
+  return out;
+}
+
+// Streams `input_path` into a fresh archive at `archive_path` with the pump,
+// returning the pump stats.
+core::StreamStats StreamCompressFile(const std::string& input_path,
+                                     const std::string& archive_path,
+                                     const core::Options& options,
+                                     core::ThreadPool* pool) {
+  auto reader = io::TrajectoryReader::Open(input_path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  auto writer = archive::ArchiveWriter::Create(
+      archive_path, (*reader)->num_particles(), options, pool);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+
+  io::ArchiveSink sink(std::move(writer).value());
+  io::TrajectoryReader* source = reader->get();
+  sink.set_before_finish([source](archive::ArchiveWriter& w) {
+    w.SetName(source->name());
+    w.SetBox(source->box());
+  });
+
+  core::StreamOptions stream_options;
+  stream_options.queue_capacity = options.buffer_size;
+  auto stats = core::StreamingCompressor::Pump(source, &sink, stream_options);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? *stats : core::StreamStats{};
+}
+
+// One-shot reference: in-memory compression written as a v2 archive.
+void OneShotCompress(const core::Trajectory& traj, const core::Options& options,
+                     const std::string& path) {
+  auto compressed = core::CompressTrajectory(traj, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  ASSERT_TRUE(archive::WriteV2(*compressed, traj.name, traj.box, path).ok());
+}
+
+// --- Streaming compression == one-shot ---------------------------------------
+
+TEST(Streaming, CompressMatchesOneShotAcrossThreadCounts) {
+  const core::Trajectory traj = MakeWalkTrajectory(37, 60, 21);
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.enable_interpolation = true;
+  options.buffer_size = 8;
+
+  const std::string input = TempPath("stream_in.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(traj, input).ok());
+  const std::string oneshot = TempPath("stream_oneshot.mdza");
+  OneShotCompress(traj, options, oneshot);
+  const std::string expected = ReadFileBytes(oneshot);
+  ASSERT_FALSE(expected.empty());
+
+  for (const uint32_t threads : {1u, 3u, 8u}) {
+    core::ThreadPool pool(threads);
+    const std::string out = TempPath("stream_t" + std::to_string(threads) +
+                                     ".mdza");
+    const core::StreamStats stats =
+        StreamCompressFile(input, out, options, &pool);
+    EXPECT_EQ(stats.snapshots, traj.num_snapshots());
+    EXPECT_EQ(ReadFileBytes(out), expected) << threads << " threads";
+    std::remove(out.c_str());
+  }
+  std::remove(input.c_str());
+  std::remove(oneshot.c_str());
+}
+
+// --- Streaming decompression == one-shot -------------------------------------
+
+TEST(Streaming, DecompressMatchesWholeFileWriter) {
+  const core::Trajectory traj = MakeWalkTrajectory(26, 40, 22);
+  core::Options options;
+  options.buffer_size = 6;
+
+  const std::string archive_path = TempPath("stream_dec.mdza");
+  OneShotCompress(traj, options, archive_path);
+
+  // Reference: whole-archive decode written by the in-memory writer.
+  auto reader = archive::ArchiveReader::Open(archive_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  core::Trajectory decoded;
+  decoded.name = (*reader)->name();
+  decoded.box = (*reader)->box();
+  auto snapshots = (*reader)->ReadSnapshots(0, traj.num_snapshots());
+  ASSERT_TRUE(snapshots.ok());
+  decoded.snapshots = std::move(snapshots).value();
+  const std::string whole = TempPath("stream_dec_whole.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(decoded, whole).ok());
+
+  // Streaming: archive source -> trajectory writer, one chunk at a time.
+  auto source = io::ArchiveSnapshotSource::Open(archive_path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  io::TrajectoryWriter::Options writer_options;
+  writer_options.name = (*source)->reader().name();
+  writer_options.box = (*source)->reader().box();
+  const std::string streamed = TempPath("stream_dec_streamed.mdtraj");
+  auto writer = io::TrajectoryWriter::Open(
+      streamed, (*source)->num_particles(), writer_options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  auto stats = core::StreamingCompressor::Pump(source->get(), writer->get(),
+                                               core::StreamOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->snapshots, traj.num_snapshots());
+
+  EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(whole));
+  std::remove(archive_path.c_str());
+  std::remove(whole.c_str());
+  std::remove(streamed.c_str());
+}
+
+// --- Reopen + append == one-shot of the concatenation ------------------------
+
+// ADP with a small adaptation interval whose schedule straddles the append
+// seam: byte-identity proves Reopen restored the interval counter, the level
+// grid, MT's snapshot-0 reference, and TI's chain tail exactly.
+TEST(Streaming, ReopenAppendMatchesOneShotAdaptive) {
+  const core::Trajectory traj = MakeWalkTrajectory(56, 45, 23);
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.enable_interpolation = true;
+  options.adaptation_interval = 4;  // re-evaluates across the seam
+  options.buffer_size = 8;
+
+  const std::string oneshot = TempPath("append_oneshot.mdza");
+  OneShotCompress(traj, options, oneshot);
+
+  // First 32 snapshots (4 buffers) sealed, then 24 appended in situ.
+  const std::string grown = TempPath("append_grown.mdza");
+  {
+    auto writer =
+        archive::ArchiveWriter::Create(grown, traj.num_particles(), options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    (*writer)->SetName(traj.name);
+    (*writer)->SetBox(traj.box);
+    for (size_t s = 0; s < 32; ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  {
+    auto writer = archive::ArchiveWriter::Reopen(grown, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_EQ((*writer)->snapshots_written(), 32u);
+    for (size_t s = 32; s < traj.num_snapshots(); ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  EXPECT_EQ(ReadFileBytes(grown), ReadFileBytes(oneshot));
+  std::remove(oneshot.c_str());
+  std::remove(grown.c_str());
+}
+
+// MT mode: every appended buffer predicts against the snapshot-0 reference,
+// so identity here proves Reopen recovered it bit-exactly from the file.
+TEST(Streaming, ReopenAppendMatchesOneShotMT) {
+  const core::Trajectory traj = MakeWalkTrajectory(30, 35, 24);
+  core::Options options;
+  options.method = core::Method::kMT;
+  options.buffer_size = 5;
+
+  const std::string oneshot = TempPath("append_mt_oneshot.mdza");
+  OneShotCompress(traj, options, oneshot);
+
+  const std::string grown = TempPath("append_mt_grown.mdza");
+  {
+    auto writer =
+        archive::ArchiveWriter::Create(grown, traj.num_particles(), options);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->SetName(traj.name);
+    (*writer)->SetBox(traj.box);
+    for (size_t s = 0; s < 15; ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  {
+    core::ThreadPool pool(3);
+    auto writer = archive::ArchiveWriter::Reopen(grown, options, &pool);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (size_t s = 15; s < traj.num_snapshots(); ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  EXPECT_EQ(ReadFileBytes(grown), ReadFileBytes(oneshot));
+  std::remove(oneshot.c_str());
+  std::remove(grown.c_str());
+}
+
+// Appending through the CLI-equivalent streaming path (Reopen + pump) over a
+// trajectory file also reproduces the one-shot bytes.
+TEST(Streaming, StreamedAppendMatchesOneShot) {
+  const core::Trajectory traj = MakeWalkTrajectory(40, 30, 25);
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.buffer_size = 8;
+
+  const std::string oneshot = TempPath("append_pump_oneshot.mdza");
+  OneShotCompress(traj, options, oneshot);
+
+  const std::string grown = TempPath("append_pump_grown.mdza");
+  {
+    auto writer =
+        archive::ArchiveWriter::Create(grown, traj.num_particles(), options);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->SetName(traj.name);
+    (*writer)->SetBox(traj.box);
+    for (size_t s = 0; s < 24; ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  const std::string tail_path = TempPath("append_pump_tail.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(Slice(traj, 24, 40), tail_path).ok());
+  {
+    auto reader = io::TrajectoryReader::Open(tail_path);
+    ASSERT_TRUE(reader.ok());
+    auto writer = archive::ArchiveWriter::Reopen(grown, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    io::ArchiveSink sink(std::move(writer).value());  // keeps archive name/box
+    core::StreamOptions stream_options;
+    stream_options.queue_capacity = options.buffer_size;
+    auto stats =
+        core::StreamingCompressor::Pump(reader->get(), &sink, stream_options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->snapshots, 16u);
+  }
+
+  EXPECT_EQ(ReadFileBytes(grown), ReadFileBytes(oneshot));
+  std::remove(oneshot.c_str());
+  std::remove(grown.c_str());
+  std::remove(tail_path.c_str());
+}
+
+// Reopen refuses an archive whose stream ends on a partial buffer: those
+// snapshots were already lossy-coded, so re-encoding them could not be
+// byte-identical.
+TEST(Streaming, ReopenRejectsPartialTrailingBuffer) {
+  const core::Trajectory traj = MakeWalkTrajectory(13, 20, 26);
+  core::Options options;
+  options.buffer_size = 5;  // 13 = 5 + 5 + 3: last frame is partial
+
+  const std::string path = TempPath("append_partial.mdza");
+  OneShotCompress(traj, options, path);
+
+  auto writer = archive::ArchiveWriter::Reopen(path, options);
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// --- Peak-memory contract ----------------------------------------------------
+
+// ~50 buffers of snapshots through the pump: however the reader thread and
+// the compressor interleave, at most 2*BS snapshots are ever in flight
+// (queue <= BS, one in hand, writer window <= BS - 1).
+TEST(Streaming, PeakInFlightStaysWithinTwoBuffers) {
+  const size_t kBufferSize = 4;
+  const core::Trajectory traj = MakeWalkTrajectory(200, 12, 27);
+  core::Options options;
+  options.method = core::Method::kMT;
+  options.buffer_size = kBufferSize;
+
+  const std::string input = TempPath("stream_peak.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(traj, input).ok());
+  const std::string out = TempPath("stream_peak.mdza");
+  core::ThreadPool pool(2);
+  const core::StreamStats stats =
+      StreamCompressFile(input, out, options, &pool);
+  EXPECT_EQ(stats.snapshots, 200u);
+  EXPECT_GT(stats.peak_in_flight, 0u);
+  EXPECT_LE(stats.peak_in_flight, 2 * kBufferSize);
+  std::remove(input.c_str());
+  std::remove(out.c_str());
+}
+
+// --- Input validation --------------------------------------------------------
+
+TEST(Streaming, CompressorRejectsNonFiniteSnapshot) {
+  core::Options options;
+  options.buffer_size = 4;
+  auto compressor = core::FieldCompressor::Create(8, options);
+  ASSERT_TRUE(compressor.ok());
+  std::vector<double> snapshot(8, 1.0);
+  snapshot[3] = std::nan("");
+  const Status s = (*compressor)->Append(snapshot);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("non-finite"), std::string::npos);
+}
+
+TEST(Streaming, XyzReaderRejectsNonFiniteNamingLine) {
+  const std::string path = TempPath("nonfinite.xyz");
+  {
+    std::ofstream out(path);
+    out << "2\nframe 0 box 1 1 1\n"
+        << "Ar 0.5 0.5 0.5\n"
+        << "Ar 1.0 inf 3.0\n";  // line 4
+  }
+  auto reader = io::TrajectoryReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  core::Snapshot snapshot;
+  auto more = (*reader)->Next(&snapshot);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(more.status().ToString().find("line 4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The streaming binary writer produces files byte-identical to the
+// whole-trajectory writer (header back-patched by Finish).
+TEST(Streaming, BinaryTrajectoryWriterMatchesWholeFileWriter) {
+  const core::Trajectory traj = MakeWalkTrajectory(9, 14, 28);
+  const std::string whole = TempPath("writer_whole.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(traj, whole).ok());
+
+  const std::string streamed = TempPath("writer_streamed.mdtraj");
+  io::TrajectoryWriter::Options writer_options;
+  writer_options.name = traj.name;
+  writer_options.box = traj.box;
+  auto writer = io::TrajectoryWriter::Open(streamed, traj.num_particles(),
+                                           writer_options);
+  ASSERT_TRUE(writer.ok());
+  for (const core::Snapshot& s : traj.snapshots) {
+    ASSERT_TRUE((*writer)->Append(s).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(whole));
+  std::remove(whole.c_str());
+  std::remove(streamed.c_str());
+}
+
+}  // namespace
+}  // namespace mdz

@@ -18,8 +18,8 @@
 # with --metrics-json/--metrics-prom/--trace and validates the artifacts
 # with tools/check_telemetry.sh, audits the archive against its original,
 # and a bench smoke step runs two figure benches, pipeline_stages, and the
-# archive random-access bench at a small scale, archives their BENCH_*.json
-# reports under the build root and
+# archive random-access and streaming benches at a small scale, archives
+# their BENCH_*.json reports under the build root and
 # gates the compression ratios against the committed bench/baselines via
 # tools/bench_diff (throughput is machine-dependent, so MB/s is ignored).
 set -eu
@@ -75,7 +75,7 @@ BENCH_DIR="${BUILD_ROOT}/bench-smoke"
 rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
 for bench in fig9_quant_scale fig11_adp_vs_modes pipeline_stages \
-             bench_random_access; do
+             bench_random_access bench_streaming; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)

@@ -3,8 +3,9 @@
 //   mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]
 //   mdz compress <in.mdtraj|.xyz> <out.mdza> [--eb E] [--abs] [--bs N]
 //                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1] [--v1]
-//                [--metrics-json F] [--metrics-prom F] [--trace F]
-//   mdz decompress <in.mdza> <out.mdtraj|.xyz> [--metrics-json F]
+//                [--stream] [--metrics-json F] [--metrics-prom F] [--trace F]
+//   mdz decompress <in.mdza> <out.mdtraj|.xyz> [--stream] [--metrics-json F]
+//   mdz append <archive.mdza> <in.mdtraj|.xyz> [--threads N]
 //   mdz extract <in.mdza> <out.mdtraj|.xyz> --snapshots a:b
 //               [--particles p:q] [--metrics-json F]
 //   mdz index <archive.mdza> [--json]
@@ -32,7 +33,11 @@
 //   4  corrupt archive
 //   5  error-bound violation found by audit
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -41,12 +46,15 @@
 #include "analysis/metrics.h"
 #include "archive/format.h"
 #include "archive/reader.h"
+#include "archive/writer.h"
 #include "core/mdz.h"
 #include "core/parallel.h"
 #include "core/quality_audit.h"
+#include "core/streaming.h"
 #include "core/thread_pool.h"
 #include "datagen/generators.h"
 #include "io/archive.h"
+#include "io/streaming.h"
 #include "io/trajectory_io.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
@@ -123,9 +131,11 @@ int Usage() {
                "  mdz compress <in> <out.mdza> [--eb E] [--abs] [--bs N]\n"
                "               [--method adp|vq|vqt|mt|ti] [--quant-scale N]\n"
                "               [--seq1] [--interp] [--threads N] [--audit]\n"
+               "               [--stream]\n"
                "               [--metrics-json F] [--metrics-prom F] [--trace F]\n"
                "  mdz decompress <in.mdza> <out.mdtraj|.xyz> [--threads N]\n"
-               "               [--metrics-json F] [--metrics-prom F]\n"
+               "               [--stream] [--metrics-json F] [--metrics-prom F]\n"
+               "  mdz append <archive.mdza> <in.mdtraj|.xyz> [--threads N]\n"
                "  mdz extract <in.mdza> <out.mdtraj|.xyz> --snapshots a:b\n"
                "               [--particles p:q] [--cache-frames N]\n"
                "               [--metrics-json F] [--metrics-prom F]\n"
@@ -141,6 +151,31 @@ int Usage() {
                "  mdz datasets\n"
                "global flags: --quiet\n");
   return kExitUsage;
+}
+
+// Strict decimal parse for unsigned flag values. The old `std::atoi` casts
+// silently turned "--threads -1" into 4294967295 workers and "--bs garbage"
+// into 0; here anything but plain digits in range is a usage error (exit 2).
+Result<uint64_t> ParseUint(const std::string& value, const std::string& flag,
+                           uint64_t max_value) {
+  bool digits_only = !value.empty();
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) digits_only = false;
+  }
+  if (!digits_only) {
+    return Status::InvalidArgument(flag + " expects a non-negative integer, " +
+                                   "got \"" + value + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size() ||
+      parsed > max_value) {
+    return Status::InvalidArgument(flag + " value out of range: \"" + value +
+                                   "\" (max " + std::to_string(max_value) +
+                                   ")");
+  }
+  return static_cast<uint64_t>(parsed);
 }
 
 // Minimal flag scanner: flags may appear anywhere after the positionals.
@@ -166,6 +201,7 @@ struct Flags {
   std::string quality_trace;  // per-block quality JSONL (audit / --audit)
   bool json = false;          // `mdz stats|audit|version --json`
   bool audit = false;         // `mdz compress --audit`: verify after writing
+  bool stream = false;        // compress/decompress: bounded-memory pipeline
   bool v1 = false;            // `compress`/`repack`: write legacy v1 container
   std::string snapshots;      // `extract --snapshots a:b` (half-open range)
   std::string particles;      // `extract --particles p:q` (half-open range)
@@ -193,12 +229,16 @@ struct Flags {
         flags.absolute = true;
       } else if (arg == "--bs") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.bs = static_cast<uint32_t>(std::atoi(v.c_str()));
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.bs = static_cast<uint32_t>(parsed);
       } else if (arg == "--method") {
         MDZ_ASSIGN_OR_RETURN(flags.method, next_value());
       } else if (arg == "--quant-scale") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.quant_scale = static_cast<uint32_t>(std::atoi(v.c_str()));
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.quant_scale = static_cast<uint32_t>(parsed);
       } else if (arg == "--seq1") {
         flags.seq1 = true;
       } else if (arg == "--interp") {
@@ -208,10 +248,12 @@ struct Flags {
         flags.scale = std::atof(v.c_str());
       } else if (arg == "--seed") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+        MDZ_ASSIGN_OR_RETURN(flags.seed, ParseUint(v, arg, UINT64_MAX));
       } else if (arg == "--threads") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.threads = static_cast<uint32_t>(std::atoi(v.c_str()));
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.threads = static_cast<uint32_t>(parsed);
       } else if (arg == "--metrics-json") {
         MDZ_ASSIGN_OR_RETURN(flags.metrics_json, next_value());
       } else if (arg == "--metrics-prom") {
@@ -220,6 +262,8 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.trace_path, next_value());
       } else if (arg == "--quality-trace") {
         MDZ_ASSIGN_OR_RETURN(flags.quality_trace, next_value());
+      } else if (arg == "--stream") {
+        flags.stream = true;
       } else if (arg == "--audit") {
         flags.audit = true;
       } else if (arg == "--v1") {
@@ -230,7 +274,9 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.particles, next_value());
       } else if (arg == "--cache-frames") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.cache_frames = static_cast<uint32_t>(std::atoi(v.c_str()));
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.cache_frames = static_cast<uint32_t>(parsed);
       } else if (arg == "--json") {
         flags.json = true;
       } else if (arg == "--quiet") {
@@ -273,22 +319,26 @@ struct Flags {
   }
 };
 
-// Parses a half-open "a:b" range (a <= index < b) into {first, count}.
+// Parses a half-open "a:b" range (a <= index < b) into {first, count}. Each
+// half goes through the same strict parse as the numeric flags, and reversed
+// ("5:2") vs empty ("3:3") ranges are called out separately — both used to
+// fall through strtoull as silent nonsense.
 Result<std::pair<size_t, size_t>> ParseRange(const std::string& spec,
                                              const std::string& flag) {
   const size_t colon = spec.find(':');
-  const Status bad =
-      Status::InvalidArgument(flag + " expects a half-open range a:b, got \"" +
-                              spec + "\"");
   if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
-    return bad;
+    return Status::InvalidArgument(
+        flag + " expects a half-open range a:b, got \"" + spec + "\"");
   }
-  char* end = nullptr;
-  const unsigned long long a = std::strtoull(spec.c_str(), &end, 10);
-  if (end != spec.c_str() + colon) return bad;
-  const unsigned long long b = std::strtoull(spec.c_str() + colon + 1, &end, 10);
-  if (end != spec.c_str() + spec.size()) return bad;
-  if (b <= a) {
+  MDZ_ASSIGN_OR_RETURN(const uint64_t a,
+                       ParseUint(spec.substr(0, colon), flag, UINT64_MAX));
+  MDZ_ASSIGN_OR_RETURN(const uint64_t b,
+                       ParseUint(spec.substr(colon + 1), flag, UINT64_MAX));
+  if (b < a) {
+    return Status::InvalidArgument(flag + " range is reversed: \"" + spec +
+                                   "\"");
+  }
+  if (b == a) {
     return Status::InvalidArgument(flag + " range is empty: \"" + spec + "\"");
   }
   return std::make_pair(static_cast<size_t>(a), static_cast<size_t>(b - a));
@@ -422,8 +472,74 @@ int CmdGen(const Flags& flags) {
   return kExitOk;
 }
 
+// `compress --stream`: bounded-memory pipeline. Snapshots flow from the
+// trajectory reader straight into the archive writer's append path, so peak
+// memory is O(N * BS) however long the trajectory is; the output bytes are
+// identical to the in-memory path's v2 archive.
+int CmdCompressStream(const Flags& flags) {
+  if (flags.v1) {
+    return Fail(Status::InvalidArgument(
+        "--stream writes v2 archives only; drop --v1 (or repack afterwards)"));
+  }
+  if (flags.audit) {
+    return Fail(Status::InvalidArgument(
+        "--audit needs the whole trajectory in memory; run `mdz audit` "
+        "after a --stream compress instead"));
+  }
+  auto options = flags.ToOptions();
+  if (!options.ok()) return Fail(options.status());
+  if (flags.telemetry()) {
+    options->telemetry = true;
+    mdz::obs::SetEnabled(true);
+  }
+
+  auto reader = mdz::io::TrajectoryReader::Open(flags.positional[0]);
+  if (!reader.ok()) return Fail(reader.status());
+
+  mdz::core::ThreadPool pool(flags.threads);
+  auto writer = mdz::archive::ArchiveWriter::Create(
+      flags.positional[1], (*reader)->num_particles(), *options, &pool);
+  if (!writer.ok()) return Fail(writer.status());
+
+  mdz::io::ArchiveSink sink(std::move(writer).value());
+  mdz::io::TrajectoryReader* source = reader->get();
+  // Name and box are stamped at seal time: an XYZ source only knows its box
+  // once the last frame has been read.
+  sink.set_before_finish([source](mdz::archive::ArchiveWriter& w) {
+    w.SetName(source->name());
+    w.SetBox(source->box());
+  });
+
+  mdz::core::StreamOptions stream_options;
+  stream_options.queue_capacity = options->buffer_size;
+  mdz::WallTimer timer;
+  auto stats =
+      mdz::core::StreamingCompressor::Pump(source, &sink, stream_options);
+  if (!stats.ok()) return Fail(stats.status());
+  const double seconds = timer.ElapsedSeconds();
+
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+
+  size_t raw = 0;
+  size_t out = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    raw += sink.writer().axis_stats(axis).raw_bytes;
+    out += sink.writer().axis_stats(axis).compressed_bytes;
+  }
+  Say("%zu snapshots x %zu atoms: %.1f MB -> %.3f MB "
+      "(ratio %.1fx, %.0f MB/s, peak %zu snapshots in flight)\n",
+      stats->snapshots, sink.writer().num_particles(), raw / 1e6, out / 1e6,
+      out > 0 ? static_cast<double>(raw) / out : 0.0, raw / 1e6 / seconds,
+      stats->peak_in_flight);
+  return kExitOk;
+}
+
 int CmdCompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
+  if (flags.stream) return CmdCompressStream(flags);
   auto options = flags.ToOptions();
   if (!options.ok()) return Fail(options.status());
   auto trajectory = ReadTrajectoryAuto(flags.positional[0]);
@@ -492,9 +608,45 @@ int CmdCompress(const Flags& flags) {
   return kExitOk;
 }
 
+// `decompress --stream`: decodes one buffer-sized chunk of snapshots at a
+// time and streams them into the trajectory writer; the output file is
+// byte-identical to the in-memory path's.
+int CmdDecompressStream(const Flags& flags) {
+  uint8_t version = 0;
+  if (mdz::archive::SniffArchiveVersion(flags.positional[0], &version) &&
+      version < 2) {
+    return Fail(Status::FailedPrecondition(
+        "--stream needs a v2 archive; run `mdz repack` first"));
+  }
+  auto source = mdz::io::ArchiveSnapshotSource::Open(flags.positional[0]);
+  if (!source.ok()) return Fail(source.status());
+
+  mdz::io::TrajectoryWriter::Options writer_options;
+  writer_options.name = (*source)->reader().name();
+  writer_options.box = (*source)->reader().box();
+  auto writer = mdz::io::TrajectoryWriter::Open(
+      flags.positional[1], (*source)->num_particles(), writer_options);
+  if (!writer.ok()) return Fail(writer.status());
+
+  auto stats = mdz::core::StreamingCompressor::Pump(source->get(),
+                                                    writer->get(),
+                                                    mdz::core::StreamOptions{});
+  if (!stats.ok()) return Fail(stats.status());
+
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+  Say("wrote %s: %zu snapshots x %zu atoms (peak %zu in flight)\n",
+      flags.positional[1].c_str(), stats->snapshots,
+      (*source)->num_particles(), stats->peak_in_flight);
+  return kExitOk;
+}
+
 int CmdDecompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
   if (flags.telemetry()) mdz::obs::SetEnabled(true);
+  if (flags.stream) return CmdDecompressStream(flags);
   auto archive = mdz::io::ReadArchive(flags.positional[0]);
   if (!archive.ok()) return Fail(archive.status());
   mdz::core::ThreadPool pool(flags.threads);
@@ -511,6 +663,59 @@ int CmdDecompress(const Flags& flags) {
   }
   Say("wrote %s: %zu snapshots x %zu atoms\n", flags.positional[1].c_str(),
       trajectory->num_snapshots(), trajectory->num_particles());
+  return kExitOk;
+}
+
+// In-situ append: reopen a sealed v2 archive, resume the axis compressors
+// where the stream left off, and stream the new trajectory in. The resealed
+// file is byte-identical to one-shot compression of the concatenated input
+// (see ArchiveWriter::Reopen for the contract and its preconditions).
+int CmdAppend(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  if (flags.telemetry()) mdz::obs::SetEnabled(true);
+
+  uint8_t version = 0;
+  if (mdz::archive::SniffArchiveVersion(flags.positional[0], &version) &&
+      version < 2) {
+    return Fail(Status::FailedPrecondition(
+        "append needs a v2 archive; run `mdz repack` first"));
+  }
+
+  auto options = flags.ToOptions();
+  if (!options.ok()) return Fail(options.status());
+  if (flags.telemetry()) options->telemetry = true;
+
+  auto reader = mdz::io::TrajectoryReader::Open(flags.positional[1]);
+  if (!reader.ok()) return Fail(reader.status());
+
+  mdz::core::ThreadPool pool(flags.threads);
+  auto writer =
+      mdz::archive::ArchiveWriter::Reopen(flags.positional[0], *options, &pool);
+  if (!writer.ok()) return Fail(writer.status());
+  if ((*writer)->num_particles() != (*reader)->num_particles()) {
+    return Fail(Status::InvalidArgument(
+        "particle count mismatch: archive has " +
+        std::to_string((*writer)->num_particles()) + " per snapshot, " +
+        flags.positional[1] + " has " +
+        std::to_string((*reader)->num_particles())));
+  }
+  const uint64_t already = (*writer)->snapshots_written();
+
+  // No before-finish hook: the archive keeps its own name and box.
+  mdz::io::ArchiveSink sink(std::move(writer).value());
+  mdz::core::StreamOptions stream_options;
+  stream_options.queue_capacity = options->buffer_size;
+  auto stats = mdz::core::StreamingCompressor::Pump(reader->get(), &sink,
+                                                    stream_options);
+  if (!stats.ok()) return Fail(stats.status());
+
+  if (flags.telemetry()) {
+    const int code = WriteMetricsFiles(flags);
+    if (code != kExitOk) return code;
+  }
+  Say("appended %zu snapshots to %s (%llu total)\n", stats->snapshots,
+      flags.positional[0].c_str(),
+      static_cast<unsigned long long>(already + stats->snapshots));
   return kExitOk;
 }
 
@@ -814,6 +1019,7 @@ int main(int argc, char** argv) {
   if (command == "gen") return CmdGen(*flags);
   if (command == "compress") return CmdCompress(*flags);
   if (command == "decompress") return CmdDecompress(*flags);
+  if (command == "append") return CmdAppend(*flags);
   if (command == "extract") return CmdExtract(*flags);
   if (command == "index") return CmdIndex(*flags);
   if (command == "repack") return CmdRepack(*flags);
