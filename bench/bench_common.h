@@ -20,6 +20,7 @@
 #include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "util/cpu.h"
 #include "util/timer.h"
 
 namespace mdz::bench {
@@ -258,6 +259,12 @@ class BenchReport {
     out += ",\"bench\":\"" + JsonEscape(bench_) + '"';
     out += ",\"scale\":" + JsonNumber(SizeScale());
     out += ",\"build\":" + obs::BuildInfoJson();
+    // Runtime property, not build provenance: which SIMD variant the hot
+    // kernels dispatched to. bench_diff flags baseline/run mismatches so a
+    // throughput regression is not misread when the variants differ.
+    out += ",\"simd\":\"";
+    out += util::SimdVariantName(util::ActiveSimdVariant());
+    out += '"';
     out += ",\"metrics\":[";
     for (size_t i = 0; i < metrics_.size(); ++i) {
       if (i > 0) out += ',';

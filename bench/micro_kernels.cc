@@ -8,8 +8,10 @@
 #include "cluster/kmeans1d.h"
 #include "codec/huffman.h"
 #include "codec/lz.h"
+#include "core/block_kernels.h"
 #include "core/mdz.h"
 #include "quant/quantizer.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
 namespace {
@@ -131,6 +133,131 @@ BENCHMARK(BM_MdzCompressField)
     ->Arg(2)   // MT
     ->Arg(3);  // ADP
 
+// --- Per-variant kernel benches --------------------------------------------
+// One entry per registered BlockKernels variant (scalar always; avx2/neon
+// when the host supports them), named e.g. "BM_QuantizeRow/avx2". Registered
+// dynamically in main() since the variant list is a runtime property.
+
+using mdz::core::internal::BlockKernels;
+
+void BM_QuantizeRow(benchmark::State& state, const BlockKernels* kernels) {
+  mdz::Rng rng(8);
+  const size_t n = 1 << 16;
+  std::vector<double> values(n), preds(n), decoded(n);
+  std::vector<uint32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    preds[i] = rng.Uniform(0.0, 100.0);
+    values[i] = preds[i] + rng.Gaussian(0.0, 0.01);
+  }
+  const mdz::quant::LinearQuantizer q(1e-3, 1024);
+  for (auto _ : state) {
+    kernels->quantize_row(q, values.data(), preds.data(), n, codes.data(),
+                          decoded.data());
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_DequantizeRow(benchmark::State& state, const BlockKernels* kernels) {
+  mdz::Rng rng(9);
+  const size_t n = 1 << 16;
+  std::vector<double> values(n), preds(n), decoded(n);
+  std::vector<uint32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    preds[i] = rng.Uniform(0.0, 100.0);
+    values[i] = preds[i] + rng.Gaussian(0.0, 0.0005);  // escape-free rows
+  }
+  const mdz::quant::LinearQuantizer q(1e-3, 1024);
+  kernels->quantize_row(q, values.data(), preds.data(), n, codes.data(),
+                        decoded.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels->dequantize_row(q, codes.data(), preds.data(), n,
+                                decoded.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_VqPredict(benchmark::State& state, const BlockKernels* kernels) {
+  mdz::Rng rng(10);
+  const size_t n = 1 << 16;
+  std::vector<double> values(n), levels(n), preds(n);
+  for (auto& v : values) {
+    v = 1.5 * static_cast<double>(rng.UniformInt(40)) +
+        rng.Gaussian(0.0, 0.05);
+  }
+  for (auto _ : state) {
+    kernels->vq_predict(values.data(), n, 0.25, 1.5, levels.data(),
+                        preds.data());
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_Transpose(benchmark::State& state, const BlockKernels* kernels) {
+  mdz::Rng rng(11);
+  const size_t rows = 20, cols = 50000;
+  std::vector<uint32_t> in(rows * cols), out(rows * cols);
+  for (auto& v : in) v = rng.UniformInt(1024);
+  for (auto _ : state) {
+    kernels->transpose(in.data(), rows, cols, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(uint32_t));
+}
+
+// Huffman decode and LZ compress dispatch internally on the active variant,
+// so these benches pin it for the duration of the run.
+void BM_HuffmanDecodeVariant(benchmark::State& state,
+                             mdz::util::SimdVariant variant) {
+  const auto previous = mdz::util::ActiveSimdVariant();
+  mdz::util::SetSimdVariant(variant);
+  const auto symbols = SkewedSymbols(1 << 18, 2);
+  const auto encoded = mdz::codec::HuffmanEncode(symbols, 1024);
+  std::vector<uint32_t> decoded;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::HuffmanDecode(encoded, &decoded));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+  mdz::util::SetSimdVariant(previous);
+}
+
+void BM_LzCompressVariant(benchmark::State& state,
+                          mdz::util::SimdVariant variant) {
+  const auto previous = mdz::util::ActiveSimdVariant();
+  mdz::util::SetSimdVariant(variant);
+  mdz::Rng rng(12);
+  std::vector<uint8_t> input(1 << 20);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>((i % 512 < 400) ? (i % 251)
+                                                    : rng.UniformInt(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdz::codec::LzCompress(input));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+  mdz::util::SetSimdVariant(previous);
+}
+
+void RegisterVariantBenches() {
+  for (const BlockKernels* kernels :
+       mdz::core::internal::RegisteredBlockKernels()) {
+    const std::string suffix = "/" + std::string(kernels->name);
+    benchmark::RegisterBenchmark(("BM_QuantizeRow" + suffix).c_str(),
+                                 BM_QuantizeRow, kernels);
+    benchmark::RegisterBenchmark(("BM_DequantizeRow" + suffix).c_str(),
+                                 BM_DequantizeRow, kernels);
+    benchmark::RegisterBenchmark(("BM_VqPredict" + suffix).c_str(),
+                                 BM_VqPredict, kernels);
+    benchmark::RegisterBenchmark(("BM_Transpose" + suffix).c_str(),
+                                 BM_Transpose, kernels);
+    benchmark::RegisterBenchmark(("BM_HuffmanDecodeV" + suffix).c_str(),
+                                 BM_HuffmanDecodeVariant, kernels->variant);
+    benchmark::RegisterBenchmark(("BM_LzCompressV" + suffix).c_str(),
+                                 BM_LzCompressVariant, kernels->variant);
+  }
+}
+
 // Console output as usual, plus every completed run captured into the shared
 // mdz.bench.v1 report so micro-kernel numbers flow through the same
 // bench_diff gate as the figure benches.
@@ -169,6 +296,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RegisterVariantBenches();
   mdz::bench::BenchReport report("micro_kernels");
   CapturingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);

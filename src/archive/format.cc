@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/hash.h"
+#include "util/unaligned.h"
 
 namespace mdz::archive {
 
@@ -239,8 +240,7 @@ Status ParseFrameRecord(std::span<const uint8_t> bytes, const FrameInfo& info,
     return Status::Corruption("short read of " + FrameLabel(frame_id));
   }
   const size_t body_size = bytes.size() - 8;
-  uint64_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
+  const uint64_t stored_crc = LoadU<uint64_t>(bytes.data() + body_size);
   if (stored_crc != info.crc ||
       Fnv1a64(bytes.subspan(0, body_size)) != info.crc) {
     return Status::Corruption("CRC mismatch in " + FrameLabel(frame_id));

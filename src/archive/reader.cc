@@ -18,6 +18,7 @@
 #include "obs/span.h"
 #include "util/byte_buffer.h"
 #include "util/hash.h"
+#include "util/unaligned.h"
 
 namespace mdz::archive {
 
@@ -206,6 +207,7 @@ struct ArchiveReader::Impl {
   // Returns the cached decoded frame, or null. Internal dependency lookup;
   // does not count toward hit/miss stats.
   FramePtr CachePeek(size_t id) {
+    if (cache_capacity == 0) return nullptr;
     std::shared_ptr<Slot> slot;
     {
       std::lock_guard<std::mutex> lock(cache_mu);
@@ -226,8 +228,16 @@ struct ArchiveReader::Impl {
     }
   }
 
-  // Cache lookup-or-decode for one frame.
+  // Cache lookup-or-decode for one frame. Capacity 0 disables the cache
+  // entirely (decode-through): every request decodes and nothing is
+  // retained. Inserting before evicting — the normal path — would otherwise
+  // immediately evict the entry it just created and thrash the LRU list.
   Result<FramePtr> AcquireFrame(size_t id, const FramePtr& prev) {
+    if (cache_capacity == 0) {
+      cache_misses.fetch_add(1, std::memory_order_relaxed);
+      MDZ_COUNTER_ADD("archive/cache_miss", 1);
+      return DecodeFrame(id, prev);
+    }
     std::shared_ptr<Slot> slot;
     {
       std::lock_guard<std::mutex> lock(cache_mu);
@@ -333,7 +343,9 @@ Result<std::unique_ptr<ArchiveReader>> ArchiveReader::Open(
     const std::string& path, const ReaderOptions& options) {
   auto reader = std::unique_ptr<ArchiveReader>(new ArchiveReader());
   Impl& impl = *reader->impl_;
-  impl.cache_capacity = std::max<size_t>(options.cache_frames, 2);
+  impl.cache_capacity =
+      options.cache_frames == 0 ? 0
+                                : std::max<size_t>(options.cache_frames, 2);
 
   impl.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (impl.fd < 0) {
@@ -369,9 +381,8 @@ Result<std::unique_ptr<ArchiveReader>> ArchiveReader::Open(
   if (std::memcmp(tail + 16, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
     return Status::Corruption("archive trailer missing or damaged");
   }
-  uint64_t footer_crc = 0, footer_len = 0;
-  std::memcpy(&footer_crc, tail, sizeof(footer_crc));
-  std::memcpy(&footer_len, tail + 8, sizeof(footer_len));
+  const uint64_t footer_crc = LoadU<uint64_t>(tail);
+  const uint64_t footer_len = LoadU<uint64_t>(tail + 8);
   if (footer_len > impl.file_size - kFileHeaderBytes - kFileTailBytes) {
     return Status::Corruption("footer length out of bounds");
   }

@@ -14,8 +14,11 @@
 namespace mdz::archive {
 
 struct ReaderOptions {
-  // Decoded-frame LRU cache capacity, in frames. Clamped to >= 2 so a TI
-  // frame and its predecessor can coexist while a chain replays.
+  // Decoded-frame LRU cache capacity, in frames. 0 disables caching: every
+  // request decodes through (TI chains still replay correctly — the chain
+  // holds its decoded predecessors locally). Nonzero values are clamped to
+  // >= 2 so a TI frame and its predecessor can coexist while a chain
+  // replays.
   size_t cache_frames = 32;
 };
 

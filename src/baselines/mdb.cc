@@ -8,6 +8,7 @@
 
 #include "baselines/common.h"
 #include "util/byte_buffer.h"
+#include "util/unaligned.h"
 
 namespace mdz::baselines {
 
@@ -17,17 +18,9 @@ using internal::FieldHeader;
 
 enum ModelId : uint8_t { kPmcMean = 0, kSwing = 1, kGorilla = 2 };
 
-inline uint64_t ToBits(double d) {
-  uint64_t u;
-  std::memcpy(&u, &d, 8);
-  return u;
-}
+inline uint64_t ToBits(double d) { return BitCast<uint64_t>(d); }
 
-inline double FromBits(uint64_t u) {
-  double d;
-  std::memcpy(&d, &u, 8);
-  return d;
-}
+inline double FromBits(uint64_t u) { return BitCast<double>(u); }
 
 // Longest PMC-mean segment starting at t: all values within a 2*eb window.
 size_t PmcLength(const std::vector<double>& v, size_t t, double eb,

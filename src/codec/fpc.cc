@@ -3,22 +3,15 @@
 #include <cstring>
 
 #include "util/byte_buffer.h"
+#include "util/unaligned.h"
 
 namespace mdz::codec {
 
 namespace {
 
-inline uint64_t ToBits(double d) {
-  uint64_t u;
-  std::memcpy(&u, &d, 8);
-  return u;
-}
+inline uint64_t ToBits(double d) { return BitCast<uint64_t>(d); }
 
-inline double FromBits(uint64_t u) {
-  double d;
-  std::memcpy(&d, &u, 8);
-  return d;
-}
+inline double FromBits(uint64_t u) { return BitCast<double>(u); }
 
 inline int LeadingZeroBytes(uint64_t x) {
   if (x == 0) return 8;

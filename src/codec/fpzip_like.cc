@@ -5,6 +5,7 @@
 #include "codec/huffman.h"
 #include "codec/lz.h"
 #include "util/byte_buffer.h"
+#include "util/unaligned.h"
 
 namespace mdz::codec {
 
@@ -14,8 +15,7 @@ namespace {
 // ordering of the doubles (standard total-order trick: flip all bits of
 // negatives, flip only the sign bit of non-negatives).
 inline uint64_t ToOrdered(double d) {
-  uint64_t u;
-  std::memcpy(&u, &d, 8);
+  const uint64_t u = BitCast<uint64_t>(d);
   return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
 }
 
@@ -23,9 +23,7 @@ inline double FromOrdered(uint64_t u) {
   u = (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull)
                                   // non-negative double: clear sign marker
                                   : ~u;
-  double d;
-  std::memcpy(&d, &u, 8);
-  return d;
+  return BitCast<double>(u);
 }
 
 inline uint64_t Zigzag(int64_t v) {

@@ -6,9 +6,11 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/bit_stream.h"
 #include "util/byte_buffer.h"
+#include "util/cpu.h"
 
 namespace mdz::codec {
 
@@ -179,6 +181,10 @@ Status ReadLengths(ByteReader* r, std::vector<uint8_t>* lengths) {
 // a direct lookup table for codes of <= kFastBits bits.
 constexpr int kFastBits = 11;
 
+// Symbols must fit the pair-table packing (26 bits each); larger alphabets
+// fall back to one-symbol-at-a-time decoding.
+constexpr size_t kMaxPairAlphabet = 1u << 26;
+
 struct Decoder {
   std::vector<uint32_t> symbols_by_code;          // symbols sorted canonically
   uint32_t first_code[kMaxCodeLength + 2] = {};   // first canonical code/len
@@ -186,6 +192,14 @@ struct Decoder {
   int max_len = 0;
   // fast_table[bits] = (symbol << 6) | length, or 0xFFFFFFFF if too long.
   std::vector<uint32_t> fast_table;
+  // Multi-symbol table over the same kFastBits window: up to two complete
+  // code words per lookup. Layout: bits 0..5 total bit length, bits 6..7
+  // symbol count (0 = no complete symbol, take the slow path), bits 8..33
+  // first symbol, bits 34..59 second symbol. Derived from fast_table, so a
+  // pair entry exists exactly when both code words are fully determined by
+  // the peeked bits — decoded symbols and bit consumption are identical to
+  // two DecodeOne calls by construction.
+  std::vector<uint64_t> pair_table;
 
   Status Init(const std::vector<uint8_t>& lengths) {
     std::vector<uint32_t> count(kMaxCodeLength + 1, 0);
@@ -248,6 +262,30 @@ struct Decoder {
     }
     (void)codes_by_len;
     return Status::OK();
+  }
+
+  void BuildPairTable(size_t alphabet_size) {
+    if (alphabet_size > kMaxPairAlphabet) return;
+    pair_table.assign(size_t{1} << kFastBits, 0);
+    for (uint32_t peek = 0; peek < (1u << kFastBits); ++peek) {
+      const uint32_t e1 = fast_table[peek];
+      if (e1 == 0xFFFFFFFFu) continue;
+      const uint64_t len1 = e1 & 63;
+      const uint64_t sym1 = e1 >> 6;
+      uint64_t entry = len1 | (uint64_t{1} << 6) | (sym1 << 8);
+      const uint64_t rem = kFastBits - len1;
+      const uint32_t e2 = fast_table[peek >> len1];
+      // The second entry is only trustworthy when its code word lies fully
+      // inside the peeked bits; beyond them the table index holds zero
+      // padding, not stream bits.
+      if (e2 != 0xFFFFFFFFu && (e2 & 63) <= rem) {
+        const uint64_t len2 = e2 & 63;
+        const uint64_t sym2 = e2 >> 6;
+        entry = (len1 + len2) | (uint64_t{2} << 6) | (sym1 << 8) |
+                (sym2 << 34);
+      }
+      pair_table[peek] = entry;
+    }
   }
 
   // Decodes one symbol; returns false on malformed code.
@@ -364,8 +402,41 @@ Status HuffmanDecode(std::span<const uint8_t> data,
     return Status::Corruption("huffman stream has symbols but empty code set");
   }
 
+  // Multi-symbol decoding is a speed-only optimization gated to the SIMD
+  // variants so MDZ_SIMD=scalar pins the exact reference code path; the
+  // output symbols and final bit position are identical either way.
+  const util::SimdVariant variant = util::ActiveSimdVariant();
+  const bool multi = variant != util::SimdVariant::kScalar &&
+                     lengths.size() <= kMaxPairAlphabet;
+  if (multi) dec.BuildPairTable(lengths.size());
+  if (obs::Enabled()) {
+    static obs::Gauge* gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/huffman_decode");
+    gauge->Set(multi ? static_cast<int64_t>(variant) : 0);
+  }
+
   BitReader br(std::span<const uint8_t>(data.data() + top.position(),
                                         data.size() - top.position()));
+  if (multi && !dec.pair_table.empty()) {
+    uint64_t i = 0;
+    while (i < count) {
+      const uint64_t entry = dec.pair_table[br.Peek(kFastBits)];
+      if ((entry >> 6 & 3) == 2 && i + 2 <= count) {
+        br.Skip(static_cast<int>(entry & 63));
+        out->push_back(static_cast<uint32_t>(entry >> 8 & 0x3FFFFFF));
+        out->push_back(static_cast<uint32_t>(entry >> 34 & 0x3FFFFFF));
+        i += 2;
+        continue;
+      }
+      uint32_t sym = 0;
+      if (!dec.DecodeOne(&br, &sym)) {
+        return Status::Corruption("invalid huffman code word");
+      }
+      out->push_back(sym);
+      ++i;
+    }
+    return br.CheckNoOverrun();
+  }
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t sym = 0;
     if (!dec.DecodeOne(&br, &sym)) {

@@ -4,8 +4,18 @@
 #include <cstring>
 
 #include "codec/huffman.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/byte_buffer.h"
+#include "util/cpu.h"
+#include "util/unaligned.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace mdz::codec {
 
@@ -16,9 +26,7 @@ constexpr uint32_t kNoPos = 0xFFFFFFFFu;
 constexpr size_t kMaxMatch = 1 << 16;
 
 inline uint32_t Hash4(const uint8_t* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return (v * 2654435761u) >> (32 - kHashLog);
+  return (LoadU<uint32_t>(p) * 2654435761u) >> (32 - kHashLog);
 }
 
 // Token stream layout (before the optional byte-Huffman squeeze):
@@ -31,13 +39,13 @@ struct Token {
   size_t offset;
 };
 
-size_t MatchLength(const uint8_t* a, const uint8_t* b, const uint8_t* end) {
+// Match-length kernel: all variants return the exact common-prefix length,
+// so the emitted token stream is byte-identical regardless of dispatch.
+size_t MatchLengthScalar(const uint8_t* a, const uint8_t* b,
+                         const uint8_t* end) {
   const uint8_t* start = a;
   while (a + 8 <= end) {
-    uint64_t x, y;
-    std::memcpy(&x, a, 8);
-    std::memcpy(&y, b, 8);
-    const uint64_t diff = x ^ y;
+    const uint64_t diff = LoadU<uint64_t>(a) ^ LoadU<uint64_t>(b);
     if (diff != 0) {
       return static_cast<size_t>(a - start) +
              static_cast<size_t>(__builtin_ctzll(diff) >> 3);
@@ -50,6 +58,70 @@ size_t MatchLength(const uint8_t* a, const uint8_t* b, const uint8_t* end) {
     ++b;
   }
   return static_cast<size_t>(a - start);
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+__attribute__((target("avx2"))) size_t MatchLengthAvx2(const uint8_t* a,
+                                                       const uint8_t* b,
+                                                       const uint8_t* end) {
+  const uint8_t* start = a;
+  while (a + 32 <= end) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, y)));
+    if (eq != 0xFFFFFFFFu) {
+      return static_cast<size_t>(a - start) +
+             static_cast<size_t>(__builtin_ctz(~eq));
+    }
+    a += 32;
+    b += 32;
+  }
+  return static_cast<size_t>(a - start) + MatchLengthScalar(a, b, end);
+}
+#endif
+
+#if defined(__aarch64__)
+size_t MatchLengthNeon(const uint8_t* a, const uint8_t* b,
+                       const uint8_t* end) {
+  const uint8_t* start = a;
+  while (a + 16 <= end) {
+    const uint64x2_t diff = vreinterpretq_u64_u8(
+        veorq_u8(vld1q_u8(a), vld1q_u8(b)));
+    const uint64_t lo = vgetq_lane_u64(diff, 0);
+    if (lo != 0) {
+      return static_cast<size_t>(a - start) +
+             static_cast<size_t>(__builtin_ctzll(lo) >> 3);
+    }
+    const uint64_t hi = vgetq_lane_u64(diff, 1);
+    if (hi != 0) {
+      return static_cast<size_t>(a - start) + 8 +
+             static_cast<size_t>(__builtin_ctzll(hi) >> 3);
+    }
+    a += 16;
+    b += 16;
+  }
+  return static_cast<size_t>(a - start) + MatchLengthScalar(a, b, end);
+}
+#endif
+
+using MatchLengthFn = size_t (*)(const uint8_t*, const uint8_t*,
+                                 const uint8_t*);
+
+MatchLengthFn ActiveMatchLength() {
+  const util::SimdVariant variant = util::ActiveSimdVariant();
+  if (obs::Enabled()) {
+    static obs::Gauge* gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/lz_match");
+    gauge->Set(static_cast<int64_t>(variant));
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  if (variant == util::SimdVariant::kAvx2) return &MatchLengthAvx2;
+#endif
+#if defined(__aarch64__)
+  if (variant == util::SimdVariant::kNeon) return &MatchLengthNeon;
+#endif
+  return &MatchLengthScalar;
 }
 
 }  // namespace
@@ -78,6 +150,7 @@ std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
 
   std::vector<uint32_t> head(size_t{1} << kHashLog, kNoPos);
   std::vector<uint32_t> chain(n, kNoPos);
+  const MatchLengthFn match_length = ActiveMatchLength();
 
   ByteWriter tokens;
   size_t literal_start = 0;
@@ -91,7 +164,7 @@ std::vector<uint8_t> LzCompress(std::span<const uint8_t> input,
     const size_t min_pos = (at > window) ? at - window : 0;
     while (cand != kNoPos && cand >= min_pos && probes-- > 0) {
       if (cand < at) {
-        const size_t len = MatchLength(base + at, base + cand, base + n);
+        const size_t len = match_length(base + at, base + cand, base + n);
         if (len > best_len) {
           best_len = len;
           *best_off = at - cand;

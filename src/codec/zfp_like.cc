@@ -7,6 +7,7 @@
 #include "codec/lz.h"
 #include "util/bit_stream.h"
 #include "util/byte_buffer.h"
+#include "util/unaligned.h"
 
 namespace mdz::codec {
 
@@ -60,16 +61,13 @@ int BlockExponent(const double* v, int n) {
 // --- Reversible mode helpers (ordered-integer domain) ---
 
 inline uint64_t ToOrdered(double d) {
-  uint64_t u;
-  std::memcpy(&u, &d, 8);
+  const uint64_t u = BitCast<uint64_t>(d);
   return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
 }
 
 inline double FromOrdered(uint64_t u) {
   u = (u & 0x8000000000000000ull) ? (u & 0x7FFFFFFFFFFFFFFFull) : ~u;
-  double d;
-  std::memcpy(&d, &u, 8);
-  return d;
+  return BitCast<double>(u);
 }
 
 inline uint64_t Zigzag(int64_t v) {

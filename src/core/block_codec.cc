@@ -5,6 +5,7 @@
 
 #include "codec/huffman.h"
 #include "codec/lz.h"
+#include "core/block_kernels.h"
 #include "obs/span.h"
 #include "quant/quantizer.h"
 #include "util/byte_buffer.h"
@@ -23,17 +24,6 @@ inline uint64_t Zigzag(int64_t v) {
 
 inline int64_t Unzigzag(uint64_t v) {
   return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-// Clamp level indices so mu + lambda*L stays finite even for degenerate
-// level models; out-of-band predictions simply take the escape path.
-constexpr double kMaxLevel = 1e15;
-
-inline int64_t LevelOf(double value, const LevelModel& levels) {
-  const double l = std::round((value - levels.mu) / levels.lambda);
-  if (!(l > -kMaxLevel)) return static_cast<int64_t>(-kMaxLevel);
-  if (!(l < kMaxLevel)) return static_cast<int64_t>(kMaxLevel);
-  return static_cast<int64_t>(l);
 }
 
 // Interpolation processing order for the TI method: snapshot 0 first (coded
@@ -55,22 +45,30 @@ std::vector<std::pair<size_t, size_t>> InterpolationOrder(size_t s_count) {
 
 // Spline prediction for the TI method from already-decoded snapshots:
 // cubic when the 4-anchor stencil exists, linear with both neighbors,
-// previous-anchor extrapolation at the right border.
-inline double InterpolatePredict(
-    const std::vector<std::vector<double>>& decoded,
-    const std::vector<uint8_t>& ready, size_t t, size_t stride,
-    size_t s_count, size_t i) {
+// previous-anchor extrapolation at the right border. The stencil choice is
+// uniform in i, so prediction is computed a row at a time: returns either a
+// previously decoded row directly or `scratch` filled with the stencil.
+const double* TiPredictRow(const std::vector<std::vector<double>>& decoded,
+                           const std::vector<uint8_t>& ready, size_t t,
+                           size_t stride, size_t s_count, size_t n,
+                           double* scratch) {
   const bool has_right = (t + stride < s_count) && ready[t + stride];
-  if (!has_right) return decoded[t - stride][i];
+  if (!has_right) return decoded[t - stride].data();
   const bool has_far_left = (t >= 3 * stride) && ready[t - 3 * stride];
   const bool has_far_right =
       (t + 3 * stride < s_count) && ready[t + 3 * stride];
+  const double* b = decoded[t - stride].data();
+  const double* c = decoded[t + stride].data();
   if (has_far_left && has_far_right) {
-    return (-decoded[t - 3 * stride][i] + 9.0 * decoded[t - stride][i] +
-            9.0 * decoded[t + stride][i] - decoded[t + 3 * stride][i]) /
-           16.0;
+    const double* a = decoded[t - 3 * stride].data();
+    const double* d = decoded[t + 3 * stride].data();
+    for (size_t i = 0; i < n; ++i) {
+      scratch[i] = (-a[i] + 9.0 * b[i] + 9.0 * c[i] - d[i]) / 16.0;
+    }
+    return scratch;
   }
-  return 0.5 * (decoded[t - stride][i] + decoded[t + stride][i]);
+  for (size_t i = 0; i < n; ++i) scratch[i] = 0.5 * (b[i] + c[i]);
+  return scratch;
 }
 
 // Positional index sequence of the TI processing order (snapshot 0 first,
@@ -87,29 +85,6 @@ std::vector<size_t> TiPermutation(size_t s_count, size_t n) {
     for (size_t i = 0; i < n; ++i) perm.push_back(t * n + i);
   }
   return perm;
-}
-
-// Transposes snapshot-major codes (s*n + i) to particle-major (i*s_count + s).
-std::vector<uint32_t> ToParticleMajor(const std::vector<uint32_t>& codes,
-                                      size_t s_count, size_t n) {
-  std::vector<uint32_t> out(codes.size());
-  for (size_t s = 0; s < s_count; ++s) {
-    for (size_t i = 0; i < n; ++i) {
-      out[i * s_count + s] = codes[s * n + i];
-    }
-  }
-  return out;
-}
-
-std::vector<uint32_t> FromParticleMajor(const std::vector<uint32_t>& codes,
-                                        size_t s_count, size_t n) {
-  std::vector<uint32_t> out(codes.size());
-  for (size_t s = 0; s < s_count; ++s) {
-    for (size_t i = 0; i < n; ++i) {
-      out[s * n + i] = codes[i * s_count + s];
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -184,6 +159,7 @@ EncodedBlock BlockCodec::Encode(Method method,
   const size_t s_count = buffer.size();
   const size_t n = s_count == 0 ? 0 : buffer[0].size();
   const quant::LinearQuantizer quantizer(abs_eb_, scale_);
+  const BlockKernels& kernels = ActiveBlockKernels();
 
   // Positional code array (s * n + i); methods that process out of
   // snapshot order (TI) still land codes at their logical position. Escapes
@@ -196,6 +172,10 @@ EncodedBlock BlockCodec::Encode(Method method,
 
   std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
 
+  // Scratch rows for the kernel fast paths (VQ level lookup, TI stencil).
+  std::vector<double> pred_scratch(n);
+  std::vector<double> level_scratch(n);
+
   auto quantize = [&](double value, double pred, size_t s, size_t i) {
     double dec;
     const uint32_t code = quantizer.Encode(value, pred, &dec);
@@ -207,11 +187,28 @@ EncodedBlock BlockCodec::Encode(Method method,
     bins[s * n + i] = code;
   };
 
+  // Row-wide fused delta + quantization through the dispatched kernel.
+  // Escapes are appended by scanning the finished code row, which preserves
+  // the i-ascending escape order of the element-wise path.
+  auto quantize_row = [&](size_t s, const double* preds) {
+    uint32_t* row = bins.data() + s * n;
+    kernels.quantize_row(quantizer, buffer[s].data(), preds, n, row,
+                         decoded[s].data());
+    const double* vals = buffer[s].data();
+    for (size_t i = 0; i < n; ++i) {
+      if (row[i] == 0) {
+        escapes.Put<double>(vals[i]);
+        ++escape_count;
+      }
+    }
+  };
+
   auto encode_vq_snapshot = [&](size_t s) {
+    kernels.vq_predict(buffer[s].data(), n, levels.mu, levels.lambda,
+                       level_scratch.data(), pred_scratch.data());
     int64_t prev_level = 0;
     for (size_t i = 0; i < n; ++i) {
-      const double d = buffer[s][i];
-      const int64_t level = LevelOf(d, levels);
+      const int64_t level = static_cast<int64_t>(level_scratch[i]);
       const uint64_t zz = Zigzag(level - prev_level);
       prev_level = level;
       if (zz < kJAlphabet - 1) {
@@ -220,15 +217,12 @@ EncodedBlock BlockCodec::Encode(Method method,
         jcodes.push_back(0);
         j_extras.PutVarint(zz);
       }
-      const double pred = levels.mu + levels.lambda * static_cast<double>(level);
-      quantize(d, pred, s, i);
     }
+    quantize_row(s, pred_scratch.data());
   };
 
   auto encode_time_snapshot = [&](size_t s, const std::vector<double>& base) {
-    for (size_t i = 0; i < n; ++i) {
-      quantize(buffer[s][i], base[i], s, i);
-    }
+    quantize_row(s, base.data());
   };
 
   switch (method) {
@@ -280,11 +274,9 @@ EncodedBlock BlockCodec::Encode(Method method,
       std::vector<uint8_t> ready(s_count, 0);
       if (s_count > 0) ready[0] = 1;
       for (const auto& [t, stride] : InterpolationOrder(s_count)) {
-        for (size_t i = 0; i < n; ++i) {
-          const double pred =
-              InterpolatePredict(decoded, ready, t, stride, s_count, i);
-          quantize(buffer[t][i], pred, t, i);
-        }
+        const double* preds = TiPredictRow(decoded, ready, t, stride, s_count,
+                                           n, pred_scratch.data());
+        quantize_row(t, preds);
         ready[t] = 1;
       }
       break;
@@ -309,7 +301,8 @@ EncodedBlock BlockCodec::Encode(Method method,
       laid_storage.resize(bins.size());
       for (size_t k = 0; k < perm.size(); ++k) laid_storage[k] = bins[perm[k]];
     } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
-      laid_storage = ToParticleMajor(bins, s_count, n);
+      laid_storage.resize(bins.size());
+      kernels.transpose(bins.data(), s_count, n, laid_storage.data());
     }
   }
   const std::vector<uint32_t>& laid =
@@ -480,13 +473,15 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
   if (laid.size() != s_count * n) {
     return Status::Corruption("quantization code count mismatch");
   }
+  const BlockKernels& kernels = ActiveBlockKernels();
   std::vector<uint32_t> bins;
   if (method == Method::kTI && s_count > 1) {
     const std::vector<size_t> perm = TiPermutation(s_count, n);
     bins.resize(laid.size());
     for (size_t k = 0; k < perm.size(); ++k) bins[perm[k]] = laid[k];
   } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
-    bins = FromParticleMajor(laid, s_count, n);
+    bins.resize(laid.size());
+    kernels.transpose(laid.data(), n, s_count, bins.data());
   } else {
     bins = laid;
   }
@@ -519,6 +514,23 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
     return Status::OK();
   };
 
+  // Scratch row for predictions (VQ level lookup, TI stencil).
+  std::vector<double> pred_scratch(n);
+
+  // Row-wide dequantization through the dispatched kernel. The fast path
+  // refuses rows containing escapes or corrupt codes; those rows are redone
+  // on the exact element-wise path (escape side channel, corruption Status).
+  auto decode_row = [&](size_t s, const double* preds) -> Status {
+    if (kernels.dequantize_row(quantizer, bins.data() + s * n, preds, n,
+                               decoded[s].data())) {
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      MDZ_RETURN_IF_ERROR(reconstruct(s, i, preds[i]));
+    }
+    return Status::OK();
+  };
+
   auto decode_vq_snapshot = [&](size_t s) -> Status {
     int64_t prev_level = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -531,19 +543,14 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
       }
       const int64_t level = prev_level + Unzigzag(zz);
       prev_level = level;
-      const double pred =
-          levels.mu + levels.lambda * static_cast<double>(level);
-      MDZ_RETURN_IF_ERROR(reconstruct(s, i, pred));
+      pred_scratch[i] = levels.mu + levels.lambda * static_cast<double>(level);
     }
-    return Status::OK();
+    return decode_row(s, pred_scratch.data());
   };
 
   auto decode_time_snapshot = [&](size_t s,
                                   const std::vector<double>& base) -> Status {
-    for (size_t i = 0; i < n; ++i) {
-      MDZ_RETURN_IF_ERROR(reconstruct(s, i, base[i]));
-    }
-    return Status::OK();
+    return decode_row(s, base.data());
   };
 
   switch (method) {
@@ -607,11 +614,9 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
       std::vector<uint8_t> ready(s_count, 0);
       ready[0] = 1;
       for (const auto& [t, stride] : InterpolationOrder(s_count)) {
-        for (size_t i = 0; i < n; ++i) {
-          const double pred =
-              InterpolatePredict(decoded, ready, t, stride, s_count, i);
-          MDZ_RETURN_IF_ERROR(reconstruct(t, i, pred));
-        }
+        const double* preds = TiPredictRow(decoded, ready, t, stride, s_count,
+                                           n, pred_scratch.data());
+        MDZ_RETURN_IF_ERROR(decode_row(t, preds));
         ready[t] = 1;
       }
       break;

@@ -1,0 +1,138 @@
+#include "core/block_kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdz::core::internal {
+
+namespace {
+
+// --- Scalar reference kernels ----------------------------------------------
+// These are the semantics every SIMD variant must reproduce bit-exactly.
+
+void QuantizeRowScalar(const quant::LinearQuantizer& q, const double* values,
+                       const double* preds, size_t n, uint32_t* codes,
+                       double* decoded) {
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = q.Encode(values[i], preds[i], &decoded[i]);
+  }
+}
+
+bool DequantizeRowScalar(const quant::LinearQuantizer& q,
+                         const uint32_t* codes, const double* preds, size_t n,
+                         double* decoded) {
+  const uint32_t scale = q.scale();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t code = codes[i];
+    if (code == 0 || code >= scale) return false;
+    decoded[i] = q.Decode(code, preds[i]);
+  }
+  return true;
+}
+
+void VqPredictScalar(const double* values, size_t n, double mu, double lambda,
+                     double* levels_d, double* preds) {
+  for (size_t i = 0; i < n; ++i) {
+    double l = std::round((values[i] - mu) / lambda);
+    if (!(l > -kMaxLevel)) {
+      l = -kMaxLevel;  // also catches NaN
+    } else if (!(l < kMaxLevel)) {
+      l = kMaxLevel;
+    }
+    levels_d[i] = l;
+    preds[i] = mu + lambda * l;
+  }
+}
+
+void TransposeScalar(const uint32_t* in, size_t rows, size_t cols,
+                     uint32_t* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+}  // namespace
+
+const BlockKernels& ScalarBlockKernels() {
+  static const BlockKernels kScalar = {
+      "scalar",          util::SimdVariant::kScalar,
+      &QuantizeRowScalar, &DequantizeRowScalar,
+      &VqPredictScalar,  &TransposeScalar,
+  };
+  return kScalar;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+const BlockKernels& Avx2BlockKernels();  // block_kernels_avx2.cc
+#endif
+#if defined(__aarch64__)
+const BlockKernels& NeonBlockKernels();  // block_kernels_neon.cc
+#endif
+
+const BlockKernels* BlockKernelsForVariant(util::SimdVariant variant) {
+  if (!util::SimdVariantSupported(variant)) return nullptr;
+  switch (variant) {
+    case util::SimdVariant::kScalar:
+      return &ScalarBlockKernels();
+    case util::SimdVariant::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return &Avx2BlockKernels();
+#else
+      return nullptr;
+#endif
+    case util::SimdVariant::kNeon:
+#if defined(__aarch64__)
+      return &NeonBlockKernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::span<const BlockKernels* const> RegisteredBlockKernels() {
+  static const std::vector<const BlockKernels*> registered = [] {
+    std::vector<const BlockKernels*> all;
+    for (util::SimdVariant v :
+         {util::SimdVariant::kScalar, util::SimdVariant::kAvx2,
+          util::SimdVariant::kNeon}) {
+      if (const BlockKernels* k = BlockKernelsForVariant(v)) all.push_back(k);
+    }
+    return all;
+  }();
+  return registered;
+}
+
+const BlockKernels& ActiveBlockKernels() {
+  const util::SimdVariant variant = util::ActiveSimdVariant();
+  const BlockKernels* kernels = BlockKernelsForVariant(variant);
+  if (kernels == nullptr) kernels = &ScalarBlockKernels();
+  if (obs::Enabled()) {
+    // One gauge per dispatched kernel (they switch together today, but the
+    // per-kernel gauges keep telemetry honest if a variant ever ships a
+    // partial kernel set) plus the summary `simd/variant` gauge.
+    static obs::Gauge* variant_gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/variant");
+    static obs::Gauge* quantize_gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/quantize_row");
+    static obs::Gauge* dequantize_gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/dequantize_row");
+    static obs::Gauge* vq_gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/vq_predict");
+    static obs::Gauge* transpose_gauge =
+        obs::MetricsRegistry::Global().GetGauge("simd/kernel/transpose");
+    const auto v = static_cast<int64_t>(kernels->variant);
+    variant_gauge->Set(v);
+    quantize_gauge->Set(v);
+    dequantize_gauge->Set(v);
+    vq_gauge->Set(v);
+    transpose_gauge->Set(v);
+  }
+  return *kernels;
+}
+
+}  // namespace mdz::core::internal

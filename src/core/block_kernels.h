@@ -1,0 +1,81 @@
+#ifndef MDZ_CORE_BLOCK_KERNELS_H_
+#define MDZ_CORE_BLOCK_KERNELS_H_
+
+// PISA-style kernel boundary for the data-parallel inner loops of the block
+// codec: each hot kernel is a plain function pointer, grouped per SIMD
+// variant, and the variant is picked once at runtime (util/cpu.h). Every
+// variant is required to be byte-identical to the scalar reference on both
+// encode and decode — including IEEE rounding of the quantizer (llround's
+// round-half-away-from-zero is emulated exactly on top of the vector
+// round-to-nearest-even) — so ADP trial sizes and tie-breaks never depend
+// on the host. tests/block_codec_test.cc enforces this property for every
+// registered variant. See docs/KERNELS.md for the inventory and for how to
+// add a variant.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "quant/quantizer.h"
+#include "util/cpu.h"
+
+namespace mdz::core::internal {
+
+// Clamp for VQ level indices so mu + lambda*L stays finite even for
+// degenerate level models; out-of-band predictions take the escape path.
+// Levels are carried as integral doubles (|L| <= 1e15 < 2^53, so the int64
+// conversion at the use site is exact).
+inline constexpr double kMaxLevel = 1e15;
+
+struct BlockKernels {
+  const char* name;  // "scalar", "avx2", "neon"
+  util::SimdVariant variant;
+
+  // Fused prediction-delta + linear-scale quantization over one row:
+  // codes[i] = quantizer code of values[i] against preds[i]; decoded[i] is
+  // the reconstruction, or the original value for escapes (code 0). The
+  // caller appends escaped values to the side channel by scanning codes.
+  void (*quantize_row)(const quant::LinearQuantizer& q, const double* values,
+                       const double* preds, size_t n, uint32_t* codes,
+                       double* decoded);
+
+  // Inverse fast path: decoded[i] = q.Decode(codes[i], preds[i]) provided
+  // every code in the row is regular (0 < code < scale). Returns false —
+  // with the row possibly partially written — as soon as an escape or
+  // out-of-scale code is seen; the caller then redoes the row on the exact
+  // scalar reconstruct path (escape channel, corruption Status).
+  bool (*dequantize_row)(const quant::LinearQuantizer& q,
+                         const uint32_t* codes, const double* preds, size_t n,
+                         double* decoded);
+
+  // VQ level lookup (paper Algorithm 1): levels_d[i] = clamped
+  // round((values[i] - mu) / lambda) as an integral double, and preds[i] =
+  // mu + lambda * levels_d[i].
+  void (*vq_predict)(const double* values, size_t n, double mu, double lambda,
+                     double* levels_d, double* preds);
+
+  // Seq-2 reorder: row-major rows x cols -> row-major cols x rows
+  // (out[c*rows + r] = in[r*cols + c]). Serves both directions of the
+  // particle-major transpose.
+  void (*transpose)(const uint32_t* in, size_t rows, size_t cols,
+                    uint32_t* out);
+};
+
+// The scalar reference kernels (always available).
+const BlockKernels& ScalarBlockKernels();
+
+// Kernels for a specific variant; nullptr when the host cannot run it or
+// the binary was not built for that architecture.
+const BlockKernels* BlockKernelsForVariant(util::SimdVariant variant);
+
+// All variants runnable on this host (scalar first). Property tests and the
+// micro benches iterate this.
+std::span<const BlockKernels* const> RegisteredBlockKernels();
+
+// Kernels for util::ActiveSimdVariant(), falling back to scalar. Also
+// refreshes the `simd/variant` observability gauge.
+const BlockKernels& ActiveBlockKernels();
+
+}  // namespace mdz::core::internal
+
+#endif  // MDZ_CORE_BLOCK_KERNELS_H_

@@ -1,0 +1,255 @@
+// AVX2 variant of the block-codec kernels. Compiled into every x86-64 build
+// (the ISA-specific code is gated per function with the "avx2" target
+// attribute, so no special per-file flags are needed) and dispatched only
+// after the runtime CPUID probe (util/cpu.h) confirms support.
+//
+// Byte-identity notes (enforced by tests/block_codec_test.cc):
+//  * llround/std::round are round-half-away-from-zero; _mm256_round_pd is
+//    round-half-even. The exact-tie adjustment below (+1 when the rounding
+//    residue is exactly +0.5 and the operand positive, -1 mirrored) restores
+//    away-from-zero semantics. The residue scaled - rn is exact for
+//    |scaled| < 2^52, far above the quantizer's radius (<= 2^19).
+//  * No FMA: products and sums use explicit mul/add intrinsics in the same
+//    association as the scalar expressions, and "avx2" does not imply
+//    contraction.
+//  * Escape decisions replicate the scalar comparisons including their NaN
+//    behavior (ordered compares, inverted via blend where the scalar test
+//    is a negated comparison).
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "core/block_kernels.h"
+
+#define MDZ_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace mdz::core::internal {
+
+namespace {
+
+MDZ_TARGET_AVX2 inline __m256d Abs(__m256d v) {
+  return _mm256_and_pd(
+      v, _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll)));
+}
+
+// Round-half-away-from-zero of x (llround/std::round semantics) for
+// |x| < 2^52: round-half-even plus an exact-tie push away from zero.
+MDZ_TARGET_AVX2 inline __m256d RoundHalfAway(__m256d x) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d rn =
+      _mm256_round_pd(x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d residue = _mm256_sub_pd(x, rn);
+  const __m256d up =
+      _mm256_and_pd(_mm256_cmp_pd(residue, half, _CMP_EQ_OQ),
+                    _mm256_cmp_pd(x, zero, _CMP_GT_OQ));
+  const __m256d down =
+      _mm256_and_pd(_mm256_cmp_pd(residue, _mm256_sub_pd(zero, half),
+                                  _CMP_EQ_OQ),
+                    _mm256_cmp_pd(x, zero, _CMP_LT_OQ));
+  rn = _mm256_add_pd(rn, _mm256_and_pd(up, one));
+  return _mm256_sub_pd(rn, _mm256_and_pd(down, one));
+}
+
+// Narrows a 4x64-bit lane mask to 4x32-bit (lane i of the result is the low
+// dword of lane i of `mask64`; for compare masks both dwords are equal).
+MDZ_TARGET_AVX2 inline __m128i Mask64To32(__m256d mask64) {
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(mask64), idx));
+}
+
+MDZ_TARGET_AVX2 void QuantizeRowAvx2(const quant::LinearQuantizer& q,
+                                     const double* values, const double* preds,
+                                     size_t n, uint32_t* codes,
+                                     double* decoded) {
+  const double eb = q.error_bound();
+  const __m256d v_inv2eb = _mm256_set1_pd(q.inv_two_eb());
+  const __m256d v_two_eb = _mm256_set1_pd(2.0 * eb);
+  const __m256d v_eb = _mm256_set1_pd(eb);
+  const __m256d v_limit =
+      _mm256_set1_pd(static_cast<double>(q.radius()) - 1.0);
+  const __m128i v_radius = _mm_set1_epi32(static_cast<int>(q.radius()));
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const __m256d p = _mm256_loadu_pd(preds + i);
+    const __m256d scaled = _mm256_mul_pd(_mm256_sub_pd(v, p), v_inv2eb);
+    // Scalar: escape unless |scaled| < radius-1 (NaN escapes via !(...)).
+    const __m256d in_range = _mm256_cmp_pd(Abs(scaled), v_limit, _CMP_LT_OQ);
+    const __m256d qd = RoundHalfAway(scaled);
+    // Scalar: prediction + (2.0 * eb) * q, mul before add, no contraction.
+    const __m256d recon = _mm256_add_pd(p, _mm256_mul_pd(v_two_eb, qd));
+    // Scalar: escape if fabs(recon - value) > eb (NaN compares false and
+    // therefore keeps — matched by the ordered GT here).
+    const __m256d err_bad =
+        _mm256_cmp_pd(Abs(_mm256_sub_pd(recon, v)), v_eb, _CMP_GT_OQ);
+    const __m256d keep = _mm256_andnot_pd(err_bad, in_range);
+
+    _mm256_storeu_pd(decoded + i, _mm256_blendv_pd(v, recon, keep));
+    // Zero escape lanes before the int conversion so the convert input is
+    // always a small integral value.
+    const __m128i qi = _mm256_cvtpd_epi32(_mm256_and_pd(qd, keep));
+    const __m128i code = _mm_add_epi32(qi, v_radius);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i),
+                     _mm_and_si128(code, Mask64To32(keep)));
+  }
+  for (; i < n; ++i) {
+    codes[i] = q.Encode(values[i], preds[i], &decoded[i]);
+  }
+}
+
+MDZ_TARGET_AVX2 bool DequantizeRowAvx2(const quant::LinearQuantizer& q,
+                                       const uint32_t* codes,
+                                       const double* preds, size_t n,
+                                       double* decoded) {
+  const uint32_t scale = q.scale();
+  const __m256d v_two_eb = _mm256_set1_pd(2.0 * q.error_bound());
+  const __m128i v_radius = _mm_set1_epi32(static_cast<int>(q.radius()));
+  // Huffman alphabets are capped at 2^28, so codes fit in int32 and signed
+  // compares are safe.
+  const __m128i v_last = _mm_set1_epi32(static_cast<int>(scale) - 1);
+  const __m128i zero = _mm_setzero_si128();
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m128i bad = _mm_or_si128(_mm_cmpeq_epi32(c, zero),
+                                     _mm_cmpgt_epi32(c, v_last));
+    if (_mm_movemask_epi8(bad) != 0) return false;
+    const __m256d qd = _mm256_cvtepi32_pd(_mm_sub_epi32(c, v_radius));
+    const __m256d p = _mm256_loadu_pd(preds + i);
+    _mm256_storeu_pd(decoded + i,
+                     _mm256_add_pd(p, _mm256_mul_pd(v_two_eb, qd)));
+  }
+  for (; i < n; ++i) {
+    const uint32_t code = codes[i];
+    if (code == 0 || code >= scale) return false;
+    decoded[i] = q.Decode(code, preds[i]);
+  }
+  return true;
+}
+
+MDZ_TARGET_AVX2 void VqPredictAvx2(const double* values, size_t n, double mu,
+                                   double lambda, double* levels_d,
+                                   double* preds) {
+  const __m256d v_mu = _mm256_set1_pd(mu);
+  const __m256d v_lambda = _mm256_set1_pd(lambda);
+  const __m256d v_max = _mm256_set1_pd(kMaxLevel);
+  const __m256d v_negmax = _mm256_set1_pd(-kMaxLevel);
+  const __m256d v_sign = _mm256_set1_pd(-0.0);
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    // Scalar: round((v - mu) / lambda) — true division, same rounding.
+    const __m256d t = _mm256_div_pd(_mm256_sub_pd(v, v_mu), v_lambda);
+    // RoundHalfAway's tie adjustment normalizes -0.0 to +0.0, but
+    // std::round keeps the sign of zero (round(-0.3) == -0.0); OR the
+    // operand's sign back in. Nonzero results already carry it.
+    const __m256d l =
+        _mm256_or_pd(RoundHalfAway(t), _mm256_and_pd(t, v_sign));
+    // Scalar clamp: !(l > -kMaxLevel) -> -kMaxLevel (catches NaN), then
+    // !(l < kMaxLevel) -> kMaxLevel.
+    const __m256d gt = _mm256_cmp_pd(l, v_negmax, _CMP_GT_OQ);
+    const __m256d lo = _mm256_blendv_pd(v_negmax, l, gt);
+    const __m256d lt = _mm256_cmp_pd(lo, v_max, _CMP_LT_OQ);
+    const __m256d clamped = _mm256_blendv_pd(v_max, lo, lt);
+    _mm256_storeu_pd(levels_d + i, clamped);
+    _mm256_storeu_pd(preds + i,
+                     _mm256_add_pd(v_mu, _mm256_mul_pd(v_lambda, clamped)));
+  }
+  for (; i < n; ++i) {
+    double l = std::round((values[i] - mu) / lambda);
+    if (!(l > -kMaxLevel)) {
+      l = -kMaxLevel;
+    } else if (!(l < kMaxLevel)) {
+      l = kMaxLevel;
+    }
+    levels_d[i] = l;
+    preds[i] = mu + lambda * l;
+  }
+}
+
+MDZ_TARGET_AVX2 inline void Transpose8x8(const uint32_t* src,
+                                         size_t src_stride, uint32_t* dst,
+                                         size_t dst_stride) {
+  // No lambdas here: they would not inherit the avx2 target attribute.
+#define MDZ_LOAD_ROW(r) \
+  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + (r) * src_stride))
+  const __m256i r0 = MDZ_LOAD_ROW(0), r1 = MDZ_LOAD_ROW(1),
+                r2 = MDZ_LOAD_ROW(2), r3 = MDZ_LOAD_ROW(3);
+  const __m256i r4 = MDZ_LOAD_ROW(4), r5 = MDZ_LOAD_ROW(5),
+                r6 = MDZ_LOAD_ROW(6), r7 = MDZ_LOAD_ROW(7);
+#undef MDZ_LOAD_ROW
+
+  const __m256i t0 = _mm256_unpacklo_epi32(r0, r1);
+  const __m256i t1 = _mm256_unpackhi_epi32(r0, r1);
+  const __m256i t2 = _mm256_unpacklo_epi32(r2, r3);
+  const __m256i t3 = _mm256_unpackhi_epi32(r2, r3);
+  const __m256i t4 = _mm256_unpacklo_epi32(r4, r5);
+  const __m256i t5 = _mm256_unpackhi_epi32(r4, r5);
+  const __m256i t6 = _mm256_unpacklo_epi32(r6, r7);
+  const __m256i t7 = _mm256_unpackhi_epi32(r6, r7);
+
+  const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+
+#define MDZ_STORE_COL(c, v) \
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + (c) * dst_stride), (v))
+  MDZ_STORE_COL(0, _mm256_permute2x128_si256(u0, u4, 0x20));
+  MDZ_STORE_COL(1, _mm256_permute2x128_si256(u1, u5, 0x20));
+  MDZ_STORE_COL(2, _mm256_permute2x128_si256(u2, u6, 0x20));
+  MDZ_STORE_COL(3, _mm256_permute2x128_si256(u3, u7, 0x20));
+  MDZ_STORE_COL(4, _mm256_permute2x128_si256(u0, u4, 0x31));
+  MDZ_STORE_COL(5, _mm256_permute2x128_si256(u1, u5, 0x31));
+  MDZ_STORE_COL(6, _mm256_permute2x128_si256(u2, u6, 0x31));
+  MDZ_STORE_COL(7, _mm256_permute2x128_si256(u3, u7, 0x31));
+#undef MDZ_STORE_COL
+}
+
+MDZ_TARGET_AVX2 void TransposeAvx2(const uint32_t* in, size_t rows,
+                                   size_t cols, uint32_t* out) {
+  const size_t rows_full = rows & ~size_t{7};
+  const size_t cols_full = cols & ~size_t{7};
+  for (size_t r = 0; r < rows_full; r += 8) {
+    for (size_t c = 0; c < cols_full; c += 8) {
+      Transpose8x8(in + r * cols + c, cols, out + c * rows + r, rows);
+    }
+  }
+  for (size_t r = rows_full; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+  }
+  for (size_t r = 0; r < rows_full; ++r) {
+    for (size_t c = cols_full; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+}  // namespace
+
+const BlockKernels& Avx2BlockKernels() {
+  static const BlockKernels kAvx2 = {
+      "avx2",           util::SimdVariant::kAvx2,
+      &QuantizeRowAvx2, &DequantizeRowAvx2,
+      &VqPredictAvx2,   &TransposeAvx2,
+  };
+  return kAvx2;
+}
+
+}  // namespace mdz::core::internal
+
+#endif  // x86-64

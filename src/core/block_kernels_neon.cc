@@ -1,0 +1,200 @@
+// NEON (AArch64 Advanced SIMD) variant of the block-codec kernels. NEON is
+// baseline on AArch64 so no per-function target attributes are needed. The
+// same byte-identity rules as the AVX2 variant apply (see
+// block_kernels_avx2.cc and docs/KERNELS.md): vrndnq_f64 is
+// round-half-even, so exact .5 ties are pushed away from zero to match
+// llround/std::round; products and sums keep the scalar association (no
+// vfma).
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "core/block_kernels.h"
+
+namespace mdz::core::internal {
+
+namespace {
+
+// Round-half-away-from-zero for |x| < 2^52 (llround/std::round semantics).
+inline float64x2_t RoundHalfAway(float64x2_t x) {
+  const float64x2_t half = vdupq_n_f64(0.5);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  float64x2_t rn = vrndnq_f64(x);  // round-half-even
+  const float64x2_t residue = vsubq_f64(x, rn);
+  const uint64x2_t up =
+      vandq_u64(vceqq_f64(residue, half), vcgtq_f64(x, zero));
+  const uint64x2_t down =
+      vandq_u64(vceqq_f64(residue, vnegq_f64(half)), vcltq_f64(x, zero));
+  rn = vaddq_f64(
+      rn, vreinterpretq_f64_u64(vandq_u64(up, vreinterpretq_u64_f64(one))));
+  return vsubq_f64(
+      rn, vreinterpretq_f64_u64(vandq_u64(down, vreinterpretq_u64_f64(one))));
+}
+
+inline float64x2_t Blend(float64x2_t if_false, float64x2_t if_true,
+                         uint64x2_t mask) {
+  return vbslq_f64(mask, if_true, if_false);
+}
+
+void QuantizeRowNeon(const quant::LinearQuantizer& q, const double* values,
+                     const double* preds, size_t n, uint32_t* codes,
+                     double* decoded) {
+  const double eb = q.error_bound();
+  const float64x2_t v_inv2eb = vdupq_n_f64(q.inv_two_eb());
+  const float64x2_t v_two_eb = vdupq_n_f64(2.0 * eb);
+  const float64x2_t v_eb = vdupq_n_f64(eb);
+  const float64x2_t v_limit =
+      vdupq_n_f64(static_cast<double>(q.radius()) - 1.0);
+  const int32_t radius = static_cast<int32_t>(q.radius());
+
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(values + i);
+    const float64x2_t p = vld1q_f64(preds + i);
+    const float64x2_t scaled = vmulq_f64(vsubq_f64(v, p), v_inv2eb);
+    // Scalar: escape unless |scaled| < radius-1 (NaN compares false here,
+    // matching the scalar !(fabs < limit) escape).
+    const uint64x2_t in_range = vcltq_f64(vabsq_f64(scaled), v_limit);
+    const float64x2_t qd = RoundHalfAway(scaled);
+    const float64x2_t recon = vaddq_f64(p, vmulq_f64(v_two_eb, qd));
+    // Scalar: escape if fabs(recon - value) > eb; NaN keeps.
+    const uint64x2_t err_bad = vcgtq_f64(vabsq_f64(vsubq_f64(recon, v)), v_eb);
+    const uint64x2_t keep = vbicq_u64(in_range, err_bad);
+
+    vst1q_f64(decoded + i, Blend(v, recon, keep));
+    // Lane-wise convert (values are integral and within int32 range when
+    // kept; escape lanes are zeroed before conversion).
+    const float64x2_t qd_safe = vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(qd), keep));
+    const int64x2_t qi = vcvtq_s64_f64(qd_safe);
+    const uint64x2_t code64 = vandq_u64(
+        vreinterpretq_u64_s64(
+            vaddq_s64(qi, vdupq_n_s64(static_cast<int64_t>(radius)))),
+        keep);
+    codes[i] = static_cast<uint32_t>(vgetq_lane_u64(code64, 0));
+    codes[i + 1] = static_cast<uint32_t>(vgetq_lane_u64(code64, 1));
+  }
+  for (; i < n; ++i) {
+    codes[i] = q.Encode(values[i], preds[i], &decoded[i]);
+  }
+}
+
+bool DequantizeRowNeon(const quant::LinearQuantizer& q, const uint32_t* codes,
+                       const double* preds, size_t n, double* decoded) {
+  const uint32_t scale = q.scale();
+  const float64x2_t v_two_eb = vdupq_n_f64(2.0 * q.error_bound());
+  const int64_t radius = static_cast<int64_t>(q.radius());
+
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t c0 = codes[i];
+    const uint32_t c1 = codes[i + 1];
+    if (c0 == 0 || c0 >= scale || c1 == 0 || c1 >= scale) return false;
+    const int64x2_t qi = {static_cast<int64_t>(c0) - radius,
+                          static_cast<int64_t>(c1) - radius};
+    const float64x2_t qd = vcvtq_f64_s64(qi);
+    const float64x2_t p = vld1q_f64(preds + i);
+    vst1q_f64(decoded + i, vaddq_f64(p, vmulq_f64(v_two_eb, qd)));
+  }
+  for (; i < n; ++i) {
+    const uint32_t code = codes[i];
+    if (code == 0 || code >= scale) return false;
+    decoded[i] = q.Decode(code, preds[i]);
+  }
+  return true;
+}
+
+void VqPredictNeon(const double* values, size_t n, double mu, double lambda,
+                   double* levels_d, double* preds) {
+  const float64x2_t v_mu = vdupq_n_f64(mu);
+  const float64x2_t v_lambda = vdupq_n_f64(lambda);
+  const float64x2_t v_max = vdupq_n_f64(kMaxLevel);
+  const float64x2_t v_negmax = vdupq_n_f64(-kMaxLevel);
+
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(values + i);
+    const float64x2_t t = vdivq_f64(vsubq_f64(v, v_mu), v_lambda);
+    // RoundHalfAway's tie adjustment normalizes -0.0 to +0.0, but
+    // std::round keeps the sign of zero (round(-0.3) == -0.0); OR the
+    // operand's sign back in. Nonzero results already carry it.
+    const float64x2_t l = vreinterpretq_f64_u64(vorrq_u64(
+        vreinterpretq_u64_f64(RoundHalfAway(t)),
+        vandq_u64(vreinterpretq_u64_f64(t),
+                  vdupq_n_u64(0x8000000000000000ull))));
+    // Scalar clamp: !(l > -kMaxLevel) -> -kMaxLevel (catches NaN), then
+    // !(l < kMaxLevel) -> kMaxLevel.
+    const uint64x2_t gt = vcgtq_f64(l, v_negmax);
+    const float64x2_t lo = Blend(v_negmax, l, gt);
+    const uint64x2_t lt = vcltq_f64(lo, v_max);
+    const float64x2_t clamped = Blend(v_max, lo, lt);
+    vst1q_f64(levels_d + i, clamped);
+    vst1q_f64(preds + i, vaddq_f64(v_mu, vmulq_f64(v_lambda, clamped)));
+  }
+  for (; i < n; ++i) {
+    double l = std::round((values[i] - mu) / lambda);
+    if (!(l > -kMaxLevel)) {
+      l = -kMaxLevel;
+    } else if (!(l < kMaxLevel)) {
+      l = kMaxLevel;
+    }
+    levels_d[i] = l;
+    preds[i] = mu + lambda * l;
+  }
+}
+
+// 4x4 u32 tiles via vld4q (structure-of-arrays load is a transpose).
+void TransposeNeon(const uint32_t* in, size_t rows, size_t cols,
+                   uint32_t* out) {
+  const size_t rows_full = rows & ~size_t{3};
+  const size_t cols_full = cols & ~size_t{3};
+  for (size_t r = 0; r < rows_full; r += 4) {
+    for (size_t c = 0; c < cols_full; c += 4) {
+      uint32x4_t q0 = vld1q_u32(in + (r + 0) * cols + c);
+      uint32x4_t q1 = vld1q_u32(in + (r + 1) * cols + c);
+      uint32x4_t q2 = vld1q_u32(in + (r + 2) * cols + c);
+      uint32x4_t q3 = vld1q_u32(in + (r + 3) * cols + c);
+      const uint32x4x2_t t01 = vtrnq_u32(q0, q1);
+      const uint32x4x2_t t23 = vtrnq_u32(q2, q3);
+      const uint32x4_t o0 = vcombine_u32(vget_low_u32(t01.val[0]),
+                                         vget_low_u32(t23.val[0]));
+      const uint32x4_t o1 = vcombine_u32(vget_low_u32(t01.val[1]),
+                                         vget_low_u32(t23.val[1]));
+      const uint32x4_t o2 = vcombine_u32(vget_high_u32(t01.val[0]),
+                                         vget_high_u32(t23.val[0]));
+      const uint32x4_t o3 = vcombine_u32(vget_high_u32(t01.val[1]),
+                                         vget_high_u32(t23.val[1]));
+      vst1q_u32(out + (c + 0) * rows + r, o0);
+      vst1q_u32(out + (c + 1) * rows + r, o1);
+      vst1q_u32(out + (c + 2) * rows + r, o2);
+      vst1q_u32(out + (c + 3) * rows + r, o3);
+    }
+  }
+  for (size_t r = rows_full; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+  }
+  for (size_t r = 0; r < rows_full; ++r) {
+    for (size_t c = cols_full; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+}  // namespace
+
+const BlockKernels& NeonBlockKernels() {
+  static const BlockKernels kNeon = {
+      "neon",           util::SimdVariant::kNeon,
+      &QuantizeRowNeon, &DequantizeRowNeon,
+      &VqPredictNeon,   &TransposeNeon,
+  };
+  return kNeon;
+}
+
+}  // namespace mdz::core::internal
+
+#endif  // __aarch64__

@@ -8,6 +8,7 @@
 #include "archive/writer.h"
 #include "util/byte_buffer.h"
 #include "util/hash.h"
+#include "util/unaligned.h"
 
 namespace mdz::io {
 
@@ -85,8 +86,7 @@ Result<Archive> ReadArchive(const std::string& path) {
 
   // Verify the trailing checksum before parsing anything.
   const size_t payload_size = bytes.size() - sizeof(uint64_t);
-  uint64_t stored = 0;
-  std::memcpy(&stored, bytes.data() + payload_size, sizeof(stored));
+  const uint64_t stored = LoadU<uint64_t>(bytes.data() + payload_size);
   const uint64_t computed =
       Fnv1a64(std::span<const uint8_t>(bytes.data(), payload_size));
   if (stored != computed) {

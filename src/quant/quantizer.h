@@ -28,6 +28,7 @@ class LinearQuantizer {
   uint32_t scale() const { return scale_; }
   uint32_t radius() const { return radius_; }
   double error_bound() const { return eb_; }
+  double inv_two_eb() const { return inv_2eb_; }
 
   // Quantizes `value` against `prediction`. Returns the code; code 0 means
   // unpredictable (caller must store the exact value) and *decoded is set to

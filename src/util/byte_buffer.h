@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/unaligned.h"
 
 namespace mdz {
 
@@ -21,9 +22,8 @@ class ByteWriter {
   // Appends a trivially-copyable scalar in native (little-endian) layout.
   template <typename T>
   void Put(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const uint8_t*>(&value);
-    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    const auto raw = ToBytes(value);
+    bytes_.insert(bytes_.end(), raw.begin(), raw.end());
   }
 
   void PutBytes(const void* data, size_t n) {
@@ -64,8 +64,7 @@ class ByteWriter {
   // Overwrites `sizeof(T)` bytes at `offset` (used to back-patch lengths).
   template <typename T>
   void PatchAt(size_t offset, T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+    StoreU(bytes_.data() + offset, value);
   }
 
  private:
@@ -80,11 +79,10 @@ class ByteReader {
 
   template <typename T>
   Status Get(T* out) {
-    static_assert(std::is_trivially_copyable_v<T>);
     if (pos_ + sizeof(T) > data_.size()) {
       return Status::Corruption("byte stream truncated (scalar)");
     }
-    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    *out = LoadU<T>(data_.data() + pos_);
     pos_ += sizeof(T);
     return Status::OK();
   }

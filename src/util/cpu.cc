@@ -1,0 +1,92 @@
+#include "util/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mdz::util {
+
+namespace {
+
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool HostHasNeon() {
+#if defined(__aarch64__)
+  return true;  // Advanced SIMD is baseline on AArch64
+#else
+  return false;
+#endif
+}
+
+SimdVariant Probe() {
+  if (const char* env = std::getenv("MDZ_SIMD")) {
+    if (auto parsed = ParseSimdVariant(env);
+        parsed.has_value() && SimdVariantSupported(*parsed)) {
+      return *parsed;
+    }
+    // Unknown or unsupported request: run scalar rather than guessing.
+    return SimdVariant::kScalar;
+  }
+  if (HostHasAvx2()) return SimdVariant::kAvx2;
+  if (HostHasNeon()) return SimdVariant::kNeon;
+  return SimdVariant::kScalar;
+}
+
+// -1 = unresolved; otherwise the int value of the active SimdVariant.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+std::string_view SimdVariantName(SimdVariant variant) {
+  switch (variant) {
+    case SimdVariant::kScalar: return "scalar";
+    case SimdVariant::kAvx2: return "avx2";
+    case SimdVariant::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<SimdVariant> ParseSimdVariant(std::string_view name) {
+  if (name == "scalar") return SimdVariant::kScalar;
+  if (name == "avx2") return SimdVariant::kAvx2;
+  if (name == "neon") return SimdVariant::kNeon;
+  return std::nullopt;
+}
+
+bool SimdVariantSupported(SimdVariant variant) {
+  switch (variant) {
+    case SimdVariant::kScalar: return true;
+    case SimdVariant::kAvx2: return HostHasAvx2();
+    case SimdVariant::kNeon: return HostHasNeon();
+  }
+  return false;
+}
+
+SimdVariant ActiveSimdVariant() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v < 0) {
+    const SimdVariant probed = Probe();
+    int expected = -1;
+    // First resolver wins; a concurrent SetSimdVariant is preserved.
+    if (g_active.compare_exchange_strong(expected, static_cast<int>(probed),
+                                         std::memory_order_acq_rel)) {
+      return probed;
+    }
+    v = expected;
+  }
+  return static_cast<SimdVariant>(v);
+}
+
+SimdVariant SetSimdVariant(SimdVariant variant) {
+  const SimdVariant installed =
+      SimdVariantSupported(variant) ? variant : SimdVariant::kScalar;
+  g_active.store(static_cast<int>(installed), std::memory_order_release);
+  return installed;
+}
+
+}  // namespace mdz::util

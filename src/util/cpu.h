@@ -1,0 +1,53 @@
+#ifndef MDZ_UTIL_CPU_H_
+#define MDZ_UTIL_CPU_H_
+
+// Runtime SIMD capability probe and variant selection for the dispatched
+// kernels (core/block_kernels.h, the Huffman fast decoder and the LZ match
+// finder). The active variant is resolved once, from strongest supported to
+// weakest:
+//
+//   1. an explicit SetSimdVariant() call (CLI `--simd`, tests),
+//   2. the MDZ_SIMD environment variable ("scalar", "avx2", "neon"),
+//   3. the CPUID/arch probe (AVX2 on x86-64, NEON on aarch64),
+//   4. scalar.
+//
+// Requesting a variant the host cannot execute (MDZ_SIMD=avx2 on a non-AVX2
+// machine) silently falls back to scalar rather than crashing; requesting an
+// unknown name is an error at the parse step (see ParseSimdVariant).
+//
+// Every variant is byte-identical to scalar on encode and decode — the
+// override exists for CI pinning, benchmarking and debugging, not for
+// output control. See docs/KERNELS.md.
+
+#include <optional>
+#include <string_view>
+
+namespace mdz::util {
+
+enum class SimdVariant : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// Stable lower-case name ("scalar", "avx2", "neon").
+std::string_view SimdVariantName(SimdVariant variant);
+
+// Parses a variant name; nullopt for unknown names.
+std::optional<SimdVariant> ParseSimdVariant(std::string_view name);
+
+// True when the host can execute `variant` (kScalar is always true).
+bool SimdVariantSupported(SimdVariant variant);
+
+// The variant the dispatched kernels use. Resolved on first call (env +
+// probe) and cached; SetSimdVariant replaces the cached value.
+SimdVariant ActiveSimdVariant();
+
+// Overrides the active variant (clamped to a supported one: unsupported
+// requests fall back to kScalar). Returns the variant actually installed.
+// Thread-safe; takes effect for subsequent kernel dispatch lookups.
+SimdVariant SetSimdVariant(SimdVariant variant);
+
+}  // namespace mdz::util
+
+#endif  // MDZ_UTIL_CPU_H_

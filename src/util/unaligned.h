@@ -1,0 +1,55 @@
+#ifndef MDZ_UTIL_UNALIGNED_H_
+#define MDZ_UTIL_UNALIGNED_H_
+
+// Centralized strict-aliasing-clean scalar load/store and type-punning
+// helpers. Every codec in this tree reads and writes multi-byte scalars at
+// byte granularity (hash probes, match finders, header fields, float<->bit
+// punning); routing them all through these helpers keeps the scalar and SIMD
+// paths on one idiom that is well-defined under UBSan: memcpy-based
+// unaligned access and std::bit_cast for same-size reinterpretation.
+//
+// All loads/stores are native-endian (the on-disk formats in this repo are
+// little-endian and the tree targets little-endian hosts; see FORMAT.md).
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace mdz {
+
+// Reads a T from a possibly unaligned address.
+template <typename T>
+inline T LoadU(const void* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+// Writes a T to a possibly unaligned address.
+template <typename T>
+inline void StoreU(void* p, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(p, &value, sizeof(T));
+}
+
+// Same-size bit reinterpretation (double <-> uint64_t and friends).
+template <typename To, typename From>
+inline To BitCast(From from) {
+  static_assert(sizeof(To) == sizeof(From));
+  return std::bit_cast<To>(from);
+}
+
+// The object representation of a scalar as a byte array (native layout),
+// for appending to byte vectors without reinterpret_cast.
+template <typename T>
+inline std::array<uint8_t, sizeof(T)> ToBytes(T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::bit_cast<std::array<uint8_t, sizeof(T)>>(value);
+}
+
+}  // namespace mdz
+
+#endif  // MDZ_UTIL_UNALIGNED_H_

@@ -212,6 +212,37 @@ TEST(ArchiveV2, TinyCacheStillDecodesTiChains) {
   std::remove(path.c_str());
 }
 
+TEST(ArchiveV2, ZeroCacheFramesMeansDecodeThrough) {
+  // Regression: cache_frames = 0 used to be clamped into a live (tiny) cache;
+  // it must mean "no cache at all" — every request decodes through, TI chains
+  // included, with no eviction churn and no division by the capacity.
+  const core::Trajectory traj = MakeWalkTrajectory(40, 30, 19);
+  const auto data = Compress(traj, core::Method::kTI, /*buffer_size=*/8);
+  const core::Trajectory full = FullDecode(data);
+  const std::string path = TempPath("zero_cache.mdza");
+  ASSERT_TRUE(WriteV2(data, traj.name, traj.box, path).ok());
+
+  ReaderOptions options;
+  options.cache_frames = 0;  // decode-through, not "clamp to smallest cache"
+  auto reader = ArchiveReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  // Deep into a TI chain and across buffer boundaries.
+  auto got = (*reader)->ReadSnapshots(33, 7);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSnapshotsEqualSlice(*got, full, 33);
+
+  // Re-reading the same range must work (nothing was retained) and never
+  // count a cache hit.
+  got = (*reader)->ReadSnapshots(33, 7);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSnapshotsEqualSlice(*got, full, 33);
+  const ReaderStats stats = (*reader)->stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.frames_decoded, stats.cache_misses);
+  std::remove(path.c_str());
+}
+
 // --- Concurrency -------------------------------------------------------------
 
 TEST(ArchiveV2, ConcurrentRangeReadsMatchSequentialDecode) {

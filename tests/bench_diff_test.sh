@@ -87,4 +87,32 @@ sed 's/"flags":"-O2"/"flags":"-O0"/' "$WORK/BENCH_synth.json" \
 "$BENCH_DIFF" "$WORK/BENCH_synth.json" "$WORK/BENCH_debug.json" 2>&1 \
   | grep -q "build flags differ"
 
+# A SIMD-variant mismatch is annotated distinctly but never gates: same
+# numbers still pass...
+sed 's/"scale":1,/"scale":1,"simd":"avx2",/' "$WORK/BENCH_synth.json" \
+  > "$WORK/BENCH_avx2.json"
+sed 's/"simd":"avx2"/"simd":"scalar"/' "$WORK/BENCH_avx2.json" \
+  > "$WORK/BENCH_scalar.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_avx2.json" \
+  "$WORK/BENCH_scalar.json")" = 0
+"$BENCH_DIFF" "$WORK/BENCH_avx2.json" "$WORK/BENCH_scalar.json" 2>&1 \
+  | grep -q "SIMD variant differs"
+# ...a real regression still fails with the annotation present...
+sed 's/"value":100.0/"value":80.0/' "$WORK/BENCH_scalar.json" \
+  > "$WORK/BENCH_scalar_slow.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/BENCH_avx2.json" \
+  "$WORK/BENCH_scalar_slow.json")" = 1
+# ...matching variants and one-sided (legacy baseline) reports stay silent...
+if "$BENCH_DIFF" "$WORK/BENCH_avx2.json" "$WORK/BENCH_avx2.json" 2>&1 \
+  | grep -q "SIMD variant differs"; then exit 1; fi
+if "$BENCH_DIFF" "$WORK/BENCH_synth.json" "$WORK/BENCH_avx2.json" 2>&1 \
+  | grep -q "SIMD variant differs"; then exit 1; fi
+# ...and directory mode carries the annotation per matched report.
+mkdir -p "$WORK/base_simd" "$WORK/cur_simd"
+cp "$WORK/BENCH_avx2.json" "$WORK/base_simd/BENCH_synth.json"
+cp "$WORK/BENCH_scalar.json" "$WORK/cur_simd/BENCH_synth.json"
+test "$(exit_code "$BENCH_DIFF" "$WORK/base_simd" "$WORK/cur_simd")" = 0
+"$BENCH_DIFF" "$WORK/base_simd" "$WORK/cur_simd" 2>&1 \
+  | grep -q "SIMD variant differs"
+
 echo "bench_diff_test OK"

@@ -3,11 +3,18 @@
 // behaviour below the FieldCompressor level.
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/block_codec.h"
+#include "core/block_kernels.h"
+#include "core/mdz.h"
+#include "core/thread_pool.h"
+#include "quant/quantizer.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
 namespace mdz::core::internal {
@@ -194,6 +201,380 @@ TEST(BlockCodecTest, DecodeRejectsTruncatedBlock) {
     std::vector<std::vector<double>> decoded;
     EXPECT_FALSE(codec.Decode(truncated, 64, &state, &decoded).ok())
         << "cut " << cut;
+  }
+}
+
+// --- SIMD kernel property tests --------------------------------------------
+// Every registered BlockKernels variant must be bit-identical to the scalar
+// reference on both directions, including the adversarial corners: remainder
+// lengths 0..2x the widest vector, exact rounding ties, denormals, NaN/inf,
+// escape-heavy rows and max-level codes. docs/KERNELS.md documents this
+// contract.
+
+// Lengths covering 0..2x the widest vector tile (AVX2 transpose: 8 lanes)
+// plus a few bulk sizes with every remainder class.
+std::vector<size_t> PropertyLengths() {
+  std::vector<size_t> lengths;
+  for (size_t n = 0; n <= 16; ++n) lengths.push_back(n);
+  lengths.push_back(100);
+  lengths.push_back(1001);
+  lengths.push_back(4099);
+  return lengths;
+}
+
+// Values/preds with a mix of regular codes, escapes, boundary magnitudes and
+// IEEE specials.
+void FillAdversarialRow(size_t n, uint64_t seed, double eb,
+                        std::vector<double>* values,
+                        std::vector<double>* preds) {
+  Rng rng(seed);
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  values->resize(n);
+  preds->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*preds)[i] = rng.Uniform(-50.0, 50.0);
+    switch (rng.UniformInt(8)) {
+      case 0:  // regular small-error code
+        (*values)[i] = (*preds)[i] + rng.Gaussian(0.0, eb);
+        break;
+      case 1:  // escape: far outlier
+        (*values)[i] = (*preds)[i] + rng.Uniform(10.0, 100.0);
+        break;
+      case 2:  // near the out-of-scale boundary (code close to scale-1)
+        (*values)[i] =
+            (*preds)[i] + 2.0 * eb * (510.0 + rng.Uniform(-2.0, 2.0));
+        break;
+      case 3:  // denormal operands
+        (*preds)[i] = denorm * static_cast<double>(rng.UniformInt(4));
+        (*values)[i] = denorm * static_cast<double>(rng.UniformInt(4));
+        break;
+      case 4:
+        (*values)[i] = qnan;
+        break;
+      case 5:
+        (*values)[i] = rng.UniformInt(2) ? inf : -inf;
+        break;
+      case 6:  // negative zero delta
+        (*values)[i] = (*preds)[i];
+        if (rng.UniformInt(2)) (*values)[i] = -(*values)[i], (*preds)[i] = (*values)[i];
+        break;
+      default:  // moderate error, sign mixed
+        (*values)[i] = (*preds)[i] + rng.Gaussian(0.0, 50.0 * eb);
+        break;
+    }
+  }
+}
+
+TEST(BlockKernelsTest, RegistryListsScalarFirstAndOnlySupportedVariants) {
+  const auto kernels = RegisteredBlockKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), &ScalarBlockKernels());
+  for (const BlockKernels* k : kernels) {
+    EXPECT_TRUE(util::SimdVariantSupported(k->variant)) << k->name;
+    EXPECT_EQ(BlockKernelsForVariant(k->variant), k) << k->name;
+  }
+}
+
+TEST(BlockKernelsTest, QuantizeRowMatchesScalarBitExact) {
+  const auto& scalar = ScalarBlockKernels();
+  const quant::LinearQuantizer q(1e-3, 1024);
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    for (size_t n : PropertyLengths()) {
+      for (uint64_t seed : {1u, 2u, 3u}) {
+        std::vector<double> values, preds;
+        FillAdversarialRow(n, seed * 7919 + n, q.error_bound(), &values,
+                           &preds);
+        const size_t cap = n > 0 ? n : 1;
+        std::vector<uint32_t> codes_s(cap, 0xABu), codes_v(cap, 0xCDu);
+        std::vector<double> dec_s(cap, 0.0), dec_v(cap, 1.0);
+        scalar.quantize_row(q, values.data(), preds.data(), n, codes_s.data(),
+                            dec_s.data());
+        k->quantize_row(q, values.data(), preds.data(), n, codes_v.data(),
+                        dec_v.data());
+        if (n == 0) continue;
+        EXPECT_EQ(std::memcmp(codes_s.data(), codes_v.data(),
+                              n * sizeof(uint32_t)),
+                  0)
+            << k->name << " n=" << n << " seed=" << seed;
+        // Bitwise compare (catches -0.0 and NaN payload divergence).
+        EXPECT_EQ(std::memcmp(dec_s.data(), dec_v.data(), n * sizeof(double)),
+                  0)
+            << k->name << " n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(BlockKernelsTest, QuantizeRowExactTiesRoundAwayFromZero) {
+  // eb = 0.125 makes 2*eb and 1/(2*eb) exact powers of two, so scaled lands
+  // exactly on m + 0.5 ties: llround semantics (away from zero) must hold in
+  // every variant.
+  const quant::LinearQuantizer q(0.125, 1024);
+  std::vector<double> values, preds;
+  for (int m = -40; m <= 40; ++m) {
+    preds.push_back(0.0);
+    values.push_back(0.25 * (static_cast<double>(m) + 0.5));
+  }
+  const size_t n = values.size();
+  const auto& scalar = ScalarBlockKernels();
+  std::vector<uint32_t> codes_s(n), codes_v(n);
+  std::vector<double> dec_s(n), dec_v(n);
+  scalar.quantize_row(q, values.data(), preds.data(), n, codes_s.data(),
+                      dec_s.data());
+  // Spot-check the semantics against llround directly.
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t expect = std::llround(values[i] / 0.25);
+    ASSERT_EQ(codes_s[i],
+              static_cast<uint32_t>(expect + static_cast<int64_t>(q.radius())))
+        << values[i];
+  }
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    k->quantize_row(q, values.data(), preds.data(), n, codes_v.data(),
+                    dec_v.data());
+    EXPECT_EQ(std::memcmp(codes_s.data(), codes_v.data(),
+                          n * sizeof(uint32_t)),
+              0)
+        << k->name;
+    EXPECT_EQ(std::memcmp(dec_s.data(), dec_v.data(), n * sizeof(double)), 0)
+        << k->name;
+  }
+}
+
+TEST(BlockKernelsTest, DequantizeRowMatchesScalar) {
+  const quant::LinearQuantizer q(1e-3, 1024);
+  const auto& scalar = ScalarBlockKernels();
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    for (size_t n : PropertyLengths()) {
+      if (n == 0) {
+        // Empty row: trivially regular in both.
+        uint32_t code = 0;
+        double pred = 0.0, out = 0.0;
+        EXPECT_TRUE(k->dequantize_row(q, &code, &pred, 0, &out));
+        continue;
+      }
+      Rng rng(n * 31 + 5);
+      std::vector<uint32_t> codes(n);
+      std::vector<double> preds(n), dec_s(n), dec_v(n);
+      for (size_t i = 0; i < n; ++i) {
+        preds[i] = rng.Uniform(-10.0, 10.0);
+        codes[i] = 1 + static_cast<uint32_t>(rng.UniformInt(q.scale() - 1));
+      }
+      // All-regular row (includes max code scale-1): fast path taken, output
+      // bit-identical.
+      codes[n / 2] = q.scale() - 1;
+      ASSERT_TRUE(scalar.dequantize_row(q, codes.data(), preds.data(), n,
+                                        dec_s.data()));
+      ASSERT_TRUE(k->dequantize_row(q, codes.data(), preds.data(), n,
+                                    dec_v.data()))
+          << k->name << " n=" << n;
+      EXPECT_EQ(std::memcmp(dec_s.data(), dec_v.data(), n * sizeof(double)),
+                0)
+          << k->name << " n=" << n;
+      // Escapes and out-of-scale codes at every alignment class must make
+      // every variant bail (partial writes are allowed to differ).
+      for (uint32_t bad : {0u, q.scale(), q.scale() + 77u, 1u << 27}) {
+        for (size_t pos : {size_t{0}, n / 2, n - 1}) {
+          const uint32_t saved = codes[pos];
+          codes[pos] = bad;
+          EXPECT_FALSE(k->dequantize_row(q, codes.data(), preds.data(), n,
+                                         dec_v.data()))
+              << k->name << " n=" << n << " bad=" << bad << " pos=" << pos;
+          codes[pos] = saved;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockKernelsTest, VqPredictMatchesScalarBitExact) {
+  const auto& scalar = ScalarBlockKernels();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    for (size_t n : PropertyLengths()) {
+      if (n == 0) continue;
+      Rng rng(n * 131 + 7);
+      std::vector<double> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        switch (rng.UniformInt(6)) {
+          case 0:  // huge magnitudes: level clamp at +/-kMaxLevel
+            values[i] = rng.UniformInt(2) ? 1e300 : -1e300;
+            break;
+          case 1:
+            values[i] = rng.UniformInt(2) ? inf : -inf;
+            break;
+          case 2:
+            values[i] = qnan;
+            break;
+          case 3:  // exact half-integer level ties
+            values[i] = 0.25 + 1.5 * (static_cast<double>(rng.UniformInt(64)) +
+                                      0.5);
+            break;
+          default:
+            values[i] = 0.25 +
+                        1.5 * static_cast<double>(rng.UniformInt(64)) +
+                        rng.Gaussian(0.0, 0.05);
+            break;
+        }
+      }
+      std::vector<double> lv_s(n), pr_s(n), lv_v(n), pr_v(n);
+      scalar.vq_predict(values.data(), n, 0.25, 1.5, lv_s.data(), pr_s.data());
+      k->vq_predict(values.data(), n, 0.25, 1.5, lv_v.data(), pr_v.data());
+      EXPECT_EQ(std::memcmp(lv_s.data(), lv_v.data(), n * sizeof(double)), 0)
+          << k->name << " n=" << n;
+      EXPECT_EQ(std::memcmp(pr_s.data(), pr_v.data(), n * sizeof(double)), 0)
+          << k->name << " n=" << n;
+      // Levels must stay integral and clamped so the int64 conversion at the
+      // encoder is exact.
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_LE(std::fabs(lv_v[i]), kMaxLevel);
+        EXPECT_EQ(lv_v[i], std::floor(lv_v[i]));
+      }
+    }
+  }
+}
+
+TEST(BlockKernelsTest, TransposeMatchesScalarAndRoundTrips) {
+  const auto& scalar = ScalarBlockKernels();
+  const size_t shapes[][2] = {{1, 1},  {1, 17}, {17, 1}, {7, 9},   {8, 8},
+                              {9, 16}, {16, 9}, {20, 50}, {64, 33}, {5, 4099}};
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    for (const auto& shape : shapes) {
+      const size_t rows = shape[0], cols = shape[1];
+      Rng rng(rows * 1000 + cols);
+      std::vector<uint32_t> in(rows * cols), out_s(rows * cols),
+          out_v(rows * cols), back(rows * cols);
+      for (auto& v : in) v = static_cast<uint32_t>(rng.NextU64());
+      scalar.transpose(in.data(), rows, cols, out_s.data());
+      k->transpose(in.data(), rows, cols, out_v.data());
+      EXPECT_EQ(std::memcmp(out_s.data(), out_v.data(),
+                            in.size() * sizeof(uint32_t)),
+                0)
+          << k->name << " " << rows << "x" << cols;
+      // Transposing back with swapped dims is the identity.
+      k->transpose(out_v.data(), cols, rows, back.data());
+      EXPECT_EQ(std::memcmp(in.data(), back.data(),
+                            in.size() * sizeof(uint32_t)),
+                0)
+          << k->name << " " << rows << "x" << cols;
+    }
+  }
+}
+
+// Restores the previously active variant even when a test fails mid-loop.
+class ScopedSimdVariant {
+ public:
+  explicit ScopedSimdVariant(util::SimdVariant v)
+      : previous_(util::ActiveSimdVariant()) {
+    util::SetSimdVariant(v);
+  }
+  ~ScopedSimdVariant() { util::SetSimdVariant(previous_); }
+
+ private:
+  util::SimdVariant previous_;
+};
+
+TEST(BlockCodecTest, EncodeDecodeByteIdenticalAcrossVariants) {
+  struct Case {
+    double eb;
+    uint32_t scale;
+    size_t s, n;
+    double step;
+  };
+  // n values hit every remainder class of the 4- and 8-lane loops; the
+  // tiny-reach case forces an escape-heavy stream.
+  const Case cases[] = {
+      {0.01, 1024, 10, 131, 0.5},
+      {0.01, 1024, 3, 16, 0.5},
+      {1e-6, 16, 6, 53, 2.0},
+  };
+  for (CodeLayout layout :
+       {CodeLayout::kSnapshotMajor, CodeLayout::kParticleMajor}) {
+    for (const Case& c : cases) {
+      const BlockCodec codec(c.eb, c.scale, layout);
+      const auto buffer = MakeBuffer(c.s, c.n, c.s * 100 + c.n, c.step);
+      for (Method method :
+           {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+        EncodedBlock reference;
+        std::vector<std::vector<double>> ref_decoded;
+        {
+          ScopedSimdVariant scoped(util::SimdVariant::kScalar);
+          reference = codec.Encode(method, buffer, PredictorState(),
+                                   UnitLevels());
+          PredictorState state;
+          ASSERT_TRUE(codec.Decode(reference.bytes, c.n, &state, &ref_decoded)
+                          .ok());
+        }
+        for (const BlockKernels* k : RegisteredBlockKernels()) {
+          ScopedSimdVariant scoped(k->variant);
+          const EncodedBlock block =
+              codec.Encode(method, buffer, PredictorState(), UnitLevels());
+          EXPECT_EQ(block.bytes, reference.bytes)
+              << k->name << " method " << static_cast<int>(method)
+              << " n=" << c.n;
+          PredictorState state;
+          std::vector<std::vector<double>> decoded;
+          ASSERT_TRUE(codec.Decode(reference.bytes, c.n, &state, &decoded)
+                          .ok())
+              << k->name;
+          ASSERT_EQ(decoded.size(), ref_decoded.size());
+          for (size_t t = 0; t < decoded.size(); ++t) {
+            ASSERT_EQ(std::memcmp(decoded[t].data(), ref_decoded[t].data(),
+                                  c.n * sizeof(double)),
+                      0)
+                << k->name << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockCodecTest, CompressFieldByteIdenticalAcrossVariantsAndThreads) {
+  // Full-pipeline identity: ADP trials, Huffman (multi-symbol decode on the
+  // SIMD variants), LZ match finding and the transpose all dispatch on the
+  // active variant, and none of them may change the stream or the output.
+  const auto field = MakeBuffer(40, 257, 99);
+  Options options;
+  options.error_bound = 1e-4;
+  options.buffer_size = 8;
+  options.adaptation_interval = 2;
+
+  std::vector<uint8_t> ref_bytes;
+  std::vector<std::vector<double>> ref_values;
+  {
+    ScopedSimdVariant scoped(util::SimdVariant::kScalar);
+    auto compressed = CompressField(field, options);
+    ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+    ref_bytes = std::move(compressed).value();
+    auto decompressed = DecompressField(ref_bytes);
+    ASSERT_TRUE(decompressed.ok());
+    ref_values = std::move(decompressed).value();
+  }
+
+  for (const BlockKernels* k : RegisteredBlockKernels()) {
+    for (size_t threads : {size_t{0}, size_t{2}, size_t{4}}) {
+      ScopedSimdVariant scoped(k->variant);
+      ThreadPool pool(threads > 0 ? threads : 1);
+      Options opt = options;
+      opt.pool = threads > 0 ? &pool : nullptr;
+      auto compressed = CompressField(field, opt);
+      ASSERT_TRUE(compressed.ok()) << k->name;
+      EXPECT_EQ(compressed.value(), ref_bytes)
+          << k->name << " threads=" << threads;
+      auto decompressed = DecompressField(compressed.value());
+      ASSERT_TRUE(decompressed.ok()) << k->name;
+      ASSERT_EQ(decompressed.value().size(), ref_values.size());
+      for (size_t t = 0; t < ref_values.size(); ++t) {
+        ASSERT_EQ(std::memcmp(decompressed.value()[t].data(),
+                              ref_values[t].data(),
+                              ref_values[t].size() * sizeof(double)),
+                  0)
+            << k->name << " threads=" << threads << " t=" << t;
+      }
+    }
   }
 }
 

@@ -310,7 +310,10 @@ class ArchiveV2FuzzTest : public ::testing::Test {
     options.enable_interpolation = true;  // exercise TI chain frames too
     auto compressed = core::CompressTrajectory(traj, options);
     ASSERT_TRUE(compressed.ok());
-    path_ = ::testing::TempDir() + "/fuzz_v2.mdza";
+    // Unique per test: ctest runs fixture tests as parallel processes, and a
+    // shared path lets one test read another's freshly-written archive.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/fuzz_v2_" + info->name() + ".mdza";
     ASSERT_TRUE(archive::WriteV2(*compressed, "fuzz", traj.box, path_).ok());
     bytes_ = ReadAll(path_);
     ASSERT_GE(bytes_.size(), archive::kFileTailBytes);

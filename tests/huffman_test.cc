@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "codec/huffman.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
 namespace mdz::codec {
@@ -201,6 +202,62 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndSkews, HuffmanSweepTest,
     ::testing::Combine(::testing::Values(1, 2, 10, 1000, 100000),
                        ::testing::Values(0.1, 0.5, 0.9)));
+
+// The multi-symbol (pair-table) decode path is enabled on the SIMD variants;
+// it must consume exactly the same bits as the scalar one-symbol loop on
+// every stream shape, including single-symbol streams (0-bit codes), deep
+// trees and streams whose tail falls inside the peek window.
+TEST(HuffmanTest, MultiSymbolDecodeMatchesScalarVariant) {
+  const util::SimdVariant previous = util::ActiveSimdVariant();
+  std::vector<std::vector<uint32_t>> streams;
+  streams.push_back({});
+  streams.push_back({7});
+  streams.push_back(std::vector<uint32_t>(999, 5));  // single-symbol: 0 bits
+  {
+    Rng rng(77);
+    std::vector<uint32_t> skewed;  // short codes: pairs fit the peek window
+    for (int i = 0; i < 50000; ++i) {
+      uint32_t s = 0;
+      while (s < 63 && rng.NextDouble() < 0.6) ++s;
+      skewed.push_back(s);
+    }
+    streams.push_back(std::move(skewed));
+    std::vector<uint32_t> wide;  // near-uniform wide alphabet: long codes
+    for (int i = 0; i < 20000; ++i) {
+      wide.push_back(static_cast<uint32_t>(rng.UniformInt(5000)));
+    }
+    streams.push_back(std::move(wide));
+    std::vector<uint32_t> odd;  // odd count: the pair loop ends on a single
+    for (int i = 0; i < 12345; ++i) {
+      odd.push_back(static_cast<uint32_t>(rng.UniformInt(17)));
+    }
+    streams.push_back(std::move(odd));
+  }
+  for (const auto& symbols : streams) {
+    const uint32_t alphabet =
+        symbols.empty()
+            ? 16
+            : *std::max_element(symbols.begin(), symbols.end()) + 1;
+    const std::vector<uint8_t> encoded = HuffmanEncode(symbols, alphabet);
+
+    util::SetSimdVariant(util::SimdVariant::kScalar);
+    std::vector<uint32_t> scalar_out;
+    ASSERT_TRUE(HuffmanDecode(encoded, &scalar_out).ok());
+    EXPECT_EQ(scalar_out, symbols);
+
+    for (const util::SimdVariant variant :
+         {util::SimdVariant::kAvx2, util::SimdVariant::kNeon}) {
+      if (!util::SimdVariantSupported(variant)) continue;
+      util::SetSimdVariant(variant);
+      std::vector<uint32_t> simd_out;
+      ASSERT_TRUE(HuffmanDecode(encoded, &simd_out).ok());
+      EXPECT_EQ(simd_out, symbols)
+          << "variant " << util::SimdVariantName(variant) << " count "
+          << symbols.size();
+    }
+  }
+  util::SetSimdVariant(previous);
+}
 
 }  // namespace
 }  // namespace mdz::codec

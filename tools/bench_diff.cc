@@ -226,6 +226,8 @@ struct Metric {
 struct Report {
   std::string bench;
   std::string build_flags;
+  std::string simd;  // runtime SIMD variant ("scalar", "avx2", ...); may be
+                     // empty for reports that predate the field
   std::map<std::string, Metric> metrics;
 };
 
@@ -267,6 +269,11 @@ std::optional<Report> LoadReport(const std::string& path, std::string* error) {
         flags != it->second->object.end()) {
       report.build_flags = flags->second->string;
     }
+  }
+  if (auto it = root->object.find("simd");
+      it != root->object.end() &&
+      it->second->kind == JsonValue::Kind::kString) {
+    report.simd = it->second->string;
   }
   auto metrics = root->object.find("metrics");
   if (metrics == root->object.end() ||
@@ -483,6 +490,19 @@ int main(int argc, char** argv) {
                    "current \"%s\")\n",
                    label.c_str(), baseline->build_flags.c_str(),
                    current->build_flags.c_str());
+    }
+    // Same story for the dispatched SIMD variant: a scalar run compared
+    // against an avx2 baseline reads as a throughput regression that is
+    // really a host/override difference. Annotate, never gate — ratio
+    // metrics stay byte-identical across variants by construction.
+    if (!baseline->simd.empty() && !current->simd.empty() &&
+        baseline->simd != current->simd) {
+      std::fprintf(stderr,
+                   "NOTE  %s: SIMD variant differs (baseline \"%s\" vs "
+                   "current \"%s\"); throughput deltas reflect dispatch, "
+                   "not code changes\n",
+                   label.c_str(), baseline->simd.c_str(),
+                   current->simd.c_str());
     }
     DiffReports(label, *baseline, *current, options, &counts);
   }

@@ -17,7 +17,7 @@
 # After the matrix, a telemetry smoke step compresses a generated trajectory
 # with --metrics-json/--metrics-prom/--trace and validates the artifacts
 # with tools/check_telemetry.sh, audits the archive against its original,
-# and a bench smoke step runs two figure benches, pipeline_stages, and the
+# and a bench smoke step runs three figure benches, pipeline_stages, and the
 # archive random-access and streaming benches at a small scale, archives
 # their BENCH_*.json reports under the build root and
 # gates the compression ratios against the committed bench/baselines via
@@ -39,11 +39,22 @@ run_config() {
   "$@"
 }
 
-run_config address \
-  sh -c "cd '${BUILD_ROOT}/address' && ctest --output-on-failure -j '${JOBS}'"
+# SIMD leg of the matrix: the address leg pins MDZ_SIMD=scalar and the
+# undefined leg runs the best variant the host supports (avx2 when present,
+# otherwise the probe's default). Every kernel variant is property-tested
+# against scalar inside the suite either way; the pinning ensures both the
+# scalar reference and the dispatched SIMD code run under sanitizers.
+SIMD_BEST="scalar"
+if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+  SIMD_BEST="avx2"
+fi
+echo "=== SIMD matrix: address=scalar, undefined=${SIMD_BEST} ==="
 
-run_config undefined \
-  sh -c "cd '${BUILD_ROOT}/undefined' && ctest --output-on-failure -j '${JOBS}'"
+MDZ_SIMD=scalar run_config address \
+  sh -c "cd '${BUILD_ROOT}/address' && MDZ_SIMD=scalar ctest --output-on-failure -j '${JOBS}'"
+
+MDZ_SIMD="${SIMD_BEST}" run_config undefined \
+  sh -c "cd '${BUILD_ROOT}/undefined' && MDZ_SIMD='${SIMD_BEST}' ctest --output-on-failure -j '${JOBS}'"
 
 run_config thread \
   "${BUILD_ROOT}/thread/tests/mdz_tests" \
@@ -74,12 +85,19 @@ echo "=== bench smoke + regression gate ==="
 BENCH_DIR="${BUILD_ROOT}/bench-smoke"
 rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
-for bench in fig9_quant_scale fig11_adp_vs_modes pipeline_stages \
-             bench_random_access bench_streaming; do
+for bench in fig9_quant_scale fig11_adp_vs_modes fig15_throughput \
+             pipeline_stages bench_random_access bench_streaming; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)
 done
+# micro_kernels covers every registered SIMD variant per kernel; a short
+# min_time keeps the ASan-instrumented run fast — throughput is ignored by
+# the gate anyway, the smoke checks that every variant actually runs.
+echo "--- micro_kernels (min_time=0.05) ---"
+(cd "${BENCH_DIR}" &&
+ "${BUILD_ROOT}/address/bench/micro_kernels" \
+   --benchmark_min_time=0.05 >/dev/null)
 rm -f "${BENCH_DIR}/BENCH_pipeline_metrics.json"
 ls "${BENCH_DIR}"/BENCH_*.json
 "${BUILD_ROOT}/address/tools/bench_diff" \

@@ -61,6 +61,7 @@
 #include "obs/metrics.h"
 #include "obs/quality.h"
 #include "obs/trace.h"
+#include "util/cpu.h"
 #include "util/timer.h"
 
 namespace {
@@ -149,7 +150,7 @@ int Usage() {
                "               [--metrics-prom F]\n"
                "  mdz version [--json]\n"
                "  mdz datasets\n"
-               "global flags: --quiet\n");
+               "global flags: --quiet --simd scalar|avx2|neon\n");
   return kExitUsage;
 }
 
@@ -206,6 +207,7 @@ struct Flags {
   std::string snapshots;      // `extract --snapshots a:b` (half-open range)
   std::string particles;      // `extract --particles p:q` (half-open range)
   uint32_t cache_frames = 32;  // `extract`: decoded-frame LRU capacity
+  std::string simd;  // kernel variant override (scalar|avx2|neon); "" = auto
 
   bool telemetry() const {
     return !metrics_json.empty() || !metrics_prom.empty() ||
@@ -277,6 +279,13 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
                              ParseUint(v, arg, UINT32_MAX));
         flags.cache_frames = static_cast<uint32_t>(parsed);
+      } else if (arg == "--simd") {
+        MDZ_ASSIGN_OR_RETURN(flags.simd, next_value());
+        if (!mdz::util::ParseSimdVariant(flags.simd).has_value()) {
+          return Status::InvalidArgument(
+              "unknown --simd variant: \"" + flags.simd +
+              "\" (expected scalar, avx2 or neon)");
+        }
       } else if (arg == "--json") {
         flags.json = true;
       } else if (arg == "--quiet") {
@@ -1014,6 +1023,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   auto flags = Flags::Parse(argc, argv, 2);
   if (!flags.ok()) return Fail(flags.status());
+
+  if (!flags->simd.empty()) {
+    // Validated during parsing; unsupported-on-host variants fall back to
+    // scalar (output is byte-identical either way — see docs/KERNELS.md).
+    mdz::util::SetSimdVariant(*mdz::util::ParseSimdVariant(flags->simd));
+  }
 
   if (command == "datasets") return CmdDatasets();
   if (command == "gen") return CmdGen(*flags);
