@@ -1,0 +1,137 @@
+// Observability overhead guard (not a paper exhibit): the same compression
+// work is timed with telemetry fully off (the default for every paper
+// bench) and with the whole PR-7 stack live — metrics, timeline recording,
+// the HTTP telemetry endpoint, and the resource sampler. The gated "x"
+// metrics are the invariants: telemetry must not change the output bytes,
+// and the off/on throughput ratio must stay near 1 (spans and counters are
+// a relaxed load and a branch when off, and cheap enough when on that the
+// compressor — not the bookkeeping — dominates).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/mdz.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeline.h"
+
+namespace {
+
+// Best-of-N wall time for one full compression of `traj`; returns the
+// compressed size through `out_bytes` for the byte-identity check.
+double BestCompressSeconds(const mdz::core::Trajectory& traj,
+                          const mdz::core::Options& options, int reps,
+                          std::string* out_bytes) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mdz::WallTimer timer;
+    auto compressed = mdz::core::CompressTrajectory(traj, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "FATAL: compress: %s\n",
+                   compressed.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (r == 0) {
+      out_bytes->clear();
+      for (const auto& axis : compressed->axes) {
+        out_bytes->append(reinterpret_cast<const char*>(axis.data()),
+                          axis.size());
+      }
+    }
+    if (best == 0.0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Observability overhead: telemetry off vs metrics+timeline+HTTP "
+      "endpoint live (eps=1e-3, ADP) ===\n\n");
+
+  mdz::bench::TablePrinter table({"Dataset", "Off MB/s", "On MB/s", "Off/On"},
+                                 14);
+  table.PrintHeader();
+
+  mdz::bench::BenchReport report("obs_overhead");
+  const int kReps = 3;
+
+  for (const char* dataset : {"Copper-B", "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(dataset);
+    const size_t raw_bytes = traj.raw_bytes();
+
+    mdz::core::Options options;
+    options.error_bound = 1e-3;
+
+    // Telemetry off: the production default every other bench runs under.
+    mdz::obs::SetEnabled(false);
+    mdz::obs::Timeline::Global().SetRecording(false);
+    std::string off_bytes;
+    const double off_seconds =
+        BestCompressSeconds(traj, options, kReps, &off_bytes);
+
+    // Full stack on: metrics + timeline recording + live endpoint + sampler.
+    mdz::obs::SetEnabled(true);
+    mdz::obs::PreRegisterCoreMetrics();
+    mdz::obs::Timeline::Global().SetRecording(true);
+    mdz::obs::BeginTrace();
+    mdz::obs::TelemetryServer server;
+    mdz::obs::ListenAddress address;
+    if (mdz::obs::ParseListenAddress("127.0.0.1:0", &address).ok()) {
+      const mdz::Status started = server.Start(address);
+      if (!started.ok()) {
+        std::fprintf(stderr, "warning: no live endpoint: %s\n",
+                     started.ToString().c_str());
+      }
+    }
+    mdz::obs::ResourceSampler sampler;
+    sampler.Start(/*interval_ms=*/50);
+    std::string on_bytes;
+    const double on_seconds =
+        BestCompressSeconds(traj, options, kReps, &on_bytes);
+    sampler.Stop();
+    server.Stop();
+    mdz::obs::Timeline::Global().SetRecording(false);
+    mdz::obs::Timeline::Global().Reset();
+    mdz::obs::SetEnabled(false);
+
+    const auto mbps = [raw_bytes](double seconds) {
+      return seconds <= 0.0 ? 0.0 : raw_bytes / 1e6 / seconds;
+    };
+    const double ratio =
+        on_seconds <= 0.0 ? 0.0 : off_seconds > 0.0 ? on_seconds / off_seconds
+                                                    : 0.0;
+    const bool identical = !off_bytes.empty() && off_bytes == on_bytes;
+    // 15% budget for the live stack: the real cost is a couple percent, the
+    // headroom absorbs shared-runner timing noise without hiding a
+    // pathological regression (a hot-path lock would blow far past it).
+    const bool within_budget =
+        off_seconds > 0.0 && on_seconds <= off_seconds * 1.15;
+
+    table.PrintRow({dataset, mdz::bench::Fmt(mbps(off_seconds), 1),
+                    mdz::bench::Fmt(mbps(on_seconds), 1),
+                    mdz::bench::Fmt(ratio, 3)});
+
+    report.Add(std::string(dataset) + "/off_mbps", mbps(off_seconds), "MB/s");
+    report.Add(std::string(dataset) + "/on_mbps", mbps(on_seconds), "MB/s");
+    // Informational only ("ratio" is not a gated unit): on/off wall time.
+    report.Add(std::string(dataset) + "/on_over_off_time", ratio, "ratio");
+    // Exact invariants, gated at unit "x": 1 = holds, 0 = broken.
+    report.Add(std::string(dataset) + "/bytes_identical",
+               identical ? 1.0 : 0.0, "x");
+    report.Add(std::string(dataset) + "/on_within_budget",
+               within_budget ? 1.0 : 0.0, "x");
+  }
+
+  report.Emit();
+  std::printf(
+      "\nExpected shape: identical output bytes in both modes, and an\n"
+      "on/off time ratio near 1.0 — the compressor dominates, telemetry\n"
+      "bookkeeping (relaxed atomics, per-thread rings, a poll loop on its\n"
+      "own thread) stays in the noise.\n");
+  return 0;
+}

@@ -293,7 +293,7 @@ struct ArchiveReader::Impl {
   Result<std::vector<core::Snapshot>> ReadRange(size_t first, size_t count,
                                                 size_t first_particle,
                                                 size_t particle_count) {
-    MDZ_SPAN("archive_extract");
+    MDZ_SPAN_ARGS("archive_extract", "first", first, "count", count);
     const size_t total = footer.num_snapshots;
     const size_t n = footer.num_particles;
     if (first > total || count > total - first) {

@@ -274,7 +274,7 @@ struct ArchiveWriter::Impl {
   // the pool) and flushes the frames they produced.
   Status FlushWindow() {
     if (window.empty()) return Status::OK();
-    MDZ_SPAN("archive_flush");
+    MDZ_SPAN_ARGS("archive_flush", "snapshots", window.size());
     std::array<Status, 3> statuses;
     const auto feed = [&](size_t axis) {
       for (const core::Snapshot& s : window) {

@@ -152,7 +152,8 @@ struct FieldCompressor::Impl {
 
   Status FlushBuffer() {
     if (buffer.empty()) return Status::OK();
-    MDZ_SPAN("flush_buffer");
+    MDZ_SPAN_ARGS("flush_buffer", "block", stats.buffers_out, "snapshots",
+                  buffer.size());
     MDZ_RETURN_IF_ERROR(EnsureHeader());
     EnsureLevels();
 
@@ -188,7 +189,9 @@ struct FieldCompressor::Impl {
         }
         std::vector<EncodedBlock> trials(candidates.size());
         const auto encode_trial = [&](size_t k) {
-          MDZ_SPAN("adp_trial");
+          MDZ_SPAN_ARGS("adp_trial", "method",
+                        static_cast<uint64_t>(candidates[k]), "block",
+                        stats.buffers_out);
           trials[k] = codec.Encode(candidates[k], buffer, state, levels);
         };
         if (options.pool != nullptr && !options.pool->serial()) {

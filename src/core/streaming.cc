@@ -9,12 +9,17 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 
 namespace mdz::core {
 
 namespace {
 
 constexpr size_t kDefaultQueueCapacity = 8;
+
+bool Cancelled(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
 
 // Bounded single-producer single-consumer hand-off queue. The producer (the
 // pump's reader thread) blocks when the queue is full — that is what keeps
@@ -99,10 +104,15 @@ void RecordStreamTelemetry(const StreamStats& stats) {
   obs::RecordPeakRss();
 }
 
-Result<StreamStats> PumpSerial(SnapshotSource* source, SnapshotSink* sink) {
+Result<StreamStats> PumpSerial(SnapshotSource* source, SnapshotSink* sink,
+                               const std::atomic<bool>* cancel) {
   StreamStats stats;
   Snapshot snapshot;
   while (true) {
+    if (Cancelled(cancel)) {
+      stats.cancelled = true;
+      break;
+    }
     bool more = false;
     {
       MDZ_SPAN("stream_read");
@@ -134,7 +144,7 @@ Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
   if (source == nullptr || sink == nullptr) {
     return Status::InvalidArgument("streaming pump needs a source and a sink");
   }
-  if (!options.overlap_io) return PumpSerial(source, sink);
+  if (!options.overlap_io) return PumpSerial(source, sink, options.cancel);
 
   const size_t capacity = options.queue_capacity > 0 ? options.queue_capacity
                                                      : kDefaultQueueCapacity;
@@ -143,10 +153,18 @@ Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
   // The reader must be a dedicated thread, not a pool task: it blocks on the
   // queue while the consumer drives compression, and compression fans its
   // own work onto the shared pool — parking a blocking producer there could
-  // deadlock the pool against itself.
-  std::thread producer([&]() {
+  // deadlock the pool against itself. It adopts the caller's trace context
+  // so its stream_read spans stay in the request's span tree.
+  const obs::TraceContext trace_context = obs::CurrentTraceContext();
+  std::thread producer([&, trace_context]() {
+    obs::SetTimelineThreadName("stream-reader");
+    obs::ScopedTraceContext adopted(trace_context);
     Snapshot snapshot;
     while (true) {
+      if (Cancelled(options.cancel)) {
+        queue.SetDone(Status::OK());
+        return;
+      }
       Result<bool> more = [&]() -> Result<bool> {
         MDZ_SPAN("stream_read");
         return source->Next(&snapshot);
@@ -168,6 +186,10 @@ Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
   Status source_status = Status::OK();
   Snapshot snapshot;
   while (true) {
+    if (Cancelled(options.cancel)) {
+      queue.Close();
+      break;
+    }
     size_t queued_behind = 0;
     Result<bool> more = queue.Pop(&snapshot, &queued_behind);
     if (!more.ok()) {
@@ -193,6 +215,7 @@ Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
   producer.join();
   stats.source_stalls = queue.source_stalls();
   stats.sink_stalls = queue.sink_stalls();
+  stats.cancelled = Cancelled(options.cancel);
   MDZ_RETURN_IF_ERROR(sink_status);
   MDZ_RETURN_IF_ERROR(source_status);
   {

@@ -12,6 +12,7 @@
 // adapters live in src/io (io/streaming.h), which can see both this layer
 // and src/archive.
 
+#include <atomic>
 #include <cstddef>
 
 #include "core/trajectory.h"
@@ -59,6 +60,13 @@ struct StreamOptions {
   // Read ahead on a dedicated thread so source I/O overlaps sink compute
   // (double buffering). False pulls and pushes on the calling thread.
   bool overlap_io = true;
+
+  // Cooperative cancellation (the CLI's SIGINT/SIGTERM handler sets this
+  // from signal context). When the pointed-to flag turns true the pump
+  // stops pulling from the source, but still calls sink->Finish() — the
+  // archive written so far is sealed and readable — and returns OK with
+  // StreamStats::cancelled set. nullptr means not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct StreamStats {
@@ -66,6 +74,7 @@ struct StreamStats {
   size_t peak_in_flight = 0;   // max queue + in-hand + sink-buffered
   size_t source_stalls = 0;    // sink waited on an empty queue
   size_t sink_stalls = 0;      // source waited on a full queue
+  bool cancelled = false;      // stopped early via StreamOptions::cancel
 };
 
 // Streaming driver. Pump() drains `source` into `sink` (calling

@@ -93,6 +93,7 @@ size_t ThreadPool::ClaimIterationLocked(Batch* batch) {
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::SetTimelineThreadName("pool-worker");
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -102,7 +103,12 @@ void ThreadPool::WorkerLoop() {
     Batch* batch = queue_.front();
     const size_t i = ClaimIterationLocked(batch);
     lock.unlock();
-    RunIteration(*batch->fn, i);
+    {
+      // Adopt the submitter's trace context for the duration of the
+      // iteration: spans opened by the task parent onto the submitting span.
+      obs::ScopedTraceContext context(batch->context);
+      RunIteration(*batch->fn, i);
+    }
     {
       std::lock_guard<std::mutex> done_lock(batch->done_mu);
       ++batch->completed;
@@ -133,6 +139,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 
   Batch batch;
   batch.fn = &fn;
+  batch.context = obs::CurrentTraceContext();
   batch.begin = begin;
   batch.end = end;
   batch.next = begin;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/timeline.h"
+
 namespace mdz::core {
 
 // Fixed-size, exception-free thread pool shared by every parallel code path
@@ -66,6 +68,10 @@ class ThreadPool {
   // iteration by workers and the submitting thread.
   struct Batch {
     const std::function<void(size_t)>* fn = nullptr;
+    // Submitter's trace context, captured at submit time and adopted by
+    // workers around each claimed iteration, so spans opened inside pool
+    // tasks stay parented to the submitting request's span tree.
+    obs::TraceContext context;
     size_t begin = 0;
     size_t end = 0;
     size_t next = 0;       // next unclaimed iteration (guarded by pool mu_)

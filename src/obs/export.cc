@@ -109,6 +109,24 @@ std::string PromLabelEscape(const std::string& s) {
   return out;
 }
 
+// HELP text escapes backslash and newline (quotes are legal there, but the
+// registry's raw metric name is interpolated into the line, so a name
+// containing a newline must not be able to forge extra exposition lines).
+std::string PromHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ToPrometheus(const MetricsRegistry& registry) {
@@ -124,19 +142,19 @@ std::string ToPrometheus(const MetricsRegistry& registry) {
          PromLabelEscape(build.flags) + "\"} 1\n";
   for (const auto& [name, value] : snap.counters) {
     const std::string prom = PromName(name);
-    out += "# HELP " + prom + " MDZ counter '" + name + "'\n";
+    out += "# HELP " + prom + " MDZ counter '" + PromHelpEscape(name) + "'\n";
     out += "# TYPE " + prom + " counter\n";
     out += prom + ' ' + std::to_string(value) + '\n';
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string prom = PromName(name);
-    out += "# HELP " + prom + " MDZ gauge '" + name + "'\n";
+    out += "# HELP " + prom + " MDZ gauge '" + PromHelpEscape(name) + "'\n";
     out += "# TYPE " + prom + " gauge\n";
     out += prom + ' ' + std::to_string(value) + '\n';
   }
   for (const auto& h : snap.histograms) {
     const std::string prom = PromName(h.name);
-    out += "# HELP " + prom + " MDZ histogram '" + h.name + "'\n";
+    out += "# HELP " + prom + " MDZ histogram '" + PromHelpEscape(h.name) + "'\n";
     out += "# TYPE " + prom + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.bucket_counts.size(); ++i) {

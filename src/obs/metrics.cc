@@ -158,6 +158,34 @@ int64_t RecordPeakRss() {
 #endif
 }
 
+void PreRegisterCoreMetrics() {
+  auto& registry = MetricsRegistry::Global();
+  // Counter/gauge names used anywhere in the library (grep MDZ_COUNTER_ADD /
+  // GetCounter / GetGauge; the catalog lives in docs/OBSERVABILITY.md).
+  static constexpr const char* kCounters[] = {
+      "compress/blocks",       "compress/blocks_vq",
+      "compress/blocks_vqt",   "compress/blocks_mt",
+      "compress/blocks_ti",    "compress/bytes_out",
+      "compress/bytes_raw",    "compress/escapes",
+      "compress/adaptations",  "compress/snapshots_in",
+      "compress/streams",      "decompress/blocks",
+      "decompress/snapshots",  "decompress/bytes_in",
+      "decompress/bytes_out",  "decompress/corruption_errors",
+      "pool/batches",          "pool/tasks",
+      "pool/busy_ns",          "stream/snapshots",
+      "stream/source_stalls",  "stream/sink_stalls",
+      "archive/frames_written", "archive/frames_decoded",
+      "archive/cache_hit",     "archive/cache_miss",
+      "archive/reference_decodes", "audit/nonfinite_inputs",
+  };
+  static constexpr const char* kGauges[] = {
+      "pool/queue_depth",      "stream/peak_in_flight",
+      "process/peak_rss_bytes", "resource/rss_bytes",
+  };
+  for (const char* name : kCounters) registry.GetCounter(name);
+  for (const char* name : kGauges) registry.GetGauge(name);
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snapshot;

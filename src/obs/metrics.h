@@ -105,6 +105,13 @@ std::span<const double> DurationBuckets();
 // telemetry is disabled.
 int64_t RecordPeakRss();
 
+// Registers (at value 0) every statically-known counter and gauge family in
+// the tree. Called before serving live /metrics so a scrape early in a run
+// exposes the same families the end-of-run dump will — Prometheus treats a
+// family that appears mid-run as a new series, which breaks rate() over the
+// transition. Span histograms are path-dependent and stay lazy.
+void PreRegisterCoreMetrics();
+
 // Name-keyed registry. Global() is the process-wide instance every
 // instrumentation site records into; separate instances can be built for
 // tests. Reset() zeroes values but keeps registrations, so cached pointers

@@ -14,13 +14,38 @@ thread_local std::vector<const char*> tls_span_stack;
 
 SpanTimer::SpanTimer(const char* name) {
   if (!Enabled()) return;
+  Begin(name, nullptr, 0, nullptr, 0);
+}
+
+SpanTimer::SpanTimer(const char* name, const char* k0, uint64_t v0,
+                     const char* k1, uint64_t v1) {
+  if (!Enabled()) return;
+  Begin(name, k0, v0, k1, v1);
+}
+
+void SpanTimer::Begin(const char* name, const char* k0, uint64_t v0,
+                      const char* k1, uint64_t v1) {
   active_ = true;
+  name_ = name;
   tls_span_stack.push_back(name);
   path_.reserve(64);
   path_ = "span";
   for (const char* part : tls_span_stack) {
     path_ += '/';
     path_ += part;
+  }
+  Timeline& timeline = Timeline::Global();
+  if (timeline.recording()) {
+    // Become the thread's innermost span: children (and pool tasks
+    // submitted from this scope) parent onto span_id_.
+    span_id_ = NextSpanId();
+    saved_span_id_ = ExchangeCurrentSpanId(span_id_);
+    if (k0 != nullptr) {
+      timeline.Record(name, EventPhase::kBegin, span_id_, saved_span_id_, k0,
+                      v0, k1, v1);
+    } else {
+      timeline.Record(name, EventPhase::kBegin, span_id_, saved_span_id_);
+    }
   }
   start_ = std::chrono::steady_clock::now();
 }
@@ -31,6 +56,15 @@ SpanTimer::~SpanTimer() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   tls_span_stack.pop_back();
+  if (span_id_ != 0) {
+    // Restore parentage even if recording flipped off mid-span; the end
+    // event itself is dropped in that case (RecentSpans tolerates it).
+    Timeline& timeline = Timeline::Global();
+    if (timeline.recording()) {
+      timeline.Record(name_, EventPhase::kEnd, span_id_, saved_span_id_);
+    }
+    ExchangeCurrentSpanId(saved_span_id_);
+  }
   // Telemetry may have been flipped off mid-span; still record, the registry
   // write is harmless and the pop above must happen regardless.
   MetricsRegistry::Global()

@@ -9,30 +9,49 @@
 // worker, so pool-offloaded stages (ADP trials, block decodes) show up as
 // top-level spans rather than under their submitter.
 //
+// When the global Timeline is recording, every span additionally emits
+// begin/end timeline events carrying the thread's TraceContext (trace-id +
+// parent span-id) — the aggregate histogram becomes a full per-thread
+// timeline, and cross-thread hand-offs stay connected because the pool and
+// the streaming pump propagate the context (obs/timeline.h).
+// MDZ_SPAN_ARGS attaches up to two integer args (block index, method byte)
+// to the begin event.
+//
 // When telemetry is disabled (obs::Enabled() == false) the constructor is a
 // relaxed load and a branch — no clock read, no allocation. Compiling with
 // MDZ_OBS_DISABLED removes the spans entirely.
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace mdz::obs {
 
-// RAII scope timer; prefer the MDZ_SPAN macro. `name` must outlive the span
-// (string literals only).
+// RAII scope timer; prefer the MDZ_SPAN / MDZ_SPAN_ARGS macros. `name` and
+// arg keys must outlive the span (string literals only).
 class SpanTimer {
  public:
   explicit SpanTimer(const char* name);
+  SpanTimer(const char* name, const char* k0, uint64_t v0,
+            const char* k1 = nullptr, uint64_t v1 = 0);
   ~SpanTimer();
 
   SpanTimer(const SpanTimer&) = delete;
   SpanTimer& operator=(const SpanTimer&) = delete;
 
  private:
+  void Begin(const char* name, const char* k0, uint64_t v0, const char* k1,
+             uint64_t v1);
+
   bool active_ = false;
+  const char* name_ = "";
   std::string path_;  // "span/<joined hierarchy>"
+  // Timeline identity: 0 when the timeline was not recording at entry.
+  uint64_t span_id_ = 0;
+  uint64_t saved_span_id_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -45,9 +64,16 @@ size_t SpanDepthForTest();
 #ifndef MDZ_OBS_DISABLED
 #define MDZ_SPAN(name) \
   ::mdz::obs::SpanTimer MDZ_OBS_CONCAT_(_mdz_span_, __LINE__)(name)
+// Span with up to two integer args on its timeline begin event, e.g.
+// MDZ_SPAN_ARGS("flush_buffer", "block", index, "method", method_byte).
+#define MDZ_SPAN_ARGS(name, ...) \
+  ::mdz::obs::SpanTimer MDZ_OBS_CONCAT_(_mdz_span_, __LINE__)(name, __VA_ARGS__)
 #else
 #define MDZ_SPAN(name) \
   do {                 \
+  } while (false)
+#define MDZ_SPAN_ARGS(name, ...) \
+  do {                           \
   } while (false)
 #endif
 

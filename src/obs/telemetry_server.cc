@@ -1,0 +1,333 @@
+#include "obs/telemetry_server.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/build_info.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+#ifndef MDZ_OBS_DISABLED
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <chrono>
+#include <cstring>
+#endif
+
+namespace mdz::obs {
+
+// ParseListenAddress stays available under MDZ_OBS_DISABLED so --listen
+// validation behaves identically in every build (the server Start() is
+// what reports "compiled out").
+Status ParseListenAddress(const std::string& text, ListenAddress* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return Status::InvalidArgument("--listen expects host:port, got '" +
+                                   text + "'");
+  }
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  // Host: "localhost" or IPv4 dotted-quad (digits and dots only; the
+  // socket layer validates quad ranges at bind time via inet_pton).
+  if (host != "localhost") {
+    for (char c : host) {
+      if ((c < '0' || c > '9') && c != '.') {
+        return Status::InvalidArgument("--listen host must be IPv4 or "
+                                       "'localhost', got '" +
+                                       host + "'");
+      }
+    }
+  }
+  uint64_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("--listen port must be numeric, got '" +
+                                     port_text + "'");
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("--listen port out of range (0-65535): " +
+                                     port_text);
+    }
+  }
+  out->host = host;
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+#ifndef MDZ_OBS_DISABLED
+
+namespace {
+
+// Current resident set in bytes (Linux /proc; falls back to the peak from
+// getrusage elsewhere).
+uint64_t CurrentRssBytes() {
+  uint64_t rss_pages = 0;
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long total = 0, resident = 0;
+    if (std::fscanf(f, "%llu %llu", &total, &resident) == 2) {
+      rss_pages = resident;
+    }
+    std::fclose(f);
+  }
+  if (rss_pages == 0) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string TracezJson(Timeline& timeline) {
+  const std::vector<SpanSummary> spans = RecentSpans(timeline, 64);
+  std::string out = "{\"schema\":\"mdz.tracez.v1\",\"dropped\":" +
+                    std::to_string(timeline.dropped()) + ",\"spans\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    // Span names are compile-time literals (no escaping needed beyond
+    // sanity), but escape quotes/backslashes defensively.
+    for (const char* p = s.name; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out += '\\';
+      out += *p;
+    }
+    out += "\",\"trace_id\":" + std::to_string(s.trace_id) +
+           ",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_span_id\":" + std::to_string(s.parent_span_id) +
+           ",\"tid\":" + std::to_string(s.tid) +
+           ",\"start_ns\":" + std::to_string(s.start_ns) +
+           ",\"duration_ns\":" + std::to_string(s.duration_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+// --- TelemetryServer --------------------------------------------------------
+
+TelemetryServer::TelemetryServer(const MetricsRegistry* registry,
+                                 Timeline* timeline)
+    : registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
+      timeline_(timeline != nullptr ? timeline : &Timeline::Global()) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(const ListenAddress& address) {
+  if (running()) return Status::FailedPrecondition("server already running");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  const std::string host =
+      address.host == "localhost" ? "127.0.0.1" : address.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("--listen host is not a valid IPv4 "
+                                   "address: " +
+                                   address.host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("bind failed for " + address.host + ":" +
+                            std::to_string(address.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("listen failed for " + address.host + ":" +
+                            std::to_string(address.port));
+  }
+  // Resolve the bound port (meaningful when the caller asked for port 0).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = address.port;
+  }
+
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryServer::Serve() {
+  SetTimelineThreadName("telemetry-server");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (recheck stopping_) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::HandleConnection(int client_fd) {
+  // Read until the end of the request head (or 2 s of silence); GET
+  // requests have no body worth waiting for.
+  std::string request;
+  char buf[2048];
+  for (int rounds = 0; rounds < 20; ++rounds) {
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/100) <= 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+    if (request.size() > 16 * 1024) break;  // oversized head: reject below
+  }
+
+  std::string response;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  // Request line: METHOD SP target SP version.
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = HttpResponse(400, "Bad Request", "text/plain",
+                            "malformed request line\n");
+  } else if (line.substr(0, sp1) != "GET") {
+    response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else {
+    response = RouteRequest(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n =
+        ::write(client_fd, response.data() + off, response.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string TelemetryServer::RouteRequest(const std::string& target) {
+  // Strip any query string; routes take no parameters.
+  const std::string path = target.substr(0, target.find('?'));
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                        ToPrometheus(*registry_));
+  }
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/buildz") {
+    return HttpResponse(200, "OK", "application/json", BuildInfoJson() + "\n");
+  }
+  if (path == "/tracez") {
+    return HttpResponse(200, "OK", "application/json",
+                        TracezJson(*timeline_) + "\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "unknown path (try /metrics, /healthz, /buildz, "
+                      "/tracez)\n");
+}
+
+// --- ResourceSampler --------------------------------------------------------
+
+ResourceSampler::ResourceSampler(Timeline* timeline,
+                                 std::function<uint64_t()> queue_depth_fn,
+                                 std::function<uint64_t()> bytes_fn)
+    : timeline_(timeline != nullptr ? timeline : &Timeline::Global()),
+      queue_depth_fn_(std::move(queue_depth_fn)),
+      bytes_fn_(std::move(bytes_fn)) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start(uint64_t interval_ms) {
+  if (started_) return;
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  SampleOnce();
+  thread_ = std::thread([this, interval_ms] { Loop(interval_ms); });
+}
+
+void ResourceSampler::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  // Final sample so short runs still carry at least two points per track.
+  SampleOnce();
+}
+
+void ResourceSampler::Loop(uint64_t interval_ms) {
+  SetTimelineThreadName("resource-sampler");
+  const auto interval = std::chrono::milliseconds(
+      interval_ms == 0 ? 1 : interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Sleep in short slices so Stop() is prompt even at long intervals.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (std::chrono::steady_clock::now() < next) continue;
+    next += interval;
+    SampleOnce();
+  }
+}
+
+void ResourceSampler::SampleOnce() {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t rss = CurrentRssBytes();
+  if (Enabled()) {
+    MetricsRegistry::Global().GetGauge("resource/rss_bytes")->Set(
+        static_cast<int64_t>(rss));
+  }
+  if (timeline_->recording()) {
+    timeline_->RecordCounter("resource/rss_mb", "mb", rss >> 20);
+    if (queue_depth_fn_) {
+      timeline_->RecordCounter("stream/queue_depth", "depth",
+                               queue_depth_fn_());
+    }
+    if (bytes_fn_) {
+      timeline_->RecordCounter("stream/bytes_in", "bytes", bytes_fn_());
+    }
+  }
+}
+
+#endif  // MDZ_OBS_DISABLED
+
+}  // namespace mdz::obs

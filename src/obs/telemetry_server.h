@@ -1,0 +1,176 @@
+#ifndef MDZ_OBS_TELEMETRY_SERVER_H_
+#define MDZ_OBS_TELEMETRY_SERVER_H_
+
+// Embedded telemetry endpoint: a tiny HTTP/1.1 server on a dedicated
+// thread, serving live views of the process's observability state while a
+// long-running command (compress --stream, append) is in flight:
+//
+//   GET /metrics  Prometheus text exposition — the same families, rendered
+//                 by the same exporter, as the end-of-run --metrics-prom
+//                 dump, so a scrape mid-run and the final file agree.
+//   GET /healthz  "ok\n" (liveness).
+//   GET /buildz   build_info JSON (obs/build_info.h).
+//   GET /tracez   recent completed spans from the timeline, JSON.
+//
+// Scope is deliberately minimal — plain POSIX sockets, blocking I/O with
+// poll() timeouts, one request served at a time, GET only — because the
+// consumer is `curl` or one Prometheus scraper, not the internet. The
+// server owns no registry or timeline: both are injected at construction
+// (defaulting to the process-wide instances), which keeps tests hermetic
+// and pushes the obs stack toward injectable plumbing.
+//
+// ResourceSampler rides along: a background thread that periodically
+// folds process resource usage (RSS) and pipeline state (queue depth,
+// bytes processed) into the registry and — when the timeline is recording
+// — emits them as counter-track events, so the exported trace shows
+// memory/throughput curves under the span rows.
+//
+// Both compile to inert stubs under MDZ_OBS_DISABLED (Start returns
+// FailedPrecondition; the CLI surfaces that as a usage error).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+class MetricsRegistry;
+class Timeline;
+
+// --- Listen-address parsing -------------------------------------------------
+
+// Parsed --listen endpoint. Host is IPv4 dotted-quad or "localhost";
+// port 0 asks the kernel for an ephemeral port (ListenAddress/port() after
+// Start() reports the bound one).
+struct ListenAddress {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Strict "host:port" parser: rejects empty host, non-numeric or
+// out-of-range port, trailing garbage. Does not resolve DNS — host must be
+// dotted-quad or "localhost". Returns InvalidArgument on malformed input
+// (the CLI maps that to exit 2).
+Status ParseListenAddress(const std::string& text, ListenAddress* out);
+
+#ifndef MDZ_OBS_DISABLED
+
+// --- TelemetryServer --------------------------------------------------------
+
+class TelemetryServer {
+ public:
+  // Serves `registry` and `timeline`; pass nullptr for the process-global
+  // instances. Does not listen yet.
+  explicit TelemetryServer(const MetricsRegistry* registry = nullptr,
+                           Timeline* timeline = nullptr);
+  ~TelemetryServer();  // implies Stop()
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Binds, listens, and starts the serving thread. InvalidArgument on an
+  // unresolvable host, Internal on bind/listen failure (port in use).
+  Status Start(const ListenAddress& address);
+
+  // Shuts the socket, joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Port actually bound (resolves port 0); 0 when not running.
+  uint16_t port() const { return port_; }
+
+  // Requests served so far (tests).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+  std::string RouteRequest(const std::string& target);
+
+  const MetricsRegistry* registry_;  // never null after ctor
+  Timeline* timeline_;               // never null after ctor
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+// --- ResourceSampler --------------------------------------------------------
+
+class ResourceSampler {
+ public:
+  // `queue_depth_fn` / `bytes_fn` are optional live probes into the
+  // pipeline (e.g. streaming snapshot-queue depth, bytes compressed so
+  // far); pass nullptr-like (default) to sample process RSS only.
+  explicit ResourceSampler(Timeline* timeline = nullptr,
+                           std::function<uint64_t()> queue_depth_fn = {},
+                           std::function<uint64_t()> bytes_fn = {});
+  ~ResourceSampler();  // implies Stop()
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  // Starts sampling every `interval_ms` milliseconds on a background
+  // thread. Also takes one sample immediately.
+  void Start(uint64_t interval_ms);
+
+  // Joins the sampler thread. Idempotent.
+  void Stop();
+
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop(uint64_t interval_ms);
+  void SampleOnce();
+
+  Timeline* timeline_;  // never null after ctor
+  std::function<uint64_t()> queue_depth_fn_;
+  std::function<uint64_t()> bytes_fn_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> samples_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+#else  // MDZ_OBS_DISABLED
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(const MetricsRegistry* = nullptr,
+                           Timeline* = nullptr) {}
+  Status Start(const ListenAddress&) {
+    return Status::FailedPrecondition("telemetry compiled out");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  uint16_t port() const { return 0; }
+  uint64_t requests_served() const { return 0; }
+};
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(Timeline* = nullptr,
+                           std::function<uint64_t()> = {},
+                           std::function<uint64_t()> = {}) {}
+  void Start(uint64_t) {}
+  void Stop() {}
+  uint64_t samples_taken() const { return 0; }
+};
+
+#endif  // MDZ_OBS_DISABLED
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_TELEMETRY_SERVER_H_

@@ -1,0 +1,470 @@
+#include "obs/timeline.h"
+
+#ifndef MDZ_OBS_DISABLED
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdz::obs {
+
+namespace {
+
+// Thread-local trace context (see ScopedTraceContext / SpanTimer).
+thread_local TraceContext tls_context;
+
+// Origin of the event clock: first call wins; every ring shares it.
+std::chrono::steady_clock::time_point ClockOrigin() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext BeginTrace() {
+  tls_context.trace_id = NextTraceId();
+  tls_context.span_id = NextSpanId();
+  return tls_context;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : saved_(tls_context) {
+  tls_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
+
+uint64_t ExchangeCurrentSpanId(uint64_t span_id) {
+  const uint64_t previous = tls_context.span_id;
+  tls_context.span_id = span_id;
+  return previous;
+}
+
+uint64_t TimelineNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ClockOrigin())
+          .count());
+}
+
+// --- Per-thread ring --------------------------------------------------------
+
+// Classic bounded SPSC ring: the owning thread is the only producer, the
+// (mutex-serialized) drainer the only consumer. The producer never
+// overwrites unread slots — a full ring drops the new event and counts it —
+// so slot reads and writes are always separated by the head/tail
+// acquire/release pair and the whole structure is data-race-free (TSan-
+// verified in ObsTimelineTest.ConcurrentWritersVsDrain).
+struct Timeline::Ring {
+  explicit Ring(size_t capacity)
+      : capacity(capacity), slots(capacity), tid(0) {}
+
+  const size_t capacity;
+  std::vector<TimelineEvent> slots;
+  std::atomic<uint64_t> head{0};  // next slot the producer writes
+  std::atomic<uint64_t> tail{0};  // next slot the drainer reads
+  std::atomic<uint64_t> dropped{0};
+  uint32_t tid;
+
+  // Producer side (owning thread only).
+  void Push(const TimelineEvent& event) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    const uint64_t t = tail.load(std::memory_order_acquire);
+    if (h - t >= capacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[h % capacity] = event;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  // Consumer side (Timeline::DrainRings, under rings_mu_).
+  size_t DrainInto(std::vector<TimelineEvent>* out) {
+    const uint64_t h = head.load(std::memory_order_acquire);
+    uint64_t t = tail.load(std::memory_order_relaxed);
+    const size_t n = static_cast<size_t>(h - t);
+    for (; t < h; ++t) out->push_back(slots[t % capacity]);
+    tail.store(h, std::memory_order_release);
+    return n;
+  }
+};
+
+namespace {
+
+// The calling thread's ring within one specific Timeline. Each thread keeps
+// one ring per Timeline instance it records into (the Global() one in
+// production; test instances have their own map entries). shared_ptr keeps
+// a ring alive for late drains after its thread exited.
+struct ThreadRings {
+  std::unordered_map<uint64_t, std::shared_ptr<Timeline::Ring>> map;
+};
+
+thread_local ThreadRings tls_rings;
+
+uint64_t NextTimelineId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<uint32_t> g_next_tid{1};
+
+uint32_t ThisThreadTid() {
+  thread_local const uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Thread names are process-wide (a tid means the same OS thread in every
+// Timeline instance) and tiny, so they live outside the rings — naming a
+// thread must not allocate an event buffer for it.
+std::mutex& ThreadNamesMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Timeline::ThreadName>& ThreadNamesLocked() {
+  static std::vector<Timeline::ThreadName>* names =
+      new std::vector<Timeline::ThreadName>();
+  return *names;
+}
+
+}  // namespace
+
+uint32_t TimelineThreadId() { return ThisThreadTid(); }
+
+void SetTimelineThreadName(const char* name) {
+  const uint32_t tid = ThisThreadTid();
+  std::lock_guard<std::mutex> lock(ThreadNamesMutex());
+  auto& names = ThreadNamesLocked();
+  for (auto& entry : names) {
+    if (entry.tid == tid) {
+      entry.name = name;
+      return;
+    }
+  }
+  names.push_back({tid, name});
+}
+
+// --- Timeline ---------------------------------------------------------------
+
+Timeline::Timeline(size_t ring_capacity, size_t store_capacity)
+    : id_(NextTimelineId()),
+      ring_capacity_(std::max<size_t>(ring_capacity, 8)),
+      store_capacity_(std::max<size_t>(store_capacity, 8)) {}
+
+Timeline::~Timeline() = default;
+
+Timeline& Timeline::Global() {
+  static Timeline* timeline = new Timeline();  // never destroyed
+  return *timeline;
+}
+
+void Timeline::SetRecording(bool on) {
+  recording_.store(on, std::memory_order_relaxed);
+}
+
+Timeline::Ring* Timeline::RingForThisThread() {
+  auto& slot = tls_rings.map[id_];
+  if (slot == nullptr) {
+    slot = std::make_shared<Ring>(ring_capacity_);
+    slot->tid = ThisThreadTid();
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(slot);
+  }
+  return slot.get();
+}
+
+void Timeline::Record(const char* name, EventPhase phase) {
+  Record(name, phase, 0, 0);
+}
+
+void Timeline::Record(const char* name, EventPhase phase, uint64_t span_id,
+                      uint64_t parent_span_id) {
+  TimelineEvent event;
+  event.name = name;
+  event.ts_ns = TimelineNowNs();
+  event.trace_id = tls_context.trace_id;
+  event.span_id = span_id;
+  event.parent_span_id =
+      parent_span_id != 0 ? parent_span_id : tls_context.span_id;
+  event.tid = ThisThreadTid();
+  event.phase = phase;
+  RingForThisThread()->Push(event);
+}
+
+void Timeline::Record(const char* name, EventPhase phase, uint64_t span_id,
+                      uint64_t parent_span_id, const char* k0, uint64_t v0,
+                      const char* k1, uint64_t v1) {
+  TimelineEvent event;
+  event.name = name;
+  event.ts_ns = TimelineNowNs();
+  event.trace_id = tls_context.trace_id;
+  event.span_id = span_id;
+  event.parent_span_id =
+      parent_span_id != 0 ? parent_span_id : tls_context.span_id;
+  event.tid = ThisThreadTid();
+  event.phase = phase;
+  event.args[event.arg_count++] = {k0, v0};
+  if (k1 != nullptr) event.args[event.arg_count++] = {k1, v1};
+  RingForThisThread()->Push(event);
+}
+
+void Timeline::RecordCounter(const char* name, const char* key,
+                             uint64_t value) {
+  TimelineEvent event;
+  event.name = name;
+  event.ts_ns = TimelineNowNs();
+  event.trace_id = tls_context.trace_id;
+  event.tid = ThisThreadTid();
+  event.phase = EventPhase::kCounter;
+  event.args[event.arg_count++] = {key, value};
+  RingForThisThread()->Push(event);
+}
+
+void Timeline::RecordForTest(const TimelineEvent& event) {
+  TimelineEvent copy = event;
+  if (copy.tid == 0) copy.tid = ThisThreadTid();
+  RingForThisThread()->Push(copy);
+}
+
+size_t Timeline::DrainRings() {
+  // rings_mu_ serializes concurrent drainers (server thread vs exporter):
+  // each ring's consumer side must be single-threaded at a time.
+  std::vector<TimelineEvent> drained;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) ring->DrainInto(&drained);
+  }
+  if (drained.empty()) return 0;
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.insert(store_.end(), drained.begin(), drained.end());
+  if (store_.size() > store_capacity_) {
+    const size_t excess = store_.size() - store_capacity_;
+    store_.erase(store_.begin(),
+                 store_.begin() + static_cast<ptrdiff_t>(excess));
+    store_evicted_ += excess;
+  }
+  return drained.size();
+}
+
+std::vector<TimelineEvent> Timeline::Snapshot() {
+  DrainRings();
+  std::vector<TimelineEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    out = store_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+uint64_t Timeline::dropped() const {
+  uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      total += ring->dropped.load(std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return total + store_evicted_;
+}
+
+size_t Timeline::store_size() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_.size();
+}
+
+void Timeline::Reset() {
+  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  std::lock_guard<std::mutex> store_lock(store_mu_);
+  store_.clear();
+  store_evicted_ = 0;
+  for (const auto& ring : rings_) {
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Timeline::ThreadName> Timeline::thread_names() {
+  std::lock_guard<std::mutex> lock(ThreadNamesMutex());
+  return ThreadNamesLocked();
+}
+
+// --- Export -----------------------------------------------------------------
+
+namespace {
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* PhaseLetter(EventPhase phase) {
+  switch (phase) {
+    case EventPhase::kBegin: return "B";
+    case EventPhase::kEnd: return "E";
+    case EventPhase::kInstant: return "i";
+    case EventPhase::kCounter: return "C";
+  }
+  return "i";
+}
+
+// Chrome's "ts" field is microseconds; keep nanosecond precision as a
+// fraction (Perfetto parses fractional us).
+void AppendTsUs(std::string* out, uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ts_ns / 1000,
+                static_cast<unsigned>(ts_ns % 1000));
+  *out += buf;
+}
+
+void AppendEventJson(std::string* out, const TimelineEvent& e) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(e.name);
+  *out += "\",\"ph\":\"";
+  *out += PhaseLetter(e.phase);
+  *out += "\",\"pid\":1,\"tid\":";
+  *out += std::to_string(e.tid);
+  *out += ",\"ts\":";
+  AppendTsUs(out, e.ts_ns);
+  if (e.phase == EventPhase::kInstant) *out += ",\"s\":\"t\"";
+  *out += ",\"args\":{";
+  bool first = true;
+  // Counter events carry only their sampled values: Chrome plots every
+  // args key of a "C" event as a series, so ids would pollute the plot.
+  if (e.phase != EventPhase::kCounter) {
+    if (e.trace_id != 0) {
+      *out += "\"trace_id\":" + std::to_string(e.trace_id);
+      first = false;
+    }
+    if (e.span_id != 0) {
+      *out += std::string(first ? "" : ",") +
+              "\"span_id\":" + std::to_string(e.span_id);
+      first = false;
+    }
+    if (e.parent_span_id != 0) {
+      *out += std::string(first ? "" : ",") +
+              "\"parent_span_id\":" + std::to_string(e.parent_span_id);
+      first = false;
+    }
+  }
+  for (uint8_t i = 0; i < e.arg_count; ++i) {
+    *out += std::string(first ? "" : ",") + "\"" + JsonEscape(e.args[i].key) +
+            "\":" + std::to_string(e.args[i].value);
+    first = false;
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(Timeline& timeline) {
+  const std::vector<TimelineEvent> events = timeline.Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Name only the rows that exist in this capture: thread names are
+  // process-wide, and a test timeline must not inherit rows from threads
+  // that never recorded into it.
+  std::unordered_set<uint32_t> tids;
+  for (const auto& event : events) tids.insert(event.tid);
+  for (const auto& name : timeline.thread_names()) {
+    if (name.name == nullptr || name.name[0] == '\0') continue;
+    if (tids.find(name.tid) == tids.end()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(name.tid) + ",\"args\":{\"name\":\"" +
+           JsonEscape(name.name) + "\"}}";
+  }
+  for (const auto& event : events) {
+    if (!first) out += ',';
+    first = false;
+    AppendEventJson(&out, event);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status WriteChromeTraceFile(Timeline& timeline, const std::string& path) {
+  const std::string json = ToChromeTraceJson(timeline);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool flush_failed = std::fflush(file) != 0;
+  std::fclose(file);
+  if (written != json.size() || flush_failed) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<SpanSummary> RecentSpans(Timeline& timeline, size_t limit) {
+  const std::vector<TimelineEvent> events = timeline.Snapshot();
+  // Pair begin/end by span_id; a span with no end yet is still open and
+  // not summarized.
+  std::unordered_map<uint64_t, const TimelineEvent*> begins;
+  std::vector<SpanSummary> spans;
+  for (const auto& event : events) {
+    if (event.phase == EventPhase::kBegin && event.span_id != 0) {
+      begins[event.span_id] = &event;
+    } else if (event.phase == EventPhase::kEnd && event.span_id != 0) {
+      auto it = begins.find(event.span_id);
+      if (it == begins.end()) continue;
+      SpanSummary s;
+      s.name = it->second->name;
+      s.trace_id = it->second->trace_id;
+      s.span_id = event.span_id;
+      s.parent_span_id = it->second->parent_span_id;
+      s.tid = it->second->tid;
+      s.start_ns = it->second->ts_ns;
+      s.duration_ns = event.ts_ns - it->second->ts_ns;
+      spans.push_back(s);
+      begins.erase(it);
+    }
+  }
+  // Newest first (by completion order ≈ start + duration).
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanSummary& a, const SpanSummary& b) {
+                     return a.start_ns + a.duration_ns >
+                            b.start_ns + b.duration_ns;
+                   });
+  if (spans.size() > limit) spans.resize(limit);
+  return spans;
+}
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_DISABLED

@@ -1,0 +1,319 @@
+#ifndef MDZ_OBS_TIMELINE_H_
+#define MDZ_OBS_TIMELINE_H_
+
+// Timeline tracing: the *when/where* companion to the metrics registry's
+// aggregate *how much*. Every instrumented scope (MDZ_SPAN and friends)
+// additionally records begin/end events — name, trace-id, span-id, parent
+// span-id, thread, nanosecond timestamps, optional integer args — into a
+// per-thread lock-free ring buffer, and a drain pass collects them into one
+// process-wide store that exports as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing). That turns "span/flush_buffer spent 1.2 s
+// total" into "this is the gap where the ADP trial on worker 3 stalled the
+// pump".
+//
+// Concurrency model, in order of importance:
+//
+//  * Recording is wait-free for the owning thread. Each thread writes only
+//    its own fixed-capacity SPSC ring; the slot is written, then the head
+//    index published with a release store. No locks, no allocation after
+//    the ring exists.
+//  * Draining never blocks recorders. The drainer (telemetry server thread,
+//    resource sampler, or the end-of-run exporter) is the single consumer
+//    of every ring: it acquires the head, copies [tail, head), then
+//    publishes the new tail. A full ring drops the *newest* event and
+//    counts it (timeline/dropped) — bounded memory beats completeness.
+//  * Trace contexts are explicit. A TraceContext (trace-id + innermost open
+//    span-id) lives in a thread-local; cross-thread hand-offs (thread-pool
+//    batches, the streaming pump's reader thread) capture it at submit time
+//    and adopt it on the far side with ScopedTraceContext, so one request
+//    is a single connected span tree no matter how many threads it crossed.
+//
+// Everything here compiles to nothing under MDZ_OBS_DISABLED, and costs one
+// relaxed atomic load per site when compiled in but not recording.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+// --- Trace context ----------------------------------------------------------
+
+// Identity of "the request this thread is currently working for". trace_id
+// 0 means no trace is active; span_id is the innermost open span (the
+// parent for any span/event recorded next).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+#ifndef MDZ_OBS_DISABLED
+
+// The calling thread's current context (copy; cheap).
+TraceContext CurrentTraceContext();
+
+// Process-unique non-zero ids (relaxed atomic counters).
+uint64_t NextTraceId();
+uint64_t NextSpanId();
+
+// Installs a fresh trace (new trace-id, root span-id) on the calling
+// thread and returns it. The CLI opens one per command; a future server
+// opens one per request.
+TraceContext BeginTrace();
+
+// Sets the calling thread's innermost-span id, returning the previous one.
+// SpanTimer uses this to maintain parentage as spans open and close; not
+// meant for general use.
+uint64_t ExchangeCurrentSpanId(uint64_t span_id);
+
+// RAII adoption of a captured context on another thread: sets the calling
+// thread's context, restores the previous one on destruction. Used by the
+// thread pool around claimed iterations and by the streaming pump's reader
+// thread — the two places work crosses threads.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+#else  // MDZ_OBS_DISABLED
+
+inline TraceContext CurrentTraceContext() { return {}; }
+inline uint64_t NextTraceId() { return 0; }
+inline uint64_t NextSpanId() { return 0; }
+inline TraceContext BeginTrace() { return {}; }
+inline uint64_t ExchangeCurrentSpanId(uint64_t) { return 0; }
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&) {}
+};
+
+#endif  // MDZ_OBS_DISABLED
+
+// --- Events -----------------------------------------------------------------
+
+enum class EventPhase : uint8_t {
+  kBegin,    // span opened               (Chrome "B")
+  kEnd,      // span closed               (Chrome "E")
+  kInstant,  // point event               (Chrome "i")
+  kCounter,  // sampled value over time   (Chrome "C")
+};
+
+// One timeline event. `name` and arg keys must be string literals (or
+// otherwise outlive the process) — events store the pointers, never copies.
+struct TimelineEvent {
+  static constexpr size_t kMaxArgs = 2;
+
+  const char* name = "";
+  uint64_t ts_ns = 0;           // steady-clock nanoseconds (TimelineNowNs)
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;         // id of this span (begin/end) or 0
+  uint64_t parent_span_id = 0;  // enclosing span at record time, or 0
+  uint32_t tid = 0;             // small per-process thread ordinal (from 1)
+  EventPhase phase = EventPhase::kInstant;
+  uint8_t arg_count = 0;
+  struct Arg {
+    const char* key = "";
+    uint64_t value = 0;
+  };
+  Arg args[kMaxArgs];
+};
+
+#ifndef MDZ_OBS_DISABLED
+
+// Monotonic event clock, nanoseconds since an arbitrary process-local
+// origin (shared by every ring, so cross-thread ordering is meaningful).
+uint64_t TimelineNowNs();
+
+// Small stable ordinal for the calling thread (1, 2, 3, … in first-use
+// order) — what Chrome trace rows key on. Also the tid stamped on events.
+uint32_t TimelineThreadId();
+
+// Names the calling thread's row in the exported trace ("pool-worker",
+// "stream-reader", …). Literal lifetime; last call wins.
+void SetTimelineThreadName(const char* name);
+
+// --- Timeline ---------------------------------------------------------------
+
+// Per-thread ring registry + central drained store. Global() is what every
+// recording site uses; separate instances exist for tests and, later, for
+// per-server injection (a Timeline owns no threads and no global state).
+class Timeline {
+ public:
+  // `ring_capacity` events per thread ring; `store_capacity` caps the
+  // central drained store (oldest events are evicted past it).
+  explicit Timeline(size_t ring_capacity = 1 << 15,
+                    size_t store_capacity = 1 << 21);
+  ~Timeline();
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  static Timeline& Global();
+
+  // Recording switch: one relaxed load on the hot path. Off by default.
+  bool recording() const {
+    return recording_.load(std::memory_order_relaxed);
+  }
+  void SetRecording(bool on);
+
+  // Records one event from the calling thread (wait-free; drops + counts
+  // when the thread's ring is full). ts/tid/context fields are filled in
+  // here; callers set name/phase/args.
+  void Record(const char* name, EventPhase phase);
+  void Record(const char* name, EventPhase phase, uint64_t span_id,
+              uint64_t parent_span_id);
+  void Record(const char* name, EventPhase phase, uint64_t span_id,
+              uint64_t parent_span_id, const char* k0, uint64_t v0,
+              const char* k1 = nullptr, uint64_t v1 = 0);
+  // Counter sample: value goes into args[0] under `key`.
+  void RecordCounter(const char* name, const char* key, uint64_t value);
+
+  // Test hook: records `event` verbatim (fixed timestamps make the Chrome
+  // export golden-testable).
+  void RecordForTest(const TimelineEvent& event);
+
+  // Moves everything recorded so far from the thread rings into the
+  // central store (called by the server, the sampler, and the exporter;
+  // safe from any thread, serialized internally). Returns how many events
+  // moved this call.
+  size_t DrainRings();
+
+  // Drains, then returns a copy of the store, time-sorted.
+  std::vector<TimelineEvent> Snapshot();
+
+  // Events dropped on full rings + events evicted from a full store.
+  uint64_t dropped() const;
+
+  // Events currently in the central store (post-drain; tests).
+  size_t store_size() const;
+
+  // Clears the store and drop counters (not the rings' unread tails).
+  void Reset();
+
+  struct ThreadName {
+    uint32_t tid = 0;
+    const char* name = "";
+  };
+  // Every thread named via SetTimelineThreadName (process-wide; thread
+  // names are not per-Timeline).
+  std::vector<ThreadName> thread_names();
+
+  // Opaque per-thread buffer; public only so the thread-local ring map in
+  // timeline.cc can name it.
+  struct Ring;
+
+ private:
+  Ring* RingForThisThread();
+
+  std::atomic<bool> recording_{false};
+  // Process-unique instance id: the per-thread ring map keys on this, not
+  // on `this` — a new Timeline at a recycled address must not inherit the
+  // dead instance's (unregistered) rings.
+  const uint64_t id_;
+  const size_t ring_capacity_;
+  const size_t store_capacity_;
+
+  mutable std::mutex rings_mu_;  // ring list registration + drain serialization
+  std::vector<std::shared_ptr<Ring>> rings_;
+
+  mutable std::mutex store_mu_;
+  std::vector<TimelineEvent> store_;
+  uint64_t store_evicted_ = 0;
+};
+
+// --- Export -----------------------------------------------------------------
+
+// Serializes Snapshot() as Chrome trace-event JSON ("JSON Object Format":
+// {"traceEvents":[…],"displayTimeUnit":"ms"}), with one thread_name
+// metadata record per thread. Loadable in Perfetto and chrome://tracing.
+std::string ToChromeTraceJson(Timeline& timeline);
+
+// Drains `timeline` and writes the Chrome trace JSON to `path`.
+Status WriteChromeTraceFile(Timeline& timeline, const std::string& path);
+
+// Summaries of the most recent completed spans (matched begin/end pairs in
+// the store), newest first, capped at `limit` — the /tracez payload.
+struct SpanSummary {
+  const char* name = "";
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint32_t tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+std::vector<SpanSummary> RecentSpans(Timeline& timeline, size_t limit);
+
+#else  // MDZ_OBS_DISABLED
+
+// Inert stand-ins so instrumentation sites compile unchanged; recording()
+// is constant false, which lets the compiler delete every guarded path.
+inline uint64_t TimelineNowNs() { return 0; }
+inline uint32_t TimelineThreadId() { return 0; }
+inline void SetTimelineThreadName(const char*) {}
+
+class Timeline {
+ public:
+  static Timeline& Global() {
+    static Timeline timeline;
+    return timeline;
+  }
+  bool recording() const { return false; }
+  void SetRecording(bool) {}
+  void Record(const char*, EventPhase) {}
+  void Record(const char*, EventPhase, uint64_t, uint64_t) {}
+  void Record(const char*, EventPhase, uint64_t, uint64_t, const char*,
+              uint64_t, const char* = nullptr, uint64_t = 0) {}
+  void RecordCounter(const char*, const char*, uint64_t) {}
+  void RecordForTest(const TimelineEvent&) {}
+  size_t DrainRings() { return 0; }
+  std::vector<TimelineEvent> Snapshot() { return {}; }
+  uint64_t dropped() const { return 0; }
+  size_t store_size() const { return 0; }
+  void Reset() {}
+  struct ThreadName {
+    uint32_t tid = 0;
+    const char* name = "";
+  };
+  std::vector<ThreadName> thread_names() { return {}; }
+  struct Ring;
+};
+
+inline std::string ToChromeTraceJson(Timeline&) {
+  return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+}
+inline Status WriteChromeTraceFile(Timeline&, const std::string&) {
+  return Status::FailedPrecondition("timeline tracing compiled out");
+}
+
+struct SpanSummary {
+  const char* name = "";
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint32_t tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+inline std::vector<SpanSummary> RecentSpans(Timeline&, size_t) { return {}; }
+
+#endif  // MDZ_OBS_DISABLED
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_TIMELINE_H_

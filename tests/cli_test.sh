@@ -233,6 +233,41 @@ test "$(exit_code "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza")" = 2
 "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza" 2>&1 | grep -q "line 3"
 test "$(exit_code "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza" --stream)" = 2
 
+# --- timeline tracing + live telemetry endpoint -----------------------------
+# --trace-timeline writes Chrome trace-event JSON with spans and metadata.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/tl.mdza" --quiet --stream \
+  --threads 2 --trace-timeline "$WORK/tl.json"
+grep -q '"traceEvents":\[' "$WORK/tl.json"
+grep -q '"ph":"B"' "$WORK/tl.json"
+grep -q '"ph":"E"' "$WORK/tl.json"
+grep -q '"name":"thread_name"' "$WORK/tl.json"
+grep -q '"name":"adp_trial"' "$WORK/tl.json"
+grep -q '"displayTimeUnit":"ms"' "$WORK/tl.json"
+cmp "$WORK/tl.mdza" "$WORK/streamed.mdza"   # tracing must not change output
+
+# Malformed --listen endpoints are usage errors, before any work happens.
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --listen garbage)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --listen 127.0.0.1:99999)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --listen :8080)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --listen evil.example:80)" = 2
+
+# A SIGINT mid-stream still seals the archive: the interrupted output must
+# open cleanly (possibly with fewer snapshots). Repeat the input so the run
+# is long enough to catch the signal while pumping.
+for i in 1 2 3 4 5 6 7 8; do cat "$WORK/first.xyz"; done > "$WORK/long.xyz"
+"$MDZ" compress "$WORK/long.xyz" "$WORK/int.mdza" --quiet --stream &
+mdz_pid=$!
+sleep 0.2
+kill -INT "$mdz_pid" 2>/dev/null || true
+wait "$mdz_pid" || true
+if [ -s "$WORK/int.mdza" ]; then
+  "$MDZ" info "$WORK/int.mdza" > /dev/null   # sealed, readable container
+fi
+
 # --- version subcommand -----------------------------------------------------
 "$MDZ" version | grep -q "^mdz "
 "$MDZ" version --json | grep -q '"build":{"git_sha":"'

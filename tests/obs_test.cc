@@ -275,6 +275,25 @@ TEST(ObsExportTest, PrometheusGolden) {
                 "mdz_h_count 3\n");
 }
 
+TEST(ObsExportTest, PrometheusEscapesHostileMetricNames) {
+  // A name carrying newlines/backslashes/quotes must not be able to forge
+  // extra exposition lines or break HELP text (names come from code today,
+  // but the exporter must not trust that).
+  MetricsRegistry registry;
+  registry.GetCounter("evil\nname\\x\"q")->Add(1);
+  const std::string prom = ToPrometheus(registry);
+  EXPECT_NE(prom.find("# HELP mdz_evil_name_x_q MDZ counter "
+                      "'evil\\nname\\\\x\"q'\n"),
+            std::string::npos);
+  // No exposition line may start mid-HELP: every newline is followed by
+  // '#', 'm' (mdz_ sample) or end-of-text.
+  for (size_t i = prom.find('\n'); i != std::string::npos && i + 1 < prom.size();
+       i = prom.find('\n', i + 1)) {
+    const char next = prom[i + 1];
+    EXPECT_TRUE(next == '#' || next == 'm') << "stray line at offset " << i;
+  }
+}
+
 TEST(ObsExportTest, EmptyRegistryExports) {
   MetricsRegistry registry;
   EXPECT_EQ(ToJson(registry),

@@ -3,6 +3,7 @@
 // in-memory paths, the O(N * BS) peak-memory contract, and input validation
 // (non-finite coordinates are rejected before they can break the bound).
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -129,6 +130,70 @@ TEST(Streaming, CompressMatchesOneShotAcrossThreadCounts) {
   }
   std::remove(input.c_str());
   std::remove(oneshot.c_str());
+}
+
+TEST(Streaming, CancelSealsArchiveAndReportsCancelled) {
+  const core::Trajectory traj = MakeWalkTrajectory(30, 40, 23);
+  core::Options options;
+  options.buffer_size = 8;
+
+  const std::string input = TempPath("cancel_in.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(traj, input).ok());
+  const std::string out = TempPath("cancel_out.mdza");
+
+  auto reader = io::TrajectoryReader::Open(input);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  core::ThreadPool pool(2);
+  auto writer = archive::ArchiveWriter::Create(
+      out, (*reader)->num_particles(), options, &pool);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  io::ArchiveSink sink(std::move(writer).value());
+  io::TrajectoryReader* source = reader->get();
+  sink.set_before_finish([source](archive::ArchiveWriter& w) {
+    w.SetName(source->name());
+    w.SetBox(source->box());
+  });
+
+  // Cancel mid-stream (after the first buffer's worth of appends, so the
+  // archive has content): the pump must stop pulling but still run
+  // Finish(), leaving a sealed (openable) archive behind.
+  std::atomic<bool> cancel{false};
+  class CancellingSink : public core::SnapshotSink {
+   public:
+    CancellingSink(core::SnapshotSink* inner, std::atomic<bool>* cancel,
+                   size_t after)
+        : inner_(inner), cancel_(cancel), after_(after) {}
+    Status Append(const core::Snapshot& snapshot) override {
+      if (++appended_ >= after_) cancel_->store(true);
+      return inner_->Append(snapshot);
+    }
+    Status Finish() override { return inner_->Finish(); }
+    size_t buffered_snapshots() const override {
+      return inner_->buffered_snapshots();
+    }
+
+   private:
+    core::SnapshotSink* inner_;
+    std::atomic<bool>* cancel_;
+    size_t after_;
+    size_t appended_ = 0;
+  };
+  CancellingSink cancelling(&sink, &cancel, options.buffer_size);
+
+  core::StreamOptions stream_options;
+  stream_options.queue_capacity = options.buffer_size;
+  stream_options.cancel = &cancel;
+  auto stats =
+      core::StreamingCompressor::Pump(source, &cancelling, stream_options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->cancelled);
+  EXPECT_LT(stats->snapshots, traj.num_snapshots());
+
+  auto opened = archive::ArchiveReader::Open(out);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+
+  std::remove(input.c_str());
+  std::remove(out.c_str());
 }
 
 // --- Streaming decompression == one-shot -------------------------------------

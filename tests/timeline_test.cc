@@ -1,0 +1,525 @@
+// Tests for timeline tracing (src/obs/timeline) and the embedded telemetry
+// endpoint (src/obs/telemetry_server): ring-buffer concurrency, span
+// pairing and cross-thread parentage, the Chrome trace-event export golden,
+// listen-address validation, and a live HTTP scrape against an in-process
+// server. Fixtures are named Obs* so tools/ci.sh's TSan leg picks them up.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeline.h"
+
+namespace mdz::obs {
+namespace {
+
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : prev_(Enabled()) { SetEnabled(on); }
+  ~EnabledGuard() { SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// Turns the global timeline's recording on for one test, draining stale
+// events first and restoring the previous state after.
+class RecordingGuard {
+ public:
+  explicit RecordingGuard(Timeline& timeline) : timeline_(timeline) {
+    timeline_.DrainRings();
+    timeline_.Reset();
+    prev_ = timeline_.recording();
+    timeline_.SetRecording(true);
+  }
+  ~RecordingGuard() {
+    timeline_.SetRecording(prev_);
+    timeline_.DrainRings();
+    timeline_.Reset();
+  }
+
+ private:
+  Timeline& timeline_;
+  bool prev_;
+};
+
+// --- Trace context ----------------------------------------------------------
+
+TEST(ObsTimelineTest, BeginTraceInstallsContextAndScopedRestores) {
+  const TraceContext before = CurrentTraceContext();
+  const TraceContext trace = BeginTrace();
+  EXPECT_NE(trace.trace_id, 0u);
+  EXPECT_NE(trace.span_id, 0u);
+  EXPECT_EQ(CurrentTraceContext().trace_id, trace.trace_id);
+  {
+    TraceContext other;
+    other.trace_id = trace.trace_id + 1000;
+    other.span_id = 99;
+    ScopedTraceContext adopted(other);
+    EXPECT_EQ(CurrentTraceContext().trace_id, other.trace_id);
+    EXPECT_EQ(CurrentTraceContext().span_id, 99u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, trace.trace_id);
+  EXPECT_EQ(CurrentTraceContext().span_id, trace.span_id);
+  ScopedTraceContext restore(before);  // leave no trace for other tests
+  EXPECT_EQ(CurrentTraceContext().trace_id, before.trace_id);
+}
+
+TEST(ObsTimelineTest, IdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(NextSpanId());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+// --- Ring buffers -----------------------------------------------------------
+
+// Many writer threads record into their own rings while a drainer loops;
+// every event must end up either in the store or in the dropped count. Run
+// under TSan by tools/ci.sh (fixture name matches its Obs* filter).
+TEST(ObsTimelineTest, ConcurrentWritersVsDrain) {
+  Timeline timeline(/*ring_capacity=*/128, /*store_capacity=*/1 << 20);
+  timeline.SetRecording(true);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) timeline.DrainRings();
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&timeline] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        timeline.Record("evt", EventPhase::kInstant);
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  timeline.DrainRings();
+
+  const uint64_t total =
+      static_cast<uint64_t>(timeline.store_size()) + timeline.dropped();
+  EXPECT_EQ(total, static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(ObsTimelineTest, FullRingDropsNewestAndCounts) {
+  Timeline timeline(/*ring_capacity=*/8, /*store_capacity=*/1 << 10);
+  timeline.SetRecording(true);
+  for (int i = 0; i < 20; ++i) timeline.Record("evt", EventPhase::kInstant);
+  EXPECT_EQ(timeline.DrainRings(), 8u);
+  EXPECT_EQ(timeline.dropped(), 12u);
+  // The ring drained; the next events fit again.
+  timeline.Record("evt", EventPhase::kInstant);
+  EXPECT_EQ(timeline.DrainRings(), 1u);
+}
+
+TEST(ObsTimelineTest, StoreEvictsOldestPastCapacity) {
+  Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/16);
+  timeline.SetRecording(true);
+  for (int i = 0; i < 40; ++i) {
+    timeline.Record("evt", EventPhase::kInstant);
+    timeline.DrainRings();
+  }
+  EXPECT_EQ(timeline.store_size(), 16u);
+  EXPECT_EQ(timeline.dropped(), 24u);  // evictions count as drops
+}
+
+// --- Span pairing and parentage ---------------------------------------------
+
+// Spans opened inside pool tasks must pair begin/end and parent onto the
+// submitting scope's span across threads.
+TEST(ObsTimelineTest, SpansNestAcrossPoolThreads) {
+  EnabledGuard enabled(true);
+  Timeline& timeline = Timeline::Global();
+  RecordingGuard recording(timeline);
+  const TraceContext saved = CurrentTraceContext();
+  const TraceContext trace = BeginTrace();
+
+  core::ThreadPool pool(3);
+  uint64_t outer_span_id = 0;
+  {
+    MDZ_SPAN("outer");
+    outer_span_id = CurrentTraceContext().span_id;
+    EXPECT_NE(outer_span_id, trace.span_id);
+    pool.ParallelFor(0, 16, [](size_t) {
+      MDZ_SPAN("inner");
+      // Yield so other threads claim iterations even on a 1-core box.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  ScopedTraceContext restore(saved);
+
+  const std::vector<TimelineEvent> events = timeline.Snapshot();
+  std::map<uint64_t, int> phase_count;  // span_id -> begins - ends
+  int inner_begins = 0;
+  std::set<uint32_t> inner_tids;
+  for (const auto& e : events) {
+    if (e.phase == EventPhase::kBegin) {
+      ++phase_count[e.span_id];
+      if (std::string(e.name) == "inner") {
+        ++inner_begins;
+        inner_tids.insert(e.tid);
+        EXPECT_EQ(e.trace_id, trace.trace_id);
+        EXPECT_EQ(e.parent_span_id, outer_span_id);
+      }
+      if (std::string(e.name) == "outer") {
+        EXPECT_EQ(e.parent_span_id, trace.span_id);
+      }
+    } else if (e.phase == EventPhase::kEnd) {
+      --phase_count[e.span_id];
+    }
+  }
+  EXPECT_EQ(inner_begins, 16);
+  // Submitter participates in its own batch, workers take the rest; with 3
+  // workers plus the caller over 16 iterations at least two threads ran.
+  EXPECT_GE(inner_tids.size(), 2u);
+  for (const auto& [span_id, balance] : phase_count) {
+    EXPECT_EQ(balance, 0) << "unpaired begin/end for span " << span_id;
+  }
+}
+
+TEST(ObsTimelineTest, RecentSpansPairsAndOrders) {
+  Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/1 << 10);
+  timeline.SetRecording(true);
+  TimelineEvent e;
+  e.tid = 7;
+  e.trace_id = 5;
+
+  e.name = "slow";
+  e.phase = EventPhase::kBegin;
+  e.span_id = 1;
+  e.ts_ns = 100;
+  timeline.RecordForTest(e);
+  e.name = "fast";
+  e.span_id = 2;
+  e.parent_span_id = 1;
+  e.ts_ns = 200;
+  timeline.RecordForTest(e);
+  e.phase = EventPhase::kEnd;
+  e.ts_ns = 300;
+  timeline.RecordForTest(e);
+  e.name = "slow";
+  e.span_id = 1;
+  e.parent_span_id = 0;
+  e.ts_ns = 900;
+  timeline.RecordForTest(e);
+  e.name = "open";  // begin with no end: not summarized
+  e.phase = EventPhase::kBegin;
+  e.span_id = 3;
+  e.ts_ns = 950;
+  timeline.RecordForTest(e);
+
+  const std::vector<SpanSummary> spans = RecentSpans(timeline, 10);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "slow");  // completed last
+  EXPECT_EQ(spans[0].duration_ns, 800u);
+  EXPECT_STREQ(spans[1].name, "fast");
+  EXPECT_EQ(spans[1].parent_span_id, 1u);
+  EXPECT_EQ(spans[1].duration_ns, 100u);
+
+  const std::vector<SpanSummary> capped = RecentSpans(timeline, 1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_STREQ(capped[0].name, "slow");
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+TEST(ObsTimelineTest, ChromeTraceJsonGolden) {
+  Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/1 << 10);
+  timeline.SetRecording(true);
+
+  // tids far above any real thread ordinal, so no process-wide thread name
+  // ever matches them and the export stays byte-stable.
+  TimelineEvent begin;
+  begin.name = "work";
+  begin.phase = EventPhase::kBegin;
+  begin.ts_ns = 1500;
+  begin.trace_id = 7;
+  begin.span_id = 3;
+  begin.parent_span_id = 2;
+  begin.tid = 900042;
+  begin.arg_count = 1;
+  begin.args[0] = {"method", 1};
+  timeline.RecordForTest(begin);
+
+  TimelineEvent end = begin;
+  end.phase = EventPhase::kEnd;
+  end.ts_ns = 3000;
+  end.arg_count = 0;
+  timeline.RecordForTest(end);
+
+  TimelineEvent counter;
+  counter.name = "rss";
+  counter.phase = EventPhase::kCounter;
+  counter.ts_ns = 2000;
+  counter.trace_id = 7;  // suppressed on counters
+  counter.tid = 900042;
+  counter.arg_count = 1;
+  counter.args[0] = {"mb", 128};
+  timeline.RecordForTest(counter);
+
+  TimelineEvent instant;
+  instant.name = "mark \"x\"";
+  instant.phase = EventPhase::kInstant;
+  instant.ts_ns = 2500;
+  instant.tid = 900043;
+  timeline.RecordForTest(instant);
+
+  const std::string json = ToChromeTraceJson(timeline);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"work\",\"ph\":\"B\",\"pid\":1,\"tid\":900042,\"ts\":1.500,"
+      "\"args\":{\"trace_id\":7,\"span_id\":3,\"parent_span_id\":2,"
+      "\"method\":1}},"
+      "{\"name\":\"rss\",\"ph\":\"C\",\"pid\":1,\"tid\":900042,\"ts\":2.000,"
+      "\"args\":{\"mb\":128}},"
+      "{\"name\":\"mark \\\"x\\\"\",\"ph\":\"i\",\"pid\":1,\"tid\":900043,"
+      "\"ts\":2.500,\"s\":\"t\",\"args\":{}},"
+      "{\"name\":\"work\",\"ph\":\"E\",\"pid\":1,\"tid\":900042,\"ts\":3.000,"
+      "\"args\":{\"trace_id\":7,\"span_id\":3,\"parent_span_id\":2}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ObsTimelineTest, ChromeTraceNamesOnlyPresentThreads) {
+  // This thread records (and is named); the export must not list rows for
+  // other named threads that never recorded into this timeline.
+  Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/1 << 10);
+  timeline.SetRecording(true);
+  SetTimelineThreadName("golden-main");
+  std::thread other([] { SetTimelineThreadName("golden-other"); });
+  other.join();
+  timeline.Record("evt", EventPhase::kInstant);
+  const std::string json = ToChromeTraceJson(timeline);
+  EXPECT_NE(json.find("golden-main"), std::string::npos);
+  EXPECT_EQ(json.find("golden-other"), std::string::npos);
+}
+
+// --- Listen-address validation ----------------------------------------------
+
+TEST(ObsTelemetryServerTest, ParseListenAddressAcceptsHostPort) {
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("127.0.0.1:8080", &address).ok());
+  EXPECT_EQ(address.host, "127.0.0.1");
+  EXPECT_EQ(address.port, 8080);
+  ASSERT_TRUE(ParseListenAddress("localhost:0", &address).ok());
+  EXPECT_EQ(address.host, "localhost");
+  EXPECT_EQ(address.port, 0);
+}
+
+TEST(ObsTelemetryServerTest, ParseListenAddressRejectsGarbage) {
+  ListenAddress address;
+  for (const char* bad :
+       {"", "nope", ":8080", "127.0.0.1:", "127.0.0.1:banana",
+        "127.0.0.1:99999", "127.0.0.1:-1", "evil.example:80",
+        "127.0.0.1:80 extra"}) {
+    const Status s = ParseListenAddress(bad, &address);
+    EXPECT_FALSE(s.ok()) << "accepted: \"" << bad << '"';
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+// --- HTTP server ------------------------------------------------------------
+
+// Minimal blocking HTTP GET against 127.0.0.1:<port>.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ObsTelemetryServerTest, ServesInjectedRegistryAndTimeline) {
+  MetricsRegistry registry;
+  registry.GetCounter("served/requests")->Add(41);
+  Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/1 << 10);
+  timeline.SetRecording(true);
+  TimelineEvent e;
+  e.name = "probe";
+  e.phase = EventPhase::kBegin;
+  e.span_id = 9;
+  e.ts_ns = 10;
+  timeline.RecordForTest(e);
+  e.phase = EventPhase::kEnd;
+  e.ts_ns = 40;
+  timeline.RecordForTest(e);
+
+  TelemetryServer server(&registry, &timeline);
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("127.0.0.1:0", &address).ok());
+  ASSERT_TRUE(server.Start(address).ok());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("mdz_served_requests 41"), std::string::npos);
+  EXPECT_NE(metrics.find("mdz_build_info"), std::string::npos);
+
+  const std::string buildz = HttpGet(server.port(), "/buildz");
+  EXPECT_NE(buildz.find("\"git_sha\""), std::string::npos);
+
+  const std::string tracez = HttpGet(server.port(), "/tracez");
+  EXPECT_NE(tracez.find("\"schema\":\"mdz.tracez.v1\""), std::string::npos);
+  EXPECT_NE(tracez.find("\"name\":\"probe\""), std::string::npos);
+  EXPECT_NE(tracez.find("\"duration_ns\":30"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ObsTelemetryServerTest, ScrapeWhilePoolIsBusy) {
+  // A scrape must observe a consistent exposition while worker threads
+  // hammer the registry (TSan-checked via ci.sh's Obs* filter).
+  EnabledGuard enabled(true);
+  PreRegisterCoreMetrics();  // pool/tasks must exist before the first scrape
+  TelemetryServer server;    // process-global registry + timeline
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("localhost:0", &address).ok());
+  ASSERT_TRUE(server.Start(address).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread load([&stop] {
+    core::ThreadPool pool(2);
+    while (!stop.load(std::memory_order_acquire)) {
+      pool.ParallelFor(0, 8, [](size_t) { MDZ_SPAN("busy"); });
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    const std::string metrics = HttpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("mdz_pool_tasks"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_release);
+  load.join();
+  server.Stop();
+}
+
+TEST(ObsTelemetryServerTest, RejectsNonGetAndMalformed) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry);
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("127.0.0.1:0", &address).ok());
+  ASSERT_TRUE(server.Start(address).ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char request[] = "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_GT(::write(fd, request, sizeof(request) - 1), 0);
+  std::string response;
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos);
+  server.Stop();
+}
+
+// --- Resource sampler -------------------------------------------------------
+
+TEST(ObsTelemetryServerTest, ResourceSamplerEmitsCounterEvents) {
+  Timeline timeline(/*ring_capacity=*/1024, /*store_capacity=*/1 << 12);
+  timeline.SetRecording(true);
+  std::atomic<uint64_t> depth{3};
+  ResourceSampler sampler(
+      &timeline, [&depth] { return depth.load(); }, [] { return 77ull; });
+  sampler.Start(/*interval_ms=*/5);
+  while (sampler.samples_taken() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.Stop();
+
+  bool saw_rss = false, saw_depth = false, saw_bytes = false;
+  for (const auto& e : timeline.Snapshot()) {
+    if (e.phase != EventPhase::kCounter) continue;
+    const std::string name = e.name;
+    if (name == "resource/rss_mb") saw_rss = true;
+    if (name == "stream/queue_depth") {
+      saw_depth = true;
+      EXPECT_EQ(e.args[0].value, 3u);
+    }
+    if (name == "stream/bytes_in") {
+      saw_bytes = true;
+      EXPECT_EQ(e.args[0].value, 77u);
+    }
+  }
+  EXPECT_TRUE(saw_rss);
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_bytes);
+}
+
+}  // namespace
+}  // namespace mdz::obs

@@ -99,6 +99,36 @@ awk '
 grep -q '^mdz_build_info{git_sha="' "$PROM" \
   || fail "prom missing mdz_build_info gauge"
 
+# Escaping lint: exposition text must never leak raw control characters or
+# malformed escapes.
+#  * No line may contain a literal tab or carriage return.
+#  * Label values may use only \\, \" and \n escapes; a trailing lone
+#    backslash or a bare inner quote would corrupt the sample line.
+#  * HELP text must not contain an unescaped backslash (only \\ and \n are
+#    legal there).
+grep -q "$(printf '\t')" "$PROM" && fail "prom contains a literal tab" || true
+grep -q "$(printf '\r')" "$PROM" && fail "prom contains a carriage return" \
+  || true
+awk '
+  /^# HELP / {
+    text = substr($0, index($0, $4))
+    # Strip legal escapes; any backslash left is malformed.
+    gsub(/\\\\/, "", text)
+    gsub(/\\n/, "", text)
+    if (text ~ /\\/) { print "malformed HELP escape: " $0; exit 1 }
+    next
+  }
+  /^[A-Za-z_:].*\{/ {
+    # Label section between the first "{" and the last "}".
+    labels = substr($0, index($0, "{") + 1)
+    sub(/\}[^}]*$/, "", labels)
+    gsub(/\\\\/, "", labels)
+    gsub(/\\"/, "", labels)
+    gsub(/\\n/, "", labels)
+    if (labels ~ /\\/) { print "malformed label escape: " $0; exit 1 }
+  }
+' "$PROM" || fail "prom escaping lint failed in $PROM"
+
 # --- Trace JSONL ------------------------------------------------------------
 test -s "$TRACE" || fail "trace file missing or empty: $TRACE"
 lines=$(wc -l < "$TRACE")

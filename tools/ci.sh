@@ -16,9 +16,12 @@
 #
 # After the matrix, a telemetry smoke step compresses a generated trajectory
 # with --metrics-json/--metrics-prom/--trace and validates the artifacts
-# with tools/check_telemetry.sh, audits the archive against its original,
-# and a bench smoke step runs three figure benches, pipeline_stages, and the
-# archive random-access and streaming benches at a small scale, archives
+# with tools/check_telemetry.sh, audits the archive against its original; a
+# live-endpoint smoke streams a compression with --listen up and scrapes
+# /metrics mid-run with curl, requiring the live families to match the
+# final --metrics-prom dump; and a bench smoke step runs three figure
+# benches, pipeline_stages, the archive random-access and streaming
+# benches, and the observability-overhead guard at a small scale, archives
 # their BENCH_*.json reports under the build root and
 # gates the compression ratios against the committed bench/baselines via
 # tools/bench_diff (throughput is machine-dependent, so MB/s is ignored).
@@ -81,12 +84,68 @@ sh "${ROOT}/tools/check_telemetry.sh" \
   "${SMOKE}/quality.json"
 "${MDZ_BIN}" stats "${SMOKE}/traj.mdza" --json | grep -q '"axes":\['
 
+echo "=== live endpoint smoke ==="
+# Stream-compress with the telemetry endpoint up, scrape it mid-run with
+# curl, and require the live exposition to carry the same metric families
+# as the end-of-run --metrics-prom dump (the dump may add span/* histogram
+# families recorded after the scrape; nothing else may differ).
+LIVE="${BUILD_ROOT}/live-smoke"
+rm -rf "${LIVE}"
+mkdir -p "${LIVE}"
+"${MDZ_BIN}" gen LJ "${LIVE}/traj.mdtraj" --scale 0.5 --seed 5 --quiet
+"${MDZ_BIN}" compress "${LIVE}/traj.mdtraj" "${LIVE}/traj.mdza" \
+  --stream --threads 2 --quiet \
+  --listen 127.0.0.1:0 \
+  --trace-timeline "${LIVE}/timeline.json" \
+  --metrics-prom "${LIVE}/final.prom" 2> "${LIVE}/stderr.log" &
+live_pid=$!
+port=""
+i=0
+while [ "$i" -lt 100 ]; do
+  port="$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' \
+    "${LIVE}/stderr.log")"
+  [ -n "$port" ] && break
+  i=$((i + 1))
+  sleep 0.05
+done
+test -n "$port"
+live_ok=""
+i=0
+while [ "$i" -lt 200 ]; do
+  if curl -sf "http://127.0.0.1:${port}/metrics" > "${LIVE}/live.prom" \
+      2>/dev/null; then
+    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '^ok$'
+    curl -sf "http://127.0.0.1:${port}/buildz" | grep -q '"git_sha"'
+    live_ok=1
+    break
+  fi
+  kill -0 "$live_pid" 2>/dev/null || break
+  i=$((i + 1))
+  sleep 0.02
+done
+wait "$live_pid"
+test -n "$live_ok"
+grep '^# TYPE' "${LIVE}/live.prom" | sort > "${LIVE}/live.families"
+grep '^# TYPE' "${LIVE}/final.prom" | sort > "${LIVE}/final.families"
+# Every live family must appear in the final dump...
+comm -23 "${LIVE}/live.families" "${LIVE}/final.families" > "${LIVE}/extra"
+test ! -s "${LIVE}/extra"
+# ...and only lazily-registered span histograms may be final-dump-only.
+grep -v '^# TYPE mdz_span_' "${LIVE}/final.families" > "${LIVE}/final.core"
+comm -13 "${LIVE}/live.families" "${LIVE}/final.core" > "${LIVE}/missing"
+test ! -s "${LIVE}/missing"
+# The timeline written by the same run is loadable Chrome trace JSON with
+# spans from several threads.
+grep -q '"traceEvents":\[' "${LIVE}/timeline.json"
+grep -q '"name":"thread_name"' "${LIVE}/timeline.json"
+
 echo "=== bench smoke + regression gate ==="
 BENCH_DIR="${BUILD_ROOT}/bench-smoke"
 rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
 for bench in fig9_quant_scale fig11_adp_vs_modes fig15_throughput \
-             pipeline_stages bench_random_access bench_streaming; do
+             pipeline_stages bench_random_access bench_streaming \
+             obs_overhead; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)

@@ -33,8 +33,11 @@
 //   4  corrupt archive
 //   5  error-bound violation found by audit
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/metrics.h"
 #include "archive/format.h"
@@ -60,6 +65,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/cpu.h"
 #include "util/timer.h"
@@ -96,6 +103,23 @@ int ExitCodeFor(const Status& status) {
 
 // --quiet suppresses this (informational stdout); errors still reach stderr.
 bool g_quiet = false;
+
+// Set by the SIGINT/SIGTERM handler; the streaming pump polls it and winds
+// down gracefully (seals the archive, flushes telemetry files). A second
+// signal exits immediately with the conventional 128+SIGINT code.
+std::atomic<bool> g_interrupted{false};
+
+void HandleSignal(int) {
+  if (g_interrupted.exchange(true)) _exit(130);
+}
+
+void InstallSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 template <typename... Args>
 void Say(const char* format, Args... args) {
@@ -150,7 +174,10 @@ int Usage() {
                "               [--metrics-prom F]\n"
                "  mdz version [--json]\n"
                "  mdz datasets\n"
-               "global flags: --quiet --simd scalar|avx2|neon\n");
+               "global flags: --quiet --simd scalar|avx2|neon\n"
+               "              --trace-timeline F (Chrome trace JSON)\n"
+               "              --listen host:port (live /metrics /healthz "
+               "/buildz /tracez)\n");
   return kExitUsage;
 }
 
@@ -199,6 +226,8 @@ struct Flags {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_path;
+  std::string trace_timeline;  // Chrome trace-event JSON of the whole run
+  std::string listen;          // host:port for the live telemetry endpoint
   std::string quality_trace;  // per-block quality JSONL (audit / --audit)
   bool json = false;          // `mdz stats|audit|version --json`
   bool audit = false;         // `mdz compress --audit`: verify after writing
@@ -211,7 +240,7 @@ struct Flags {
 
   bool telemetry() const {
     return !metrics_json.empty() || !metrics_prom.empty() ||
-           !trace_path.empty();
+           !trace_path.empty() || !trace_timeline.empty() || !listen.empty();
   }
 
   static Result<Flags> Parse(int argc, char** argv, int first) {
@@ -262,6 +291,10 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.metrics_prom, next_value());
       } else if (arg == "--trace") {
         MDZ_ASSIGN_OR_RETURN(flags.trace_path, next_value());
+      } else if (arg == "--trace-timeline") {
+        MDZ_ASSIGN_OR_RETURN(flags.trace_timeline, next_value());
+      } else if (arg == "--listen") {
+        MDZ_ASSIGN_OR_RETURN(flags.listen, next_value());
       } else if (arg == "--quality-trace") {
         MDZ_ASSIGN_OR_RETURN(flags.quality_trace, next_value());
       } else if (arg == "--stream") {
@@ -521,11 +554,17 @@ int CmdCompressStream(const Flags& flags) {
 
   mdz::core::StreamOptions stream_options;
   stream_options.queue_capacity = options->buffer_size;
+  stream_options.cancel = &g_interrupted;
   mdz::WallTimer timer;
   auto stats =
       mdz::core::StreamingCompressor::Pump(source, &sink, stream_options);
   if (!stats.ok()) return Fail(stats.status());
   const double seconds = timer.ElapsedSeconds();
+  if (stats->cancelled) {
+    std::fprintf(stderr,
+                 "interrupted: archive sealed after %zu snapshots\n",
+                 stats->snapshots);
+  }
 
   if (flags.telemetry()) {
     const int code = WriteMetricsFiles(flags);
@@ -637,10 +676,16 @@ int CmdDecompressStream(const Flags& flags) {
       flags.positional[1], (*source)->num_particles(), writer_options);
   if (!writer.ok()) return Fail(writer.status());
 
+  mdz::core::StreamOptions stream_options;
+  stream_options.cancel = &g_interrupted;
   auto stats = mdz::core::StreamingCompressor::Pump(source->get(),
                                                     writer->get(),
-                                                    mdz::core::StreamOptions{});
+                                                    stream_options);
   if (!stats.ok()) return Fail(stats.status());
+  if (stats->cancelled) {
+    std::fprintf(stderr, "interrupted: output sealed after %zu snapshots\n",
+                 stats->snapshots);
+  }
 
   if (flags.telemetry()) {
     const int code = WriteMetricsFiles(flags);
@@ -714,9 +759,15 @@ int CmdAppend(const Flags& flags) {
   mdz::io::ArchiveSink sink(std::move(writer).value());
   mdz::core::StreamOptions stream_options;
   stream_options.queue_capacity = options->buffer_size;
+  stream_options.cancel = &g_interrupted;
   auto stats = mdz::core::StreamingCompressor::Pump(reader->get(), &sink,
                                                     stream_options);
   if (!stats.ok()) return Fail(stats.status());
+  if (stats->cancelled) {
+    std::fprintf(stderr,
+                 "interrupted: archive sealed after %zu new snapshots\n",
+                 stats->snapshots);
+  }
 
   if (flags.telemetry()) {
     const int code = WriteMetricsFiles(flags);
@@ -1016,6 +1067,23 @@ int CmdVerify(const Flags& flags) {
   return 0;
 }
 
+int RunCommand(const std::string& command, const Flags& flags) {
+  if (command == "datasets") return CmdDatasets();
+  if (command == "gen") return CmdGen(flags);
+  if (command == "compress") return CmdCompress(flags);
+  if (command == "decompress") return CmdDecompress(flags);
+  if (command == "append") return CmdAppend(flags);
+  if (command == "extract") return CmdExtract(flags);
+  if (command == "index") return CmdIndex(flags);
+  if (command == "repack") return CmdRepack(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "verify") return CmdVerify(flags);
+  if (command == "audit") return CmdAudit(flags);
+  if (command == "version") return CmdVersion(flags);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1030,18 +1098,86 @@ int main(int argc, char** argv) {
     mdz::util::SetSimdVariant(*mdz::util::ParseSimdVariant(flags->simd));
   }
 
-  if (command == "datasets") return CmdDatasets();
-  if (command == "gen") return CmdGen(*flags);
-  if (command == "compress") return CmdCompress(*flags);
-  if (command == "decompress") return CmdDecompress(*flags);
-  if (command == "append") return CmdAppend(*flags);
-  if (command == "extract") return CmdExtract(*flags);
-  if (command == "index") return CmdIndex(*flags);
-  if (command == "repack") return CmdRepack(*flags);
-  if (command == "info") return CmdInfo(*flags);
-  if (command == "stats") return CmdStats(*flags);
-  if (command == "verify") return CmdVerify(*flags);
-  if (command == "audit") return CmdAudit(*flags);
-  if (command == "version") return CmdVersion(*flags);
-  return Usage();
+  // --- Observability lifecycle (docs/OBSERVABILITY.md) ---------------------
+  // Validate --listen before doing any work so garbage is a plain usage
+  // error (exit 2), then bring the telemetry surfaces up around the command:
+  // timeline recording + root trace, the HTTP endpoint, and the resource
+  // sampler. All of it tears down after the command, flushing the timeline
+  // file last so the teardown itself is still visible in the trace.
+  mdz::obs::ListenAddress listen_address;
+  if (!flags->listen.empty()) {
+    const Status s =
+        mdz::obs::ParseListenAddress(flags->listen, &listen_address);
+    if (!s.ok()) return Fail(s);
+  }
+  const bool tracing = !flags->trace_timeline.empty();
+  const bool listening = !flags->listen.empty();
+  if ((tracing || listening) && mdz::obs::GetBuildInfo().obs_disabled) {
+    return Fail(Status::FailedPrecondition(
+        "--trace-timeline/--listen need telemetry compiled in "
+        "(this binary was built with MDZ_OBS_DISABLED)"));
+  }
+  if (tracing || listening) {
+    mdz::obs::SetEnabled(true);
+    // /tracez needs span events even without a --trace-timeline file, and
+    // ring memory is only allocated per recording thread, so recording is
+    // on for both surfaces.
+    mdz::obs::Timeline::Global().SetRecording(true);
+    mdz::obs::SetTimelineThreadName("main");
+    // One root trace per CLI invocation: every span recorded below — on any
+    // thread the pool or the pump hands work to — carries this trace id.
+    mdz::obs::BeginTrace();
+  }
+
+  mdz::obs::TelemetryServer server;
+  if (listening) {
+    // Families must exist before the first scrape (not appear mid-run), so
+    // a live /metrics read and the end-of-run dump expose the same set.
+    mdz::obs::PreRegisterCoreMetrics();
+    const Status s = server.Start(listen_address);
+    if (!s.ok()) return Fail(s);
+    // stderr on purpose: --quiet only silences informational stdout, and
+    // tests (and humans redirecting stdout) need the resolved port.
+    std::fprintf(stderr, "telemetry: listening on http://%s:%u/\n",
+                 listen_address.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+  }
+
+  mdz::obs::ResourceSampler sampler(
+      nullptr,
+      [] {
+        return static_cast<uint64_t>(std::max<int64_t>(
+            0, mdz::obs::MetricsRegistry::Global()
+                   .GetGauge("pool/queue_depth")
+                   ->Value()));
+      },
+      [] {
+        return mdz::obs::MetricsRegistry::Global()
+            .GetCounter("compress/bytes_out")
+            ->Value();
+      });
+  if (tracing || listening) sampler.Start(/*interval_ms=*/50);
+
+  if (flags->stream || listening || tracing || command == "append") {
+    InstallSignalHandlers();
+  }
+
+  int code = RunCommand(command, *flags);
+
+  sampler.Stop();
+  server.Stop();
+  if (tracing) {
+    auto& timeline = mdz::obs::Timeline::Global();
+    timeline.SetRecording(false);
+    const Status ts =
+        mdz::obs::WriteChromeTraceFile(timeline, flags->trace_timeline);
+    if (!ts.ok()) {
+      const int tcode = Fail(ts);
+      if (code == kExitOk) code = tcode;
+    } else {
+      Say("timeline: %zu events -> %s\n", timeline.store_size(),
+          flags->trace_timeline.c_str());
+    }
+  }
+  return code;
 }
