@@ -18,6 +18,7 @@
 
 #include <arpa/inet.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #endif
@@ -235,12 +236,27 @@ void TelemetryServer::HandleConnection(int client_fd) {
   } else {
     response = RouteRequest(line.substr(sp1 + 1, sp2 - sp1 - 1));
   }
+  // Response write mirrors the read side's bounded patience. MSG_NOSIGNAL
+  // turns a client that closed early (health probe, curl timeout) into an
+  // EPIPE error instead of a process-killing SIGPIPE, and the send timeout
+  // plus wall-clock deadline keep a reader that stalls mid-response from
+  // wedging the single serve thread (and Stop()'s join) forever.
+  const timeval send_timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   size_t off = 0;
-  while (off < response.size()) {
-    const ssize_t n =
-        ::write(client_fd, response.data() + off, response.size() - off);
-    if (n <= 0) break;
-    off += static_cast<size_t>(n);
+  while (off < response.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::send(client_fd, response.data() + off,
+                             response.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer gone (EPIPE/ECONNRESET) or send timed out (EAGAIN)
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -121,6 +121,21 @@ uint64_t NextTimelineId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Ids of Timeline instances currently alive. Threads consult this to shed
+// tls_rings entries for destroyed instances — otherwise a long-lived thread
+// would permanently retain one ring (~2.6 MB at default capacity) per dead
+// test-scoped Timeline it ever recorded into. Leaked on purpose: threads
+// may outlive static destruction.
+std::mutex& LiveTimelineIdsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<uint64_t>& LiveTimelineIdsLocked() {
+  static auto* ids = new std::unordered_set<uint64_t>();
+  return *ids;
+}
+
 std::atomic<uint32_t> g_next_tid{1};
 
 uint32_t ThisThreadTid() {
@@ -147,6 +162,8 @@ std::vector<Timeline::ThreadName>& ThreadNamesLocked() {
 
 uint32_t TimelineThreadId() { return ThisThreadTid(); }
 
+size_t ThreadRingCountForTest() { return tls_rings.map.size(); }
+
 void SetTimelineThreadName(const char* name) {
   const uint32_t tid = ThisThreadTid();
   std::lock_guard<std::mutex> lock(ThreadNamesMutex());
@@ -165,9 +182,15 @@ void SetTimelineThreadName(const char* name) {
 Timeline::Timeline(size_t ring_capacity, size_t store_capacity)
     : id_(NextTimelineId()),
       ring_capacity_(std::max<size_t>(ring_capacity, 8)),
-      store_capacity_(std::max<size_t>(store_capacity, 8)) {}
+      store_capacity_(std::max<size_t>(store_capacity, 8)) {
+  std::lock_guard<std::mutex> lock(LiveTimelineIdsMutex());
+  LiveTimelineIdsLocked().insert(id_);
+}
 
-Timeline::~Timeline() = default;
+Timeline::~Timeline() {
+  std::lock_guard<std::mutex> lock(LiveTimelineIdsMutex());
+  LiveTimelineIdsLocked().erase(id_);
+}
 
 Timeline& Timeline::Global() {
   static Timeline* timeline = new Timeline();  // never destroyed
@@ -179,29 +202,49 @@ void Timeline::SetRecording(bool on) {
 }
 
 Timeline::Ring* Timeline::RingForThisThread() {
-  auto& slot = tls_rings.map[id_];
-  if (slot == nullptr) {
-    slot = std::make_shared<Ring>(ring_capacity_);
-    slot->tid = ThisThreadTid();
-    std::lock_guard<std::mutex> lock(rings_mu_);
-    rings_.push_back(slot);
+  auto& map = tls_rings.map;
+  auto it = map.find(id_);
+  if (it == map.end()) {
+    // Slow path (first event into this Timeline from this thread): before
+    // allocating, drop this thread's rings for Timelines that no longer
+    // exist, so dead entries never outlive the next ring creation.
+    {
+      std::lock_guard<std::mutex> lock(LiveTimelineIdsMutex());
+      const auto& live = LiveTimelineIdsLocked();
+      for (auto dead = map.begin(); dead != map.end();) {
+        dead = live.count(dead->first) == 0 ? map.erase(dead)
+                                            : std::next(dead);
+      }
+    }
+    auto ring = std::make_shared<Ring>(ring_capacity_);
+    ring->tid = ThisThreadTid();
+    {
+      std::lock_guard<std::mutex> lock(rings_mu_);
+      rings_.push_back(ring);
+    }
+    it = map.emplace(id_, std::move(ring)).first;
   }
-  return slot.get();
+  return it->second.get();
 }
 
 void Timeline::Record(const char* name, EventPhase phase) {
-  Record(name, phase, 0, 0);
+  // No explicit parent: attribute the event to the thread's innermost open
+  // span (0 when outside any span).
+  Record(name, phase, 0, tls_context.span_id);
 }
 
 void Timeline::Record(const char* name, EventPhase phase, uint64_t span_id,
                       uint64_t parent_span_id) {
+  // The caller's parent is authoritative — no thread-local fallback. By the
+  // time SpanTimer::Begin records, tls_context.span_id is already the new
+  // span itself; falling back here would make every root span its own
+  // parent.
   TimelineEvent event;
   event.name = name;
   event.ts_ns = TimelineNowNs();
   event.trace_id = tls_context.trace_id;
   event.span_id = span_id;
-  event.parent_span_id =
-      parent_span_id != 0 ? parent_span_id : tls_context.span_id;
+  event.parent_span_id = parent_span_id;
   event.tid = ThisThreadTid();
   event.phase = phase;
   RingForThisThread()->Push(event);
@@ -215,8 +258,7 @@ void Timeline::Record(const char* name, EventPhase phase, uint64_t span_id,
   event.ts_ns = TimelineNowNs();
   event.trace_id = tls_context.trace_id;
   event.span_id = span_id;
-  event.parent_span_id =
-      parent_span_id != 0 ? parent_span_id : tls_context.span_id;
+  event.parent_span_id = parent_span_id;
   event.tid = ThisThreadTid();
   event.phase = phase;
   event.args[event.arg_count++] = {k0, v0};

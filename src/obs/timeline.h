@@ -147,6 +147,10 @@ uint32_t TimelineThreadId();
 // "stream-reader", …). Literal lifetime; last call wins.
 void SetTimelineThreadName(const char* name);
 
+// How many per-Timeline rings the calling thread currently holds (tests:
+// rings of destroyed Timelines must be pruned, not retained forever).
+size_t ThreadRingCountForTest();
+
 // --- Timeline ---------------------------------------------------------------
 
 // Per-thread ring registry + central drained store. Global() is what every
@@ -172,8 +176,10 @@ class Timeline {
   void SetRecording(bool on);
 
   // Records one event from the calling thread (wait-free; drops + counts
-  // when the thread's ring is full). ts/tid/context fields are filled in
-  // here; callers set name/phase/args.
+  // when the thread's ring is full). ts/tid/trace-id are filled in here;
+  // callers set name/phase/args. Overloads taking span ids record
+  // `parent_span_id` verbatim (0 = root); the two-argument form parents
+  // onto the thread's innermost open span.
   void Record(const char* name, EventPhase phase);
   void Record(const char* name, EventPhase phase, uint64_t span_id,
               uint64_t parent_span_id);
@@ -266,6 +272,7 @@ std::vector<SpanSummary> RecentSpans(Timeline& timeline, size_t limit);
 inline uint64_t TimelineNowNs() { return 0; }
 inline uint32_t TimelineThreadId() { return 0; }
 inline void SetTimelineThreadName(const char*) {}
+inline size_t ThreadRingCountForTest() { return 0; }
 
 class Timeline {
  public:

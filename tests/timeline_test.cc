@@ -211,6 +211,57 @@ TEST(ObsTimelineTest, SpansNestAcrossPoolThreads) {
   }
 }
 
+// A span opened with no enclosing trace or span is a root: its begin event
+// must carry parent 0, not its own id (by the time the event is recorded
+// the thread-local context already points at the new span, so any tls
+// fallback in Record would self-parent it).
+TEST(ObsTimelineTest, RootSpanHasNoParent) {
+  EnabledGuard enabled(true);
+  Timeline& timeline = Timeline::Global();
+  RecordingGuard recording(timeline);
+  ScopedTraceContext clean(TraceContext{});  // no trace, no open span
+
+  uint64_t span_id = 0;
+  {
+    MDZ_SPAN("root");
+    span_id = CurrentTraceContext().span_id;
+    EXPECT_NE(span_id, 0u);
+  }
+
+  bool saw_begin = false;
+  for (const auto& e : timeline.Snapshot()) {
+    if (e.phase == EventPhase::kBegin && e.span_id == span_id) {
+      saw_begin = true;
+      EXPECT_EQ(e.parent_span_id, 0u);
+      EXPECT_NE(e.parent_span_id, e.span_id);
+    }
+  }
+  EXPECT_TRUE(saw_begin);
+}
+
+// A thread that recorded into a since-destroyed Timeline must not retain
+// that ring forever: the entry is pruned when the thread next creates a
+// ring, so dead test-scoped Timelines cannot accumulate ~MBs per thread.
+TEST(ObsTimelineTest, DeadTimelineRingsArePrunedFromThreads) {
+  // Anchor ring creation prunes entries left over from earlier tests, so
+  // every entry counted in `base` belongs to a still-live Timeline.
+  Timeline anchor(/*ring_capacity=*/64, /*store_capacity=*/256);
+  anchor.SetRecording(true);
+  anchor.Record("evt", EventPhase::kInstant);
+  const size_t base = ThreadRingCountForTest();
+  {
+    Timeline dead(/*ring_capacity=*/64, /*store_capacity=*/256);
+    dead.SetRecording(true);
+    dead.Record("evt", EventPhase::kInstant);
+    EXPECT_EQ(ThreadRingCountForTest(), base + 1);
+  }
+  Timeline fresh(/*ring_capacity=*/64, /*store_capacity=*/256);
+  fresh.SetRecording(true);
+  fresh.Record("evt", EventPhase::kInstant);  // creation prunes the dead ring
+  EXPECT_EQ(ThreadRingCountForTest(), base + 1);
+  EXPECT_EQ(fresh.store_size() + fresh.DrainRings(), 1u);
+}
+
 TEST(ObsTimelineTest, RecentSpansPairsAndOrders) {
   Timeline timeline(/*ring_capacity=*/64, /*store_capacity=*/1 << 10);
   timeline.SetRecording(true);

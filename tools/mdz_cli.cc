@@ -26,12 +26,14 @@
 // turns any sample beyond the stream's error bound into exit code 5.
 //
 // Exit codes (asserted by tests/cli_test.sh):
-//   0  success
-//   1  other runtime failure
-//   2  usage error / invalid arguments
-//   3  I/O failure (unreadable input, unwritable output)
-//   4  corrupt archive
-//   5  error-bound violation found by audit
+//   0    success
+//   1    other runtime failure
+//   2    usage error / invalid arguments
+//   3    I/O failure (unreadable input, unwritable output)
+//   4    corrupt archive
+//   5    error-bound violation found by audit
+//   130  streamed run interrupted (SIGINT/SIGTERM); the archive/output is
+//        sealed and valid but holds only the snapshots pumped so far
 
 #include <algorithm>
 #include <atomic>
@@ -83,6 +85,9 @@ constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitCorruption = 4;
 constexpr int kExitBoundViolation = 5;
+// 128 + SIGINT: a cancelled --stream/append run sealed a valid but partial
+// output; scripts must not mistake it for a complete one.
+constexpr int kExitInterrupted = 130;
 
 constexpr const char* kMdzVersion = "0.3.0";
 
@@ -582,7 +587,7 @@ int CmdCompressStream(const Flags& flags) {
       stats->snapshots, sink.writer().num_particles(), raw / 1e6, out / 1e6,
       out > 0 ? static_cast<double>(raw) / out : 0.0, raw / 1e6 / seconds,
       stats->peak_in_flight);
-  return kExitOk;
+  return stats->cancelled ? kExitInterrupted : kExitOk;
 }
 
 int CmdCompress(const Flags& flags) {
@@ -694,7 +699,7 @@ int CmdDecompressStream(const Flags& flags) {
   Say("wrote %s: %zu snapshots x %zu atoms (peak %zu in flight)\n",
       flags.positional[1].c_str(), stats->snapshots,
       (*source)->num_particles(), stats->peak_in_flight);
-  return kExitOk;
+  return stats->cancelled ? kExitInterrupted : kExitOk;
 }
 
 int CmdDecompress(const Flags& flags) {
@@ -776,7 +781,7 @@ int CmdAppend(const Flags& flags) {
   Say("appended %zu snapshots to %s (%llu total)\n", stats->snapshots,
       flags.positional[0].c_str(),
       static_cast<unsigned long long>(already + stats->snapshots));
-  return kExitOk;
+  return stats->cancelled ? kExitInterrupted : kExitOk;
 }
 
 int CmdInfo(const Flags& flags) {
