@@ -1,0 +1,129 @@
+// Sampling-profiler overhead guard (not a paper exhibit): the same
+// compression work is timed with the profiler off (the default for every
+// paper bench) and with SIGPROF sampling live at 99 Hz. The gated "x"
+// metrics are the invariants: profiling must not change the output bytes,
+// and the off/on wall-time ratio must stay within 2% — the handler is a
+// backtrace(3) into a preclaimed per-thread ring, ~microseconds per tick,
+// 99 of them per CPU-second.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/mdz.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace {
+
+// Best-of-N wall time for one full compression of `traj`; returns the
+// compressed size through `out_bytes` for the byte-identity check.
+double BestCompressSeconds(const mdz::core::Trajectory& traj,
+                          const mdz::core::Options& options, int reps,
+                          std::string* out_bytes) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mdz::WallTimer timer;
+    auto compressed = mdz::core::CompressTrajectory(traj, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "FATAL: compress: %s\n",
+                   compressed.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (r == 0) {
+      out_bytes->clear();
+      for (const auto& axis : compressed->axes) {
+        out_bytes->append(reinterpret_cast<const char*>(axis.data()),
+                          axis.size());
+      }
+    }
+    if (best == 0.0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Profiler overhead: sampling off vs SIGPROF at 99 Hz "
+      "(eps=1e-3, ADP) ===\n\n");
+
+  mdz::bench::TablePrinter table({"Dataset", "Off MB/s", "On MB/s", "On/Off",
+                                  "Samples"},
+                                 14);
+  table.PrintHeader();
+
+  mdz::bench::BenchReport report("profiler_overhead");
+  const int kReps = 3;
+
+  for (const char* dataset : {"Copper-B", "LJ"}) {
+    const mdz::core::Trajectory traj = mdz::bench::LoadDataset(dataset);
+    const size_t raw_bytes = traj.raw_bytes();
+
+    mdz::core::Options options;
+    options.error_bound = 1e-3;
+
+    // Profiler off: the production default every other bench runs under.
+    std::string off_bytes;
+    const double off_seconds =
+        BestCompressSeconds(traj, options, kReps, &off_bytes);
+
+    // Profiler on: metrics enabled (the profiler syncs its tallies into
+    // counter families) and SIGPROF arming the whole process at 99 Hz.
+    mdz::obs::SetEnabled(true);
+    mdz::obs::Profiler& profiler = mdz::obs::Profiler::Global();
+    if (!profiler.Start(99).ok()) {
+      std::fprintf(stderr, "FATAL: profiler failed to start\n");
+      return 1;
+    }
+    std::string on_bytes;
+    const double on_seconds =
+        BestCompressSeconds(traj, options, kReps, &on_bytes);
+    profiler.Stop();
+    const unsigned long long samples =
+        static_cast<unsigned long long>(profiler.samples());
+    profiler.ClearStore();
+    mdz::obs::SetEnabled(false);
+
+    const auto mbps = [raw_bytes](double seconds) {
+      return seconds <= 0.0 ? 0.0 : raw_bytes / 1e6 / seconds;
+    };
+    const double ratio =
+        on_seconds <= 0.0 ? 0.0 : off_seconds > 0.0 ? on_seconds / off_seconds
+                                                    : 0.0;
+    const bool identical = !off_bytes.empty() && off_bytes == on_bytes;
+    // 2% is the headline budget from the design: 99 stacks/second against a
+    // compressor that moves tens of MB/s leaves the handler in the noise.
+    // Best-of-3 absorbs most shared-runner jitter; the floor term keeps a
+    // sub-millisecond smoke run (MDZ_BENCH_SCALE near zero) from failing on
+    // scheduler quantum noise alone.
+    const bool within_budget =
+        off_seconds > 0.0 &&
+        on_seconds <= off_seconds * 1.02 + 0.005;
+
+    table.PrintRow({dataset, mdz::bench::Fmt(mbps(off_seconds), 1),
+                    mdz::bench::Fmt(mbps(on_seconds), 1),
+                    mdz::bench::Fmt(ratio, 3),
+                    mdz::bench::Fmt(static_cast<double>(samples), 0)});
+
+    report.Add(std::string(dataset) + "/off_mbps", mbps(off_seconds), "MB/s");
+    report.Add(std::string(dataset) + "/on_mbps", mbps(on_seconds), "MB/s");
+    // Informational only ("ratio" is not a gated unit): on/off wall time.
+    report.Add(std::string(dataset) + "/on_over_off_time", ratio, "ratio");
+    // Exact invariants, gated at unit "x": 1 = holds, 0 = broken.
+    report.Add(std::string(dataset) + "/bytes_identical",
+               identical ? 1.0 : 0.0, "x");
+    report.Add(std::string(dataset) + "/on_within_budget",
+               within_budget ? 1.0 : 0.0, "x");
+  }
+
+  report.Emit();
+  std::printf(
+      "\nExpected shape: identical output bytes in both modes, and an\n"
+      "on/off time ratio within 1.02 — each SIGPROF tick costs a\n"
+      "backtrace(3) and a ring push, so the compressor dominates.\n");
+  return 0;
+}

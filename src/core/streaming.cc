@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/timeline.h"
 
@@ -158,6 +159,7 @@ Result<StreamStats> StreamingCompressor::Pump(SnapshotSource* source,
   const obs::TraceContext trace_context = obs::CurrentTraceContext();
   std::thread producer([&, trace_context]() {
     obs::SetTimelineThreadName("stream-reader");
+    obs::PrepareThreadForProfiling();
     obs::ScopedTraceContext adopted(trace_context);
     Snapshot snapshot;
     while (true) {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace mdz::core {
 
@@ -94,6 +95,9 @@ size_t ThreadPool::ClaimIterationLocked(Batch* batch) {
 
 void ThreadPool::WorkerLoop() {
   obs::SetTimelineThreadName("pool-worker");
+  // Claim the profiler ring / span-stack slot here, in normal context,
+  // rather than inside the first SIGPROF delivered to this worker.
+  obs::PrepareThreadForProfiling();
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });

@@ -51,6 +51,37 @@ std::string PromName(const std::string& name) {
 
 }  // namespace
 
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& bucket_counts,
+                         double q) {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t total = 0;
+  for (const uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) < rank ||
+        in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: no upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double within =
+        (rank - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * (within < 0.0 ? 0.0 : within);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::string ToJson(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snap = registry.Collect();
   std::string out =
@@ -76,6 +107,15 @@ std::string ToJson(const MetricsRegistry& registry) {
     first = false;
     out += '"' + JsonEscape(h.name) + "\":{\"count\":" +
            std::to_string(h.count) + ",\"sum\":" + FormatDouble(h.sum) +
+           // Derived latency quantiles (interpolated; see HistogramQuantile).
+           // Prometheus consumers keep computing their own from the raw
+           // buckets below — these are for humans and jq one-liners.
+           ",\"p50\":" +
+           FormatDouble(HistogramQuantile(h.bounds, h.bucket_counts, 0.50)) +
+           ",\"p95\":" +
+           FormatDouble(HistogramQuantile(h.bounds, h.bucket_counts, 0.95)) +
+           ",\"p99\":" +
+           FormatDouble(HistogramQuantile(h.bounds, h.bucket_counts, 0.99)) +
            ",\"buckets\":[";
     for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out += ',';

@@ -6,12 +6,25 @@
 // Prometheus text exposition format. Both render a point-in-time
 // Collect() — neither mutates the registry.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/status.h"
 
 namespace mdz::obs {
+
+// Quantile estimate from fixed histogram buckets, linearly interpolated
+// within the bucket the target rank falls in (the standard Prometheus
+// histogram_quantile estimator). Buckets are assumed to cover non-negative
+// observations (durations): the first bucket's lower edge is 0. The +Inf
+// bucket cannot be interpolated, so a rank landing there reports the
+// largest finite bound. Returns 0 for an empty histogram; `q` is clamped
+// to [0, 1]. `bucket_counts` is non-cumulative, size bounds.size()+1.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& bucket_counts,
+                         double q);
 
 // {"schema":"mdz.metrics.v1","counters":{...},"gauges":{...},
 //  "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}

@@ -1,0 +1,371 @@
+#include "obs/flight_recorder.h"
+
+#ifndef MDZ_OBS_DISABLED
+
+#include <execinfo.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeline.h"
+
+namespace mdz::obs {
+
+namespace {
+
+// Everything the handler reads is plain static state, fully initialized by
+// Install() before any hooked signal can care about it.
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE};
+constexpr size_t kReportBacktraceDepth = 64;
+constexpr size_t kReportTimelineEvents = 24;
+
+std::atomic<int> g_report_fd{-1};
+std::atomic<bool> g_installed{false};
+// First crasher wins; a second fatal signal (including one raised *by* the
+// dump, e.g. a SEGV while peeking rings) skips straight to the re-raise.
+std::atomic<int> g_crash_in_progress{0};
+
+// Build-info header, rendered once at Install (std::string is off-limits
+// in the handler).
+char g_build_header[1024];
+
+// Metric snapshot table: names + Counter pointers resolved at Install.
+// Counter::Value() is relaxed atomic loads over preallocated shards —
+// signal-safe through a pre-resolved pointer.
+struct MetricEntry {
+  const char* name;
+  const Counter* counter;
+};
+constexpr const char* kSnapshotCounters[] = {
+    "compress/snapshots_in", "compress/blocks",   "compress/bytes_raw",
+    "compress/bytes_out",    "decompress/blocks", "decompress/snapshots",
+    "pool/batches",          "pool/tasks",        "stream/snapshots",
+    "archive/frames_written", "archive/frames_decoded",
+    "profiler/samples",      "profiler/drops",    "profiler/signal_overruns",
+};
+constexpr size_t kSnapshotCounterCount =
+    sizeof(kSnapshotCounters) / sizeof(kSnapshotCounters[0]);
+MetricEntry g_metric_table[kSnapshotCounterCount];
+size_t g_metric_count = 0;
+
+// sigaltstack storage (static: no allocation at install either). Fixed
+// 64 KiB rather than SIGSTKSZ, which stopped being a compile-time constant
+// in glibc 2.34; backtrace_symbols_fd needs the headroom anyway.
+char g_alt_stack[64 * 1024];
+
+// --- write(2)-only formatting ----------------------------------------------
+
+void WriteRaw(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteStr(int fd, const char* s) { WriteRaw(fd, s, std::strlen(s)); }
+
+void WriteDec(int fd, uint64_t value) {
+  char buf[24];
+  size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  WriteRaw(fd, buf + i, sizeof(buf) - i);
+}
+
+void WriteHex(int fd, uint64_t value) {
+  char buf[20];
+  size_t i = sizeof(buf);
+  do {
+    const unsigned digit = static_cast<unsigned>(value & 0xF);
+    buf[--i] = static_cast<char>(digit < 10 ? '0' + digit : 'a' + digit - 10);
+    value >>= 4;
+  } while (value != 0);
+  buf[--i] = 'x';
+  buf[--i] = '0';
+  WriteRaw(fd, buf + i, sizeof(buf) - i);
+}
+
+const char* SignalName(int signal_number) {
+  switch (signal_number) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case 0: return "none (snapshot)";
+    default: return "unknown";
+  }
+}
+
+void CrashHandler(int signal_number, siginfo_t* info, void*) {
+  if (g_crash_in_progress.exchange(1, std::memory_order_acq_rel) == 0) {
+    const int fd = g_report_fd.load(std::memory_order_acquire);
+    if (fd >= 0) {
+      const void* fault_addr = nullptr;
+      if (info != nullptr && (signal_number == SIGSEGV ||
+                              signal_number == SIGBUS ||
+                              signal_number == SIGFPE)) {
+        fault_addr = info->si_addr;
+      }
+      FlightRecorder::WriteReport(fd, signal_number, fault_addr);
+      ::fsync(fd);
+    }
+  }
+  // Restore default disposition, unblock, and re-raise so the process dies
+  // with the original signal (core dumps and 128+N exit codes intact).
+  signal(signal_number, SIG_DFL);
+  sigset_t unblock;
+  sigemptyset(&unblock);
+  sigaddset(&unblock, signal_number);
+  sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+  raise(signal_number);
+}
+
+}  // namespace
+
+Status FlightRecorder::Install(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("flight recorder: cannot open " + path);
+  }
+
+  // Pre-render the build header.
+  const BuildInfo& build = GetBuildInfo();
+  std::snprintf(g_build_header, sizeof(g_build_header),
+                "build: git_sha=%s git_describe=%s\n"
+                "build: compiler=%s\n"
+                "build: flags=%s\n",
+                build.git_sha.c_str(), build.git_describe.c_str(),
+                build.compiler.c_str(), build.flags.c_str());
+
+  // Resolve the metric table (registration takes a mutex: Install only).
+  auto& registry = MetricsRegistry::Global();
+  g_metric_count = 0;
+  for (const char* name : kSnapshotCounters) {
+    g_metric_table[g_metric_count++] = {name, registry.GetCounter(name)};
+  }
+
+  // Prime backtrace's lazy loading, as the profiler does.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  const int previous_fd = g_report_fd.exchange(fd, std::memory_order_acq_rel);
+  if (previous_fd >= 0) ::close(previous_fd);
+
+  if (!g_installed.exchange(true, std::memory_order_acq_rel)) {
+    stack_t alt{};
+    alt.ss_sp = g_alt_stack;
+    alt.ss_size = sizeof(g_alt_stack);
+    alt.ss_flags = 0;
+    sigaltstack(&alt, nullptr);
+
+    struct sigaction action {};
+    action.sa_sigaction = CrashHandler;
+    action.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : kFatalSignals) {
+      sigaction(sig, &action, nullptr);
+    }
+  }
+  return Status::OK();
+}
+
+bool FlightRecorder::installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::WriteReport(int fd, int signal_number,
+                                 const void* fault_addr) {
+  WriteStr(fd, "=== mdz flight recorder ===\n");
+  WriteStr(fd, "signal: ");
+  WriteStr(fd, SignalName(signal_number));
+  WriteStr(fd, " (");
+  WriteDec(fd, static_cast<uint64_t>(signal_number));
+  WriteStr(fd, ")");
+  if (fault_addr != nullptr) {
+    WriteStr(fd, " fault_addr: ");
+    WriteHex(fd, reinterpret_cast<uint64_t>(fault_addr));
+  }
+  WriteStr(fd, "\n");
+  WriteStr(fd, g_build_header);
+
+  WriteStr(fd, "backtrace:\n");
+  void* frames[kReportBacktraceDepth];
+  const int depth = ::backtrace(frames, kReportBacktraceDepth);
+  if (depth > 0) {
+    ::backtrace_symbols_fd(frames, depth, fd);
+  } else {
+    WriteStr(fd, "  (unavailable)\n");
+  }
+
+  WriteStr(fd, "active spans:\n");
+  bool any_spans = false;
+  const size_t stacks = AsyncSpanStackCount();
+  for (size_t i = 0; i < stacks; ++i) {
+    const AsyncSpanStack* stack = AsyncSpanStackAt(i);
+    if (stack == nullptr) continue;
+    const uint32_t tid = stack->tid.load(std::memory_order_relaxed);
+    uint32_t depth_now = stack->depth.load(std::memory_order_acquire);
+    if (tid == 0 || depth_now == 0) continue;
+    if (depth_now > AsyncSpanStack::kMaxDepth) {
+      depth_now = AsyncSpanStack::kMaxDepth;
+    }
+    any_spans = true;
+    WriteStr(fd, "  tid ");
+    WriteDec(fd, tid);
+    WriteStr(fd, ":");
+    for (uint32_t d = 0; d < depth_now; ++d) {
+      const char* name = stack->names[d].load(std::memory_order_relaxed);
+      WriteStr(fd, d == 0 ? " " : " > ");
+      WriteStr(fd, name != nullptr ? name : "?");
+    }
+    WriteStr(fd, "\n");
+  }
+  if (!any_spans) WriteStr(fd, "  (none open)\n");
+
+  WriteStr(fd, "recent timeline events (oldest first):\n");
+  TimelineEvent events[kReportTimelineEvents];
+  const size_t n_events =
+      Timeline::Global().PeekRecentForCrash(events, kReportTimelineEvents);
+  if (n_events == 0) {
+    WriteStr(fd, "  (none, or timeline busy)\n");
+  }
+  for (size_t i = 0; i < n_events; ++i) {
+    const TimelineEvent& e = events[i];
+    WriteStr(fd, "  ts_ns=");
+    WriteDec(fd, e.ts_ns);
+    WriteStr(fd, " tid=");
+    WriteDec(fd, e.tid);
+    WriteStr(fd, " ph=");
+    switch (e.phase) {
+      case EventPhase::kBegin: WriteStr(fd, "B"); break;
+      case EventPhase::kEnd: WriteStr(fd, "E"); break;
+      case EventPhase::kInstant: WriteStr(fd, "i"); break;
+      case EventPhase::kCounter: WriteStr(fd, "C"); break;
+    }
+    WriteStr(fd, " ");
+    WriteStr(fd, e.name != nullptr ? e.name : "?");
+    if (e.span_id != 0) {
+      WriteStr(fd, " span=");
+      WriteDec(fd, e.span_id);
+    }
+    WriteStr(fd, "\n");
+  }
+
+  WriteStr(fd, "metrics:\n");
+  for (size_t i = 0; i < g_metric_count; ++i) {
+    WriteStr(fd, "  ");
+    WriteStr(fd, g_metric_table[i].name);
+    WriteStr(fd, ": ");
+    WriteDec(fd, g_metric_table[i].counter->Value());
+    WriteStr(fd, "\n");
+  }
+  WriteStr(fd, "=== end of report ===\n");
+}
+
+// --- /flightz ---------------------------------------------------------------
+
+namespace {
+
+std::string JsonEscapeText(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out += '\\';
+    if (static_cast<unsigned char>(*p) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", *p);
+      out += buf;
+      continue;
+    }
+    out += *p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FlightzJson(const MetricsRegistry& registry, Timeline& timeline) {
+  std::string out = "{\"schema\":\"mdz.flightz.v1\",\"installed\":";
+  out += FlightRecorder::installed() ? "true" : "false";
+  out += ",\"build\":" + BuildInfoJson();
+
+  out += ",\"active_spans\":[";
+  bool first = true;
+  const size_t stacks = AsyncSpanStackCount();
+  for (size_t i = 0; i < stacks; ++i) {
+    const AsyncSpanStack* stack = AsyncSpanStackAt(i);
+    if (stack == nullptr) continue;
+    const uint32_t tid = stack->tid.load(std::memory_order_relaxed);
+    uint32_t depth = stack->depth.load(std::memory_order_acquire);
+    if (tid == 0 || depth == 0) continue;
+    if (depth > AsyncSpanStack::kMaxDepth) depth = AsyncSpanStack::kMaxDepth;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"tid\":" + std::to_string(tid) + ",\"spans\":[";
+    for (uint32_t d = 0; d < depth; ++d) {
+      const char* name = stack->names[d].load(std::memory_order_relaxed);
+      if (d > 0) out += ',';
+      out += '"' + JsonEscapeText(name != nullptr ? name : "?") + '"';
+    }
+    out += "]}";
+  }
+  out += "]";
+
+  out += ",\"recent_events\":[";
+  TimelineEvent events[kReportTimelineEvents];
+  const size_t n_events =
+      timeline.PeekRecentForCrash(events, kReportTimelineEvents);
+  for (size_t i = 0; i < n_events; ++i) {
+    const TimelineEvent& e = events[i];
+    if (i > 0) out += ',';
+    const char* phase = "i";
+    switch (e.phase) {
+      case EventPhase::kBegin: phase = "B"; break;
+      case EventPhase::kEnd: phase = "E"; break;
+      case EventPhase::kInstant: phase = "i"; break;
+      case EventPhase::kCounter: phase = "C"; break;
+    }
+    out += "{\"name\":\"" + JsonEscapeText(e.name != nullptr ? e.name : "?") +
+           "\",\"ph\":\"" + phase + "\",\"ts_ns\":" + std::to_string(e.ts_ns) +
+           ",\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "]";
+
+  out += ",\"counters\":{";
+  first = true;
+  const MetricsRegistry::Snapshot snap = registry.Collect();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("profiler/", 0) != 0 && name.rfind("compress/", 0) != 0 &&
+        name.rfind("stream/", 0) != 0) {
+      continue;
+    }
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscapeText(name.c_str()) +
+           "\":" + std::to_string(value);
+  }
+  out += "},\"timeline_ring_dropped\":" +
+         std::to_string(timeline.ring_dropped()) +
+         ",\"timeline_store_evicted\":" +
+         std::to_string(timeline.store_evicted()) + "}";
+  return out;
+}
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_DISABLED

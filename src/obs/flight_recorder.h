@@ -1,0 +1,79 @@
+#ifndef MDZ_OBS_FLIGHT_RECORDER_H_
+#define MDZ_OBS_FLIGHT_RECORDER_H_
+
+// Crash flight recorder: a post-mortem dump of "what was the process doing
+// when it died", written from a fatal-signal handler with nothing but
+// write(2). Install() opens the report file up front (no open() in the
+// handler), pre-renders everything renderable ahead of time (the build-info
+// header, the metric name/pointer table), sets up an alternate signal stack
+// (a report on stack overflow needs somewhere to run), and hooks
+// SIGSEGV/SIGBUS/SIGABRT/SIGFPE. The handler dumps, restores the default
+// disposition, and re-raises — exit codes and core dumps behave exactly as
+// without the recorder.
+//
+// Report contents, best effort in decreasing order of reliability:
+//   * signal name + number (+ fault address for SEGV/BUS/FPE)
+//   * build info (git sha/describe, compiler, flags) — pre-rendered text
+//   * backtrace of the crashing thread (backtrace_symbols_fd; primed at
+//     Install so the lazy libgcc load never happens in the handler)
+//   * active span stack per thread (obs/span.h's async-readable stacks)
+//   * the last N timeline events still in the PR-7 rings/store
+//     (Timeline::PeekRecentForCrash — try_lock, never blocks)
+//   * a metric snapshot through counter pointers resolved at Install
+//
+// The same live state (minus the backtrace) is served as JSON on the
+// telemetry endpoint's /flightz route via FlightzJson().
+
+#include <string>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+class MetricsRegistry;
+class Timeline;
+
+#ifndef MDZ_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  // Opens (truncates) `path`, installs the fatal-signal handlers and the
+  // alternate stack. Install is process-wide and sticky: calling it again
+  // re-points the report at a new file. Internal if the file can't be
+  // opened.
+  static Status Install(const std::string& path);
+
+  static bool installed();
+
+  // Renders the report to `fd` as the handler would (minus the re-raise).
+  // `signal_number` 0 reads as a non-crash snapshot. Exposed so tests can
+  // validate report content without dying.
+  static void WriteReport(int fd, int signal_number, const void* fault_addr);
+};
+
+// JSON snapshot of the flight-recorder state for GET /flightz:
+// {"schema":"mdz.flightz.v1","installed":…,"build":{…},
+//  "active_spans":[{"tid":…,"spans":[…]}],"recent_events":[…],
+//  "counters":{…}} — normal context, allocation allowed.
+std::string FlightzJson(const MetricsRegistry& registry, Timeline& timeline);
+
+#else  // MDZ_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  static Status Install(const std::string&) {
+    return Status::FailedPrecondition("flight recorder compiled out");
+  }
+  static bool installed() { return false; }
+  static void WriteReport(int, int, const void*) {}
+};
+
+inline std::string FlightzJson(const MetricsRegistry&, Timeline&) {
+  return "{\"schema\":\"mdz.flightz.v1\",\"installed\":false}";
+}
+
+#endif  // MDZ_OBS_DISABLED
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_FLIGHT_RECORDER_H_

@@ -177,6 +177,8 @@ void PreRegisterCoreMetrics() {
       "archive/frames_written", "archive/frames_decoded",
       "archive/cache_hit",     "archive/cache_miss",
       "archive/reference_decodes", "audit/nonfinite_inputs",
+      "profiler/samples",      "profiler/drops",
+      "profiler/signal_overruns",
   };
   static constexpr const char* kGauges[] = {
       "pool/queue_depth",      "stream/peak_in_flight",

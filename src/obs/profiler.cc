@@ -1,0 +1,648 @@
+#include "obs/profiler.h"
+
+#ifndef MDZ_OBS_DISABLED
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cerrno>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeline.h"
+
+namespace mdz::obs {
+
+namespace {
+
+// The profiler whose handler is live. SIGPROF and setitimer are process
+// state, so at most one Profiler runs at a time; the handler ignores
+// signals that land while none is.
+std::atomic<Profiler*> g_active_profiler{nullptr};
+
+// Start() sessions, so a thread's cached ring pointer from a previous run
+// is never reused against a new ring pool.
+std::atomic<uint64_t> g_profiler_session{0};
+
+// POD thread-locals (zero-initialized, no guards): safe to touch on a
+// thread's very first signal.
+struct TlsRingCache {
+  uint64_t session;
+  void* ring;  // Profiler::Ring*, or nullptr when the pool was exhausted
+};
+thread_local TlsRingCache tls_ring_cache;
+thread_local volatile sig_atomic_t tls_in_capture;
+
+}  // namespace
+
+// External linkage + noinline on purpose: these two frames sit at the top
+// of every captured stack, and AggregateProfile strips them *by name* — so
+// they must stay distinct functions that dladdr can see in the dynamic
+// symbol table (-rdynamic / CMAKE_ENABLE_EXPORTS).
+__attribute__((noinline)) void ProfilerSignalHandler(int, siginfo_t*, void*) {
+  const int saved_errno = errno;
+  if (Profiler* profiler =
+          g_active_profiler.load(std::memory_order_acquire)) {
+    profiler->HandleSignal();
+  }
+  errno = saved_errno;
+}
+
+// --- Sample ring -------------------------------------------------------------
+
+// Same SPSC discipline as Timeline::Ring: the owning thread is the only
+// producer (from signal context), the mutex-serialized drainer the only
+// consumer, and a full ring drops the newest sample.
+struct Profiler::Ring {
+  explicit Ring(size_t capacity) : capacity(capacity), slots(capacity) {}
+
+  const size_t capacity;
+  std::vector<ProfileSample> slots;
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> tail{0};
+  std::atomic<uint64_t> dropped{0};
+  uint32_t tid = 0;
+
+  size_t DrainInto(std::vector<ProfileSample>* out) {
+    const uint64_t h = head.load(std::memory_order_acquire);
+    uint64_t t = tail.load(std::memory_order_relaxed);
+    const size_t n = static_cast<size_t>(h - t);
+    for (; t < h; ++t) out->push_back(slots[t % capacity]);
+    tail.store(h, std::memory_order_release);
+    return n;
+  }
+};
+
+struct Profiler::Impl {
+  const size_t ring_capacity;
+  const size_t max_threads;
+  const size_t store_capacity;
+
+  // Fixed ring pool, fully allocated in Start() before the timer is armed;
+  // the handler only ever indexes it.
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<size_t> rings_used{0};
+  uint64_t session = 0;
+
+  std::atomic<bool> running{false};
+  std::atomic<uint64_t> samples{0};
+  std::atomic<uint64_t> ring_dropped_sync{0};  // folded in at drain time
+  std::atomic<uint64_t> overruns{0};
+  uint64_t store_evicted = 0;  // under store_mu
+
+  uint64_t start_ns = 0;
+  uint64_t stop_ns = 0;
+
+  std::mutex drain_mu;  // serializes ring consumers
+  std::mutex store_mu;
+  std::vector<ProfileSample> store;
+
+  // Registry sync state (normal context only).
+  std::mutex sync_mu;
+  uint64_t synced_samples = 0;
+  uint64_t synced_dropped = 0;
+  uint64_t synced_overruns = 0;
+
+  std::atomic<bool> drain_stop{false};
+  std::thread drain_thread;
+
+  struct sigaction previous_action {};
+  bool handler_installed = false;
+
+  Impl(size_t ring_capacity, size_t max_threads, size_t store_capacity)
+      : ring_capacity(std::max<size_t>(ring_capacity, 8)),
+        max_threads(std::max<size_t>(max_threads, 1)),
+        store_capacity(std::max<size_t>(store_capacity, 8)) {}
+};
+
+Profiler::Profiler(size_t ring_capacity, size_t max_threads,
+                   size_t store_capacity)
+    : impl_(new Impl(ring_capacity, max_threads, store_capacity)) {}
+
+Profiler::~Profiler() {
+  Stop();
+  delete impl_;
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // never destroyed
+  return *profiler;
+}
+
+bool Profiler::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+Status Profiler::Start(uint32_t hz) {
+  if (hz == 0) hz = 99;
+  hz = std::min<uint32_t>(hz, 1000);
+  if (running()) return Status::FailedPrecondition("profiler already running");
+  if (g_active_profiler.load(std::memory_order_acquire) != nullptr) {
+    return Status::FailedPrecondition(
+        "another profiler is already running (SIGPROF is process state)");
+  }
+
+  // Everything the handler touches exists before the timer is armed. Drop
+  // counts of the previous session's rings fold into a carry so dropped()
+  // stays monotonic across restarts.
+  for (const auto& ring : impl_->rings) {
+    impl_->ring_dropped_sync.fetch_add(
+        ring->dropped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  impl_->rings.clear();
+  impl_->rings.reserve(impl_->max_threads);
+  for (size_t i = 0; i < impl_->max_threads; ++i) {
+    impl_->rings.push_back(std::make_unique<Ring>(impl_->ring_capacity));
+  }
+  impl_->rings_used.store(0, std::memory_order_relaxed);
+  impl_->session = g_profiler_session.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Prime the lazy pieces outside signal context: backtrace(3)'s first call
+  // may load libgcc, and the timeline clock origin is a guarded static.
+  void* prime[4];
+  ::backtrace(prime, 4);
+  impl_->start_ns = TimelineNowNs();
+  impl_->stop_ns = 0;
+
+  // Install the handler. It is deliberately never uninstalled: disarming
+  // the timer in Stop() cannot outrace an already-pending SIGPROF, and a
+  // stray signal hitting a restored SIG_DFL would kill the process. The
+  // installed handler is inert while g_active_profiler is null.
+  if (!impl_->handler_installed) {
+    struct sigaction action {};
+    action.sa_sigaction = ProfilerSignalHandler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGPROF, &action, &impl_->previous_action) != 0) {
+      return Status::Internal("sigaction(SIGPROF) failed");
+    }
+    impl_->handler_installed = true;
+  }
+
+  hz_ = hz;
+  impl_->running.store(true, std::memory_order_release);
+  Profiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(
+          expected, this, std::memory_order_acq_rel)) {
+    impl_->running.store(false, std::memory_order_release);
+    return Status::FailedPrecondition(
+        "another profiler is already running (SIGPROF is process state)");
+  }
+
+  itimerval timer{};
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / hz);
+  if (timer.it_interval.tv_usec == 0) timer.it_interval.tv_usec = 1000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    impl_->running.store(false, std::memory_order_release);
+    return Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+
+  impl_->drain_stop.store(false, std::memory_order_release);
+  impl_->drain_thread = std::thread([this] { DrainLoop(); });
+  // Register the profiler/* counter families now, not on the first drain
+  // tick: a sub-100 ms profiled run still exports them (at zero).
+  SyncMetrics();
+  return Status::OK();
+}
+
+void Profiler::Stop() {
+  if (!running()) return;
+
+  itimerval disarm{};
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_active_profiler.store(nullptr, std::memory_order_release);
+  // A signal already in flight sees the null and returns; the handler
+  // itself stays installed (see Start) so late deliveries are harmless.
+
+  impl_->drain_stop.store(true, std::memory_order_release);
+  if (impl_->drain_thread.joinable()) impl_->drain_thread.join();
+  impl_->stop_ns = TimelineNowNs();
+  impl_->running.store(false, std::memory_order_release);
+  DrainSamples();
+  SyncMetrics();
+}
+
+double Profiler::duration_seconds() const {
+  const uint64_t start = impl_->start_ns;
+  if (start == 0) return 0.0;
+  const uint64_t end =
+      impl_->stop_ns != 0 ? impl_->stop_ns : TimelineNowNs();
+  return end > start ? static_cast<double>(end - start) * 1e-9 : 0.0;
+}
+
+void Profiler::DrainLoop() {
+  SetTimelineThreadName("profiler-drain");
+  while (!impl_->drain_stop.load(std::memory_order_acquire)) {
+    // Short slices keep Stop() prompt; a drain every ~100 ms keeps the
+    // rings far from full at any supported Hz.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    DrainSamples();
+    SyncMetrics();
+  }
+}
+
+Profiler::Ring* Profiler::RingForThisThread() {
+  TlsRingCache& cache = tls_ring_cache;
+  if (cache.session != impl_->session) {
+    cache.session = impl_->session;
+    cache.ring = nullptr;
+    const size_t index =
+        impl_->rings_used.fetch_add(1, std::memory_order_relaxed);
+    if (index < impl_->max_threads) {
+      Ring* ring = impl_->rings[index].get();
+      ring->tid = TimelineThreadId();
+      cache.ring = ring;
+    }
+  }
+  return static_cast<Ring*>(cache.ring);
+}
+
+__attribute__((noinline)) void Profiler::HandleSignal() {
+  if (tls_in_capture) {
+    impl_->overruns.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  tls_in_capture = 1;
+  Ring* ring = RingForThisThread();
+  if (ring == nullptr) {
+    // Thread past the fixed ring pool: the signal fired but no sample can
+    // land anywhere.
+    impl_->overruns.fetch_add(1, std::memory_order_relaxed);
+    tls_in_capture = 0;
+    return;
+  }
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  const uint64_t t = ring->tail.load(std::memory_order_acquire);
+  if (h - t >= ring->capacity) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    tls_in_capture = 0;
+    return;
+  }
+  ProfileSample& sample = ring->slots[h % ring->capacity];
+  sample.ts_ns = TimelineNowNs();
+  sample.tid = ring->tid;
+  const int n = ::backtrace(sample.frames, ProfileSample::kMaxFrames);
+  sample.frame_count = static_cast<uint16_t>(n > 0 ? n : 0);
+  sample.span_count = 0;
+  if (AsyncSpanStack* stack = ThisThreadSpanStack()) {
+    uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+    if (depth > AsyncSpanStack::kMaxDepth) depth = AsyncSpanStack::kMaxDepth;
+    // Keep the innermost kMaxSpans when deeper: attribution favors leaves.
+    const uint32_t take =
+        std::min<uint32_t>(depth, ProfileSample::kMaxSpans);
+    for (uint32_t i = 0; i < take; ++i) {
+      sample.spans[i] =
+          stack->names[depth - take + i].load(std::memory_order_relaxed);
+    }
+    sample.span_count = static_cast<uint16_t>(take);
+  }
+  ring->head.store(h + 1, std::memory_order_release);
+  impl_->samples.fetch_add(1, std::memory_order_relaxed);
+  tls_in_capture = 0;
+}
+
+size_t Profiler::DrainSamples() {
+  std::vector<ProfileSample> drained;
+  {
+    std::lock_guard<std::mutex> lock(impl_->drain_mu);
+    const size_t used = std::min(
+        impl_->rings_used.load(std::memory_order_acquire),
+        impl_->max_threads);
+    for (size_t i = 0; i < used; ++i) {
+      impl_->rings[i]->DrainInto(&drained);
+    }
+  }
+  if (drained.empty()) return 0;
+  std::lock_guard<std::mutex> lock(impl_->store_mu);
+  impl_->store.insert(impl_->store.end(), drained.begin(), drained.end());
+  if (impl_->store.size() > impl_->store_capacity) {
+    const size_t excess = impl_->store.size() - impl_->store_capacity;
+    impl_->store.erase(impl_->store.begin(),
+                       impl_->store.begin() + static_cast<ptrdiff_t>(excess));
+    impl_->store_evicted += excess;
+  }
+  return drained.size();
+}
+
+std::vector<ProfileSample> Profiler::Snapshot(uint64_t since_ns) {
+  DrainSamples();
+  std::vector<ProfileSample> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->store_mu);
+    for (const ProfileSample& s : impl_->store) {
+      if (s.ts_ns >= since_ns) out.push_back(s);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProfileSample& a, const ProfileSample& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+uint64_t Profiler::samples() const {
+  return impl_->samples.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::dropped() const {
+  uint64_t total = 0;
+  const size_t used = std::min(
+      impl_->rings_used.load(std::memory_order_acquire), impl_->max_threads);
+  for (size_t i = 0; i < impl_->rings.size() && i < used; ++i) {
+    total += impl_->rings[i]->dropped.load(std::memory_order_relaxed);
+  }
+  total += impl_->ring_dropped_sync.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->store_mu);
+  return total + impl_->store_evicted;
+}
+
+uint64_t Profiler::overruns() const {
+  return impl_->overruns.load(std::memory_order_relaxed);
+}
+
+void Profiler::ClearStore() {
+  std::lock_guard<std::mutex> lock(impl_->store_mu);
+  impl_->store.clear();
+}
+
+void Profiler::SyncMetrics() {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->sync_mu);
+  static Counter* samples_counter =
+      MetricsRegistry::Global().GetCounter("profiler/samples");
+  static Counter* drops_counter =
+      MetricsRegistry::Global().GetCounter("profiler/drops");
+  static Counter* overruns_counter =
+      MetricsRegistry::Global().GetCounter("profiler/signal_overruns");
+  const uint64_t samples_now = samples();
+  const uint64_t dropped_now = dropped();
+  const uint64_t overruns_now = overruns();
+  if (samples_now > impl_->synced_samples) {
+    samples_counter->Add(samples_now - impl_->synced_samples);
+    impl_->synced_samples = samples_now;
+  }
+  if (dropped_now > impl_->synced_dropped) {
+    drops_counter->Add(dropped_now - impl_->synced_dropped);
+    impl_->synced_dropped = dropped_now;
+  }
+  if (overruns_now > impl_->synced_overruns) {
+    overruns_counter->Add(overruns_now - impl_->synced_overruns);
+    impl_->synced_overruns = overruns_now;
+  }
+}
+
+void PrepareThreadForProfiling() {
+  ThisThreadSpanStack();
+  if (Profiler* profiler =
+          g_active_profiler.load(std::memory_order_acquire)) {
+    profiler->RingForThisThread();
+  }
+}
+
+// --- Offline aggregation / symbolization ------------------------------------
+
+namespace {
+
+std::string Demangle(const char* mangled) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  if (demangled != nullptr) std::free(demangled);
+  return mangled;
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+std::string SymbolizePc(void* pc) {
+  Dl_info info{};
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    return Demangle(info.dli_sname);
+  }
+  char buf[64];
+  if (info.dli_fname != nullptr) {
+    const uint64_t offset = reinterpret_cast<uint64_t>(pc) -
+                            reinterpret_cast<uint64_t>(info.dli_fbase);
+    std::snprintf(buf, sizeof(buf), "%s+0x%llx", Basename(info.dli_fname),
+                  static_cast<unsigned long long>(offset));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  reinterpret_cast<unsigned long long>(pc));
+  }
+  return buf;
+}
+
+// Frames that belong to the capture machinery itself, not the profiled
+// program: everything up to and including the deepest such frame is
+// stripped from the sample's stack, plus one more for the kernel signal
+// trampoline (__restore_rt) that delivered the handler — it sits directly
+// above the handler frames but rarely symbolizes, so it is stripped by
+// position, not by name.
+bool IsCaptureFrame(const std::string& name) {
+  return name.find("Profiler::HandleSignal") != std::string::npos ||
+         name.find("ProfilerSignalHandler") != std::string::npos;
+}
+
+std::string JsonEscapeName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProfileReport AggregateProfile(const std::vector<ProfileSample>& samples) {
+  ProfileReport report;
+  std::unordered_map<void*, std::string> symbol_cache;
+  const auto symbolize = [&symbol_cache](void* pc) -> const std::string& {
+    auto it = symbol_cache.find(pc);
+    if (it == symbol_cache.end()) {
+      it = symbol_cache.emplace(pc, SymbolizePc(pc)).first;
+    }
+    return it->second;
+  };
+
+  struct Tally {
+    uint64_t self = 0;
+    uint64_t total = 0;
+  };
+  std::map<std::string, Tally> functions;
+  std::map<std::string, Tally> spans;
+  std::map<std::string, uint64_t> folded;
+
+  std::vector<const std::string*> stack;  // outermost first
+  for (const ProfileSample& sample : samples) {
+    if (sample.frame_count == 0) continue;
+    // Innermost-first walk to find the capture-machinery cutoff.
+    size_t strip = 0;
+    const size_t n = std::min<size_t>(sample.frame_count,
+                                      ProfileSample::kMaxFrames);
+    for (size_t i = 0; i < n; ++i) {
+      if (IsCaptureFrame(symbolize(sample.frames[i]))) strip = i + 1;
+      // The machinery sits at the top of the stack; stop scanning once
+      // we're a few frames past anything that matched.
+      if (i >= strip + 3) break;
+    }
+    // The frame directly above the handler is always the kernel's signal
+    // trampoline (the handler's pushed return address); drop it too.
+    if (strip > 0) ++strip;
+    if (strip >= n) continue;
+
+    stack.clear();
+    for (size_t i = n; i > strip; --i) {
+      stack.push_back(&symbolize(sample.frames[i - 1]));
+    }
+
+    ++report.sample_count;
+    functions[*stack.back()].self++;
+    // `total` counts each distinct name once per sample (recursion must
+    // not double-count).
+    for (size_t i = 0; i < stack.size(); ++i) {
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (*stack[j] == *stack[i]) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) functions[*stack[i]].total++;
+    }
+
+    std::string key;
+    for (size_t i = 0; i < stack.size(); ++i) {
+      if (i > 0) key += ';';
+      key += *stack[i];
+    }
+    folded[key]++;
+
+    if (sample.span_count > 0) {
+      ++report.span_attributed;
+      const size_t span_n =
+          std::min<size_t>(sample.span_count, ProfileSample::kMaxSpans);
+      spans[sample.spans[span_n - 1]].self++;
+      for (size_t i = 0; i < span_n; ++i) {
+        bool seen = false;
+        for (size_t j = 0; j < i; ++j) {
+          if (std::strcmp(sample.spans[j], sample.spans[i]) == 0) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) spans[sample.spans[i]].total++;
+      }
+    }
+  }
+
+  for (const auto& [name, tally] : functions) {
+    report.functions.push_back({name, tally.self, tally.total});
+  }
+  for (const auto& [name, tally] : spans) {
+    report.spans.push_back({name, tally.self, tally.total});
+  }
+  for (const auto& [key, count] : folded) {
+    report.folded += key;
+    report.folded += ' ';
+    report.folded += std::to_string(count);
+    report.folded += '\n';
+  }
+  return report;
+}
+
+std::string ProfileJson(const ProfileReport& report, uint32_t hz,
+                        double duration_seconds, uint64_t dropped,
+                        uint64_t overruns) {
+  char duration[32];
+  std::snprintf(duration, sizeof(duration), "%.6f", duration_seconds);
+  std::string out =
+      "{\"schema\":\"mdz.profile.v1\",\"build\":" + BuildInfoJson() +
+      ",\"hz\":" + std::to_string(hz) +
+      ",\"duration_seconds\":" + duration +
+      ",\"samples\":" + std::to_string(report.sample_count) +
+      ",\"dropped\":" + std::to_string(dropped) +
+      ",\"signal_overruns\":" + std::to_string(overruns) +
+      ",\"span_attributed\":" + std::to_string(report.span_attributed) +
+      ",\"functions\":[";
+  bool first = true;
+  for (const auto& entry : report.functions) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeName(entry.name) +
+           "\",\"self\":" + std::to_string(entry.self) +
+           ",\"total\":" + std::to_string(entry.total) + "}";
+  }
+  out += "],\"spans\":[";
+  first = true;
+  for (const auto& entry : report.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeName(entry.name) +
+           "\",\"self\":" + std::to_string(entry.self) +
+           ",\"total\":" + std::to_string(entry.total) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteProfileFile(const ProfileReport& report, uint32_t hz,
+                        double duration_seconds, uint64_t dropped,
+                        uint64_t overruns, const std::string& path) {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string content =
+      json ? ProfileJson(report, hz, duration_seconds, dropped, overruns) + "\n"
+           : report.folded;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool flush_failed = std::fflush(file) != 0;
+  std::fclose(file);
+  if (written != content.size() || flush_failed) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_DISABLED

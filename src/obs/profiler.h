@@ -1,0 +1,219 @@
+#ifndef MDZ_OBS_PROFILER_H_
+#define MDZ_OBS_PROFILER_H_
+
+// Signal-driven sampling CPU profiler: the *where are the cycles going*
+// companion to the span histograms' *how long did the scope take*. A
+// setitimer(ITIMER_PROF) timer delivers SIGPROF to whichever thread is
+// burning CPU; the handler captures a raw stack with backtrace(3) plus the
+// thread's currently-open span names (obs/span.h's async-readable stacks)
+// into a per-thread lock-free SPSC sample ring — the same bounded
+// drop-newest discipline as the timeline's event rings. Everything
+// expensive (symbolization via dladdr, demangling, aggregation) happens
+// offline, outside signal context.
+//
+// Async-signal-safety contract for the handler, in order of importance:
+//
+//  * No allocation, no locks, no library state. Sample rings are
+//    preallocated at Start() into a fixed pool; a thread claims its ring
+//    with one atomic fetch_add cached in a POD thread-local. backtrace(3)
+//    is primed with one call at Start() so its lazy libgcc load never
+//    happens under a signal.
+//  * Bounded everything. A full ring drops the sample and counts it
+//    (profiler/drops); a thread past the ring pool, or a signal landing
+//    while the thread is already mid-capture, counts as an overrun
+//    (profiler/signal_overruns). samples/drops/overruns are plain relaxed
+//    atomics, synced into the metrics registry from normal context.
+//  * errno is saved and restored.
+//
+// Outputs: folded-stack text ("main;Compress;Encode 42" — one line per
+// unique stack, count last; tools/flamegraph.sh renders it) and an
+// mdz.profile.v1 JSON report with per-function and per-span self/total
+// sample counts. Served live on /profilez (obs/telemetry_server.h) and
+// written by the CLI's --profile/--profile-out flags.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+
+// One captured sample: a raw stack (innermost first, as backtrace(3)
+// returns it) plus the open-span names at capture time (outermost first).
+struct ProfileSample {
+  static constexpr size_t kMaxFrames = 32;
+  static constexpr size_t kMaxSpans = 8;
+
+  uint64_t ts_ns = 0;  // TimelineNowNs() clock, comparable across threads
+  uint32_t tid = 0;    // timeline thread ordinal
+  uint16_t frame_count = 0;
+  uint16_t span_count = 0;
+  void* frames[kMaxFrames];
+  const char* spans[kMaxSpans];
+};
+
+#ifndef MDZ_OBS_DISABLED
+
+class Profiler {
+ public:
+  // `ring_capacity` samples per thread ring, `max_threads` rings in the
+  // pool, `store_capacity` bounds the drained central store.
+  explicit Profiler(size_t ring_capacity = 256, size_t max_threads = 64,
+                    size_t store_capacity = 1 << 15);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  static Profiler& Global();
+
+  // Installs the SIGPROF handler and arms the process profiling timer at
+  // `hz` samples/second (clamped to [1, 1000]), and starts a background
+  // drain thread so long runs never overflow the rings. Only one Profiler
+  // may run at a time process-wide (the signal handler and setitimer are
+  // process state): FailedPrecondition if another is running.
+  Status Start(uint32_t hz);
+
+  // Disarms the timer, restores the previous SIGPROF disposition, joins
+  // the drain thread, and does a final drain. Idempotent.
+  void Stop();
+
+  bool running() const;
+  uint32_t hz() const { return hz_; }
+
+  // Wall-clock seconds the profiler has been running (or ran, after Stop).
+  double duration_seconds() const;
+
+  // Moves captured samples from the thread rings into the central store
+  // (any thread; serialized internally). Returns samples moved.
+  size_t DrainSamples();
+
+  // Drains, then copies every stored sample with ts_ns >= since_ns,
+  // time-sorted. since_ns is on the TimelineNowNs() clock; 0 = everything.
+  std::vector<ProfileSample> Snapshot(uint64_t since_ns = 0);
+
+  // Lifetime tallies (monotonic across Reset of the registry; relaxed).
+  uint64_t samples() const;   // captured into a ring
+  uint64_t dropped() const;   // lost to a full ring or a full store
+  uint64_t overruns() const;  // signal landed but capture couldn't run
+
+  // Clears the store (not the tallies).
+  void ClearStore();
+
+  // Signal-context capture path; public only for the handler trampoline.
+  void HandleSignal();
+
+ private:
+  friend void PrepareThreadForProfiling();
+
+  struct Ring;
+
+  Ring* RingForThisThread();
+  void SyncMetrics();  // publish tallies into profiler/* registry counters
+  void DrainLoop();
+
+  struct Impl;
+  Impl* impl_;
+  uint32_t hz_ = 0;
+};
+
+// Eagerly claims the calling thread's profiler ring (when a profiler is
+// running) and async span-stack slot, so neither claim happens in signal
+// context. Worker threads (thread pool, streaming reader) call this at
+// startup; a no-op when nothing is active.
+void PrepareThreadForProfiling();
+
+// --- Offline aggregation / symbolization ------------------------------------
+
+// Aggregated view of a sample set; the input to both text formats.
+struct ProfileReport {
+  struct Entry {
+    std::string name;
+    uint64_t self = 0;   // samples with this name innermost
+    uint64_t total = 0;  // samples with this name anywhere in the stack
+  };
+  uint64_t sample_count = 0;  // samples aggregated (== sum of function self)
+  std::vector<Entry> functions;  // name-sorted
+  std::vector<Entry> spans;      // name-sorted; span-attributed subset
+  uint64_t span_attributed = 0;  // samples carrying at least one open span
+  // One line per unique symbolized stack: "outer;…;inner <count>\n",
+  // line-sorted for deterministic output.
+  std::string folded;
+};
+
+// Symbolizes (dladdr + demangle, cached) and aggregates `samples`. Frames
+// above and including the profiler's own signal handler are stripped.
+ProfileReport AggregateProfile(const std::vector<ProfileSample>& samples);
+
+// mdz.profile.v1: {"schema","build","hz","duration_seconds","samples",
+// "dropped","signal_overruns","span_attributed","functions":[{"name",
+// "self","total"}…],"spans":[…]} — validated by tools/check_telemetry.sh.
+std::string ProfileJson(const ProfileReport& report, uint32_t hz,
+                        double duration_seconds, uint64_t dropped,
+                        uint64_t overruns);
+
+// Writes folded text (path not ending in .json) or the mdz.profile.v1
+// report (path ending in .json) for `report`.
+Status WriteProfileFile(const ProfileReport& report, uint32_t hz,
+                        double duration_seconds, uint64_t dropped,
+                        uint64_t overruns, const std::string& path);
+
+#else  // MDZ_OBS_DISABLED
+
+class Profiler {
+ public:
+  explicit Profiler(size_t = 0, size_t = 0, size_t = 0) {}
+  static Profiler& Global() {
+    static Profiler profiler;
+    return profiler;
+  }
+  Status Start(uint32_t) {
+    return Status::FailedPrecondition("profiler compiled out");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  uint32_t hz() const { return 0; }
+  double duration_seconds() const { return 0.0; }
+  size_t DrainSamples() { return 0; }
+  std::vector<ProfileSample> Snapshot(uint64_t = 0) { return {}; }
+  uint64_t samples() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  uint64_t overruns() const { return 0; }
+  void ClearStore() {}
+  void HandleSignal() {}
+};
+
+inline void PrepareThreadForProfiling() {}
+
+struct ProfileReport {
+  struct Entry {
+    std::string name;
+    uint64_t self = 0;
+    uint64_t total = 0;
+  };
+  uint64_t sample_count = 0;
+  std::vector<Entry> functions;
+  std::vector<Entry> spans;
+  uint64_t span_attributed = 0;
+  std::string folded;
+};
+
+inline ProfileReport AggregateProfile(const std::vector<ProfileSample>&) {
+  return {};
+}
+inline std::string ProfileJson(const ProfileReport&, uint32_t, double,
+                               uint64_t, uint64_t) {
+  return "{}";
+}
+inline Status WriteProfileFile(const ProfileReport&, uint32_t, double,
+                               uint64_t, uint64_t, const std::string&) {
+  return Status::FailedPrecondition("profiler compiled out");
+}
+
+#endif  // MDZ_OBS_DISABLED
+
+}  // namespace mdz::obs
+
+#endif  // MDZ_OBS_PROFILER_H_

@@ -10,7 +10,44 @@ namespace {
 // the innermost span.
 thread_local std::vector<const char*> tls_span_stack;
 
+// Fixed pool of async-readable span stacks. 64 slots covers the CLI's
+// thread population (main + pool workers + reader + sampler + server) with
+// room to spare; a thread past the pool simply isn't attributable from
+// signal context. Static storage: signal-context readers index it without
+// locks or allocation.
+constexpr size_t kAsyncSpanStackSlots = 64;
+AsyncSpanStack g_span_stacks[kAsyncSpanStackSlots];
+std::atomic<size_t> g_span_stacks_used{0};
+
+// POD thread-local (zero-initialized, no guard) so the first touch from a
+// SIGPROF handler cannot run a dynamic initializer.
+thread_local AsyncSpanStack* tls_async_stack = nullptr;
+thread_local bool tls_async_stack_claimed = false;
+
 }  // namespace
+
+AsyncSpanStack* ThisThreadSpanStack() {
+  if (!tls_async_stack_claimed) {
+    tls_async_stack_claimed = true;
+    const size_t index =
+        g_span_stacks_used.fetch_add(1, std::memory_order_relaxed);
+    if (index < kAsyncSpanStackSlots) {
+      tls_async_stack = &g_span_stacks[index];
+      tls_async_stack->tid.store(TimelineThreadId(),
+                                 std::memory_order_relaxed);
+    }
+  }
+  return tls_async_stack;
+}
+
+size_t AsyncSpanStackCount() {
+  const size_t used = g_span_stacks_used.load(std::memory_order_relaxed);
+  return used < kAsyncSpanStackSlots ? used : kAsyncSpanStackSlots;
+}
+
+const AsyncSpanStack* AsyncSpanStackAt(size_t index) {
+  return index < kAsyncSpanStackSlots ? &g_span_stacks[index] : nullptr;
+}
 
 SpanTimer::SpanTimer(const char* name) {
   if (!Enabled()) return;
@@ -28,6 +65,16 @@ void SpanTimer::Begin(const char* name, const char* k0, uint64_t v0,
   active_ = true;
   name_ = name;
   tls_span_stack.push_back(name);
+  if (AsyncSpanStack* async = ThisThreadSpanStack()) {
+    const uint32_t depth = async->depth.load(std::memory_order_relaxed);
+    if (depth < AsyncSpanStack::kMaxDepth) {
+      async->names[depth].store(name, std::memory_order_relaxed);
+    }
+    // Release-publish the new depth so a cross-thread reader that observes
+    // it also sees the name store above. The same-thread SIGPROF reader is
+    // ordered by program order regardless.
+    async->depth.store(depth + 1, std::memory_order_release);
+  }
   path_.reserve(64);
   path_ = "span";
   for (const char* part : tls_span_stack) {
@@ -56,6 +103,12 @@ SpanTimer::~SpanTimer() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   tls_span_stack.pop_back();
+  if (AsyncSpanStack* async = ThisThreadSpanStack()) {
+    const uint32_t depth = async->depth.load(std::memory_order_relaxed);
+    if (depth > 0) {
+      async->depth.store(depth - 1, std::memory_order_release);
+    }
+  }
   if (span_id_ != 0) {
     // Restore parentage even if recording flipped off mid-span; the end
     // event itself is dropped in that case (RecentSpans tolerates it).

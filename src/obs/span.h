@@ -21,7 +21,9 @@
 // relaxed load and a branch — no clock read, no allocation. Compiling with
 // MDZ_OBS_DISABLED removes the spans entirely.
 
+#include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -29,6 +31,50 @@
 #include "obs/timeline.h"
 
 namespace mdz::obs {
+
+// --- Async-signal-readable span stacks --------------------------------------
+//
+// A fixed pool of per-thread span-name stacks maintained alongside the
+// thread-local path vector. Unlike the vector, these are plain atomics over
+// preallocated storage, so the sampling profiler's SIGPROF handler (same
+// thread, program order) and the crash flight recorder (other threads, best
+// effort) can read "which spans are open right now" from signal context
+// without touching allocator or library state. Updated only while telemetry
+// is enabled — two relaxed stores per span open/close.
+
+struct AsyncSpanStack {
+  static constexpr size_t kMaxDepth = 16;
+
+  // Timeline thread ordinal of the owning thread; 0 = slot never claimed.
+  std::atomic<uint32_t> tid{0};
+  // Open-span count. May exceed kMaxDepth (deeper frames are not recorded);
+  // readers clamp. Published with release so names[] writes are visible.
+  std::atomic<uint32_t> depth{0};
+  // names[0] is the outermost open span. Entries are string literals.
+  std::atomic<const char*> names[kMaxDepth];
+};
+
+#ifndef MDZ_OBS_DISABLED
+
+// The calling thread's slot, claiming one from the fixed pool on first use.
+// Returns nullptr when the pool is exhausted (spans still work; the thread
+// is just invisible to signal-context readers). Safe to call early from a
+// thread's setup code (thread pool workers, the streaming reader) so the
+// claim never happens in signal context.
+AsyncSpanStack* ThisThreadSpanStack();
+
+// Iteration for signal-context readers: the pool is a static array, so
+// indexing needs no lock. Slots with tid == 0 were never claimed.
+size_t AsyncSpanStackCount();
+const AsyncSpanStack* AsyncSpanStackAt(size_t index);
+
+#else
+
+inline AsyncSpanStack* ThisThreadSpanStack() { return nullptr; }
+inline size_t AsyncSpanStackCount() { return 0; }
+inline const AsyncSpanStack* AsyncSpanStackAt(size_t) { return nullptr; }
+
+#endif  // MDZ_OBS_DISABLED
 
 // RAII scope timer; prefer the MDZ_SPAN / MDZ_SPAN_ARGS macros. `name` and
 // arg keys must outlive the span (string literals only).

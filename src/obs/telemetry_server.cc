@@ -5,7 +5,9 @@
 
 #include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/timeline.h"
 
 #ifndef MDZ_OBS_DISABLED
@@ -126,9 +128,10 @@ std::string TracezJson(Timeline& timeline) {
 // --- TelemetryServer --------------------------------------------------------
 
 TelemetryServer::TelemetryServer(const MetricsRegistry* registry,
-                                 Timeline* timeline)
+                                 Timeline* timeline, Profiler* profiler)
     : registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
-      timeline_(timeline != nullptr ? timeline : &Timeline::Global()) {}
+      timeline_(timeline != nullptr ? timeline : &Timeline::Global()),
+      profiler_(profiler != nullptr ? profiler : &Profiler::Global()) {}
 
 TelemetryServer::~TelemetryServer() { Stop(); }
 
@@ -234,7 +237,7 @@ void TelemetryServer::HandleConnection(int client_fd) {
     response = HttpResponse(405, "Method Not Allowed", "text/plain",
                             "only GET is supported\n");
   } else {
-    response = RouteRequest(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    response = RouteRequest(line.substr(sp1 + 1, sp2 - sp1 - 1), request);
   }
   // Response write mirrors the read side's bounded patience. MSG_NOSIGNAL
   // turns a client that closed early (health probe, curl timeout) into an
@@ -261,15 +264,18 @@ void TelemetryServer::HandleConnection(int client_fd) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::string TelemetryServer::RouteRequest(const std::string& target) {
-  // Strip any query string; routes take no parameters.
-  const std::string path = target.substr(0, target.find('?'));
+std::string TelemetryServer::RouteRequest(const std::string& target,
+                                          const std::string& head) {
+  const size_t q = target.find('?');
+  const std::string path = target.substr(0, q);
+  const std::string query =
+      q == std::string::npos ? std::string() : target.substr(q + 1);
   if (path == "/metrics") {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4",
                         ToPrometheus(*registry_));
   }
   if (path == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain", "ok\n");
+    return HttpResponse(200, "OK", "application/json", HealthzJson() + "\n");
   }
   if (path == "/buildz") {
     return HttpResponse(200, "OK", "application/json", BuildInfoJson() + "\n");
@@ -278,9 +284,126 @@ std::string TelemetryServer::RouteRequest(const std::string& target) {
     return HttpResponse(200, "OK", "application/json",
                         TracezJson(*timeline_) + "\n");
   }
+  if (path == "/profilez") {
+    return HandleProfilez(query, head);
+  }
+  if (path == "/flightz") {
+    return HttpResponse(200, "OK", "application/json",
+                        FlightzJson(*registry_, *timeline_) + "\n");
+  }
   return HttpResponse(404, "Not Found", "text/plain",
                       "unknown path (try /metrics, /healthz, /buildz, "
-                      "/tracez)\n");
+                      "/tracez, /profilez, /flightz)\n");
+}
+
+std::string TelemetryServer::HealthzJson() const {
+  const uint64_t ring_dropped = timeline_->ring_dropped();
+  const uint64_t store_evicted = timeline_->store_evicted();
+  const uint64_t overruns = profiler_->overruns();
+  // "degraded" means the observability plane itself lost data — the
+  // pipeline may be perfectly healthy, but traces/profiles have holes.
+  const bool degraded =
+      ring_dropped != 0 || store_evicted != 0 || overruns != 0;
+  return std::string("{\"status\":\"") + (degraded ? "degraded" : "ok") +
+         "\",\"timeline_ring_dropped\":" + std::to_string(ring_dropped) +
+         ",\"timeline_store_evicted\":" + std::to_string(store_evicted) +
+         ",\"profiler_signal_overruns\":" + std::to_string(overruns) +
+         ",\"profiler_samples\":" + std::to_string(profiler_->samples()) +
+         ",\"requests_served\":" +
+         std::to_string(requests_served_.load(std::memory_order_relaxed)) +
+         "}";
+}
+
+namespace {
+
+// First "key=<digits>" value in an (unescaped) query string, or `fallback`.
+uint64_t QueryUint(const std::string& query, const std::string& key,
+                   uint64_t fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      uint64_t value = 0;
+      bool any = false;
+      for (size_t i = eq + 1; i < pair.size(); ++i) {
+        const char c = pair[i];
+        if (c < '0' || c > '9') return fallback;
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        any = true;
+      }
+      if (any) return value;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+bool QueryHas(const std::string& query, const std::string& pair) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    if (query.substr(pos, amp - pos) == pair) return true;
+    pos = amp + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string TelemetryServer::HandleProfilez(const std::string& query,
+                                            const std::string& head) {
+  // ?seconds=N: window length, clamped to [1, 30] (the serve thread blocks
+  // while an on-demand profile runs — keep it curl-friendly).
+  uint64_t seconds = QueryUint(query, "seconds", 1);
+  if (seconds < 1) seconds = 1;
+  if (seconds > 30) seconds = 30;
+  const bool want_json = QueryHas(query, "format=json") ||
+                         head.find("Accept: application/json") !=
+                             std::string::npos;
+
+  std::vector<ProfileSample> samples;
+  uint32_t hz = 0;
+  double duration = 0.0;
+  if (profiler_->running()) {
+    // Window mode: the CLI's --profile session is live; report the last
+    // N seconds of its stored samples without disturbing it.
+    const uint64_t now = TimelineNowNs();
+    const uint64_t window_ns = seconds * 1000000000ull;
+    samples = profiler_->Snapshot(now > window_ns ? now - window_ns : 0);
+    hz = profiler_->hz();
+    duration = static_cast<double>(seconds);
+  } else {
+    // On-demand mode: profile this process for N seconds at the default
+    // rate, then stop. Start fails if someone raced us into Start() — in
+    // that case fall back to a plain snapshot of their session.
+    const Status started = profiler_->Start(99);
+    if (started.ok()) {
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      profiler_->Stop();
+      hz = profiler_->hz();
+      duration = profiler_->duration_seconds();
+      samples = profiler_->Snapshot();
+      profiler_->ClearStore();
+    } else {
+      samples = profiler_->Snapshot();
+      hz = profiler_->hz();
+      duration = profiler_->duration_seconds();
+    }
+  }
+
+  const ProfileReport report = AggregateProfile(samples);
+  if (want_json) {
+    return HttpResponse(200, "OK", "application/json",
+                        ProfileJson(report, hz, duration,
+                                    profiler_->dropped(),
+                                    profiler_->overruns()) +
+                            "\n");
+  }
+  return HttpResponse(200, "OK", "text/plain", report.folded);
 }
 
 // --- ResourceSampler --------------------------------------------------------

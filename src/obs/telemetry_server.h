@@ -5,12 +5,23 @@
 // thread, serving live views of the process's observability state while a
 // long-running command (compress --stream, append) is in flight:
 //
-//   GET /metrics  Prometheus text exposition — the same families, rendered
-//                 by the same exporter, as the end-of-run --metrics-prom
-//                 dump, so a scrape mid-run and the final file agree.
-//   GET /healthz  "ok\n" (liveness).
-//   GET /buildz   build_info JSON (obs/build_info.h).
-//   GET /tracez   recent completed spans from the timeline, JSON.
+//   GET /metrics   Prometheus text exposition — the same families, rendered
+//                  by the same exporter, as the end-of-run --metrics-prom
+//                  dump, so a scrape mid-run and the final file agree.
+//   GET /healthz   liveness JSON: {"status":"ok"|"degraded",…} — degraded
+//                  when the observability plane itself is losing data
+//                  (timeline ring drops, store evictions, profiler signal
+//                  overruns).
+//   GET /buildz    build_info JSON (obs/build_info.h).
+//   GET /tracez    recent completed spans from the timeline, JSON.
+//   GET /profilez  CPU profile (obs/profiler.h): if a profiler is already
+//                  running (--profile), aggregates the last ?seconds=N of
+//                  stored samples; otherwise profiles on demand for N
+//                  seconds (default 1, capped) before responding. Folded
+//                  flamegraph text by default; mdz.profile.v1 JSON via
+//                  ?format=json or Accept: application/json.
+//   GET /flightz   flight-recorder live snapshot (mdz.flightz.v1 JSON):
+//                  active span stacks, recent timeline events, counters.
 //
 // Scope is deliberately minimal — plain POSIX sockets, blocking I/O with
 // poll() timeouts, one request served at a time, GET only — because the
@@ -40,6 +51,7 @@ namespace mdz::obs {
 
 class MetricsRegistry;
 class Timeline;
+class Profiler;
 
 // --- Listen-address parsing -------------------------------------------------
 
@@ -63,10 +75,11 @@ Status ParseListenAddress(const std::string& text, ListenAddress* out);
 
 class TelemetryServer {
  public:
-  // Serves `registry` and `timeline`; pass nullptr for the process-global
-  // instances. Does not listen yet.
+  // Serves `registry`, `timeline` and `profiler`; pass nullptr for the
+  // process-global instances. Does not listen yet.
   explicit TelemetryServer(const MetricsRegistry* registry = nullptr,
-                           Timeline* timeline = nullptr);
+                           Timeline* timeline = nullptr,
+                           Profiler* profiler = nullptr);
   ~TelemetryServer();  // implies Stop()
 
   TelemetryServer(const TelemetryServer&) = delete;
@@ -92,10 +105,16 @@ class TelemetryServer {
  private:
   void Serve();
   void HandleConnection(int client_fd);
-  std::string RouteRequest(const std::string& target);
+  // `target` is the request target (path + optional query string);
+  // `head` is the full request head, for content negotiation (Accept).
+  std::string RouteRequest(const std::string& target, const std::string& head);
+  std::string HandleProfilez(const std::string& query,
+                             const std::string& head);
+  std::string HealthzJson() const;
 
   const MetricsRegistry* registry_;  // never null after ctor
   Timeline* timeline_;               // never null after ctor
+  Profiler* profiler_;               // never null after ctor
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -149,7 +168,7 @@ class ResourceSampler {
 class TelemetryServer {
  public:
   explicit TelemetryServer(const MetricsRegistry* = nullptr,
-                           Timeline* = nullptr) {}
+                           Timeline* = nullptr, Profiler* = nullptr) {}
   Status Start(const ListenAddress&) {
     return Status::FailedPrecondition("telemetry compiled out");
   }

@@ -319,15 +319,68 @@ std::vector<TimelineEvent> Timeline::Snapshot() {
 }
 
 uint64_t Timeline::dropped() const {
+  return ring_dropped() + store_evicted();
+}
+
+uint64_t Timeline::ring_dropped() const {
   uint64_t total = 0;
-  {
-    std::lock_guard<std::mutex> lock(rings_mu_);
-    for (const auto& ring : rings_) {
-      total += ring->dropped.load(std::memory_order_relaxed);
-    }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    total += ring->dropped.load(std::memory_order_relaxed);
   }
+  return total;
+}
+
+uint64_t Timeline::store_evicted() const {
   std::lock_guard<std::mutex> lock(store_mu_);
-  return total + store_evicted_;
+  return store_evicted_;
+}
+
+size_t Timeline::PeekRecentForCrash(TimelineEvent* out, size_t max) {
+  if (out == nullptr || max == 0) return 0;
+  size_t count = 0;
+  // Insert keeping the newest `max` events; n is tiny (≤ a few dozen), so
+  // the quadratic replace-the-oldest scan is fine for crash context.
+  const auto consider = [&](const TimelineEvent& event) {
+    if (count < max) {
+      out[count++] = event;
+      return;
+    }
+    size_t oldest = 0;
+    for (size_t i = 1; i < count; ++i) {
+      if (out[i].ts_ns < out[oldest].ts_ns) oldest = i;
+    }
+    if (event.ts_ns > out[oldest].ts_ns) out[oldest] = event;
+  };
+  // Undrained ring contents: the producer never overwrites slots in
+  // [tail, head), so reading them racily against live producers yields at
+  // worst a stale-but-complete event. try_lock guards the ring *list*
+  // (concurrent registration reallocates the vector).
+  if (rings_mu_.try_lock()) {
+    for (const auto& ring : rings_) {
+      const uint64_t h = ring->head.load(std::memory_order_acquire);
+      uint64_t t = ring->tail.load(std::memory_order_relaxed);
+      if (h - t > max) t = h - max;
+      for (; t < h; ++t) consider(ring->slots[t % ring->capacity]);
+    }
+    rings_mu_.unlock();
+  }
+  if (store_mu_.try_lock()) {
+    const size_t n = store_.size();
+    const size_t first = n > max ? n - max : 0;
+    for (size_t i = first; i < n; ++i) consider(store_[i]);
+    store_mu_.unlock();
+  }
+  // Oldest-first for the report (selection sort: max is small, no
+  // allocation in crash context).
+  for (size_t i = 0; i + 1 < count; ++i) {
+    size_t min_index = i;
+    for (size_t j = i + 1; j < count; ++j) {
+      if (out[j].ts_ns < out[min_index].ts_ns) min_index = j;
+    }
+    if (min_index != i) std::swap(out[i], out[min_index]);
+  }
+  return count;
 }
 
 size_t Timeline::store_size() const {

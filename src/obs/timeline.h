@@ -205,6 +205,19 @@ class Timeline {
   // Events dropped on full rings + events evicted from a full store.
   uint64_t dropped() const;
 
+  // The two components of dropped(), separately: /healthz tells "recording
+  // outpaced the rings" apart from "the bounded store rolled over".
+  uint64_t ring_dropped() const;
+  uint64_t store_evicted() const;
+
+  // Best-effort, crash-context read of the newest events (rings first,
+  // then the store tail), into a caller-provided fixed buffer, oldest
+  // first. Never blocks and never allocates: a mutex already held
+  // elsewhere makes that source silently unavailable. Does not consume
+  // events. Returns how many events were written to `out`. Only the crash
+  // flight recorder should call this; everything else uses Snapshot().
+  size_t PeekRecentForCrash(TimelineEvent* out, size_t max);
+
   // Events currently in the central store (post-drain; tests).
   size_t store_size() const;
 
@@ -291,6 +304,9 @@ class Timeline {
   size_t DrainRings() { return 0; }
   std::vector<TimelineEvent> Snapshot() { return {}; }
   uint64_t dropped() const { return 0; }
+  uint64_t ring_dropped() const { return 0; }
+  uint64_t store_evicted() const { return 0; }
+  size_t PeekRecentForCrash(TimelineEvent*, size_t) { return 0; }
   size_t store_size() const { return 0; }
   void Reset() {}
   struct ThreadName {

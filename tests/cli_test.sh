@@ -275,4 +275,54 @@ fi
 "$MDZ" version | grep -q "^mdz "
 "$MDZ" version --json | grep -q '"build":{"git_sha":"'
 
+# --- histogram quantiles (stats human table + metrics JSON) -----------------
+# Any telemetry flag turns the quantile table on; the JSON snapshot carries
+# the same derived p50/p95/p99 per histogram.
+"$MDZ" stats "$WORK/traj.mdza" --metrics-json "$WORK/stats-m.json" \
+  > "$WORK/stats.out"
+grep -q "p50_s" "$WORK/stats.out"
+grep -q "span/stats_scan" "$WORK/stats.out"
+grep -q '"p50":[0-9]' "$WORK/stats-m.json"
+grep -q '"p95":[0-9]' "$WORK/stats-m.json"
+grep -q '"p99":[0-9]' "$WORK/stats-m.json"
+
+# --- sampling profiler (--profile) ------------------------------------------
+# Profiling must not change the archive bytes, and the default output is a
+# folded-stack file next to the run.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/prof.mdza" --quiet \
+  --profile=250 --profile-out "$WORK/prof.folded"
+cmp "$WORK/prof.mdza" "$WORK/plain.mdza"
+test -e "$WORK/prof.folded"
+# A .json profile path switches to the mdz.profile.v1 report.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/prof2.mdza" --quiet \
+  --profile --profile-out "$WORK/prof.json"
+grep -q '^{"schema":"mdz.profile.v1",' "$WORK/prof.json"
+# The flamegraph renderer turns any non-empty folded profile into SVG.
+printf 'main;compress;encode 3\nmain;compress 1\n' > "$WORK/toy.folded"
+sh "$(dirname "$0")/../tools/flamegraph.sh" "$WORK/toy.folded" \
+  > "$WORK/toy.svg"
+grep -q '<svg' "$WORK/toy.svg"
+grep -q 'encode' "$WORK/toy.svg"
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --profile-hz 0garbage)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --profile=99999)" = 2
+
+# --- crash flight recorder ---------------------------------------------------
+# The hidden selftest-crash command aborts on purpose; the recorder must
+# write a complete report and preserve the signal exit code (128 + 6).
+crash_code=0
+"$MDZ" selftest-crash abort --flight-recorder "$WORK/crash.txt" \
+  > /dev/null 2>&1 || crash_code=$?
+test "$crash_code" = 134
+grep -q "=== mdz flight recorder ===" "$WORK/crash.txt"
+grep -q "SIGABRT" "$WORK/crash.txt"
+grep -q "git_sha" "$WORK/crash.txt"
+grep -q "backtrace" "$WORK/crash.txt"
+grep -q "selftest/crash_imminent" "$WORK/crash.txt"
+grep -q "=== end of report ===" "$WORK/crash.txt"
+# Non-crash snapshot mode renders the same sections to stdout and exits 0.
+"$MDZ" selftest-crash report --flight-recorder "$WORK/report.txt" \
+  | grep -q "=== end of report ==="
+
 echo "cli_test OK"

@@ -251,7 +251,10 @@ TEST(ObsExportTest, JsonGolden) {
       "{\"schema\":\"mdz.metrics.v1\",\"build\":" + BuildInfoJson() +
           ",\"counters\":{\"a/count\":3},"
           "\"gauges\":{\"g\":-2},"
-          "\"histograms\":{\"h\":{\"count\":3,\"sum\":55.5,\"buckets\":["
+          "\"histograms\":{\"h\":{\"count\":3,\"sum\":55.5,"
+          // p50: rank 1.5 lands halfway into the (1,10] bucket; p95/p99
+          // land in +Inf, which reports the largest finite bound.
+          "\"p50\":5.5,\"p95\":10,\"p99\":10,\"buckets\":["
           "{\"le\":1,\"count\":1},{\"le\":10,\"count\":1},"
           "{\"le\":\"+Inf\",\"count\":1}]}}}");
 }

@@ -1,0 +1,387 @@
+// Sampling CPU profiler + crash flight recorder (obs/profiler.h,
+// obs/flight_recorder.h): capture and symbolization from busy threads,
+// span attribution, the mdz.profile.v1 report shapes, the /profilez and
+// /healthz routes, the crash report content, and the histogram quantile
+// estimator behind the new p50/p95/p99 exports.
+//
+// Fixtures here are deliberately NOT named Obs*: tools/ci.sh's TSan leg
+// filters on Obs*.*, and a SIGPROF/setitimer-driven profiler is outside
+// TSan's supported model (signal-context reads of instrumented state).
+// The address and undefined legs run everything here.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeline.h"
+
+namespace mdz {
+
+// External linkage + noinline on purpose: internal-linkage functions are
+// absent from the dynamic symbol table even with -rdynamic, and the whole
+// point of the capture tests is asserting that dladdr names this frame in
+// the folded output.
+__attribute__((noinline)) double ProfilerTestBurn(
+    double x, std::chrono::steady_clock::time_point deadline) {
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 4096; ++i) x += std::sin(x) * 1e-3;
+  }
+  return x;
+}
+
+namespace {
+
+using namespace mdz::obs;  // NOLINT
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+double BurnFor(double seconds) {
+  return ProfilerTestBurn(
+      0.5, std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6)));
+}
+
+// --- Profiler capture --------------------------------------------------------
+
+TEST(ProfilerTest, CapturesAndSymbolizesABusyLoop) {
+  Profiler& profiler = Profiler::Global();
+  const uint64_t samples_before = profiler.samples();
+  ASSERT_TRUE(profiler.Start(500).ok());
+  volatile double sink = BurnFor(0.4);
+  (void)sink;
+  profiler.Stop();
+
+  const std::vector<ProfileSample> samples = profiler.Snapshot();
+  profiler.ClearStore();
+  // 0.4 CPU-seconds at 500 Hz is ~200 ticks; ask only for a loose floor so
+  // heavily-shared runners cannot flake this.
+  EXPECT_GE(profiler.samples() - samples_before, 10u);
+  ASSERT_GE(samples.size(), 10u);
+  for (const ProfileSample& s : samples) {
+    EXPECT_GT(s.frame_count, 0u);
+    EXPECT_LE(s.frame_count, ProfileSample::kMaxFrames);
+    EXPECT_NE(s.tid, 0u);
+  }
+
+  const ProfileReport report = AggregateProfile(samples);
+  EXPECT_EQ(report.sample_count, samples.size());
+  EXPECT_FALSE(report.functions.empty());
+  EXPECT_NE(report.folded.find("ProfilerTestBurn"), std::string::npos);
+  // The profiler's own capture frames must have been stripped.
+  EXPECT_EQ(report.folded.find("HandleSignal"), std::string::npos);
+  EXPECT_EQ(report.folded.find("ProfilerSignalHandler"), std::string::npos);
+  uint64_t self_sum = 0;
+  for (const ProfileReport::Entry& f : report.functions) {
+    EXPECT_LE(f.self, f.total) << f.name;
+    self_sum += f.self;
+  }
+  EXPECT_EQ(self_sum, report.sample_count);
+}
+
+TEST(ProfilerTest, AttributesSamplesToOpenSpans) {
+  const bool was_enabled = Enabled();
+  SetEnabled(true);  // span stacks update only while telemetry is enabled
+  Profiler& profiler = Profiler::Global();
+  ASSERT_TRUE(profiler.Start(500).ok());
+  {
+    MDZ_SPAN("profiler_test_span");
+    volatile double sink = BurnFor(0.3);
+    (void)sink;
+  }
+  profiler.Stop();
+  const ProfileReport report = AggregateProfile(profiler.Snapshot());
+  profiler.ClearStore();
+  SetEnabled(was_enabled);
+
+  EXPECT_GT(report.span_attributed, 0u);
+  bool found = false;
+  for (const ProfileReport::Entry& s : report.spans) {
+    if (s.name == "profiler_test_span") {
+      found = true;
+      EXPECT_GT(s.total, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilerTest, SecondProfilerIsRejectedWhileRunning) {
+  Profiler& global = Profiler::Global();
+  ASSERT_TRUE(global.Start(99).ok());
+  Profiler local;
+  const Status second = local.Start(99);
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  global.Stop();
+  global.ClearStore();
+  EXPECT_FALSE(global.running());
+  global.Stop();  // idempotent
+}
+
+TEST(ProfilerTest, SnapshotSinceFiltersOldSamples) {
+  Profiler& profiler = Profiler::Global();
+  ASSERT_TRUE(profiler.Start(500).ok());
+  volatile double sink = BurnFor(0.2);
+  const uint64_t cut_ns = TimelineNowNs();
+  sink = BurnFor(0.2);
+  (void)sink;
+  profiler.Stop();
+  const std::vector<ProfileSample> all = profiler.Snapshot();
+  const std::vector<ProfileSample> tail = profiler.Snapshot(cut_ns);
+  profiler.ClearStore();
+  ASSERT_FALSE(all.empty());
+  ASSERT_FALSE(tail.empty());
+  EXPECT_LT(tail.size(), all.size());
+  for (const ProfileSample& s : tail) EXPECT_GE(s.ts_ns, cut_ns);
+}
+
+// --- Report formats ----------------------------------------------------------
+
+TEST(ProfilerTest, ProfileJsonCarriesTalliesAndEntries) {
+  ProfileReport report;
+  report.sample_count = 3;
+  report.span_attributed = 1;
+  report.functions = {{"encode", 2, 2}, {"main", 1, 3}};
+  report.spans = {{"flush", 1, 1}};
+  report.folded = "main 1\nmain;encode 2\n";
+
+  const std::string json = ProfileJson(report, 99, 1.5, 4, 2);
+  EXPECT_EQ(json.rfind("{\"schema\":\"mdz.profile.v1\",", 0), 0u);
+  for (const char* want :
+       {"\"build\":{\"git_sha\":\"", "\"hz\":99", "\"duration_seconds\":1.5",
+        "\"samples\":3", "\"dropped\":4", "\"signal_overruns\":2",
+        "\"span_attributed\":1",
+        "\"functions\":[{\"name\":\"encode\",\"self\":2,\"total\":2},"
+        "{\"name\":\"main\",\"self\":1,\"total\":3}]",
+        "\"spans\":[{\"name\":\"flush\",\"self\":1,\"total\":1}]"}) {
+    EXPECT_NE(json.find(want), std::string::npos) << want;
+  }
+}
+
+TEST(ProfilerTest, WriteProfileFilePicksFormatByExtension) {
+  ProfileReport report;
+  report.sample_count = 1;
+  report.functions = {{"main", 1, 1}};
+  report.folded = "main 1\n";
+
+  const std::string json_path = TempPath("profile_fmt.json");
+  const std::string folded_path = TempPath("profile_fmt.folded");
+  ASSERT_TRUE(WriteProfileFile(report, 99, 0.5, 0, 0, json_path).ok());
+  ASSERT_TRUE(WriteProfileFile(report, 99, 0.5, 0, 0, folded_path).ok());
+  EXPECT_EQ(ReadFileText(json_path).rfind("{\"schema\":\"mdz.profile.v1\",", 0),
+            0u);
+  EXPECT_EQ(ReadFileText(folded_path), "main 1\n");
+  std::remove(json_path.c_str());
+  std::remove(folded_path.c_str());
+}
+
+// --- /profilez + /healthz over HTTP ------------------------------------------
+
+// Minimal blocking HTTP GET against 127.0.0.1:<port>.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ProfilerTest, ProfilezSamplesABusyPoolOnDemand) {
+  MetricsRegistry registry;
+  Timeline timeline(/*ring_capacity=*/256, /*store_capacity=*/1 << 12);
+  TelemetryServer server(&registry, &timeline, &Profiler::Global());
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("127.0.0.1:0", &address).ok());
+  ASSERT_TRUE(server.Start(address).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread load([&stop] {
+    core::ThreadPool pool(2);
+    while (!stop.load(std::memory_order_acquire)) {
+      pool.ParallelFor(0, 4, [](size_t) {
+        volatile double sink = BurnFor(0.01);
+        (void)sink;
+      });
+    }
+  });
+
+  // No profiler is running, so the route runs an on-demand 1 s session.
+  const std::string folded = HttpGet(server.port(), "/profilez?seconds=1");
+  EXPECT_NE(folded.find("200 OK"), std::string::npos);
+  EXPECT_NE(folded.find(';'), std::string::npos);  // multi-frame stacks
+
+  const std::string json =
+      HttpGet(server.port(), "/profilez?seconds=1&format=json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mdz.profile.v1\""), std::string::npos);
+
+  stop.store(true, std::memory_order_release);
+  load.join();
+  server.Stop();
+  EXPECT_FALSE(Profiler::Global().running());
+  Profiler::Global().ClearStore();
+}
+
+TEST(ProfilerTest, HealthzReportsCountsAndDegrades) {
+  MetricsRegistry registry;
+  // The smallest ring the Timeline allows (capacities clamp to 8): events
+  // past the eighth drop, flipping /healthz from ok to degraded.
+  Timeline timeline(/*ring_capacity=*/8, /*store_capacity=*/8);
+  TelemetryServer server(&registry, &timeline, &Profiler::Global());
+  ListenAddress address;
+  ASSERT_TRUE(ParseListenAddress("127.0.0.1:0", &address).ok());
+  ASSERT_TRUE(server.Start(address).ok());
+
+  const std::string healthy = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthy.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthy.find("\"timeline_ring_dropped\":0"), std::string::npos);
+
+  timeline.SetRecording(true);
+  for (int i = 0; i < 10; ++i) {
+    timeline.Record("h", EventPhase::kInstant);  // 9th and 10th drop
+  }
+  timeline.SetRecording(false);
+  ASSERT_GT(timeline.ring_dropped(), 0u);
+
+  const std::string degraded = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(degraded.find("\"status\":\"degraded\""), std::string::npos);
+  server.Stop();
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, WriteReportCarriesAllSections) {
+  const bool was_enabled = Enabled();
+  SetEnabled(true);
+  Timeline& timeline = Timeline::Global();
+  timeline.SetRecording(true);
+  const std::string report_path = TempPath("flight_install.txt");
+  ASSERT_TRUE(FlightRecorder::Install(report_path).ok());
+  EXPECT_TRUE(FlightRecorder::installed());
+
+  const std::string out_path = TempPath("flight_report.txt");
+  {
+    MDZ_SPAN("flight_test_span");
+    timeline.Record("flight_test_event", EventPhase::kInstant);
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    FlightRecorder::WriteReport(fileno(out), 0, nullptr);
+    std::fclose(out);
+  }
+  timeline.SetRecording(false);
+  SetEnabled(was_enabled);
+
+  const std::string report = ReadFileText(out_path);
+  EXPECT_NE(report.find("=== mdz flight recorder ==="), std::string::npos);
+  EXPECT_NE(report.find("git_sha"), std::string::npos);
+  EXPECT_NE(report.find("backtrace"), std::string::npos);
+  EXPECT_NE(report.find("flight_test_span"), std::string::npos);
+  EXPECT_NE(report.find("flight_test_event"), std::string::npos);
+  EXPECT_NE(report.find("=== end of report ==="), std::string::npos);
+  std::remove(out_path.c_str());
+  std::remove(report_path.c_str());
+}
+
+TEST(FlightRecorderTest, CrashWritesReportAndDiesBySignal) {
+  // threadsafe style re-execs the test binary for the child, so the
+  // recorder and handlers are installed only in the process that dies.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string report_path = TempPath("flight_crash.txt");
+  std::remove(report_path.c_str());
+
+  // SIGABRT rather than SIGSEGV: ASan runs with handle_abort=0 by default,
+  // so abort() reaches our handler under every ci.sh sanitizer leg.
+  EXPECT_EXIT(
+      {
+        SetEnabled(true);
+        Timeline::Global().SetRecording(true);
+        Timeline::Global().Record("crash_imminent", EventPhase::kInstant);
+        if (!FlightRecorder::Install(report_path).ok()) std::exit(99);
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+
+  const std::string report = ReadFileText(report_path);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("SIGABRT"), std::string::npos);
+  EXPECT_NE(report.find("git_sha"), std::string::npos);
+  EXPECT_NE(report.find("backtrace"), std::string::npos);
+  EXPECT_NE(report.find("crash_imminent"), std::string::npos);
+  EXPECT_NE(report.find("=== end of report ==="), std::string::npos);
+  std::remove(report_path.c_str());
+}
+
+// --- Histogram quantiles (the p50/p95/p99 export satellite) ------------------
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  // First bucket interpolates from a lower edge of 0.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({8.0}, {4, 0}, 0.5), 4.0);
+  // The golden histogram from ObsExportTest.JsonGolden: rank 1.5 lands
+  // halfway into the (1, 10] bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 10.0}, {1, 1, 1}, 0.5), 5.5);
+}
+
+TEST(HistogramQuantileTest, InfBucketReportsLargestFiniteBound) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 10.0}, {1, 1, 1}, 0.95), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 10.0}, {0, 0, 5}, 0.5), 10.0);
+}
+
+TEST(HistogramQuantileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {}, 0.5), 0.0);       // empty
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0}, {0, 0}, 0.5), 0.0);
+  // q is clamped; all mass in one finite bucket interpolates linearly.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {2, 0}, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {2, 0}, -1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mdz

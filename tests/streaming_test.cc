@@ -22,6 +22,8 @@
 #include "core/trajectory.h"
 #include "io/streaming.h"
 #include "io/trajectory_io.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "util/rng.h"
 
 namespace mdz {
@@ -362,6 +364,102 @@ TEST(Streaming, StreamedAppendMatchesOneShot) {
 
   EXPECT_EQ(ReadFileBytes(grown), ReadFileBytes(oneshot));
   std::remove(oneshot.c_str());
+  std::remove(grown.c_str());
+  std::remove(tail_path.c_str());
+}
+
+// The append request's trace context must survive both thread hops in the
+// Reopen + pump path: the reader thread's stream_read spans and the
+// reseal's archive spans all land in the request's span tree, parented on
+// the spans that were open where the work was handed off.
+TEST(Streaming, ReopenAppendPropagatesTraceContext) {
+  const core::Trajectory traj = MakeWalkTrajectory(32, 30, 27);
+  core::Options options;
+  options.buffer_size = 8;
+
+  const std::string grown = TempPath("append_trace_grown.mdza");
+  {
+    auto writer =
+        archive::ArchiveWriter::Create(grown, traj.num_particles(), options);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->SetName(traj.name);
+    (*writer)->SetBox(traj.box);
+    for (size_t s = 0; s < 16; ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  const std::string tail_path = TempPath("append_trace_tail.mdtraj");
+  ASSERT_TRUE(io::WriteBinaryTrajectory(Slice(traj, 16, 32), tail_path).ok());
+
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Timeline& timeline = obs::Timeline::Global();
+  timeline.Reset();
+  timeline.SetRecording(true);
+  const obs::TraceContext trace = obs::BeginTrace();
+  {
+    auto reader = io::TrajectoryReader::Open(tail_path);
+    ASSERT_TRUE(reader.ok());
+    auto writer = archive::ArchiveWriter::Reopen(grown, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    io::ArchiveSink sink(std::move(writer).value());
+    core::StreamOptions stream_options;
+    stream_options.queue_capacity = options.buffer_size;
+    auto stats =
+        core::StreamingCompressor::Pump(reader->get(), &sink, stream_options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->snapshots, 16u);
+  }
+  timeline.SetRecording(false);
+  const std::vector<obs::TimelineEvent> events = timeline.Snapshot();
+  timeline.Reset();
+  obs::SetEnabled(was_enabled);
+
+  // The Reopen span itself parents directly on the request's root span.
+  uint64_t pump_span = 0;
+  uint32_t pump_tid = 0;
+  bool saw_reopen = false;
+  for (const obs::TimelineEvent& e : events) {
+    if (e.phase != obs::EventPhase::kBegin) continue;
+    if (std::string(e.name) == "archive_reopen") {
+      saw_reopen = true;
+      EXPECT_EQ(e.trace_id, trace.trace_id);
+      EXPECT_EQ(e.parent_span_id, trace.span_id);
+    }
+    if (std::string(e.name) == "stream_pump") {
+      pump_span = e.span_id;
+      pump_tid = e.tid;
+    }
+  }
+  EXPECT_TRUE(saw_reopen);
+  ASSERT_NE(pump_span, 0u);
+
+  // stream_read runs on the dedicated reader thread, yet stays inside the
+  // request's tree: same trace id, parented on the pump span it was
+  // captured under.
+  size_t cross_thread_reads = 0;
+  for (const obs::TimelineEvent& e : events) {
+    if (e.phase != obs::EventPhase::kBegin) continue;
+    if (std::string(e.name) != "stream_read") continue;
+    EXPECT_EQ(e.trace_id, trace.trace_id);
+    EXPECT_EQ(e.parent_span_id, pump_span);
+    if (e.tid != pump_tid) ++cross_thread_reads;
+  }
+  EXPECT_GT(cross_thread_reads, 0u);
+
+  // The reseal's flushes (archive_flush under stream_append/stream_finish)
+  // are on the request's trace too — the whole append is one connected tree.
+  bool saw_flush = false;
+  for (const obs::TimelineEvent& e : events) {
+    if (e.phase != obs::EventPhase::kBegin) continue;
+    if (std::string(e.name) != "archive_flush") continue;
+    saw_flush = true;
+    EXPECT_EQ(e.trace_id, trace.trace_id);
+    EXPECT_NE(e.parent_span_id, 0u);
+  }
+  EXPECT_TRUE(saw_flush);
+
   std::remove(grown.c_str());
   std::remove(tail_path.c_str());
 }

@@ -5,21 +5,27 @@
 # violated invariant.
 #
 #   tools/check_telemetry.sh <metrics.json> <metrics.prom> <trace.jsonl> \
-#       [quality.json]
+#       [quality.json] [profile.json]
 #
 # The optional fourth argument is an `mdz audit --json` report from a clean
 # round-trip; it is checked for the mdz.quality.v1 invariants (verdict ok,
 # max error within the bound, histogram counts summing to the sample count).
+# The optional fifth argument is a `--profile-out *.json` report; it is
+# checked for the mdz.profile.v1 invariants, and its presence additionally
+# requires the profiler/* counter families in the Prometheus exposition.
+# Pass "" for an argument to skip it.
 set -eu
 
-if [ $# -lt 3 ] || [ $# -gt 4 ]; then
-  echo "usage: $0 <metrics.json> <metrics.prom> <trace.jsonl> [quality.json]" >&2
+if [ $# -lt 3 ] || [ $# -gt 5 ]; then
+  echo "usage: $0 <metrics.json> <metrics.prom> <trace.jsonl>" \
+       "[quality.json] [profile.json]" >&2
   exit 2
 fi
 JSON="$1"
 PROM="$2"
 TRACE="$3"
 QUALITY="${4:-}"
+PROFILE="${5:-}"
 
 fail() {
   echo "check_telemetry: $1" >&2
@@ -196,6 +202,48 @@ if [ -n "$QUALITY" ]; then
       }
     }
   ' "$QUALITY" || fail "quality invariant violated in $QUALITY"
+fi
+
+# --- Profile report (optional) ----------------------------------------------
+if [ -n "$PROFILE" ]; then
+  test -s "$PROFILE" || fail "profile report missing or empty: $PROFILE"
+  grep -q '^{"schema":"mdz.profile.v1",' "$PROFILE" \
+    || fail "bad profile schema tag in $PROFILE"
+  grep -q '"build":{"git_sha":"' "$PROFILE" \
+    || fail "profile report missing build provenance"
+  for key in '"hz":' '"duration_seconds":' '"samples":' '"dropped":' \
+      '"signal_overruns":' '"span_attributed":' '"functions":\[' \
+      '"spans":\['; do
+    grep -q "$key" "$PROFILE" || fail "profile report missing $key"
+  done
+  # Function entries carry symbolized names with self <= total.
+  awk '
+    {
+      if (!match($0, /"functions":\[/)) { print "no functions array"; exit 1 }
+      body = substr($0, RSTART + RLENGTH)
+      sub(/\],"spans":.*/, "", body)
+      n = split(body, entries, /\},\{/)
+      for (i = 1; i <= n; ++i) {
+        seg = entries[i]
+        if (seg == "") continue
+        if (!match(seg, /"self":[0-9]+/)) { print "entry missing self"; exit 1 }
+        self = substr(seg, RSTART + 7, RLENGTH - 7) + 0
+        if (!match(seg, /"total":[0-9]+/)) { print "entry missing total"; exit 1 }
+        total = substr(seg, RSTART + 8, RLENGTH - 8) + 0
+        if (self > total) {
+          print "function self " self " exceeds total " total; exit 1
+        }
+      }
+    }
+  ' "$PROFILE" || fail "profile invariant violated in $PROFILE"
+  # A profiled run must have synced its tallies into the registry families.
+  for family in mdz_profiler_samples mdz_profiler_drops \
+      mdz_profiler_signal_overruns; do
+    grep -q "^# TYPE ${family} counter\$" "$PROM" \
+      || fail "prom missing ${family} TYPE line (profiled run)"
+    grep -Eq "^${family} [0-9]+\$" "$PROM" \
+      || fail "prom missing ${family} sample"
+  done
 fi
 
 echo "check_telemetry OK: $lines blocks traced, invariants hold"

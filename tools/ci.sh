@@ -84,6 +84,30 @@ sh "${ROOT}/tools/check_telemetry.sh" \
   "${SMOKE}/quality.json"
 "${MDZ_BIN}" stats "${SMOKE}/traj.mdza" --json | grep -q '"axes":\['
 
+# Profiler smoke, on both instrumented trees: a --profile run must leave the
+# archive byte-identical to an unprofiled one and produce a valid
+# mdz.profile.v1 report (checked by check_telemetry.sh's fifth argument).
+for san in address undefined; do
+  echo "=== profiler smoke (${san}) ==="
+  SAN_BIN="${BUILD_ROOT}/${san}/tools/mdz"
+  PROF="${BUILD_ROOT}/profiler-smoke-${san}"
+  rm -rf "${PROF}"
+  mkdir -p "${PROF}"
+  "${SAN_BIN}" gen LJ "${PROF}/traj.mdtraj" --scale 0.3 --seed 7 --quiet
+  "${SAN_BIN}" compress "${PROF}/traj.mdtraj" "${PROF}/profiled.mdza" \
+    --threads 2 --quiet \
+    --profile=99 --profile-out "${PROF}/profile.json" \
+    --metrics-json "${PROF}/metrics.json" \
+    --metrics-prom "${PROF}/metrics.prom" \
+    --trace "${PROF}/trace.jsonl"
+  "${SAN_BIN}" compress "${PROF}/traj.mdtraj" "${PROF}/plain.mdza" \
+    --threads 2 --quiet
+  cmp "${PROF}/profiled.mdza" "${PROF}/plain.mdza"
+  sh "${ROOT}/tools/check_telemetry.sh" \
+    "${PROF}/metrics.json" "${PROF}/metrics.prom" "${PROF}/trace.jsonl" \
+    "" "${PROF}/profile.json"
+done
+
 echo "=== live endpoint smoke ==="
 # Stream-compress with the telemetry endpoint up, scrape it mid-run with
 # curl, and require the live exposition to carry the same metric families
@@ -114,8 +138,10 @@ i=0
 while [ "$i" -lt 200 ]; do
   if curl -sf "http://127.0.0.1:${port}/metrics" > "${LIVE}/live.prom" \
       2>/dev/null; then
-    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '^ok$'
+    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '"status":"ok"'
     curl -sf "http://127.0.0.1:${port}/buildz" | grep -q '"git_sha"'
+    curl -sf "http://127.0.0.1:${port}/flightz" \
+      | grep -q '"schema":"mdz.flightz.v1"'
     live_ok=1
     break
   fi
@@ -145,7 +171,7 @@ rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
 for bench in fig9_quant_scale fig11_adp_vs_modes fig15_throughput \
              pipeline_stages bench_random_access bench_streaming \
-             obs_overhead; do
+             obs_overhead profiler_overhead; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)

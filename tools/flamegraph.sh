@@ -1,0 +1,137 @@
+#!/bin/sh
+# Renders the folded-stack output of `mdz --profile` (or GET /profilez) as a
+# self-contained flame-graph SVG, using only POSIX sh + sort/awk — the image
+# has no perl, so this replaces the classic flamegraph.pl for our purposes.
+#
+#   tools/flamegraph.sh [--title T] [--width PX] [profile.folded] > out.svg
+#
+# Input lines are `frame;frame;...;frame COUNT` (root first, leaf last, the
+# trailing integer is the sample count). Reads stdin when no file is given.
+# Frames sharing a prefix merge into one rect; rect width is proportional to
+# total samples underneath; hovering a rect shows the full frame name and
+# its share. Root frames sit at the bottom, leaves at the top.
+set -eu
+
+TITLE="mdz CPU profile"
+WIDTH=1200
+INPUT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --title) TITLE="$2"; shift 2 ;;
+    --width) WIDTH="$2"; shift 2 ;;
+    -h|--help)
+      echo "usage: $0 [--title T] [--width PX] [profile.folded]" >&2
+      exit 2 ;;
+    -*)
+      echo "flamegraph.sh: unknown flag $1" >&2
+      exit 2 ;;
+    *) INPUT="$1"; shift ;;
+  esac
+done
+
+if [ -n "$INPUT" ] && [ ! -s "$INPUT" ]; then
+  echo "flamegraph.sh: input missing or empty: $INPUT" >&2
+  exit 1
+fi
+
+# Lexicographic sort makes stacks sharing a prefix adjacent, so one linear
+# pass can merge them into rects (the classic flamegraph algorithm).
+{ if [ -n "$INPUT" ]; then sort "$INPUT"; else sort; fi } | awk -v \
+    title="$TITLE" -v img_w="$WIDTH" '
+  # One folded line: everything before the last space is the stack, the
+  # trailing integer is the sample count. Demangled C++ frame names may
+  # themselves contain spaces, so split on the *last* space only.
+  /^[^ ].* [0-9]+$/ {
+    if (!match($0, / [0-9]+$/)) next
+    count = substr($0, RSTART + 1) + 0
+    stack = substr($0, 1, RSTART - 1)
+    n = split(stack, f, ";")
+    if (n == 0 || count <= 0) next
+
+    # Close every open frame below the common prefix with the previous
+    # stack (deepest first), recording its final extent as a rect.
+    common = 1
+    while (common <= n && common <= prev_n && f[common] == prev[common])
+      ++common
+    for (d = prev_n; d >= common; --d) Close(d)
+    for (d = common; d <= n; ++d) { open_name[d] = f[d]; open_x[d] = total }
+    if (n > max_depth) max_depth = n
+    total += count
+    for (d = 1; d <= n; ++d) prev[d] = f[d]
+    prev_n = n
+  }
+
+  function Close(d) {
+    rects++
+    r_name[rects] = open_name[d]
+    r_x[rects] = open_x[d]
+    r_w[rects] = total - open_x[d]
+    r_d[rects] = d
+  }
+
+  function Esc(s) {
+    gsub(/&/, "\\&amp;", s)
+    gsub(/</, "\\&lt;", s)
+    gsub(/>/, "\\&gt;", s)
+    gsub(/"/, "\\&quot;", s)
+    return s
+  }
+
+  # Deterministic warm color from the frame name, so the same function gets
+  # the same shade across graphs.
+  function Color(name,   h, i) {
+    h = 0
+    for (i = 1; i <= length(name); ++i)
+      h = (h * 31 + index(chars, substr(name, i, 1))) % 1048573
+    return sprintf("rgb(%d,%d,%d)", 205 + h % 50, 60 + (h * 7) % 130, \
+                   (h * 13) % 40)
+  }
+
+  BEGIN {
+    chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" \
+            "0123456789_:~<>()[]*&,;. "
+  }
+
+  END {
+    for (d = prev_n; d >= 1; --d) Close(d)
+    if (total == 0) {
+      print "flamegraph.sh: no folded samples in input" > "/dev/stderr"
+      exit 1
+    }
+    row_h = 16
+    top = 34
+    img_h = top + max_depth * row_h + 12
+    printf "<?xml version=\"1.0\" standalone=\"no\"?>\n"
+    printf "<svg version=\"1.1\" width=\"%d\" height=\"%d\"", img_w, img_h
+    printf " xmlns=\"http://www.w3.org/2000/svg\">\n"
+    printf "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\"", img_w, img_h
+    printf " fill=\"#f8f8f8\"/>\n"
+    printf "<text x=\"%d\" y=\"22\" text-anchor=\"middle\"", img_w / 2
+    printf " font-family=\"monospace\" font-size=\"15\">%s (%d samples)" \
+           "</text>\n", Esc(title), total
+    scale = (img_w - 20) / total
+    for (i = 1; i <= rects; ++i) {
+      x = 10 + r_x[i] * scale
+      w = r_w[i] * scale
+      if (w < 0.3) continue      # sub-third-pixel rects are invisible anyway
+      y = top + (max_depth - r_d[i]) * row_h
+      pct = 100.0 * r_w[i] / total
+      printf "<g><title>%s: %d samples (%.1f%%)</title>", \
+             Esc(r_name[i]), r_w[i], pct
+      printf "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\"", \
+             x, y, w, row_h - 1
+      printf " fill=\"%s\" rx=\"1\"/>", Color(r_name[i])
+      if (w > 34) {
+        # Truncate to what fits at ~7.2px/char; leave room for a margin.
+        label = r_name[i]
+        fit = int((w - 6) / 7.2)
+        if (length(label) > fit) label = substr(label, 1, fit > 2 ? fit : 2)
+        printf "<text x=\"%.1f\" y=\"%d\" font-family=\"monospace\"", \
+               x + 3, y + row_h - 5
+        printf " font-size=\"12\">%s</text>", Esc(label)
+      }
+      printf "</g>\n"
+    }
+    print "</svg>"
+  }
+'

@@ -65,8 +65,11 @@
 #include "io/trajectory_io.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
+#include "obs/span.h"
 #include "obs/telemetry_server.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -182,7 +185,13 @@ int Usage() {
                "global flags: --quiet --simd scalar|avx2|neon\n"
                "              --trace-timeline F (Chrome trace JSON)\n"
                "              --listen host:port (live /metrics /healthz "
-               "/buildz /tracez)\n");
+               "/buildz /tracez /profilez /flightz)\n"
+               "              --profile[=HZ] | --profile-hz N (sampling CPU "
+               "profiler, default 99 Hz)\n"
+               "              --profile-out F (folded stacks; *.json writes "
+               "mdz.profile.v1)\n"
+               "              --flight-recorder F (crash report on "
+               "SIGSEGV/SIGBUS/SIGABRT/SIGFPE)\n");
   return kExitUsage;
 }
 
@@ -234,6 +243,10 @@ struct Flags {
   std::string trace_timeline;  // Chrome trace-event JSON of the whole run
   std::string listen;          // host:port for the live telemetry endpoint
   std::string quality_trace;  // per-block quality JSONL (audit / --audit)
+  bool profile = false;       // sampling CPU profiler around the command
+  uint32_t profile_hz = 99;   // --profile=HZ / --profile-hz N
+  std::string profile_out;    // folded text, or mdz.profile.v1 for *.json
+  std::string flight_recorder;  // crash-report path (installs the handlers)
   bool json = false;          // `mdz stats|audit|version --json`
   bool audit = false;         // `mdz compress --audit`: verify after writing
   bool stream = false;        // compress/decompress: bounded-memory pipeline
@@ -302,6 +315,25 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.listen, next_value());
       } else if (arg == "--quality-trace") {
         MDZ_ASSIGN_OR_RETURN(flags.quality_trace, next_value());
+      } else if (arg == "--profile") {
+        flags.profile = true;
+      } else if (arg.rfind("--profile=", 0) == 0) {
+        flags.profile = true;
+        MDZ_ASSIGN_OR_RETURN(
+            const uint64_t parsed,
+            ParseUint(arg.substr(std::strlen("--profile=")), "--profile",
+                      1000));
+        flags.profile_hz = static_cast<uint32_t>(parsed);
+      } else if (arg == "--profile-hz") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed, ParseUint(v, arg, 1000));
+        flags.profile = true;
+        flags.profile_hz = static_cast<uint32_t>(parsed);
+      } else if (arg == "--profile-out") {
+        MDZ_ASSIGN_OR_RETURN(flags.profile_out, next_value());
+        flags.profile = true;
+      } else if (arg == "--flight-recorder") {
+        MDZ_ASSIGN_OR_RETURN(flags.flight_recorder, next_value());
       } else if (arg == "--stream") {
         flags.stream = true;
       } else if (arg == "--audit") {
@@ -826,8 +858,7 @@ int CmdInfo(const Flags& flags) {
 // sit. This is the offline view of the data behind the paper's Fig. 10/11.
 int CmdStats(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  auto archive = mdz::io::ReadArchive(flags.positional[0]);
-  if (!archive.ok()) return Fail(archive.status());
+  if (flags.telemetry()) mdz::obs::SetEnabled(true);
 
   struct AxisStats {
     size_t blocks = 0;
@@ -836,19 +867,26 @@ int CmdStats(const Flags& flags) {
     size_t by_method[5] = {0, 0, 0, 0, 0};  // indexed by Method value
   };
   AxisStats per_axis[3];
-  for (int axis = 0; axis < 3; ++axis) {
-    auto decompressor =
-        mdz::core::FieldDecompressor::Open(archive->data.axes[axis]);
-    if (!decompressor.ok()) return Fail(decompressor.status());
-    auto blocks = (*decompressor)->ListBlocks();
-    if (!blocks.ok()) return Fail(blocks.status());
-    AxisStats& a = per_axis[axis];
-    a.bytes = archive->data.axes[axis].size();
-    for (const auto& b : *blocks) {
-      ++a.blocks;
-      a.snapshots += b.snapshots;
-      const auto m = static_cast<size_t>(b.method);
-      if (m < 5) ++a.by_method[m];
+  {
+    // Scoped so the span closes (and its histogram observation lands)
+    // before the quantile table below renders.
+    MDZ_SPAN("stats_scan");
+    auto archive = mdz::io::ReadArchive(flags.positional[0]);
+    if (!archive.ok()) return Fail(archive.status());
+    for (int axis = 0; axis < 3; ++axis) {
+      auto decompressor =
+          mdz::core::FieldDecompressor::Open(archive->data.axes[axis]);
+      if (!decompressor.ok()) return Fail(decompressor.status());
+      auto blocks = (*decompressor)->ListBlocks();
+      if (!blocks.ok()) return Fail(blocks.status());
+      AxisStats& a = per_axis[axis];
+      a.bytes = archive->data.axes[axis].size();
+      for (const auto& b : *blocks) {
+        ++a.blocks;
+        a.snapshots += b.snapshots;
+        const auto m = static_cast<size_t>(b.method);
+        if (m < 5) ++a.by_method[m];
+      }
     }
   }
 
@@ -874,7 +912,7 @@ int CmdStats(const Flags& flags) {
       std::printf("}}");
     }
     std::printf("]}\n");
-    return kExitOk;
+    return WriteMetricsFiles(flags);
   }
 
   std::printf("%-6s %-8s %-10s %-6s %-6s %-6s %-6s %-10s\n", "Axis", "Blocks",
@@ -889,7 +927,27 @@ int CmdStats(const Flags& flags) {
                 a.by_method[static_cast<size_t>(mdz::core::Method::kTI)],
                 a.bytes);
   }
-  return kExitOk;
+
+  // With telemetry on, append derived latency quantiles for every observed
+  // histogram (the same p50/p95/p99 the mdz.metrics.v1 JSON reports).
+  if (flags.telemetry()) {
+    const auto snap = mdz::obs::MetricsRegistry::Global().Collect();
+    bool header = false;
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      if (!header) {
+        std::printf("\n%-32s %-8s %-12s %-12s %-12s\n", "Histogram", "Count",
+                    "p50_s", "p95_s", "p99_s");
+        header = true;
+      }
+      std::printf("%-32s %-8llu %-12.6g %-12.6g %-12.6g\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  mdz::obs::HistogramQuantile(h.bounds, h.bucket_counts, 0.50),
+                  mdz::obs::HistogramQuantile(h.bounds, h.bucket_counts, 0.95),
+                  mdz::obs::HistogramQuantile(h.bounds, h.bucket_counts, 0.99));
+    }
+  }
+  return WriteMetricsFiles(flags);
 }
 
 // Random access into a v2 archive: decodes only the frames covering the
@@ -1072,6 +1130,30 @@ int CmdVerify(const Flags& flags) {
   return 0;
 }
 
+// Hidden test hook (tests/cli_test.sh): dies by the requested signal with a
+// span open and a timeline event recorded, so the flight-recorder report
+// written on the way down has real content to assert on. Not in Usage().
+int CmdSelftestCrash(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  const std::string& kind = flags.positional[0];
+  MDZ_SPAN("selftest_crash");
+  mdz::obs::Timeline::Global().Record("selftest/crash_imminent",
+                                      mdz::obs::EventPhase::kInstant);
+  mdz::obs::Timeline::Global().DrainRings();
+  if (kind == "abort") {
+    std::abort();
+  } else if (kind == "segv") {
+    std::raise(SIGSEGV);
+  } else if (kind == "fpe") {
+    std::raise(SIGFPE);
+  } else if (kind == "report") {
+    // No crash: render the report to stdout for content checks.
+    mdz::obs::FlightRecorder::WriteReport(STDOUT_FILENO, 0, nullptr);
+    return kExitOk;
+  }
+  return Usage();
+}
+
 int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "datasets") return CmdDatasets();
   if (command == "gen") return CmdGen(flags);
@@ -1086,6 +1168,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "verify") return CmdVerify(flags);
   if (command == "audit") return CmdAudit(flags);
   if (command == "version") return CmdVersion(flags);
+  if (command == "selftest-crash") return CmdSelftestCrash(flags);
   return Usage();
 }
 
@@ -1117,11 +1200,26 @@ int main(int argc, char** argv) {
   }
   const bool tracing = !flags->trace_timeline.empty();
   const bool listening = !flags->listen.empty();
-  if ((tracing || listening) && mdz::obs::GetBuildInfo().obs_disabled) {
+  const bool profiling = flags->profile;
+  const bool recording_flight = !flags->flight_recorder.empty();
+  if ((tracing || listening || profiling || recording_flight) &&
+      mdz::obs::GetBuildInfo().obs_disabled) {
     return Fail(Status::FailedPrecondition(
-        "--trace-timeline/--listen need telemetry compiled in "
+        "--trace-timeline/--listen/--profile/--flight-recorder need "
+        "telemetry compiled in "
         "(this binary was built with MDZ_OBS_DISABLED)"));
   }
+  if (recording_flight) {
+    // Install before any work runs — a crash during setup should still
+    // report. Enabled + recording so the report carries metric values and
+    // at least the most recent timeline events.
+    mdz::obs::SetEnabled(true);
+    mdz::obs::Timeline::Global().SetRecording(true);
+    mdz::obs::SetTimelineThreadName("main");
+    const Status s = mdz::obs::FlightRecorder::Install(flags->flight_recorder);
+    if (!s.ok()) return Fail(s);
+  }
+  if (profiling) mdz::obs::SetEnabled(true);
   if (tracing || listening) {
     mdz::obs::SetEnabled(true);
     // /tracez needs span events even without a --trace-timeline file, and
@@ -1167,7 +1265,35 @@ int main(int argc, char** argv) {
     InstallSignalHandlers();
   }
 
+  if (profiling) {
+    const Status s = mdz::obs::Profiler::Global().Start(flags->profile_hz);
+    if (!s.ok()) return Fail(s);
+  }
+
   int code = RunCommand(command, *flags);
+
+  if (profiling) {
+    auto& profiler = mdz::obs::Profiler::Global();
+    profiler.Stop();
+    const std::string out_path = flags->profile_out.empty()
+                                     ? "mdz-profile.folded"
+                                     : flags->profile_out;
+    const mdz::obs::ProfileReport report =
+        mdz::obs::AggregateProfile(profiler.Snapshot());
+    const Status s = mdz::obs::WriteProfileFile(
+        report, profiler.hz(), profiler.duration_seconds(),
+        profiler.dropped(), profiler.overruns(), out_path);
+    if (!s.ok()) {
+      const int pcode = Fail(s);
+      if (code == kExitOk) code = pcode;
+    } else {
+      Say("profile: %llu samples (%llu dropped, %llu overruns) -> %s\n",
+          static_cast<unsigned long long>(report.sample_count),
+          static_cast<unsigned long long>(profiler.dropped()),
+          static_cast<unsigned long long>(profiler.overruns()),
+          out_path.c_str());
+    }
+  }
 
   sampler.Stop();
   server.Stop();
