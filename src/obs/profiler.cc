@@ -31,8 +31,24 @@ namespace {
 
 // The profiler whose handler is live. SIGPROF and setitimer are process
 // state, so at most one Profiler runs at a time; the handler ignores
-// signals that land while none is.
+// signals that land while none is. Winning the CAS on this pointer is what
+// licenses a Start() to touch its ring pool — the claim happens before any
+// pool mutation.
 std::atomic<Profiler*> g_active_profiler{nullptr};
+
+// Count of SIGPROF handlers currently between their g_active_profiler load
+// and handler exit. Stop() stores null into g_active_profiler and then
+// spins until this drains, so a handler that loaded a non-null pointer is
+// never concurrent with ring reuse or Profiler teardown. Both sides use
+// seq_cst: the handler's increment must be ordered before its pointer
+// load, and Stop's null store before its count read (Dekker pattern).
+std::atomic<int> g_handlers_in_flight{0};
+
+void QuiesceHandlers() {
+  while (g_handlers_in_flight.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
 
 // Start() sessions, so a thread's cached ring pointer from a previous run
 // is never reused against a new ring pool.
@@ -55,10 +71,12 @@ thread_local volatile sig_atomic_t tls_in_capture;
 // symbol table (-rdynamic / CMAKE_ENABLE_EXPORTS).
 __attribute__((noinline)) void ProfilerSignalHandler(int, siginfo_t*, void*) {
   const int saved_errno = errno;
+  g_handlers_in_flight.fetch_add(1, std::memory_order_seq_cst);
   if (Profiler* profiler =
-          g_active_profiler.load(std::memory_order_acquire)) {
+          g_active_profiler.load(std::memory_order_seq_cst)) {
     profiler->HandleSignal();
   }
+  g_handlers_in_flight.fetch_sub(1, std::memory_order_seq_cst);
   errno = saved_errno;
 }
 
@@ -92,22 +110,25 @@ struct Profiler::Impl {
   const size_t max_threads;
   const size_t store_capacity;
 
-  // Fixed ring pool, fully allocated in Start() before the timer is armed;
-  // the handler only ever indexes it.
+  // Fixed ring pool, allocated once under drain_mu on the first Start()
+  // and reused (never freed, never shrunk) by every later session: a late
+  // handler from a previous session can index a stale ring but never a
+  // freed one. Drop counts accumulate across sessions, which keeps
+  // dropped() monotonic with no reset bookkeeping.
   std::vector<std::unique_ptr<Ring>> rings;
   std::atomic<size_t> rings_used{0};
-  uint64_t session = 0;
+  std::atomic<uint64_t> session{0};
 
   std::atomic<bool> running{false};
   std::atomic<uint64_t> samples{0};
-  std::atomic<uint64_t> ring_dropped_sync{0};  // folded in at drain time
   std::atomic<uint64_t> overruns{0};
   uint64_t store_evicted = 0;  // under store_mu
 
   uint64_t start_ns = 0;
   uint64_t stop_ns = 0;
 
-  std::mutex drain_mu;  // serializes ring consumers
+  std::mutex state_mu;  // serializes Start()/Stop() against each other
+  std::mutex drain_mu;  // guards the rings vector and serializes consumers
   std::mutex store_mu;
   std::vector<ProfileSample> store;
 
@@ -120,7 +141,6 @@ struct Profiler::Impl {
   std::atomic<bool> drain_stop{false};
   std::thread drain_thread;
 
-  struct sigaction previous_action {};
   bool handler_installed = false;
 
   Impl(size_t ring_capacity, size_t max_threads, size_t store_capacity)
@@ -150,27 +170,43 @@ bool Profiler::running() const {
 Status Profiler::Start(uint32_t hz) {
   if (hz == 0) hz = 99;
   hz = std::min<uint32_t>(hz, 1000);
-  if (running()) return Status::FailedPrecondition("profiler already running");
-  if (g_active_profiler.load(std::memory_order_acquire) != nullptr) {
+  std::lock_guard<std::mutex> state(impl_->state_mu);
+  if (impl_->running.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("profiler already running");
+  }
+
+  // Claim process-wide exclusivity before touching anything the handler
+  // can see: losing this CAS means another Profiler owns SIGPROF right
+  // now. The installed handler may observe the new pointer before the
+  // timer is armed (a stray delivery from a previous session), but it
+  // bails while running is still false.
+  Profiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(
+          expected, this, std::memory_order_seq_cst)) {
     return Status::FailedPrecondition(
         "another profiler is already running (SIGPROF is process state)");
   }
 
-  // Everything the handler touches exists before the timer is armed. Drop
-  // counts of the previous session's rings fold into a carry so dropped()
-  // stays monotonic across restarts.
-  for (const auto& ring : impl_->rings) {
-    impl_->ring_dropped_sync.fetch_add(
-        ring->dropped.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
+  // Everything the handler touches exists before running flips true. The
+  // pool is allocated once and reused by later sessions — rings are never
+  // freed while the process can still take a SIGPROF, so a late handler
+  // can never use freed memory. Ring drop counts simply accumulate, which
+  // keeps dropped() monotonic across restarts. rings_used resets before
+  // the release-store of session: a claimer that observes the new session
+  // value therefore also observes the reset counter.
+  {
+    std::lock_guard<std::mutex> lock(impl_->drain_mu);
+    if (impl_->rings.empty()) {
+      impl_->rings.reserve(impl_->max_threads);
+      for (size_t i = 0; i < impl_->max_threads; ++i) {
+        impl_->rings.push_back(std::make_unique<Ring>(impl_->ring_capacity));
+      }
+    }
+    impl_->rings_used.store(0, std::memory_order_relaxed);
+    impl_->session.store(
+        g_profiler_session.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_release);
   }
-  impl_->rings.clear();
-  impl_->rings.reserve(impl_->max_threads);
-  for (size_t i = 0; i < impl_->max_threads; ++i) {
-    impl_->rings.push_back(std::make_unique<Ring>(impl_->ring_capacity));
-  }
-  impl_->rings_used.store(0, std::memory_order_relaxed);
-  impl_->session = g_profiler_session.fetch_add(1, std::memory_order_relaxed) + 1;
 
   // Prime the lazy pieces outside signal context: backtrace(3)'s first call
   // may load libgcc, and the timeline clock origin is a guarded static.
@@ -188,21 +224,17 @@ Status Profiler::Start(uint32_t hz) {
     action.sa_sigaction = ProfilerSignalHandler;
     action.sa_flags = SA_SIGINFO | SA_RESTART;
     sigemptyset(&action.sa_mask);
-    if (sigaction(SIGPROF, &action, &impl_->previous_action) != 0) {
+    if (sigaction(SIGPROF, &action, nullptr) != 0) {
+      g_active_profiler.store(nullptr, std::memory_order_seq_cst);
       return Status::Internal("sigaction(SIGPROF) failed");
     }
     impl_->handler_installed = true;
   }
 
   hz_ = hz;
+  // Release-publish the session prepared above; the handler's acquire load
+  // of running is what licenses it to touch the pool.
   impl_->running.store(true, std::memory_order_release);
-  Profiler* expected = nullptr;
-  if (!g_active_profiler.compare_exchange_strong(
-          expected, this, std::memory_order_acq_rel)) {
-    impl_->running.store(false, std::memory_order_release);
-    return Status::FailedPrecondition(
-        "another profiler is already running (SIGPROF is process state)");
-  }
 
   itimerval timer{};
   timer.it_interval.tv_sec = 0;
@@ -210,13 +242,18 @@ Status Profiler::Start(uint32_t hz) {
   if (timer.it_interval.tv_usec == 0) timer.it_interval.tv_usec = 1000;
   timer.it_value = timer.it_interval;
   if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
-    g_active_profiler.store(nullptr, std::memory_order_release);
     impl_->running.store(false, std::memory_order_release);
+    g_active_profiler.store(nullptr, std::memory_order_seq_cst);
+    QuiesceHandlers();
     return Status::Internal("setitimer(ITIMER_PROF) failed");
   }
 
   impl_->drain_stop.store(false, std::memory_order_release);
   impl_->drain_thread = std::thread([this] { DrainLoop(); });
+  // The starting thread is often the one about to burn CPU (the CLI's
+  // --profile path): claim its ring and span-stack slot eagerly so its
+  // very first sample needs no normal-context prerequisites.
+  PrepareThreadForProfiling();
   // Register the profiler/* counter families now, not on the first drain
   // tick: a sub-100 ms profiled run still exports them (at zero).
   SyncMetrics();
@@ -224,18 +261,25 @@ Status Profiler::Start(uint32_t hz) {
 }
 
 void Profiler::Stop() {
-  if (!running()) return;
+  std::lock_guard<std::mutex> state(impl_->state_mu);
+  if (!impl_->running.load(std::memory_order_acquire)) return;
 
   itimerval disarm{};
   setitimer(ITIMER_PROF, &disarm, nullptr);
-  g_active_profiler.store(nullptr, std::memory_order_release);
-  // A signal already in flight sees the null and returns; the handler
-  // itself stays installed (see Start) so late deliveries are harmless.
+  // Disarm in two steps, then quiesce. New deliveries bail on the null
+  // pointer (or on !running); a handler already past those checks holds a
+  // slot in g_handlers_in_flight, and the spin below waits it out — so by
+  // the time we return, no signal context is still writing into a ring,
+  // and a later Start() (or ~Profiler) can safely reuse the pool. The
+  // handler itself stays installed (see Start) so late deliveries are
+  // harmless.
+  impl_->running.store(false, std::memory_order_release);
+  g_active_profiler.store(nullptr, std::memory_order_seq_cst);
+  QuiesceHandlers();
 
   impl_->drain_stop.store(true, std::memory_order_release);
   if (impl_->drain_thread.joinable()) impl_->drain_thread.join();
   impl_->stop_ns = TimelineNowNs();
-  impl_->running.store(false, std::memory_order_release);
   DrainSamples();
   SyncMetrics();
 }
@@ -259,16 +303,25 @@ void Profiler::DrainLoop() {
   }
 }
 
-Profiler::Ring* Profiler::RingForThisThread() {
+Profiler::Ring* Profiler::RingForThisThread(bool from_signal) {
   TlsRingCache& cache = tls_ring_cache;
-  if (cache.session != impl_->session) {
-    cache.session = impl_->session;
+  const uint64_t session = impl_->session.load(std::memory_order_acquire);
+  if (cache.session != session) {
+    // First sample of this session on this thread: claim a pool slot. From
+    // signal context the claim must not first-touch guarded TLS, so a
+    // thread whose timeline tid was never assigned in normal context is
+    // skipped (the caller counts an overrun); it becomes claimable the
+    // moment it runs any span/timeline code or PrepareThreadForProfiling.
+    const uint32_t tid =
+        from_signal ? TimelineThreadIdIfAssigned() : TimelineThreadId();
+    if (tid == 0) return nullptr;
+    cache.session = session;
     cache.ring = nullptr;
     const size_t index =
         impl_->rings_used.fetch_add(1, std::memory_order_relaxed);
     if (index < impl_->max_threads) {
       Ring* ring = impl_->rings[index].get();
-      ring->tid = TimelineThreadId();
+      ring->tid = tid;
       cache.ring = ring;
     }
   }
@@ -276,12 +329,17 @@ Profiler::Ring* Profiler::RingForThisThread() {
 }
 
 __attribute__((noinline)) void Profiler::HandleSignal() {
+  // Not armed yet (Start() won the exclusivity CAS but is still building
+  // the session) or already disarming: ignore the stray delivery. The
+  // acquire load pairs with Start()'s release store, so a handler that
+  // sees running==true also sees the fully-built ring pool and session.
+  if (!impl_->running.load(std::memory_order_acquire)) return;
   if (tls_in_capture) {
     impl_->overruns.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   tls_in_capture = 1;
-  Ring* ring = RingForThisThread();
+  Ring* ring = RingForThisThread(/*from_signal=*/true);
   if (ring == nullptr) {
     // Thread past the fixed ring pool: the signal fired but no sample can
     // land anywhere.
@@ -363,13 +421,16 @@ uint64_t Profiler::samples() const {
 }
 
 uint64_t Profiler::dropped() const {
+  // drain_mu guards the rings vector itself (first-Start allocation can
+  // run concurrently with a telemetry-thread read). Ring drop counts are
+  // cumulative across sessions, so no carry bookkeeping is needed.
   uint64_t total = 0;
-  const size_t used = std::min(
-      impl_->rings_used.load(std::memory_order_acquire), impl_->max_threads);
-  for (size_t i = 0; i < impl_->rings.size() && i < used; ++i) {
-    total += impl_->rings[i]->dropped.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->drain_mu);
+    for (const auto& ring : impl_->rings) {
+      total += ring->dropped.load(std::memory_order_relaxed);
+    }
   }
-  total += impl_->ring_dropped_sync.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(impl_->store_mu);
   return total + impl_->store_evicted;
 }
@@ -411,9 +472,13 @@ void Profiler::SyncMetrics() {
 
 void PrepareThreadForProfiling() {
   ThisThreadSpanStack();
+  // Assign the POD timeline-tid TLS in normal context: the SIGPROF claim
+  // path refuses to first-assign it (see RingForThisThread), so a thread
+  // is only sampled after this ran (or after any span/timeline call).
+  TimelineThreadId();
   if (Profiler* profiler =
           g_active_profiler.load(std::memory_order_acquire)) {
-    profiler->RingForThisThread();
+    if (profiler->running()) profiler->RingForThisThread(false);
   }
 }
 

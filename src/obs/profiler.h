@@ -14,10 +14,15 @@
 // Async-signal-safety contract for the handler, in order of importance:
 //
 //  * No allocation, no locks, no library state. Sample rings are
-//    preallocated at Start() into a fixed pool; a thread claims its ring
-//    with one atomic fetch_add cached in a POD thread-local. backtrace(3)
-//    is primed with one call at Start() so its lazy libgcc load never
-//    happens under a signal.
+//    preallocated into a fixed pool on the first Start() and reused (never
+//    freed) by every later session; a thread claims its ring with one
+//    atomic fetch_add cached in a POD thread-local. backtrace(3) is primed
+//    with one call at Start() so its lazy libgcc load never happens under
+//    a signal. The handler never first-touches guarded TLS either: a
+//    thread is sampled only once its timeline tid was assigned in normal
+//    context (any span/timeline call, or PrepareThreadForProfiling —
+//    worker pools and the stream reader call it at thread startup; until
+//    then its signals count as overruns).
 //  * Bounded everything. A full ring drops the sample and counts it
 //    (profiler/drops); a thread past the ring pool, or a signal landing
 //    while the thread is already mid-capture, counts as an overrun
@@ -73,11 +78,19 @@ class Profiler {
   // `hz` samples/second (clamped to [1, 1000]), and starts a background
   // drain thread so long runs never overflow the rings. Only one Profiler
   // may run at a time process-wide (the signal handler and setitimer are
-  // process state): FailedPrecondition if another is running.
+  // process state): FailedPrecondition if another is running. Exclusivity
+  // is claimed (atomically, first) before the ring pool is touched, so
+  // concurrent Start() racers — e.g. the CLI's --profile and a telemetry
+  // thread's on-demand /profilez — serialize safely; the loser gets
+  // FailedPrecondition. Thread-safe against Stop().
   Status Start(uint32_t hz);
 
-  // Disarms the timer, restores the previous SIGPROF disposition, joins
-  // the drain thread, and does a final drain. Idempotent.
+  // Disarms the timer, quiesces any in-flight SIGPROF handler, joins the
+  // drain thread, and does a final drain. The handler itself deliberately
+  // stays installed (inert while no profiler is active): uninstalling
+  // could not outrace an already-pending SIGPROF, and a stray signal
+  // hitting a restored SIG_DFL would kill the process. Idempotent and
+  // thread-safe against Start().
   void Stop();
 
   bool running() const;
@@ -110,7 +123,11 @@ class Profiler {
 
   struct Ring;
 
-  Ring* RingForThisThread();
+  // `from_signal` claims never first-touch guarded TLS: a thread whose
+  // timeline tid is still unassigned is skipped (counted as an overrun by
+  // the caller) until it runs any normal-context span/timeline code or
+  // PrepareThreadForProfiling.
+  Ring* RingForThisThread(bool from_signal);
   void SyncMetrics();  // publish tallies into profiler/* registry counters
   void DrainLoop();
 

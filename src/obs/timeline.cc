@@ -138,10 +138,17 @@ std::unordered_set<uint64_t>& LiveTimelineIdsLocked() {
 
 std::atomic<uint32_t> g_next_tid{1};
 
+// POD zero-initialized TLS (no guard variable, no dynamic initializer):
+// 0 means "not yet assigned". Assignment happens on the thread's first
+// normal-context call; the profiler's signal path only ever *reads* the
+// slot (TimelineThreadIdIfAssigned) and treats 0 as "skip this thread".
+thread_local uint32_t tls_tid;
+
 uint32_t ThisThreadTid() {
-  thread_local const uint32_t tid =
-      g_next_tid.fetch_add(1, std::memory_order_relaxed);
-  return tid;
+  if (tls_tid == 0) {
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
 }
 
 // Thread names are process-wide (a tid means the same OS thread in every
@@ -161,6 +168,8 @@ std::vector<Timeline::ThreadName>& ThreadNamesLocked() {
 }  // namespace
 
 uint32_t TimelineThreadId() { return ThisThreadTid(); }
+
+uint32_t TimelineThreadIdIfAssigned() { return tls_tid; }
 
 size_t ThreadRingCountForTest() { return tls_rings.map.size(); }
 

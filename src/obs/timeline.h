@@ -143,6 +143,12 @@ uint64_t TimelineNowNs();
 // order) — what Chrome trace rows key on. Also the tid stamped on events.
 uint32_t TimelineThreadId();
 
+// Async-signal-safe variant: returns the ordinal already assigned by a
+// normal-context TimelineThreadId() call, or 0 when this thread has never
+// made one. Never assigns (a plain POD TLS read, no guard, no allocation),
+// so the profiler's SIGPROF handler can call it on any thread.
+uint32_t TimelineThreadIdIfAssigned();
+
 // Names the calling thread's row in the exported trace ("pool-worker",
 // "stream-reader", …). Literal lifetime; last call wins.
 void SetTimelineThreadName(const char* name);
@@ -284,6 +290,7 @@ std::vector<SpanSummary> RecentSpans(Timeline& timeline, size_t limit);
 // is constant false, which lets the compiler delete every guarded path.
 inline uint64_t TimelineNowNs() { return 0; }
 inline uint32_t TimelineThreadId() { return 0; }
+inline uint32_t TimelineThreadIdIfAssigned() { return 0; }
 inline void SetTimelineThreadName(const char*) {}
 inline size_t ThreadRingCountForTest() { return 0; }
 

@@ -145,6 +145,48 @@ TEST(ProfilerTest, SecondProfilerIsRejectedWhileRunning) {
   global.Stop();  // idempotent
 }
 
+// The /profilez race: the telemetry thread's on-demand Start/Stop cycles
+// against a concurrent Start racer plus readers walking the ring pool
+// (dropped(), Snapshot()). Exactly one Start must win each round, and the
+// ASan/UBSan legs verify no ring is rebuilt under a reader or a late
+// signal. Burns real CPU so SIGPROF actually fires mid-transition.
+TEST(ProfilerTest, ConcurrentStartStopAndReadersAreSafe) {
+  Profiler& profiler = Profiler::Global();
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    PrepareThreadForProfiling();  // assign a tid: signals here must not
+                                  // count overruns (the healthz test later
+                                  // asserts they stayed zero)
+    while (!done.load(std::memory_order_acquire)) {
+      (void)profiler.dropped();
+      (void)profiler.Snapshot(0);
+      (void)profiler.overruns();
+    }
+  });
+  std::thread racer([&] {
+    PrepareThreadForProfiling();
+    while (!done.load(std::memory_order_acquire)) {
+      if (profiler.Start(500).ok()) {
+        volatile double sink = BurnFor(0.002);
+        (void)sink;
+        profiler.Stop();
+      }
+    }
+  });
+  for (int i = 0; i < 25; ++i) {
+    if (profiler.Start(500).ok()) {
+      volatile double sink = BurnFor(0.002);
+      (void)sink;
+      profiler.Stop();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  racer.join();
+  reader.join();
+  EXPECT_FALSE(profiler.running());
+  profiler.ClearStore();
+}
+
 TEST(ProfilerTest, SnapshotSinceFiltersOldSamples) {
   Profiler& profiler = Profiler::Global();
   ASSERT_TRUE(profiler.Start(500).ok());
@@ -245,6 +287,10 @@ TEST(ProfilerTest, ProfilezSamplesABusyPoolOnDemand) {
 
   std::atomic<bool> stop{false};
   std::thread load([&stop] {
+    // ParallelFor burns CPU on this driver thread too; without a timeline
+    // tid its samples would be skipped as overruns (degrading /healthz in
+    // the next test). Pool workers prepare themselves at startup.
+    PrepareThreadForProfiling();
     core::ThreadPool pool(2);
     while (!stop.load(std::memory_order_acquire)) {
       pool.ParallelFor(0, 4, [](size_t) {
