@@ -1,0 +1,343 @@
+// mdzd service load generator (docs/SERVICE.md; not a paper exhibit): an
+// in-process ArchiveServer under a mixed extract+append workload from
+// concurrent clients, against the direct single-reader cold extract as the
+// no-service baseline. Guards the serving path's latency overhead (protocol
+// + scheduler + shared cache must stay within a small multiple of a direct
+// read), response byte-identity while appends reseal the archive, and
+// quota backpressure.
+//
+// Gate invariants (unit "x", value 1 when holding — bench_diff flags any
+// drop against the committed baseline):
+//   mixed8/extract_identical   every served extract matched the direct read
+//   serial/p99_within_budget   served single-client extract p99 <= 5x the
+//                              direct cold p99 (protocol + scheduler + cache
+//                              overhead; the mixed-load p99 additionally
+//                              contains queueing and is informational)
+//   quota/rejects_observed     a tight-quota tenant saw BUSY under a burst
+// Latency quantiles (p50/p95/p99 via HistogramQuantile) and QPS are
+// informational ("ms", "1/s") — wall-clock numbers are machine-dependent.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "archive/reader.h"
+#include "bench_common.h"
+#include "core/thread_pool.h"
+#include "io/archive.h"
+#include "obs/export.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace {
+
+using mdz::Rng;
+using mdz::archive::ArchiveReader;
+using mdz::serve::ArchiveServer;
+using mdz::serve::Client;
+using mdz::serve::ReplyStatus;
+using mdz::serve::ServerConfig;
+using mdz::serve::TenantQuota;
+
+// Log-spaced latency buckets, 10 us .. ~50 s, 16 per decade: fine enough
+// that interpolated p99 is meaningful at sub-millisecond latencies (the
+// obs DurationBuckets decades are far too coarse for this).
+std::vector<double> LatencyBounds() {
+  std::vector<double> bounds;
+  double edge = 10e-6;
+  const double step = std::pow(10.0, 1.0 / 16.0);
+  while (edge < 50.0) {
+    bounds.push_back(edge);
+    edge *= step;
+  }
+  return bounds;
+}
+
+struct LatencyHistogram {
+  std::vector<double> bounds = LatencyBounds();
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+
+  LatencyHistogram() : counts(bounds.size() + 1, 0) {}
+
+  void Observe(double seconds) {
+    size_t bucket = bounds.size();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (seconds <= bounds[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    ++counts[bucket];
+    ++total;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+    total += other.total;
+  }
+
+  double Quantile(double q) const {
+    return mdz::obs::HistogramQuantile(bounds, counts, q);
+  }
+};
+
+[[noreturn]] void Fatal(const std::string& what, const mdz::Status& status) {
+  std::fprintf(stderr, "FATAL: %s: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+void WriteBenchArchive(const mdz::core::Trajectory& traj,
+                       const std::string& path) {
+  auto compressed = mdz::core::CompressTrajectory(traj, mdz::core::Options{});
+  if (!compressed.ok()) Fatal("compress", compressed.status());
+  mdz::io::Archive archive;
+  archive.data = std::move(compressed).value();
+  archive.name = traj.name;
+  archive.box = traj.box;
+  const mdz::Status s = mdz::io::WriteArchiveV2(archive, path);
+  if (!s.ok()) Fatal("write " + path, s);
+}
+
+bool SnapshotsEqual(const std::vector<mdz::core::Snapshot>& a,
+                    const std::vector<mdz::core::Snapshot>& b, size_t offset) {
+  for (size_t s = 0; s < a.size(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (a[s].axes[axis] != b[offset + s].axes[axis]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== mdzd service: mixed-load latency vs direct reads ===\n\n");
+
+  const std::string root = "BENCH_serve_root";
+  ::mkdir(root.c_str(), 0755);
+  const mdz::core::Trajectory traj = mdz::bench::LoadDataset("Copper-B");
+  const size_t snapshots = traj.num_snapshots();
+  WriteBenchArchive(traj, root + "/static.mdza");
+  WriteBenchArchive(traj, root + "/grow.mdza");
+
+  // --- Direct baseline: cold one-snapshot extract, fresh reader each rep.
+  const int kDirectReps = 60;
+  LatencyHistogram direct_hist;
+  for (int rep = 0; rep < kDirectReps; ++rep) {
+    auto reader = ArchiveReader::Open(root + "/static.mdza");
+    if (!reader.ok()) Fatal("open static", reader.status());
+    mdz::WallTimer timer;
+    auto read = (*reader)->ReadSnapshots((snapshots / 2 + rep) % snapshots, 1);
+    if (!read.ok()) Fatal("direct read", read.status());
+    direct_hist.Observe(timer.ElapsedSeconds());
+  }
+  const double direct_p99 = direct_hist.Quantile(0.99);
+
+  // Reference data every served extract is checked against, decoded once.
+  auto expected_reader = ArchiveReader::Open(root + "/static.mdza");
+  if (!expected_reader.ok()) Fatal("open static", expected_reader.status());
+  auto expected = (*expected_reader)->ReadSnapshots(0, snapshots);
+  if (!expected.ok()) Fatal("decode static", expected.status());
+  auto grow_reader = ArchiveReader::Open(root + "/grow.mdza");
+  if (!grow_reader.ok()) Fatal("open grow", grow_reader.status());
+  auto grow_expected = (*grow_reader)->ReadSnapshots(0, snapshots);
+  if (!grow_expected.ok()) Fatal("decode grow", grow_expected.status());
+
+  // --- The server under test: hermetic registry + pool, tight tenant for
+  // the quota burst.
+  mdz::core::ThreadPool pool(0);
+  mdz::obs::MetricsRegistry registry;
+  ServerConfig config;
+  TenantQuota tight;
+  tight.max_inflight = 1;
+  config.tenant_quotas["tight"] = tight;
+  ArchiveServer::Options options;
+  options.listen.host = "127.0.0.1";
+  options.listen.port = 0;
+  options.root = root;
+  options.config = config;
+  options.pool = &pool;
+  options.registry = &registry;
+  ArchiveServer server(options);
+  {
+    const mdz::Status s = server.Start();
+    if (!s.ok()) Fatal("server start", s);
+  }
+
+  std::atomic<bool> identical{true};
+
+  // --- Serial served extracts: one client, same one-snapshot pattern as
+  // the direct baseline. This isolates the serving path's overhead (frame +
+  // dispatch + shared-cache lookup) from load-dependent queueing.
+  LatencyHistogram serial_hist;
+  {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) Fatal("connect serial", client.status());
+    for (int rep = 0; rep < kDirectReps; ++rep) {
+      // Stride by the codec buffer size so successive requests hit
+      // different frames rather than re-reading one warm frame.
+      const uint64_t first =
+          (snapshots / 2 + static_cast<uint64_t>(rep) * 10) % snapshots;
+      mdz::WallTimer timer;
+      auto served = (*client)->Extract("static.mdza", first, 1);
+      if (!served.ok()) Fatal("serial extract", served.status());
+      serial_hist.Observe(timer.ElapsedSeconds());
+      if (!SnapshotsEqual(*served, *expected, first)) identical.store(false);
+    }
+  }
+  const double serial_p99 = serial_hist.Quantile(0.99);
+
+  // --- Mixed workload: 8 clients extracting (and one of them appending),
+  // every extract response compared against the direct decode.
+  constexpr int kClients = 8;
+  const int iterations =
+      std::max(20, static_cast<int>(120 * mdz::bench::SizeScale() * 10));
+  std::atomic<uint64_t> extracts{0};
+  std::atomic<uint64_t> busy{0};
+  std::vector<LatencyHistogram> client_hist(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  mdz::WallTimer wall;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client::Options copts;
+      copts.tenant = "bench-" + std::to_string(c % 2);
+      auto client = Client::Connect("127.0.0.1", server.port(), copts);
+      if (!client.ok()) Fatal("connect", client.status());
+      Rng rng(9000 + static_cast<uint64_t>(c));
+      for (int i = 0; i < iterations; ++i) {
+        // Client 0 interleaves appends: the reseal churns generations and
+        // the shared cache while the other clients read.
+        if (c == 0 && i % 16 == 8) {
+          mdz::core::Trajectory extra;
+          const size_t bs = 10;  // default codec buffer size
+          extra.snapshots.assign(traj.snapshots.begin(),
+                                 traj.snapshots.begin() + bs);
+          auto appended = (*client)->Append("grow.mdza", extra.snapshots);
+          if (!appended.ok() &&
+              (*client)->last_status() != ReplyStatus::kBusy) {
+            Fatal("append", appended.status());
+          }
+          continue;
+        }
+        const bool on_grow = i % 4 == 3;
+        const std::string archive = on_grow ? "grow.mdza" : "static.mdza";
+        const uint64_t count = 1 + static_cast<uint64_t>(rng.Uniform(0, 3));
+        const uint64_t first = static_cast<uint64_t>(
+            rng.Uniform(0.0, static_cast<double>(snapshots - count)));
+        mdz::WallTimer timer;
+        auto served = (*client)->Extract(archive, first, count);
+        const double seconds = timer.ElapsedSeconds();
+        if (!served.ok()) {
+          if ((*client)->last_status() == ReplyStatus::kBusy) {
+            busy.fetch_add(1);
+            continue;
+          }
+          Fatal("extract", served.status());
+        }
+        client_hist[c].Observe(seconds);
+        extracts.fetch_add(1);
+        // Byte-identity against the pre-append decode: appends only ever
+        // add snapshots past `snapshots`, so [0, snapshots) is immutable.
+        const auto& want = on_grow ? *grow_expected : *expected;
+        if (!SnapshotsEqual(*served, want, first)) identical.store(false);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double mixed_seconds = wall.ElapsedSeconds();
+
+  LatencyHistogram served_hist;
+  for (const auto& h : client_hist) served_hist.Merge(h);
+  const double served_p50 = served_hist.Quantile(0.50);
+  const double served_p95 = served_hist.Quantile(0.95);
+  const double served_p99 = served_hist.Quantile(0.99);
+  const double qps = mixed_seconds <= 0.0
+                         ? 0.0
+                         : static_cast<double>(extracts.load()) / mixed_seconds;
+
+  // --- Quota burst: a max_inflight=1 tenant firing from many connections
+  // must observe backpressure, and the scheduler must count it.
+  std::atomic<uint64_t> quota_rejects{0};
+  std::vector<std::thread> burst;
+  burst.reserve(6);
+  for (int c = 0; c < 6; ++c) {
+    burst.emplace_back([&] {
+      Client::Options copts;
+      copts.tenant = "tight";
+      auto client = Client::Connect("127.0.0.1", server.port(), copts);
+      if (!client.ok()) Fatal("connect burst", client.status());
+      for (int i = 0; i < 20; ++i) {
+        auto served = (*client)->Extract("static.mdza", 0, snapshots);
+        if (!served.ok()) {
+          if ((*client)->last_status() != ReplyStatus::kBusy) {
+            Fatal("burst extract", served.status());
+          }
+          quota_rejects.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : burst) thread.join();
+  const uint64_t scheduler_quota_rejects =
+      server.scheduler().stats().quota_rejects;
+
+  server.Drain();
+  std::remove((root + "/static.mdza").c_str());
+  std::remove((root + "/grow.mdza").c_str());
+  ::rmdir(root.c_str());
+
+  const bool p99_ok = serial_p99 <= 5.0 * direct_p99;
+  const bool quota_ok =
+      quota_rejects.load() > 0 && scheduler_quota_rejects >= quota_rejects;
+
+  mdz::bench::TablePrinter table(
+      {"Metric", "Direct", "Serial", "Mixed(8c)", "Budget"}, 14);
+  table.PrintHeader();
+  table.PrintRow({"p50 ms", mdz::bench::Fmt(direct_hist.Quantile(0.5) * 1e3, 3),
+                  mdz::bench::Fmt(serial_hist.Quantile(0.5) * 1e3, 3),
+                  mdz::bench::Fmt(served_p50 * 1e3, 3), "-"});
+  table.PrintRow({"p95 ms",
+                  mdz::bench::Fmt(direct_hist.Quantile(0.95) * 1e3, 3),
+                  mdz::bench::Fmt(serial_hist.Quantile(0.95) * 1e3, 3),
+                  mdz::bench::Fmt(served_p95 * 1e3, 3), "-"});
+  table.PrintRow({"p99 ms", mdz::bench::Fmt(direct_p99 * 1e3, 3),
+                  mdz::bench::Fmt(serial_p99 * 1e3, 3),
+                  mdz::bench::Fmt(served_p99 * 1e3, 3),
+                  mdz::bench::Fmt(direct_p99 * 5e3, 3)});
+  table.PrintRow({"extract qps", "-", "-", mdz::bench::Fmt(qps, 1), "-"});
+  std::printf(
+      "\nextracts %llu, busy %llu, quota rejects %llu, identical %s, "
+      "serial p99 within 5x: %s\n",
+      static_cast<unsigned long long>(extracts.load()),
+      static_cast<unsigned long long>(busy.load()),
+      static_cast<unsigned long long>(quota_rejects.load()),
+      identical.load() ? "yes" : "NO",
+      p99_ok ? "yes" : "NO");
+
+  mdz::bench::BenchReport report("serve");
+  report.Add("mixed8/extract_identical", identical.load() ? 1.0 : 0.0, "x");
+  report.Add("serial/p99_within_budget", p99_ok ? 1.0 : 0.0, "x");
+  report.Add("quota/rejects_observed", quota_ok ? 1.0 : 0.0, "x");
+  report.Add("direct/cold_extract_p99_ms", direct_p99 * 1e3, "ms",
+             kDirectReps);
+  report.Add("serial/extract_p99_ms", serial_p99 * 1e3, "ms", kDirectReps);
+  report.Add("mixed8/extract_p50_ms", served_p50 * 1e3, "ms");
+  report.Add("mixed8/extract_p95_ms", served_p95 * 1e3, "ms");
+  report.Add("mixed8/extract_p99_ms", served_p99 * 1e3, "ms");
+  report.Add("mixed8/extract_qps", qps, "1/s");
+  report.Add("quota/rejects", static_cast<double>(quota_rejects.load()), "1");
+  report.Emit();
+
+  if (!identical.load()) return 1;
+  return 0;
+}

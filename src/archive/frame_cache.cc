@@ -1,0 +1,216 @@
+#include "archive/frame_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace mdz::archive {
+
+namespace {
+
+constexpr size_t kSketchSlots = 4096;  // power of two
+constexpr uint8_t kSketchMax = 15;     // 4-bit saturating counters
+constexpr int kSketchHashes = 4;
+
+// splitmix64 finalizer: cheap, well-distributed mix for sketch indexing.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t FrameCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<size_t>(Mix64(k.generation * 0x100000001b3ULL ^ k.frame_id));
+}
+
+FrameCache::FrameCache(const Options& options)
+    : byte_budget_(options.byte_budget),
+      frame_budget_(options.frame_budget),
+      admission_(options.admission),
+      bytes_gauge_(options.bytes_gauge),
+      sketch_(admission_ ? kSketchSlots : 0, 0) {}
+
+FrameCache::~FrameCache() = default;
+
+uint64_t FrameCache::RegisterGeneration() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_generation_++;
+}
+
+void FrameCache::InvalidateGeneration(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.generation == generation) {
+      bytes_in_use_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++evictions_;
+    } else {
+      ++it;
+    }
+  }
+  UpdateGaugeLocked();
+}
+
+void FrameCache::RecordAccessLocked(const Key& key) {
+  if (sketch_.empty()) return;
+  // Age the sketch by halving once enough accesses accumulate, so stale
+  // popularity decays instead of pinning long-gone keys as "hot".
+  if (++sketch_ops_ >= sketch_.size() * 8) {
+    sketch_ops_ = 0;
+    for (uint8_t& c : sketch_) c >>= 1;
+  }
+  const uint64_t base = Mix64(key.generation ^ (key.frame_id << 17));
+  for (int i = 0; i < kSketchHashes; ++i) {
+    const size_t idx = Mix64(base + i) & (sketch_.size() - 1);
+    if (sketch_[idx] < kSketchMax) ++sketch_[idx];
+  }
+}
+
+uint32_t FrameCache::EstimateLocked(const Key& key) const {
+  if (sketch_.empty()) return 0;
+  const uint64_t base = Mix64(key.generation ^ (key.frame_id << 17));
+  uint32_t est = kSketchMax;
+  for (int i = 0; i < kSketchHashes; ++i) {
+    const size_t idx = Mix64(base + i) & (sketch_.size() - 1);
+    est = std::min<uint32_t>(est, sketch_[idx]);
+  }
+  return est;
+}
+
+void FrameCache::EraseLocked(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_in_use_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void FrameCache::EvictOverBudgetLocked() {
+  while (!lru_.empty() &&
+         ((byte_budget_ != 0 && bytes_in_use_ > byte_budget_) ||
+          (frame_budget_ != 0 && entries_.size() > frame_budget_))) {
+    // In-flight decoders keep the victim's Slot (and frame) alive via their
+    // shared_ptr; only the cache's reference goes away.
+    EraseLocked(lru_.back());
+    ++evictions_;
+  }
+}
+
+void FrameCache::PublishLocked(const Key& key,
+                               const std::shared_ptr<Slot>& slot,
+                               size_t frame_bytes) {
+  auto it = entries_.find(key);
+  // The entry may have been evicted (or its generation invalidated) while we
+  // decoded, or replaced by a successor slot; in either case the result is
+  // returned to the caller but not retained.
+  if (it == entries_.end() || it->second.slot != slot) return;
+  if (admission_ && byte_budget_ != 0 &&
+      bytes_in_use_ + frame_bytes > byte_budget_ && !lru_.empty()) {
+    // Admission check: would inserting evict a frame hotter than this one?
+    // Compare against the coldest resident entry other than the candidate.
+    auto victim = std::prev(lru_.end());
+    if (*victim == key && victim != lru_.begin()) --victim;
+    if (!(*victim == key) &&
+        EstimateLocked(key) < EstimateLocked(*victim)) {
+      EraseLocked(key);
+      ++admission_rejects_;
+      UpdateGaugeLocked();
+      return;
+    }
+  }
+  it->second.bytes = frame_bytes;
+  bytes_in_use_ += frame_bytes;
+  EvictOverBudgetLocked();
+  // A frame larger than the whole budget never fits: the loop above already
+  // dropped it (and possibly everything else), keeping the ceiling hard.
+  UpdateGaugeLocked();
+}
+
+void FrameCache::UpdateGaugeLocked() {
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(bytes_in_use_));
+  }
+}
+
+Result<FramePtr> FrameCache::GetOrDecode(
+    uint64_t generation, size_t frame_id,
+    const std::function<Result<FramePtr>()>& decode, bool* hit) {
+  const Key key{generation, frame_id};
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordAccessLocked(key);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      slot = it->second.slot;
+    } else {
+      slot = std::make_shared<Slot>();
+      lru_.push_front(key);
+      entries_[key] = Entry{slot, lru_.begin(), 0};
+      // Frame-count budget is enforced at insert (entries are equal-weight);
+      // the byte budget waits for the decode to learn the frame's size.
+      if (frame_budget_ != 0) EvictOverBudgetLocked();
+    }
+  }
+  std::unique_lock<std::mutex> slot_lock(slot->mu);
+  if (slot->data != nullptr) {
+    if (hit != nullptr) *hit = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+    return slot->data;
+  }
+  if (hit != nullptr) *hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+  auto decoded = decode();
+  if (!decoded.ok()) {
+    // Leave the slot empty; a later request retries the decode.
+    return decoded.status();
+  }
+  slot->data = decoded.value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PublishLocked(key, slot, slot->data->byte_size());
+  }
+  return decoded;
+}
+
+FramePtr FrameCache::Peek(uint64_t generation, size_t frame_id) {
+  const Key key{generation, frame_id};
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    slot = it->second.slot;
+  }
+  std::lock_guard<std::mutex> lock(slot->mu);
+  return slot->data;
+}
+
+FrameCache::Stats FrameCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.admission_rejects = admission_rejects_;
+  s.bytes_in_use = bytes_in_use_;
+  s.frames_in_use = entries_.size();
+  return s;
+}
+
+size_t FrameCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_in_use_;
+}
+
+}  // namespace mdz::archive

@@ -1,0 +1,158 @@
+#ifndef MDZ_ARCHIVE_FRAME_CACHE_H_
+#define MDZ_ARCHIVE_FRAME_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::obs {
+class Gauge;
+}  // namespace mdz::obs
+
+namespace mdz::archive {
+
+// One decoded frame, immutable once published; the cache hands out shared
+// ownership so eviction never invalidates a frame a reader is copying from.
+struct DecodedFrame {
+  std::vector<std::vector<double>> snapshots;
+
+  // Approximate heap footprint, used for byte-budget accounting.
+  size_t byte_size() const {
+    size_t total = sizeof(DecodedFrame) +
+                   snapshots.capacity() * sizeof(std::vector<double>);
+    for (const std::vector<double>& s : snapshots) {
+      total += s.capacity() * sizeof(double);
+    }
+    return total;
+  }
+};
+using FramePtr = std::shared_ptr<const DecodedFrame>;
+
+// FrameCache is a decoded-frame cache shared across archives and readers.
+// Entries are keyed by (generation, frame id): a generation names one sealed
+// incarnation of one archive (frame ids already encode the axis), and is
+// bumped — never reused — when an archive is resealed by an append, so stale
+// frames from the previous incarnation can never be served again.
+//
+// Budgets: `byte_budget` caps the decoded bytes resident (the cross-archive
+// server mode), `frame_budget` caps the entry count (the classic per-reader
+// mode); either may be 0 = unlimited. The byte ceiling is a hard invariant:
+// bytes_in_use() never exceeds byte_budget after a call returns, even if
+// honoring it means the frame just decoded is not retained.
+//
+// Admission control (optional, TinyLFU-flavored): every access feeds a small
+// count-min sketch of 4-bit frequencies with periodic halving. When inserting
+// under byte pressure would evict the LRU victim, the candidate is admitted
+// only if its estimated frequency is at least the victim's — one-shot scans
+// then decode through instead of flushing the hot set.
+//
+// All methods are thread-safe. Concurrent decoders of the same frame are
+// serialized per-slot: the loser waits and reuses the winner's result.
+class FrameCache {
+ public:
+  struct Options {
+    size_t byte_budget = 0;     // decoded bytes ceiling; 0 = unlimited
+    size_t frame_budget = 0;    // entry-count ceiling; 0 = unlimited
+    bool admission = false;     // frequency-sketch admission under pressure
+    obs::Gauge* bytes_gauge = nullptr;  // mirrors bytes_in_use when set
+  };
+
+  explicit FrameCache(const Options& options);
+  ~FrameCache();
+
+  FrameCache(const FrameCache&) = delete;
+  FrameCache& operator=(const FrameCache&) = delete;
+
+  // Returns a fresh generation id, unique for the cache's lifetime.
+  uint64_t RegisterGeneration();
+
+  // Drops every cached frame of `generation`. In-flight readers holding
+  // FramePtrs keep their (now orphaned) frames alive; nothing new is served.
+  void InvalidateGeneration(uint64_t generation);
+
+  // Lookup-or-decode. On miss, `decode` runs under the per-frame slot mutex
+  // (deduplicating concurrent decoders) and the result is retained subject to
+  // budgets and admission. `*hit` (optional) reports whether the frame was
+  // served without invoking `decode`.
+  Result<FramePtr> GetOrDecode(uint64_t generation, size_t frame_id,
+                               const std::function<Result<FramePtr>()>& decode,
+                               bool* hit = nullptr);
+
+  // Returns the cached frame or null; touches LRU but not hit/miss-relevant
+  // state (used for TI predecessor chain lookups).
+  FramePtr Peek(uint64_t generation, size_t frame_id);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t admission_rejects = 0;  // decoded but not retained
+    size_t bytes_in_use = 0;
+    size_t frames_in_use = 0;
+  };
+  Stats stats() const;
+  size_t bytes_in_use() const;
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Key {
+    uint64_t generation;
+    uint64_t frame_id;
+    bool operator==(const Key& o) const {
+      return generation == o.generation && frame_id == o.frame_id;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  // The per-frame mutex serializes concurrent decoders of the same frame.
+  // `data` stays null until a decode succeeds.
+  struct Slot {
+    std::mutex mu;
+    FramePtr data;
+  };
+  struct Entry {
+    std::shared_ptr<Slot> slot;
+    std::list<Key>::iterator lru_it;
+    size_t bytes = 0;  // 0 until published and charged
+  };
+
+  void RecordAccessLocked(const Key& key);
+  uint32_t EstimateLocked(const Key& key) const;
+  void EraseLocked(const Key& key);
+  void EvictOverBudgetLocked();
+  void PublishLocked(const Key& key, const std::shared_ptr<Slot>& slot,
+                     size_t frame_bytes);
+  void UpdateGaugeLocked();
+
+  const size_t byte_budget_;
+  const size_t frame_budget_;
+  const bool admission_;
+  obs::Gauge* const bytes_gauge_;
+
+  mutable std::mutex mu_;
+  std::list<Key> lru_;  // most recently used first
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  size_t bytes_in_use_ = 0;
+  uint64_t next_generation_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t admission_rejects_ = 0;
+
+  // Count-min sketch of 4-bit access frequencies, halved periodically so
+  // long-gone hot keys decay. Sized at construction, power-of-two slots.
+  std::vector<uint8_t> sketch_;
+  uint64_t sketch_ops_ = 0;
+};
+
+}  // namespace mdz::archive
+
+#endif  // MDZ_ARCHIVE_FRAME_CACHE_H_

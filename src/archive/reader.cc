@@ -9,9 +9,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <list>
 #include <mutex>
-#include <unordered_map>
 
 #include "core/block_codec.h"
 #include "obs/metrics.h"
@@ -30,41 +28,23 @@ using core::internal::PredictorState;
 }  // namespace
 
 struct ArchiveReader::Impl {
-  // One decoded frame, immutable once published; the cache hands out shared
-  // ownership so eviction never invalidates a frame a reader is copying from.
-  struct DecodedFrame {
-    std::vector<std::vector<double>> snapshots;
-  };
-  using FramePtr = std::shared_ptr<const DecodedFrame>;
-
-  // Cache slot: the per-frame mutex serializes concurrent decoders of the
-  // same frame (the loser waits and reuses the winner's result instead of
-  // decoding twice). `data` stays null until a decode succeeds.
-  struct Slot {
-    std::mutex mu;
-    FramePtr data;
-  };
-  struct CacheEntry {
-    std::shared_ptr<Slot> slot;
-    std::list<size_t>::iterator lru_it;
-  };
-
   int fd = -1;
   uint64_t file_size = 0;
   uint64_t footer_offset = 0;
   Footer footer;
-  size_t cache_capacity = 2;
   std::array<core::FieldStreamHeader, 3> headers;
   std::array<std::vector<size_t>, 3> axis_frames;  // frame ids, snapshot order
   std::vector<size_t> axis_pos;  // frame id -> position within its axis
 
+  // Decoded frames live in `cache` (shared cross-archive, or the reader's
+  // private `owned_cache`) under `generation`. Null cache = decode-through.
+  FrameCache* cache = nullptr;
+  std::unique_ptr<FrameCache> owned_cache;
+  uint64_t generation = 0;
+
   std::mutex reference_mu;
   std::array<std::vector<double>, 3> reference;
   std::array<bool, 3> reference_loaded = {false, false, false};
-
-  std::mutex cache_mu;
-  std::list<size_t> lru;  // most recently used first
-  std::unordered_map<size_t, CacheEntry> cache;
 
   std::atomic<uint64_t> frames_decoded{0};
   std::atomic<uint64_t> cache_hits{0};
@@ -207,62 +187,31 @@ struct ArchiveReader::Impl {
   // Returns the cached decoded frame, or null. Internal dependency lookup;
   // does not count toward hit/miss stats.
   FramePtr CachePeek(size_t id) {
-    if (cache_capacity == 0) return nullptr;
-    std::shared_ptr<Slot> slot;
-    {
-      std::lock_guard<std::mutex> lock(cache_mu);
-      auto it = cache.find(id);
-      if (it == cache.end()) return nullptr;
-      lru.splice(lru.begin(), lru, it->second.lru_it);
-      slot = it->second.slot;
-    }
-    std::lock_guard<std::mutex> lock(slot->mu);
-    return slot->data;
+    if (cache == nullptr) return nullptr;
+    return cache->Peek(generation, id);
   }
 
-  void EvictLocked() {
-    while (cache.size() > cache_capacity) {
-      const size_t victim = lru.back();
-      lru.pop_back();
-      cache.erase(victim);  // in-flight readers keep the Slot alive
-    }
-  }
-
-  // Cache lookup-or-decode for one frame. Capacity 0 disables the cache
+  // Cache lookup-or-decode for one frame. A null cache disables caching
   // entirely (decode-through): every request decodes and nothing is
-  // retained. Inserting before evicting — the normal path — would otherwise
-  // immediately evict the entry it just created and thrash the LRU list.
+  // retained.
   Result<FramePtr> AcquireFrame(size_t id, const FramePtr& prev) {
-    if (cache_capacity == 0) {
+    if (cache == nullptr) {
       cache_misses.fetch_add(1, std::memory_order_relaxed);
       MDZ_COUNTER_ADD("archive/cache_miss", 1);
       return DecodeFrame(id, prev);
     }
-    std::shared_ptr<Slot> slot;
-    {
-      std::lock_guard<std::mutex> lock(cache_mu);
-      auto it = cache.find(id);
-      if (it != cache.end()) {
-        lru.splice(lru.begin(), lru, it->second.lru_it);
-        slot = it->second.slot;
-      } else {
-        slot = std::make_shared<Slot>();
-        lru.push_front(id);
-        cache[id] = CacheEntry{slot, lru.begin()};
-        EvictLocked();
-      }
-    }
-    std::lock_guard<std::mutex> lock(slot->mu);
-    if (slot->data != nullptr) {
+    bool hit = false;
+    auto result = cache->GetOrDecode(
+        generation, id, [&] { return DecodeFrame(id, prev); }, &hit);
+    if (!result.ok()) return result;
+    if (hit) {
       cache_hits.fetch_add(1, std::memory_order_relaxed);
       MDZ_COUNTER_ADD("archive/cache_hit", 1);
-      return slot->data;
+    } else {
+      cache_misses.fetch_add(1, std::memory_order_relaxed);
+      MDZ_COUNTER_ADD("archive/cache_miss", 1);
     }
-    cache_misses.fetch_add(1, std::memory_order_relaxed);
-    MDZ_COUNTER_ADD("archive/cache_miss", 1);
-    MDZ_ASSIGN_OR_RETURN(FramePtr data, DecodeFrame(id, prev));
-    slot->data = data;
-    return data;
+    return result;
   }
 
   // Decoded frame `target`, resolving TI predecessor chains through the
@@ -343,9 +292,16 @@ Result<std::unique_ptr<ArchiveReader>> ArchiveReader::Open(
     const std::string& path, const ReaderOptions& options) {
   auto reader = std::unique_ptr<ArchiveReader>(new ArchiveReader());
   Impl& impl = *reader->impl_;
-  impl.cache_capacity =
-      options.cache_frames == 0 ? 0
-                                : std::max<size_t>(options.cache_frames, 2);
+  if (options.cache != nullptr) {
+    impl.cache = options.cache;
+    impl.generation = options.generation;
+  } else if (options.cache_frames != 0) {
+    FrameCache::Options cache_options;
+    cache_options.frame_budget = std::max<size_t>(options.cache_frames, 2);
+    impl.owned_cache = std::make_unique<FrameCache>(cache_options);
+    impl.cache = impl.owned_cache.get();
+    impl.generation = impl.cache->RegisterGeneration();
+  }
 
   impl.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (impl.fd < 0) {

@@ -8,18 +8,33 @@
 #include <vector>
 
 #include "archive/format.h"
+#include "archive/frame_cache.h"
 #include "core/mdz.h"
 #include "core/trajectory.h"
 
 namespace mdz::archive {
 
 struct ReaderOptions {
-  // Decoded-frame LRU cache capacity, in frames. 0 disables caching: every
+  // Decoded-frame LRU cache capacity, in frames, for the reader's private
+  // cache (used only when `cache` is null). 0 disables caching: every
   // request decodes through (TI chains still replay correctly — the chain
   // holds its decoded predecessors locally). Nonzero values are clamped to
   // >= 2 so a TI frame and its predecessor can coexist while a chain
   // replays.
   size_t cache_frames = 32;
+
+  // Shared cross-archive frame cache (not owned; must outlive the reader).
+  // When set, decoded frames live in this cache under `generation` and
+  // `cache_frames` is ignored — the shared cache's own budgets apply, so
+  // many concurrent readers share one global memory ceiling instead of each
+  // holding a private unbounded-in-aggregate LRU.
+  FrameCache* cache = nullptr;
+
+  // Key space within the shared cache. Callers sharing a cache MUST pass a
+  // unique id from FrameCache::RegisterGeneration() per opened archive
+  // incarnation, and bump it (plus InvalidateGeneration) when the file is
+  // resealed, so stale frames are never served across an append.
+  uint64_t generation = 0;
 };
 
 // Per-reader access accounting (always maintained; the archive/* counters in

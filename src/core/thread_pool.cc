@@ -64,6 +64,13 @@ void RunIteration(const std::function<void(size_t)>& fn, size_t i) {
 
 }  // namespace
 
+// Heap-owned single-iteration batch; the worker that runs it deletes it.
+// Defined before WorkerLoop so the delete sees a complete type.
+struct ThreadPool::DetachedTask {
+  std::function<void(size_t)> fn;
+  Batch batch;
+};
+
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = num_threads;
   if (n == 0) n = std::thread::hardware_concurrency();
@@ -101,7 +108,9 @@ void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (shutdown_) return;
+    // On shutdown, drain the queue before exiting so detached (Post) tasks
+    // still queued at destruction run exactly once instead of leaking.
+    if (queue_.empty()) return;  // only reachable when shutdown_ is set
     // Batches in the queue always have unclaimed iterations (they are
     // retired the moment their last iteration is claimed).
     Batch* batch = queue_.front();
@@ -113,13 +122,21 @@ void ThreadPool::WorkerLoop() {
       obs::ScopedTraceContext context(batch->context);
       RunIteration(*batch->fn, i);
     }
+    bool retire_detached = false;
     {
       std::lock_guard<std::mutex> done_lock(batch->done_mu);
       ++batch->completed;
-      // Notify while holding done_mu: the submitter cannot observe
-      // completion (and destroy the batch) before this thread releases the
-      // lock, so the notify never touches freed memory.
-      batch->done_cv.notify_one();
+      if (batch->detached) {
+        retire_detached = batch->completed == batch->end - batch->begin;
+      } else {
+        // Notify while holding done_mu: the submitter cannot observe
+        // completion (and destroy the batch) before this thread releases the
+        // lock, so the notify never touches freed memory.
+        batch->done_cv.notify_one();
+      }
+    }
+    if (retire_detached) {
+      delete static_cast<DetachedTask*>(batch->owner);
     }
     lock.lock();
   }
@@ -187,6 +204,27 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 
 void ThreadPool::RunTasks(std::span<const std::function<void()>> tasks) {
   ParallelFor(0, tasks.size(), [&tasks](size_t i) { tasks[i](); });
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (serial()) {
+    task();
+    return;
+  }
+  auto* detached = new DetachedTask;
+  detached->fn = [t = std::move(task)](size_t) { t(); };
+  detached->batch.fn = &detached->fn;
+  detached->batch.context = obs::CurrentTraceContext();
+  detached->batch.begin = 0;
+  detached->batch.end = 1;
+  detached->batch.next = 0;
+  detached->batch.detached = true;
+  detached->batch.owner = detached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(&detached->batch);
+  }
+  work_cv_.notify_one();
 }
 
 ThreadPool& ThreadPool::Shared() {

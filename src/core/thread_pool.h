@@ -54,6 +54,14 @@ class ThreadPool {
   // Runs every task in `tasks` (blocking, caller participates).
   void RunTasks(std::span<const std::function<void()>> tasks);
 
+  // Fire-and-forget: queues `task` to run on a worker thread and returns
+  // immediately. Tasks still queued when the destructor runs are executed
+  // during shutdown (workers drain the queue before exiting), so a posted
+  // task always runs exactly once. On a serial pool the task runs inline
+  // before Post returns. Used by the serve scheduler; callers that need
+  // completion signalling layer it on top (the task flips its own latch).
+  void Post(std::function<void()> task);
+
   // Process-wide pool, lazily built with the hardware thread count. Intended
   // for callers that have no pool of their own (CLI default, benches).
   static ThreadPool& Shared();
@@ -78,7 +86,12 @@ class ThreadPool {
     size_t completed = 0;  // finished iterations (guarded by done_mu)
     std::mutex done_mu;
     std::condition_variable done_cv;
+    // Detached (Post) batches have no submitter waiting on done_cv; the
+    // worker that completes the last iteration deletes `owner` instead.
+    bool detached = false;
+    void* owner = nullptr;
   };
+  struct DetachedTask;
 
   void WorkerLoop();
 

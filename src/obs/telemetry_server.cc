@@ -304,8 +304,13 @@ std::string TelemetryServer::HealthzJson() const {
   // pipeline may be perfectly healthy, but traces/profiles have holes.
   const bool degraded =
       ring_dropped != 0 || store_evicted != 0 || overruns != 0;
+  std::string ready;
+  if (ready_probe_) {
+    ready = std::string(",\"ready\":") + (ready_probe_() ? "true" : "false");
+  }
   return std::string("{\"status\":\"") + (degraded ? "degraded" : "ok") +
-         "\",\"timeline_ring_dropped\":" + std::to_string(ring_dropped) +
+         "\"" + ready +
+         ",\"timeline_ring_dropped\":" + std::to_string(ring_dropped) +
          ",\"timeline_store_evicted\":" + std::to_string(store_evicted) +
          ",\"profiler_signal_overruns\":" + std::to_string(overruns) +
          ",\"profiler_samples\":" + std::to_string(profiler_->samples()) +

@@ -85,6 +85,15 @@ class TelemetryServer {
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
 
+  // Optional readiness probe, surfaced in /healthz as "ready":true|false.
+  // Long-running daemons (mdz serve) report not-ready while starting or
+  // draining so load balancers stop routing before shutdown. Must be set
+  // before Start(); the probe is called from the serving thread and must be
+  // thread-safe. Unset probes omit the field (one-shot CLI runs).
+  void SetReadyProbe(std::function<bool()> probe) {
+    ready_probe_ = std::move(probe);
+  }
+
   // Binds, listens, and starts the serving thread. InvalidArgument on an
   // unresolvable host, Internal on bind/listen failure (port in use).
   Status Start(const ListenAddress& address);
@@ -115,6 +124,7 @@ class TelemetryServer {
   const MetricsRegistry* registry_;  // never null after ctor
   Timeline* timeline_;               // never null after ctor
   Profiler* profiler_;               // never null after ctor
+  std::function<bool()> ready_probe_;  // optional; fixed before Start()
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -169,6 +179,7 @@ class TelemetryServer {
  public:
   explicit TelemetryServer(const MetricsRegistry* = nullptr,
                            Timeline* = nullptr, Profiler* = nullptr) {}
+  void SetReadyProbe(std::function<bool()>) {}
   Status Start(const ListenAddress&) {
     return Status::FailedPrecondition("telemetry compiled out");
   }

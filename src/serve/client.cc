@@ -1,0 +1,170 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace mdz::serve {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const Options& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a valid IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("cannot connect to " + host + ":" +
+                            std::to_string(port) + ": " + error);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto client = std::unique_ptr<Client>(new Client());
+  client->fd_ = fd;
+  client->options_ = options;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Reply> Client::Call(Request request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  if (request.tenant.empty()) request.tenant = options_.tenant;
+  if (request.deadline_ms == 0) request.deadline_ms = options_.deadline_ms;
+  const uint64_t id = request.request_id;
+  MDZ_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  MDZ_ASSIGN_OR_RETURN(auto frame, ReadFrame(fd_));
+  MDZ_ASSIGN_OR_RETURN(Reply reply, DecodeReply(frame));
+  if (reply.request_id != id) {
+    return Status::Internal("reply id " + std::to_string(reply.request_id) +
+                            " does not match request " + std::to_string(id));
+  }
+  last_status_ = reply.status;
+  return reply;
+}
+
+Result<Reply> Client::CallChecked(Request request) {
+  MDZ_ASSIGN_OR_RETURN(Reply reply, Call(std::move(request)));
+  switch (reply.status) {
+    case ReplyStatus::kOk:
+      return reply;
+    case ReplyStatus::kBusy:
+    case ReplyStatus::kShuttingDown:
+      return Status::FailedPrecondition("server busy: " + reply.error);
+    case ReplyStatus::kNotFound:
+    case ReplyStatus::kInvalid:
+      return Status::InvalidArgument(reply.error);
+    case ReplyStatus::kCorrupt:
+      return Status::Corruption(reply.error);
+    case ReplyStatus::kDeadline:
+      return Status::FailedPrecondition("deadline expired: " + reply.error);
+    default:
+      return Status::Internal(reply.error);
+  }
+}
+
+Result<ArchiveInfo> Client::Open(const std::string& archive) {
+  Request request;
+  request.op = Op::kOpen;
+  request.archive = archive;
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  return reply.info;
+}
+
+Result<ArchiveInfo> Client::Stat(const std::string& archive) {
+  Request request;
+  request.op = Op::kStat;
+  request.archive = archive;
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  return reply.info;
+}
+
+Result<std::vector<FrameEntry>> Client::Index(const std::string& archive) {
+  Request request;
+  request.op = Op::kIndex;
+  request.archive = archive;
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  return std::move(reply.index);
+}
+
+Result<std::vector<core::Snapshot>> Client::Extract(const std::string& archive,
+                                                    uint64_t first,
+                                                    uint64_t count,
+                                                    uint64_t first_particle,
+                                                    uint64_t particle_count) {
+  Request request;
+  request.op = Op::kExtract;
+  request.archive = archive;
+  request.first = first;
+  request.count = count;
+  request.first_particle = first_particle;
+  request.particle_count = particle_count;
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  if (reply.data.size() != static_cast<size_t>(reply.num_snapshots) * 3 *
+                               reply.num_particles) {
+    return Status::Corruption("extract reply data size mismatch");
+  }
+  std::vector<core::Snapshot> snapshots(reply.num_snapshots);
+  const double* src = reply.data.data();
+  for (core::Snapshot& s : snapshots) {
+    for (int axis = 0; axis < 3; ++axis) {
+      s.axes[axis].assign(src, src + reply.num_particles);
+      src += reply.num_particles;
+    }
+  }
+  return snapshots;
+}
+
+Result<ArchiveInfo> Client::Append(const std::string& archive,
+                                   const std::vector<core::Snapshot>& snapshots) {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("append needs at least one snapshot");
+  }
+  const size_t particles = snapshots.front().num_particles();
+  Request request;
+  request.op = Op::kAppend;
+  request.archive = archive;
+  request.append_snapshots = static_cast<uint32_t>(snapshots.size());
+  request.append_particles = static_cast<uint32_t>(particles);
+  request.append_data.reserve(snapshots.size() * 3 * particles);
+  for (const core::Snapshot& s : snapshots) {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (s.axes[axis].size() != particles) {
+        return Status::InvalidArgument(
+            "append snapshots have inconsistent particle counts");
+      }
+      request.append_data.insert(request.append_data.end(),
+                                 s.axes[axis].begin(), s.axes[axis].end());
+    }
+  }
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  return reply.info;
+}
+
+Result<Client::AuditResult> Client::Audit(const std::string& archive) {
+  Request request;
+  request.op = Op::kAudit;
+  request.archive = archive;
+  MDZ_ASSIGN_OR_RETURN(Reply reply, CallChecked(std::move(request)));
+  AuditResult result;
+  result.frames = reply.audit_frames;
+  result.payload_bytes = reply.audit_bytes;
+  return result;
+}
+
+}  // namespace mdz::serve

@@ -1,0 +1,78 @@
+#ifndef MDZ_SERVE_CLIENT_H_
+#define MDZ_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace mdz::serve {
+
+// Blocking single-connection client for the mdz archive service: one
+// request in flight at a time (Call writes a frame and reads the matching
+// reply). Not thread-safe — concurrent callers each open their own Client.
+// Used by `mdz query`, bench/serve and the serve tests.
+class Client {
+ public:
+  struct Options {
+    std::string tenant = "cli";
+    uint32_t deadline_ms = 0;  // 0 = server default
+  };
+
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 const Options& options);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port) {
+    return Connect(host, port, Options());
+  }
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Sends `request` (request_id assigned if 0) and returns the reply.
+  // Transport errors surface as Status; protocol-level failures (BUSY,
+  // NOT_FOUND, ...) come back as a Reply with non-OK status.
+  Result<Reply> Call(Request request);
+
+  // Convenience wrappers; non-OK reply statuses map onto Status codes
+  // (BUSY/SHUTTING_DOWN -> FailedPrecondition "server busy...", NOT_FOUND ->
+  // InvalidArgument, CORRUPT -> Corruption, ...).
+  Result<ArchiveInfo> Open(const std::string& archive);
+  Result<ArchiveInfo> Stat(const std::string& archive);
+  Result<std::vector<FrameEntry>> Index(const std::string& archive);
+  // particle_count 0 = whole snapshots.
+  Result<std::vector<core::Snapshot>> Extract(const std::string& archive,
+                                              uint64_t first, uint64_t count,
+                                              uint64_t first_particle = 0,
+                                              uint64_t particle_count = 0);
+  Result<ArchiveInfo> Append(const std::string& archive,
+                             const std::vector<core::Snapshot>& snapshots);
+  struct AuditResult {
+    uint64_t frames = 0;
+    uint64_t payload_bytes = 0;
+  };
+  Result<AuditResult> Audit(const std::string& archive);
+
+  // Last reply's wire status (for callers that want BUSY vs error detail
+  // after a convenience wrapper failed).
+  ReplyStatus last_status() const { return last_status_; }
+
+ private:
+  Client() = default;
+  Result<Reply> CallChecked(Request request);
+
+  int fd_ = -1;
+  Options options_;
+  uint64_t next_request_id_ = 1;
+  ReplyStatus last_status_ = ReplyStatus::kOk;
+};
+
+}  // namespace mdz::serve
+
+#endif  // MDZ_SERVE_CLIENT_H_

@@ -1,0 +1,244 @@
+#include "serve/fleet.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "archive/writer.h"
+#include "core/mdz.h"
+
+namespace mdz::serve {
+
+ArchiveFleet::ArchiveFleet(const Options& options)
+    : root_(options.root),
+      cache_(options.cache),
+      pool_(options.pool),
+      max_open_(std::max<size_t>(options.max_open, 1)) {}
+
+bool ArchiveFleet::ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 512) return false;
+  if (name.front() == '/' || name.back() == '/') return false;
+  size_t segment_start = 0;
+  for (size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '/') {
+      const std::string_view segment(name.data() + segment_start,
+                                     i - segment_start);
+      if (segment.empty() || segment == "." || segment == "..") return false;
+      segment_start = i + 1;
+      continue;
+    }
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ArchiveFleet::PathFor(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+Result<std::shared_ptr<const OpenArchive>> ArchiveFleet::OpenLocked(
+    const std::string& name) {
+  const std::string path = PathFor(name);
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::FailedPrecondition("no such archive: " + name);
+  }
+  archive::ReaderOptions reader_options;
+  reader_options.cache = cache_;
+  reader_options.generation = cache_->RegisterGeneration();
+  MDZ_ASSIGN_OR_RETURN(auto reader,
+                       archive::ArchiveReader::Open(path, reader_options));
+  auto open = std::make_shared<OpenArchive>();
+  open->name = name;
+  open->generation = reader_options.generation;
+  open->reader = std::move(reader);
+  return std::shared_ptr<const OpenArchive>(std::move(open));
+}
+
+std::vector<uint64_t> ArchiveFleet::EnforceBoundLocked() {
+  std::vector<uint64_t> dropped;
+  while (true) {
+    size_t open_count = 0;
+    std::map<std::string, Entry>::iterator oldest = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.open == nullptr) continue;
+      ++open_count;
+      if (oldest == entries_.end() ||
+          it->second.lru_seq < oldest->second.lru_seq) {
+        oldest = it;
+      }
+    }
+    if (open_count <= max_open_ || oldest == entries_.end()) break;
+    // Requests already holding the shared_ptr keep reading; the cache just
+    // stops retaining this incarnation's frames.
+    dropped.push_back(oldest->second.open->generation);
+    oldest->second.open = nullptr;
+  }
+  return dropped;
+}
+
+Result<std::shared_ptr<const OpenArchive>> ArchiveFleet::Acquire(
+    const std::string& name) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid archive name: " + name);
+  }
+  std::shared_ptr<std::mutex> append_mu;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[name];
+    if (entry.open != nullptr) {
+      entry.lru_seq = ++next_lru_seq_;
+      return entry.open;
+    }
+    append_mu = entry.append_mu;
+  }
+  // Handle miss (LRU-recycled or Reload-dropped): opening from disk must
+  // serialize against appends — a reseal rewrites the footer region, and an
+  // Open that reads the file mid-reseal sees a damaged trailer. Lock order
+  // matches Append: append_mu first, mu_ inside.
+  std::lock_guard<std::mutex> append_lock(*append_mu);
+  std::shared_ptr<const OpenArchive> open;
+  std::vector<uint64_t> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[name];
+    if (entry.open == nullptr) {
+      auto result = OpenLocked(name);
+      if (!result.ok()) {
+        if (entry.lru_seq == 0) entries_.erase(name);  // never opened
+        return result.status();
+      }
+      entry.open = std::move(result).value();
+      dropped = EnforceBoundLocked();
+    }
+    entry.lru_seq = ++next_lru_seq_;
+    open = entry.open;
+  }
+  for (const uint64_t generation : dropped) {
+    cache_->InvalidateGeneration(generation);
+  }
+  return open;
+}
+
+Result<ArchiveFleet::AppendResult> ArchiveFleet::Append(
+    const std::string& name, const std::vector<core::Snapshot>& snapshots) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid archive name: " + name);
+  }
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("append needs at least one snapshot");
+  }
+  const size_t particles = snapshots.front().num_particles();
+  for (const core::Snapshot& s : snapshots) {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (s.axes[axis].size() != particles) {
+        return Status::InvalidArgument(
+            "append snapshots have inconsistent particle counts");
+      }
+    }
+  }
+  std::shared_ptr<std::mutex> append_mu;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_mu = entries_[name].append_mu;
+  }
+  // Serialize appends per archive. Readers keep serving the old incarnation
+  // throughout: a reseal only rewrites bytes at and past the old footer
+  // offset, beyond every frame the old generation can read.
+  std::lock_guard<std::mutex> append_lock(*append_mu);
+  const std::string path = PathFor(name);
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::FailedPrecondition("no such archive: " + name);
+  }
+  // Codec parameters recorded in the file (buffer size, bound, scale) are
+  // recovered by Reopen; defaults cover method/adaptation for archives
+  // written with default settings (docs/SERVICE.md documents the limit).
+  core::Options options;
+  auto writer = archive::ArchiveWriter::Reopen(path, options, pool_);
+  if (!writer.ok()) return writer.status();
+  if ((*writer)->num_particles() != particles) {
+    return Status::InvalidArgument(
+        "particle count mismatch: archive has " +
+        std::to_string((*writer)->num_particles()) + ", append has " +
+        std::to_string(particles));
+  }
+  Status append_status = Status::OK();
+  for (const core::Snapshot& s : snapshots) {
+    append_status = (*writer)->Append(s);
+    if (!append_status.ok()) break;
+  }
+  if (append_status.ok()) append_status = (*writer)->Finish();
+  // Success or failure, the on-disk incarnation changed (or may be damaged):
+  // drop the old handle and invalidate its generation so nothing stale — or
+  // newly wrong — is served from memory.
+  std::shared_ptr<const OpenArchive> old;
+  Result<std::shared_ptr<const OpenArchive>> reopened =
+      append_status.ok() ? [&] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return OpenLocked(name);
+      }()
+                         : Result<std::shared_ptr<const OpenArchive>>(
+                               append_status);
+  std::vector<uint64_t> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[name];
+    old = std::move(entry.open);
+    entry.open = reopened.ok() ? reopened.value() : nullptr;
+    entry.lru_seq = ++next_lru_seq_;
+    if (entry.open != nullptr) dropped = EnforceBoundLocked();
+  }
+  if (old != nullptr) cache_->InvalidateGeneration(old->generation);
+  for (const uint64_t generation : dropped) {
+    cache_->InvalidateGeneration(generation);
+  }
+  if (!append_status.ok()) return append_status;
+  if (!reopened.ok()) return reopened.status();
+  AppendResult result;
+  result.total_snapshots = (*reopened)->reader->num_snapshots();
+  result.generation = (*reopened)->generation;
+  return result;
+}
+
+void ArchiveFleet::Reload() {
+  std::vector<uint64_t> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, entry] : entries_) {
+      if (entry.open != nullptr) {
+        dropped.push_back(entry.open->generation);
+        entry.open = nullptr;
+      }
+    }
+  }
+  for (const uint64_t generation : dropped) {
+    cache_->InvalidateGeneration(generation);
+  }
+}
+
+size_t ArchiveFleet::open_handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.open != nullptr) ++count;
+  }
+  return count;
+}
+
+void ArchiveFleet::set_max_open(size_t max_open) {
+  std::vector<uint64_t> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_open_ = std::max<size_t>(max_open, 1);
+    dropped = EnforceBoundLocked();
+  }
+  for (const uint64_t generation : dropped) {
+    cache_->InvalidateGeneration(generation);
+  }
+}
+
+}  // namespace mdz::serve

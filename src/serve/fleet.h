@@ -1,0 +1,111 @@
+#ifndef MDZ_SERVE_FLEET_H_
+#define MDZ_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "archive/frame_cache.h"
+#include "archive/reader.h"
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace mdz::core {
+class ThreadPool;
+}
+
+namespace mdz::serve {
+
+// One open incarnation of one archive. Immutable once installed; requests
+// hold it by shared_ptr, so a concurrent append (which installs a successor
+// and invalidates this generation's cached frames) never pulls the file out
+// from under an in-flight read. Reads against an old incarnation stay
+// byte-correct: frames are append-only — a reseal only overwrites the old
+// footer region, which lies beyond every frame this reader can touch and
+// was copied into memory at Open.
+struct OpenArchive {
+  std::string name;  // fleet-relative
+  uint64_t generation = 0;
+  std::unique_ptr<archive::ArchiveReader> reader;
+};
+
+// ArchiveFleet maps fleet-relative names to open archives under one root
+// directory, with a bounded handle cache (open fds + parsed footers are not
+// free at thousands of archives) and per-archive append serialization.
+// Every open registers a fresh generation in the shared FrameCache; appends
+// reseal the file, install a successor incarnation under a new generation,
+// and invalidate the old one — cached frames from a resealed archive can
+// never be served stale.
+class ArchiveFleet {
+ public:
+  struct Options {
+    std::string root;
+    size_t max_open = 64;  // bounded open handles (LRU recycled)
+    archive::FrameCache* cache = nullptr;  // required; not owned
+    core::ThreadPool* pool = nullptr;      // append compression; may be null
+  };
+
+  explicit ArchiveFleet(const Options& options);
+
+  ArchiveFleet(const ArchiveFleet&) = delete;
+  ArchiveFleet& operator=(const ArchiveFleet&) = delete;
+
+  // True for names safe to join under the root: relative, no "..", no
+  // leading '/', no empty segments, printable ASCII.
+  static bool ValidName(const std::string& name);
+
+  // Returns the current incarnation, opening it on miss (FailedPrecondition
+  // "no such archive" when the file is absent — the server maps that to
+  // NOT_FOUND; InvalidArgument for v1 files). A miss-path open serializes on
+  // the archive's append lock: reopening from disk mid-reseal would read a
+  // half-written footer.
+  Result<std::shared_ptr<const OpenArchive>> Acquire(const std::string& name);
+
+  struct AppendResult {
+    uint64_t total_snapshots = 0;
+    uint64_t generation = 0;
+  };
+  // Appends `snapshots` and reseals. Appends to the same archive are
+  // serialized; reads proceed concurrently against the old incarnation.
+  Result<AppendResult> Append(const std::string& name,
+                              const std::vector<core::Snapshot>& snapshots);
+
+  // Drops every open handle (SIGHUP reload): cached frames are invalidated
+  // and the next Acquire reopens from disk under a fresh generation.
+  void Reload();
+
+  size_t open_handles() const;
+  void set_max_open(size_t max_open);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const OpenArchive> open;  // null when recycled
+    uint64_t lru_seq = 0;
+    // Serializes appends per archive; held across compression, so it lives
+    // outside the fleet lock.
+    std::shared_ptr<std::mutex> append_mu = std::make_shared<std::mutex>();
+  };
+
+  std::string PathFor(const std::string& name) const;
+  Result<std::shared_ptr<const OpenArchive>> OpenLocked(
+      const std::string& name);
+  // Recycles least-recently-acquired handles beyond max_open_; returns the
+  // generations to invalidate (done by the caller outside the lock).
+  std::vector<uint64_t> EnforceBoundLocked();
+
+  const std::string root_;
+  archive::FrameCache* const cache_;
+  core::ThreadPool* const pool_;
+
+  mutable std::mutex mu_;
+  size_t max_open_;
+  uint64_t next_lru_seq_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mdz::serve
+
+#endif  // MDZ_SERVE_FLEET_H_

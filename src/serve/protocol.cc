@@ -1,0 +1,307 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/byte_buffer.h"
+#include "util/unaligned.h"
+
+namespace mdz::serve {
+
+namespace {
+
+// Strings on the wire are u16-length-prefixed (tenant/archive/error names
+// are short by construction).
+void PutString(ByteWriter* w, const std::string& s) {
+  w->Put<uint16_t>(static_cast<uint16_t>(s.size()));
+  w->PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+Status GetString(ByteReader* r, std::string* out) {
+  uint16_t len = 0;
+  MDZ_RETURN_IF_ERROR(r->Get(&len));
+  out->resize(len);
+  return r->GetBytes(out->data(), len);
+}
+
+void PutDoubles(ByteWriter* w, const std::vector<double>& values) {
+  w->PutBytes(reinterpret_cast<const uint8_t*>(values.data()),
+              values.size() * sizeof(double));
+}
+
+Status GetDoubles(ByteReader* r, size_t count, std::vector<double>* out) {
+  if (count > kMaxFrameBytes / sizeof(double)) {
+    return Status::Corruption("double array length implausible");
+  }
+  out->resize(count);
+  return r->GetBytes(out->data(), count * sizeof(double));
+}
+
+}  // namespace
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kStat: return "stat";
+    case Op::kIndex: return "index";
+    case Op::kExtract: return "extract";
+    case Op::kAppend: return "append";
+    case Op::kAudit: return "audit";
+  }
+  return "unknown";
+}
+
+std::string_view ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk: return "OK";
+    case ReplyStatus::kBusy: return "BUSY";
+    case ReplyStatus::kNotFound: return "NOT_FOUND";
+    case ReplyStatus::kInvalid: return "INVALID";
+    case ReplyStatus::kCorrupt: return "CORRUPT";
+    case ReplyStatus::kDeadline: return "DEADLINE";
+    case ReplyStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case ReplyStatus::kError: return "ERROR";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  ByteWriter w;
+  w.Put<uint8_t>(static_cast<uint8_t>(request.op));
+  w.Put<uint64_t>(request.request_id);
+  w.Put<uint32_t>(request.deadline_ms);
+  PutString(&w, request.tenant);
+  PutString(&w, request.archive);
+  switch (request.op) {
+    case Op::kExtract:
+      w.Put<uint64_t>(request.first);
+      w.Put<uint64_t>(request.count);
+      w.Put<uint64_t>(request.first_particle);
+      w.Put<uint64_t>(request.particle_count);
+      break;
+    case Op::kAppend:
+      w.Put<uint32_t>(request.append_snapshots);
+      w.Put<uint32_t>(request.append_particles);
+      PutDoubles(&w, request.append_data);
+      break;
+    default:
+      break;
+  }
+  return w.TakeBytes();
+}
+
+Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Request request;
+  uint8_t op = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&op));
+  if (op < static_cast<uint8_t>(Op::kOpen) ||
+      op > static_cast<uint8_t>(Op::kAudit)) {
+    return Status::Corruption("unknown request op " + std::to_string(op));
+  }
+  request.op = static_cast<Op>(op);
+  MDZ_RETURN_IF_ERROR(r.Get(&request.request_id));
+  MDZ_RETURN_IF_ERROR(r.Get(&request.deadline_ms));
+  MDZ_RETURN_IF_ERROR(GetString(&r, &request.tenant));
+  MDZ_RETURN_IF_ERROR(GetString(&r, &request.archive));
+  switch (request.op) {
+    case Op::kExtract:
+      MDZ_RETURN_IF_ERROR(r.Get(&request.first));
+      MDZ_RETURN_IF_ERROR(r.Get(&request.count));
+      MDZ_RETURN_IF_ERROR(r.Get(&request.first_particle));
+      MDZ_RETURN_IF_ERROR(r.Get(&request.particle_count));
+      break;
+    case Op::kAppend: {
+      MDZ_RETURN_IF_ERROR(r.Get(&request.append_snapshots));
+      MDZ_RETURN_IF_ERROR(r.Get(&request.append_particles));
+      const size_t values = static_cast<size_t>(request.append_snapshots) * 3 *
+                            request.append_particles;
+      MDZ_RETURN_IF_ERROR(GetDoubles(&r, values, &request.append_data));
+      break;
+    }
+    default:
+      break;
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after request body");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeReply(const Reply& reply) {
+  ByteWriter w;
+  w.Put<uint8_t>(static_cast<uint8_t>(reply.op));
+  w.Put<uint8_t>(static_cast<uint8_t>(reply.status));
+  w.Put<uint64_t>(reply.request_id);
+  if (reply.status != ReplyStatus::kOk) {
+    PutString(&w, reply.error);
+    return w.TakeBytes();
+  }
+  switch (reply.op) {
+    case Op::kExtract:
+      w.Put<uint32_t>(reply.num_snapshots);
+      w.Put<uint32_t>(reply.num_particles);
+      PutDoubles(&w, reply.data);
+      break;
+    case Op::kOpen:
+    case Op::kStat:
+    case Op::kAppend:
+      w.Put<uint64_t>(reply.info.num_snapshots);
+      w.Put<uint64_t>(reply.info.num_particles);
+      w.Put<uint64_t>(reply.info.num_frames);
+      w.Put<uint64_t>(reply.info.generation);
+      for (double b : reply.info.box) w.Put<double>(b);
+      PutString(&w, reply.info.name);
+      break;
+    case Op::kIndex:
+      w.Put<uint32_t>(static_cast<uint32_t>(reply.index.size()));
+      for (const FrameEntry& f : reply.index) {
+        w.Put<uint8_t>(f.axis);
+        w.Put<uint8_t>(f.method);
+        w.Put<uint64_t>(f.first_snapshot);
+        w.Put<uint64_t>(f.s_count);
+        w.Put<uint64_t>(f.frame_size);
+      }
+      break;
+    case Op::kAudit:
+      w.Put<uint64_t>(reply.audit_frames);
+      w.Put<uint64_t>(reply.audit_bytes);
+      break;
+  }
+  return w.TakeBytes();
+}
+
+Result<Reply> DecodeReply(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Reply reply;
+  uint8_t op = 0;
+  uint8_t status = 0;
+  MDZ_RETURN_IF_ERROR(r.Get(&op));
+  MDZ_RETURN_IF_ERROR(r.Get(&status));
+  if (op < static_cast<uint8_t>(Op::kOpen) ||
+      op > static_cast<uint8_t>(Op::kAudit)) {
+    return Status::Corruption("unknown reply op " + std::to_string(op));
+  }
+  if (status > static_cast<uint8_t>(ReplyStatus::kError)) {
+    return Status::Corruption("unknown reply status " + std::to_string(status));
+  }
+  reply.op = static_cast<Op>(op);
+  reply.status = static_cast<ReplyStatus>(status);
+  MDZ_RETURN_IF_ERROR(r.Get(&reply.request_id));
+  if (reply.status != ReplyStatus::kOk) {
+    MDZ_RETURN_IF_ERROR(GetString(&r, &reply.error));
+    return reply;
+  }
+  switch (reply.op) {
+    case Op::kExtract: {
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.num_snapshots));
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.num_particles));
+      const size_t values = static_cast<size_t>(reply.num_snapshots) * 3 *
+                            reply.num_particles;
+      MDZ_RETURN_IF_ERROR(GetDoubles(&r, values, &reply.data));
+      break;
+    }
+    case Op::kOpen:
+    case Op::kStat:
+    case Op::kAppend:
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.info.num_snapshots));
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.info.num_particles));
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.info.num_frames));
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.info.generation));
+      for (double& b : reply.info.box) MDZ_RETURN_IF_ERROR(r.Get(&b));
+      MDZ_RETURN_IF_ERROR(GetString(&r, &reply.info.name));
+      break;
+    case Op::kIndex: {
+      uint32_t n = 0;
+      MDZ_RETURN_IF_ERROR(r.Get(&n));
+      if (n > kMaxFrameBytes / 26) {
+        return Status::Corruption("frame table length implausible");
+      }
+      reply.index.resize(n);
+      for (FrameEntry& f : reply.index) {
+        MDZ_RETURN_IF_ERROR(r.Get(&f.axis));
+        MDZ_RETURN_IF_ERROR(r.Get(&f.method));
+        MDZ_RETURN_IF_ERROR(r.Get(&f.first_snapshot));
+        MDZ_RETURN_IF_ERROR(r.Get(&f.s_count));
+        MDZ_RETURN_IF_ERROR(r.Get(&f.frame_size));
+      }
+      break;
+    }
+    case Op::kAudit:
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.audit_frames));
+      MDZ_RETURN_IF_ERROR(r.Get(&reply.audit_bytes));
+      break;
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after reply body");
+  }
+  return reply;
+}
+
+Status WriteFrame(int fd, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds protocol maximum");
+  }
+  uint8_t prefix[4];
+  StoreU(prefix, static_cast<uint32_t>(payload.size()));
+  // Two sends instead of one copy: the prefix is tiny and the payload may be
+  // large (extract data). MSG_NOSIGNAL turns a dead peer into EPIPE.
+  const auto send_all = [fd](const uint8_t* data, size_t n) -> Status {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t sent =
+          ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("send failed: ") +
+                                std::strerror(errno));
+      }
+      done += static_cast<size_t>(sent);
+    }
+    return Status::OK();
+  };
+  MDZ_RETURN_IF_ERROR(send_all(prefix, sizeof(prefix)));
+  return send_all(payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(int fd, size_t max_bytes) {
+  const auto recv_all = [fd](uint8_t* data, size_t n,
+                             bool* clean_eof) -> Status {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t got = ::recv(fd, data + done, n - done, 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("recv failed: ") +
+                                std::strerror(errno));
+      }
+      if (got == 0) {
+        if (clean_eof != nullptr && done == 0) {
+          *clean_eof = true;
+          return Status::OK();
+        }
+        return Status::Corruption("connection closed mid-frame");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  };
+  uint8_t prefix[4];
+  bool clean_eof = false;
+  MDZ_RETURN_IF_ERROR(recv_all(prefix, sizeof(prefix), &clean_eof));
+  if (clean_eof) return Status::OutOfRange("connection closed");
+  const uint32_t length = LoadU<uint32_t>(prefix);
+  if (length > max_bytes) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds limit");
+  }
+  std::vector<uint8_t> payload(length);
+  MDZ_RETURN_IF_ERROR(recv_all(payload.data(), payload.size(), nullptr));
+  return payload;
+}
+
+}  // namespace mdz::serve

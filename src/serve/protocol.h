@@ -1,0 +1,144 @@
+#ifndef MDZ_SERVE_PROTOCOL_H_
+#define MDZ_SERVE_PROTOCOL_H_
+
+// Wire protocol for the mdz archive service (docs/SERVICE.md).
+//
+// Every message is a length-prefixed binary frame:
+//
+//   u32 length   (little-endian, bytes that follow; excludes itself)
+//   payload      (request or reply, layouts below)
+//
+// Request payload:
+//   u8   op            Op enum
+//   u64  request_id    client-chosen, echoed verbatim in the reply
+//   u32  deadline_ms   relative deadline; 0 = server default
+//   u16  tenant_len    + tenant bytes (quota accounting key)
+//   u16  archive_len   + archive bytes (fleet-relative name)
+//   op-specific body:
+//     extract: u64 first, u64 count, u64 first_particle, u64 particle_count
+//              (particle_count 0 = every particle)
+//     append:  u32 num_snapshots, u32 num_particles, then
+//              num_snapshots x 3 x num_particles f64 values, snapshot-major,
+//              axes x,y,z per snapshot
+//     open/stat/index/audit: empty
+//
+// Reply payload:
+//   u8   op            echoed request op
+//   u8   status        ReplyStatus enum
+//   u64  request_id    echoed
+//   body:
+//     non-OK: u16 message_len + message bytes
+//     OK extract: u32 num_snapshots, u32 num_particles, then the f64 values
+//                 in the same snapshot-major x,y,z layout as append
+//     OK open/stat/append: u64 num_snapshots, u64 num_particles,
+//                 u64 num_frames, u64 generation, 3 x f64 box,
+//                 u16 name_len + name bytes
+//     OK index: u32 num_frames, then per frame: u8 axis, u8 method,
+//                 u64 first_snapshot, u64 s_count, u64 frame_size
+//     OK audit: u64 frames_checked, u64 payload_bytes
+//
+// All integers are little-endian; doubles are raw IEEE-754 bit patterns, so
+// an extract reply is byte-identical to the values ArchiveReader returns.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::serve {
+
+// Frames larger than this are rejected on both sides: a defense against
+// allocating unbounded memory off one corrupt length prefix.
+inline constexpr size_t kMaxFrameBytes = size_t{1} << 30;
+
+enum class Op : uint8_t {
+  kOpen = 1,     // load into the fleet and report stats
+  kStat = 2,     // footer summary + current generation
+  kIndex = 3,    // frame table
+  kExtract = 4,  // snapshot/particle range
+  kAppend = 5,   // append snapshots, reseal, bump generation
+  kAudit = 6,    // CRC-check every frame
+};
+
+enum class ReplyStatus : uint8_t {
+  kOk = 0,
+  kBusy = 1,          // backpressure: queue full or tenant over quota (429)
+  kNotFound = 2,      // archive name not present under the fleet root
+  kInvalid = 3,       // malformed request / range out of bounds / v1 archive
+  kCorrupt = 4,       // archive failed CRC or structural validation
+  kDeadline = 5,      // deadline expired before the request was dispatched
+  kShuttingDown = 6,  // server is draining; retry elsewhere
+  kError = 7,         // internal error (I/O, ...)
+};
+
+// Human-readable names for logs and the CLI.
+std::string_view OpName(Op op);
+std::string_view ReplyStatusName(ReplyStatus status);
+
+struct Request {
+  Op op = Op::kStat;
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;
+  std::string tenant;
+  std::string archive;
+  // extract
+  uint64_t first = 0;
+  uint64_t count = 0;
+  uint64_t first_particle = 0;
+  uint64_t particle_count = 0;  // 0 = all
+  // append
+  uint32_t append_snapshots = 0;
+  uint32_t append_particles = 0;
+  std::vector<double> append_data;  // snapshot-major, x,y,z per snapshot
+};
+
+struct ArchiveInfo {
+  uint64_t num_snapshots = 0;
+  uint64_t num_particles = 0;
+  uint64_t num_frames = 0;
+  uint64_t generation = 0;
+  double box[3] = {0, 0, 0};
+  std::string name;
+};
+
+struct FrameEntry {
+  uint8_t axis = 0;
+  uint8_t method = 0;
+  uint64_t first_snapshot = 0;
+  uint64_t s_count = 0;
+  uint64_t frame_size = 0;
+};
+
+struct Reply {
+  Op op = Op::kStat;
+  ReplyStatus status = ReplyStatus::kOk;
+  uint64_t request_id = 0;
+  std::string error;  // non-OK only
+
+  ArchiveInfo info;                // open/stat/append
+  std::vector<FrameEntry> index;   // index
+  uint32_t num_snapshots = 0;      // extract
+  uint32_t num_particles = 0;      // extract
+  std::vector<double> data;        // extract
+  uint64_t audit_frames = 0;       // audit
+  uint64_t audit_bytes = 0;        // audit
+};
+
+std::vector<uint8_t> EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeReply(const Reply& reply);
+Result<Reply> DecodeReply(std::span<const uint8_t> payload);
+
+// Framed socket I/O (blocking, EINTR-safe, SIGPIPE suppressed). ReadFrame
+// returns OutOfRange("connection closed") on clean EOF at a frame boundary,
+// Corruption on a truncated or oversized frame, Internal on socket errors.
+Status WriteFrame(int fd, std::span<const uint8_t> payload);
+Result<std::vector<uint8_t>> ReadFrame(int fd,
+                                       size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace mdz::serve
+
+#endif  // MDZ_SERVE_PROTOCOL_H_

@@ -1,0 +1,218 @@
+#include "serve/scheduler.h"
+
+#include <chrono>
+
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace mdz::serve {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(const Options& options)
+    : pool_(options.pool),
+      max_queue_(options.max_queue),
+      default_deadline_ms_(options.default_deadline_ms),
+      default_quota_(options.default_quota),
+      tenant_quotas_(options.tenant_quotas) {
+  slots_[static_cast<size_t>(Lane::kInteractive)] =
+      options.interactive_slots == 0 ? 1 : options.interactive_slots;
+  slots_[static_cast<size_t>(Lane::kBackground)] =
+      options.background_slots == 0 ? 1 : options.background_slots;
+  obs::MetricsRegistry& registry = options.registry != nullptr
+                                       ? *options.registry
+                                       : obs::MetricsRegistry::Global();
+  submitted_counter_ = registry.GetCounter("serve/requests");
+  completed_counter_ = registry.GetCounter("serve/completed");
+  busy_counter_ = registry.GetCounter("serve/busy_rejects");
+  quota_counter_ = registry.GetCounter("serve/quota_rejects");
+  deadline_counter_ = registry.GetCounter("serve/deadline_expired");
+  queued_gauge_ = registry.GetGauge("serve/queue_depth");
+  running_gauge_ = registry.GetGauge("serve/inflight");
+  lane_seconds_[static_cast<size_t>(Lane::kInteractive)] =
+      registry.GetHistogram("serve/interactive_seconds",
+                            obs::DurationBuckets());
+  lane_seconds_[static_cast<size_t>(Lane::kBackground)] =
+      registry.GetHistogram("serve/background_seconds",
+                            obs::DurationBuckets());
+}
+
+RequestScheduler::~RequestScheduler() { Drain(); }
+
+const TenantQuota& RequestScheduler::QuotaForLocked(
+    const std::string& tenant) const {
+  auto it = tenant_quotas_.find(tenant);
+  return it != tenant_quotas_.end() ? it->second : default_quota_;
+}
+
+bool RequestScheduler::Submit(Lane lane, const std::string& tenant,
+                              uint64_t deadline_ms, uint64_t cost_bytes,
+                              std::function<void(bool expired)> work,
+                              RejectReason* reason) {
+  RejectReason local = RejectReason::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LaneState& state = lanes_[static_cast<size_t>(lane)];
+    const TenantQuota& quota = QuotaForLocked(tenant);
+    TenantState& ts = tenants_[tenant];
+    if (draining_) {
+      local = RejectReason::kShuttingDown;
+    } else if (state.queue.size() >= max_queue_) {
+      local = RejectReason::kQueueFull;
+      ++stats_.busy_rejects;
+      busy_counter_->Increment();
+    } else if (ts.inflight + 1 > quota.max_inflight) {
+      local = RejectReason::kTenantInflight;
+      ++stats_.quota_rejects;
+      quota_counter_->Increment();
+    } else if (ts.bytes + cost_bytes > quota.max_bytes) {
+      local = RejectReason::kTenantBytes;
+      ++stats_.quota_rejects;
+      quota_counter_->Increment();
+    }
+    if (local != RejectReason::kNone) {
+      if (reason != nullptr) *reason = local;
+      return false;
+    }
+    ts.inflight += 1;
+    ts.bytes += cost_bytes;
+    Item item;
+    const uint64_t relative_ms =
+        deadline_ms == 0 ? default_deadline_ms_ : deadline_ms;
+    item.deadline_ns = NowNs() + relative_ms * 1000000ull;
+    item.seq = next_seq_++;
+    item.tenant = tenant;
+    item.cost_bytes = cost_bytes;
+    item.work = std::move(work);
+    state.queue.push(std::move(item));
+    ++stats_.submitted;
+    submitted_counter_->Increment();
+    queued_gauge_->Add(1);
+  }
+  if (reason != nullptr) *reason = RejectReason::kNone;
+  DispatchReady();
+  return true;
+}
+
+void RequestScheduler::DispatchReady() {
+  // Claim (lane, item) pairs under the lock, run Post outside it: a serial
+  // pool executes the task inline inside Post, and Execute re-locks mu_.
+  std::vector<std::pair<Lane, Item>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t l = 0; l < kNumLanes; ++l) {  // interactive lane first
+      LaneState& state = lanes_[l];
+      while (state.running < slots_[l] && !state.queue.empty()) {
+        // priority_queue::top is const; the copy is small (handlers capture
+        // their payloads by shared_ptr).
+        Item item = state.queue.top();
+        state.queue.pop();
+        ++state.running;
+        queued_gauge_->Add(-1);
+        running_gauge_->Add(1);
+        ready.emplace_back(static_cast<Lane>(l), std::move(item));
+      }
+    }
+  }
+  for (auto& [lane, item] : ready) {
+    pool_->Post([this, lane, item = std::move(item)]() mutable {
+      Execute(lane, std::move(item));
+    });
+  }
+}
+
+void RequestScheduler::Execute(Lane lane, Item item) {
+  const uint64_t start = NowNs();
+  const bool expired = start > item.deadline_ns;
+  item.work(expired);
+  const double seconds = static_cast<double>(NowNs() - start) * 1e-9;
+  lane_seconds_[static_cast<size_t>(lane)]->Observe(seconds);
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LaneState& state = lanes_[static_cast<size_t>(lane)];
+    --state.running;
+    running_gauge_->Add(-1);
+    auto it = tenants_.find(item.tenant);
+    if (it != tenants_.end()) {
+      it->second.inflight -= 1;
+      it->second.bytes -= item.cost_bytes;
+      if (it->second.inflight == 0 && it->second.bytes == 0) {
+        tenants_.erase(it);  // keep the map bounded by active tenants
+      }
+    }
+    ++stats_.completed;
+    completed_counter_->Increment();
+    if (expired) {
+      ++stats_.deadline_expired;
+      deadline_counter_->Increment();
+    }
+    // Keeps Drain blocked through the DispatchReady below: without it, a
+    // completion that empties the lanes lets Drain return — and the owner
+    // destroy *this — while this thread still has member calls ahead.
+    ++tails_inflight_;
+  }
+  DispatchReady();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --tails_inflight_;
+    idle = tails_inflight_ == 0;
+    for (size_t l = 0; l < kNumLanes; ++l) {
+      if (lanes_[l].running != 0 || !lanes_[l].queue.empty()) idle = false;
+    }
+    // Notify under the lock, as the last member access: the moment Drain's
+    // waiter observes idle it may return and the scheduler be destroyed, so
+    // nothing — not even an unlocked notify — may touch *this afterwards.
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void RequestScheduler::UpdateLimits(
+    size_t interactive_slots, size_t background_slots, size_t max_queue,
+    const TenantQuota& default_quota,
+    const std::map<std::string, TenantQuota>& tenant_quotas) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[static_cast<size_t>(Lane::kInteractive)] =
+        interactive_slots == 0 ? 1 : interactive_slots;
+    slots_[static_cast<size_t>(Lane::kBackground)] =
+        background_slots == 0 ? 1 : background_slots;
+    max_queue_ = max_queue;
+    default_quota_ = default_quota;
+    tenant_quotas_ = tenant_quotas;
+  }
+  DispatchReady();  // wider slots may unblock queued work immediately
+}
+
+void RequestScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] {
+    if (tails_inflight_ != 0) return false;  // Execute epilogues still live
+    for (size_t l = 0; l < kNumLanes; ++l) {
+      if (lanes_[l].running != 0 || !lanes_[l].queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  for (size_t l = 0; l < kNumLanes; ++l) {
+    s.queued += lanes_[l].queue.size();
+    s.running += lanes_[l].running;
+  }
+  return s;
+}
+
+}  // namespace mdz::serve

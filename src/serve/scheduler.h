@@ -1,0 +1,169 @@
+#ifndef MDZ_SERVE_SCHEDULER_H_
+#define MDZ_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace mdz::core {
+class ThreadPool;
+}
+namespace mdz::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace mdz::obs
+
+namespace mdz::serve {
+
+// Two service lanes. Interactive requests (extract/stat/index/open) are
+// latency-sensitive and get most of the concurrency; background work
+// (append/audit/repack) is throughput work that must not starve them.
+enum class Lane : uint8_t { kInteractive = 0, kBackground = 1 };
+inline constexpr size_t kNumLanes = 2;
+
+// Per-tenant admission limits, applied to queued + executing requests.
+struct TenantQuota {
+  uint32_t max_inflight = 16;
+  uint64_t max_bytes = 256ull << 20;  // sum of declared request costs
+};
+
+enum class RejectReason : uint8_t {
+  kNone = 0,
+  kQueueFull,       // lane queue at capacity (backpressure)
+  kTenantInflight,  // tenant at max_inflight
+  kTenantBytes,     // tenant at max_bytes
+  kShuttingDown,    // Drain() started
+};
+
+// RequestScheduler admits, orders, and dispatches request handlers onto a
+// ThreadPool. Admission is all-or-nothing at Submit: a request that would
+// overflow the lane queue or the tenant's quota is rejected immediately
+// (the caller answers BUSY — bounded memory, no silent queueing). Admitted
+// requests wait in their lane's queue ordered by absolute deadline
+// (earliest first, FIFO among equals) and run when the lane has a free
+// concurrency slot, interactive lane first. A request whose deadline passes
+// before dispatch is still delivered to its handler, with `expired` set, so
+// the client gets a DEADLINE reply instead of silence.
+//
+// Thread-safe. Handlers run on pool threads (inline on a serial pool) and
+// must not block on the scheduler other than via nested Submit (which never
+// blocks).
+class RequestScheduler {
+ public:
+  struct Options {
+    core::ThreadPool* pool = nullptr;  // required; may be serial
+    size_t interactive_slots = 4;
+    size_t background_slots = 1;
+    size_t max_queue = 256;  // per lane
+    uint64_t default_deadline_ms = 30000;
+    TenantQuota default_quota;
+    std::map<std::string, TenantQuota> tenant_quotas;
+    obs::MetricsRegistry* registry = nullptr;  // default: process-global
+  };
+
+  explicit RequestScheduler(const Options& options);
+  ~RequestScheduler();  // implies Drain()
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // Queues `work` for execution. `deadline_ms` is relative to now (0 uses
+  // the default). `cost_bytes` is the declared size of the request (response
+  // estimate for extracts, payload size for appends) charged against the
+  // tenant's byte quota while in flight. Returns false with *reason set when
+  // rejected; `work` is then never called.
+  bool Submit(Lane lane, const std::string& tenant, uint64_t deadline_ms,
+              uint64_t cost_bytes, std::function<void(bool expired)> work,
+              RejectReason* reason = nullptr);
+
+  // Replaces quota/slot limits (SIGHUP reload). In-flight accounting
+  // carries over; new limits apply to subsequent Submits.
+  void UpdateLimits(size_t interactive_slots, size_t background_slots,
+                    size_t max_queue, const TenantQuota& default_quota,
+                    const std::map<std::string, TenantQuota>& tenant_quotas);
+
+  // Stops accepting (Submit returns kShuttingDown) and blocks until every
+  // queued and executing request has completed. Idempotent.
+  void Drain();
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t busy_rejects = 0;      // queue-full backpressure
+    uint64_t quota_rejects = 0;     // tenant quota
+    uint64_t deadline_expired = 0;  // dispatched past their deadline
+    size_t queued = 0;
+    size_t running = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Item {
+    uint64_t deadline_ns = 0;  // absolute, steady clock
+    uint64_t seq = 0;          // FIFO tiebreak
+    std::string tenant;
+    uint64_t cost_bytes = 0;
+    std::function<void(bool)> work;
+  };
+  struct ItemOrder {
+    // priority_queue keeps the largest on top; invert for earliest-deadline.
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.deadline_ns != b.deadline_ns) return a.deadline_ns > b.deadline_ns;
+      return a.seq > b.seq;
+    }
+  };
+  struct LaneState {
+    std::priority_queue<Item, std::vector<Item>, ItemOrder> queue;
+    size_t running = 0;
+  };
+  struct TenantState {
+    uint32_t inflight = 0;
+    uint64_t bytes = 0;
+  };
+
+  const TenantQuota& QuotaForLocked(const std::string& tenant) const;
+  // Pops every dispatchable item under the lock, then posts them to the
+  // pool outside it (a serial pool runs tasks inline in Post, which would
+  // deadlock on mu_ otherwise).
+  void DispatchReady();
+  void Execute(Lane lane, Item item);
+
+  core::ThreadPool* const pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  size_t slots_[kNumLanes];
+  size_t max_queue_;
+  uint64_t default_deadline_ms_;
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> tenant_quotas_;
+  LaneState lanes_[kNumLanes];
+  std::map<std::string, TenantState> tenants_;
+  // Execute bodies past their completion accounting but still inside member
+  // calls (DispatchReady, the idle notify). Drain waits for zero: the owner
+  // may destroy the scheduler the moment Drain returns.
+  size_t tails_inflight_ = 0;
+  bool draining_ = false;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+
+  obs::Counter* submitted_counter_;
+  obs::Counter* completed_counter_;
+  obs::Counter* busy_counter_;
+  obs::Counter* quota_counter_;
+  obs::Counter* deadline_counter_;
+  obs::Gauge* queued_gauge_;
+  obs::Gauge* running_gauge_;
+  obs::Histogram* lane_seconds_[kNumLanes];
+};
+
+}  // namespace mdz::serve
+
+#endif  // MDZ_SERVE_SCHEDULER_H_

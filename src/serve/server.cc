@@ -1,0 +1,537 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeline.h"
+
+namespace mdz::serve {
+
+// --- Configuration ----------------------------------------------------------
+
+namespace {
+
+Status ParseUintField(const std::string& token, const std::string& key,
+                      uint64_t* out) {
+  if (token.size() <= key.size() + 1 || token.compare(0, key.size(), key) != 0 ||
+      token[key.size()] != '=') {
+    return Status::InvalidArgument("expected " + key + "=<n>, got '" + token +
+                                   "'");
+  }
+  uint64_t value = 0;
+  for (size_t i = key.size() + 1; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-numeric value in '" + token + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServerConfig> ParseServerConfig(const std::string& text) {
+  ServerConfig config;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;  // blank / comment-only line
+    const auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("config line " +
+                                     std::to_string(line_number) + ": " + why);
+    };
+    if (key == "quota") {
+      std::string tenant, inflight_tok, bytes_tok;
+      if (!(tokens >> tenant >> inflight_tok >> bytes_tok)) {
+        return fail("quota needs: quota <tenant> max_inflight=N max_bytes=N");
+      }
+      TenantQuota quota;
+      uint64_t inflight = 0, bytes = 0;
+      Status s = ParseUintField(inflight_tok, "max_inflight", &inflight);
+      if (s.ok()) s = ParseUintField(bytes_tok, "max_bytes", &bytes);
+      if (!s.ok()) return fail(s.message());
+      quota.max_inflight = static_cast<uint32_t>(inflight);
+      quota.max_bytes = bytes;
+      if (tenant == "default") {
+        config.default_quota = quota;
+      } else {
+        config.tenant_quotas[tenant] = quota;
+      }
+    } else {
+      uint64_t value = 0;
+      std::string value_tok;
+      if (!(tokens >> value_tok)) return fail("missing value for " + key);
+      for (char c : value_tok) {
+        if (c < '0' || c > '9') return fail("non-numeric value for " + key);
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (key == "cache_bytes") {
+        config.cache_bytes = value;
+      } else if (key == "max_open_archives") {
+        config.max_open_archives = value;
+      } else if (key == "interactive_slots") {
+        config.interactive_slots = value;
+      } else if (key == "background_slots") {
+        config.background_slots = value;
+      } else if (key == "max_queue") {
+        config.max_queue = value;
+      } else if (key == "default_deadline_ms") {
+        config.default_deadline_ms = value;
+      } else if (key == "max_connections") {
+        config.max_connections = value;
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+    std::string extra;
+    if (tokens >> extra) return fail("trailing token '" + extra + "'");
+  }
+  return config;
+}
+
+Result<ServerConfig> LoadServerConfig(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::Internal("cannot read config: " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseServerConfig(contents.str());
+}
+
+// --- ArchiveServer ----------------------------------------------------------
+
+ArchiveServer::ArchiveServer(const Options& options)
+    : listen_(options.listen),
+      root_(options.root),
+      config_(options.config),
+      pool_(options.pool != nullptr ? options.pool
+                                    : &core::ThreadPool::Shared()),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::MetricsRegistry::Global()) {
+}
+
+ArchiveServer::~ArchiveServer() { Drain(); }
+
+Status ArchiveServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  bytes_in_counter_ = registry_->GetCounter("serve/bytes_in");
+  bytes_out_counter_ = registry_->GetCounter("serve/bytes_out");
+  errors_counter_ = registry_->GetCounter("serve/protocol_errors");
+
+  archive::FrameCache::Options cache_options;
+  cache_options.byte_budget = config_.cache_bytes;
+  cache_options.admission = true;
+  cache_options.bytes_gauge = registry_->GetGauge("cache/bytes_in_use");
+  cache_ = std::make_unique<archive::FrameCache>(cache_options);
+
+  ArchiveFleet::Options fleet_options;
+  fleet_options.root = root_;
+  fleet_options.max_open = config_.max_open_archives;
+  fleet_options.cache = cache_.get();
+  fleet_options.pool = pool_;
+  fleet_ = std::make_unique<ArchiveFleet>(fleet_options);
+
+  RequestScheduler::Options scheduler_options;
+  scheduler_options.pool = pool_;
+  scheduler_options.interactive_slots = config_.interactive_slots;
+  scheduler_options.background_slots = config_.background_slots;
+  scheduler_options.max_queue = config_.max_queue;
+  scheduler_options.default_deadline_ms = config_.default_deadline_ms;
+  scheduler_options.default_quota = config_.default_quota;
+  scheduler_options.tenant_quotas = config_.tenant_quotas;
+  scheduler_options.registry = registry_;
+  scheduler_ = std::make_unique<RequestScheduler>(scheduler_options);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listen_.port);
+  const std::string host =
+      listen_.host == "localhost" ? "127.0.0.1" : listen_.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "--listen host is not a valid IPv4 address: " + listen_.host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("bind failed for " + listen_.host + ":" +
+                            std::to_string(listen_.port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen failed for " + listen_.host + ":" +
+                            std::to_string(listen_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = listen_.port;
+  }
+
+  listen_fd_ = fd;
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+bool ArchiveServer::ready() const {
+  return running_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire);
+}
+
+void ArchiveServer::Reload(const ServerConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    config_.max_connections = config.max_connections;
+  }
+  if (scheduler_ != nullptr) {
+    scheduler_->UpdateLimits(config.interactive_slots,
+                             config.background_slots, config.max_queue,
+                             config.default_quota, config.tenant_quotas);
+  }
+  if (fleet_ != nullptr) {
+    fleet_->set_max_open(config.max_open_archives);
+    fleet_->Reload();
+  }
+}
+
+void ArchiveServer::Drain() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Finish everything admitted so far; Submits from here on get
+  // SHUTTING_DOWN replies.
+  scheduler_->Drain();
+  // Unblock connection readers waiting in recv and join them.
+  std::list<std::pair<std::shared_ptr<Connection>, std::thread>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& [connection, thread] : connections) {
+    connection->closed.store(true, std::memory_order_release);
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& [connection, thread] : connections) {
+    if (thread.joinable()) thread.join();
+    // The fd itself closes with the Connection's last reference.
+  }
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void ArchiveServer::AcceptLoop() {
+  obs::SetTimelineThreadName("serve-accept");
+  obs::Gauge* connections_gauge = registry_->GetGauge("serve/connections");
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    // Reap finished connections so a long-lived daemon's list stays bounded
+    // by live connections, not by total connections ever accepted.
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if (it->first->closed.load(std::memory_order_acquire)) {
+          if (it->second.joinable()) it->second.join();
+          it = connections_.erase(it);  // fd closes with the last reference
+        } else {
+          ++it;
+        }
+      }
+      connections_gauge->Set(static_cast<int64_t>(connections_.size()));
+    }
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (connections_.size() >= config_.max_connections) {
+      // Connection-level backpressure: no protocol state yet, just refuse.
+      ::close(client);
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    connections_.emplace_back(
+        connection, std::thread([this, connection] {
+          ConnectionLoop(connection);
+        }));
+    connections_gauge->Set(static_cast<int64_t>(connections_.size()));
+  }
+}
+
+ReplyStatus ArchiveServer::MapStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ReplyStatus::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return ReplyStatus::kInvalid;
+    case StatusCode::kCorruption:
+      return ReplyStatus::kCorrupt;
+    case StatusCode::kFailedPrecondition:
+      return status.message().rfind("no such archive", 0) == 0
+                 ? ReplyStatus::kNotFound
+                 : ReplyStatus::kInvalid;
+    default:
+      return ReplyStatus::kError;
+  }
+}
+
+void ArchiveServer::SendReply(const std::shared_ptr<Connection>& connection,
+                              const Reply& reply) {
+  const std::vector<uint8_t> payload = EncodeReply(reply);
+  std::lock_guard<std::mutex> lock(connection->write_mu);
+  if (connection->closed.load(std::memory_order_acquire)) return;
+  const Status s = WriteFrame(connection->fd, payload);
+  if (s.ok()) {
+    bytes_out_counter_->Add(payload.size() + 4);
+  } else {
+    // Peer is gone; stop the reader too.
+    connection->closed.store(true, std::memory_order_release);
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+}
+
+namespace {
+
+// Declared request cost for tenant byte-quota accounting. Extract size is
+// known exactly when the particle range is explicit; a particle_count of 0
+// (whole snapshot) is estimated at 1024 particles — quota-sensitive tenants
+// should pass explicit ranges (docs/SERVICE.md).
+uint64_t RequestCost(const Request& request) {
+  switch (request.op) {
+    case Op::kExtract: {
+      const uint64_t particles =
+          request.particle_count != 0 ? request.particle_count : 1024;
+      return request.count * particles * 3 * sizeof(double);
+    }
+    case Op::kAppend:
+      return request.append_data.size() * sizeof(double);
+    default:
+      return 4096;  // nominal: stat/index/open/audit replies are small
+  }
+}
+
+Lane LaneFor(Op op) {
+  switch (op) {
+    case Op::kAppend:
+    case Op::kAudit:
+      return Lane::kBackground;
+    default:
+      return Lane::kInteractive;
+  }
+}
+
+}  // namespace
+
+void ArchiveServer::ConnectionLoop(std::shared_ptr<Connection> connection) {
+  obs::SetTimelineThreadName("serve-conn");
+  while (!connection->closed.load(std::memory_order_acquire)) {
+    auto frame = ReadFrame(connection->fd);
+    if (!frame.ok()) {
+      // OutOfRange = clean close; anything else is a protocol error worth
+      // counting. Either way the framing is unrecoverable: close.
+      if (frame.status().code() != StatusCode::kOutOfRange &&
+          !connection->closed.load(std::memory_order_acquire)) {
+        errors_counter_->Increment();
+      }
+      break;
+    }
+    bytes_in_counter_->Add(frame->size() + 4);
+    auto decoded = DecodeRequest(*frame);
+    if (!decoded.ok()) {
+      errors_counter_->Increment();
+      Reply reply;
+      reply.status = ReplyStatus::kInvalid;
+      reply.error = decoded.status().message();
+      SendReply(connection, reply);
+      break;  // framing may be desynchronized; drop the connection
+    }
+    auto request = std::make_shared<Request>(std::move(decoded).value());
+    Reply immediate;
+    immediate.op = request->op;
+    immediate.request_id = request->request_id;
+    RejectReason reason = RejectReason::kNone;
+    const bool admitted = scheduler_->Submit(
+        LaneFor(request->op), request->tenant, request->deadline_ms,
+        RequestCost(*request),
+        [this, connection, request](bool expired) {
+          Reply reply;
+          reply.op = request->op;
+          reply.request_id = request->request_id;
+          if (expired) {
+            reply.status = ReplyStatus::kDeadline;
+            reply.error = "deadline expired before dispatch";
+          } else {
+            reply = HandleRequest(*request);
+          }
+          SendReply(connection, reply);
+        },
+        &reason);
+    if (!admitted) {
+      immediate.status = reason == RejectReason::kShuttingDown
+                             ? ReplyStatus::kShuttingDown
+                             : ReplyStatus::kBusy;
+      switch (reason) {
+        case RejectReason::kQueueFull:
+          immediate.error = "queue full";
+          break;
+        case RejectReason::kTenantInflight:
+          immediate.error = "tenant over in-flight quota";
+          break;
+        case RejectReason::kTenantBytes:
+          immediate.error = "tenant over byte quota";
+          break;
+        default:
+          immediate.error = "server draining";
+          break;
+      }
+      SendReply(connection, immediate);
+    }
+  }
+  connection->closed.store(true, std::memory_order_release);
+}
+
+Reply ArchiveServer::HandleRequest(const Request& request) {
+  MDZ_SPAN_ARGS("serve_request", "op", static_cast<uint64_t>(request.op));
+  Reply reply;
+  reply.op = request.op;
+  reply.request_id = request.request_id;
+
+  const auto fail = [&](const Status& status) {
+    reply.status = MapStatus(status);
+    reply.error = status.ToString();
+    return reply;
+  };
+
+  // Append mutates; everything else reads through a shared handle.
+  if (request.op == Op::kAppend) {
+    if (request.append_snapshots == 0 || request.append_particles == 0 ||
+        request.append_data.size() !=
+            static_cast<size_t>(request.append_snapshots) * 3 *
+                request.append_particles) {
+      return fail(Status::InvalidArgument("malformed append payload"));
+    }
+    std::vector<core::Snapshot> snapshots(request.append_snapshots);
+    const double* src = request.append_data.data();
+    for (core::Snapshot& s : snapshots) {
+      for (int axis = 0; axis < 3; ++axis) {
+        s.axes[axis].assign(src, src + request.append_particles);
+        src += request.append_particles;
+      }
+    }
+    auto appended = fleet_->Append(request.archive, snapshots);
+    if (!appended.ok()) return fail(appended.status());
+    reply.info.num_snapshots = appended->total_snapshots;
+    reply.info.num_particles = request.append_particles;
+    reply.info.generation = appended->generation;
+    auto handle = fleet_->Acquire(request.archive);
+    if (handle.ok()) {
+      reply.info.num_frames = (*handle)->reader->footer().frames.size();
+      const auto& box = (*handle)->reader->box();
+      for (int i = 0; i < 3; ++i) reply.info.box[i] = box[i];
+      reply.info.name = (*handle)->reader->name();
+    }
+    return reply;
+  }
+
+  auto handle = fleet_->Acquire(request.archive);
+  if (!handle.ok()) return fail(handle.status());
+  const archive::ArchiveReader& reader = *(*handle)->reader;
+
+  switch (request.op) {
+    case Op::kOpen:
+    case Op::kStat: {
+      reply.info.num_snapshots = reader.num_snapshots();
+      reply.info.num_particles = reader.num_particles();
+      reply.info.num_frames = reader.footer().frames.size();
+      reply.info.generation = (*handle)->generation;
+      for (int i = 0; i < 3; ++i) reply.info.box[i] = reader.box()[i];
+      reply.info.name = reader.name();
+      break;
+    }
+    case Op::kIndex: {
+      reply.index.reserve(reader.footer().frames.size());
+      for (const archive::FrameInfo& f : reader.footer().frames) {
+        FrameEntry entry;
+        entry.axis = f.axis;
+        entry.method = static_cast<uint8_t>(f.method);
+        entry.first_snapshot = f.first_snapshot;
+        entry.s_count = f.s_count;
+        entry.frame_size = f.frame_size;
+        reply.index.push_back(entry);
+      }
+      break;
+    }
+    case Op::kExtract: {
+      const uint64_t particles =
+          request.particle_count != 0
+              ? request.particle_count
+              : reader.num_particles() - std::min<uint64_t>(
+                                             request.first_particle,
+                                             reader.num_particles());
+      auto snapshots = (*handle)->reader->ReadParticles(
+          request.first, request.count, request.first_particle, particles);
+      if (!snapshots.ok()) return fail(snapshots.status());
+      reply.num_snapshots = static_cast<uint32_t>(request.count);
+      reply.num_particles = static_cast<uint32_t>(particles);
+      reply.data.reserve(snapshots->size() * 3 * particles);
+      for (const core::Snapshot& s : *snapshots) {
+        for (int axis = 0; axis < 3; ++axis) {
+          reply.data.insert(reply.data.end(), s.axes[axis].begin(),
+                            s.axes[axis].end());
+        }
+      }
+      break;
+    }
+    case Op::kAudit: {
+      // Reassemble CRC-checks every frame without decoding payloads: a
+      // cheap integrity scrub of the whole file.
+      auto streams = (*handle)->reader->Reassemble();
+      if (!streams.ok()) return fail(streams.status());
+      reply.audit_frames = reader.footer().frames.size();
+      for (int axis = 0; axis < 3; ++axis) {
+        reply.audit_bytes += streams->axes[axis].size();
+      }
+      break;
+    }
+    default:
+      return fail(Status::Internal("unhandled op"));
+  }
+  return reply;
+}
+
+}  // namespace mdz::serve

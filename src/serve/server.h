@@ -1,0 +1,163 @@
+#ifndef MDZ_SERVE_SERVER_H_
+#define MDZ_SERVE_SERVER_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "archive/frame_cache.h"
+#include "obs/telemetry_server.h"
+#include "serve/fleet.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "util/status.h"
+
+namespace mdz::core {
+class ThreadPool;
+}
+namespace mdz::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mdz::obs
+
+namespace mdz::serve {
+
+// Daemon configuration, loadable from a `key value` text file (one pair per
+// line, '#' comments):
+//
+//   cache_bytes        268435456
+//   max_open_archives  64
+//   interactive_slots  4
+//   background_slots   1
+//   max_queue          256
+//   default_deadline_ms 30000
+//   max_connections    64
+//   quota default      max_inflight=16 max_bytes=268435456
+//   quota <tenant>     max_inflight=4  max_bytes=67108864
+struct ServerConfig {
+  size_t cache_bytes = 256ull << 20;
+  size_t max_open_archives = 64;
+  size_t interactive_slots = 4;
+  size_t background_slots = 1;
+  size_t max_queue = 256;
+  uint64_t default_deadline_ms = 30000;
+  size_t max_connections = 64;
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+};
+
+Result<ServerConfig> ParseServerConfig(const std::string& text);
+Result<ServerConfig> LoadServerConfig(const std::string& path);
+
+// ArchiveServer is the mdzd daemon core: it owns the shared frame cache,
+// the archive fleet, and the request scheduler, accepts connections on a
+// binary endpoint, and executes requests on the injected thread pool. All
+// collaborators (pool, metrics registry) are injectable, so tests run
+// hermetic instances side by side; CLI runs pass the process-wide ones.
+//
+// Lifecycle: Start() binds and begins accepting (ready() true). Reload()
+// re-reads limits and drops idle fleet handles without dropping
+// connections. Drain() — the SIGTERM path — stops accepting connections
+// and requests (in-flight requests finish, late ones get SHUTTING_DOWN,
+// ready() goes false for /healthz), then closes. Appends reseal the
+// archive synchronously inside their request, so a drained server leaves
+// every archive sealed on disk by construction.
+class ArchiveServer {
+ public:
+  struct Options {
+    obs::ListenAddress listen;  // binary protocol endpoint
+    std::string root;           // fleet root directory
+    ServerConfig config;
+    core::ThreadPool* pool = nullptr;          // default: ThreadPool::Shared()
+    obs::MetricsRegistry* registry = nullptr;  // default: process-global
+  };
+
+  explicit ArchiveServer(const Options& options);
+  ~ArchiveServer();  // implies Drain()
+
+  ArchiveServer(const ArchiveServer&) = delete;
+  ArchiveServer& operator=(const ArchiveServer&) = delete;
+
+  Status Start();
+
+  // Graceful shutdown: stop accepting, finish in-flight requests, close
+  // every connection. Idempotent.
+  void Drain();
+
+  // SIGHUP: apply `config` (quotas, slots, handle bound; cache_bytes is
+  // fixed at Start) and drop idle fleet handles so renamed/replaced files
+  // are picked up.
+  void Reload(const ServerConfig& config);
+
+  // Accepting connections and not draining. Wire to
+  // TelemetryServer::SetReadyProbe for /healthz readiness.
+  bool ready() const;
+
+  uint16_t port() const { return port_; }
+
+  ArchiveFleet& fleet() { return *fleet_; }
+  archive::FrameCache& cache() { return *cache_; }
+  RequestScheduler& scheduler() { return *scheduler_; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // The fd closes with the last reference: late scheduler handlers may
+  // outlive the reader thread, and closing early would let the kernel reuse
+  // the fd number under a pending reply write.
+  struct Connection {
+    ~Connection() {
+      if (fd >= 0) ::close(fd);
+    }
+    int fd = -1;
+    std::mutex write_mu;  // one reply frame at a time
+    std::atomic<bool> closed{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> connection);
+  // Runs the request synchronously and returns the reply (scheduler
+  // dispatch happens in ConnectionLoop).
+  Reply HandleRequest(const Request& request);
+  void SendReply(const std::shared_ptr<Connection>& connection,
+                 const Reply& reply);
+  static ReplyStatus MapStatus(const Status& status);
+
+  const obs::ListenAddress listen_;
+  const std::string root_;
+  ServerConfig config_;
+  core::ThreadPool* const pool_;
+  obs::MetricsRegistry* const registry_;
+
+  std::unique_ptr<archive::FrameCache> cache_;
+  std::unique_ptr<ArchiveFleet> fleet_;
+  std::unique_ptr<RequestScheduler> scheduler_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<size_t> live_connections_{0};
+  std::thread accept_thread_;
+
+  std::mutex connections_mu_;
+  std::list<std::pair<std::shared_ptr<Connection>, std::thread>> connections_;
+
+  obs::Counter* bytes_out_counter_ = nullptr;
+  obs::Counter* bytes_in_counter_ = nullptr;
+  obs::Counter* errors_counter_ = nullptr;
+};
+
+}  // namespace mdz::serve
+
+#endif  // MDZ_SERVE_SERVER_H_

@@ -145,6 +145,8 @@ cmp "$WORK/dec3.mdtraj" "$WORK/dec1.mdtraj"
 "$MDZ" index "$WORK/v2.mdza" | grep -q "^Frame"
 "$MDZ" index "$WORK/v2.mdza" --json | grep -q '"frames":\['
 test "$(exit_code "$MDZ" index "$WORK/v1.mdza")" = 2       # v1 has no index
+# ... and the failure names the migration, not just a generic error.
+"$MDZ" index "$WORK/v1.mdza" 2>&1 | grep -q "repack to v2 for random access"
 test "$(exit_code "$MDZ" index "$WORK/trunc.mdza")" = 4
 
 # extract decodes only the covering frames: snapshots 10:20 of a bs-10
@@ -170,6 +172,8 @@ test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
   --snapshots 0:100000)" = 2                               # beyond the end
 test "$(exit_code "$MDZ" extract "$WORK/v1.mdza" "$WORK/z.mdtraj" \
   --snapshots 0:5)" = 2                                    # v1: repack first
+"$MDZ" extract "$WORK/v1.mdza" "$WORK/z.mdtraj" --snapshots 0:5 2>&1 \
+  | grep -q "repack to v2 for random access"
 
 # Corrupting one frame payload fails only reads that touch it: the footer
 # index still opens, and extracting an untouched range still succeeds.

@@ -1,0 +1,800 @@
+// mdzd service (src/serve/): shared frame-cache budgets and invalidation,
+// deadline/quota scheduling, and the daemon end to end — served extracts must
+// be byte-identical to direct ArchiveReader reads, including while appends
+// reseal archives under concurrent clients.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "archive/frame_cache.h"
+#include "archive/reader.h"
+#include "core/mdz.h"
+#include "core/thread_pool.h"
+#include "core/trajectory.h"
+#include "io/archive.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/fleet.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace mdz::serve {
+namespace {
+
+using archive::DecodedFrame;
+using archive::FrameCache;
+using archive::FramePtr;
+
+// --- FrameCache -------------------------------------------------------------
+
+FramePtr MakeFrame(size_t doubles) {
+  auto frame = std::make_shared<DecodedFrame>();
+  frame->snapshots.emplace_back(doubles, 0.5);
+  return frame;
+}
+
+TEST(FrameCacheTest, ByteCeilingIsAHardInvariant) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* gauge = registry.GetGauge("cache/bytes_in_use");
+  const size_t frame_bytes = MakeFrame(1024)->byte_size();
+  FrameCache::Options options;
+  options.byte_budget = 3 * frame_bytes;
+  options.bytes_gauge = gauge;
+  FrameCache cache(options);
+  const uint64_t generation = cache.RegisterGeneration();
+
+  for (size_t id = 0; id < 32; ++id) {
+    auto result = cache.GetOrDecode(
+        generation, id, [] { return Result<FramePtr>(MakeFrame(1024)); });
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ((*result)->snapshots[0].size(), 1024u);
+    // Hard ceiling after every single operation, not just eventually.
+    ASSERT_LE(cache.bytes_in_use(), options.byte_budget);
+    ASSERT_EQ(static_cast<size_t>(gauge->Value()), cache.bytes_in_use());
+  }
+  const FrameCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_in_use, options.byte_budget);
+  EXPECT_LE(stats.frames_in_use, 3u);
+}
+
+TEST(FrameCacheTest, OversizedFrameIsServedButNotRetained) {
+  FrameCache::Options options;
+  options.byte_budget = 1024;  // smaller than any decoded frame below
+  FrameCache cache(options);
+  const uint64_t generation = cache.RegisterGeneration();
+  auto result = cache.GetOrDecode(
+      generation, 0, [] { return Result<FramePtr>(MakeFrame(4096)); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->snapshots[0].size(), 4096u);
+  EXPECT_LE(cache.bytes_in_use(), options.byte_budget);
+}
+
+TEST(FrameCacheTest, GenerationInvalidationForcesRedecode) {
+  FrameCache cache(FrameCache::Options{});
+  const uint64_t generation = cache.RegisterGeneration();
+  int decodes = 0;
+  const auto decode = [&decodes] {
+    ++decodes;
+    return Result<FramePtr>(MakeFrame(16));
+  };
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrDecode(generation, 7, decode, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.GetOrDecode(generation, 7, decode, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(decodes, 1);
+
+  cache.InvalidateGeneration(generation);
+  EXPECT_EQ(cache.Peek(generation, 7), nullptr);
+  ASSERT_TRUE(cache.GetOrDecode(generation, 7, decode, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(decodes, 2);
+}
+
+TEST(FrameCacheTest, DistinctGenerationsDoNotCollide) {
+  FrameCache cache(FrameCache::Options{});
+  const uint64_t gen_a = cache.RegisterGeneration();
+  const uint64_t gen_b = cache.RegisterGeneration();
+  ASSERT_NE(gen_a, gen_b);
+  ASSERT_TRUE(cache
+                  .GetOrDecode(gen_a, 0,
+                               [] { return Result<FramePtr>(MakeFrame(8)); })
+                  .ok());
+  EXPECT_NE(cache.Peek(gen_a, 0), nullptr);
+  EXPECT_EQ(cache.Peek(gen_b, 0), nullptr);
+}
+
+TEST(FrameCacheTest, ConcurrentDecodersOfOneFrameDeduplicate) {
+  FrameCache cache(FrameCache::Options{});
+  const uint64_t generation = cache.RegisterGeneration();
+  std::atomic<int> decodes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrDecode(generation, 3, [&] {
+        decodes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return Result<FramePtr>(MakeFrame(64));
+      });
+      ASSERT_TRUE(result.ok());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(decodes.load(), 1);
+}
+
+// --- RequestScheduler -------------------------------------------------------
+
+TEST(SchedulerTest, QueueFullAndTenantQuotaRejects) {
+  core::ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  RequestScheduler::Options options;
+  options.pool = &pool;
+  options.interactive_slots = 1;
+  options.background_slots = 1;
+  options.max_queue = 1;
+  options.registry = &registry;
+  options.default_quota.max_inflight = 2;
+  TenantQuota tight;
+  tight.max_inflight = 1;
+  options.tenant_quotas["tight"] = tight;
+  RequestScheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  const auto blocker = [&](bool) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  RejectReason reason = RejectReason::kNone;
+  // Occupies the single interactive slot.
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "a", 0, 1, blocker,
+                               &reason));
+  // Queued (slot busy, queue capacity 1).
+  ASSERT_TRUE(
+      scheduler.Submit(Lane::kInteractive, "a", 0, 1, [](bool) {}, &reason));
+  // Queue full -> backpressure.
+  EXPECT_FALSE(
+      scheduler.Submit(Lane::kInteractive, "b", 0, 1, [](bool) {}, &reason));
+  EXPECT_EQ(reason, RejectReason::kQueueFull);
+
+  // The tight tenant saturates at one in-flight request — in the other lane,
+  // so the rejection is attributable to the quota, not the queue.
+  ASSERT_TRUE(scheduler.Submit(Lane::kBackground, "tight", 0, 1, blocker,
+                               &reason));
+  EXPECT_FALSE(scheduler.Submit(Lane::kBackground, "tight", 0, 1,
+                                [](bool) {}, &reason));
+  EXPECT_EQ(reason, RejectReason::kTenantInflight);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+
+  const RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.busy_rejects, 1u);
+  EXPECT_EQ(stats.quota_rejects, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(SchedulerTest, TenantByteQuotaRejects) {
+  core::ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  RequestScheduler::Options options;
+  options.pool = &pool;
+  options.registry = &registry;
+  options.default_quota.max_bytes = 100;
+  RequestScheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  RejectReason reason = RejectReason::kNone;
+  ASSERT_TRUE(scheduler.Submit(
+      Lane::kInteractive, "t", 0, 80,
+      [&](bool) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      },
+      &reason));
+  EXPECT_FALSE(
+      scheduler.Submit(Lane::kInteractive, "t", 0, 80, [](bool) {}, &reason));
+  EXPECT_EQ(reason, RejectReason::kTenantBytes);
+  // A different tenant is unaffected.
+  ASSERT_TRUE(
+      scheduler.Submit(Lane::kInteractive, "u", 0, 80, [](bool) {}, &reason));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().quota_rejects, 1u);
+}
+
+TEST(SchedulerTest, ExpiredDeadlineIsDeliveredFlagged) {
+  core::ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  RequestScheduler::Options options;
+  options.pool = &pool;
+  options.interactive_slots = 1;
+  options.registry = &registry;
+  RequestScheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "t", 1000, 1, [&](bool) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  std::atomic<int> expired_seen{-1};
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "t", 1, 1, [&](bool e) {
+    expired_seen.store(e ? 1 : 0);
+  }));
+  // Let the 1 ms deadline lapse while the request waits behind the blocker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(expired_seen.load(), 1);
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(SchedulerTest, EarlierDeadlineRunsFirst) {
+  core::ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  RequestScheduler::Options options;
+  options.pool = &pool;
+  options.interactive_slots = 1;
+  options.registry = &registry;
+  RequestScheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "t", 60000, 1, [&](bool) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  std::vector<int> order;
+  std::mutex order_mu;
+  // Queued while the slot is held: the 1 s deadline must run before the 30 s
+  // one even though it was submitted after.
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "t", 30000, 1, [&](bool) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(2);
+  }));
+  ASSERT_TRUE(scheduler.Submit(Lane::kInteractive, "t", 1000, 1, [&](bool) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(1);
+  }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(SchedulerTest, DrainRejectsLateSubmits) {
+  core::ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  RequestScheduler::Options options;
+  options.pool = &pool;
+  options.registry = &registry;
+  RequestScheduler scheduler(options);
+  scheduler.Drain();
+  RejectReason reason = RejectReason::kNone;
+  EXPECT_FALSE(
+      scheduler.Submit(Lane::kInteractive, "t", 0, 1, [](bool) {}, &reason));
+  EXPECT_EQ(reason, RejectReason::kShuttingDown);
+}
+
+// --- ServerConfig -----------------------------------------------------------
+
+TEST(ServerConfigTest, ParsesKeysAndQuotas) {
+  auto config = ParseServerConfig(
+      "# mdzd config\n"
+      "cache_bytes 1048576\n"
+      "max_open_archives 8\n"
+      "interactive_slots 3\n"
+      "background_slots 2\n"
+      "max_queue 17\n"
+      "default_deadline_ms 5000\n"
+      "max_connections 9\n"
+      "quota default max_inflight=5 max_bytes=1000\n"
+      "quota greedy max_inflight=1 max_bytes=64\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->cache_bytes, 1048576u);
+  EXPECT_EQ(config->max_open_archives, 8u);
+  EXPECT_EQ(config->interactive_slots, 3u);
+  EXPECT_EQ(config->background_slots, 2u);
+  EXPECT_EQ(config->max_queue, 17u);
+  EXPECT_EQ(config->default_deadline_ms, 5000u);
+  EXPECT_EQ(config->max_connections, 9u);
+  EXPECT_EQ(config->default_quota.max_inflight, 5u);
+  EXPECT_EQ(config->default_quota.max_bytes, 1000u);
+  ASSERT_EQ(config->tenant_quotas.count("greedy"), 1u);
+  EXPECT_EQ(config->tenant_quotas.at("greedy").max_inflight, 1u);
+  EXPECT_EQ(config->tenant_quotas.at("greedy").max_bytes, 64u);
+}
+
+TEST(ServerConfigTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseServerConfig("cache_bytes banana\n").ok());
+  EXPECT_FALSE(ParseServerConfig("unknown_key 3\n").ok());
+  EXPECT_FALSE(ParseServerConfig("cache_bytes 1 trailing\n").ok());
+}
+
+// --- End-to-end server ------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+core::Trajectory MakeWalkTrajectory(size_t m, size_t n, uint64_t seed) {
+  core::Trajectory traj;
+  traj.name = "serve-test";
+  traj.box = {20.0, 20.0, 20.0};
+  Rng rng(seed);
+  core::Snapshot current;
+  for (auto& axis : current.axes) {
+    axis.resize(n);
+    for (auto& v : axis) v = rng.Uniform(-10.0, 10.0);
+  }
+  traj.snapshots.push_back(current);
+  for (size_t s = 1; s < m; ++s) {
+    for (auto& axis : current.axes) {
+      for (auto& v : axis) v += rng.Uniform(-0.05, 0.05);
+    }
+    traj.snapshots.push_back(current);
+  }
+  return traj;
+}
+
+// Writes a default-options v2 archive (what `mdz compress` produces, and
+// what the fleet's append path reseals) under the fleet root.
+void WriteArchive(const std::string& root, const std::string& name,
+                  const core::Trajectory& traj) {
+  auto compressed = core::CompressTrajectory(traj, core::Options{});
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  io::Archive archive;
+  archive.data = std::move(compressed).value();
+  archive.name = traj.name;
+  archive.box = traj.box;
+  ASSERT_TRUE(io::WriteArchiveV2(archive, root + "/" + name).ok());
+}
+
+struct TestServer {
+  explicit TestServer(const std::string& root,
+                      ServerConfig config = ServerConfig()) {
+    pool = std::make_unique<core::ThreadPool>(4);
+    registry = std::make_unique<obs::MetricsRegistry>();
+    ArchiveServer::Options options;
+    options.listen.host = "127.0.0.1";
+    options.listen.port = 0;
+    options.root = root;
+    options.config = config;
+    options.pool = pool.get();
+    options.registry = registry.get();
+    server = std::make_unique<ArchiveServer>(options);
+    const Status s = server->Start();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::unique_ptr<Client> Connect(const std::string& tenant = "test") {
+    Client::Options options;
+    options.tenant = tenant;
+    auto client = Client::Connect("127.0.0.1", server->port(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+
+  std::unique_ptr<core::ThreadPool> pool;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<ArchiveServer> server;
+};
+
+std::string FreshRoot(const std::string& tag) {
+  const std::string root = TempPath(tag);
+  std::remove((root + "/walk.mdza").c_str());
+  std::remove((root + "/other.mdza").c_str());
+  std::remove((root + "/grow.mdza").c_str());
+  ::mkdir(root.c_str(), 0755);
+  return root;
+}
+
+TEST(ServeTest, ExtractMatchesDirectReaderByteForByte) {
+  const std::string root = FreshRoot("serve_extract");
+  const core::Trajectory traj = MakeWalkTrajectory(60, 40, 101);
+  WriteArchive(root, "walk.mdza", traj);
+
+  TestServer ts(root);
+  auto client = ts.Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto direct = archive::ArchiveReader::Open(root + "/walk.mdza");
+  ASSERT_TRUE(direct.ok());
+
+  for (const auto& [first, count] :
+       std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 5}, {13, 20}, {55, 5}, {0, 60}}) {
+    auto served = client->Extract("walk.mdza", first, count);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    auto expected = (*direct)->ReadSnapshots(first, count);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(served->size(), expected->size());
+    for (size_t s = 0; s < served->size(); ++s) {
+      for (int axis = 0; axis < 3; ++axis) {
+        ASSERT_EQ((*served)[s].axes[axis], (*expected)[s].axes[axis])
+            << "snapshot " << first + s << " axis " << axis;
+      }
+    }
+  }
+
+  // Particle-sliced extract.
+  auto sliced = client->Extract("walk.mdza", 10, 4, 5, 12);
+  ASSERT_TRUE(sliced.ok());
+  auto expected = (*direct)->ReadParticles(10, 4, 5, 12);
+  ASSERT_TRUE(expected.ok());
+  for (size_t s = 0; s < sliced->size(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ((*sliced)[s].axes[axis], (*expected)[s].axes[axis]);
+    }
+  }
+}
+
+TEST(ServeTest, StatIndexAuditAndNotFound) {
+  const std::string root = FreshRoot("serve_stat");
+  const core::Trajectory traj = MakeWalkTrajectory(30, 24, 7);
+  WriteArchive(root, "walk.mdza", traj);
+
+  TestServer ts(root);
+  auto client = ts.Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto info = client->Stat("walk.mdza");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->num_snapshots, 30u);
+  EXPECT_EQ(info->num_particles, 24u);
+  EXPECT_GT(info->num_frames, 0u);
+  EXPECT_EQ(info->name, "serve-test");
+  EXPECT_DOUBLE_EQ(info->box[0], 20.0);
+
+  auto index = client->Index("walk.mdza");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->size(), info->num_frames);
+
+  auto audit = client->Audit("walk.mdza");
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_EQ(audit->frames, info->num_frames);
+  EXPECT_GT(audit->payload_bytes, 0u);
+
+  EXPECT_FALSE(client->Stat("missing.mdza").ok());
+  EXPECT_EQ(client->last_status(), ReplyStatus::kNotFound);
+  EXPECT_FALSE(client->Stat("../escape.mdza").ok());
+}
+
+TEST(ServeTest, AppendBumpsGenerationWithoutStaleReads) {
+  const std::string root = FreshRoot("serve_append");
+  const core::Trajectory base = MakeWalkTrajectory(40, 32, 11);
+  WriteArchive(root, "grow.mdza", base);
+
+  TestServer ts(root);
+  auto client = ts.Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto before = client->Stat("grow.mdza");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->num_snapshots, 40u);
+
+  // Warm the cache on the pre-append incarnation.
+  auto old_read = client->Extract("grow.mdza", 0, 40);
+  ASSERT_TRUE(old_read.ok());
+
+  const core::Trajectory extra = MakeWalkTrajectory(10, 32, 12);
+  auto appended = client->Append("grow.mdza", extra.snapshots);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(appended->num_snapshots, 50u);
+  EXPECT_GT(appended->generation, before->generation);
+
+  // The pre-append range re-reads identically (no stale frames, no torn
+  // data), and the appended tail is readable.
+  auto re_read = client->Extract("grow.mdza", 0, 40);
+  ASSERT_TRUE(re_read.ok());
+  for (size_t s = 0; s < 40; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ((*re_read)[s].axes[axis], (*old_read)[s].axes[axis]);
+    }
+  }
+  auto tail = client->Extract("grow.mdza", 40, 10);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 10u);
+
+  // And the resealed file on disk agrees with what the server serves.
+  auto direct = archive::ArchiveReader::Open(root + "/grow.mdza");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*direct)->num_snapshots(), 50u);
+  auto disk = (*direct)->ReadSnapshots(40, 10);
+  ASSERT_TRUE(disk.ok());
+  for (size_t s = 0; s < 10; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ((*tail)[s].axes[axis], (*disk)[s].axes[axis]);
+    }
+  }
+}
+
+TEST(ServeTest, TenantQuotaRejectionsAreCountedAndSurfaced) {
+  const std::string root = FreshRoot("serve_quota");
+  WriteArchive(root, "walk.mdza", MakeWalkTrajectory(40, 32, 21));
+
+  ServerConfig config;
+  TenantQuota tight;
+  tight.max_inflight = 1;
+  tight.max_bytes = 1ull << 30;
+  config.tenant_quotas["greedy"] = tight;
+  TestServer ts(root, config);
+
+  // Many parallel clients under one single-slot tenant: some must be turned
+  // away with BUSY, none may hang, and the server must keep serving others.
+  std::atomic<int> rejected{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto client = ts.Connect("greedy");
+      ASSERT_NE(client, nullptr);
+      for (int i = 0; i < 10; ++i) {
+        auto result = client->Extract("walk.mdza", 0, 40);
+        if (result.ok()) {
+          served.fetch_add(1);
+        } else {
+          ASSERT_EQ(client->last_status(), ReplyStatus::kBusy);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_GT(served.load(), 0);
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(ts.server->scheduler().stats().quota_rejects,
+            static_cast<uint64_t>(rejected.load()));
+  // The rejections are observable on the metrics surface the ops endpoint
+  // scrapes.
+  EXPECT_EQ(static_cast<uint64_t>(
+                ts.registry->GetCounter("serve/quota_rejects")->Value()),
+            static_cast<uint64_t>(rejected.load()));
+}
+
+TEST(ServeTest, DrainRefusesNewWorkAndGoesUnready) {
+  const std::string root = FreshRoot("serve_drain");
+  WriteArchive(root, "walk.mdza", MakeWalkTrajectory(20, 16, 31));
+
+  TestServer ts(root);
+  EXPECT_TRUE(ts.server->ready());
+  auto client = ts.Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Stat("walk.mdza").ok());
+
+  ts.server->Drain();
+  EXPECT_FALSE(ts.server->ready());
+  // The drained server either refuses the request (SHUTTING_DOWN) or the
+  // connection is already gone; both are clean failures, never a hang.
+  auto late = client->Stat("walk.mdza");
+  EXPECT_FALSE(late.ok());
+}
+
+// The torture test: concurrent clients mixing extracts, stats, appends and
+// fleet reloads. Extract responses for the immutable archive must stay
+// byte-identical to a direct read throughout; the growing archive's original
+// range must never change; quota rejections must be the only failures.
+TEST(ServeTest, ConcurrentClientTorture) {
+  const std::string root = FreshRoot("serve_torture");
+  const core::Trajectory fixed = MakeWalkTrajectory(50, 32, 41);
+  WriteArchive(root, "walk.mdza", fixed);
+  const core::Trajectory grow_base = MakeWalkTrajectory(30, 16, 42);
+  WriteArchive(root, "grow.mdza", grow_base);
+
+  // Small cache budget so eviction and admission churn under load; small
+  // handle bound so recycling happens while requests are in flight.
+  ServerConfig config;
+  config.cache_bytes = 256 * 1024;
+  config.max_open_archives = 2;
+  config.interactive_slots = 4;
+  config.background_slots = 1;
+  TestServer ts(root, config);
+
+  auto direct = archive::ArchiveReader::Open(root + "/walk.mdza");
+  ASSERT_TRUE(direct.ok());
+  auto walk_expected = (*direct)->ReadSnapshots(0, 50);
+  ASSERT_TRUE(walk_expected.ok());
+  auto grow_direct = archive::ArchiveReader::Open(root + "/grow.mdza");
+  ASSERT_TRUE(grow_direct.ok());
+  auto grow_expected = (*grow_direct)->ReadSnapshots(0, 30);
+  ASSERT_TRUE(grow_expected.ok());
+
+  constexpr int kClients = 6;
+  constexpr int kIterations = 25;
+  std::atomic<bool> failed{false};
+  std::atomic<int> busy_rejects{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 2);
+
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = ts.Connect("torture-" + std::to_string(t % 2));
+      if (client == nullptr) {
+        failed.store(true);
+        return;
+      }
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kIterations && !failed.load(); ++i) {
+        const int op = static_cast<int>(rng.Uniform(0.0, 3.0));
+        if (op == 0) {
+          auto info = client->Stat("walk.mdza");
+          if (!info.ok() && client->last_status() != ReplyStatus::kBusy) {
+            ADD_FAILURE() << "stat failed: " << info.status().ToString();
+            failed.store(true);
+          }
+          continue;
+        }
+        // Ranges stay inside the initial snapshot count of each archive
+        // (grow.mdza is appended to concurrently; only [0, 30) is stable).
+        const uint64_t limit = op == 1 ? 50 : 30;
+        const uint64_t count =
+            1 + static_cast<uint64_t>(rng.Uniform(0.0, 9.0));
+        const uint64_t first = static_cast<uint64_t>(
+            rng.Uniform(0.0, static_cast<double>(limit - count)));
+        const std::string archive = op == 1 ? "walk.mdza" : "grow.mdza";
+        auto served = client->Extract(archive, first, count);
+        if (!served.ok()) {
+          if (client->last_status() == ReplyStatus::kBusy) {
+            busy_rejects.fetch_add(1);
+            continue;
+          }
+          ADD_FAILURE() << "extract failed: " << served.status().ToString();
+          failed.store(true);
+          continue;
+        }
+        const std::vector<core::Snapshot>& expected =
+            op == 1 ? *walk_expected : *grow_expected;
+        for (size_t s = 0; s < served->size(); ++s) {
+          for (int axis = 0; axis < 3; ++axis) {
+            if ((*served)[s].axes[axis] != expected[first + s].axes[axis]) {
+              ADD_FAILURE() << "served data diverged from direct read at "
+                            << archive << " snapshot " << first + s;
+              failed.store(true);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // One appender thread growing grow.mdza while the readers hammer it.
+  threads.emplace_back([&] {
+    auto client = ts.Connect("appender");
+    if (client == nullptr) {
+      failed.store(true);
+      return;
+    }
+    for (int i = 0; i < 4 && !failed.load(); ++i) {
+      // Full buffers only: the codec reseals on buffer boundaries, and a
+      // partial tail would make the next Reopen fail.
+      const core::Trajectory extra =
+          MakeWalkTrajectory(10, 16, 500 + static_cast<uint64_t>(i));
+      auto result = client->Append("grow.mdza", extra.snapshots);
+      if (!result.ok() && client->last_status() != ReplyStatus::kBusy) {
+        ADD_FAILURE() << "append failed: " << result.status().ToString();
+        failed.store(true);
+      }
+    }
+  });
+
+  // One reload thread dropping fleet handles mid-flight.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 6; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      ts.server->Reload(config);
+    }
+  });
+
+  for (auto& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  // Post-torture: the grown archive's original range still matches, the
+  // cache never blew its budget, and a clean drain completes.
+  auto final_read = ts.Connect()->Extract("grow.mdza", 0, 30);
+  ASSERT_TRUE(final_read.ok());
+  for (size_t s = 0; s < 30; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      ASSERT_EQ((*final_read)[s].axes[axis],
+                (*grow_expected)[s].axes[axis]);
+    }
+  }
+  EXPECT_LE(ts.server->cache().bytes_in_use(), config.cache_bytes);
+  ts.server->Drain();
+  EXPECT_EQ(ts.server->scheduler().stats().running, 0u);
+}
+
+// --- Protocol round trip ----------------------------------------------------
+
+TEST(ProtocolTest, RequestAndReplyRoundTrip) {
+  Request request;
+  request.op = Op::kExtract;
+  request.request_id = 77;
+  request.deadline_ms = 1234;
+  request.tenant = "tenant-a";
+  request.archive = "dir/walk.mdza";
+  request.first = 10;
+  request.count = 5;
+  request.first_particle = 3;
+  request.particle_count = 7;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, Op::kExtract);
+  EXPECT_EQ(decoded->request_id, 77u);
+  EXPECT_EQ(decoded->deadline_ms, 1234u);
+  EXPECT_EQ(decoded->tenant, "tenant-a");
+  EXPECT_EQ(decoded->archive, "dir/walk.mdza");
+  EXPECT_EQ(decoded->first, 10u);
+  EXPECT_EQ(decoded->count, 5u);
+  EXPECT_EQ(decoded->first_particle, 3u);
+  EXPECT_EQ(decoded->particle_count, 7u);
+
+  Reply reply;
+  reply.op = Op::kExtract;
+  reply.status = ReplyStatus::kOk;
+  reply.request_id = 77;
+  reply.num_snapshots = 2;
+  reply.num_particles = 3;
+  reply.data = {1.0, 2.5, -3.25, 0.0, 1e300, -0.5,
+                4.0, 5.0, 6.0,   7.0, 8.0,   9.0,
+                1.5, 2.5, 3.5,   4.5, 5.5,   6.5};
+  auto reply_decoded = DecodeReply(EncodeReply(reply));
+  ASSERT_TRUE(reply_decoded.ok()) << reply_decoded.status().ToString();
+  EXPECT_EQ(reply_decoded->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply_decoded->num_snapshots, 2u);
+  EXPECT_EQ(reply_decoded->data, reply.data);  // exact, bit-for-bit
+}
+
+TEST(ProtocolTest, TruncatedFrameIsAnError) {
+  Request request;
+  request.op = Op::kStat;
+  request.archive = "walk.mdza";
+  auto bytes = EncodeRequest(request);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+}  // namespace
+}  // namespace mdz::serve

@@ -19,9 +19,12 @@
 # with tools/check_telemetry.sh, audits the archive against its original; a
 # live-endpoint smoke streams a compression with --listen up and scrapes
 # /metrics mid-run with curl, requiring the live families to match the
-# final --metrics-prom dump; and a bench smoke step runs three figure
-# benches, pipeline_stages, the archive random-access and streaming
-# benches, and the observability-overhead guard at a small scale, archives
+# final --metrics-prom dump; a serve smoke boots the mdzd daemon on
+# ephemeral ports, round-trips query extract/append against it, scrapes
+# its metric families and readiness, and requires a clean SIGTERM drain;
+# and a bench smoke step runs three figure
+# benches, pipeline_stages, the archive random-access, streaming, and
+# serve benches, and the observability-overhead guard at a small scale, archives
 # their BENCH_*.json reports under the build root and
 # gates the compression ratios against the committed bench/baselines via
 # tools/bench_diff (throughput is machine-dependent, so MB/s is ignored).
@@ -61,7 +64,7 @@ MDZ_SIMD="${SIMD_BEST}" run_config undefined \
 
 run_config thread \
   "${BUILD_ROOT}/thread/tests/mdz_tests" \
-  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*:Obs*.*:PipelineStatsTest.*'
+  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*:Obs*.*:PipelineStatsTest.*:FrameCacheTest.*:SchedulerTest.*:ServerConfigTest.*:ProtocolTest.*:ServeTest.*'
 
 echo "=== telemetry smoke ==="
 # The address tree is a normal (instrumented) build of the mdz binary; use
@@ -165,13 +168,82 @@ test ! -s "${LIVE}/missing"
 grep -q '"traceEvents":\[' "${LIVE}/timeline.json"
 grep -q '"name":"thread_name"' "${LIVE}/timeline.json"
 
+echo "=== serve smoke ==="
+# Bring up the mdzd daemon (docs/SERVICE.md) on ephemeral ports with the
+# ASan-instrumented binary, run one query extract (byte-identical to the
+# direct CLI extract) and one append (generation bump), scrape the ops
+# endpoint for the serve/* metric families and readiness, then SIGTERM and
+# require a clean drain (exit 0).
+SERVE="${BUILD_ROOT}/serve-smoke"
+rm -rf "${SERVE}"
+mkdir -p "${SERVE}/root"
+"${MDZ_BIN}" gen LJ "${SERVE}/full.mdtraj" --scale 0.3 --seed 11 --quiet
+"${MDZ_BIN}" compress "${SERVE}/full.mdtraj" "${SERVE}/full.mdza" --quiet
+# The served archive must end on a full codec buffer for append to reseal:
+# build it from an exact 30-snapshot slice, and keep a 10-snapshot slice as
+# the append input.
+"${MDZ_BIN}" extract "${SERVE}/full.mdza" "${SERVE}/base.mdtraj" \
+  --snapshots 0:30 --quiet
+"${MDZ_BIN}" extract "${SERVE}/full.mdza" "${SERVE}/tail.mdtraj" \
+  --snapshots 30:40 --quiet
+"${MDZ_BIN}" compress "${SERVE}/base.mdtraj" "${SERVE}/root/traj.mdza" --quiet
+"${MDZ_BIN}" serve --root "${SERVE}/root" --listen 127.0.0.1:0 \
+  --http 127.0.0.1:0 --threads 2 2> "${SERVE}/stderr.log" &
+serve_pid=$!
+bin_port=""
+ops_port=""
+i=0
+while [ "$i" -lt 200 ]; do
+  bin_port="$(sed -n \
+    's#^serve: listening on 127\.0\.0\.1:\([0-9]*\) .*#\1#p' \
+    "${SERVE}/stderr.log")"
+  ops_port="$(sed -n \
+    's#^serve: ops endpoint http://127\.0\.0\.1:\([0-9]*\)/$#\1#p' \
+    "${SERVE}/stderr.log")"
+  [ -n "$bin_port" ] && [ -n "$ops_port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null
+  i=$((i + 1))
+  sleep 0.05
+done
+test -n "$bin_port"
+test -n "$ops_port"
+serve_ready=""
+i=0
+while [ "$i" -lt 200 ]; do
+  if curl -sf "http://127.0.0.1:${ops_port}/healthz" \
+      | grep -q '"ready":true'; then
+    serve_ready=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.02
+done
+test -n "$serve_ready"
+"${MDZ_BIN}" query "127.0.0.1:${bin_port}" stat traj.mdza \
+  | grep -q '30 snapshots'
+"${MDZ_BIN}" query "127.0.0.1:${bin_port}" extract traj.mdza \
+  "${SERVE}/served.mdtraj" --snapshots 5:15 --quiet
+"${MDZ_BIN}" extract "${SERVE}/root/traj.mdza" "${SERVE}/direct.mdtraj" \
+  --snapshots 5:15 --quiet
+cmp "${SERVE}/served.mdtraj" "${SERVE}/direct.mdtraj"
+"${MDZ_BIN}" query "127.0.0.1:${bin_port}" append traj.mdza \
+  "${SERVE}/tail.mdtraj" | grep -q 'generation 2'
+"${MDZ_BIN}" query "127.0.0.1:${bin_port}" stat traj.mdza \
+  | grep -q '40 snapshots'
+curl -sf "http://127.0.0.1:${ops_port}/metrics" > "${SERVE}/metrics.prom"
+grep -q '^mdz_serve_requests' "${SERVE}/metrics.prom"
+grep -q '^mdz_cache_bytes_in_use' "${SERVE}/metrics.prom"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q '^serve: drained, ' "${SERVE}/stderr.log"
+
 echo "=== bench smoke + regression gate ==="
 BENCH_DIR="${BUILD_ROOT}/bench-smoke"
 rm -rf "${BENCH_DIR}"
 mkdir -p "${BENCH_DIR}"
 for bench in fig9_quant_scale fig11_adp_vs_modes fig15_throughput \
              pipeline_stages bench_random_access bench_streaming \
-             obs_overhead profiler_overhead; do
+             bench_serve obs_overhead profiler_overhead; do
   echo "--- ${bench} (MDZ_BENCH_SCALE=0.05) ---"
   (cd "${BENCH_DIR}" &&
    MDZ_BENCH_SCALE=0.05 "${BUILD_ROOT}/address/bench/${bench}" >/dev/null)

@@ -73,8 +73,13 @@
 #include "obs/telemetry_server.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/cpu.h"
 #include "util/timer.h"
+
+#include <chrono>
+#include <thread>
 
 namespace {
 
@@ -117,9 +122,15 @@ bool g_quiet = false;
 // signal exits immediately with the conventional 128+SIGINT code.
 std::atomic<bool> g_interrupted{false};
 
+// Set by SIGHUP while `mdz serve` runs; the serve loop re-reads the config
+// file and applies it without dropping connections.
+std::atomic<bool> g_reload{false};
+
 void HandleSignal(int) {
   if (g_interrupted.exchange(true)) _exit(130);
 }
+
+void HandleReloadSignal(int) { g_reload.store(true); }
 
 void InstallSignalHandlers() {
   struct sigaction action {};
@@ -180,6 +191,14 @@ int Usage() {
                "  mdz audit <archive.mdza> <original> [--json]\n"
                "               [--quality-trace F] [--metrics-json F]\n"
                "               [--metrics-prom F]\n"
+               "  mdz serve --root DIR --listen host:port [--http host:port]\n"
+               "               [--config F] [--threads N] [--cache-mb N]\n"
+               "  mdz query <host:port> stat|open|index|audit <archive>\n"
+               "  mdz query <host:port> extract <archive> <out> --snapshots "
+               "a:b\n"
+               "               [--particles p:q]\n"
+               "  mdz query <host:port> append <archive> <in.mdtraj|.xyz>\n"
+               "               (query flags: --tenant T --deadline-ms N)\n"
                "  mdz version [--json]\n"
                "  mdz datasets\n"
                "global flags: --quiet --simd scalar|avx2|neon\n"
@@ -255,6 +274,15 @@ struct Flags {
   std::string particles;      // `extract --particles p:q` (half-open range)
   uint32_t cache_frames = 32;  // `extract`: decoded-frame LRU capacity
   std::string simd;  // kernel variant override (scalar|avx2|neon); "" = auto
+  // `mdz serve` (docs/SERVICE.md): --listen is the binary endpoint there,
+  // --http the optional ops endpoint (same surfaces as the global --listen).
+  std::string root;      // serve: fleet root directory
+  std::string http;      // serve: host:port for /metrics /healthz ...
+  std::string config;    // serve: config file (re-read on SIGHUP)
+  uint32_t cache_mb = 0;  // serve: shared frame-cache budget; 0 = config
+  // `mdz query`: tenant id and per-request deadline sent with each request.
+  std::string tenant;
+  uint32_t deadline_ms = 0;
 
   bool telemetry() const {
     return !metrics_json.empty() || !metrics_prom.empty() ||
@@ -344,6 +372,24 @@ struct Flags {
         MDZ_ASSIGN_OR_RETURN(flags.snapshots, next_value());
       } else if (arg == "--particles") {
         MDZ_ASSIGN_OR_RETURN(flags.particles, next_value());
+      } else if (arg == "--root") {
+        MDZ_ASSIGN_OR_RETURN(flags.root, next_value());
+      } else if (arg == "--http") {
+        MDZ_ASSIGN_OR_RETURN(flags.http, next_value());
+      } else if (arg == "--config") {
+        MDZ_ASSIGN_OR_RETURN(flags.config, next_value());
+      } else if (arg == "--cache-mb") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.cache_mb = static_cast<uint32_t>(parsed);
+      } else if (arg == "--tenant") {
+        MDZ_ASSIGN_OR_RETURN(flags.tenant, next_value());
+      } else if (arg == "--deadline-ms") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
+                             ParseUint(v, arg, UINT32_MAX));
+        flags.deadline_ms = static_cast<uint32_t>(parsed);
       } else if (arg == "--cache-frames") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
         MDZ_ASSIGN_OR_RETURN(const uint64_t parsed,
@@ -954,9 +1000,25 @@ int CmdStats(const Flags& flags) {
 // requested snapshot range (optionally sliced to a particle range) instead of
 // replaying the whole stream. v1 archives are rejected with a pointer to
 // `mdz repack`.
+// Distinct hint for v1 inputs (asserted by tests/cli_test.sh): the v1
+// container has no frame index, so random access needs a migration, not a
+// different flag.
+int RejectV1ForRandomAccess(const std::string& path, const char* verb) {
+  return Fail(Status::FailedPrecondition(
+      std::string(verb) + " needs a v2 archive: " + path +
+      " is a v1 container; repack to v2 for random access (`mdz repack " +
+      path + " <out.mdza>`)"));
+}
+
 int CmdExtract(const Flags& flags) {
   if (flags.positional.size() != 2 || flags.snapshots.empty()) return Usage();
   if (flags.telemetry()) mdz::obs::SetEnabled(true);
+
+  uint8_t version = 0;
+  if (mdz::archive::SniffArchiveVersion(flags.positional[0], &version) &&
+      version < 2) {
+    return RejectV1ForRandomAccess(flags.positional[0], "extract");
+  }
 
   auto snap_range = ParseRange(flags.snapshots, "--snapshots");
   if (!snap_range.ok()) return Fail(snap_range.status());
@@ -1006,6 +1068,11 @@ int CmdExtract(const Flags& flags) {
 // decoding any payload.
 int CmdIndex(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
+  uint8_t version = 0;
+  if (mdz::archive::SniffArchiveVersion(flags.positional[0], &version) &&
+      version < 2) {
+    return RejectV1ForRandomAccess(flags.positional[0], "index");
+  }
   auto reader = mdz::archive::ArchiveReader::Open(flags.positional[0]);
   if (!reader.ok()) return Fail(reader.status());
   const mdz::archive::Footer& footer = (*reader)->footer();
@@ -1154,6 +1221,227 @@ int CmdSelftestCrash(const Flags& flags) {
   return Usage();
 }
 
+// mdzd: the multi-tenant archive daemon (docs/SERVICE.md). --listen is the
+// binary protocol endpoint here (not the telemetry one); --http brings up
+// the usual ops surfaces (/metrics /healthz ...) with a readiness probe
+// wired to the server lifecycle. SIGHUP re-reads --config and applies it
+// live; SIGINT/SIGTERM drain (finish in-flight requests, refuse new ones,
+// seal) and exit 0.
+int CmdServe(const Flags& flags) {
+  if (!flags.positional.empty() || flags.root.empty() || flags.listen.empty()) {
+    return Usage();
+  }
+  mdz::obs::ListenAddress listen;
+  {
+    const Status s = mdz::obs::ParseListenAddress(flags.listen, &listen);
+    if (!s.ok()) return Fail(s);
+  }
+
+  mdz::serve::ServerConfig config;
+  if (!flags.config.empty()) {
+    auto loaded = mdz::serve::LoadServerConfig(flags.config);
+    if (!loaded.ok()) return Fail(loaded.status());
+    config = std::move(loaded).value();
+  }
+  if (flags.cache_mb != 0) {
+    config.cache_bytes = static_cast<size_t>(flags.cache_mb) << 20;
+  }
+
+  // Counters/gauges must record regardless of other telemetry flags: the
+  // /metrics scrape on --http is the daemon's primary observability surface.
+  mdz::obs::SetEnabled(true);
+
+  mdz::core::ThreadPool pool(flags.threads);
+  mdz::serve::ArchiveServer::Options options;
+  options.listen = listen;
+  options.root = flags.root;
+  options.config = config;
+  options.pool = &pool;
+  mdz::serve::ArchiveServer server(options);
+  {
+    const Status s = server.Start();
+    if (!s.ok()) return Fail(s);
+  }
+  // stderr on purpose (like the telemetry banner): tests and scripts parse
+  // the resolved ephemeral ports from here.
+  std::fprintf(stderr, "serve: listening on %s:%u (root %s)\n",
+               listen.host.c_str(), static_cast<unsigned>(server.port()),
+               flags.root.c_str());
+
+  mdz::obs::TelemetryServer http;
+  if (!flags.http.empty()) {
+    mdz::obs::ListenAddress ops;
+    const Status s = mdz::obs::ParseListenAddress(flags.http, &ops);
+    if (!s.ok()) return Fail(s);
+    mdz::obs::PreRegisterCoreMetrics();
+    http.SetReadyProbe([&server] { return server.ready(); });
+    const Status hs = http.Start(ops);
+    if (!hs.ok()) return Fail(hs);
+    std::fprintf(stderr, "serve: ops endpoint http://%s:%u/\n",
+                 ops.host.c_str(), static_cast<unsigned>(http.port()));
+  }
+
+  InstallSignalHandlers();
+  {
+    struct sigaction action {};
+    action.sa_handler = HandleReloadSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGHUP, &action, nullptr);
+  }
+
+  while (!g_interrupted.load()) {
+    if (g_reload.exchange(false)) {
+      mdz::serve::ServerConfig next = config;
+      if (!flags.config.empty()) {
+        auto loaded = mdz::serve::LoadServerConfig(flags.config);
+        if (!loaded.ok()) {
+          // A bad config on SIGHUP must not kill a healthy daemon: log and
+          // keep the previous limits.
+          std::fprintf(stderr, "serve: reload failed, keeping config: %s\n",
+                       loaded.status().ToString().c_str());
+          continue;
+        }
+        next = std::move(loaded).value();
+        if (flags.cache_mb != 0) {
+          next.cache_bytes = static_cast<size_t>(flags.cache_mb) << 20;
+        }
+      }
+      server.Reload(next);
+      config = next;
+      std::fprintf(stderr, "serve: config reloaded\n");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "serve: draining\n");
+  server.Drain();
+  http.Stop();
+  std::fprintf(stderr, "serve: drained, %llu connections served\n",
+               static_cast<unsigned long long>(server.connections_accepted()));
+  return kExitOk;
+}
+
+// Client front end for a running `mdz serve`:
+//   mdz query <host:port> stat|open|index|audit <archive>
+//   mdz query <host:port> extract <archive> <out> --snapshots a:b
+//               [--particles p:q]
+//   mdz query <host:port> append <archive> <in.mdtraj|.xyz>
+int CmdQuery(const Flags& flags) {
+  if (flags.positional.size() < 3) return Usage();
+  mdz::obs::ListenAddress addr;
+  {
+    const Status s =
+        mdz::obs::ParseListenAddress(flags.positional[0], &addr);
+    if (!s.ok()) return Fail(s);
+  }
+  if (addr.port == 0) {
+    return Fail(Status::InvalidArgument("query needs an explicit port"));
+  }
+  const std::string& sub = flags.positional[1];
+  const std::string& archive = flags.positional[2];
+
+  mdz::serve::Client::Options client_options;
+  if (!flags.tenant.empty()) client_options.tenant = flags.tenant;
+  client_options.deadline_ms = flags.deadline_ms;
+  auto client =
+      mdz::serve::Client::Connect(addr.host, addr.port, client_options);
+  if (!client.ok()) return Fail(client.status());
+
+  const auto print_info = [](const mdz::serve::ArchiveInfo& info) {
+    Say("%s: %llu snapshots x %llu atoms, %llu frames (generation %llu)\n",
+        info.name.empty() ? "(unnamed)" : info.name.c_str(),
+        static_cast<unsigned long long>(info.num_snapshots),
+        static_cast<unsigned long long>(info.num_particles),
+        static_cast<unsigned long long>(info.num_frames),
+        static_cast<unsigned long long>(info.generation));
+  };
+
+  if (sub == "stat" || sub == "open") {
+    if (flags.positional.size() != 3) return Usage();
+    auto info = sub == "open" ? (*client)->Open(archive)
+                              : (*client)->Stat(archive);
+    if (!info.ok()) return Fail(info.status());
+    print_info(*info);
+    return kExitOk;
+  }
+  if (sub == "index") {
+    if (flags.positional.size() != 3) return Usage();
+    auto index = (*client)->Index(archive);
+    if (!index.ok()) return Fail(index.status());
+    Say("%-6s %-5s %-7s %-12s %-10s\n", "Frame", "Axis", "Method",
+        "Snapshots", "Bytes");
+    for (size_t i = 0; i < index->size(); ++i) {
+      const auto& f = (*index)[i];
+      char range[32];
+      std::snprintf(range, sizeof(range), "%llu:%llu",
+                    static_cast<unsigned long long>(f.first_snapshot),
+                    static_cast<unsigned long long>(f.first_snapshot +
+                                                    f.s_count));
+      const auto method = static_cast<mdz::core::Method>(f.method);
+      Say("%-6zu %-5c %-7.*s %-12s %-10llu\n", i, "xyz"[f.axis % 3],
+          static_cast<int>(mdz::core::MethodName(method).size()),
+          mdz::core::MethodName(method).data(), range,
+          static_cast<unsigned long long>(f.frame_size));
+    }
+    return kExitOk;
+  }
+  if (sub == "audit") {
+    if (flags.positional.size() != 3) return Usage();
+    auto audit = (*client)->Audit(archive);
+    if (!audit.ok()) return Fail(audit.status());
+    Say("audit: %llu frames, %llu payload bytes verified\n",
+        static_cast<unsigned long long>(audit->frames),
+        static_cast<unsigned long long>(audit->payload_bytes));
+    return kExitOk;
+  }
+  if (sub == "extract") {
+    if (flags.positional.size() != 4 || flags.snapshots.empty()) {
+      return Usage();
+    }
+    auto snap_range = ParseRange(flags.snapshots, "--snapshots");
+    if (!snap_range.ok()) return Fail(snap_range.status());
+    uint64_t first_particle = 0;
+    uint64_t particle_count = 0;  // 0 = whole snapshots
+    if (!flags.particles.empty()) {
+      auto part_range = ParseRange(flags.particles, "--particles");
+      if (!part_range.ok()) return Fail(part_range.status());
+      first_particle = part_range->first;
+      particle_count = part_range->second;
+    }
+    // Stat first for the trajectory header (name, box) the wire extract
+    // reply does not carry.
+    auto info = (*client)->Stat(archive);
+    if (!info.ok()) return Fail(info.status());
+    auto snapshots =
+        (*client)->Extract(archive, snap_range->first, snap_range->second,
+                           first_particle, particle_count);
+    if (!snapshots.ok()) return Fail(snapshots.status());
+    Trajectory trajectory;
+    trajectory.name = info->name;
+    trajectory.box = {info->box[0], info->box[1], info->box[2]};
+    trajectory.snapshots = std::move(snapshots).value();
+    const Status s = WriteTrajectoryAuto(trajectory, flags.positional[3]);
+    if (!s.ok()) return Fail(s);
+    Say("extracted %zu snapshots x %zu atoms -> %s\n",
+        trajectory.num_snapshots(), trajectory.num_particles(),
+        flags.positional[3].c_str());
+    return kExitOk;
+  }
+  if (sub == "append") {
+    if (flags.positional.size() != 4) return Usage();
+    auto trajectory = ReadTrajectoryAuto(flags.positional[3]);
+    if (!trajectory.ok()) return Fail(trajectory.status());
+    auto info = (*client)->Append(archive, trajectory->snapshots);
+    if (!info.ok()) return Fail(info.status());
+    Say("appended %zu snapshots to %s (%llu total, generation %llu)\n",
+        trajectory->num_snapshots(), archive.c_str(),
+        static_cast<unsigned long long>(info->num_snapshots),
+        static_cast<unsigned long long>(info->generation));
+    return kExitOk;
+  }
+  return Usage();
+}
+
 int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "datasets") return CmdDatasets();
   if (command == "gen") return CmdGen(flags);
@@ -1167,6 +1455,8 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "stats") return CmdStats(flags);
   if (command == "verify") return CmdVerify(flags);
   if (command == "audit") return CmdAudit(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "query") return CmdQuery(flags);
   if (command == "version") return CmdVersion(flags);
   if (command == "selftest-crash") return CmdSelftestCrash(flags);
   return Usage();
@@ -1192,14 +1482,18 @@ int main(int argc, char** argv) {
   // timeline recording + root trace, the HTTP endpoint, and the resource
   // sampler. All of it tears down after the command, flushing the timeline
   // file last so the teardown itself is still visible in the trace.
+  // `mdz serve` repurposes --listen as the binary protocol endpoint and
+  // brings up its own ops endpoint via --http, so the generic telemetry
+  // server must stay out of the way there.
+  const bool serve_command = command == "serve";
   mdz::obs::ListenAddress listen_address;
-  if (!flags->listen.empty()) {
+  if (!flags->listen.empty() && !serve_command) {
     const Status s =
         mdz::obs::ParseListenAddress(flags->listen, &listen_address);
     if (!s.ok()) return Fail(s);
   }
   const bool tracing = !flags->trace_timeline.empty();
-  const bool listening = !flags->listen.empty();
+  const bool listening = !flags->listen.empty() && !serve_command;
   const bool profiling = flags->profile;
   const bool recording_flight = !flags->flight_recorder.empty();
   if ((tracing || listening || profiling || recording_flight) &&
