@@ -6,6 +6,7 @@
 // of its exhibit on stdout. Dataset sizes scale with MDZ_BENCH_SCALE
 // (default 1.0; smaller = faster).
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,8 +29,21 @@ namespace mdz::bench {
 inline double SizeScale() {
   const char* env = std::getenv("MDZ_BENCH_SCALE");
   if (env == nullptr) return 1.0;
-  const double scale = std::atof(env);
-  return (scale > 0.0) ? scale : 1.0;
+  // Fail loudly on a malformed value: `std::atof` used to turn a typo like
+  // "0.0.5" or "o.5" into 0 and silently fall back to full-size datasets —
+  // the opposite of what the caller asked for.
+  char* end = nullptr;
+  errno = 0;
+  const double scale = std::strtod(env, &end);
+  if (end == env || *end != '\0' || errno == ERANGE || !std::isfinite(scale) ||
+      scale <= 0.0) {
+    std::fprintf(stderr,
+                 "FATAL: MDZ_BENCH_SCALE=\"%s\" is not a positive finite "
+                 "number\n",
+                 env);
+    std::exit(1);
+  }
+  return scale;
 }
 
 inline core::Trajectory LoadDataset(std::string_view name,

@@ -2,8 +2,9 @@
 #define MDZ_BENCH_MDZ_VARIANTS_H_
 
 // Registry-style adapters for MDZ's individual prediction strategies (VQ /
-// VQT / MT / ADP), used by the benches that compare them (Table VI, Fig.
-// 9/10/11).
+// VQT / MT / ADP, plus the grown L2D / BA candidates and ADP+ — ADP trialing
+// the full candidate set), used by the benches that compare them (Table VI,
+// Fig. 9/10/11).
 
 #include "baselines/compressor_interface.h"
 #include "core/mdz.h"
@@ -25,6 +26,22 @@ inline Result<baselines::Field> MdzVariantDecompress(
   return core::DecompressField(data);
 }
 
+// ADP with the grown trial set: the paper candidates plus TI, the 2-D
+// Lorenzo predictor and the bit-adaptive quantizer. The stream stays
+// self-describing, so MdzVariantDecompress reads it unchanged.
+inline Result<std::vector<uint8_t>> MdzAdpPlusCompress(
+    const baselines::Field& field, const baselines::CompressorConfig& config) {
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.adp_methods = {core::Method::kVQ, core::Method::kVQT,
+                         core::Method::kMT, core::Method::kTI,
+                         core::Method::kLorenzo2D,
+                         core::Method::kBitAdaptive};
+  options.error_bound = config.error_bound;
+  options.buffer_size = config.buffer_size;
+  return core::CompressField(field, options);
+}
+
 inline std::vector<baselines::LossyCompressorInfo> MdzVariants() {
   return {
       {"VQ", &MdzVariantCompress<core::Method::kVQ>, &MdzVariantDecompress},
@@ -33,6 +50,18 @@ inline std::vector<baselines::LossyCompressorInfo> MdzVariants() {
       {"ADP", &MdzVariantCompress<core::Method::kAdaptive>,
        &MdzVariantDecompress},
   };
+}
+
+// The Fig. 11 superset: the paper columns plus the new fixed candidates and
+// the ADP+ trial set.
+inline std::vector<baselines::LossyCompressorInfo> MdzCandidateVariants() {
+  auto variants = MdzVariants();
+  variants.push_back({"L2D", &MdzVariantCompress<core::Method::kLorenzo2D>,
+                      &MdzVariantDecompress});
+  variants.push_back({"BA", &MdzVariantCompress<core::Method::kBitAdaptive>,
+                      &MdzVariantDecompress});
+  variants.push_back({"ADP+", &MdzAdpPlusCompress, &MdzVariantDecompress});
+  return variants;
 }
 
 }  // namespace mdz::bench

@@ -16,6 +16,8 @@ bool ValidConcreteMethod(uint8_t byte) {
     case core::Method::kVQT:
     case core::Method::kMT:
     case core::Method::kTI:
+    case core::Method::kLorenzo2D:
+    case core::Method::kBitAdaptive:
       return true;
     case core::Method::kAdaptive:
       return false;

@@ -151,7 +151,9 @@ struct ArchiveReader::Impl {
     // of the v1 stream; later frames seed only what their method consumes.
     PredictorState state;
     if (axis_pos[id] > 0) {
-      if (f.method == core::Method::kMT) {
+      if (f.method == core::Method::kMT ||
+          f.method == core::Method::kLorenzo2D ||
+          f.method == core::Method::kBitAdaptive) {
         MDZ_RETURN_IF_ERROR(EnsureReference(f.axis));
         {
           std::lock_guard<std::mutex> lock(reference_mu);

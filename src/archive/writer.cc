@@ -362,7 +362,9 @@ Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Reopen(
     }
   } else if ((footer.axes[0].chained || footer.axes[1].chained ||
               footer.axes[2].chained) &&
-             !options.enable_interpolation) {
+             !options.enable_interpolation &&
+             std::find(options.adp_methods.begin(), options.adp_methods.end(),
+                       core::Method::kTI) == options.adp_methods.end()) {
     return Status::InvalidArgument(
         "archive contains TI frames but interpolation is disabled; reopen "
         "with the options the archive was created with");

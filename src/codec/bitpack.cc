@@ -1,0 +1,75 @@
+#include "codec/bitpack.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bit_stream.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+std::vector<uint8_t> BitpackEncode(std::span<const uint32_t> codes) {
+  ByteWriter meta;
+  BitWriter bits;
+  for (size_t start = 0; start < codes.size(); start += kBitpackSubBlock) {
+    const size_t end = std::min(start + kBitpackSubBlock, codes.size());
+    uint32_t lo = codes[start];
+    uint32_t hi = codes[start];
+    for (size_t i = start + 1; i < end; ++i) {
+      lo = std::min(lo, codes[i]);
+      hi = std::max(hi, codes[i]);
+    }
+    const int width = std::bit_width(hi - lo);
+    meta.PutVarint(lo);
+    meta.Put<uint8_t>(static_cast<uint8_t>(width));
+    for (size_t i = start; i < end; ++i) {
+      bits.Write(codes[i] - lo, width);
+    }
+  }
+  bits.Flush();
+  ByteWriter out;
+  out.PutBlob(meta.bytes());
+  out.PutBlob(bits.bytes());
+  return out.TakeBytes();
+}
+
+Status BitpackDecode(std::span<const uint8_t> bytes, size_t count,
+                     uint32_t code_limit, std::vector<uint32_t>* out) {
+  ByteReader r(bytes);
+  std::span<const uint8_t> meta_blob, bits_blob;
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&meta_blob));
+  MDZ_RETURN_IF_ERROR(r.GetBlob(&bits_blob));
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes in bitpack stream");
+  }
+  ByteReader meta(meta_blob);
+  BitReader bits(bits_blob);
+  out->clear();
+  out->reserve(count);
+  size_t total_bits = 0;
+  for (size_t start = 0; start < count; start += kBitpackSubBlock) {
+    const size_t end = std::min(start + kBitpackSubBlock, count);
+    uint64_t base = 0;
+    uint8_t width = 0;
+    MDZ_RETURN_IF_ERROR(meta.GetVarint(&base));
+    MDZ_RETURN_IF_ERROR(meta.Get(&width));
+    if (width > 32 || base >= code_limit) {
+      return Status::Corruption("bad bitpack sub-block header");
+    }
+    total_bits += width * (end - start);
+    for (size_t i = start; i < end; ++i) {
+      const uint64_t code = base + bits.Read(width);
+      if (code >= code_limit) {
+        return Status::Corruption("bitpacked code out of scale");
+      }
+      out->push_back(static_cast<uint32_t>(code));
+    }
+  }
+  MDZ_RETURN_IF_ERROR(bits.CheckNoOverrun());
+  if (meta.remaining() != 0 || bits_blob.size() != (total_bits + 7) / 8) {
+    return Status::Corruption("bitpack stream size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdz::codec

@@ -1,0 +1,33 @@
+#ifndef MDZ_CODEC_BITPACK_H_
+#define MDZ_CODEC_BITPACK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// Bit-adaptive packing of quantization codes (the per-block bit-budget idea
+// of arXiv 2404.02826): the code array is split into fixed-size sub-blocks,
+// and each sub-block stores its minimum code (varint) plus the bit width of
+// (max - min) (one byte), then every code packed at exactly that width.
+// Sub-blocks of a well-predicted region — codes clustered around the
+// quantizer's zero point — collapse to a few bits per element with no table
+// overhead, which is where this beats Huffman; escape-heavy or noisy
+// sub-blocks just pay the local width. The stream is
+// blob(per-sub-block meta) + blob(packed bits).
+inline constexpr size_t kBitpackSubBlock = 64;
+
+std::vector<uint8_t> BitpackEncode(std::span<const uint32_t> codes);
+
+// Decodes exactly `count` codes. Every decoded code must be < `code_limit`
+// (the quantization scale); anything malformed — truncated streams, widths
+// past 32 bits, out-of-range codes, trailing bytes — is Corruption.
+Status BitpackDecode(std::span<const uint8_t> bytes, size_t count,
+                     uint32_t code_limit, std::vector<uint32_t>* out);
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_BITPACK_H_

@@ -1,0 +1,158 @@
+#include "codec/code_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/bitpack.h"
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "obs/span.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::codec {
+
+namespace {
+
+// One histogram pass serves two purposes: the dominant-code count decides
+// whether the raw-u16 candidate is worth trying, and the Shannon entropy of
+// the laid-out codes feeds telemetry.
+void CodeHistogram(std::span<const uint32_t> laid, uint32_t code_limit,
+                   size_t* dominant, double* entropy_bits) {
+  *dominant = 0;
+  *entropy_bits = 0.0;
+  if (laid.empty()) return;
+  std::vector<uint32_t> histogram(code_limit, 0);
+  for (uint32_t code : laid) ++histogram[code];
+  const double total = static_cast<double>(laid.size());
+  for (uint32_t count : histogram) {
+    *dominant = std::max<size_t>(*dominant, count);
+    if (count > 0) {
+      const double p = count / total;
+      *entropy_bits -= p * std::log2(p);
+    }
+  }
+}
+
+}  // namespace
+
+MainPayload HuffmanLzCodeBackend::EncodeMain(
+    std::span<const uint32_t> aux_codes, std::span<const uint32_t> laid) const {
+  std::vector<uint8_t> jhuff;
+  std::vector<uint8_t> bhuff;
+  {
+    MDZ_SPAN("huffman_encode");
+    if (!aux_codes.empty()) jhuff = HuffmanEncode(aux_codes, aux_limit_);
+    bhuff = HuffmanEncode(laid, code_limit_);
+  }
+
+  MainPayload result;
+  size_t dominant = 0;
+  CodeHistogram(laid, code_limit_, &dominant, &result.entropy_bits);
+  result.huffman_bytes = jhuff.size() + bhuff.size();
+
+  MDZ_SPAN("lossless_backend");
+  ByteWriter main0;
+  main0.PutBlob(jhuff);
+  main0.PutBytes(bhuff.data(), bhuff.size());
+  result.main_lz = LzCompress(main0.bytes());
+  result.mode = 0;
+
+  // Run structure only pays off when one code dominates; skip the second
+  // candidate otherwise to keep compression throughput high.
+  const bool try_packed =
+      !laid.empty() && dominant * 2 > laid.size() && code_limit_ <= (1u << 16);
+  if (try_packed) {
+    ByteWriter main1;
+    main1.PutBlob(jhuff);
+    for (uint32_t code : laid) {
+      main1.Put<uint16_t>(static_cast<uint16_t>(code));
+    }
+    std::vector<uint8_t> packed_lz = LzCompress(main1.bytes());
+    if (packed_lz.size() < result.main_lz.size()) {
+      result.main_lz = std::move(packed_lz);
+      result.mode = 1;
+    }
+  }
+  return result;
+}
+
+Status HuffmanLzCodeBackend::DecodeMain(uint8_t mode,
+                                        std::span<const uint8_t> main_blob,
+                                        size_t count,
+                                        std::vector<uint32_t>* aux_codes,
+                                        std::vector<uint32_t>* laid) const {
+  std::vector<uint8_t> main_bytes;
+  MDZ_RETURN_IF_ERROR(LzDecompress(main_blob, &main_bytes));
+  ByteReader main(main_bytes);
+  std::span<const uint8_t> jhuff_blob;
+  MDZ_RETURN_IF_ERROR(main.GetBlob(&jhuff_blob));
+  aux_codes->clear();
+  if (!jhuff_blob.empty()) {
+    MDZ_RETURN_IF_ERROR(HuffmanDecode(jhuff_blob, aux_codes));
+  }
+  laid->clear();
+  if (mode == 0) {
+    const std::span<const uint8_t> bhuff(main_bytes.data() + main.position(),
+                                         main_bytes.size() - main.position());
+    MDZ_RETURN_IF_ERROR(HuffmanDecode(bhuff, laid));
+  } else {
+    if (main.remaining() != count * sizeof(uint16_t)) {
+      return Status::Corruption("packed quant code size mismatch");
+    }
+    laid->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      uint16_t code = 0;
+      MDZ_RETURN_IF_ERROR(main.Get(&code));
+      (*laid)[i] = code;
+    }
+  }
+  if (laid->size() != count) {
+    return Status::Corruption("quantization code count mismatch");
+  }
+  return Status::OK();
+}
+
+MainPayload BitpackCodeBackend::EncodeMain(
+    std::span<const uint32_t> aux_codes, std::span<const uint32_t> laid) const {
+  std::vector<uint8_t> jhuff;
+  std::vector<uint8_t> packed;
+  {
+    MDZ_SPAN("bitpack_encode");
+    if (!aux_codes.empty()) jhuff = HuffmanEncode(aux_codes, aux_limit_);
+    packed = BitpackEncode(laid);
+  }
+  MainPayload result;
+  size_t dominant = 0;
+  CodeHistogram(laid, code_limit_, &dominant, &result.entropy_bits);
+  result.huffman_bytes = jhuff.size() + packed.size();
+  result.mode = 2;
+
+  MDZ_SPAN("lossless_backend");
+  ByteWriter main2;
+  main2.PutBlob(jhuff);
+  main2.PutBytes(packed.data(), packed.size());
+  result.main_lz = LzCompress(main2.bytes());
+  return result;
+}
+
+Status BitpackCodeBackend::DecodeMain(uint8_t mode,
+                                      std::span<const uint8_t> main_blob,
+                                      size_t count,
+                                      std::vector<uint32_t>* aux_codes,
+                                      std::vector<uint32_t>* laid) const {
+  if (mode != 2) return Status::Corruption("bad quant-code mode byte");
+  std::vector<uint8_t> main_bytes;
+  MDZ_RETURN_IF_ERROR(LzDecompress(main_blob, &main_bytes));
+  ByteReader main(main_bytes);
+  std::span<const uint8_t> jhuff_blob;
+  MDZ_RETURN_IF_ERROR(main.GetBlob(&jhuff_blob));
+  aux_codes->clear();
+  if (!jhuff_blob.empty()) {
+    MDZ_RETURN_IF_ERROR(HuffmanDecode(jhuff_blob, aux_codes));
+  }
+  const std::span<const uint8_t> packed(main_bytes.data() + main.position(),
+                                        main_bytes.size() - main.position());
+  return BitpackDecode(packed, count, code_limit_, laid);
+}
+
+}  // namespace mdz::codec

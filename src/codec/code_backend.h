@@ -1,0 +1,81 @@
+#ifndef MDZ_CODEC_CODE_BACKEND_H_
+#define MDZ_CODEC_CODE_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::codec {
+
+// Encoder + lossless stage seam of the block codec (SZ3-style pipeline,
+// DESIGN.md "Stage boundary"): turns the laid-out quantization-code
+// array — plus the predictor's auxiliary symbol stream (the VQ family's
+// level deltas), which rides at the head of the main payload as a Huffman
+// blob in every backend — into the dictionary-coded main blob, and back.
+//
+// The `mode` in the result is the block's b_mode byte; each backend owns a
+// disjoint range of mode values, so the byte self-describes which backend
+// decodes the payload (docs/FORMAT.md):
+//   0  Huffman(codes) -> LZ          (HuffmanLzCodeBackend)
+//   1  raw u16 codes  -> LZ          (HuffmanLzCodeBackend, run-heavy data)
+//   2  bit-adaptive sub-block packing -> LZ (BitpackCodeBackend)
+struct MainPayload {
+  std::vector<uint8_t> main_lz;  // dictionary-coded main payload blob
+  uint8_t mode = 0;
+  size_t huffman_bytes = 0;  // entropy-stage output, pre-dictionary
+  double entropy_bits = 0.0;  // Shannon entropy of the codes, bits/symbol
+};
+
+class CodeBackend {
+ public:
+  // `code_limit` bounds the quantization codes (the scale); `aux_limit`
+  // bounds the auxiliary symbols.
+  CodeBackend(uint32_t code_limit, uint32_t aux_limit)
+      : code_limit_(code_limit), aux_limit_(aux_limit) {}
+  virtual ~CodeBackend() = default;
+
+  virtual MainPayload EncodeMain(std::span<const uint32_t> aux_codes,
+                                 std::span<const uint32_t> laid) const = 0;
+
+  // Decodes a payload produced by EncodeMain under `mode`. Exactly `count`
+  // codes must come back; anything else is Corruption. The caller validates
+  // that `mode` belongs to this backend before dispatching.
+  virtual Status DecodeMain(uint8_t mode, std::span<const uint8_t> main_blob,
+                            size_t count, std::vector<uint32_t>* aux_codes,
+                            std::vector<uint32_t>* laid) const = 0;
+
+ protected:
+  uint32_t code_limit_;
+  uint32_t aux_limit_;
+};
+
+// The paper's pipeline: Huffman(codes) behind the dictionary coder, with a
+// second raw-u16 candidate when one code dominates (run-heavy Seq-2 data
+// that bit-packed Huffman would hide from the dictionary stage).
+class HuffmanLzCodeBackend final : public CodeBackend {
+ public:
+  using CodeBackend::CodeBackend;
+  MainPayload EncodeMain(std::span<const uint32_t> aux_codes,
+                         std::span<const uint32_t> laid) const override;
+  Status DecodeMain(uint8_t mode, std::span<const uint8_t> main_blob,
+                    size_t count, std::vector<uint32_t>* aux_codes,
+                    std::vector<uint32_t>* laid) const override;
+};
+
+// Per-sub-block bit-adaptive packing (codec/bitpack.h) behind the
+// dictionary coder; the bit-adaptive candidate's backend.
+class BitpackCodeBackend final : public CodeBackend {
+ public:
+  using CodeBackend::CodeBackend;
+  MainPayload EncodeMain(std::span<const uint32_t> aux_codes,
+                         std::span<const uint32_t> laid) const override;
+  Status DecodeMain(uint8_t mode, std::span<const uint8_t> main_blob,
+                    size_t count, std::vector<uint32_t>* aux_codes,
+                    std::vector<uint32_t>* laid) const override;
+};
+
+}  // namespace mdz::codec
+
+#endif  // MDZ_CODEC_CODE_BACKEND_H_

@@ -2,90 +2,164 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "codec/huffman.h"
+#include "codec/code_backend.h"
 #include "codec/lz.h"
 #include "core/block_kernels.h"
+#include "core/predictors.h"
 #include "obs/span.h"
 #include "quant/quantizer.h"
+#include "quant/row_coder.h"
 #include "util/byte_buffer.h"
 
 namespace mdz::core::internal {
 
 namespace {
 
-// Level-index delta alphabet: symbol 0 escapes to a varint side channel,
-// symbols 1..kJAlphabet-1 encode zigzag(delta) inline.
+// Level-index delta alphabet of the VQ family's J stream (symbol 0 escapes
+// to a varint side channel). Mirrored in core/predictors.cc, which owns the
+// symbol encoding; here it only sizes the backend's Huffman alphabet.
 constexpr uint32_t kJAlphabet = 1024;
 
-inline uint64_t Zigzag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+// Method-byte registry (docs/FORMAT.md). 3 is kAdaptive — a selector, never
+// a block method; 7..255 are reserved.
+bool ValidMethodByte(uint8_t method_byte) {
+  return method_byte <= 6 && method_byte != 3;
 }
 
-inline int64_t Unzigzag(uint64_t v) {
-  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+bool MethodCarriesLevels(Method method) {
+  return method == Method::kVQ || method == Method::kVQT;
 }
 
-// Interpolation processing order for the TI method: snapshot 0 first (coded
-// by the caller), then midpoints level by level with halving stride.
-// Identical on encode and decode.
-std::vector<std::pair<size_t, size_t>> InterpolationOrder(size_t s_count) {
-  std::vector<std::pair<size_t, size_t>> order;
-  if (s_count <= 1) return order;
-  size_t top = 1;
-  while (top * 2 < s_count) top *= 2;
-  for (size_t stride = top; stride >= 1; stride /= 2) {
-    for (size_t t = stride; t < s_count; t += 2 * stride) {
-      order.emplace_back(t, stride);
-    }
-    if (stride == 1) break;
-  }
-  return order;
-}
+// Encode side of the quantizer seam: quantizes raw values against the
+// predictor's predictions, collecting codes, reconstructions, and the
+// escape side channel.
+class EncodeRowCoder final : public quant::RowCoder {
+ public:
+  EncodeRowCoder(const quant::LinearQuantizer& quantizer,
+                 std::span<const std::vector<double>> buffer, size_t s_count,
+                 size_t n)
+      : RowCoder(s_count, n),
+        quantizer_(quantizer),
+        kernels_(ActiveBlockKernels()),
+        buffer_(buffer),
+        bins_(s_count * n, 0),
+        decoded_(s_count, std::vector<double>(n)) {}
 
-// Spline prediction for the TI method from already-decoded snapshots:
-// cubic when the 4-anchor stencil exists, linear with both neighbors,
-// previous-anchor extrapolation at the right border. The stencil choice is
-// uniform in i, so prediction is computed a row at a time: returns either a
-// previously decoded row directly or `scratch` filled with the stencil.
-const double* TiPredictRow(const std::vector<std::vector<double>>& decoded,
-                           const std::vector<uint8_t>& ready, size_t t,
-                           size_t stride, size_t s_count, size_t n,
-                           double* scratch) {
-  const bool has_right = (t + stride < s_count) && ready[t + stride];
-  if (!has_right) return decoded[t - stride].data();
-  const bool has_far_left = (t >= 3 * stride) && ready[t - 3 * stride];
-  const bool has_far_right =
-      (t + 3 * stride < s_count) && ready[t + 3 * stride];
-  const double* b = decoded[t - stride].data();
-  const double* c = decoded[t + stride].data();
-  if (has_far_left && has_far_right) {
-    const double* a = decoded[t - 3 * stride].data();
-    const double* d = decoded[t + 3 * stride].data();
+  // Row-wide fused delta + quantization through the dispatched kernel.
+  // Escapes are appended by scanning the finished code row, which preserves
+  // the i-ascending escape order of the element-wise path.
+  Status CodeRow(size_t t, const double* preds) override {
+    const size_t n = row_len();
+    uint32_t* row = bins_.data() + t * n;
+    kernels_.quantize_row(quantizer_, buffer_[t].data(), preds, n, row,
+                          decoded_[t].data());
+    const double* vals = buffer_[t].data();
     for (size_t i = 0; i < n; ++i) {
-      scratch[i] = (-a[i] + 9.0 * b[i] + 9.0 * c[i] - d[i]) / 16.0;
+      if (row[i] == 0) {
+        escapes_.Put<double>(vals[i]);
+        ++escape_count_;
+      }
     }
-    return scratch;
+    return Status::OK();
   }
-  for (size_t i = 0; i < n; ++i) scratch[i] = 0.5 * (b[i] + c[i]);
-  return scratch;
-}
 
-// Positional index sequence of the TI processing order (snapshot 0 first,
-// then interpolation levels). TI codes are entropy-coded in this order so
-// that each interpolation level — whose residual statistics differ by an
-// order of magnitude between strides — forms a homogeneous region for the
-// dictionary coder.
-std::vector<size_t> TiPermutation(size_t s_count, size_t n) {
-  std::vector<size_t> perm;
-  perm.reserve(s_count * n);
-  for (size_t i = 0; i < n; ++i) perm.push_back(i);
-  for (const auto& [t, stride] : InterpolationOrder(s_count)) {
-    (void)stride;
-    for (size_t i = 0; i < n; ++i) perm.push_back(t * n + i);
+  Status CodeElement(size_t t, size_t i, double pred) override {
+    const double value = buffer_[t][i];
+    double dec;
+    const uint32_t code = quantizer_.Encode(value, pred, &dec);
+    if (code == 0) {
+      escapes_.Put<double>(value);
+      ++escape_count_;
+    }
+    decoded_[t][i] = dec;
+    bins_[t * row_len() + i] = code;
+    return Status::OK();
   }
-  return perm;
-}
+
+  const std::vector<std::vector<double>>& decoded() const override {
+    return decoded_;
+  }
+
+  const std::vector<uint32_t>& bins() const { return bins_; }
+  const ByteWriter& escapes() const { return escapes_; }
+  size_t escape_count() const { return escape_count_; }
+
+ private:
+  const quant::LinearQuantizer& quantizer_;
+  const BlockKernels& kernels_;
+  std::span<const std::vector<double>> buffer_;
+  std::vector<uint32_t> bins_;
+  std::vector<std::vector<double>> decoded_;
+  ByteWriter escapes_;
+  size_t escape_count_ = 0;
+};
+
+// Decode side of the quantizer seam: reconstructs rows from the code array
+// and the escape side channel, surfacing Corruption for anything the
+// encoder could not have produced.
+class DecodeRowCoder final : public quant::RowCoder {
+ public:
+  DecodeRowCoder(const quant::LinearQuantizer& quantizer,
+                 std::vector<uint32_t> bins, std::vector<double> escapes,
+                 size_t s_count, size_t n)
+      : RowCoder(s_count, n),
+        quantizer_(quantizer),
+        kernels_(ActiveBlockKernels()),
+        bins_(std::move(bins)),
+        escapes_(std::move(escapes)),
+        decoded_(s_count, std::vector<double>(n)) {}
+
+  // Row-wide dequantization through the dispatched kernel. The fast path
+  // refuses rows containing escapes or corrupt codes; those rows are redone
+  // on the exact element-wise path (escape side channel, corruption Status).
+  Status CodeRow(size_t t, const double* preds) override {
+    const size_t n = row_len();
+    if (kernels_.dequantize_row(quantizer_, bins_.data() + t * n, preds, n,
+                                decoded_[t].data())) {
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      MDZ_RETURN_IF_ERROR(Reconstruct(t, i, preds[i]));
+    }
+    return Status::OK();
+  }
+
+  Status CodeElement(size_t t, size_t i, double pred) override {
+    return Reconstruct(t, i, pred);
+  }
+
+  const std::vector<std::vector<double>>& decoded() const override {
+    return decoded_;
+  }
+
+  std::vector<std::vector<double>>& mutable_decoded() { return decoded_; }
+
+ private:
+  Status Reconstruct(size_t t, size_t i, double pred) {
+    const uint32_t code = bins_[t * row_len() + i];
+    if (code == 0) {
+      if (escape_pos_ >= escapes_.size()) {
+        return Status::Corruption("escape channel exhausted");
+      }
+      decoded_[t][i] = escapes_[escape_pos_++];
+    } else {
+      if (code >= quantizer_.scale()) {
+        return Status::Corruption("quant code out of scale");
+      }
+      decoded_[t][i] = quantizer_.Decode(code, pred);
+    }
+    return Status::OK();
+  }
+
+  const quant::LinearQuantizer& quantizer_;
+  const BlockKernels& kernels_;
+  std::vector<uint32_t> bins_;
+  std::vector<double> escapes_;
+  size_t escape_pos_ = 0;
+  std::vector<std::vector<double>> decoded_;
+};
 
 }  // namespace
 
@@ -93,7 +167,7 @@ Result<BlockHeader> PeekBlockHeader(std::span<const uint8_t> bytes) {
   ByteReader r(bytes);
   uint8_t method_byte = 0;
   MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
-  if (method_byte > 4 || method_byte == 3) {
+  if (!ValidMethodByte(method_byte)) {
     return Status::Corruption("bad block method byte");
   }
   uint64_t s_count = 0;
@@ -112,14 +186,14 @@ Result<LevelModel> PeekBlockLevels(std::span<const uint8_t> bytes) {
   ByteReader r(bytes);
   uint8_t method_byte = 0;
   MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
-  if (method_byte > 4 || method_byte == 3) {
+  if (!ValidMethodByte(method_byte)) {
     return Status::Corruption("bad block method byte");
   }
   uint64_t s_count = 0;
   MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
   const Method method = static_cast<Method>(method_byte);
   LevelModel levels;
-  if (method != Method::kVQ && method != Method::kVQT) return levels;
+  if (!MethodCarriesLevels(method)) return levels;
   MDZ_RETURN_IF_ERROR(r.Get(&levels.mu));
   MDZ_RETURN_IF_ERROR(r.Get(&levels.lambda));
   if (!(levels.lambda > 0.0) || !std::isfinite(levels.mu)) {
@@ -148,8 +222,11 @@ LevelModel FitLevelModel(const std::vector<double>& snapshot,
 }
 
 BlockCodec::BlockCodec(double abs_eb, uint32_t quantization_scale,
-                       CodeLayout layout)
-    : abs_eb_(abs_eb), scale_(quantization_scale), layout_(layout) {}
+                       CodeLayout layout, double eb_split)
+    : abs_eb_(abs_eb),
+      scale_(quantization_scale),
+      layout_(layout),
+      eb_split_(eb_split) {}
 
 EncodedBlock BlockCodec::Encode(Method method,
                                 std::span<const std::vector<double>> buffer,
@@ -158,209 +235,57 @@ EncodedBlock BlockCodec::Encode(Method method,
   MDZ_SPAN("encode_block");
   const size_t s_count = buffer.size();
   const size_t n = s_count == 0 ? 0 : buffer[0].size();
-  const quant::LinearQuantizer quantizer(abs_eb_, scale_);
-  const BlockKernels& kernels = ActiveBlockKernels();
 
-  // Positional code array (s * n + i); methods that process out of
-  // snapshot order (TI) still land codes at their logical position. Escapes
-  // stay in processing order, which encode and decode share.
-  std::vector<uint32_t> bins(s_count * n, 0);
+  // --- Predictor + quantizer stages ----------------------------------------
+  // The bit-adaptive candidate spends only its share of the error budget on
+  // the grid; the grid actually used is serialized into the block below.
+  const double quant_eb =
+      (method == Method::kBitAdaptive) ? abs_eb_ * eb_split_ : abs_eb_;
+  const quant::LinearQuantizer quantizer(quant_eb, scale_);
+  EncodeRowCoder coder(quantizer, buffer, s_count, n);
   std::vector<uint32_t> jcodes;  // level-delta symbols (VQ: all snaps, VQT: 1)
   ByteWriter j_extras;           // escaped level deltas
-  ByteWriter escapes;            // verbatim doubles
-  size_t escape_count = 0;
-
-  std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
-
-  // Scratch rows for the kernel fast paths (VQ level lookup, TI stencil).
-  std::vector<double> pred_scratch(n);
-  std::vector<double> level_scratch(n);
-
-  auto quantize = [&](double value, double pred, size_t s, size_t i) {
-    double dec;
-    const uint32_t code = quantizer.Encode(value, pred, &dec);
-    if (code == 0) {
-      escapes.Put<double>(value);
-      ++escape_count;
-    }
-    decoded[s][i] = dec;
-    bins[s * n + i] = code;
-  };
-
-  // Row-wide fused delta + quantization through the dispatched kernel.
-  // Escapes are appended by scanning the finished code row, which preserves
-  // the i-ascending escape order of the element-wise path.
-  auto quantize_row = [&](size_t s, const double* preds) {
-    uint32_t* row = bins.data() + s * n;
-    kernels.quantize_row(quantizer, buffer[s].data(), preds, n, row,
-                         decoded[s].data());
-    const double* vals = buffer[s].data();
-    for (size_t i = 0; i < n; ++i) {
-      if (row[i] == 0) {
-        escapes.Put<double>(vals[i]);
-        ++escape_count;
-      }
-    }
-  };
-
-  auto encode_vq_snapshot = [&](size_t s) {
-    kernels.vq_predict(buffer[s].data(), n, levels.mu, levels.lambda,
-                       level_scratch.data(), pred_scratch.data());
-    int64_t prev_level = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const int64_t level = static_cast<int64_t>(level_scratch[i]);
-      const uint64_t zz = Zigzag(level - prev_level);
-      prev_level = level;
-      if (zz < kJAlphabet - 1) {
-        jcodes.push_back(static_cast<uint32_t>(zz + 1));
-      } else {
-        jcodes.push_back(0);
-        j_extras.PutVarint(zz);
-      }
-    }
-    quantize_row(s, pred_scratch.data());
-  };
-
-  auto encode_time_snapshot = [&](size_t s, const std::vector<double>& base) {
-    quantize_row(s, base.data());
-  };
-
-  switch (method) {
-    case Method::kVQ: {
-      MDZ_SPAN("predict_vq");
-      for (size_t s = 0; s < s_count; ++s) encode_vq_snapshot(s);
-      break;
-    }
-    case Method::kVQT: {
-      MDZ_SPAN("predict_vqt");
-      if (s_count > 0) encode_vq_snapshot(0);
-      for (size_t s = 1; s < s_count; ++s) {
-        encode_time_snapshot(s, decoded[s - 1]);
-      }
-      break;
-    }
-    case Method::kMT: {
-      MDZ_SPAN("predict_mt");
-      if (s_count > 0) {
-        if (state.has_initial()) {
-          encode_time_snapshot(0, state.initial);
-        } else {
-          // Very first snapshot of the stream: order-1 Lorenzo in space.
-          for (size_t i = 0; i < n; ++i) {
-            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
-            quantize(buffer[0][i], pred, 0, i);
-          }
-        }
-      }
-      for (size_t s = 1; s < s_count; ++s) {
-        encode_time_snapshot(s, decoded[s - 1]);
-      }
-      break;
-    }
-    case Method::kTI: {
-      MDZ_SPAN("predict_ti");
-      if (s_count > 0) {
-        if (state.has_prev_last()) {
-          encode_time_snapshot(0, state.prev_last);  // cross-buffer chain
-        } else if (state.has_initial()) {
-          encode_time_snapshot(0, state.initial);
-        } else {
-          for (size_t i = 0; i < n; ++i) {
-            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
-            quantize(buffer[0][i], pred, 0, i);
-          }
-        }
-      }
-      std::vector<uint8_t> ready(s_count, 0);
-      if (s_count > 0) ready[0] = 1;
-      for (const auto& [t, stride] : InterpolationOrder(s_count)) {
-        const double* preds = TiPredictRow(decoded, ready, t, stride, s_count,
-                                           n, pred_scratch.data());
-        quantize_row(t, preds);
-        ready[t] = 1;
-      }
-      break;
-    }
-    case Method::kAdaptive:
-      // Callers must resolve kAdaptive to a concrete method before Encode.
-      break;
+  auto predictor = MakeEncodePredictor(method, buffer, levels, &jcodes,
+                                       &j_extras);
+  if (predictor != nullptr) {
+    // The encode-side coder cannot fail; Drive's Status is for decode.
+    (void)predictor->Drive(state, coder);
   }
 
-  // --- Entropy + dictionary stages -----------------------------------------
-  // Two candidate encodings of the quantization codes, smallest wins:
-  //  mode 0: Huffman symbols, then the dictionary coder (paper's
-  //          Zstd(Huffman(B)) pipeline) — best for high-entropy codes;
-  //  mode 1: raw u16-packed codes straight into the dictionary coder — best
-  //          when long runs of identical codes dominate (temporally stable
-  //          data in the Seq-2 layout), which bit-packed Huffman would hide.
+  // --- Entropy-stage layout -------------------------------------------------
+  const std::vector<uint32_t>& bins = coder.bins();
   std::vector<uint32_t> laid_storage;
   {
     MDZ_SPAN("reorder");
-    if (method == Method::kTI && s_count > 1) {
+    if (UsesInterpolationLayout(method) && s_count > 1) {
       const std::vector<size_t> perm = TiPermutation(s_count, n);
       laid_storage.resize(bins.size());
       for (size_t k = 0; k < perm.size(); ++k) laid_storage[k] = bins[perm[k]];
     } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
       laid_storage.resize(bins.size());
-      kernels.transpose(bins.data(), s_count, n, laid_storage.data());
+      ActiveBlockKernels().transpose(bins.data(), s_count, n,
+                                     laid_storage.data());
     }
   }
   const std::vector<uint32_t>& laid =
       laid_storage.empty() ? bins : laid_storage;
-  std::vector<uint8_t> jhuff;
-  std::vector<uint8_t> bhuff;
-  {
-    MDZ_SPAN("huffman_encode");
-    if (!jcodes.empty()) jhuff = codec::HuffmanEncode(jcodes, kJAlphabet);
-    bhuff = codec::HuffmanEncode(laid, scale_);
+
+  // --- Encoder + lossless backend ------------------------------------------
+  codec::MainPayload payload;
+  if (method == Method::kBitAdaptive) {
+    payload = codec::BitpackCodeBackend(scale_, kJAlphabet)
+                  .EncodeMain(jcodes, laid);
+  } else {
+    payload = codec::HuffmanLzCodeBackend(scale_, kJAlphabet)
+                  .EncodeMain(jcodes, laid);
   }
 
-  // Run structure only pays off when one code dominates; skip the second
-  // candidate otherwise to keep compression throughput high. The same
-  // histogram pass yields the quantization-bin entropy for telemetry.
-  size_t dominant = 0;
-  double entropy_bits = 0.0;
-  if (!laid.empty()) {
-    std::vector<uint32_t> histogram(scale_, 0);
-    for (uint32_t code : laid) ++histogram[code];
-    const double total = static_cast<double>(laid.size());
-    for (uint32_t count : histogram) {
-      dominant = std::max<size_t>(dominant, count);
-      if (count > 0) {
-        const double p = count / total;
-        entropy_bits -= p * std::log2(p);
-      }
-    }
-  }
-
-  std::vector<uint8_t> main_lz;
   std::vector<uint8_t> side_lz;
-  uint8_t b_mode = 0;
   {
     MDZ_SPAN("lossless_backend");
-    ByteWriter main0;
-    main0.PutBlob(jhuff);
-    main0.PutBytes(bhuff.data(), bhuff.size());
-    main_lz = codec::LzCompress(main0.bytes());
-
-    const bool try_packed =
-        !laid.empty() && dominant * 2 > laid.size() && scale_ <= (1u << 16);
-    if (try_packed) {
-      ByteWriter main1;
-      main1.PutBlob(jhuff);
-      for (uint32_t code : laid) {
-        main1.Put<uint16_t>(static_cast<uint16_t>(code));
-      }
-      std::vector<uint8_t> packed_lz = codec::LzCompress(main1.bytes());
-      if (packed_lz.size() < main_lz.size()) {
-        main_lz = std::move(packed_lz);
-        b_mode = 1;
-      }
-    }
-
     ByteWriter side;
-    side.PutVarint(escape_count);
-    side.PutBytes(escapes.bytes().data(), escapes.size());
+    side.PutVarint(coder.escape_count());
+    side.PutBytes(coder.escapes().bytes().data(), coder.escapes().size());
     side.PutBlob(j_extras.bytes());
     side_lz = codec::LzCompress(side.bytes());
   }
@@ -369,25 +294,28 @@ EncodedBlock BlockCodec::Encode(Method method,
   ByteWriter out;
   out.Put<uint8_t>(static_cast<uint8_t>(method));
   out.PutVarint(s_count);
-  if (method == Method::kVQ || method == Method::kVQT) {
+  if (MethodCarriesLevels(method)) {
     out.Put<double>(levels.mu);
     out.Put<double>(levels.lambda);
   }
-  out.Put<uint8_t>(b_mode);
+  if (method == Method::kBitAdaptive) {
+    out.Put<double>(quant_eb);  // self-describing: decode needs no eb_split
+  }
+  out.Put<uint8_t>(payload.mode);
   out.PutBlob(side_lz);
-  out.PutBlob(main_lz);
+  out.PutBlob(payload.main_lz);
   block.bytes = out.TakeBytes();
-  block.escape_count = escape_count;
-  block.huffman_bytes = jhuff.size() + bhuff.size();
-  block.main_lz_bytes = main_lz.size();
+  block.escape_count = coder.escape_count();
+  block.huffman_bytes = payload.huffman_bytes;
+  block.main_lz_bytes = payload.main_lz.size();
   block.side_lz_bytes = side_lz.size();
-  block.bin_entropy_bits = entropy_bits;
+  block.bin_entropy_bits = payload.entropy_bits;
 
   block.end_state = state;
   if (!state.has_initial() && s_count > 0) {
-    block.end_state.initial = decoded[0];
+    block.end_state.initial = coder.decoded()[0];
   }
-  if (s_count > 0) block.end_state.prev_last = decoded[s_count - 1];
+  if (s_count > 0) block.end_state.prev_last = coder.decoded()[s_count - 1];
   return block;
 }
 
@@ -398,10 +326,13 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
   ByteReader r(bytes);
   uint8_t method_byte = 0;
   MDZ_RETURN_IF_ERROR(r.Get(&method_byte));
-  if (method_byte > 4 || method_byte == 3) {
+  if (!ValidMethodByte(method_byte)) {
     return Status::Corruption("bad block method byte");
   }
   const Method method = static_cast<Method>(method_byte);
+  if (method == Method::kAdaptive) {
+    return Status::Corruption("adaptive method byte in block");
+  }
 
   uint64_t s_count = 0;
   MDZ_RETURN_IF_ERROR(r.GetVarint(&s_count));
@@ -411,7 +342,7 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
   }
 
   LevelModel levels;
-  if (method == Method::kVQ || method == Method::kVQT) {
+  if (MethodCarriesLevels(method)) {
     MDZ_RETURN_IF_ERROR(r.Get(&levels.mu));
     MDZ_RETURN_IF_ERROR(r.Get(&levels.lambda));
     if (!(levels.lambda > 0.0) || !std::isfinite(levels.mu)) {
@@ -420,9 +351,23 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
     levels.valid = true;
   }
 
+  double quant_eb = abs_eb_;
+  if (method == Method::kBitAdaptive) {
+    MDZ_RETURN_IF_ERROR(r.Get(&quant_eb));
+    // The encoder only ever narrows the grid (eb_split <= 1); a recorded
+    // bound looser than the stream's would void the error bound.
+    if (!(quant_eb > 0.0) || !std::isfinite(quant_eb) || quant_eb > abs_eb_) {
+      return Status::Corruption("bad bit-adaptive quantizer bound");
+    }
+  }
+
   uint8_t b_mode = 0;
   MDZ_RETURN_IF_ERROR(r.Get(&b_mode));
-  if (b_mode > 1) return Status::Corruption("bad quant-code mode byte");
+  if (method == Method::kBitAdaptive) {
+    if (b_mode != 2) return Status::Corruption("bad quant-code mode byte");
+  } else if (b_mode > 1) {
+    return Status::Corruption("bad quant-code mode byte");
+  }
 
   std::span<const uint8_t> side_blob, main_blob;
   MDZ_RETURN_IF_ERROR(r.GetBlob(&side_blob));
@@ -443,188 +388,44 @@ Status BlockCodec::Decode(std::span<const uint8_t> bytes, size_t n,
   MDZ_RETURN_IF_ERROR(side.GetBlob(&j_extras_blob));
   ByteReader j_extras(j_extras_blob);
 
-  std::vector<uint8_t> main_bytes;
-  MDZ_RETURN_IF_ERROR(codec::LzDecompress(main_blob, &main_bytes));
-  ByteReader main(main_bytes);
-  std::span<const uint8_t> jhuff_blob;
-  MDZ_RETURN_IF_ERROR(main.GetBlob(&jhuff_blob));
-
   std::vector<uint32_t> jcodes;
-  if (!jhuff_blob.empty()) {
-    MDZ_RETURN_IF_ERROR(codec::HuffmanDecode(jhuff_blob, &jcodes));
-  }
   std::vector<uint32_t> laid;
-  if (b_mode == 0) {
-    const std::span<const uint8_t> bhuff(main_bytes.data() + main.position(),
-                                         main_bytes.size() - main.position());
-    MDZ_RETURN_IF_ERROR(codec::HuffmanDecode(bhuff, &laid));
+  if (method == Method::kBitAdaptive) {
+    MDZ_RETURN_IF_ERROR(
+        codec::BitpackCodeBackend(scale_, kJAlphabet)
+            .DecodeMain(b_mode, main_blob, s_count * n, &jcodes, &laid));
   } else {
-    const size_t count = s_count * n;
-    if (main.remaining() != count * sizeof(uint16_t)) {
-      return Status::Corruption("packed quant code size mismatch");
-    }
-    laid.resize(count);
-    for (size_t i = 0; i < count; ++i) {
-      uint16_t code = 0;
-      MDZ_RETURN_IF_ERROR(main.Get(&code));
-      laid[i] = code;
-    }
+    MDZ_RETURN_IF_ERROR(
+        codec::HuffmanLzCodeBackend(scale_, kJAlphabet)
+            .DecodeMain(b_mode, main_blob, s_count * n, &jcodes, &laid));
   }
-  if (laid.size() != s_count * n) {
-    return Status::Corruption("quantization code count mismatch");
-  }
-  const BlockKernels& kernels = ActiveBlockKernels();
+
   std::vector<uint32_t> bins;
-  if (method == Method::kTI && s_count > 1) {
+  if (UsesInterpolationLayout(method) && s_count > 1) {
     const std::vector<size_t> perm = TiPermutation(s_count, n);
     bins.resize(laid.size());
     for (size_t k = 0; k < perm.size(); ++k) bins[perm[k]] = laid[k];
   } else if (layout_ == CodeLayout::kParticleMajor && s_count > 1) {
     bins.resize(laid.size());
-    kernels.transpose(laid.data(), n, s_count, bins.data());
+    ActiveBlockKernels().transpose(laid.data(), n, s_count, bins.data());
   } else {
-    bins = laid;
+    bins = std::move(laid);
   }
 
-  const size_t expected_j =
-      (method == Method::kVQ) ? s_count * n
-      : (method == Method::kVQT) ? n
-                                 : 0;
-  if (jcodes.size() != expected_j) {
+  if (jcodes.size() != ExpectedJCodes(method, s_count, n)) {
     return Status::Corruption("level-delta code count mismatch");
   }
 
-  const quant::LinearQuantizer quantizer(abs_eb_, scale_);
-  size_t escape_pos = 0;
-  size_t j_pos = 0;
-
-  std::vector<std::vector<double>> decoded(s_count, std::vector<double>(n));
-
-  auto reconstruct = [&](size_t s, size_t i, double pred) -> Status {
-    const uint32_t code = bins[s * n + i];
-    if (code == 0) {
-      if (escape_pos >= escapes.size()) {
-        return Status::Corruption("escape channel exhausted");
-      }
-      decoded[s][i] = escapes[escape_pos++];
-    } else {
-      if (code >= scale_) return Status::Corruption("quant code out of scale");
-      decoded[s][i] = quantizer.Decode(code, pred);
-    }
-    return Status::OK();
-  };
-
-  // Scratch row for predictions (VQ level lookup, TI stencil).
-  std::vector<double> pred_scratch(n);
-
-  // Row-wide dequantization through the dispatched kernel. The fast path
-  // refuses rows containing escapes or corrupt codes; those rows are redone
-  // on the exact element-wise path (escape side channel, corruption Status).
-  auto decode_row = [&](size_t s, const double* preds) -> Status {
-    if (kernels.dequantize_row(quantizer, bins.data() + s * n, preds, n,
-                               decoded[s].data())) {
-      return Status::OK();
-    }
-    for (size_t i = 0; i < n; ++i) {
-      MDZ_RETURN_IF_ERROR(reconstruct(s, i, preds[i]));
-    }
-    return Status::OK();
-  };
-
-  auto decode_vq_snapshot = [&](size_t s) -> Status {
-    int64_t prev_level = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t sym = jcodes[j_pos++];
-      uint64_t zz;
-      if (sym == 0) {
-        MDZ_RETURN_IF_ERROR(j_extras.GetVarint(&zz));
-      } else {
-        zz = sym - 1;
-      }
-      const int64_t level = prev_level + Unzigzag(zz);
-      prev_level = level;
-      pred_scratch[i] = levels.mu + levels.lambda * static_cast<double>(level);
-    }
-    return decode_row(s, pred_scratch.data());
-  };
-
-  auto decode_time_snapshot = [&](size_t s,
-                                  const std::vector<double>& base) -> Status {
-    return decode_row(s, base.data());
-  };
-
-  switch (method) {
-    case Method::kVQ:
-      for (size_t s = 0; s < s_count; ++s) {
-        MDZ_RETURN_IF_ERROR(decode_vq_snapshot(s));
-      }
-      break;
-    case Method::kVQT:
-      MDZ_RETURN_IF_ERROR(decode_vq_snapshot(0));
-      for (size_t s = 1; s < s_count; ++s) {
-        MDZ_RETURN_IF_ERROR(decode_time_snapshot(s, decoded[s - 1]));
-      }
-      break;
-    case Method::kMT:
-      if (state->has_initial()) {
-        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->initial));
-      } else {
-        for (size_t i = 0; i < n; ++i) {
-          const uint32_t code = bins[i];
-          if (code == 0) {
-            if (escape_pos >= escapes.size()) {
-              return Status::Corruption("escape channel exhausted");
-            }
-            decoded[0][i] = escapes[escape_pos++];
-          } else {
-            if (code >= scale_) {
-              return Status::Corruption("quant code out of scale");
-            }
-            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
-            decoded[0][i] = quantizer.Decode(code, pred);
-          }
-        }
-      }
-      for (size_t s = 1; s < s_count; ++s) {
-        MDZ_RETURN_IF_ERROR(decode_time_snapshot(s, decoded[s - 1]));
-      }
-      break;
-    case Method::kTI: {
-      if (state->has_prev_last()) {
-        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->prev_last));
-      } else if (state->has_initial()) {
-        MDZ_RETURN_IF_ERROR(decode_time_snapshot(0, state->initial));
-      } else {
-        for (size_t i = 0; i < n; ++i) {
-          const uint32_t code = bins[i];
-          if (code == 0) {
-            if (escape_pos >= escapes.size()) {
-              return Status::Corruption("escape channel exhausted");
-            }
-            decoded[0][i] = escapes[escape_pos++];
-          } else {
-            if (code >= scale_) {
-              return Status::Corruption("quant code out of scale");
-            }
-            const double pred = (i > 0) ? decoded[0][i - 1] : 0.0;
-            decoded[0][i] = quantizer.Decode(code, pred);
-          }
-        }
-      }
-      std::vector<uint8_t> ready(s_count, 0);
-      ready[0] = 1;
-      for (const auto& [t, stride] : InterpolationOrder(s_count)) {
-        const double* preds = TiPredictRow(decoded, ready, t, stride, s_count,
-                                           n, pred_scratch.data());
-        MDZ_RETURN_IF_ERROR(decode_row(t, preds));
-        ready[t] = 1;
-      }
-      break;
-    }
-    case Method::kAdaptive:
-      return Status::Corruption("adaptive method byte in block");
+  const quant::LinearQuantizer quantizer(quant_eb, scale_);
+  DecodeRowCoder coder(quantizer, std::move(bins), std::move(escapes),
+                       s_count, n);
+  auto predictor = MakeDecodePredictor(method, levels, jcodes, &j_extras);
+  if (predictor == nullptr) {
+    return Status::Corruption("adaptive method byte in block");
   }
+  MDZ_RETURN_IF_ERROR(predictor->Drive(*state, coder));
 
+  std::vector<std::vector<double>>& decoded = coder.mutable_decoded();
   if (!state->has_initial()) {
     state->initial = decoded[0];
   }

@@ -77,14 +77,27 @@ Result<LevelModel> PeekBlockLevels(std::span<const uint8_t> bytes);
 LevelModel FitLevelModel(const std::vector<double>& snapshot,
                          const cluster::LevelFitOptions& options);
 
-// Encodes/decodes one buffer (S snapshots x N values) with one of the three
-// MDZ prediction strategies. Stateless apart from configuration; predictor
+// Encodes/decodes one buffer (S snapshots x N values) with one of the MDZ
+// prediction strategies. Stateless apart from configuration; predictor
 // state is threaded through explicitly so the adaptive selector can trial-
 // compress the same buffer with several methods from the same entry state.
+//
+// Internally this is a thin composition of the pipeline stages
+// (DESIGN.md "Stage boundary"): a Predictor (core/predictors.h) drives
+// per-element predictions, a quant::RowCoder implementation quantizes or
+// reconstructs against them, and a codec::CodeBackend turns the laid-out
+// codes into the dictionary-coded main payload. Each method is one choice
+// of (predictor, quantizer grid, backend); adding an ADP candidate means
+// adding a Method value and its composition here.
 class BlockCodec {
  public:
-  // `abs_eb` is the resolved absolute error bound.
-  BlockCodec(double abs_eb, uint32_t quantization_scale, CodeLayout layout);
+  // `abs_eb` is the resolved absolute error bound. `eb_split` is the
+  // fraction of that budget granted to the bit-adaptive candidate's
+  // quantization grid (Options::eb_split); other methods always spend the
+  // whole budget and ignore it. The grid actually used is recorded in the
+  // block, so decode never needs the knob.
+  BlockCodec(double abs_eb, uint32_t quantization_scale, CodeLayout layout,
+             double eb_split = 1.0);
 
   // Encodes `buffer` with `method`. For VQ/VQT, `levels` must be valid.
   EncodedBlock Encode(Method method,
@@ -106,6 +119,7 @@ class BlockCodec {
   double abs_eb_;
   uint32_t scale_;
   CodeLayout layout_;
+  double eb_split_;
 };
 
 }  // namespace mdz::core::internal

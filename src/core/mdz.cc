@@ -35,13 +35,54 @@ const char* BlocksCounterName(Method method) {
       return "compress/blocks_mt";
     case Method::kTI:
       return "compress/blocks_ti";
+    case Method::kLorenzo2D:
+      return "compress/blocks_l2d";
+    case Method::kBitAdaptive:
+      return "compress/blocks_ba";
     case Method::kAdaptive:
       break;
   }
   return "compress/blocks_unknown";
 }
 
+// Slot of a method in the fixed-order trial-size array reported through
+// obs::BlockTrace::trial_bytes (VQ, VQT, MT, TI, L2D, BA).
+size_t TrialSlot(Method method) {
+  switch (method) {
+    case Method::kVQ:
+      return 0;
+    case Method::kVQT:
+      return 1;
+    case Method::kMT:
+      return 2;
+    case Method::kTI:
+      return 3;
+    case Method::kLorenzo2D:
+      return 4;
+    case Method::kBitAdaptive:
+      return 5;
+    case Method::kAdaptive:
+      break;
+  }
+  return 0;
+}
+
 }  // namespace
+
+bool IsConcreteMethod(Method method) {
+  switch (method) {
+    case Method::kVQ:
+    case Method::kVQT:
+    case Method::kMT:
+    case Method::kTI:
+    case Method::kLorenzo2D:
+    case Method::kBitAdaptive:
+      return true;
+    case Method::kAdaptive:
+      break;
+  }
+  return false;
+}
 
 std::string_view MethodName(Method method) {
   switch (method) {
@@ -55,6 +96,10 @@ std::string_view MethodName(Method method) {
       return "ADP";
     case Method::kTI:
       return "TI";
+    case Method::kLorenzo2D:
+      return "L2D";
+    case Method::kBitAdaptive:
+      return "BA";
   }
   return "Unknown";
 }
@@ -78,6 +123,20 @@ Status Options::Validate() const {
   }
   if (adaptation_interval == 0) {
     return Status::InvalidArgument("adaptation_interval must be >= 1");
+  }
+  if (!(eb_split > 0.0) || eb_split > 1.0) {
+    return Status::InvalidArgument("eb_split must be in (0, 1]");
+  }
+  for (size_t i = 0; i < adp_methods.size(); ++i) {
+    if (!IsConcreteMethod(adp_methods[i])) {
+      return Status::InvalidArgument(
+          "adp_methods entries must be concrete methods");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (adp_methods[j] == adp_methods[i]) {
+        return Status::InvalidArgument("adp_methods entries must be unique");
+      }
+    }
   }
   return Status::OK();
 }
@@ -157,12 +216,14 @@ struct FieldCompressor::Impl {
     MDZ_RETURN_IF_ERROR(EnsureHeader());
     EnsureLevels();
 
-    const BlockCodec codec(abs_eb, options.quantization_scale, options.layout);
+    const BlockCodec codec(abs_eb, options.quantization_scale, options.layout,
+                           options.eb_split);
 
     EncodedBlock chosen;
     Method chosen_method;
     bool adapted = false;
-    std::array<uint64_t, 4> trial_bytes{};  // VQ, VQT, MT, TI
+    // Fixed-slot trial sizes: VQ, VQT, MT, TI, L2D, BA (obs::BlockTrace).
+    std::array<uint64_t, 6> trial_bytes{};
     if (options.method != Method::kAdaptive) {
       chosen_method = options.method;
       chosen = codec.Encode(chosen_method, buffer, state, levels);
@@ -175,17 +236,27 @@ struct FieldCompressor::Impl {
           buffers_since_adaptation >= options.adaptation_interval;
       if (evaluate) {
         // Trial-compress the candidate strategies from the same entry state
-        // and keep the smallest output (paper Section VI-D). TI joins the
-        // candidate set only when explicitly enabled (extension). Each trial
+        // and keep the smallest output (paper Section VI-D). The candidate
+        // set is Options::adp_methods when given, else the paper's three —
+        // TI joins only when explicitly enabled (extension). TI is dropped
+        // from either set on buffers too small for its stencil. Each trial
         // reads `buffer`/`state`/`levels` by const reference and writes only
         // its own EncodedBlock, so the trials are independent and may run
         // concurrently; the fixed candidate order with a first-smallest
         // tie-break keeps the winner — and therefore the stream —
         // byte-identical to a serial evaluation.
-        std::vector<Method> candidates = {Method::kVQ, Method::kVQT,
-                                          Method::kMT};
-        if (options.enable_interpolation && buffer.size() > 2) {
-          candidates.push_back(Method::kTI);
+        std::vector<Method> candidates;
+        if (!options.adp_methods.empty()) {
+          for (Method m : options.adp_methods) {
+            if (m == Method::kTI && buffer.size() <= 2) continue;
+            candidates.push_back(m);
+          }
+          if (candidates.empty()) candidates.push_back(Method::kMT);
+        } else {
+          candidates = {Method::kVQ, Method::kVQT, Method::kMT};
+          if (options.enable_interpolation && buffer.size() > 2) {
+            candidates.push_back(Method::kTI);
+          }
         }
         std::vector<EncodedBlock> trials(candidates.size());
         const auto encode_trial = [&](size_t k) {
@@ -204,9 +275,8 @@ struct FieldCompressor::Impl {
           if (trials[k].bytes.size() < trials[best].bytes.size()) best = k;
         }
         adapted = true;
-        // Candidate order matches the trace schema's (VQ, VQT, MT, TI).
-        for (size_t k = 0; k < trials.size() && k < trial_bytes.size(); ++k) {
-          trial_bytes[k] = trials[k].bytes.size();
+        for (size_t k = 0; k < trials.size(); ++k) {
+          trial_bytes[TrialSlot(candidates[k])] = trials[k].bytes.size();
         }
         chosen = std::move(trials[best]);
         chosen_method = candidates[best];
@@ -246,6 +316,12 @@ struct FieldCompressor::Impl {
         break;
       case Method::kTI:
         ++stats.blocks_ti;
+        break;
+      case Method::kLorenzo2D:
+        ++stats.blocks_l2d;
+        break;
+      case Method::kBitAdaptive:
+        ++stats.blocks_ba;
         break;
       case Method::kAdaptive:
         break;  // never a concrete block method

@@ -30,7 +30,15 @@ enum class Method : uint8_t {
   // buffer (SZ3-style two-sided prediction). Off by default for ADP; see
   // Options::enable_interpolation.
   kTI = 4,
+  // Extensions (not in the paper): opt-in ADP candidates; see
+  // Options::adp_methods and docs/FORMAT.md's method-byte registry.
+  kLorenzo2D = 5,    // order-1 Lorenzo over the (snapshot x particle) plane
+  kBitAdaptive = 6,  // time prediction + per-sub-block bit-adaptive packing
 };
+
+// True for methods that can appear as a block/frame method byte (everything
+// except the kAdaptive selector).
+bool IsConcreteMethod(Method method);
 
 std::string_view MethodName(Method method);
 
@@ -59,6 +67,22 @@ struct Options {
   // Off by default so the adaptive selector matches the paper's VQ/VQT/MT
   // design; turn on for maximum ratio on temporally smooth data.
   bool enable_interpolation = false;
+  // ADP trial-candidate allow-list. Empty means the paper's set: VQ, VQT,
+  // MT, plus TI when enable_interpolation is on and the buffer is large
+  // enough. Entries must be concrete methods (not kAdaptive) and unique;
+  // the list order is the trial order, and with the first-smallest
+  // tie-break it fully determines the stream — the same list always
+  // reproduces the same bytes at any thread count. This IS part of the
+  // stream format in that sense: resuming a sealed ADP stream
+  // (ArchiveWriter::Reopen, mdz append) must use the list it was written
+  // with.
+  std::vector<Method> adp_methods;
+  // Fraction of the absolute error bound granted to the bit-adaptive
+  // candidate's quantization grid, in (0, 1] (the HRTC-style error-budget
+  // split between prediction and quantization error). 1.0 spends the whole
+  // budget on the grid; smaller values buy downstream accuracy headroom at
+  // the cost of wider codes. Ignored by every other method.
+  double eb_split = 1.0;
   cluster::LevelFitOptions level_fit;   // VQ level-detection knobs
   // Optional, non-owning: when set, ADP runs its trial encodes concurrently
   // on this pool. The candidate order and smallest-output tie-break are
@@ -93,12 +117,13 @@ struct CompressorStats {
   Method current_method = Method::kVQ;
 
   // Per-method block counters (which predictor actually won each buffer;
-  // Fig. 10/11 material). blocks_vq+blocks_vqt+blocks_mt+blocks_ti ==
-  // buffers_out.
+  // Fig. 10/11 material). They sum to buffers_out.
   size_t blocks_vq = 0;
   size_t blocks_vqt = 0;
   size_t blocks_mt = 0;
   size_t blocks_ti = 0;
+  size_t blocks_l2d = 0;
+  size_t blocks_ba = 0;
 
   // Where the compressed bytes went, by pipeline stage. huffman_bytes is the
   // entropy-stage output *before* the dictionary coder (so it does not sum

@@ -1,0 +1,374 @@
+#include "core/predictors.h"
+
+#include <utility>
+
+#include "core/block_kernels.h"
+#include "obs/span.h"
+
+namespace mdz::core::internal {
+
+namespace {
+
+// Level-index delta alphabet: symbol 0 escapes to a varint side channel,
+// symbols 1..kJAlphabet-1 encode zigzag(delta) inline.
+constexpr uint32_t kJAlphabet = 1024;
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// Interpolation processing order for the TI method: snapshot 0 first (coded
+// by the caller), then midpoints level by level with halving stride.
+// Identical on encode and decode.
+std::vector<std::pair<size_t, size_t>> InterpolationOrder(size_t s_count) {
+  std::vector<std::pair<size_t, size_t>> order;
+  if (s_count <= 1) return order;
+  size_t top = 1;
+  while (top * 2 < s_count) top *= 2;
+  for (size_t stride = top; stride >= 1; stride /= 2) {
+    for (size_t t = stride; t < s_count; t += 2 * stride) {
+      order.emplace_back(t, stride);
+    }
+    if (stride == 1) break;
+  }
+  return order;
+}
+
+// Spline prediction for the TI method from already-decoded snapshots:
+// cubic when the 4-anchor stencil exists, linear with both neighbors,
+// previous-anchor extrapolation at the right border. The stencil choice is
+// uniform in i, so prediction is computed a row at a time: returns either a
+// previously decoded row directly or `scratch` filled with the stencil.
+const double* TiPredictRow(const std::vector<std::vector<double>>& decoded,
+                           const std::vector<uint8_t>& ready, size_t t,
+                           size_t stride, size_t s_count, size_t n,
+                           double* scratch) {
+  const bool has_right = (t + stride < s_count) && ready[t + stride];
+  if (!has_right) return decoded[t - stride].data();
+  const bool has_far_left = (t >= 3 * stride) && ready[t - 3 * stride];
+  const bool has_far_right =
+      (t + 3 * stride < s_count) && ready[t + 3 * stride];
+  const double* b = decoded[t - stride].data();
+  const double* c = decoded[t + stride].data();
+  if (has_far_left && has_far_right) {
+    const double* a = decoded[t - 3 * stride].data();
+    const double* d = decoded[t + 3 * stride].data();
+    for (size_t i = 0; i < n; ++i) {
+      scratch[i] = (-a[i] + 9.0 * b[i] + 9.0 * c[i] - d[i]) / 16.0;
+    }
+    return scratch;
+  }
+  for (size_t i = 0; i < n; ++i) scratch[i] = 0.5 * (b[i] + c[i]);
+  return scratch;
+}
+
+// First row of a block without cross-buffer context — the stream's very
+// first snapshot: order-1 Lorenzo in space, element-wise because each
+// prediction reads the just-coded left neighbor.
+Status CodeSpatialFirstRow(quant::RowCoder& coder) {
+  const size_t n = coder.row_len();
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = (i > 0) ? coder.decoded()[0][i - 1] : 0.0;
+    MDZ_RETURN_IF_ERROR(coder.CodeElement(0, i, pred));
+  }
+  return Status::OK();
+}
+
+// Row 0 of a time-predicted block (MT family): the stream's initial
+// snapshot when known, spatial Lorenzo otherwise. With `chain` set (TI),
+// the previous buffer's last row takes precedence over the initial.
+Status CodeFirstRow(const PredictorState& state, quant::RowCoder& coder,
+                    bool chain) {
+  if (chain && state.has_prev_last()) {
+    return coder.CodeRow(0, state.prev_last.data());
+  }
+  if (state.has_initial()) {
+    return coder.CodeRow(0, state.initial.data());
+  }
+  return CodeSpatialFirstRow(coder);
+}
+
+// --- VQ family --------------------------------------------------------------
+
+// Encode side: derives the level index of every value from the raw data via
+// the kernel lookup, emits the zigzag level deltas into the J stream, and
+// predicts each value at its level's grid position. `vq_all_rows` selects
+// VQ (every snapshot) vs VQT (snapshot 0 only, time prediction after).
+class VqEncodePredictor : public Predictor {
+ public:
+  VqEncodePredictor(std::span<const std::vector<double>> buffer,
+                    const LevelModel& levels, bool vq_all_rows,
+                    std::vector<uint32_t>* jcodes, ByteWriter* j_extras)
+      : buffer_(buffer),
+        levels_(levels),
+        vq_all_rows_(vq_all_rows),
+        jcodes_(jcodes),
+        j_extras_(j_extras) {}
+
+  Status Drive(const PredictorState& state, quant::RowCoder& coder) override {
+    (void)state;
+    const size_t s_count = coder.rows();
+    const size_t n = coder.row_len();
+    std::vector<double> levels_scratch(n);
+    std::vector<double> pred_scratch(n);
+    const BlockKernels& kernels = ActiveBlockKernels();
+
+    auto code_vq_row = [&](size_t s) -> Status {
+      kernels.vq_predict(buffer_[s].data(), n, levels_.mu, levels_.lambda,
+                         levels_scratch.data(), pred_scratch.data());
+      int64_t prev_level = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t level = static_cast<int64_t>(levels_scratch[i]);
+        const uint64_t zz = Zigzag(level - prev_level);
+        prev_level = level;
+        if (zz < kJAlphabet - 1) {
+          jcodes_->push_back(static_cast<uint32_t>(zz + 1));
+        } else {
+          jcodes_->push_back(0);
+          j_extras_->PutVarint(zz);
+        }
+      }
+      return coder.CodeRow(s, pred_scratch.data());
+    };
+
+    if (vq_all_rows_) {
+      MDZ_SPAN("predict_vq");
+      for (size_t s = 0; s < s_count; ++s) {
+        MDZ_RETURN_IF_ERROR(code_vq_row(s));
+      }
+      return Status::OK();
+    }
+    MDZ_SPAN("predict_vqt");
+    if (s_count > 0) MDZ_RETURN_IF_ERROR(code_vq_row(0));
+    for (size_t s = 1; s < s_count; ++s) {
+      MDZ_RETURN_IF_ERROR(coder.CodeRow(s, coder.decoded()[s - 1].data()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::span<const std::vector<double>> buffer_;
+  LevelModel levels_;
+  bool vq_all_rows_;
+  std::vector<uint32_t>* jcodes_;
+  ByteWriter* j_extras_;
+};
+
+// Decode side: replays the level-delta stream to reproduce the encoder's
+// grid predictions exactly.
+class VqDecodePredictor : public Predictor {
+ public:
+  VqDecodePredictor(const LevelModel& levels, bool vq_all_rows,
+                    const std::vector<uint32_t>& jcodes, ByteReader* j_extras)
+      : levels_(levels),
+        vq_all_rows_(vq_all_rows),
+        jcodes_(jcodes),
+        j_extras_(j_extras) {}
+
+  Status Drive(const PredictorState& state, quant::RowCoder& coder) override {
+    (void)state;
+    const size_t s_count = coder.rows();
+    const size_t n = coder.row_len();
+    std::vector<double> pred_scratch(n);
+
+    auto code_vq_row = [&](size_t s) -> Status {
+      int64_t prev_level = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (j_pos_ >= jcodes_.size()) {
+          return Status::Corruption("level-delta code stream exhausted");
+        }
+        const uint32_t sym = jcodes_[j_pos_++];
+        uint64_t zz;
+        if (sym == 0) {
+          MDZ_RETURN_IF_ERROR(j_extras_->GetVarint(&zz));
+        } else {
+          zz = sym - 1;
+        }
+        const int64_t level = prev_level + Unzigzag(zz);
+        prev_level = level;
+        pred_scratch[i] =
+            levels_.mu + levels_.lambda * static_cast<double>(level);
+      }
+      return coder.CodeRow(s, pred_scratch.data());
+    };
+
+    if (vq_all_rows_) {
+      for (size_t s = 0; s < s_count; ++s) {
+        MDZ_RETURN_IF_ERROR(code_vq_row(s));
+      }
+      return Status::OK();
+    }
+    MDZ_RETURN_IF_ERROR(code_vq_row(0));
+    for (size_t s = 1; s < s_count; ++s) {
+      MDZ_RETURN_IF_ERROR(coder.CodeRow(s, coder.decoded()[s - 1].data()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  LevelModel levels_;
+  bool vq_all_rows_;
+  const std::vector<uint32_t>& jcodes_;
+  ByteReader* j_extras_;
+  size_t j_pos_ = 0;
+};
+
+// --- Time prediction (MT and the bit-adaptive candidate) --------------------
+
+// Side-independent: predictions are pure functions of the cross-buffer state
+// and previously reconstructed rows, so one class drives both encode and
+// decode. The bit-adaptive method shares this predictor and differs only in
+// its quantizer grid and encoder backend.
+class TimePredictor : public Predictor {
+ public:
+  explicit TimePredictor(const char* span_name) : span_name_(span_name) {}
+
+  Status Drive(const PredictorState& state, quant::RowCoder& coder) override {
+    MDZ_SPAN(span_name_);
+    const size_t s_count = coder.rows();
+    if (s_count > 0) {
+      MDZ_RETURN_IF_ERROR(CodeFirstRow(state, coder, /*chain=*/false));
+    }
+    for (size_t s = 1; s < s_count; ++s) {
+      MDZ_RETURN_IF_ERROR(coder.CodeRow(s, coder.decoded()[s - 1].data()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const char* span_name_;
+};
+
+// --- 2-D Lorenzo over the (snapshot x particle) plane -----------------------
+
+// Order-1 Lorenzo in both dimensions: each value is predicted from its
+// reconstructed time, space, and corner neighbors. Element-wise by nature —
+// the space term reads the current row's just-coded left neighbor — so it
+// trades encode throughput for ratio on fields where spatial and temporal
+// structure combine (the trial loop decides whether that pays).
+class Lorenzo2DPredictor : public Predictor {
+ public:
+  Status Drive(const PredictorState& state, quant::RowCoder& coder) override {
+    MDZ_SPAN("predict_l2d");
+    const size_t s_count = coder.rows();
+    const size_t n = coder.row_len();
+    if (s_count > 0) {
+      MDZ_RETURN_IF_ERROR(CodeFirstRow(state, coder, /*chain=*/false));
+    }
+    const auto& decoded = coder.decoded();
+    for (size_t t = 1; t < s_count; ++t) {
+      for (size_t i = 0; i < n; ++i) {
+        const double up = decoded[t - 1][i];
+        const double pred =
+            (i > 0) ? up + decoded[t][i - 1] - decoded[t - 1][i - 1] : up;
+        MDZ_RETURN_IF_ERROR(coder.CodeElement(t, i, pred));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// --- Temporal interpolation -------------------------------------------------
+
+class TiPredictor : public Predictor {
+ public:
+  Status Drive(const PredictorState& state, quant::RowCoder& coder) override {
+    MDZ_SPAN("predict_ti");
+    const size_t s_count = coder.rows();
+    const size_t n = coder.row_len();
+    if (s_count > 0) {
+      MDZ_RETURN_IF_ERROR(CodeFirstRow(state, coder, /*chain=*/true));
+    }
+    std::vector<double> scratch(n);
+    std::vector<uint8_t> ready(s_count, 0);
+    if (s_count > 0) ready[0] = 1;
+    for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+      const double* preds = TiPredictRow(coder.decoded(), ready, t, stride,
+                                         s_count, n, scratch.data());
+      MDZ_RETURN_IF_ERROR(coder.CodeRow(t, preds));
+      ready[t] = 1;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+size_t ExpectedJCodes(Method method, size_t s_count, size_t n) {
+  switch (method) {
+    case Method::kVQ:
+      return s_count * n;
+    case Method::kVQT:
+      return n;
+    default:
+      return 0;
+  }
+}
+
+bool UsesInterpolationLayout(Method method) { return method == Method::kTI; }
+
+std::vector<size_t> TiPermutation(size_t s_count, size_t n) {
+  std::vector<size_t> perm;
+  perm.reserve(s_count * n);
+  for (size_t i = 0; i < n; ++i) perm.push_back(i);
+  for (const auto& [t, stride] : InterpolationOrder(s_count)) {
+    (void)stride;
+    for (size_t i = 0; i < n; ++i) perm.push_back(t * n + i);
+  }
+  return perm;
+}
+
+std::unique_ptr<Predictor> MakeEncodePredictor(
+    Method method, std::span<const std::vector<double>> buffer,
+    const LevelModel& levels, std::vector<uint32_t>* jcodes,
+    ByteWriter* j_extras) {
+  switch (method) {
+    case Method::kVQ:
+      return std::make_unique<VqEncodePredictor>(buffer, levels, true, jcodes,
+                                                 j_extras);
+    case Method::kVQT:
+      return std::make_unique<VqEncodePredictor>(buffer, levels, false, jcodes,
+                                                 j_extras);
+    case Method::kMT:
+      return std::make_unique<TimePredictor>("predict_mt");
+    case Method::kTI:
+      return std::make_unique<TiPredictor>();
+    case Method::kLorenzo2D:
+      return std::make_unique<Lorenzo2DPredictor>();
+    case Method::kBitAdaptive:
+      return std::make_unique<TimePredictor>("predict_ba");
+    case Method::kAdaptive:
+      break;  // callers resolve kAdaptive before reaching the codec
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Predictor> MakeDecodePredictor(
+    Method method, const LevelModel& levels,
+    const std::vector<uint32_t>& jcodes, ByteReader* j_extras) {
+  switch (method) {
+    case Method::kVQ:
+      return std::make_unique<VqDecodePredictor>(levels, true, jcodes,
+                                                 j_extras);
+    case Method::kVQT:
+      return std::make_unique<VqDecodePredictor>(levels, false, jcodes,
+                                                 j_extras);
+    case Method::kMT:
+      return std::make_unique<TimePredictor>("predict_mt");
+    case Method::kTI:
+      return std::make_unique<TiPredictor>();
+    case Method::kLorenzo2D:
+      return std::make_unique<Lorenzo2DPredictor>();
+    case Method::kBitAdaptive:
+      return std::make_unique<TimePredictor>("predict_ba");
+    case Method::kAdaptive:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace mdz::core::internal

@@ -1,0 +1,64 @@
+#ifndef MDZ_CORE_PREDICTORS_H_
+#define MDZ_CORE_PREDICTORS_H_
+
+// The predictor stage of the block codec (SZ3-style composable pipeline,
+// DESIGN.md "Stage boundary"). A Predictor walks the (snapshot x
+// particle) plane in its method's processing order and feeds predictions to
+// a quant::RowCoder — the quantizer seam — which is implemented by the
+// encode driver (quantize + escape side channel) and the decode driver
+// (reconstruct from codes). Model-based methods (the VQ family) have
+// distinct encode/decode implementations because the level-delta stream is
+// derived from raw data on one side and replayed on the other; everything
+// else is one class driven identically on both sides, which is what makes
+// encoder/decoder divergence structurally impossible for those methods.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/block_codec.h"
+#include "quant/row_coder.h"
+#include "util/byte_buffer.h"
+
+namespace mdz::core::internal {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  // Drives prediction for the whole block through `coder`, in the method's
+  // processing order. `state` carries the cross-buffer predictor snapshots
+  // (stream initial, previous buffer's last row).
+  virtual Status Drive(const PredictorState& state, quant::RowCoder& coder) = 0;
+};
+
+// Number of level-delta (J) symbols `method` contributes for an S x N block:
+// the validation contract between the predictor and the encoder backend.
+size_t ExpectedJCodes(Method method, size_t s_count, size_t n);
+
+// TI blocks lay their codes out in interpolation processing order (each
+// stride level forms a homogeneous region for the dictionary coder); every
+// other method uses the codec's configured Seq layout.
+bool UsesInterpolationLayout(Method method);
+
+// Positional index permutation of the TI processing order.
+std::vector<size_t> TiPermutation(size_t s_count, size_t n);
+
+// Encode-side factory. `buffer` is the raw block; VQ-family predictors
+// derive the level grid codes from it into *jcodes / *j_extras. `method`
+// must be concrete (not kAdaptive).
+std::unique_ptr<Predictor> MakeEncodePredictor(
+    Method method, std::span<const std::vector<double>> buffer,
+    const LevelModel& levels, std::vector<uint32_t>* jcodes,
+    ByteWriter* j_extras);
+
+// Decode-side factory. VQ-family predictors replay the level-delta stream
+// from `jcodes` / *j_extras; both must outlive the predictor.
+std::unique_ptr<Predictor> MakeDecodePredictor(
+    Method method, const LevelModel& levels,
+    const std::vector<uint32_t>& jcodes, ByteReader* j_extras);
+
+}  // namespace mdz::core::internal
+
+#endif  // MDZ_CORE_PREDICTORS_H_

@@ -22,7 +22,8 @@ void TraceSink::Record(const BlockTrace& t) {
       "{\"axis\":%d,\"block\":%llu,\"method\":\"%s\",\"snapshots\":%llu,"
       "\"bytes\":%llu,\"escapes\":%llu,\"entropy_bits\":%.6g,"
       "\"adapted\":%s,\"trial_vq\":%llu,\"trial_vqt\":%llu,"
-      "\"trial_mt\":%llu,\"trial_ti\":%llu}\n",
+      "\"trial_mt\":%llu,\"trial_ti\":%llu,\"trial_l2d\":%llu,"
+      "\"trial_ba\":%llu}\n",
       t.axis, static_cast<unsigned long long>(t.block_index), t.method,
       static_cast<unsigned long long>(t.snapshots),
       static_cast<unsigned long long>(t.block_bytes),
@@ -31,7 +32,9 @@ void TraceSink::Record(const BlockTrace& t) {
       static_cast<unsigned long long>(t.trial_bytes[0]),
       static_cast<unsigned long long>(t.trial_bytes[1]),
       static_cast<unsigned long long>(t.trial_bytes[2]),
-      static_cast<unsigned long long>(t.trial_bytes[3]));
+      static_cast<unsigned long long>(t.trial_bytes[3]),
+      static_cast<unsigned long long>(t.trial_bytes[4]),
+      static_cast<unsigned long long>(t.trial_bytes[5]));
   if (written < 0) {
     write_error_ = true;
   } else {

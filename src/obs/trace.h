@@ -18,8 +18,9 @@
 
 namespace mdz::obs {
 
-// One flushed buffer. `trial_bytes` follows the ADP candidate order
-// (VQ, VQT, MT, TI); entries stay 0 for flushes that ran no trials.
+// One flushed buffer. `trial_bytes` uses fixed per-method slots
+// (VQ, VQT, MT, TI, L2D, BA); entries stay 0 for flushes that ran no
+// trials and for methods outside the candidate set.
 struct BlockTrace {
   int axis = -1;               // axis label (-1 when the caller sets none)
   uint64_t block_index = 0;    // per-stream flush ordinal, 0-based
@@ -29,7 +30,7 @@ struct BlockTrace {
   uint64_t escape_count = 0;   // values stored verbatim
   double bin_entropy_bits = 0.0;  // Shannon entropy of the quant codes
   bool adapted = false;        // this flush ran ADP trial encodes
-  std::array<uint64_t, 4> trial_bytes{};
+  std::array<uint64_t, 6> trial_bytes{};
 };
 
 // Thread-safe JSONL writer (one mutex-guarded line per Record call; per-axis

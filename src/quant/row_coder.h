@@ -1,0 +1,53 @@
+#ifndef MDZ_QUANT_ROW_CODER_H_
+#define MDZ_QUANT_ROW_CODER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdz::quant {
+
+// The quantizer seam of the block codec (SZ3-style stage boundary): a
+// prediction-relative grid over an S x N block of doubles, driven one row —
+// or, for raster-order predictors that read the current row's left
+// neighbors, one element — at a time.
+//
+// A predictor drives the same RowCoder calls in the same processing order on
+// both sides of the codec without knowing which side it is on: the encode
+// driver quantizes raw values against the predictions (filling the escape
+// side channel), the decode driver reconstructs from the code array. Both
+// expose the reconstructed rows completed so far through decoded(), which is
+// the only data predictors may read back — predictions must be functions of
+// reconstructed values, or encoder and decoder would diverge.
+class RowCoder {
+ public:
+  virtual ~RowCoder() = default;
+
+  // Codes row t against per-element predictions preds[0..row_len). The
+  // row-wide form is the kernel fast path (core/block_kernels); predictors
+  // should prefer it whenever the whole prediction row is known up front.
+  virtual Status CodeRow(size_t t, const double* preds) = 0;
+
+  // Codes element (t, i) against pred. Elements of a row must be coded in
+  // ascending i; decoded()[t][0..i) is valid during the call, which is what
+  // lets Lorenzo-style predictors use the just-coded left neighbor.
+  virtual Status CodeElement(size_t t, size_t i, double pred) = 0;
+
+  // Reconstructed rows. decoded()[t] is complete once row t has been coded.
+  virtual const std::vector<std::vector<double>>& decoded() const = 0;
+
+  size_t rows() const { return rows_; }
+  size_t row_len() const { return row_len_; }
+
+ protected:
+  RowCoder(size_t rows, size_t row_len) : rows_(rows), row_len_(row_len) {}
+
+ private:
+  size_t rows_;
+  size_t row_len_;
+};
+
+}  // namespace mdz::quant
+
+#endif  // MDZ_QUANT_ROW_CODER_H_

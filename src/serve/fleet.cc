@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "archive/writer.h"
@@ -138,6 +139,15 @@ Result<ArchiveFleet::AppendResult> ArchiveFleet::Append(
       if (s.axes[axis].size() != particles) {
         return Status::InvalidArgument(
             "append snapshots have inconsistent particle counts");
+      }
+      // A remote client's NaN/Inf would otherwise be quantized into the
+      // archive (the error bound is meaningless for non-finite values) and
+      // poison every later prediction that references the snapshot.
+      for (const double v : s.axes[axis]) {
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument(
+              "append snapshots contain non-finite coordinates");
+        }
       }
     }
   }

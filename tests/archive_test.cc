@@ -100,9 +100,11 @@ void FlipByteAt(const std::string& path, long offset) {
 
 TEST(ArchiveV2, RangeReadsMatchFullDecodeForEveryMethod) {
   const core::Trajectory traj = MakeWalkTrajectory(37, 60, 11);
-  const core::Method methods[] = {core::Method::kVQ, core::Method::kVQT,
-                                  core::Method::kMT, core::Method::kTI,
-                                  core::Method::kAdaptive};
+  const core::Method methods[] = {
+      core::Method::kVQ,       core::Method::kVQT,
+      core::Method::kMT,       core::Method::kTI,
+      core::Method::kLorenzo2D, core::Method::kBitAdaptive,
+      core::Method::kAdaptive};
   for (const core::Method method : methods) {
     const auto data = Compress(traj, method);
     const core::Trajectory full = FullDecode(data);

@@ -69,7 +69,8 @@ TEST(BlockCodecTest, AllMethodsDecodeWithoutPriorState) {
   const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
   const auto buffer = MakeBuffer(10, 128, 1);
   for (Method method :
-       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI,
+        Method::kLorenzo2D, Method::kBitAdaptive}) {
     ExpectDecodesWithinBound(codec, method, buffer, PredictorState(), 0.01);
   }
 }
@@ -80,7 +81,8 @@ TEST(BlockCodecTest, AllMethodsDecodeWithInitialState) {
   PredictorState state;
   state.initial.assign(128, 5.0);
   for (Method method :
-       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI,
+        Method::kLorenzo2D, Method::kBitAdaptive}) {
     ExpectDecodesWithinBound(codec, method, buffer, state, 0.01);
   }
 }
@@ -122,7 +124,8 @@ TEST(BlockCodecTest, SingleSnapshotBufferSkipsTransposition) {
   const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
   const auto buffer = MakeBuffer(1, 77, 6);
   for (Method method :
-       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+       {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI,
+        Method::kLorenzo2D, Method::kBitAdaptive}) {
     ExpectDecodesWithinBound(codec, method, buffer, PredictorState(), 0.01);
   }
 }
@@ -169,13 +172,19 @@ TEST(BlockCodecTest, HugeLevelIndicesUseEscapeChannel) {
 TEST(BlockCodecTest, DecodeRejectsBadMethodByte) {
   const BlockCodec codec(0.01, 1024, CodeLayout::kParticleMajor);
   const auto buffer = MakeBuffer(4, 16, 10);
-  EncodedBlock block =
+  const EncodedBlock block =
       codec.Encode(Method::kVQ, buffer, PredictorState(), UnitLevels());
-  block.bytes[0] = 9;  // invalid method
-  PredictorState state;
-  std::vector<std::vector<double>> decoded;
-  EXPECT_EQ(codec.Decode(block.bytes, 16, &state, &decoded).code(),
-            StatusCode::kCorruption);
+  // 3 is kAdaptive (never serialized), 7 is the first reserved byte past the
+  // concrete methods, 9 and 255 are garbage.
+  for (uint8_t bad : {uint8_t{3}, uint8_t{7}, uint8_t{9}, uint8_t{255}}) {
+    std::vector<uint8_t> bytes = block.bytes;
+    bytes[0] = bad;
+    PredictorState state;
+    std::vector<std::vector<double>> decoded;
+    EXPECT_EQ(codec.Decode(bytes, 16, &state, &decoded).code(),
+              StatusCode::kCorruption)
+        << "method byte " << static_cast<int>(bad);
+  }
 }
 
 TEST(BlockCodecTest, DecodeRejectsWrongParticleCount) {
@@ -496,7 +505,8 @@ TEST(BlockCodecTest, EncodeDecodeByteIdenticalAcrossVariants) {
       const BlockCodec codec(c.eb, c.scale, layout);
       const auto buffer = MakeBuffer(c.s, c.n, c.s * 100 + c.n, c.step);
       for (Method method :
-           {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI}) {
+           {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI,
+        Method::kLorenzo2D, Method::kBitAdaptive}) {
         EncodedBlock reference;
         std::vector<std::vector<double>> ref_decoded;
         {
@@ -575,6 +585,103 @@ TEST(BlockCodecTest, CompressFieldByteIdenticalAcrossVariantsAndThreads) {
             << k->name << " threads=" << threads << " t=" << t;
       }
     }
+  }
+}
+
+// Adversarial inputs for the error-bound property: exact-zero and constant
+// blocks (zero-width bitpack sub-blocks), denormal magnitudes, and a
+// melted-lattice LJ trajectory where particles teleport between cells so the
+// escape channel and wide bitpack sub-blocks both engage.
+std::vector<std::vector<double>> MakeAdversarialBuffer(int kind, size_t s,
+                                                       size_t n,
+                                                       uint64_t seed) {
+  std::vector<std::vector<double>> buffer(s, std::vector<double>(n));
+  Rng rng(seed);
+  switch (kind) {
+    case 0:  // constant block, including snapshot-to-snapshot identity
+      for (auto& row : buffer) {
+        for (size_t i = 0; i < n; ++i) row[i] = 3.25;
+      }
+      break;
+    case 1:  // denormals and tiny magnitudes straddling zero
+      for (auto& row : buffer) {
+        for (size_t i = 0; i < n; ++i) {
+          row[i] = rng.Uniform(-1.0, 1.0) * 5e-324 * double(1ull << (i % 60));
+        }
+      }
+      break;
+    default:  // melted lattice: vibrating sites plus occasional teleports
+      for (size_t t = 0; t < s; ++t) {
+        for (size_t i = 0; i < n; ++i) {
+          const double site = static_cast<double>(i % 13) * 1.7;
+          double v = site + rng.Gaussian(0.0, 0.05);
+          if (rng.Uniform(0.0, 1.0) < 0.02) v += rng.Uniform(-40.0, 40.0);
+          buffer[t][i] = v;
+        }
+      }
+      break;
+  }
+  return buffer;
+}
+
+TEST(BlockCodecTest, CandidatesRespectBoundOnAdversarialBlocks) {
+  for (int kind : {0, 1, 2}) {
+    const auto buffer = MakeAdversarialBuffer(kind, 9, 130, 77 + kind);
+    for (double eb : {1e-2, 1e-6}) {
+      const BlockCodec codec(eb, 1024, CodeLayout::kParticleMajor);
+      for (Method method :
+           {Method::kVQ, Method::kVQT, Method::kMT, Method::kTI,
+            Method::kLorenzo2D, Method::kBitAdaptive}) {
+        ExpectDecodesWithinBound(codec, method, buffer, PredictorState(), eb);
+      }
+    }
+  }
+}
+
+TEST(BlockCodecTest, BitAdaptiveEbSplitStaysWithinFullBound) {
+  // eb_split tightens only the quantizer grid; reconstruction error must stay
+  // within the advertised (full) bound for any split in (0, 1].
+  const auto buffer = MakeAdversarialBuffer(2, 12, 200, 5);
+  for (double split : {0.25, 0.5, 1.0}) {
+    const BlockCodec codec(1e-3, 1024, CodeLayout::kParticleMajor, split);
+    ExpectDecodesWithinBound(codec, Method::kBitAdaptive, buffer,
+                             PredictorState(), 1e-3);
+  }
+}
+
+TEST(BlockCodecTest, AdpWithNewCandidatesByteIdenticalAcrossThreads) {
+  // The grown trial set must keep the fixed-order first-smallest tie-break:
+  // the stream is a pure function of the data, never of the thread count.
+  const auto field = MakeBuffer(40, 257, 123);
+  Options options;
+  options.error_bound = 1e-4;
+  options.error_bound_mode = ErrorBoundMode::kAbsolute;
+  options.buffer_size = 8;
+  options.adaptation_interval = 2;
+  options.adp_methods = {Method::kVQ,  Method::kVQT,      Method::kMT,
+                         Method::kTI,  Method::kLorenzo2D, Method::kBitAdaptive};
+
+  std::vector<uint8_t> ref_bytes;
+  {
+    auto compressed = CompressField(field, options);
+    ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+    ref_bytes = std::move(compressed).value();
+  }
+  auto decompressed = DecompressField(ref_bytes);
+  ASSERT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+  for (size_t t = 0; t < field.size(); ++t) {
+    for (size_t i = 0; i < field[t].size(); ++i) {
+      ASSERT_LE(std::fabs(decompressed.value()[t][i] - field[t][i]), 1e-4);
+    }
+  }
+
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    Options opt = options;
+    opt.pool = &pool;
+    auto compressed = CompressField(field, opt);
+    ASSERT_TRUE(compressed.ok());
+    EXPECT_EQ(compressed.value(), ref_bytes) << "threads=" << threads;
   }
 }
 

@@ -231,6 +231,46 @@ test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
 test "$(exit_code "$MDZ" extract "$WORK/v2.mdza" "$WORK/z.mdtraj" \
   --cache-frames 2x)" = 2
 
+# Error-bound flags use the same strict parse: atof's silent 0.0 for garbage
+# would bake a zero bound into the archive.
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb garbage)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb nan)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb inf)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb -1)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb 1e-3x)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb "")" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb-split 1.5)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --eb-split junk)" = 2
+test "$(exit_code "$MDZ" gen Copper-B "$WORK/z.mdtraj" --scale 0.0.3)" = 2
+test "$(exit_code "$MDZ" gen Copper-B "$WORK/z.mdtraj" --scale -1)" = 2
+
+# The grown candidate set: compress with the new predictors in the trial
+# loop, then verify the bound and the per-method stats columns end to end.
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/cand.mdza" --quiet \
+  --methods vq,vqt,mt,ti,l2d,ba --eb 1e-3
+"$MDZ" verify "$WORK/traj.mdtraj" "$WORK/cand.mdza" | grep -q "x"
+"$MDZ" audit "$WORK/cand.mdza" "$WORK/traj.mdtraj" > /dev/null
+"$MDZ" stats "$WORK/cand.mdza" | grep -q "L2D"
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/ba.mdza" --quiet \
+  --method ba --eb-split 0.5
+"$MDZ" audit "$WORK/ba.mdza" "$WORK/traj.mdtraj" > /dev/null
+"$MDZ" compress "$WORK/traj.mdtraj" "$WORK/l2d.mdza" --quiet --method l2d
+"$MDZ" audit "$WORK/l2d.mdza" "$WORK/traj.mdtraj" > /dev/null
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --methods vq,bogus)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --methods vq,vq)" = 2
+test "$(exit_code "$MDZ" compress "$WORK/traj.mdtraj" "$WORK/z.mdza" \
+  --method mt --methods vq)" = 2
+
 # Non-finite coordinates are rejected at parse time, naming the line.
 printf '2\nframe 0 box 1 1 1\nAr 0.5 nan 0.25\nAr 1 2 3\n' > "$WORK/bad.xyz"
 test "$(exit_code "$MDZ" compress "$WORK/bad.xyz" "$WORK/z.mdza")" = 2

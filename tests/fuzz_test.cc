@@ -406,6 +406,18 @@ TEST_F(ArchiveV2FuzzTest, OutOfRangeFrameOffsetIsCorruption) {
   ExpectOpenCorruption();
 }
 
+TEST_F(ArchiveV2FuzzTest, UnknownFooterMethodByteIsCorruption) {
+  // 3 is kAdaptive (a mode selector, never a frame method), 7 is the first
+  // reserved byte past the concrete registry, 255 is garbage. All must fail
+  // structural validation at Open — never reach the payload decoder.
+  for (uint8_t bad : {uint8_t{3}, uint8_t{7}, uint8_t{255}}) {
+    RewriteFooter([bad](archive::Footer* footer) {
+      footer->frames[0].method = static_cast<core::Method>(bad);
+    });
+    ExpectOpenCorruption();
+  }
+}
+
 TEST_F(ArchiveV2FuzzTest, SnapshotRangeGapIsCorruption) {
   RewriteFooter([](archive::Footer* footer) {
     // Shift one mid-stream frame's range: its axis no longer tiles

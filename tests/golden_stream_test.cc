@@ -1,0 +1,136 @@
+// Golden-stream regression tests: the v1 field-stream bytes produced by each
+// method are locked to fixtures captured before the predictor/quantizer stage
+// refactor. Any encoder change that alters the bytes of an existing method is
+// a format break and must fail here first.
+//
+// Regenerating fixtures (only when a deliberate, documented format change
+// lands): MDZ_UPDATE_GOLDENS=1 ./mdz_tests --gtest_filter='GoldenStreamTest.*'
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/mdz.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace mdz::core {
+namespace {
+
+#ifndef MDZ_GOLDEN_DIR
+#error "MDZ_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+// Deterministic lattice-with-vibration field: particles sit near integer
+// lattice sites and jitter over time, so VQ/VQT find real levels, MT finds
+// temporal correlation, and a few particles drift to exercise escapes.
+std::vector<std::vector<double>> MakeGoldenField(size_t snapshots, size_t n,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    pos[i] = static_cast<double>(i % 17) + rng.Gaussian(0.0, 0.02);
+  }
+  std::vector<std::vector<double>> field(snapshots);
+  for (size_t s = 0; s < snapshots; ++s) {
+    field[s].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      pos[i] += rng.Gaussian(0.0, (i % 23 == 0) ? 0.2 : 0.004);
+      field[s][i] = pos[i];
+    }
+  }
+  return field;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MDZ_GOLDEN_DIR) + "/" + name + ".mdzf";
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(size < 0 ? 0 : static_cast<size_t>(size));
+  const size_t got = out->empty() ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  return got == out->size();
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << "cannot write golden fixture " << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+struct GoldenCase {
+  const char* name;
+  Method method;
+  bool enable_interpolation;
+};
+
+class GoldenStreamTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenStreamTest, BytesMatchCommittedFixture) {
+  const GoldenCase& gc = GetParam();
+  Options options;
+  options.error_bound = 1e-3;
+  options.error_bound_mode = ErrorBoundMode::kAbsolute;
+  options.method = gc.method;
+  options.buffer_size = 10;
+  options.enable_interpolation = gc.enable_interpolation;
+  // 34 snapshots: three full buffers plus a 4-snapshot tail block, so framing
+  // of both full and short blocks is pinned.
+  const auto field = MakeGoldenField(34, 256, 0xC0FFEEu);
+  auto compressed = CompressField(field, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().message();
+
+  const std::string path = GoldenPath(gc.name);
+  if (std::getenv("MDZ_UPDATE_GOLDENS") != nullptr) {
+    WriteFileBytes(path, *compressed);
+    GTEST_SKIP() << "golden fixture updated: " << path;
+  }
+
+  std::vector<uint8_t> golden;
+  ASSERT_TRUE(ReadFileBytes(path, &golden))
+      << "missing golden fixture " << path
+      << " (capture with MDZ_UPDATE_GOLDENS=1)";
+  ASSERT_EQ(compressed->size(), golden.size())
+      << gc.name << ": stream size changed — encoder output is no longer "
+      << "byte-identical to the committed format";
+  EXPECT_EQ(*compressed, golden)
+      << gc.name << ": stream bytes changed — encoder output is no longer "
+      << "byte-identical to the committed format";
+
+  // The committed bytes must also still decode within the recorded bound.
+  auto decoded = DecompressField(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ASSERT_EQ(decoded->size(), field.size());
+  double max_err = 0.0;
+  for (size_t s = 0; s < field.size(); ++s) {
+    ASSERT_EQ((*decoded)[s].size(), field[s].size());
+    for (size_t i = 0; i < field[s].size(); ++i) {
+      const double err = std::abs((*decoded)[s][i] - field[s][i]);
+      if (err > max_err) max_err = err;
+    }
+  }
+  EXPECT_LE(max_err, 1e-3 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, GoldenStreamTest,
+    ::testing::Values(GoldenCase{"vq", Method::kVQ, false},
+                      GoldenCase{"vqt", Method::kVQT, false},
+                      GoldenCase{"mt", Method::kMT, false},
+                      GoldenCase{"ti", Method::kTI, true},
+                      GoldenCase{"adp", Method::kAdaptive, false},
+                      GoldenCase{"adp_ti", Method::kAdaptive, true}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace mdz::core

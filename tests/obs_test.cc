@@ -369,13 +369,15 @@ TEST(ObsTraceTest, WritesOneJsonLinePerRecord) {
             "{\"axis\":1,\"block\":4,\"method\":\"VQT\",\"snapshots\":10,"
             "\"bytes\":1234,\"escapes\":2,\"entropy_bits\":3.5,"
             "\"adapted\":true,\"trial_vq\":1300,\"trial_vqt\":1234,"
-            "\"trial_mt\":1500,\"trial_ti\":0}");
+            "\"trial_mt\":1500,\"trial_ti\":0,\"trial_l2d\":0,"
+            "\"trial_ba\":0}");
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line,
             "{\"axis\":-1,\"block\":0,\"method\":\"MT\",\"snapshots\":0,"
             "\"bytes\":0,\"escapes\":0,\"entropy_bits\":0,"
             "\"adapted\":false,\"trial_vq\":0,\"trial_vqt\":0,"
-            "\"trial_mt\":0,\"trial_ti\":0}");
+            "\"trial_mt\":0,\"trial_ti\":0,\"trial_l2d\":0,"
+            "\"trial_ba\":0}");
   EXPECT_FALSE(std::getline(in, line));
   std::remove(path.c_str());
 }

@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -548,6 +550,35 @@ TEST(ServeTest, AppendBumpsGenerationWithoutStaleReads) {
       ASSERT_EQ((*tail)[s].axes[axis], (*disk)[s].axes[axis]);
     }
   }
+}
+
+TEST(ServeTest, AppendRejectsNonFiniteCoordinates) {
+  const std::string root = FreshRoot("serve_append_nan");
+  const core::Trajectory base = MakeWalkTrajectory(20, 16, 13);
+  WriteArchive(root, "grow.mdza", base);
+
+  TestServer ts(root);
+  auto client = ts.Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Malformed data from a remote client must be a protocol-level rejection,
+  // never encoded into the archive.
+  for (const double poison : {std::nan(""),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    core::Trajectory extra = MakeWalkTrajectory(3, 16, 14);
+    extra.snapshots[1].axes[2][7] = poison;
+    auto appended = client->Append("grow.mdza", extra.snapshots);
+    ASSERT_FALSE(appended.ok());
+    EXPECT_EQ(client->last_status(), ReplyStatus::kInvalid);
+  }
+
+  // The archive is untouched: same snapshot count, still fully readable.
+  auto info = client->Stat("grow.mdza");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_snapshots, 20u);
+  auto read = client->Extract("grow.mdza", 0, 20);
+  ASSERT_TRUE(read.ok());
 }
 
 TEST(ServeTest, TenantQuotaRejectionsAreCountedAndSurfaced) {

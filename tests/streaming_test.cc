@@ -285,6 +285,68 @@ TEST(Streaming, ReopenAppendMatchesOneShotAdaptive) {
   std::remove(grown.c_str());
 }
 
+// Same seam identity with the grown candidate set: Reopen must restore the
+// exact trial order (adp_methods travels in Options, not the file) and the
+// bit-adaptive quantizer split so appended trial encodes match one-shot.
+TEST(Streaming, ReopenAppendMatchesOneShotWithNewCandidates) {
+  const core::Trajectory traj = MakeWalkTrajectory(56, 45, 29);
+  core::Options options;
+  options.method = core::Method::kAdaptive;
+  options.adp_methods = {core::Method::kVQ, core::Method::kVQT,
+                         core::Method::kMT, core::Method::kTI,
+                         core::Method::kLorenzo2D, core::Method::kBitAdaptive};
+  options.eb_split = 0.5;
+  options.error_bound = 1e-3;
+  options.error_bound_mode = core::ErrorBoundMode::kAbsolute;
+  options.adaptation_interval = 4;
+  options.buffer_size = 8;
+
+  const std::string oneshot = TempPath("append_cand_oneshot.mdza");
+  OneShotCompress(traj, options, oneshot);
+
+  const std::string grown = TempPath("append_cand_grown.mdza");
+  {
+    auto writer =
+        archive::ArchiveWriter::Create(grown, traj.num_particles(), options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    (*writer)->SetName(traj.name);
+    (*writer)->SetBox(traj.box);
+    for (size_t s = 0; s < 32; ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  {
+    auto writer = archive::ArchiveWriter::Reopen(grown, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (size_t s = 32; s < traj.num_snapshots(); ++s) {
+      ASSERT_TRUE((*writer)->Append(traj.snapshots[s]).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  EXPECT_EQ(ReadFileBytes(grown), ReadFileBytes(oneshot));
+
+  // The grown archive must still round-trip within the bound.
+  auto reader = archive::ArchiveReader::Open(grown);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto got = (*reader)->ReadSnapshots(0, traj.num_snapshots());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const double abs_eb = options.error_bound;
+  for (size_t s = 0; s < traj.num_snapshots(); ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      for (size_t i = 0; i < traj.num_particles(); ++i) {
+        ASSERT_LE(std::fabs((*got)[s].axes[axis][i] -
+                            traj.snapshots[s].axes[axis][i]),
+                  abs_eb)
+            << "s=" << s << " axis=" << axis << " i=" << i;
+      }
+    }
+  }
+  std::remove(oneshot.c_str());
+  std::remove(grown.c_str());
+}
+
 // MT mode: every appended buffer predicts against the snapshot-0 reference,
 // so identity here proves Reopen recovered it bit-exactly from the file.
 TEST(Streaming, ReopenAppendMatchesOneShotMT) {

@@ -19,8 +19,10 @@
 // 3 I/O or parse error.
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -406,14 +408,27 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // A regression gate with a garbled threshold must not silently gate at
+    // 0 (atof's fallback): reject anything but a positive finite number.
+    auto parse_threshold = [&](double* out) -> bool {
+      const char* v = next();
+      if (!v) return false;
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || errno == ERANGE ||
+          !std::isfinite(parsed) || parsed <= 0.0) {
+        std::fprintf(stderr, "%s: \"%s\" is not a positive finite number\n",
+                     arg.c_str(), v);
+        return false;
+      }
+      *out = parsed;
+      return true;
+    };
     if (arg == "--threshold-throughput") {
-      const char* v = next();
-      if (!v) return Usage();
-      options.threshold_throughput = std::atof(v);
+      if (!parse_threshold(&options.threshold_throughput)) return Usage();
     } else if (arg == "--threshold-ratio") {
-      const char* v = next();
-      if (!v) return Usage();
-      options.threshold_ratio = std::atof(v);
+      if (!parse_threshold(&options.threshold_ratio)) return Usage();
     } else if (arg == "--ignore-unit") {
       const char* v = next();
       if (!v) return Usage();

@@ -64,7 +64,7 @@ MDZ_SIMD="${SIMD_BEST}" run_config undefined \
 
 run_config thread \
   "${BUILD_ROOT}/thread/tests/mdz_tests" \
-  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*:Obs*.*:PipelineStatsTest.*:FrameCacheTest.*:SchedulerTest.*:ServerConfigTest.*:ProtocolTest.*:ServeTest.*'
+  --gtest_filter='ThreadPoolTest.*:ParallelTest.*:FuzzTest.*:Obs*.*:PipelineStatsTest.*:FrameCacheTest.*:SchedulerTest.*:ServerConfigTest.*:ProtocolTest.*:ServeTest.*:BlockCodecTest.AdpWithNewCandidatesByteIdenticalAcrossThreads:BlockCodecTest.CompressFieldByteIdenticalAcrossVariantsAndThreads'
 
 echo "=== telemetry smoke ==="
 # The address tree is a normal (instrumented) build of the mdz binary; use

@@ -2,7 +2,8 @@
 //
 //   mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]
 //   mdz compress <in.mdtraj|.xyz> <out.mdza> [--eb E] [--abs] [--bs N]
-//                [--method adp|vq|vqt|mt] [--quant-scale N] [--seq1] [--v1]
+//                [--method adp|vq|vqt|mt|ti|l2d|ba] [--methods LIST]
+//                [--eb-split F] [--quant-scale N] [--seq1] [--v1]
 //                [--stream] [--metrics-json F] [--metrics-prom F] [--trace F]
 //   mdz decompress <in.mdza> <out.mdtraj|.xyz> [--stream] [--metrics-json F]
 //   mdz append <archive.mdza> <in.mdtraj|.xyz> [--threads N]
@@ -43,8 +44,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cmath>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -173,7 +176,9 @@ int Usage() {
                "usage:\n"
                "  mdz gen <dataset> <out.mdtraj|.xyz> [--scale S] [--seed N]\n"
                "  mdz compress <in> <out.mdza> [--eb E] [--abs] [--bs N]\n"
-               "               [--method adp|vq|vqt|mt|ti] [--quant-scale N]\n"
+               "               [--method adp|vq|vqt|mt|ti|l2d|ba]\n"
+               "               [--methods vq,vqt,mt,ti,l2d,ba] [--eb-split F]\n"
+               "               [--quant-scale N]\n"
                "               [--seq1] [--interp] [--threads N] [--audit]\n"
                "               [--stream]\n"
                "               [--metrics-json F] [--metrics-prom F] [--trace F]\n"
@@ -239,6 +244,38 @@ Result<uint64_t> ParseUint(const std::string& value, const std::string& flag,
   return static_cast<uint64_t>(parsed);
 }
 
+// Strict decimal parse for floating-point flag values. The old `std::atof`
+// turned "--eb garbage" into 0.0 (a zero bound baked into the archive) and
+// silently ignored trailing junk in "1e-3x"; here the whole token must parse
+// as a finite double — NaN, Inf, over/underflow and partial parses are usage
+// errors (exit 2).
+Result<double> ParseDouble(const std::string& value, const std::string& flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed =
+      value.empty() ? 0.0 : std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      errno == ERANGE || !std::isfinite(parsed)) {
+    return Status::InvalidArgument(flag +
+                                   " expects a finite decimal number, got \"" +
+                                   value + "\"");
+  }
+  return parsed;
+}
+
+// Method-name mapping shared by --method (fixed modes) and --methods (the
+// ADP candidate allow-list). "adp" is handled separately — it is a mode
+// selector, not a block method.
+std::optional<mdz::core::Method> MethodFromName(const std::string& name) {
+  if (name == "vq") return mdz::core::Method::kVQ;
+  if (name == "vqt") return mdz::core::Method::kVQT;
+  if (name == "mt") return mdz::core::Method::kMT;
+  if (name == "ti") return mdz::core::Method::kTI;
+  if (name == "l2d") return mdz::core::Method::kLorenzo2D;
+  if (name == "ba") return mdz::core::Method::kBitAdaptive;
+  return std::nullopt;
+}
+
 // Minimal flag scanner: flags may appear anywhere after the positionals.
 struct Flags {
   std::vector<std::string> positional;
@@ -249,6 +286,8 @@ struct Flags {
   uint32_t quant_scale = 1024;
   bool seq1 = false;
   bool interp = false;  // adds the TI predictor to ADP's candidates
+  std::string methods;  // --methods: comma-separated ADP candidate list
+  double eb_split = 1.0;  // bit-adaptive quantizer share of the bound
   double scale = 1.0;
   uint64_t seed = 0;
   // Worker threads for compress/decompress: 0 = all hardware threads
@@ -301,7 +340,20 @@ struct Flags {
       };
       if (arg == "--eb") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.eb = std::atof(v.c_str());
+        MDZ_ASSIGN_OR_RETURN(flags.eb, ParseDouble(v, arg));
+        if (!(flags.eb > 0.0)) {
+          return Status::InvalidArgument("--eb must be positive, got \"" + v +
+                                         "\"");
+        }
+      } else if (arg == "--eb-split") {
+        MDZ_ASSIGN_OR_RETURN(auto v, next_value());
+        MDZ_ASSIGN_OR_RETURN(flags.eb_split, ParseDouble(v, arg));
+        if (!(flags.eb_split > 0.0) || flags.eb_split > 1.0) {
+          return Status::InvalidArgument("--eb-split must be in (0, 1], got \"" +
+                                         v + "\"");
+        }
+      } else if (arg == "--methods") {
+        MDZ_ASSIGN_OR_RETURN(flags.methods, next_value());
       } else if (arg == "--abs") {
         flags.absolute = true;
       } else if (arg == "--bs") {
@@ -322,7 +374,11 @@ struct Flags {
         flags.interp = true;
       } else if (arg == "--scale") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
-        flags.scale = std::atof(v.c_str());
+        MDZ_ASSIGN_OR_RETURN(flags.scale, ParseDouble(v, arg));
+        if (!(flags.scale > 0.0)) {
+          return Status::InvalidArgument("--scale must be positive, got \"" +
+                                         v + "\"");
+        }
       } else if (arg == "--seed") {
         MDZ_ASSIGN_OR_RETURN(auto v, next_value());
         MDZ_ASSIGN_OR_RETURN(flags.seed, ParseUint(v, arg, UINT64_MAX));
@@ -426,18 +482,33 @@ struct Flags {
     options.layout = seq1 ? mdz::core::CodeLayout::kSnapshotMajor
                           : mdz::core::CodeLayout::kParticleMajor;
     options.enable_interpolation = interp;
+    options.eb_split = eb_split;
     if (method == "adp") {
       options.method = mdz::core::Method::kAdaptive;
-    } else if (method == "vq") {
-      options.method = mdz::core::Method::kVQ;
-    } else if (method == "vqt") {
-      options.method = mdz::core::Method::kVQT;
-    } else if (method == "mt") {
-      options.method = mdz::core::Method::kMT;
-    } else if (method == "ti") {
-      options.method = mdz::core::Method::kTI;
+    } else if (const auto fixed = MethodFromName(method)) {
+      options.method = *fixed;
     } else {
       return Status::InvalidArgument("unknown method: " + method);
+    }
+    if (!methods.empty()) {
+      if (options.method != mdz::core::Method::kAdaptive) {
+        return Status::InvalidArgument(
+            "--methods selects ADP candidates and requires --method adp");
+      }
+      std::string rest = methods;
+      while (!rest.empty()) {
+        const size_t comma = rest.find(',');
+        const std::string name = rest.substr(0, comma);
+        rest = (comma == std::string::npos) ? "" : rest.substr(comma + 1);
+        const auto m = MethodFromName(name);
+        if (!m.has_value()) {
+          return Status::InvalidArgument(
+              "--methods expects a comma-separated subset of "
+              "vq,vqt,mt,ti,l2d,ba; got \"" +
+              name + "\"");
+        }
+        options.adp_methods.push_back(*m);
+      }
     }
     MDZ_RETURN_IF_ERROR(options.Validate());
     return options;
@@ -910,7 +981,7 @@ int CmdStats(const Flags& flags) {
     size_t blocks = 0;
     size_t snapshots = 0;
     size_t bytes = 0;
-    size_t by_method[5] = {0, 0, 0, 0, 0};  // indexed by Method value
+    size_t by_method[7] = {0, 0, 0, 0, 0, 0, 0};  // indexed by Method value
   };
   AxisStats per_axis[3];
   {
@@ -931,14 +1002,15 @@ int CmdStats(const Flags& flags) {
         ++a.blocks;
         a.snapshots += b.snapshots;
         const auto m = static_cast<size_t>(b.method);
-        if (m < 5) ++a.by_method[m];
+        if (m < 7) ++a.by_method[m];
       }
     }
   }
 
   const mdz::core::Method kMethods[] = {
       mdz::core::Method::kVQ, mdz::core::Method::kVQT, mdz::core::Method::kMT,
-      mdz::core::Method::kTI};
+      mdz::core::Method::kTI, mdz::core::Method::kLorenzo2D,
+      mdz::core::Method::kBitAdaptive};
   if (flags.json) {
     std::printf("{\"file\":\"%s\",\"axes\":[", flags.positional[0].c_str());
     for (int axis = 0; axis < 3; ++axis) {
@@ -961,17 +1033,21 @@ int CmdStats(const Flags& flags) {
     return WriteMetricsFiles(flags);
   }
 
-  std::printf("%-6s %-8s %-10s %-6s %-6s %-6s %-6s %-10s\n", "Axis", "Blocks",
-              "Snapshots", "VQ", "VQT", "MT", "TI", "Bytes");
+  std::printf("%-6s %-8s %-10s %-6s %-6s %-6s %-6s %-6s %-6s %-10s\n", "Axis",
+              "Blocks", "Snapshots", "VQ", "VQT", "MT", "TI", "L2D", "BA",
+              "Bytes");
   for (int axis = 0; axis < 3; ++axis) {
     const AxisStats& a = per_axis[axis];
-    std::printf("%-6c %-8zu %-10zu %-6zu %-6zu %-6zu %-6zu %-10zu\n",
-                "xyz"[axis], a.blocks, a.snapshots,
-                a.by_method[static_cast<size_t>(mdz::core::Method::kVQ)],
-                a.by_method[static_cast<size_t>(mdz::core::Method::kVQT)],
-                a.by_method[static_cast<size_t>(mdz::core::Method::kMT)],
-                a.by_method[static_cast<size_t>(mdz::core::Method::kTI)],
-                a.bytes);
+    std::printf(
+        "%-6c %-8zu %-10zu %-6zu %-6zu %-6zu %-6zu %-6zu %-6zu %-10zu\n",
+        "xyz"[axis], a.blocks, a.snapshots,
+        a.by_method[static_cast<size_t>(mdz::core::Method::kVQ)],
+        a.by_method[static_cast<size_t>(mdz::core::Method::kVQT)],
+        a.by_method[static_cast<size_t>(mdz::core::Method::kMT)],
+        a.by_method[static_cast<size_t>(mdz::core::Method::kTI)],
+        a.by_method[static_cast<size_t>(mdz::core::Method::kLorenzo2D)],
+        a.by_method[static_cast<size_t>(mdz::core::Method::kBitAdaptive)],
+        a.bytes);
   }
 
   // With telemetry on, append derived latency quantiles for every observed
